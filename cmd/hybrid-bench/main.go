@@ -1,0 +1,53 @@
+// Command hybrid-bench runs the experiment suite of EXPERIMENTS.md and
+// prints one paper-style table per experiment: the derivation experiment
+// (T1–T6) plus the workload experiments (B1–B8) comparing hybrid locking
+// against commutativity-based and read/write two-phase locking.
+//
+// Usage:
+//
+//	hybrid-bench [-quick] [-id B3] [-list]
+//
+// Absolute throughput depends on the host; the reproduction targets are
+// the shapes stated in each table's "expected" line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hybridcc/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run with reduced parameters")
+	id := flag.String("id", "", "run a single experiment by id (e.g. B3)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.Config{Quick: *quick}
+	experiments := bench.All()
+	if *id != "" {
+		e := bench.ByID(*id)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *id)
+			os.Exit(2)
+		}
+		experiments = []bench.Experiment{*e}
+	}
+
+	for _, e := range experiments {
+		start := time.Now()
+		table := e.Run(cfg)
+		fmt.Print(table.Render())
+		fmt.Printf("(%s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,99 @@
+package hybridcc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDeadlockDetectionFacade drives the classic Account lock cycle
+// through the public API: with WithDeadlockDetection the victim fails fast
+// with ErrDeadlock, and Atomically's retry resolves the cycle.
+func TestDeadlockDetectionFacade(t *testing.T) {
+	sys := NewSystem(WithDeadlockDetection(), WithLockWait(5*time.Second))
+	acct := sys.NewAccount("a")
+	if err := sys.Atomically(func(tx *Tx) error { return acct.Credit(tx, 10) }); err != nil {
+		t.Fatal(err)
+	}
+
+	// T1 holds a Debit lock; T2 holds a Credit lock.
+	t1, t2 := sys.Begin(), sys.Begin()
+	if ok, err := acct.Debit(t1, 5); err != nil || !ok {
+		t.Fatalf("T1 debit: ok=%v err=%v", ok, err)
+	}
+	if err := acct.Credit(t2, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// T1 attempts an overdraft (blocks on T2's credit)...
+	var wg sync.WaitGroup
+	wg.Add(1)
+	t1Err := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		_, err := acct.Debit(t1, 1_000)
+		t1Err <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+
+	// ...and T2's successful debit closes the cycle: detected instantly.
+	start := time.Now()
+	_, err := acct.Debit(t2, 2)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("detection waited instead of failing fast")
+	}
+	if err := t2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-t1Err; err != nil {
+		t.Fatalf("T1 must proceed once the victim aborts: %v", err)
+	}
+	wg.Wait()
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAtomicallyRetriesDeadlocks lets two Atomically transactions collide
+// in a deadlock-prone pattern and asserts both eventually commit (the
+// victim aborts-and-retries).
+func TestAtomicallyRetriesDeadlocks(t *testing.T) {
+	sys := NewSystem(WithDeadlockDetection(), WithLockWait(2*time.Second))
+	acct := sys.NewAccount("a")
+	if err := sys.Atomically(func(tx *Tx) error { return acct.Credit(tx, 100) }); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := sys.Atomically(func(tx *Tx) error {
+				if i == 0 {
+					if ok, err := acct.Debit(tx, 5); err != nil || !ok {
+						return err
+					}
+					time.Sleep(10 * time.Millisecond)
+					_, err := acct.Debit(tx, 10_000) // overdraft path
+					return err
+				}
+				if err := acct.Credit(tx, 1); err != nil {
+					return err
+				}
+				time.Sleep(10 * time.Millisecond)
+				if ok, err := acct.Debit(tx, 2); err != nil || !ok {
+					return err
+				}
+				return nil
+			})
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

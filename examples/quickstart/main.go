@@ -1,0 +1,59 @@
+// Quickstart: create a system, open accounts, and run transfer
+// transactions under hybrid concurrency control.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridcc"
+)
+
+func main() {
+	sys := hybridcc.NewSystem()
+	checking := sys.NewAccount("checking")
+	savings := sys.NewAccount("savings")
+
+	// Fund the checking account.
+	if err := sys.Atomically(func(tx *hybridcc.Tx) error {
+		return checking.Credit(tx, 1000)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Transfer 400 into savings: both operations commit atomically with
+	// one timestamp, or not at all.
+	if err := sys.Atomically(func(tx *hybridcc.Tx) error {
+		ok, err := checking.Debit(tx, 400)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("insufficient funds")
+		}
+		return savings.Credit(tx, 400)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// An attempted overdraft is refused inside the transaction; the
+	// transaction decides what to do (here: commit nothing extra).
+	if err := sys.Atomically(func(tx *hybridcc.Tx) error {
+		ok, err := checking.Debit(tx, 1_000_000)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Println("large debit refused: overdraft")
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("checking: %d\n", checking.CommittedBalance())
+	fmt.Printf("savings:  %d\n", savings.CommittedBalance())
+	fmt.Printf("stats:    %s\n", sys.Stats())
+}

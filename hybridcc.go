@@ -1,0 +1,265 @@
+// Package hybridcc is a transaction-processing library implementing hybrid
+// concurrency control for abstract data types, after Herlihy & Weihl
+// ("Hybrid Concurrency Control for Abstract Data Types", PODS 1988 / JCSS
+// 43(1), 1991).
+//
+// Transactions are serializable in commit-timestamp order (hybrid
+// atomicity).  Lock conflicts are derived from each data type's serial
+// specification as the symmetric closure of a minimal dependency relation —
+// strictly fewer conflicts than commutativity-based locking, and far fewer
+// than read/write locking.  Concretely: concurrent transactions can enqueue
+// on one FIFO queue, blind-write one file (the generalized Thomas Write
+// Rule), and post interest while others credit and debit one account.
+//
+// Quick start:
+//
+//	sys := hybridcc.NewSystem()
+//	acct := sys.NewAccount("checking")
+//	err := sys.Atomically(func(tx *hybridcc.Tx) error {
+//		return acct.Credit(tx, 100)
+//	})
+//
+// Every typed object (Account, Queue, Semiqueue, File, Counter, Set,
+// Directory) ships with its paper-derived conflict relation; the
+// commutativity and read/write baselines of the paper's Section 7 are
+// available through WithScheme for comparison, and remain correct because
+// hybrid atomicity is upward compatible with dynamic atomicity.
+package hybridcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"hybridcc/internal/baseline"
+	"hybridcc/internal/core"
+	"hybridcc/internal/histories"
+	"hybridcc/internal/verify"
+)
+
+// Tx is a transaction handle.  A transaction must be used from one
+// goroutine at a time; Commit and Abort complete it everywhere it executed
+// operations.
+type Tx = core.Tx
+
+// ReadTx is a read-only transaction (the paper's Section 7 extension): its
+// timestamp — and serialization position — is chosen when it starts, it
+// acquires no locks, and it never blocks writers.  It observes exactly the
+// transactions that committed with earlier timestamps.  Close it promptly
+// (Commit or Abort): while active it holds back intention compaction.
+type ReadTx = core.ReadTx
+
+// ErrNotReadOnly reports a state-changing operation attempted inside a
+// read-only transaction.
+var ErrNotReadOnly = core.ErrNotReadOnly
+
+// Recorder captures the global event history for offline verification.
+type Recorder = verify.Recorder
+
+// NewRecorder returns an empty Recorder for use with WithRecorder.
+func NewRecorder() *Recorder { return verify.NewRecorder() }
+
+// Errors surfaced by the library.
+var (
+	// ErrTimeout reports a lock wait that exceeded the configured bound;
+	// abort and retry (Atomically does this automatically).
+	ErrTimeout = core.ErrTimeout
+	// ErrTxDone reports use of a completed transaction.
+	ErrTxDone = core.ErrTxDone
+	// ErrTxBusy reports concurrent use of one transaction.
+	ErrTxBusy = core.ErrTxBusy
+	// ErrDeadlock reports that a blocked operation would close a waits-for
+	// cycle (only with WithDeadlockDetection); abort and retry.
+	ErrDeadlock = core.ErrDeadlock
+)
+
+// Scheme selects the concurrency-control conflict relation for an object.
+type Scheme string
+
+// Available schemes.
+const (
+	// Hybrid uses the paper's dependency-derived conflicts (default).
+	Hybrid Scheme = "hybrid"
+	// Commutativity uses forward-commutativity conflicts (dynamic atomic
+	// two-phase locking, the paper's main comparison point).
+	Commutativity Scheme = "commutativity"
+	// ReadWrite uses classical untyped read/write locking.
+	ReadWrite Scheme = "readwrite"
+)
+
+// Option configures a System.
+type Option func(*config)
+
+type config struct {
+	lockWait          time.Duration
+	disableCompaction bool
+	deadlockDetection bool
+	recorder          *Recorder
+}
+
+// WithLockWait bounds how long an operation waits on a lock conflict (or a
+// blocked partial operation) before returning ErrTimeout.
+func WithLockWait(d time.Duration) Option {
+	return func(c *config) { c.lockWait = d }
+}
+
+// WithoutCompaction disables the Section 6 horizon compaction, keeping
+// every committed intention in memory (for ablation and debugging).
+func WithoutCompaction() Option {
+	return func(c *config) { c.disableCompaction = true }
+}
+
+// WithRecorder attaches a Recorder that observes every accepted event; use
+// System.Verify to check the recorded history afterwards.
+func WithRecorder(r *Recorder) Option {
+	return func(c *config) { c.recorder = r }
+}
+
+// WithDeadlockDetection maintains a waits-for graph so a blocked operation
+// that would close a cycle fails immediately with ErrDeadlock instead of
+// timing out — the paper's "detection" remedy.
+func WithDeadlockDetection() Option {
+	return func(c *config) { c.deadlockDetection = true }
+}
+
+// System manages hybrid atomic objects and mints transactions.
+type System struct {
+	inner    *core.System
+	recorder *Recorder
+
+	mu    sync.Mutex
+	specs histories.SpecMap
+}
+
+// NewSystem creates a System.
+func NewSystem(opts ...Option) *System {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	coreOpts := core.Options{
+		LockWait:          c.lockWait,
+		DisableCompaction: c.disableCompaction,
+		DeadlockDetection: c.deadlockDetection,
+	}
+	if c.recorder != nil {
+		coreOpts.Sink = c.recorder
+	}
+	return &System{
+		inner:    core.NewSystem(coreOpts),
+		recorder: c.recorder,
+		specs:    make(histories.SpecMap),
+	}
+}
+
+// Begin starts a transaction.
+func (s *System) Begin() *Tx { return s.inner.Begin() }
+
+// BeginReadOnly starts a read-only transaction serializing at the current
+// logical time.
+func (s *System) BeginReadOnly() *ReadTx { return s.inner.BeginReadOnly() }
+
+// Snapshot runs fn inside a read-only transaction and commits it.  Unlike
+// Atomically, there is nothing to retry: readers take no locks; a timeout
+// (a writer lingering in its commit window) is returned as ErrTimeout.
+func (s *System) Snapshot(fn func(r *ReadTx) error) error {
+	r := s.BeginReadOnly()
+	if err := fn(r); err != nil {
+		_ = r.Abort()
+		return err
+	}
+	return r.Commit()
+}
+
+// Atomically runs fn inside a transaction, committing on success and
+// aborting on error.  Lock-wait timeouts and detected deadlocks are
+// retried (fresh transaction, jittered exponential backoff) up to a
+// bounded number of attempts — the standard remedies for the deadlocks any
+// two-phase locking scheme admits.  The backoff breaks the lockstep
+// re-collisions that a bare requester-aborts victim policy can livelock
+// on.
+func (s *System) Atomically(fn func(tx *Tx) error) error {
+	const maxAttempts = 16
+	var last error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			shift := attempt
+			if shift > 6 {
+				shift = 6
+			}
+			window := 100 * time.Microsecond << shift
+			time.Sleep(time.Duration(rand.Int63n(int64(window))) + 50*time.Microsecond)
+		}
+		tx := s.Begin()
+		err := fn(tx)
+		if err == nil {
+			if err = tx.Commit(); err == nil {
+				return nil
+			}
+		}
+		_ = tx.Abort()
+		if !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrDeadlock) {
+			return err
+		}
+		last = err
+	}
+	return fmt.Errorf("hybridcc: transaction retries exhausted: %w", last)
+}
+
+// Stats returns system-wide counters.
+func (s *System) Stats() core.StatsSnapshot { return s.inner.Stats() }
+
+// Verify checks the recorded history (requires WithRecorder): well-formed
+// and hybrid atomic against the specifications of every object created
+// through this System.  Read-only transactions are verified under the
+// generalized (start-timestamped) rules.
+func (s *System) Verify() error {
+	if s.recorder == nil {
+		return errors.New("hybridcc: system has no recorder; construct with WithRecorder")
+	}
+	s.mu.Lock()
+	specs := make(histories.SpecMap, len(s.specs))
+	for k, v := range s.specs {
+		specs[k] = v
+	}
+	s.mu.Unlock()
+	isReadOnly := func(id histories.TxID) bool { return strings.HasPrefix(string(id), "R") }
+	return verify.CheckGeneralizedHybridAtomic(s.recorder.History(), specs, isReadOnly)
+}
+
+// newObject registers a typed object under the chosen scheme.
+func (s *System) newObject(name, typeName string, scheme Scheme) *core.Object {
+	sp := baseline.SpecFor(typeName)
+	conflict := baseline.ConflictFor(string(scheme), typeName)
+	if sp == nil || conflict == nil {
+		panic(fmt.Sprintf("hybridcc: unknown type %q or scheme %q", typeName, scheme))
+	}
+	s.mu.Lock()
+	if _, dup := s.specs[histories.ObjID(name)]; dup {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("hybridcc: duplicate object name %q", name))
+	}
+	s.specs[histories.ObjID(name)] = sp
+	s.mu.Unlock()
+	return s.inner.NewObject(name, sp, conflict)
+}
+
+// schemeOf applies object options.
+func schemeOf(opts []ObjectOption) Scheme {
+	scheme := Hybrid
+	for _, o := range opts {
+		scheme = o(scheme)
+	}
+	return scheme
+}
+
+// ObjectOption configures a typed object at creation.
+type ObjectOption func(Scheme) Scheme
+
+// WithScheme selects the conflict relation (default Hybrid).
+func WithScheme(s Scheme) ObjectOption {
+	return func(Scheme) Scheme { return s }
+}

@@ -1,0 +1,392 @@
+package hybridcc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys := NewSystem()
+	acct := sys.NewAccount("checking")
+	if err := sys.Atomically(func(tx *Tx) error {
+		return acct.Credit(tx, 100)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Atomically(func(tx *Tx) error {
+		ok, err := acct.Debit(tx, 30)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return errors.New("unexpected overdraft")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if bal := acct.CommittedBalance(); bal != 70 {
+		t.Errorf("balance = %d", bal)
+	}
+}
+
+func TestAccountOverdraftReported(t *testing.T) {
+	sys := NewSystem()
+	acct := sys.NewAccount("a")
+	var refused bool
+	if err := sys.Atomically(func(tx *Tx) error {
+		ok, err := acct.Debit(tx, 10)
+		refused = !ok
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !refused {
+		t.Error("debit from an empty account must report overdraft")
+	}
+	if bal := acct.CommittedBalance(); bal != 0 {
+		t.Errorf("overdraft must not change the balance: %d", bal)
+	}
+}
+
+func TestAccountPost(t *testing.T) {
+	sys := NewSystem()
+	acct := sys.NewAccount("a")
+	if err := sys.Atomically(func(tx *Tx) error {
+		if err := acct.Credit(tx, 10); err != nil {
+			return err
+		}
+		return acct.Post(tx, 3)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if bal := acct.CommittedBalance(); bal != 30 {
+		t.Errorf("balance after post = %d", bal)
+	}
+}
+
+func TestQueueFIFOAcrossTransactions(t *testing.T) {
+	sys := NewSystem()
+	q := sys.NewQueue("q")
+	for _, v := range []int64{5, 6, 7} {
+		v := v
+		if err := sys.Atomically(func(tx *Tx) error { return q.Enq(tx, v) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []int64
+	for i := 0; i < 3; i++ {
+		if err := sys.Atomically(func(tx *Tx) error {
+			v, err := q.Deq(tx)
+			if err != nil {
+				return err
+			}
+			got = append(got, v)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fmt.Sprint(got) != "[5 6 7]" {
+		t.Errorf("dequeue order = %v", got)
+	}
+	if items := q.CommittedItems(); len(items) != 0 {
+		t.Errorf("queue should be empty, has %v", items)
+	}
+}
+
+func TestSemiqueue(t *testing.T) {
+	sys := NewSystem()
+	sq := sys.NewSemiqueue("sq")
+	if err := sys.Atomically(func(tx *Tx) error {
+		if err := sq.Ins(tx, 1); err != nil {
+			return err
+		}
+		return sq.Ins(tx, 2)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	if err := sys.Atomically(func(tx *Tx) error {
+		v, err := sq.Rem(tx)
+		got = v
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 && got != 2 {
+		t.Errorf("removed %d", got)
+	}
+	if sq.CommittedSize() != 1 {
+		t.Errorf("size = %d", sq.CommittedSize())
+	}
+}
+
+func TestFileReadsLatestWrite(t *testing.T) {
+	sys := NewSystem()
+	f := sys.NewFile("f")
+	if err := sys.Atomically(func(tx *Tx) error { return f.Write(tx, 42) }); err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	if err := sys.Atomically(func(tx *Tx) error {
+		v, err := f.Read(tx)
+		got = v
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 || f.CommittedValue() != 42 {
+		t.Errorf("read %d, committed %d", got, f.CommittedValue())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	sys := NewSystem()
+	c := sys.NewCounter("c")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := sys.Atomically(func(tx *Tx) error { return c.Inc(tx, 5) }); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.CommittedValue(); got != 40 {
+		t.Errorf("counter = %d", got)
+	}
+}
+
+func TestSetMembership(t *testing.T) {
+	sys := NewSystem()
+	s := sys.NewSet("s")
+	if err := sys.Atomically(func(tx *Tx) error {
+		fresh, err := s.Insert(tx, 7)
+		if err != nil {
+			return err
+		}
+		if !fresh {
+			return errors.New("7 should be fresh")
+		}
+		fresh, err = s.Insert(tx, 7)
+		if err != nil {
+			return err
+		}
+		if fresh {
+			return errors.New("second insert should report present")
+		}
+		in, err := s.Member(tx, 7)
+		if err != nil {
+			return err
+		}
+		if !in {
+			return errors.New("member must be true")
+		}
+		removed, err := s.Remove(tx, 8)
+		if err != nil {
+			return err
+		}
+		if removed {
+			return errors.New("8 was never present")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s.CommittedSize() != 1 {
+		t.Errorf("size = %d", s.CommittedSize())
+	}
+}
+
+func TestDirectory(t *testing.T) {
+	sys := NewSystem()
+	d := sys.NewDirectory("d")
+	if err := sys.Atomically(func(tx *Tx) error {
+		created, err := d.Bind(tx, "alpha", 1)
+		if err != nil || !created {
+			return fmt.Errorf("bind: created=%v err=%v", created, err)
+		}
+		created, err = d.Bind(tx, "alpha", 2)
+		if err != nil {
+			return err
+		}
+		if created {
+			return errors.New("rebinding must report Bound")
+		}
+		v, ok, err := d.Lookup(tx, "alpha")
+		if err != nil || !ok || v != 1 {
+			return fmt.Errorf("lookup: %d %v %v", v, ok, err)
+		}
+		_, ok, err = d.Lookup(tx, "beta")
+		if err != nil || ok {
+			return fmt.Errorf("lookup absent: %v %v", ok, err)
+		}
+		removed, err := d.Unbind(tx, "alpha")
+		if err != nil || !removed {
+			return fmt.Errorf("unbind: %v %v", removed, err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if d.CommittedSize() != 0 {
+		t.Errorf("size = %d", d.CommittedSize())
+	}
+}
+
+func TestAtomicallyAbortsOnError(t *testing.T) {
+	sys := NewSystem()
+	acct := sys.NewAccount("a")
+	boom := errors.New("boom")
+	err := sys.Atomically(func(tx *Tx) error {
+		if err := acct.Credit(tx, 100); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if bal := acct.CommittedBalance(); bal != 0 {
+		t.Errorf("aborted credit leaked: %d", bal)
+	}
+}
+
+func TestAtomicallyRetriesTimeouts(t *testing.T) {
+	sys := NewSystem(WithLockWait(5 * time.Millisecond))
+	q := sys.NewQueue("q")
+	// Hold a conflicting lock (a Deq needs the committed item; an Enq
+	// lock on another item conflicts with it under Table II).
+	if err := sys.Atomically(func(tx *Tx) error { return q.Enq(tx, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	holder := sys.Begin()
+	if err := q.Enq(holder, 2); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.Atomically(func(tx *Tx) error {
+			_, err := q.Deq(tx)
+			return err
+		})
+	}()
+	// Let the dequeuer time out at least once, then release.
+	time.Sleep(15 * time.Millisecond)
+	if err := holder.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("retry should eventually succeed: %v", err)
+	}
+}
+
+func TestVerifyRecordedHistory(t *testing.T) {
+	rec := NewRecorder()
+	sys := NewSystem(WithRecorder(rec))
+	acct := sys.NewAccount("a")
+	q := sys.NewQueue("q")
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = sys.Atomically(func(tx *Tx) error {
+				if err := acct.Credit(tx, int64(i+1)); err != nil {
+					return err
+				}
+				return q.Enq(tx, int64(i))
+			})
+		}(i)
+	}
+	wg.Wait()
+	if err := sys.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyWithoutRecorder(t *testing.T) {
+	sys := NewSystem()
+	if err := sys.Verify(); err == nil {
+		t.Error("Verify without recorder must error")
+	}
+}
+
+func TestSchemesSelectable(t *testing.T) {
+	sys := NewSystem(WithLockWait(5 * time.Millisecond))
+	q := sys.NewQueue("q-commut", WithScheme(Commutativity))
+	// Under commutativity, concurrent enqueues of distinct items conflict.
+	holder := sys.Begin()
+	if err := q.Enq(holder, 1); err != nil {
+		t.Fatal(err)
+	}
+	other := sys.Begin()
+	err := q.Enq(other, 2)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("commutativity enqueue conflict expected, got %v", err)
+	}
+	_ = other.Abort()
+	if err := holder.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	rw := sys.NewFile("f-rw", WithScheme(ReadWrite))
+	h2 := sys.Begin()
+	if err := rw.Write(h2, 1); err != nil {
+		t.Fatal(err)
+	}
+	o2 := sys.Begin()
+	if err := rw.Write(o2, 2); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("read/write writer conflict expected, got %v", err)
+	}
+	_ = o2.Abort()
+	_ = h2.Commit()
+}
+
+func TestDuplicateObjectNamePanics(t *testing.T) {
+	sys := NewSystem()
+	sys.NewAccount("dup")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate object name must panic")
+		}
+	}()
+	sys.NewQueue("dup")
+}
+
+// NewRecorder is exercised via the facade; ensure it round-trips events.
+func TestRecorderExposed(t *testing.T) {
+	rec := NewRecorder()
+	if rec.Len() != 0 {
+		t.Error("fresh recorder not empty")
+	}
+	sys := NewSystem(WithRecorder(rec))
+	f := sys.NewFile("f")
+	if err := sys.Atomically(func(tx *Tx) error { return f.Write(tx, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Error("recorder saw no events")
+	}
+	rec.Reset()
+	if rec.Len() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+// NewRecorder returns a Recorder for WithRecorder.
+func TestStatsExposed(t *testing.T) {
+	sys := NewSystem()
+	a := sys.NewAccount("a")
+	_ = sys.Atomically(func(tx *Tx) error { return a.Credit(tx, 1) })
+	s := sys.Stats()
+	if s.Committed != 1 || s.Calls != 1 {
+		t.Errorf("stats = %s", s)
+	}
+}

@@ -1,0 +1,402 @@
+package adt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hybridcc/internal/spec"
+)
+
+func TestFileLegality(t *testing.T) {
+	f := NewFile()
+	cases := []struct {
+		name string
+		h    []spec.Op
+		want bool
+	}{
+		{"empty", nil, true},
+		{"read initial", []spec.Op{FileRead(FileInitial)}, true},
+		{"read wrong initial", []spec.Op{FileRead(7)}, false},
+		{"write read", []spec.Op{FileWrite(3), FileRead(3)}, true},
+		{"write stale read", []spec.Op{FileWrite(3), FileRead(0)}, false},
+		{"overwrite", []spec.Op{FileWrite(3), FileWrite(4), FileRead(4)}, true},
+		{"write bad response", []spec.Op{{Name: "Write", Arg: "3", Res: "No"}}, false},
+	}
+	for _, tc := range cases {
+		if got := spec.Legal(f, tc.h); got != tc.want {
+			t.Errorf("%s: Legal = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestFileResponses(t *testing.T) {
+	f := NewFile()
+	s, _ := spec.Replay(f, []spec.Op{FileWrite(9)})
+	if got := f.Responses(s, FileReadInv()); len(got) != 1 || got[0] != "9" {
+		t.Errorf("Read responses = %v", got)
+	}
+	if got := f.Responses(s, FileWriteInv(1)); len(got) != 1 || got[0] != ResOk {
+		t.Errorf("Write responses = %v", got)
+	}
+	if FileValue(s) != 9 {
+		t.Errorf("FileValue = %d", FileValue(s))
+	}
+}
+
+func TestQueueLegality(t *testing.T) {
+	q := NewQueue()
+	cases := []struct {
+		name string
+		h    []spec.Op
+		want bool
+	}{
+		{"fifo order", []spec.Op{Enq(1), Enq(2), Deq(1), Deq(2)}, true},
+		{"wrong order", []spec.Op{Enq(1), Enq(2), Deq(2)}, false},
+		{"deq empty", []spec.Op{Deq(1)}, false},
+		{"deq too many", []spec.Op{Enq(1), Deq(1), Deq(1)}, false},
+		{"interleaved", []spec.Op{Enq(1), Deq(1), Enq(2), Deq(2)}, true},
+		{"duplicate items", []spec.Op{Enq(5), Enq(5), Deq(5), Deq(5)}, true},
+	}
+	for _, tc := range cases {
+		if got := spec.Legal(q, tc.h); got != tc.want {
+			t.Errorf("%s: Legal = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestQueuePartialDeq(t *testing.T) {
+	q := NewQueue()
+	if got := q.Responses(q.Init(), DeqInv()); len(got) != 0 {
+		t.Errorf("Deq on empty queue must block, got responses %v", got)
+	}
+	s, _ := spec.Replay(q, []spec.Op{Enq(4), Enq(6)})
+	if got := q.Responses(s, DeqInv()); len(got) != 1 || got[0] != "4" {
+		t.Errorf("Deq responses = %v, want front item only", got)
+	}
+	if got := QueueItems(s); len(got) != 2 || got[0] != 4 || got[1] != 6 {
+		t.Errorf("QueueItems = %v", got)
+	}
+	if QueueLen(s) != 2 {
+		t.Errorf("QueueLen = %d", QueueLen(s))
+	}
+}
+
+func TestQueueStateImmutability(t *testing.T) {
+	q := NewQueue()
+	s0, _ := spec.Replay(q, []spec.Op{Enq(1)})
+	s1, ok := q.Step(s0, Enq(2))
+	if !ok {
+		t.Fatal("Enq rejected")
+	}
+	// Stepping from s0 again must not observe s1's item.
+	if got := q.Responses(s0, DeqInv()); len(got) != 1 || got[0] != "1" {
+		t.Errorf("state mutated: Deq responses on s0 = %v", got)
+	}
+	if QueueLen(s0) != 1 || QueueLen(s1) != 2 {
+		t.Errorf("lengths: s0=%d s1=%d", QueueLen(s0), QueueLen(s1))
+	}
+}
+
+func TestSemiqueueLegality(t *testing.T) {
+	sq := NewSemiqueue()
+	cases := []struct {
+		name string
+		h    []spec.Op
+		want bool
+	}{
+		{"remove any order", []spec.Op{Ins(1), Ins(2), Rem(2), Rem(1)}, true},
+		{"remove fifo order", []spec.Op{Ins(1), Ins(2), Rem(1), Rem(2)}, true},
+		{"remove absent", []spec.Op{Ins(1), Rem(2)}, false},
+		{"remove empty", []spec.Op{Rem(1)}, false},
+		{"multiplicity", []spec.Op{Ins(3), Ins(3), Rem(3), Rem(3)}, true},
+		{"over-remove", []spec.Op{Ins(3), Rem(3), Rem(3)}, false},
+	}
+	for _, tc := range cases {
+		if got := spec.Legal(sq, tc.h); got != tc.want {
+			t.Errorf("%s: Legal = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSemiqueueNondeterminism(t *testing.T) {
+	sq := NewSemiqueue()
+	s, _ := spec.Replay(sq, []spec.Op{Ins(2), Ins(1), Ins(2)})
+	got := sq.Responses(s, RemInv())
+	if len(got) != 2 || got[0] != "1" || got[1] != "2" {
+		t.Errorf("Rem responses = %v, want every distinct present item", got)
+	}
+	if SemiqueueSize(s) != 3 {
+		t.Errorf("SemiqueueSize = %d", SemiqueueSize(s))
+	}
+}
+
+func TestAccountLegality(t *testing.T) {
+	a := NewAccount()
+	cases := []struct {
+		name string
+		h    []spec.Op
+		want bool
+	}{
+		{"credit debit", []spec.Op{Credit(10), Debit(10)}, true},
+		{"debit beyond balance", []spec.Op{Credit(10), Debit(11)}, false},
+		{"overdraft when short", []spec.Op{Credit(10), Overdraft(11)}, true},
+		{"overdraft when covered", []spec.Op{Credit(10), Overdraft(10)}, false},
+		{"post multiplies", []spec.Op{Credit(10), Post(3), Debit(30)}, true},
+		{"post then overdraft", []spec.Op{Credit(10), Post(3), Overdraft(31)}, true},
+		{"post factor zero illegal", []spec.Op{Post(0)}, false},
+		{"negative credit illegal", []spec.Op{Credit(-5)}, false},
+		{"negative debit illegal", []spec.Op{Debit(-5)}, false},
+		{"initial overdraft", []spec.Op{Overdraft(1)}, true},
+		{"debit zero from empty", []spec.Op{Debit(0)}, true},
+	}
+	for _, tc := range cases {
+		if got := spec.Legal(a, tc.h); got != tc.want {
+			t.Errorf("%s: Legal = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestAccountResponsesDependOnState(t *testing.T) {
+	a := NewAccount()
+	s, _ := spec.Replay(a, []spec.Op{Credit(5)})
+	if got := a.Responses(s, DebitInv(5)); len(got) != 1 || got[0] != ResOk {
+		t.Errorf("Debit(5) responses = %v", got)
+	}
+	if got := a.Responses(s, DebitInv(6)); len(got) != 1 || got[0] != ResOverdraft {
+		t.Errorf("Debit(6) responses = %v", got)
+	}
+	if AccountBalance(s) != 5 {
+		t.Errorf("AccountBalance = %d", AccountBalance(s))
+	}
+}
+
+func TestCounterLegality(t *testing.T) {
+	c := NewCounter()
+	if !spec.Legal(c, []spec.Op{Inc(2), Inc(3), CtrRead(5)}) {
+		t.Error("counting rejected")
+	}
+	if spec.Legal(c, []spec.Op{Inc(2), CtrRead(3)}) {
+		t.Error("wrong read accepted")
+	}
+	s, _ := spec.Replay(c, []spec.Op{Inc(7)})
+	if CounterValue(s) != 7 {
+		t.Errorf("CounterValue = %d", CounterValue(s))
+	}
+	if got := c.Responses(s, CtrReadInv()); len(got) != 1 || got[0] != "7" {
+		t.Errorf("CtrRead responses = %v", got)
+	}
+}
+
+func TestSetLegality(t *testing.T) {
+	s := NewSet()
+	cases := []struct {
+		name string
+		h    []spec.Op
+		want bool
+	}{
+		{"insert remove", []spec.Op{SetInsert(1, true), SetRemove(1, true)}, true},
+		{"double insert", []spec.Op{SetInsert(1, true), SetInsert(1, true)}, false},
+		{"insert present", []spec.Op{SetInsert(1, true), SetInsert(1, false)}, true},
+		{"remove absent reported", []spec.Op{SetRemove(1, false)}, true},
+		{"remove absent as found", []spec.Op{SetRemove(1, true)}, false},
+		{"member true", []spec.Op{SetInsert(2, true), SetMember(2, true)}, true},
+		{"member false after remove", []spec.Op{SetInsert(2, true), SetRemove(2, true), SetMember(2, false)}, true},
+		{"member wrong", []spec.Op{SetMember(2, true)}, false},
+	}
+	for _, tc := range cases {
+		if got := spec.Legal(s, tc.h); got != tc.want {
+			t.Errorf("%s: Legal = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	st, _ := spec.Replay(s, []spec.Op{SetInsert(1, true), SetInsert(2, true)})
+	if SetSize(st) != 2 {
+		t.Errorf("SetSize = %d", SetSize(st))
+	}
+}
+
+func TestDirectoryLegality(t *testing.T) {
+	d := NewDirectory()
+	cases := []struct {
+		name string
+		h    []spec.Op
+		want bool
+	}{
+		{"bind lookup", []spec.Op{DirBind("a", 1, true), DirLookup("a", 1, true)}, true},
+		{"bind twice", []spec.Op{DirBind("a", 1, true), DirBind("a", 2, true)}, false},
+		{"bind reports bound", []spec.Op{DirBind("a", 1, true), DirBind("a", 2, false)}, true},
+		{"rebinding keeps old value", []spec.Op{DirBind("a", 1, true), DirBind("a", 2, false), DirLookup("a", 1, true)}, true},
+		{"unbind then lookup absent", []spec.Op{DirBind("a", 1, true), DirUnbind("a", true), DirLookup("a", 0, false)}, true},
+		{"unbind absent", []spec.Op{DirUnbind("a", false)}, true},
+		{"unbind absent as found", []spec.Op{DirUnbind("a", true)}, false},
+		{"lookup absent", []spec.Op{DirLookup("z", 0, false)}, true},
+		{"lookup wrong value", []spec.Op{DirBind("a", 1, true), DirLookup("a", 2, true)}, false},
+		{"independent keys", []spec.Op{DirBind("a", 1, true), DirBind("b", 2, true), DirLookup("a", 1, true)}, true},
+	}
+	for _, tc := range cases {
+		if got := spec.Legal(d, tc.h); got != tc.want {
+			t.Errorf("%s: Legal = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	st, _ := spec.Replay(d, []spec.Op{DirBind("a", 1, true)})
+	if DirectorySize(st) != 1 {
+		t.Errorf("DirectorySize = %d", DirectorySize(st))
+	}
+}
+
+func TestItoaAtoiRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return Atoi(Itoa(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtoiPanicsOnGarbage(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Atoi must panic on malformed input")
+		}
+	}()
+	Atoi("not-a-number")
+}
+
+// universes returns (spec, op universe) pairs for the whole catalogue.
+func universes() []struct {
+	sp  spec.Spec
+	ops []spec.Op
+} {
+	return []struct {
+		sp  spec.Spec
+		ops []spec.Op
+	}{
+		{NewFile(), FileUniverse([]int64{1, 2})},
+		{NewQueue(), QueueUniverse([]int64{1, 2})},
+		{NewSemiqueue(), SemiqueueUniverse([]int64{1, 2})},
+		{NewAccount(), AccountUniverse([]int64{1, 2}, []int64{2})},
+		{NewCounter(), CounterUniverse([]int64{1, 2}, []int64{0, 1, 2, 3, 4})},
+		{NewSet(), SetUniverse([]int64{1, 2})},
+		{NewDirectory(), DirectoryUniverse([]string{"a", "b"}, []int64{1})},
+	}
+}
+
+// TestPrefixClosure checks the paper's prefix-closure requirement on every
+// specification using randomized sequences from the universe: if h is
+// legal, every prefix of h is legal.
+func TestPrefixClosure(t *testing.T) {
+	for _, u := range universes() {
+		u := u
+		t.Run(u.sp.Name(), func(t *testing.T) {
+			f := func(choices []uint8) bool {
+				h := make([]spec.Op, 0, len(choices))
+				for _, c := range choices {
+					h = append(h, u.ops[int(c)%len(u.ops)])
+				}
+				if !spec.Legal(u.sp, h) {
+					return true // nothing to check
+				}
+				for k := 0; k <= len(h); k++ {
+					if !spec.Legal(u.sp, h[:k]) {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestStepMatchesResponses checks, for random reachable states, that
+// Responses and Step agree: inv.With(r) is legal exactly when r is listed.
+func TestStepMatchesResponses(t *testing.T) {
+	type entry struct {
+		sp   spec.Spec
+		ops  []spec.Op
+		invs []spec.Invocation
+	}
+	entries := []entry{
+		{NewFile(), FileUniverse([]int64{1, 2}), FileInvocations([]int64{1, 2})},
+		{NewQueue(), QueueUniverse([]int64{1, 2}), QueueInvocations([]int64{1, 2})},
+		{NewSemiqueue(), SemiqueueUniverse([]int64{1, 2}), SemiqueueInvocations([]int64{1, 2})},
+		{NewAccount(), AccountUniverse([]int64{1, 2}, []int64{2}), AccountInvocations([]int64{1, 2}, []int64{2})},
+		{NewCounter(), CounterUniverse([]int64{1}, []int64{0, 1, 2}), CounterInvocations([]int64{1})},
+		{NewSet(), SetUniverse([]int64{1, 2}), SetInvocations([]int64{1, 2})},
+		{NewDirectory(), DirectoryUniverse([]string{"a"}, []int64{1, 2}), DirectoryInvocations([]string{"a"}, []int64{1, 2})},
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.sp.Name(), func(t *testing.T) {
+			f := func(choices []uint8) bool {
+				s := e.sp.Init()
+				for _, c := range choices {
+					next, ok := e.sp.Step(s, e.ops[int(c)%len(e.ops)])
+					if ok {
+						s = next
+					}
+				}
+				for _, inv := range e.invs {
+					listed := make(map[string]bool)
+					for _, r := range e.sp.Responses(s, inv) {
+						listed[r] = true
+						if _, ok := e.sp.Step(s, inv.With(r)); !ok {
+							return false // listed but illegal
+						}
+					}
+					// Every legal response among the universe's responses
+					// must be listed.
+					for _, op := range e.ops {
+						if op.Inv() != inv {
+							continue
+						}
+						if _, ok := e.sp.Step(s, op); ok && !listed[op.Res] {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestEqualIsEquivalence spot-checks Equal on states reached by replay.
+func TestEqualIsEquivalence(t *testing.T) {
+	for _, u := range universes() {
+		u := u
+		t.Run(u.sp.Name(), func(t *testing.T) {
+			a := u.sp.Init()
+			if !u.sp.Equal(a, u.sp.Init()) {
+				t.Error("Init states must be equal")
+			}
+			// Walk a few steps and compare a state with itself and with a
+			// differently-reached equal state.
+			s := a
+			for _, op := range u.ops {
+				if next, ok := u.sp.Step(s, op); ok {
+					s = next
+				}
+			}
+			if !u.sp.Equal(s, s) {
+				t.Error("state must equal itself")
+			}
+		})
+	}
+}
+
+func TestAllCatalogue(t *testing.T) {
+	specs := All()
+	if len(specs) != 7 {
+		t.Fatalf("All() returned %d specs", len(specs))
+	}
+	names := make(map[string]bool)
+	for _, sp := range specs {
+		if names[sp.Name()] {
+			t.Errorf("duplicate spec name %q", sp.Name())
+		}
+		names[sp.Name()] = true
+	}
+}

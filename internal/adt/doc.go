@@ -1,0 +1,22 @@
+// Package adt provides serial specifications for the abstract data types
+// studied in Herlihy & Weihl: File, FIFO Queue, Semiqueue, and Account
+// (Section 4.3 and the appendix), plus Counter, Set, and Directory — the
+// other types the paper's introduction motivates ("queues, directories, or
+// counters").
+//
+// Each type supplies a spec.Spec replay machine together with typed
+// constructors for operations and invocations.  Values, arguments, and
+// responses are string-encoded integers (or the response constants below),
+// matching the encoding conventions of package spec.
+//
+// One deliberate substitution, documented in DESIGN.md: the paper's
+// Account.Post posts percentage interest on a real-valued balance.  Exact
+// real arithmetic is required for the paper's commutativity structure
+// (Post∘Post commute; Post∘Credit do not), and floating point or truncating
+// integer division both break it.  We therefore model Post(k) as
+// multiplication of an integer balance by an integer factor k ≥ 1.  This
+// preserves every property the paper's Tables V and VI rely on: Post is
+// monotone non-decreasing, Posts commute with each other, Posts do not
+// commute with Credits, Post preserves the legality of successful Debits,
+// and Post can invalidate an Overdraft response.
+package adt

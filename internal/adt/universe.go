@@ -1,0 +1,174 @@
+package adt
+
+import "hybridcc/internal/spec"
+
+// Universes enumerate finite sets of operations and invocations over small
+// value domains.  The bounded derivations in package depend (invalidated-by,
+// minimality, forward commutativity) quantify over these universes; the
+// tests assert that the derived relations match the paper's closed-form
+// predicates, so a too-small universe shows up as a test failure rather
+// than a silent gap.
+
+// FileUniverse returns every File operation over the given values
+// (including the reads of the initial value).
+func FileUniverse(vals []int64) []spec.Op {
+	ops := make([]spec.Op, 0, 2*len(vals)+1)
+	ops = append(ops, FileRead(FileInitial))
+	for _, v := range vals {
+		ops = append(ops, FileWrite(v))
+		if v != FileInitial {
+			ops = append(ops, FileRead(v))
+		}
+	}
+	return ops
+}
+
+// FileInvocations returns every File invocation over the given values.
+func FileInvocations(vals []int64) []spec.Invocation {
+	invs := []spec.Invocation{FileReadInv()}
+	for _, v := range vals {
+		invs = append(invs, FileWriteInv(v))
+	}
+	return invs
+}
+
+// QueueUniverse returns every Queue operation over the given items.
+func QueueUniverse(vals []int64) []spec.Op {
+	ops := make([]spec.Op, 0, 2*len(vals))
+	for _, v := range vals {
+		ops = append(ops, Enq(v), Deq(v))
+	}
+	return ops
+}
+
+// QueueInvocations returns every Queue invocation over the given items.
+func QueueInvocations(vals []int64) []spec.Invocation {
+	invs := []spec.Invocation{DeqInv()}
+	for _, v := range vals {
+		invs = append(invs, EnqInv(v))
+	}
+	return invs
+}
+
+// SemiqueueUniverse returns every Semiqueue operation over the given items.
+func SemiqueueUniverse(vals []int64) []spec.Op {
+	ops := make([]spec.Op, 0, 2*len(vals))
+	for _, v := range vals {
+		ops = append(ops, Ins(v), Rem(v))
+	}
+	return ops
+}
+
+// SemiqueueInvocations returns every Semiqueue invocation over the items.
+func SemiqueueInvocations(vals []int64) []spec.Invocation {
+	invs := []spec.Invocation{RemInv()}
+	for _, v := range vals {
+		invs = append(invs, InsInv(v))
+	}
+	return invs
+}
+
+// AccountUniverse returns Account operations over the given credit/debit
+// amounts and post factors.
+func AccountUniverse(amounts, factors []int64) []spec.Op {
+	ops := make([]spec.Op, 0, 3*len(amounts)+len(factors))
+	for _, n := range amounts {
+		ops = append(ops, Credit(n), Debit(n), Overdraft(n))
+	}
+	for _, k := range factors {
+		ops = append(ops, Post(k))
+	}
+	return ops
+}
+
+// AccountInvocations returns Account invocations over the given amounts and
+// factors.
+func AccountInvocations(amounts, factors []int64) []spec.Invocation {
+	invs := make([]spec.Invocation, 0, 2*len(amounts)+len(factors))
+	for _, n := range amounts {
+		invs = append(invs, CreditInv(n), DebitInv(n))
+	}
+	for _, k := range factors {
+		invs = append(invs, PostInv(k))
+	}
+	return invs
+}
+
+// CounterUniverse returns Counter operations over the given increments and
+// observable values.
+func CounterUniverse(incs, reads []int64) []spec.Op {
+	ops := make([]spec.Op, 0, len(incs)+len(reads))
+	for _, n := range incs {
+		ops = append(ops, Inc(n))
+	}
+	for _, v := range reads {
+		ops = append(ops, CtrRead(v))
+	}
+	return ops
+}
+
+// CounterInvocations returns Counter invocations over the given increments.
+func CounterInvocations(incs []int64) []spec.Invocation {
+	invs := []spec.Invocation{CtrReadInv()}
+	for _, n := range incs {
+		invs = append(invs, IncInv(n))
+	}
+	return invs
+}
+
+// SetUniverse returns every Set operation over the given elements.
+func SetUniverse(vals []int64) []spec.Op {
+	ops := make([]spec.Op, 0, 6*len(vals))
+	for _, v := range vals {
+		ops = append(ops,
+			SetInsert(v, true), SetInsert(v, false),
+			SetRemove(v, true), SetRemove(v, false),
+			SetMember(v, true), SetMember(v, false),
+		)
+	}
+	return ops
+}
+
+// SetInvocations returns every Set invocation over the given elements.
+func SetInvocations(vals []int64) []spec.Invocation {
+	invs := make([]spec.Invocation, 0, 3*len(vals))
+	for _, v := range vals {
+		invs = append(invs, SetInsertInv(v), SetRemoveInv(v), SetMemberInv(v))
+	}
+	return invs
+}
+
+// DirectoryUniverse returns Directory operations over the given keys and
+// values.
+func DirectoryUniverse(keys []string, vals []int64) []spec.Op {
+	var ops []spec.Op
+	for _, k := range keys {
+		for _, v := range vals {
+			ops = append(ops, DirBind(k, v, true), DirBind(k, v, false), DirLookup(k, v, true))
+		}
+		ops = append(ops, DirUnbind(k, true), DirUnbind(k, false), DirLookup(k, 0, false))
+	}
+	return ops
+}
+
+// DirectoryInvocations returns Directory invocations over the given keys
+// and values.
+func DirectoryInvocations(keys []string, vals []int64) []spec.Invocation {
+	var invs []spec.Invocation
+	for _, k := range keys {
+		for _, v := range vals {
+			invs = append(invs, DirBindInv(k, v))
+		}
+		invs = append(invs, DirUnbindInv(k), DirLookupInv(k))
+	}
+	return invs
+}
+
+// All returns every serial specification in this package, for tests and
+// tools that sweep the whole catalogue.
+func All() []spec.Spec {
+	return []spec.Spec{
+		NewFile(), NewQueue(), NewSemiqueue(), NewAccount(),
+		NewCounter(), NewSet(), NewDirectory(),
+	}
+}

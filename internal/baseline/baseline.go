@@ -1,0 +1,177 @@
+// Package baseline provides the conflict relations of the schemes the
+// paper compares against (Section 7):
+//
+//   - Commutativity-based two-phase locking (Weihl's dynamic atomic
+//     scheme): two operations conflict unless they forward-commute.  Hybrid
+//     atomicity is upward compatible with dynamic atomicity, so these
+//     conflicts run on the same runtime, giving an apples-to-apples
+//     concurrency comparison.
+//
+//   - Classical read/write two-phase locking: the untyped baseline where
+//     every operation is classified as a read or a write and two operations
+//     conflict unless both are reads.
+//
+// The commutativity relations are hand-derived closed forms; the tests
+// verify each against the mechanical FailureToCommute derivation, exactly
+// as the paper-table predicates are verified in package depend.
+package baseline
+
+import (
+	"hybridcc/internal/adt"
+	"hybridcc/internal/depend"
+	"hybridcc/internal/spec"
+)
+
+// QueueCommutativity returns the forward-commutativity conflicts for FIFO
+// Queue.  The paper observes these coincide with the conflicts induced by
+// Table III: enqueues of distinct items conflict, dequeues of equal items
+// conflict, and Enq/Deq never conflict.
+func QueueCommutativity() depend.Conflict {
+	return depend.SymmetricClosure(depend.QueueDependencyIII())
+}
+
+// AccountCommutativity returns Table VI (re-exported from depend for
+// symmetry with the other baselines).
+func AccountCommutativity() depend.Conflict {
+	return depend.AccountCommutativity()
+}
+
+// FileCommutativity returns the forward-commutativity conflicts for File:
+// two operations conflict exactly when at least one is a Write and the
+// values involved differ (Write(v) commutes with Write(v) and with
+// Read(), v; everything else involving a write conflicts).
+func FileCommutativity() depend.Conflict {
+	value := func(o spec.Op) string {
+		if o.Name == "Write" {
+			return o.Arg
+		}
+		return o.Res
+	}
+	return depend.ConflictFunc("File/commutativity", func(a, b spec.Op) bool {
+		if a.Name == "Read" && b.Name == "Read" {
+			return false
+		}
+		return value(a) != value(b)
+	})
+}
+
+// SemiqueueCommutativity returns the forward-commutativity conflicts for
+// Semiqueue: only removals of the same item conflict — identical to the
+// hybrid Table IV closure.  Non-determinism makes the two schemes coincide
+// here, which is itself one of the paper's points of comparison.
+func SemiqueueCommutativity() depend.Conflict {
+	return depend.SymmetricClosure(depend.SemiqueueDependency())
+}
+
+// CounterCommutativity returns the forward-commutativity conflicts for
+// Counter: increments commute; reads conflict with effective increments.
+func CounterCommutativity() depend.Conflict {
+	return depend.SymmetricClosure(depend.CounterDependency())
+}
+
+// ReadWrite returns the classical read/write locking conflicts for the
+// named data type.  Operations that can change state classify as writes;
+// pure observers classify as reads.  Unknown type names classify
+// everything as a write (full mutual exclusion), which is always safe.
+func ReadWrite(typeName string) depend.Conflict {
+	readers, ok := rwReaders[typeName]
+	if !ok {
+		readers = map[string]bool{}
+	}
+	return depend.ReadWriteConflict("rw/"+typeName, func(op spec.Op) depend.Mode {
+		if readers[op.Name] {
+			return depend.ModeRead
+		}
+		return depend.ModeWrite
+	})
+}
+
+// rwReaders lists the operations of each type that never modify state.
+// Debit is a writer even when it responds Overdraft under classical
+// locking: an untyped scheme cannot see responses, so it must assume the
+// worst.
+var rwReaders = map[string]map[string]bool{
+	"File":      {"Read": true},
+	"Queue":     {},
+	"Semiqueue": {},
+	"Account":   {},
+	"Counter":   {"CtrRead": true},
+	"Set":       {"Member": true},
+	"Directory": {"Lookup": true},
+}
+
+// HybridConflict returns the paper's recommended hybrid conflict relation
+// (symmetric closure of a minimal dependency relation) for the named data
+// type, or nil for unknown names.  For Queue it returns the Table II
+// closure — the choice that admits concurrent enqueues; Table III is
+// available as QueueCommutativity.
+func HybridConflict(typeName string) depend.Conflict {
+	switch typeName {
+	case "File":
+		return depend.SymmetricClosure(depend.FileDependency())
+	case "Queue":
+		return depend.SymmetricClosure(depend.QueueDependencyII())
+	case "Semiqueue":
+		return depend.SymmetricClosure(depend.SemiqueueDependency())
+	case "Account":
+		return depend.SymmetricClosure(depend.AccountDependency())
+	case "Counter":
+		return depend.SymmetricClosure(depend.CounterDependency())
+	case "Set":
+		return depend.SymmetricClosure(depend.SetDependency())
+	case "Directory":
+		return depend.SymmetricClosure(depend.DirectoryDependency())
+	}
+	return nil
+}
+
+// Commutativity returns the forward-commutativity conflict relation for
+// the named data type, or nil for unknown names.  Set and Directory
+// commutativity coincide with their hybrid closures on same-element
+// operations and are returned as such.
+func Commutativity(typeName string) depend.Conflict {
+	switch typeName {
+	case "File":
+		return FileCommutativity()
+	case "Queue":
+		return QueueCommutativity()
+	case "Semiqueue":
+		return SemiqueueCommutativity()
+	case "Account":
+		return AccountCommutativity()
+	case "Counter":
+		return CounterCommutativity()
+	case "Set":
+		return depend.SymmetricClosure(depend.SetDependency())
+	case "Directory":
+		return depend.SymmetricClosure(depend.DirectoryDependency())
+	}
+	return nil
+}
+
+// Schemes enumerates the three concurrency-control schemes compared in the
+// experiments.
+var Schemes = []string{"hybrid", "commutativity", "readwrite"}
+
+// ConflictFor returns the conflict relation for a scheme and type name.
+func ConflictFor(scheme, typeName string) depend.Conflict {
+	switch scheme {
+	case "hybrid":
+		return HybridConflict(typeName)
+	case "commutativity":
+		return Commutativity(typeName)
+	case "readwrite":
+		return ReadWrite(typeName)
+	}
+	return nil
+}
+
+// SpecFor returns the serial specification for a type name, or nil.
+func SpecFor(typeName string) spec.Spec {
+	for _, sp := range adt.All() {
+		if sp.Name() == typeName {
+			return sp
+		}
+	}
+	return nil
+}

@@ -1,0 +1,554 @@
+// Package bench defines the experiment suite of EXPERIMENTS.md: each
+// experiment regenerates one of the paper's tables or validates one of its
+// comparative claims, printing paper-style rows.  Experiments T1–T6
+// re-derive the relation tables; B1–B8 run the throughput and ablation
+// workloads on the runtime.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hybridcc/internal/adt"
+	"hybridcc/internal/baseline"
+	"hybridcc/internal/core"
+	"hybridcc/internal/depend"
+	"hybridcc/internal/histories"
+	"hybridcc/internal/verify"
+	"hybridcc/internal/workload"
+)
+
+// Config scales the experiment suite.
+type Config struct {
+	// Quick shrinks parameters for use in tests.
+	Quick bool
+}
+
+// Row is one data row: a label and one value per column.
+type Row struct {
+	Label  string
+	Values map[string]float64
+}
+
+// Table is the rendered outcome of one experiment.
+type Table struct {
+	ID       string
+	Title    string
+	Paper    string // the claim in the paper
+	Expected string // the shape we expect to reproduce
+	Unit     string
+	Columns  []string
+	Rows     []Row
+	Notes    []string
+}
+
+// Render lays the table out as text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "paper:    %s\n", t.Paper)
+	fmt.Fprintf(&b, "expected: %s\n", t.Expected)
+	if len(t.Rows) > 0 {
+		labelW := 5
+		for _, r := range t.Rows {
+			if len(r.Label) > labelW {
+				labelW = len(r.Label)
+			}
+		}
+		fmt.Fprintf(&b, "%-*s", labelW+2, "")
+		for _, c := range t.Columns {
+			fmt.Fprintf(&b, "%16s", c)
+		}
+		if t.Unit != "" {
+			fmt.Fprintf(&b, "   (%s)", t.Unit)
+		}
+		b.WriteByte('\n')
+		for _, r := range t.Rows {
+			fmt.Fprintf(&b, "%-*s", labelW+2, r.Label)
+			for _, c := range t.Columns {
+				fmt.Fprintf(&b, "%16.1f", r.Values[c])
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment regenerates one table of EXPERIMENTS.md.
+type Experiment struct {
+	ID       string
+	Title    string
+	Paper    string
+	Expected string
+	Run      func(cfg Config) Table
+}
+
+// All returns the experiment suite in order.
+func All() []Experiment {
+	return []Experiment{
+		DerivationExperiment(),
+		EnqueueScaling(),
+		FileWriters(),
+		AccountOverdraftSweep(),
+		QueueVsSemiqueue(),
+		CompactionAblation(),
+		QueueChoiceAblation(),
+		MixedSchemes(),
+		SetScaling(),
+		ReadOnlySnapshots(),
+	}
+}
+
+// ByID returns the experiment with the given id, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range All() {
+		if e.ID == id {
+			return &e
+		}
+	}
+	return nil
+}
+
+// workloadConfig returns the driver configuration for a scale.
+func workloadConfig(cfg Config, workers int) workload.Config {
+	w := workload.Config{
+		Workers:     workers,
+		TxPerWorker: 120,
+		MaxRetries:  200,
+		Hold:        300 * time.Microsecond,
+		Seed:        42,
+	}
+	if cfg.Quick {
+		w.TxPerWorker = 25
+		w.MaxRetries = 60
+	}
+	return w
+}
+
+func workerSweep(cfg Config) []int {
+	if cfg.Quick {
+		return []int{1, 4}
+	}
+	return []int{1, 2, 4, 8}
+}
+
+const lockWait = 50 * time.Millisecond
+
+func newObjectSystem(scheme, typeName, objName string) (*core.System, *core.Object) {
+	sys := core.NewSystem(core.Options{LockWait: lockWait})
+	obj := sys.NewObject(objName, baseline.SpecFor(typeName), baseline.ConflictFor(scheme, typeName))
+	return sys, obj
+}
+
+// DerivationExperiment (T1–T6) re-derives every paper table from the
+// serial specifications and reports agreement as 1/0 per table.
+func DerivationExperiment() Experiment {
+	return Experiment{
+		ID:       "T1-T6",
+		Title:    "Re-derive Tables I–VI from serial specifications",
+		Paper:    "necessary and sufficient lock conflicts are derived directly from the data type specification (Tables I–VI)",
+		Expected: "derived invalidated-by and failure-to-commute relations match the paper's closed forms (agree=1)",
+		Run: func(cfg Config) Table {
+			t := Table{Columns: []string{"agree"}, Unit: "1=match"}
+			check := func(label string, match bool) {
+				v := 0.0
+				if match {
+					v = 1.0
+				}
+				t.Rows = append(t.Rows, Row{Label: label, Values: map[string]float64{"agree": v}})
+			}
+			fileU := adt.FileUniverse([]int64{1, 2})
+			check("Table I (File)", depend.InvalidatedBy(adt.NewFile(), fileU, 2, 2).
+				Equal(depend.Ground(depend.FileDependency(), fileU)))
+			qU := adt.QueueUniverse([]int64{1, 2})
+			check("Table II (Queue)", depend.InvalidatedBy(adt.NewQueue(), qU, 3, 2).
+				Equal(depend.Ground(depend.QueueDependencyII(), qU)))
+			check("Table III (Queue, minimal)", depend.IsMinimal(adt.NewQueue(), depend.QueueDependencyIII(), qU, 3, 3))
+			sqU := adt.SemiqueueUniverse([]int64{1, 2})
+			check("Table IV (Semiqueue)", depend.InvalidatedBy(adt.NewSemiqueue(), sqU, 3, 2).
+				Equal(depend.Ground(depend.SemiqueueDependency(), sqU)))
+			aU := adt.AccountUniverse([]int64{1, 2, 3}, []int64{2})
+			check("Table V (Account)", depend.InvalidatedBy(adt.NewAccount(), aU, 2, 1).
+				Equal(depend.Ground(depend.AccountDependency(), aU)))
+			aInv := adt.AccountInvocations([]int64{1, 2, 3}, []int64{2})
+			ftc := depend.FailureToCommute(adt.NewAccount(), aU, aInv, 2, 2)
+			com := depend.GroundConflict(depend.AccountCommutativity(), aU)
+			// Table VI matches modulo the integer-model artifact at m=1
+			// (see depend/tables_test.go); check containment both ways
+			// outside that pair.
+			vi := ftc.SubsetOf(com)
+			for _, p := range com.Diff(ftc).Pairs() {
+				a, b := p[0], p[1]
+				post1 := a.Name == "Post" && b.Name == "Debit" && b.Res == adt.ResOverdraft && b.Arg == "1"
+				post2 := b.Name == "Post" && a.Name == "Debit" && a.Res == adt.ResOverdraft && a.Arg == "1"
+				if !post1 && !post2 {
+					vi = false
+				}
+			}
+			check("Table VI (Account commutativity)", vi)
+			return withMeta(t, "T1-T6")
+		},
+	}
+}
+
+func withMeta(t Table, id string) Table {
+	e := ByID(id)
+	if e != nil {
+		t.ID, t.Title, t.Paper, t.Expected = e.ID, e.Title, e.Paper, e.Expected
+	}
+	return t
+}
+
+// runSchemes runs the same body-builder against each scheme and returns a
+// throughput row plus wait counts.
+func runSchemes(cfg workload.Config, typeName string, schemes []string,
+	setup func(sys *core.System, obj *core.Object) error,
+	mkBody func(obj *core.Object) workload.Body) (Row, map[string]workload.Result) {
+
+	values := make(map[string]float64, len(schemes))
+	results := make(map[string]workload.Result, len(schemes))
+	for _, scheme := range schemes {
+		sys, obj := newObjectSystem(scheme, typeName, typeName[:1])
+		if setup != nil {
+			if err := setup(sys, obj); err != nil {
+				panic(fmt.Sprintf("bench: setup failed for %s/%s: %v", scheme, typeName, err))
+			}
+		}
+		res := workload.Run(sys, cfg, mkBody(obj))
+		values[scheme] = res.Throughput()
+		results[scheme] = res
+	}
+	return Row{Values: values}, results
+}
+
+// EnqueueScaling is experiment B1: concurrent enqueuers.
+func EnqueueScaling() Experiment {
+	return Experiment{
+		ID:       "B1",
+		Title:    "Concurrent enqueues on a FIFO queue",
+		Paper:    "§4.1: \"our algorithm permits concurrent transactions to enqueue on a FIFO queue, even though the enqueue operations do not commute\"",
+		Expected: "hybrid (Table II) throughput scales with enqueuers; commutativity and read/write locking serialize them",
+		Run: func(cfg Config) Table {
+			t := Table{Columns: baseline.Schemes, Unit: "tx/s"}
+			var waits []string
+			for _, w := range workerSweep(cfg) {
+				row, results := runSchemes(workloadConfig(cfg, w), "Queue", baseline.Schemes, nil,
+					func(obj *core.Object) workload.Body { return workload.EnqueueOnly(obj, 2) })
+				row.Label = fmt.Sprintf("enqueuers=%d", w)
+				t.Rows = append(t.Rows, row)
+				waits = append(waits, fmt.Sprintf("%s waits: hybrid=%d commutativity=%d readwrite=%d",
+					row.Label, results["hybrid"].Waits, results["commutativity"].Waits, results["readwrite"].Waits))
+			}
+			t.Notes = waits
+			return withMeta(t, "B1")
+		},
+	}
+}
+
+// FileWriters is experiment B2: the generalized Thomas Write Rule.
+func FileWriters() Experiment {
+	return Experiment{
+		ID:       "B2",
+		Title:    "Blind writes on a File (generalized Thomas Write Rule)",
+		Paper:    "§4.3: \"write operations do not depend on one another. Thus, our algorithm can allow concurrent writes\"",
+		Expected: "hybrid writers never block; both baselines serialize writers and degrade with writer count",
+		Run: func(cfg Config) Table {
+			t := Table{Columns: baseline.Schemes, Unit: "tx/s"}
+			for _, w := range workerSweep(cfg) {
+				row, _ := runSchemes(workloadConfig(cfg, w), "File", baseline.Schemes, nil,
+					func(obj *core.Object) workload.Body { return workload.BlindWrites(obj, 2, 0) })
+				row.Label = fmt.Sprintf("writers=%d", w)
+				t.Rows = append(t.Rows, row)
+			}
+			return withMeta(t, "B2")
+		},
+	}
+}
+
+// AccountOverdraftSweep is experiment B3: response-dependent locking.
+func AccountOverdraftSweep() Experiment {
+	return Experiment{
+		ID:       "B3",
+		Title:    "Banking mix vs overdraft frequency (Table V vs Table VI)",
+		Paper:    "§4.3: treating both kinds of debit alike would make debits and credits mutually exclusive, \"a significant cost if attempted overdrafts were infrequent\"",
+		Expected: "hybrid > commutativity > read/write at every rate; the untyped scheme (which treats both debit kinds alike) pays ~2x when overdrafts are rare",
+		Run: func(cfg Config) Table {
+			t := Table{Columns: baseline.Schemes, Unit: "tx/s"}
+			const balance = 100_000
+			sweeps := []struct {
+				label       string
+				debitBeyond int64
+			}{
+				{"overdrafts≈0%", 50},
+				{"overdrafts≈50%", 2 * balance},
+				{"overdrafts≈90%", 20 * balance},
+			}
+			for _, s := range sweeps {
+				wcfg := workloadConfig(cfg, 6)
+				row, _ := runSchemes(wcfg, "Account", baseline.Schemes,
+					func(sys *core.System, obj *core.Object) error {
+						return workload.Fund(sys, obj, balance)
+					},
+					func(obj *core.Object) workload.Body {
+						return workload.AccountMix(obj, 30, 20, s.debitBeyond)
+					})
+				row.Label = s.label
+				t.Rows = append(t.Rows, row)
+			}
+			return withMeta(t, "B3")
+		},
+	}
+}
+
+// QueueVsSemiqueue is experiment B4: non-determinism buys concurrency.
+func QueueVsSemiqueue() Experiment {
+	return Experiment{
+		ID:       "B4",
+		Title:    "Producer/consumer: Semiqueue vs FIFO Queue",
+		Paper:    "§7: \"non-deterministic operations are an important source of concurrency; compare ... the dependency relations for Queue and SemiQueue\"",
+		Expected: "Semiqueue sustains higher mixed produce/consume throughput than either Queue relation",
+		Run: func(cfg Config) Table {
+			t := Table{Columns: []string{"queue-tableII", "queue-tableIII", "semiqueue"}, Unit: "tx/s"}
+			variants := []struct {
+				col      string
+				typeName string
+				conflict depend.Conflict
+				queue    bool
+			}{
+				{"queue-tableII", "Queue", depend.SymmetricClosure(depend.QueueDependencyII()), true},
+				{"queue-tableIII", "Queue", depend.SymmetricClosure(depend.QueueDependencyIII()), true},
+				{"semiqueue", "Semiqueue", depend.SymmetricClosure(depend.SemiqueueDependency()), false},
+			}
+			for _, w := range workerSweep(cfg) {
+				row := Row{Label: fmt.Sprintf("clients=%d", w), Values: map[string]float64{}}
+				for _, v := range variants {
+					sys := core.NewSystem(core.Options{LockWait: lockWait})
+					obj := sys.NewObject("O", baseline.SpecFor(v.typeName), v.conflict)
+					wcfg := workloadConfig(cfg, w)
+					if err := workload.Prefill(sys, obj, w*wcfg.TxPerWorker, v.queue); err != nil {
+						panic(err)
+					}
+					res := workload.Run(sys, wcfg, workload.ProducerConsumer(obj, 50, v.queue))
+					row.Values[v.col] = res.Throughput()
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			return withMeta(t, "B4")
+		},
+	}
+}
+
+// CompactionAblation is experiment B5: the Section 6 scheme.
+func CompactionAblation() Experiment {
+	return Experiment{
+		ID:       "B5",
+		Title:    "Intentions-list compaction (Section 6 horizon scheme)",
+		Paper:    "§6: committed intentions can be folded into a version once no active transaction can commit earlier; representation size becomes proportional to the data, not the history",
+		Expected: "with compaction the unforgotten count stays near zero; without it, it equals the number of committed transactions",
+		Run: func(cfg Config) Table {
+			t := Table{Columns: []string{"unforgotten", "tx/s"}, Unit: "count / tx/s"}
+			n := 600
+			if cfg.Quick {
+				n = 150
+			}
+			for _, disable := range []bool{false, true} {
+				sys := core.NewSystem(core.Options{LockWait: lockWait, DisableCompaction: disable})
+				obj := sys.NewObject("Q", adt.NewQueue(), depend.SymmetricClosure(depend.QueueDependencyII()))
+				wcfg := workloadConfig(cfg, 4)
+				wcfg.TxPerWorker = n / 4
+				wcfg.Hold = 0
+				res := workload.Run(sys, wcfg, workload.EnqueueOnly(obj, 1))
+				label := "compaction=on"
+				if disable {
+					label = "compaction=off"
+				}
+				t.Rows = append(t.Rows, Row{Label: label, Values: map[string]float64{
+					"unforgotten": float64(obj.UnforgottenLen()),
+					"tx/s":        res.Throughput(),
+				}})
+			}
+			return withMeta(t, "B5")
+		},
+	}
+}
+
+// QueueChoiceAblation is experiment B6: the two incomparable queue minima.
+func QueueChoiceAblation() Experiment {
+	return Experiment{
+		ID:       "B6",
+		Title:    "Queue conflict-relation choice: Table II vs Table III",
+		Paper:    "§4.3: the two minimal dependency relations \"impose incomparable constraints on concurrency\"",
+		Expected: "Table II wins an enqueue-heavy workload; Table III wins a balanced producer/consumer workload",
+		Run: func(cfg Config) Table {
+			t := Table{Columns: []string{"tableII", "tableIII"}, Unit: "tx/s"}
+			variants := map[string]depend.Conflict{
+				"tableII":  depend.SymmetricClosure(depend.QueueDependencyII()),
+				"tableIII": depend.SymmetricClosure(depend.QueueDependencyIII()),
+			}
+			run := func(label string, producePct int) {
+				row := Row{Label: label, Values: map[string]float64{}}
+				cols := make([]string, 0, len(variants))
+				for col := range variants {
+					cols = append(cols, col)
+				}
+				sort.Strings(cols)
+				for _, col := range cols {
+					sys := core.NewSystem(core.Options{LockWait: lockWait})
+					obj := sys.NewObject("Q", adt.NewQueue(), variants[col])
+					wcfg := workloadConfig(cfg, 6)
+					if err := workload.Prefill(sys, obj, 6*wcfg.TxPerWorker, true); err != nil {
+						panic(err)
+					}
+					res := workload.Run(sys, wcfg, workload.ProducerConsumer(obj, producePct, true))
+					row.Values[col] = res.Throughput()
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			run("enqueue-heavy (100% produce)", 100)
+			run("balanced (50% produce)", 50)
+			return withMeta(t, "B6")
+		},
+	}
+}
+
+// MixedSchemes is experiment B7: upward compatibility.
+func MixedSchemes() Experiment {
+	return Experiment{
+		ID:       "B7",
+		Title:    "Hybrid and dynamic atomic objects in one system",
+		Paper:    "§7: \"global atomicity is still obtained when dynamic and hybrid atomic objects are combined in a single system\"",
+		Expected: "a mixed system (hybrid Account + commutativity Queue) passes offline hybrid-atomicity verification (verified=1)",
+		Run: func(cfg Config) Table {
+			rec := verify.NewRecorder()
+			sys := core.NewSystem(core.Options{LockWait: lockWait, Sink: rec})
+			acc := sys.NewObject("A", adt.NewAccount(), baseline.ConflictFor("hybrid", "Account"))
+			q := sys.NewObject("Q", adt.NewQueue(), baseline.ConflictFor("commutativity", "Queue"))
+			if err := workload.Fund(sys, acc, 100_000); err != nil {
+				panic(err)
+			}
+			// Each transaction moves money and logs an audit record — two
+			// objects under different (compatible) schemes.
+			body := func(tx *core.Tx, rng *rand.Rand) error {
+				amount := 1 + rng.Int63n(50)
+				if _, err := acc.Call(tx, adt.DebitInv(amount)); err != nil {
+					return err
+				}
+				if _, err := q.Call(tx, adt.EnqInv(amount)); err != nil {
+					return err
+				}
+				return nil
+			}
+			res := workload.Run(sys, workloadConfig(cfg, 6), body)
+			verified := 0.0
+			specs := histories.SpecMap{"A": adt.NewAccount(), "Q": adt.NewQueue()}
+			if err := verify.CheckHybridAtomic(rec.History(), specs); err == nil {
+				verified = 1.0
+			}
+			t := Table{
+				Columns: []string{"verified", "tx/s"},
+				Unit:    "1=verified / tx/s",
+				Rows: []Row{{Label: "hybrid Account + commutativity Queue", Values: map[string]float64{
+					"verified": verified,
+					"tx/s":     res.Throughput(),
+				}}},
+			}
+			return withMeta(t, "B7")
+		},
+	}
+}
+
+// ReadOnlySnapshots is experiment B9: the Section 7 extension.  Writers
+// increment a counter while readers repeatedly observe it, either as
+// lock-free read-only transactions (start-time timestamps) or as ordinary
+// update transactions whose CtrRead locks conflict with increments.
+func ReadOnlySnapshots() Experiment {
+	return Experiment{
+		ID:       "B9",
+		Title:    "Read-only transactions (generalized hybrid atomicity, §7)",
+		Paper:    "§7: \"permitting read-only transactions to be treated specially ... timestamps for read-only transactions are chosen when they start\"",
+		Expected: "at every reader count, writers sustain more throughput against snapshot readers than against locking readers, and the gap grows with readers (snapshot readers take no locks)",
+		Run: func(cfg Config) Table {
+			t := Table{Columns: []string{"snapshot-readers", "locking-readers"}, Unit: "writer tx/s"}
+			readerCounts := []int{0, 2, 6}
+			if cfg.Quick {
+				readerCounts = []int{0, 4}
+			}
+			for _, readers := range readerCounts {
+				row := Row{Label: fmt.Sprintf("readers=%d", readers), Values: map[string]float64{}}
+				for _, snapshot := range []bool{true, false} {
+					sys := core.NewSystem(core.Options{LockWait: lockWait})
+					ctr := sys.NewObject("C", adt.NewCounter(), baseline.ConflictFor("hybrid", "Counter"))
+					stop := make(chan struct{})
+					var wg sync.WaitGroup
+					for r := 0; r < readers; r++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							for {
+								select {
+								case <-stop:
+									return
+								default:
+								}
+								if snapshot {
+									rt := sys.BeginReadOnly()
+									_, _ = ctr.ReadCall(rt, adt.CtrReadInv())
+									_ = rt.Commit()
+								} else {
+									tx := sys.Begin()
+									if _, err := ctr.Call(tx, adt.CtrReadInv()); err != nil {
+										_ = tx.Abort()
+										continue
+									}
+									_ = tx.Commit()
+								}
+							}
+						}()
+					}
+					wcfg := workloadConfig(cfg, 4)
+					wcfg.Hold = 0 // contention comes from the readers here
+					res := workload.Run(sys, wcfg, func(tx *core.Tx, rng *rand.Rand) error {
+						_, err := ctr.Call(tx, adt.IncInv(int64(1+rng.Intn(5))))
+						return err
+					})
+					close(stop)
+					wg.Wait()
+					col := "locking-readers"
+					if snapshot {
+						col = "snapshot-readers"
+					}
+					row.Values[col] = res.Throughput()
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			return withMeta(t, "B9")
+		},
+	}
+}
+
+// SetScaling is experiment B8: derived per-element locking on a Set.
+func SetScaling() Experiment {
+	return Experiment{
+		ID:       "B8",
+		Title:    "Set churn: derived per-element locking",
+		Paper:    "§1: conflicts are \"derived directly from a data type specification\" — for a Set the derivation yields per-element conflicts automatically",
+		Expected: "hybrid throughput is flat in worker count (distinct elements never conflict); read/write locking collapses",
+		Run: func(cfg Config) Table {
+			t := Table{Columns: baseline.Schemes, Unit: "tx/s"}
+			for _, w := range workerSweep(cfg) {
+				row, _ := runSchemes(workloadConfig(cfg, w), "Set", baseline.Schemes, nil,
+					func(obj *core.Object) workload.Body { return workload.SetChurn(obj, 512) })
+				row.Label = fmt.Sprintf("clients=%d", w)
+				t.Rows = append(t.Rows, row)
+			}
+			return withMeta(t, "B8")
+		},
+	}
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsHaveMetadata(t *testing.T) {
+	ids := make(map[string]bool)
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Expected == "" {
+			t.Errorf("experiment %q missing metadata: %+v", e.ID, e)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Run == nil {
+			t.Errorf("experiment %q has no Run", e.ID)
+		}
+	}
+	if len(ids) != 10 {
+		t.Errorf("suite has %d experiments, want 10", len(ids))
+	}
+}
+
+func TestByID(t *testing.T) {
+	if e := ByID("B1"); e == nil || e.ID != "B1" {
+		t.Error("ByID(B1) failed")
+	}
+	if ByID("nope") != nil {
+		t.Error("ByID must return nil for unknown ids")
+	}
+}
+
+func TestDerivationExperimentAgrees(t *testing.T) {
+	tbl := DerivationExperiment().Run(Config{Quick: true})
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("derivation rows = %d, want 6", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if r.Values["agree"] != 1.0 {
+			t.Errorf("%s does not agree with the paper", r.Label)
+		}
+	}
+	if !strings.Contains(tbl.Render(), "Table V") {
+		t.Error("render must include table labels")
+	}
+}
+
+// TestEnqueueScalingShape runs B1 in quick mode and checks the paper's
+// shape: hybrid throughput under contention beats commutativity and
+// read/write locking.
+func TestEnqueueScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload experiment")
+	}
+	tbl := EnqueueScaling().Run(Config{Quick: true})
+	last := tbl.Rows[len(tbl.Rows)-1]
+	hy, com, rw := last.Values["hybrid"], last.Values["commutativity"], last.Values["readwrite"]
+	if hy <= com || hy <= rw {
+		t.Errorf("B1 shape violated at %s: hybrid=%.0f commutativity=%.0f readwrite=%.0f",
+			last.Label, hy, com, rw)
+	}
+}
+
+func TestFileWritersShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload experiment")
+	}
+	tbl := FileWriters().Run(Config{Quick: true})
+	last := tbl.Rows[len(tbl.Rows)-1]
+	hy, com := last.Values["hybrid"], last.Values["commutativity"]
+	if hy <= com {
+		t.Errorf("B2 shape violated: hybrid=%.0f commutativity=%.0f", hy, com)
+	}
+}
+
+func TestCompactionAblationShape(t *testing.T) {
+	tbl := CompactionAblation().Run(Config{Quick: true})
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	on, off := tbl.Rows[0], tbl.Rows[1]
+	if on.Values["unforgotten"] != 0 {
+		t.Errorf("compaction on: unforgotten = %.0f, want 0", on.Values["unforgotten"])
+	}
+	if off.Values["unforgotten"] == 0 {
+		t.Error("compaction off: unforgotten must grow")
+	}
+}
+
+// TestQueueVsSemiqueueShape checks B4's claim at quick scale: under
+// contention the Semiqueue out-performs the FIFO queue under either
+// relation.
+func TestQueueVsSemiqueueShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload experiment")
+	}
+	tbl := QueueVsSemiqueue().Run(Config{Quick: true})
+	last := tbl.Rows[len(tbl.Rows)-1]
+	sq := last.Values["semiqueue"]
+	if sq <= last.Values["queue-tableII"] {
+		t.Errorf("B4 shape: semiqueue %.0f must beat queue-tableII %.0f under contention",
+			sq, last.Values["queue-tableII"])
+	}
+}
+
+// TestQueueChoiceAblationShape checks B6's incomparability claim: the
+// winner flips between workloads.
+func TestQueueChoiceAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload experiment")
+	}
+	tbl := QueueChoiceAblation().Run(Config{Quick: true})
+	enqHeavy, balanced := tbl.Rows[0], tbl.Rows[1]
+	if enqHeavy.Values["tableII"] <= enqHeavy.Values["tableIII"] {
+		t.Errorf("B6: Table II must win enqueue-heavy: %.0f vs %.0f",
+			enqHeavy.Values["tableII"], enqHeavy.Values["tableIII"])
+	}
+	if balanced.Values["tableIII"] <= balanced.Values["tableII"] {
+		t.Errorf("B6: Table III must win balanced: %.0f vs %.0f",
+			balanced.Values["tableIII"], balanced.Values["tableII"])
+	}
+}
+
+// TestReadOnlySnapshotsShape checks B9: at the highest reader count,
+// writers fare far better against snapshot readers than locking readers.
+func TestReadOnlySnapshotsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload experiment")
+	}
+	tbl := ReadOnlySnapshots().Run(Config{Quick: true})
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last.Values["snapshot-readers"] <= last.Values["locking-readers"] {
+		t.Errorf("B9 shape: snapshot %.0f must beat locking %.0f at %s",
+			last.Values["snapshot-readers"], last.Values["locking-readers"], last.Label)
+	}
+}
+
+func TestMixedSchemesVerifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload experiment")
+	}
+	tbl := MixedSchemes().Run(Config{Quick: true})
+	if tbl.Rows[0].Values["verified"] != 1.0 {
+		t.Error("B7: mixed system history failed hybrid-atomicity verification")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		ID: "X", Title: "t", Paper: "p", Expected: "e", Unit: "tx/s",
+		Columns: []string{"a", "b"},
+		Rows:    []Row{{Label: "r1", Values: map[string]float64{"a": 1, "b": 2}}},
+		Notes:   []string{"n1"},
+	}
+	out := tbl.Render()
+	for _, want := range []string{"== X: t ==", "paper:    p", "expected: e", "r1", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

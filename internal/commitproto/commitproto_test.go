@@ -1,0 +1,228 @@
+package commitproto
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hybridcc/internal/histories"
+	"hybridcc/internal/tstamp"
+)
+
+// fakeParticipant records protocol calls and answers with configured votes.
+type fakeParticipant struct {
+	mu        sync.Mutex
+	lower     histories.Timestamp
+	vote      bool
+	prepared  []histories.TxID
+	committed map[histories.TxID]histories.Timestamp
+	aborted   []histories.TxID
+	delay     time.Duration
+}
+
+func newFake(lower histories.Timestamp, vote bool) *fakeParticipant {
+	return &fakeParticipant{
+		lower:     lower,
+		vote:      vote,
+		committed: make(map[histories.TxID]histories.Timestamp),
+	}
+}
+
+func (f *fakeParticipant) Prepare(tx histories.TxID) (histories.Timestamp, bool) {
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.prepared = append(f.prepared, tx)
+	return f.lower, f.vote
+}
+
+func (f *fakeParticipant) Commit(tx histories.TxID, ts histories.Timestamp) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.committed[tx] = ts
+}
+
+func (f *fakeParticipant) Abort(tx histories.TxID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.aborted = append(f.aborted, tx)
+}
+
+func (f *fakeParticipant) committedTS(tx histories.TxID) (histories.Timestamp, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ts, ok := f.committed[tx]
+	return ts, ok
+}
+
+func (f *fakeParticipant) abortedCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.aborted)
+}
+
+func coordinator() *Coordinator {
+	return NewCoordinator(tstamp.NewSource(), 500*time.Millisecond)
+}
+
+func TestCommitAllYes(t *testing.T) {
+	a, b := newFake(10, true), newFake(25, true)
+	sa, sb := NewServer("A", a), NewServer("B", b)
+	defer sa.Stop()
+	defer sb.Stop()
+
+	dec, ts, err := coordinator().Run("T1", []*Server{sa, sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != Committed {
+		t.Fatalf("decision = %v", dec)
+	}
+	// The timestamp must exceed every participant's reported bound.
+	if ts <= 25 {
+		t.Errorf("timestamp %d must exceed the max lower bound 25", ts)
+	}
+	for _, f := range []*fakeParticipant{a, b} {
+		got, ok := f.committedTS("T1")
+		if !ok || got != ts {
+			t.Errorf("participant commit ts = %d ok=%v, want %d", got, ok, ts)
+		}
+	}
+}
+
+func TestAbortOnNoVote(t *testing.T) {
+	a, b := newFake(0, true), newFake(0, false)
+	sa, sb := NewServer("A", a), NewServer("B", b)
+	defer sa.Stop()
+	defer sb.Stop()
+
+	dec, _, err := coordinator().Run("T2", []*Server{sa, sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != Aborted {
+		t.Fatalf("decision = %v, want aborted", dec)
+	}
+	if _, ok := a.committedTS("T2"); ok {
+		t.Error("participant committed despite abort decision")
+	}
+	if a.abortedCount() == 0 || b.abortedCount() == 0 {
+		t.Error("abort must reach all reachable participants")
+	}
+}
+
+func TestAbortOnCrashBeforeVote(t *testing.T) {
+	a, b := newFake(0, true), newFake(0, true)
+	sa, sb := NewServer("A", a), NewServer("B", b)
+	defer sa.Stop()
+	sb.Crash()
+
+	dec, _, err := coordinator().Run("T3", []*Server{sa, sb})
+	if dec != Committed && err == nil {
+		t.Error("crash must be reported as an error")
+	}
+	if dec != Aborted {
+		t.Fatalf("decision = %v, want aborted", dec)
+	}
+	if _, ok := a.committedTS("T3"); ok {
+		t.Error("live participant committed despite crashed peer")
+	}
+}
+
+func TestAbortOnTimeout(t *testing.T) {
+	slow := newFake(0, true)
+	slow.delay = 200 * time.Millisecond
+	fast := newFake(0, true)
+	ss, sf := NewServer("S", slow), NewServer("F", fast)
+	defer sf.Stop()
+
+	coord := NewCoordinator(tstamp.NewSource(), 20*time.Millisecond)
+	dec, _, err := coord.Run("T4", []*Server{ss, sf})
+	if dec != Aborted {
+		t.Fatalf("decision = %v, want aborted on timeout", dec)
+	}
+	if err == nil {
+		t.Error("timeout must be reported")
+	}
+	// Let the slow server drain before test exit.
+	time.Sleep(250 * time.Millisecond)
+	ss.Stop()
+}
+
+func TestNoParticipants(t *testing.T) {
+	_, _, err := coordinator().Run("T5", nil)
+	if err != ErrNoParticipants {
+		t.Errorf("err = %v, want ErrNoParticipants", err)
+	}
+}
+
+func TestTimestampsUniqueAcrossRounds(t *testing.T) {
+	a := newFake(0, true)
+	sa := NewServer("A", a)
+	defer sa.Stop()
+	coord := coordinator()
+	seen := make(map[histories.Timestamp]bool)
+	for i := 0; i < 20; i++ {
+		tx := histories.TxID(rune('a' + i))
+		dec, ts, err := coord.Run(tx, []*Server{sa})
+		if err != nil || dec != Committed {
+			t.Fatalf("round %d: dec=%v err=%v", i, dec, err)
+		}
+		if seen[ts] {
+			t.Fatalf("timestamp %d reused", ts)
+		}
+		seen[ts] = true
+	}
+}
+
+func TestConcurrentRoundsDistinctTimestamps(t *testing.T) {
+	coord := coordinator()
+	const rounds = 16
+	out := make(chan histories.Timestamp, rounds)
+	var wg sync.WaitGroup
+	for i := 0; i < rounds; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := newFake(histories.Timestamp(i), true)
+			s := NewServer("S", f)
+			defer s.Stop()
+			dec, ts, err := coord.Run(histories.TxID(rune('A'+i)), []*Server{s})
+			if err != nil || dec != Committed {
+				t.Errorf("round %d failed: %v %v", i, dec, err)
+				out <- 0
+				return
+			}
+			out <- ts
+		}(i)
+	}
+	wg.Wait()
+	close(out)
+	seen := make(map[histories.Timestamp]bool)
+	for ts := range out {
+		if ts == 0 {
+			continue
+		}
+		if seen[ts] {
+			t.Fatalf("timestamp %d issued twice", ts)
+		}
+		seen[ts] = true
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Committed.String() != "committed" || Aborted.String() != "aborted" {
+		t.Error("Decision rendering")
+	}
+}
+
+func TestServerCrashIdempotent(t *testing.T) {
+	s := NewServer("A", newFake(0, true))
+	s.Crash()
+	s.Crash() // must not panic
+	if s.Name() != "A" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}

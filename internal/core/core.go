@@ -1,0 +1,156 @@
+// Package core implements Herlihy & Weihl's hybrid locking algorithm as a
+// concurrent runtime: the paper's primary contribution packaged the way a
+// transaction-processing system would use it.
+//
+// A System owns a logical clock and mints transactions.  Objects are typed
+// shared data: each combines a serial specification (internal/spec), a
+// symmetric conflict relation derived from a dependency relation
+// (internal/depend), a compacted committed version, the committed-but-
+// unforgotten intentions of Section 6, and the intentions lists of active
+// transactions (which double as their locks, as in Section 5.1).
+//
+// Calls follow the paper's response-event precondition: a response is
+// granted when the operation is legal in the caller's view (committed
+// version + unforgotten committed intentions in timestamp order + the
+// caller's own intentions) and conflicts with no operation executed by
+// another active transaction.  Blocked calls wait on the object's monitor —
+// the Avalon "when" statement of the appendix — and time out after
+// Options.LockWait, the usual remedy for the deadlocks any two-phase
+// locking scheme admits.
+//
+// Commit draws a timestamp from the system clock primed with the
+// transaction's per-object lower bounds (Section 6), then distributes the
+// commit to every touched object; horizon-based compaction folds old
+// committed intentions into the version, exactly as the appendix's forget.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"hybridcc/internal/histories"
+	"hybridcc/internal/tstamp"
+)
+
+// EventSink receives every event the runtime accepts, in a per-object
+// consistent order.  Sinks must be safe for concurrent use; the verify
+// package provides a Recorder for offline hybrid-atomicity checking.
+type EventSink interface {
+	Record(e histories.Event)
+}
+
+// Options configures a System.
+type Options struct {
+	// LockWait bounds how long a call waits for a lock conflict to clear
+	// or a partial operation to become enabled before returning
+	// ErrTimeout.  Zero means DefaultLockWait.
+	LockWait time.Duration
+	// DisableCompaction keeps every committed intention unforgotten, for
+	// ablation of the Section 6 scheme.  Results are unchanged; memory and
+	// view-reconstruction cost grow without bound.
+	DisableCompaction bool
+	// Sink, when non-nil, observes all accepted events.
+	Sink EventSink
+	// Clock overrides the timestamp generator (defaults to a fresh
+	// tstamp.Source).  Sharing one clock across Systems models multiple
+	// sites agreeing on a timestamp order.
+	Clock tstamp.Clock
+	// ExternalTimestamps permits CommitAt — commit timestamps chosen by an
+	// external atomic-commitment coordinator rather than this System's
+	// clock.  It makes read-only transactions wait conservatively for
+	// active update transactions (an externally timestamped commit can
+	// land below a reader's start timestamp); systems using only Commit
+	// should leave it off, making readers fully non-blocking.
+	ExternalTimestamps bool
+	// DeadlockDetection maintains a waits-for graph and fails a blocked
+	// call with ErrDeadlock the moment it would close a cycle, instead of
+	// letting it time out.  Timeouts still apply to waits that are not
+	// deadlocks (e.g. a partial operation awaiting data).
+	DeadlockDetection bool
+}
+
+// DefaultLockWait is the default lock-conflict timeout.
+const DefaultLockWait = 250 * time.Millisecond
+
+// System coordinates transactions over a set of hybrid atomic objects.
+type System struct {
+	opts    Options
+	clock   tstamp.Clock
+	txSeq   atomic.Uint64
+	stats   Stats
+	readers readSet
+	wfg     waitsFor
+}
+
+// NewSystem returns a System with the given options.
+func NewSystem(opts Options) *System {
+	if opts.LockWait == 0 {
+		opts.LockWait = DefaultLockWait
+	}
+	if opts.Clock == nil {
+		opts.Clock = tstamp.NewSource()
+	}
+	return &System{opts: opts, clock: opts.Clock}
+}
+
+// Begin starts a transaction.
+func (s *System) Begin() *Tx {
+	n := s.txSeq.Add(1)
+	s.stats.Begun.Add(1)
+	return &Tx{
+		sys:     s,
+		id:      histories.TxID(fmt.Sprintf("T%d", n)),
+		touched: make(map[*Object]bool),
+	}
+}
+
+// Stats returns a snapshot of system-wide counters.
+func (s *System) Stats() StatsSnapshot { return s.stats.snapshot() }
+
+// record forwards an event to the sink, if any.
+func (s *System) record(e histories.Event) {
+	if s.opts.Sink != nil {
+		s.opts.Sink.Record(e)
+	}
+}
+
+// Stats aggregates system-wide counters.
+type Stats struct {
+	Begun     atomic.Int64
+	Committed atomic.Int64
+	Aborted   atomic.Int64
+	Calls     atomic.Int64
+	Waits     atomic.Int64
+	Timeouts  atomic.Int64
+	WaitNanos atomic.Int64
+}
+
+// StatsSnapshot is an immutable copy of Stats.
+type StatsSnapshot struct {
+	Begun     int64
+	Committed int64
+	Aborted   int64
+	Calls     int64
+	Waits     int64
+	Timeouts  int64
+	WaitTime  time.Duration
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Begun:     s.Begun.Load(),
+		Committed: s.Committed.Load(),
+		Aborted:   s.Aborted.Load(),
+		Calls:     s.Calls.Load(),
+		Waits:     s.Waits.Load(),
+		Timeouts:  s.Timeouts.Load(),
+		WaitTime:  time.Duration(s.WaitNanos.Load()),
+	}
+}
+
+// String summarizes the snapshot.
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf("begun=%d committed=%d aborted=%d calls=%d waits=%d timeouts=%d waittime=%s",
+		s.Begun, s.Committed, s.Aborted, s.Calls, s.Waits, s.Timeouts, s.WaitTime)
+}

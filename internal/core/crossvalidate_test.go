@@ -1,0 +1,157 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hybridcc/internal/adt"
+	"hybridcc/internal/depend"
+	"hybridcc/internal/histories"
+	"hybridcc/internal/lockmachine"
+	"hybridcc/internal/spec"
+)
+
+// TestRuntimeMatchesFormalMachine drives identical single-threaded random
+// schedules through the production runtime and the formal LOCK automaton
+// of Section 5 and asserts they agree on every decision: which responses
+// are granted, with which values, and what committed state results.  This
+// pins the runtime (with its compacted versions and horizon folding) to
+// the model-checked reference implementation.
+func TestRuntimeMatchesFormalMachine(t *testing.T) {
+	type objectCase struct {
+		name     string
+		sp       spec.Spec
+		conflict depend.Conflict
+		invs     []spec.Invocation
+	}
+	cases := []objectCase{
+		{"Queue", adt.NewQueue(), depend.SymmetricClosure(depend.QueueDependencyII()),
+			[]spec.Invocation{adt.EnqInv(1), adt.EnqInv(2), adt.DeqInv()}},
+		{"Account", adt.NewAccount(), depend.SymmetricClosure(depend.AccountDependency()),
+			[]spec.Invocation{adt.CreditInv(3), adt.PostInv(2), adt.DebitInv(2), adt.DebitInv(5)}},
+		{"Semiqueue", adt.NewSemiqueue(), depend.SymmetricClosure(depend.SemiqueueDependency()),
+			[]spec.Invocation{adt.InsInv(1), adt.InsInv(2), adt.RemInv()}},
+		{"Set", adt.NewSet(), depend.SymmetricClosure(depend.SetDependency()),
+			[]spec.Invocation{adt.SetInsertInv(1), adt.SetRemoveInv(1), adt.SetMemberInv(1), adt.SetInsertInv(2)}},
+	}
+	for _, oc := range cases {
+		oc := oc
+		t.Run(oc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 30; seed++ {
+				crossValidate(t, oc.sp, oc.conflict, oc.invs, seed)
+			}
+		})
+	}
+}
+
+func crossValidate(t *testing.T, sp spec.Spec, conflict depend.Conflict, invs []spec.Invocation, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sys := NewSystem(Options{LockWait: time.Millisecond})
+	obj := sys.NewObject("X", sp, conflict)
+	machine := lockmachine.New("X", sp, conflict)
+
+	const nTx = 4
+	runtimeTx := make([]*Tx, nTx)
+	machineTx := make([]histories.TxID, nTx)
+	done := make([]bool, nTx)
+	for i := range runtimeTx {
+		runtimeTx[i] = sys.Begin()
+		machineTx[i] = runtimeTx[i].ID()
+	}
+
+	for step := 0; step < 30; step++ {
+		i := rng.Intn(nTx)
+		if done[i] {
+			continue
+		}
+		switch rng.Intn(5) {
+		case 0: // commit
+			if err := runtimeTx[i].Commit(); err != nil {
+				t.Fatalf("seed %d: runtime commit: %v", seed, err)
+			}
+			ts, _ := runtimeTx[i].Timestamp()
+			if err := machine.Commit(machineTx[i], ts); err != nil {
+				t.Fatalf("seed %d: machine rejected commit the runtime performed: %v", seed, err)
+			}
+			done[i] = true
+		case 1: // abort
+			if err := runtimeTx[i].Abort(); err != nil {
+				t.Fatalf("seed %d: runtime abort: %v", seed, err)
+			}
+			if err := machine.Abort(machineTx[i]); err != nil {
+				t.Fatalf("seed %d: machine rejected abort: %v", seed, err)
+			}
+			done[i] = true
+		default: // operation
+			inv := invs[rng.Intn(len(invs))]
+			res, err := obj.Call(runtimeTx[i], inv)
+			if errors.Is(err, ErrTimeout) {
+				// Refused (blocked) in the runtime: the machine must also
+				// have no grantable response for this invocation.
+				if err := machine.Invoke(machineTx[i], inv); err != nil {
+					t.Fatalf("seed %d: machine invoke: %v", seed, err)
+				}
+				grantable, gerr := machine.GrantableResponses(machineTx[i])
+				if gerr != nil {
+					t.Fatalf("seed %d: %v", seed, gerr)
+				}
+				if len(grantable) != 0 {
+					t.Fatalf("seed %d: runtime blocked %s but machine would grant %v", seed, inv, grantable)
+				}
+				// Withdraw by aborting this transaction in both models
+				// (the machine has no un-invoke transition).
+				if err := runtimeTx[i].Abort(); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := machine.Abort(machineTx[i]); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				done[i] = true
+				continue
+			}
+			if err != nil {
+				t.Fatalf("seed %d: runtime call: %v", seed, err)
+			}
+			// The machine must grant the same response, and it must be
+			// the machine's first choice too (both sides pick the first
+			// grantable response in specification order).
+			if err := machine.Invoke(machineTx[i], inv); err != nil {
+				t.Fatalf("seed %d: machine invoke: %v", seed, err)
+			}
+			mres, ok, merr := machine.TryRespond(machineTx[i])
+			if merr != nil {
+				t.Fatalf("seed %d: machine respond: %v", seed, merr)
+			}
+			if !ok {
+				t.Fatalf("seed %d: runtime granted %s=%s but machine refused", seed, inv, res)
+			}
+			if mres != res {
+				t.Fatalf("seed %d: responses diverged for %s: runtime %q, machine %q", seed, inv, res, mres)
+			}
+		}
+	}
+
+	// Finish everything so committed states are comparable.
+	for i := range runtimeTx {
+		if !done[i] {
+			if err := runtimeTx[i].Commit(); err != nil {
+				t.Fatalf("seed %d: final commit: %v", seed, err)
+			}
+			ts, _ := runtimeTx[i].Timestamp()
+			if err := machine.Commit(machineTx[i], ts); err != nil {
+				t.Fatalf("seed %d: machine final commit: %v", seed, err)
+			}
+		}
+	}
+
+	machineState, ok := spec.Replay(sp, machine.Permanent())
+	if !ok {
+		t.Fatalf("seed %d: machine permanent state illegal", seed)
+	}
+	if !sp.Equal(machineState, obj.CommittedState()) {
+		t.Fatalf("seed %d: committed states diverged", seed)
+	}
+}

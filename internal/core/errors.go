@@ -1,0 +1,25 @@
+package core
+
+import "errors"
+
+// Errors returned by the runtime.
+var (
+	// ErrTimeout reports that a call waited longer than Options.LockWait
+	// for a lock conflict to clear or a partial operation to become
+	// enabled.  The caller should abort the transaction and retry it — the
+	// standard deadlock remedy the paper defers to.
+	ErrTimeout = errors.New("hybridcc: lock wait timed out")
+
+	// ErrTxDone reports an operation on a committed or aborted
+	// transaction.
+	ErrTxDone = errors.New("hybridcc: transaction already completed")
+
+	// ErrTxBusy reports concurrent use of one transaction.  The paper's
+	// model disallows concurrency within a transaction (one pending
+	// invocation at a time).
+	ErrTxBusy = errors.New("hybridcc: transaction used concurrently")
+
+	// ErrExternalTS reports a CommitAt on a System constructed without
+	// Options.ExternalTimestamps.
+	ErrExternalTS = errors.New("hybridcc: external timestamps not enabled for this system")
+)

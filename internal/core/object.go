@@ -1,0 +1,345 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hybridcc/internal/depend"
+	"hybridcc/internal/histories"
+	"hybridcc/internal/spec"
+)
+
+// Object is a hybrid atomic object: typed shared data managed by the
+// paper's locking algorithm.
+type Object struct {
+	sys      *System
+	name     histories.ObjID
+	sp       spec.Spec
+	conflict depend.Conflict
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// version is the compacted committed prefix: the state reached by the
+	// intentions of forgotten committed transactions (Section 6).
+	version spec.State
+	// unforgotten holds committed transactions not yet folded into
+	// version, sorted by timestamp.
+	unforgotten []committedEntry
+	// intentions holds each active transaction's operations; they double
+	// as the transaction's locks.
+	intentions map[*Tx][]spec.Op
+	// bounds records each active transaction's lower bound on its
+	// eventual commit timestamp (Section 6).
+	bounds map[*Tx]histories.Timestamp
+	// clock is the largest commit timestamp this object has seen.
+	clock histories.Timestamp
+
+	stats ObjectStats
+}
+
+type committedEntry struct {
+	ts  histories.Timestamp
+	tx  histories.TxID
+	ops []spec.Op
+}
+
+// NewObject registers a fresh object named name with serial specification
+// sp and the given symmetric conflict relation.  Correctness requires the
+// conflict relation to be (the symmetric closure of) a dependency relation
+// for sp — Theorems 11 and 17 make this condition both sufficient and
+// necessary.
+func (s *System) NewObject(name string, sp spec.Spec, conflict depend.Conflict) *Object {
+	o := &Object{
+		sys:        s,
+		name:       histories.ObjID(name),
+		sp:         sp,
+		conflict:   conflict,
+		version:    sp.Init(),
+		intentions: make(map[*Tx][]spec.Op),
+		bounds:     make(map[*Tx]histories.Timestamp),
+		clock:      0,
+	}
+	o.cond = sync.NewCond(&o.mu)
+	return o
+}
+
+// Name returns the object's identifier.
+func (o *Object) Name() histories.ObjID { return o.name }
+
+// Spec returns the object's serial specification.
+func (o *Object) Spec() spec.Spec { return o.sp }
+
+// Stats returns a snapshot of the object's counters.
+func (o *Object) Stats() ObjectStatsSnapshot {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.stats.snapshot(len(o.unforgotten), o.activeCountLocked())
+}
+
+func (o *Object) activeCountLocked() int { return len(o.intentions) }
+
+// Call invokes an operation on behalf of tx and blocks until a response is
+// grantable: legal in tx's view and conflict-free against other active
+// transactions.  It returns ErrTimeout when the wait exceeds
+// Options.LockWait, and ErrTxDone when tx has completed.
+func (o *Object) Call(tx *Tx, inv spec.Invocation) (string, error) {
+	if err := tx.enter(); err != nil {
+		return "", err
+	}
+	defer tx.exit()
+	o.sys.stats.Calls.Add(1)
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	detect := o.sys.opts.DeadlockDetection
+	if detect {
+		defer o.sys.wfg.clear(tx)
+	}
+	deadline := time.Now().Add(o.sys.opts.LockWait)
+	for {
+		state := o.viewStateLocked(tx)
+		for _, r := range o.sp.Responses(state, inv) {
+			op := inv.With(r)
+			if o.conflictsWithActiveLocked(tx, op) {
+				continue
+			}
+			o.grantLocked(tx, op)
+			return r, nil
+		}
+		// Blocked: either a lock conflict or a partial operation with no
+		// enabled response.  Wait for a completion event and retry — the
+		// appendix's "when" statement.
+		if detect {
+			if holders := o.blockersLocked(tx, inv, state); len(holders) > 0 {
+				if o.sys.wfg.set(tx, holders) {
+					o.stats.deadlocks++
+					return "", fmt.Errorf("%w: %s on %s", ErrDeadlock, inv, o.name)
+				}
+			}
+		}
+		o.sys.stats.Waits.Add(1)
+		o.stats.waits++
+		start := time.Now()
+		expired := o.waitLocked(deadline)
+		o.sys.stats.WaitNanos.Add(int64(time.Since(start)))
+		if expired {
+			o.sys.stats.Timeouts.Add(1)
+			o.stats.timeouts++
+			return "", fmt.Errorf("%w: %s on %s", ErrTimeout, inv, o.name)
+		}
+	}
+}
+
+// grantLocked appends op to tx's intentions (acquiring its lock), records
+// the transaction's timestamp lower bound, and emits the event pair.
+func (o *Object) grantLocked(tx *Tx, op spec.Op) {
+	o.intentions[tx] = append(o.intentions[tx], op)
+	o.bounds[tx] = o.clock
+	o.stats.granted++
+	tx.touch(o)
+	o.sys.record(histories.InvokeEvent(tx.id, o.name, op.Inv()))
+	o.sys.record(histories.RespondEvent(tx.id, o.name, op.Res))
+}
+
+// conflictsWithActiveLocked reports whether op conflicts with any operation
+// in another active transaction's intentions list.
+func (o *Object) conflictsWithActiveLocked(tx *Tx, op spec.Op) bool {
+	for other, ops := range o.intentions {
+		if other == tx {
+			continue
+		}
+		for _, p := range ops {
+			if o.conflict.Conflicts(p, op) {
+				o.stats.conflicts++
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// viewStateLocked computes the state of tx's view: the compacted version,
+// then unforgotten committed intentions in timestamp order, then tx's own
+// intentions.  Views of reachable runtime states are always legal; an
+// illegal view is a bug, hence the panic.
+func (o *Object) viewStateLocked(tx *Tx) spec.State {
+	state := o.version
+	ok := true
+	for _, e := range o.unforgotten {
+		state, ok = spec.StepFrom(o.sp, state, e.ops...)
+		if !ok {
+			panic(fmt.Sprintf("hybridcc: illegal committed intentions of %s at %s", e.tx, o.name))
+		}
+	}
+	state, ok = spec.StepFrom(o.sp, state, o.intentions[tx]...)
+	if !ok {
+		panic(fmt.Sprintf("hybridcc: illegal view for %s at %s", tx.id, o.name))
+	}
+	return state
+}
+
+// waitLocked blocks on the object's monitor until a completion event or
+// the deadline.  It returns true when the deadline has passed.  A timer
+// broadcast wakes all waiters; each rechecks its own condition, which is
+// the standard condition-variable discipline.
+func (o *Object) waitLocked(deadline time.Time) bool {
+	if !time.Now().Before(deadline) {
+		return true
+	}
+	timer := time.AfterFunc(time.Until(deadline), func() {
+		o.mu.Lock()
+		o.cond.Broadcast()
+		o.mu.Unlock()
+	})
+	o.cond.Wait()
+	timer.Stop()
+	return !time.Now().Before(deadline)
+}
+
+// commit merges tx's intentions into the committed state at timestamp ts
+// (Prepare/Commit split between tx.Commit and the commit protocol).
+func (o *Object) commit(tx *Tx, ts histories.Timestamp) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ops := o.intentions[tx]
+	delete(o.intentions, tx)
+	delete(o.bounds, tx)
+	entry := committedEntry{ts: ts, tx: tx.id, ops: ops}
+	i := sort.Search(len(o.unforgotten), func(i int) bool { return o.unforgotten[i].ts > ts })
+	o.unforgotten = append(o.unforgotten, committedEntry{})
+	copy(o.unforgotten[i+1:], o.unforgotten[i:])
+	o.unforgotten[i] = entry
+	if ts > o.clock {
+		o.clock = ts
+	}
+	if !o.sys.opts.DisableCompaction {
+		o.forgetLocked()
+	}
+	o.stats.commits++
+	o.sys.record(histories.CommitEvent(tx.id, o.name, ts))
+	o.cond.Broadcast()
+}
+
+// abort discards tx's intentions, releasing its locks.
+func (o *Object) abort(tx *Tx) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.intentions, tx)
+	delete(o.bounds, tx)
+	if !o.sys.opts.DisableCompaction {
+		o.forgetLocked() // an abort can advance the horizon
+	}
+	o.stats.aborts++
+	o.sys.record(histories.AbortEvent(tx.id, o.name))
+	o.cond.Broadcast()
+}
+
+// boundOf returns tx's recorded timestamp lower bound at this object.
+func (o *Object) boundOf(tx *Tx) histories.Timestamp {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.bounds[tx]
+}
+
+// forgetLocked folds committed intentions older than the horizon into the
+// version — the appendix's forget().  The horizon is the minimum lower
+// bound among active transactions (+∞ when none): any transaction yet to
+// commit must choose a timestamp above its bound, so entries strictly
+// below every bound can never be preceded by a new commit.  Active
+// read-only transactions pin the horizon at their (start-chosen)
+// timestamps so their snapshots stay reconstructible.
+func (o *Object) forgetLocked() {
+	horizon := histories.Timestamp(1<<62 - 1)
+	for _, b := range o.bounds {
+		if b < horizon {
+			horizon = b
+		}
+	}
+	if rts, ok := o.sys.readers.minTS(); ok && rts < horizon {
+		horizon = rts
+	}
+	n := 0
+	for n < len(o.unforgotten) && o.unforgotten[n].ts < horizon {
+		state, ok := spec.StepFrom(o.sp, o.version, o.unforgotten[n].ops...)
+		if !ok {
+			panic(fmt.Sprintf("hybridcc: illegal fold of %s at %s", o.unforgotten[n].tx, o.name))
+		}
+		o.version = state
+		n++
+	}
+	if n > 0 {
+		o.unforgotten = append([]committedEntry(nil), o.unforgotten[n:]...)
+		o.stats.folds += int64(n)
+	}
+}
+
+// CommittedState returns the state all committed transactions produce in
+// timestamp order.  It reflects only commits the object has learned about;
+// use it for inspection and tests, not inside transactions.
+func (o *Object) CommittedState() spec.State {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	state := o.version
+	ok := true
+	for _, e := range o.unforgotten {
+		state, ok = spec.StepFrom(o.sp, state, e.ops...)
+		if !ok {
+			panic(fmt.Sprintf("hybridcc: illegal committed state at %s", o.name))
+		}
+	}
+	return state
+}
+
+// UnforgottenLen reports how many committed transactions await folding —
+// the observable of the compaction experiments.
+func (o *Object) UnforgottenLen() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.unforgotten)
+}
+
+// ObjectStats aggregates per-object counters (all guarded by the object
+// mutex).
+type ObjectStats struct {
+	granted   int64
+	conflicts int64
+	waits     int64
+	timeouts  int64
+	deadlocks int64
+	commits   int64
+	aborts    int64
+	folds     int64
+}
+
+// ObjectStatsSnapshot is an immutable copy of ObjectStats plus instant
+// gauges.
+type ObjectStatsSnapshot struct {
+	Granted     int64
+	Conflicts   int64
+	Waits       int64
+	Timeouts    int64
+	Deadlocks   int64
+	Commits     int64
+	Aborts      int64
+	Folds       int64
+	Unforgotten int
+	Active      int
+}
+
+func (s *ObjectStats) snapshot(unforgotten, active int) ObjectStatsSnapshot {
+	return ObjectStatsSnapshot{
+		Granted:     s.granted,
+		Conflicts:   s.conflicts,
+		Waits:       s.waits,
+		Timeouts:    s.timeouts,
+		Deadlocks:   s.deadlocks,
+		Commits:     s.commits,
+		Aborts:      s.aborts,
+		Folds:       s.folds,
+		Unforgotten: unforgotten,
+		Active:      active,
+	}
+}

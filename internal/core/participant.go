@@ -1,0 +1,41 @@
+package core
+
+import (
+	"hybridcc/internal/commitproto"
+	"hybridcc/internal/histories"
+)
+
+// TxParticipant adapts a transaction branch to the two-phase commit
+// protocol of internal/commitproto.  A multi-site transaction runs one
+// branch per site (System); the coordinator gathers every branch's
+// timestamp lower bound during prepare and distributes one globally unique
+// commit timestamp, giving all sites the same serialization position — the
+// paper's atomic commitment with piggybacked timestamp information.
+type TxParticipant struct {
+	Tx *Tx
+}
+
+var _ commitproto.Participant = TxParticipant{}
+
+// Prepare implements commitproto.Participant: it votes yes with the
+// branch's timestamp lower bound, or no when the branch has already
+// completed.
+func (p TxParticipant) Prepare(histories.TxID) (histories.Timestamp, bool) {
+	lower, err := p.Tx.Prepare()
+	if err != nil {
+		return 0, false
+	}
+	return lower, true
+}
+
+// Commit implements commitproto.Participant.
+func (p TxParticipant) Commit(_ histories.TxID, ts histories.Timestamp) {
+	// CommitAt fails only if the branch completed concurrently, which the
+	// protocol's yes-vote excludes for well-behaved clients.
+	_ = p.Tx.CommitAt(ts)
+}
+
+// Abort implements commitproto.Participant.
+func (p TxParticipant) Abort(histories.TxID) {
+	_ = p.Tx.Abort()
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hybridcc/internal/histories"
+	"hybridcc/internal/spec"
+	"hybridcc/internal/tstamp"
+)
+
+// This file implements the Section 7 extension: the "more general form of
+// hybrid atomicity" in which read-only transactions choose their
+// timestamps when they START rather than when they commit (the static
+// atomic treatment of Weihl's multi-version work, combined with the
+// dynamic treatment of update transactions — the origin of the name
+// "hybrid").
+//
+// A ReadTx serializes at its start timestamp: every read observes exactly
+// the committed intentions with earlier timestamps.  Readers acquire no
+// locks and never block writers; a reader may wait (bounded by the lock
+// wait) for an update transaction that could still commit below the
+// reader's timestamp, and it holds back horizon compaction while active so
+// its snapshot stays reconstructible.
+
+// ErrNotReadOnly reports an attempt to execute a state-changing operation
+// inside a read-only transaction.
+var ErrNotReadOnly = fmt.Errorf("hybridcc: operation mutates state in a read-only transaction")
+
+// ReadTx is a read-only transaction with a start-time timestamp.
+type ReadTx struct {
+	sys *System
+	id  histories.TxID
+	ts  histories.Timestamp
+
+	mu      sync.Mutex
+	done    bool
+	touched map[*Object]bool
+}
+
+// readSet tracks the active read-only transactions of a System so objects
+// can pin their compaction horizons below every active reader.
+type readSet struct {
+	mu     sync.Mutex
+	active map[*ReadTx]histories.Timestamp
+}
+
+// minTS returns the smallest active reader timestamp and whether any
+// reader is active.
+func (r *readSet) minTS() (histories.Timestamp, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var min histories.Timestamp
+	found := false
+	for _, ts := range r.active {
+		if !found || ts < min {
+			min, found = ts, true
+		}
+	}
+	return min, found
+}
+
+// register draws the reader's timestamp and installs its compaction pin
+// in one critical section.  The two must be atomic with respect to minTS:
+// otherwise a writer whose (later) timestamp is issued between the
+// reader's draw and its registration could fold into the version before
+// the pin lands, making the reader's snapshot unrecoverable.
+func (r *readSet) register(tx *ReadTx, clock tstamp.Clock) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.active == nil {
+		r.active = make(map[*ReadTx]histories.Timestamp)
+	}
+	tx.ts = clock.Next(0)
+	r.active[tx] = tx.ts
+}
+
+func (r *readSet) remove(tx *ReadTx) {
+	r.mu.Lock()
+	delete(r.active, tx)
+	r.mu.Unlock()
+}
+
+// BeginReadOnly starts a read-only transaction.  Its timestamp — and hence
+// its serialization position — is fixed now: it will observe exactly the
+// transactions that commit with earlier timestamps.  While it is active it
+// holds back intention compaction system-wide, so close it promptly
+// (Commit or Abort).
+func (s *System) BeginReadOnly() *ReadTx {
+	n := s.txSeq.Add(1)
+	s.stats.Begun.Add(1)
+	tx := &ReadTx{
+		sys:     s,
+		id:      histories.TxID(fmt.Sprintf("R%d", n)),
+		touched: make(map[*Object]bool),
+	}
+	s.readers.register(tx, s.clock)
+	return tx
+}
+
+// ID returns the reader's identifier.  Read-only identifiers carry an "R"
+// prefix; verification uses it to apply the generalized well-formedness
+// rules.
+func (t *ReadTx) ID() histories.TxID { return t.id }
+
+// Timestamp returns the reader's (start-chosen) serialization timestamp.
+func (t *ReadTx) Timestamp() histories.Timestamp { return t.ts }
+
+// Commit finishes the reader, emitting its commit events so recorded
+// histories place it at its timestamp.
+func (t *ReadTx) Commit() error {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return ErrTxDone
+	}
+	t.done = true
+	objs := make([]*Object, 0, len(t.touched))
+	for o := range t.touched {
+		objs = append(objs, o)
+	}
+	t.mu.Unlock()
+
+	t.sys.readers.remove(t)
+	for _, o := range objs {
+		o.mu.Lock()
+		t.sys.record(histories.CommitEvent(t.id, o.name, t.ts))
+		o.cond.Broadcast() // the horizon may have advanced
+		o.mu.Unlock()
+	}
+	t.sys.stats.Committed.Add(1)
+	return nil
+}
+
+// Abort abandons the reader.  Because readers never acquire locks or write
+// intentions, abort only releases the compaction pin.
+func (t *ReadTx) Abort() error {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return ErrTxDone
+	}
+	t.done = true
+	objs := make([]*Object, 0, len(t.touched))
+	for o := range t.touched {
+		objs = append(objs, o)
+	}
+	t.mu.Unlock()
+
+	t.sys.readers.remove(t)
+	for _, o := range objs {
+		o.mu.Lock()
+		t.sys.record(histories.AbortEvent(t.id, o.name))
+		o.cond.Broadcast()
+		o.mu.Unlock()
+	}
+	t.sys.stats.Aborted.Add(1)
+	return nil
+}
+
+// ReadCall executes a read-only operation against the object's state as of
+// the reader's timestamp.  The chosen response must not change the state
+// (ErrNotReadOnly otherwise).  The call waits — bounded by the lock wait —
+// while some update transaction could still commit below the reader's
+// timestamp.
+func (o *Object) ReadCall(t *ReadTx, inv spec.Invocation) (string, error) {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return "", ErrTxDone
+	}
+	t.mu.Unlock()
+	o.sys.stats.Calls.Add(1)
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	deadline := time.Now().Add(o.sys.opts.LockWait)
+	for {
+		if w := o.blockingWriterLocked(t.ts); w == "" {
+			break
+		}
+		o.sys.stats.Waits.Add(1)
+		o.stats.waits++
+		start := time.Now()
+		expired := o.waitLocked(deadline)
+		o.sys.stats.WaitNanos.Add(int64(time.Since(start)))
+		if expired {
+			o.sys.stats.Timeouts.Add(1)
+			o.stats.timeouts++
+			return "", fmt.Errorf("%w: read of %s at %s", ErrTimeout, inv, o.name)
+		}
+	}
+
+	state := o.snapshotLocked(t.ts)
+	responses := o.sp.Responses(state, inv)
+	if len(responses) == 0 {
+		return "", fmt.Errorf("%w: %s has no response in snapshot of %s", ErrTimeout, inv, o.name)
+	}
+	res := responses[0]
+	op := inv.With(res)
+	next, ok := o.sp.Step(state, op)
+	if !ok {
+		panic(fmt.Sprintf("hybridcc: listed response %s illegal at %s", op, o.name))
+	}
+	if !o.sp.Equal(state, next) {
+		return "", fmt.Errorf("%w: %s", ErrNotReadOnly, op)
+	}
+
+	t.mu.Lock()
+	t.touched[o] = true
+	t.mu.Unlock()
+	o.stats.granted++
+	o.sys.record(histories.InvokeEvent(t.id, o.name, inv))
+	o.sys.record(histories.RespondEvent(t.id, o.name, res))
+	return res, nil
+}
+
+// blockingWriterLocked returns the id of a transaction that might still
+// commit at this object with a timestamp below ts, or "" if none:
+//
+//   - a transaction already committed with an earlier timestamp whose
+//     intentions have not yet merged here must be waited for (a short
+//     window inside Commit);
+//   - with ExternalTimestamps, an active transaction whose recorded bound
+//     is below ts could still land below ts via CommitAt, so the reader
+//     conservatively waits for it.  Without external timestamps, every
+//     future commit draws from the shared clock and therefore lands above
+//     the reader, so active transactions never block readers.
+func (o *Object) blockingWriterLocked(ts histories.Timestamp) histories.TxID {
+	for tx := range o.intentions {
+		if wts, committed := tx.Timestamp(); committed {
+			if wts < ts {
+				return tx.id
+			}
+			continue // serialized after the reader; invisible to it
+		}
+		if o.sys.opts.ExternalTimestamps && o.bounds[tx] < ts {
+			return tx.id
+		}
+	}
+	return ""
+}
+
+// snapshotLocked reconstructs the committed state as of ts: the folded
+// version (always a prefix of every active reader's snapshot, because
+// readers pin the horizon) plus unforgotten intentions with earlier
+// timestamps.
+func (o *Object) snapshotLocked(ts histories.Timestamp) spec.State {
+	state := o.version
+	ok := true
+	for _, e := range o.unforgotten {
+		if e.ts > ts {
+			continue
+		}
+		state, ok = spec.StepFrom(o.sp, state, e.ops...)
+		if !ok {
+			panic(fmt.Sprintf("hybridcc: illegal snapshot at %s", o.name))
+		}
+	}
+	return state
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"hybridcc/internal/histories"
+)
+
+// txStatus tracks a transaction's lifecycle.
+type txStatus int
+
+const (
+	txActive txStatus = iota
+	txCommitted
+	txAborted
+)
+
+// Tx is a transaction.  A transaction is single-threaded, as in the
+// paper's model: it has at most one pending invocation at a time, and the
+// runtime reports ErrTxBusy on concurrent use.
+type Tx struct {
+	sys *System
+	id  histories.TxID
+
+	mu      sync.Mutex
+	status  txStatus
+	busy    bool
+	touched map[*Object]bool
+	ts      histories.Timestamp
+}
+
+// ID returns the transaction's identifier.
+func (t *Tx) ID() histories.TxID { return t.id }
+
+// Timestamp returns the commit timestamp and true once the transaction has
+// committed.
+func (t *Tx) Timestamp() (histories.Timestamp, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ts, t.status == txCommitted
+}
+
+// enter marks the transaction as executing one operation.
+func (t *Tx) enter() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.status != txActive {
+		return ErrTxDone
+	}
+	if t.busy {
+		return ErrTxBusy
+	}
+	t.busy = true
+	return nil
+}
+
+// exit clears the executing flag.
+func (t *Tx) exit() {
+	t.mu.Lock()
+	t.busy = false
+	t.mu.Unlock()
+}
+
+// touch records that the transaction executed an operation at o.  Called
+// with o.mu held, so it must not take object locks.
+func (t *Tx) touch(o *Object) {
+	t.mu.Lock()
+	t.touched[o] = true
+	t.mu.Unlock()
+}
+
+// touchedObjects returns the touched objects in a deterministic order.
+func (t *Tx) touchedObjects() []*Object {
+	t.mu.Lock()
+	objs := make([]*Object, 0, len(t.touched))
+	for o := range t.touched {
+		objs = append(objs, o)
+	}
+	t.mu.Unlock()
+	sort.Slice(objs, func(i, j int) bool { return objs[i].name < objs[j].name })
+	return objs
+}
+
+// Commit atomically commits the transaction at every object it touched.
+// The commit timestamp is drawn from the system clock primed with the
+// transaction's per-object lower bounds, which establishes the paper's
+// timestamp-generation constraint (precedes ⊆ TS) at every object.
+func (t *Tx) Commit() error {
+	t.mu.Lock()
+	if t.status != txActive {
+		t.mu.Unlock()
+		return ErrTxDone
+	}
+	if t.busy {
+		t.mu.Unlock()
+		return ErrTxBusy
+	}
+	t.status = txCommitted
+	t.mu.Unlock()
+
+	objs := t.touchedObjects()
+	lower := histories.Timestamp(0)
+	for _, o := range objs {
+		if b := o.boundOf(t); b > lower {
+			lower = b
+		}
+	}
+	ts := t.sys.clock.Next(lower)
+
+	t.mu.Lock()
+	t.ts = ts
+	t.mu.Unlock()
+
+	for _, o := range objs {
+		o.commit(t, ts)
+	}
+	t.sys.stats.Committed.Add(1)
+	return nil
+}
+
+// Abort aborts the transaction, releasing its locks and discarding its
+// intentions at every touched object.  Aborting a completed transaction is
+// a no-op error (ErrTxDone).
+func (t *Tx) Abort() error {
+	t.mu.Lock()
+	if t.status != txActive {
+		t.mu.Unlock()
+		return ErrTxDone
+	}
+	t.status = txAborted
+	t.mu.Unlock()
+
+	for _, o := range t.touchedObjects() {
+		o.abort(t)
+	}
+	t.sys.stats.Aborted.Add(1)
+	return nil
+}
+
+// Prepare exposes the transaction's maximum recorded lower bound for use
+// by an external atomic-commitment protocol (internal/commitproto): the
+// coordinator must choose a commit timestamp greater than this bound, then
+// call CommitAt.
+func (t *Tx) Prepare() (histories.Timestamp, error) {
+	t.mu.Lock()
+	if t.status != txActive {
+		t.mu.Unlock()
+		return 0, ErrTxDone
+	}
+	if t.busy {
+		t.mu.Unlock()
+		return 0, ErrTxBusy
+	}
+	t.mu.Unlock()
+	lower := histories.Timestamp(0)
+	for _, o := range t.touchedObjects() {
+		if b := o.boundOf(t); b > lower {
+			lower = b
+		}
+	}
+	return lower, nil
+}
+
+// CommitAt commits with an externally chosen timestamp (from an atomic
+// commitment protocol).  The caller is responsible for the timestamp being
+// unique and above the bound reported by Prepare; the system clock observes
+// it so locally minted timestamps stay ahead.  The System must be
+// constructed with Options.ExternalTimestamps, which tells read-only
+// transactions to account for externally timestamped commits.
+func (t *Tx) CommitAt(ts histories.Timestamp) error {
+	if !t.sys.opts.ExternalTimestamps {
+		return ErrExternalTS
+	}
+	t.mu.Lock()
+	if t.status != txActive {
+		t.mu.Unlock()
+		return ErrTxDone
+	}
+	if t.busy {
+		t.mu.Unlock()
+		return ErrTxBusy
+	}
+	t.status = txCommitted
+	t.ts = ts
+	t.mu.Unlock()
+
+	t.sys.clock.Observe(ts)
+	for _, o := range t.touchedObjects() {
+		o.commit(t, ts)
+	}
+	t.sys.stats.Committed.Add(1)
+	return nil
+}

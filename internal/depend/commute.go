@@ -1,0 +1,79 @@
+package depend
+
+import "hybridcc/internal/spec"
+
+// ForwardCommute reports whether p and q forward-commute (Definition 26)
+// over the bounded search space: for every legal h (|h| ≤ hLen, ops drawn
+// from universe) in which both h•p and h•q are legal, h•p•q and h•q•p must
+// be legal and equieffective (indistinguishable by observations of length ≤
+// obsDepth drawn from invs).
+func ForwardCommute(sp spec.Spec, p, q spec.Op, universe []spec.Op, invs []spec.Invocation, hLen, obsDepth int) bool {
+	ok := true
+	var walk func(s spec.State, budget int)
+	walk = func(s spec.State, budget int) {
+		if !ok {
+			return
+		}
+		sP, okP := sp.Step(s, p)
+		sQ, okQ := sp.Step(s, q)
+		if okP && okQ {
+			sPQ, okPQ := sp.Step(sP, q)
+			sQP, okQP := sp.Step(sQ, p)
+			if !okPQ || !okQP || !spec.StatesEquieffective(sp, sPQ, sQP, invs, obsDepth) {
+				ok = false
+				return
+			}
+		}
+		if budget == 0 {
+			return
+		}
+		for _, op := range universe {
+			n, legal := sp.Step(s, op)
+			if !legal {
+				continue
+			}
+			walk(n, budget-1)
+			if !ok {
+				return
+			}
+		}
+	}
+	walk(sp.Init(), hLen)
+	return ok
+}
+
+// FailureToCommute derives the "failure to commute" relation of Section 7
+// over the universe: the symmetric set of pairs that do not
+// forward-commute.  By Theorem 28 it is a dependency relation.
+func FailureToCommute(sp spec.Spec, universe []spec.Op, invs []spec.Invocation, hLen, obsDepth int) *PairSet {
+	out := NewPairSet()
+	for i, p := range universe {
+		for j := i; j < len(universe); j++ {
+			q := universe[j]
+			if !ForwardCommute(sp, p, q, universe, invs, hLen, obsDepth) {
+				out.Add(p, q)
+				out.Add(q, p)
+			}
+		}
+	}
+	return out
+}
+
+// Mode classifies an operation for classical read/write locking.
+type Mode uint8
+
+// Operation modes for the read/write baseline.
+const (
+	ModeRead Mode = iota
+	ModeWrite
+)
+
+// ReadWriteConflict builds the classical two-phase-locking conflict
+// relation from a classifier: two operations conflict unless both are
+// reads.  This is the untyped baseline the paper's introduction contrasts
+// with type-specific schemes.
+func ReadWriteConflict(name string, classify func(spec.Op) Mode) Conflict {
+	return ConflictFunc(name, func(a, b spec.Op) bool {
+		return classify(a) == ModeWrite || classify(b) == ModeWrite
+	})
+}

@@ -1,0 +1,217 @@
+// Package depend implements the paper's dependency-relation machinery
+// (Section 4): Definition 3 (dependency relations) as a bounded exhaustive
+// checker, the invalidated-by derivation (Definitions 8–9), minimality
+// analysis, forward commutativity (Definitions 25–26), and the conversion
+// of dependency relations into the symmetric conflict relations used by the
+// locking algorithm.
+package depend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hybridcc/internal/spec"
+)
+
+// Relation is a binary relation on operations.  Depends(q, p) means the
+// later operation q depends on the earlier operation p — the paper writes
+// (q, p) ∈ R.  Dependency relations need not be symmetric.
+type Relation interface {
+	// Depends reports whether q depends on p.
+	Depends(q, p spec.Op) bool
+	// String names the relation for diagnostics and table rendering.
+	String() string
+}
+
+// Conflict is a symmetric relation on operations; the LOCK algorithm
+// requires its conflict relation to be symmetric (Section 5.1).
+type Conflict interface {
+	// Conflicts reports whether the two operations conflict.
+	Conflicts(a, b spec.Op) bool
+	// String names the conflict relation.
+	String() string
+}
+
+type relationFunc struct {
+	name string
+	f    func(q, p spec.Op) bool
+}
+
+func (r relationFunc) Depends(q, p spec.Op) bool { return r.f(q, p) }
+func (r relationFunc) String() string            { return r.name }
+
+// RelationFunc wraps a predicate as a Relation.
+func RelationFunc(name string, f func(q, p spec.Op) bool) Relation {
+	return relationFunc{name: name, f: f}
+}
+
+type conflictFunc struct {
+	name string
+	f    func(a, b spec.Op) bool
+}
+
+func (c conflictFunc) Conflicts(a, b spec.Op) bool { return c.f(a, b) }
+func (c conflictFunc) String() string              { return c.name }
+
+// ConflictFunc wraps a predicate as a Conflict.  The predicate must be
+// symmetric; SymmetricClosure converts an asymmetric dependency relation.
+func ConflictFunc(name string, f func(a, b spec.Op) bool) Conflict {
+	return conflictFunc{name: name, f: f}
+}
+
+type symmetricClosure struct{ r Relation }
+
+func (s symmetricClosure) Conflicts(a, b spec.Op) bool {
+	return s.r.Depends(a, b) || s.r.Depends(b, a)
+}
+func (s symmetricClosure) String() string { return "sym(" + s.r.String() + ")" }
+
+// SymmetricClosure returns the symmetric closure of a dependency relation,
+// the conflict relation the paper's algorithm typically uses (Section 4.3).
+func SymmetricClosure(r Relation) Conflict { return symmetricClosure{r: r} }
+
+// NoConflict returns the empty conflict relation (no locking at all); it is
+// useful as a degenerate baseline and for negative tests.
+func NoConflict() Conflict {
+	return ConflictFunc("none", func(a, b spec.Op) bool { return false })
+}
+
+// AllConflict returns the total conflict relation (full mutual exclusion),
+// the most conservative correct scheme.
+func AllConflict() Conflict {
+	return ConflictFunc("all", func(a, b spec.Op) bool { return true })
+}
+
+// Union returns the union of two relations.
+func Union(a, b Relation) Relation {
+	return RelationFunc(fmt.Sprintf("(%s ∪ %s)", a, b), func(q, p spec.Op) bool {
+		return a.Depends(q, p) || b.Depends(q, p)
+	})
+}
+
+// Minus returns r with the single ground pair (q0, p0) removed; the
+// minimality analysis removes pairs one at a time.
+func Minus(r Relation, q0, p0 spec.Op) Relation {
+	return RelationFunc(fmt.Sprintf("%s \\ {(%s,%s)}", r, q0, p0), func(q, p spec.Op) bool {
+		if q == q0 && p == p0 {
+			return false
+		}
+		return r.Depends(q, p)
+	})
+}
+
+// OpPair is an ordered (q, p) pair: q depends on p.
+type OpPair [2]spec.Op
+
+// PairSet is a finite, explicit relation on operations.  It implements
+// Relation and supports set algebra; derivations over bounded universes
+// produce PairSets.
+type PairSet struct {
+	pairs map[OpPair]bool
+}
+
+// NewPairSet returns an empty PairSet.
+func NewPairSet() *PairSet { return &PairSet{pairs: make(map[OpPair]bool)} }
+
+// Add inserts the pair (q depends on p).
+func (s *PairSet) Add(q, p spec.Op) { s.pairs[OpPair{q, p}] = true }
+
+// Contains reports whether the pair (q, p) is present.
+func (s *PairSet) Contains(q, p spec.Op) bool { return s.pairs[OpPair{q, p}] }
+
+// Depends implements Relation.
+func (s *PairSet) Depends(q, p spec.Op) bool { return s.Contains(q, p) }
+
+// String implements Relation.
+func (s *PairSet) String() string { return fmt.Sprintf("pairset(%d)", s.Len()) }
+
+// Len reports the number of pairs.
+func (s *PairSet) Len() int { return len(s.pairs) }
+
+// Pairs returns the pairs sorted deterministically.
+func (s *PairSet) Pairs() []OpPair {
+	out := make([]OpPair, 0, len(s.pairs))
+	for p := range s.pairs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		ka := a[0].String() + "|" + a[1].String()
+		kb := b[0].String() + "|" + b[1].String()
+		return ka < kb
+	})
+	return out
+}
+
+// Equal reports whether two pair sets contain exactly the same pairs.
+func (s *PairSet) Equal(t *PairSet) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for p := range s.pairs {
+		if !t.pairs[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every pair of s is in t.
+func (s *PairSet) SubsetOf(t *PairSet) bool {
+	for p := range s.pairs {
+		if !t.pairs[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns the pairs in s that are not in t.
+func (s *PairSet) Diff(t *PairSet) *PairSet {
+	out := NewPairSet()
+	for p := range s.pairs {
+		if !t.pairs[p] {
+			out.pairs[p] = true
+		}
+	}
+	return out
+}
+
+// Dump renders one pair per line, for diagnostics.
+func (s *PairSet) Dump() string {
+	var b strings.Builder
+	for _, p := range s.Pairs() {
+		fmt.Fprintf(&b, "%s depends on %s\n", p[0], p[1])
+	}
+	return b.String()
+}
+
+// Ground restricts a predicate relation to a finite universe, yielding an
+// explicit PairSet for comparison against derived relations.
+func Ground(r Relation, universe []spec.Op) *PairSet {
+	out := NewPairSet()
+	for _, q := range universe {
+		for _, p := range universe {
+			if r.Depends(q, p) {
+				out.Add(q, p)
+			}
+		}
+	}
+	return out
+}
+
+// GroundConflict restricts a conflict predicate to a finite universe,
+// yielding the set of unordered conflicting pairs as an ordered PairSet
+// containing both orientations.
+func GroundConflict(c Conflict, universe []spec.Op) *PairSet {
+	out := NewPairSet()
+	for _, a := range universe {
+		for _, b := range universe {
+			if c.Conflicts(a, b) {
+				out.Add(a, b)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package depend
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridcc/internal/spec"
+)
+
+// PaperTable describes one of the paper's relation tables symbolically:
+// row/column operation templates and the condition under which the row
+// operation depends on (or conflicts with) the column operation.
+type PaperTable struct {
+	ID    string // "I" … "VI"
+	Title string
+	Rows  []string
+	Cols  []string
+	// Cell returns the condition string for (row, col): "" (never),
+	// "true" (always), or a condition such as "v ≠ v′".
+	Cell func(row, col int) string
+}
+
+// Render lays the table out as a text grid in the paper's style.
+func (t PaperTable) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE %s — %s\n", t.ID, t.Title)
+	width := 0
+	for _, r := range t.Rows {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	colWidth := make([]int, len(t.Cols))
+	for j, c := range t.Cols {
+		colWidth[j] = len(c)
+		for i := range t.Rows {
+			if n := len(t.Cell(i, j)); n > colWidth[j] {
+				colWidth[j] = n
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, "")
+	for j, c := range t.Cols {
+		fmt.Fprintf(&b, "%-*s", colWidth[j]+2, c)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", width+2, r)
+		for j := range t.Cols {
+			fmt.Fprintf(&b, "%-*s", colWidth[j]+2, t.Cell(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func cellTable(rows, cols []string, cells [][]string) PaperTable {
+	return PaperTable{Rows: rows, Cols: cols, Cell: func(i, j int) string { return cells[i][j] }}
+}
+
+// TableI returns the symbolic layout of Table I (File).
+func TableI() PaperTable {
+	t := cellTable(
+		[]string{"Read(), v′", "Write(v′), Ok"},
+		[]string{"Read(), v", "Write(v), Ok"},
+		[][]string{
+			{"", "v ≠ v′"},
+			{"", ""},
+		})
+	t.ID, t.Title = "I", "Minimal Dependency Relation for File"
+	return t
+}
+
+// TableII returns the symbolic layout of Table II (Queue, first minimum).
+func TableII() PaperTable {
+	t := cellTable(
+		[]string{"Enq(v′), Ok", "Deq(), v′"},
+		[]string{"Enq(v), Ok", "Deq(), v"},
+		[][]string{
+			{"", ""},
+			{"v ≠ v′", "v = v′"},
+		})
+	t.ID, t.Title = "II", "First Minimal Dependency Relation for Queue"
+	return t
+}
+
+// TableIII returns the symbolic layout of Table III (Queue, second
+// minimum).
+func TableIII() PaperTable {
+	t := cellTable(
+		[]string{"Enq(v′), Ok", "Deq(), v′"},
+		[]string{"Enq(v), Ok", "Deq(), v"},
+		[][]string{
+			{"v ≠ v′", ""},
+			{"", "v = v′"},
+		})
+	t.ID, t.Title = "III", "Second Minimal Dependency Relation for Queue"
+	return t
+}
+
+// TableIV returns the symbolic layout of Table IV (Semiqueue).
+func TableIV() PaperTable {
+	t := cellTable(
+		[]string{"Ins(v′), Ok", "Rem(), v′"},
+		[]string{"Ins(v), Ok", "Rem(), v"},
+		[][]string{
+			{"", ""},
+			{"", "v = v′"},
+		})
+	t.ID, t.Title = "IV", "Minimal Dependency Relation for Semiqueue"
+	return t
+}
+
+// TableV returns the symbolic layout of Table V (Account).
+func TableV() PaperTable {
+	t := cellTable(
+		[]string{"Credit(m), Ok", "Post(m), Ok", "Debit(m), Ok", "Debit(m), Overdraft"},
+		[]string{"Credit(n), Ok", "Post(n), Ok", "Debit(n), Ok", "Debit(n), Overdraft"},
+		[][]string{
+			{"", "", "", ""},
+			{"", "", "", ""},
+			{"", "", "true", ""},
+			{"true", "true", "", ""},
+		})
+	t.ID, t.Title = "V", "Minimal Dependency Relation for Account"
+	return t
+}
+
+// TableVI returns the symbolic layout of Table VI (Account, failure to
+// commute).
+func TableVI() PaperTable {
+	t := cellTable(
+		[]string{"Credit(m), Ok", "Post(m), Ok", "Debit(m), Ok", "Debit(m), Overdraft"},
+		[]string{"Credit(n), Ok", "Post(n), Ok", "Debit(n), Ok", "Debit(n), Overdraft"},
+		[][]string{
+			{"", "true", "", "true"},
+			{"true", "", "true", "true"},
+			{"", "true", "true", ""},
+			{"true", "true", "", ""},
+		})
+	t.ID, t.Title = "VI", "\"Failure to Commute\" Relation for Account"
+	return t
+}
+
+// AllTables returns Tables I–VI in order.
+func AllTables() []PaperTable {
+	return []PaperTable{TableI(), TableII(), TableIII(), TableIV(), TableV(), TableVI()}
+}
+
+// RenderGrid renders a concrete boolean grid of a conflict relation over a
+// universe, for tooling output.
+func RenderGrid(title string, c Conflict, universe []spec.Op) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (conflict = ×)\n", title)
+	width := 0
+	for _, op := range universe {
+		if n := len(op.String()); n > width {
+			width = n
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, "")
+	for j := range universe {
+		fmt.Fprintf(&b, "%2d ", j)
+	}
+	b.WriteByte('\n')
+	for i, a := range universe {
+		fmt.Fprintf(&b, "%-*s", width+2, fmt.Sprintf("%d %s", i, a))
+		for _, op := range universe {
+			mark := " ."
+			if c.Conflicts(a, op) {
+				mark = " ×"
+			}
+			fmt.Fprintf(&b, "%s ", mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,206 @@
+package depend
+
+import "hybridcc/internal/spec"
+
+// This file encodes the paper's Tables I–VI as closed-form predicate
+// relations, together with dependency relations for the additional data
+// types.  The tests in tables_test.go verify each predicate against the
+// bounded mechanical derivations (invalidated-by, failure-to-commute),
+// closing the loop between the paper's closed forms and Definition 3.
+
+// FileDependency returns Table I, the unique minimal dependency relation
+// for File: Read(), v′ depends on Write(v), Ok exactly when v ≠ v′.
+// Writes never depend on one another — the generalized Thomas Write Rule.
+func FileDependency() Relation {
+	return RelationFunc("File/Table I", func(q, p spec.Op) bool {
+		return q.Name == "Read" && p.Name == "Write" && q.Res != p.Arg
+	})
+}
+
+// QueueDependencyII returns Table II, the first minimal dependency relation
+// for FIFO Queue (it is also the invalidated-by relation): Deq(), v′
+// depends on Enq(v), Ok when v ≠ v′ and on Deq(), v when v = v′.  Enqueues
+// are unconstrained, so enqueuing transactions run concurrently.
+func QueueDependencyII() Relation {
+	return RelationFunc("Queue/Table II", func(q, p spec.Op) bool {
+		if q.Name != "Deq" {
+			return false
+		}
+		switch p.Name {
+		case "Enq":
+			return q.Res != p.Arg
+		case "Deq":
+			return q.Res == p.Res
+		}
+		return false
+	})
+}
+
+// QueueDependencyIII returns Table III, the second minimal dependency
+// relation for FIFO Queue: Enq(v′) depends on Enq(v) when v ≠ v′, and
+// Deq(), v′ depends on Deq(), v when v = v′; dequeues never depend on
+// enqueues or vice versa, so a dequeuer can run concurrently with an
+// enqueuer as long as it dequeues committed items.
+func QueueDependencyIII() Relation {
+	return RelationFunc("Queue/Table III", func(q, p spec.Op) bool {
+		switch {
+		case q.Name == "Enq" && p.Name == "Enq":
+			return q.Arg != p.Arg
+		case q.Name == "Deq" && p.Name == "Deq":
+			return q.Res == p.Res
+		}
+		return false
+	})
+}
+
+// SemiqueueDependency returns Table IV, the unique minimal dependency
+// relation for Semiqueue: Rem(), v′ depends on Rem(), v exactly when
+// v = v′.  Inserts never conflict with anything.
+func SemiqueueDependency() Relation {
+	return RelationFunc("Semiqueue/Table IV", func(q, p spec.Op) bool {
+		return q.Name == "Rem" && p.Name == "Rem" && q.Res == p.Res
+	})
+}
+
+// AccountDependency returns Table V, the unique minimal dependency relation
+// for Account:
+//
+//	[Debit(m), Overdraft] depends on [Credit(n), Ok] and [Post(k), Ok]
+//	(adding or multiplying funds can invalidate an overdraft), and
+//	[Debit(m), Ok] depends on [Debit(n), Ok] (an earlier successful debit
+//	can leave insufficient funds).
+//
+// Credit locks need not conflict with successful-debit locks — the paper's
+// example of response-dependent locking.
+func AccountDependency() Relation {
+	return RelationFunc("Account/Table V", func(q, p spec.Op) bool {
+		switch {
+		case q.Name == "Debit" && q.Res == "Overdraft":
+			return (p.Name == "Credit" || p.Name == "Post") && p.Res == "Ok"
+		case q.Name == "Debit" && q.Res == "Ok":
+			return p.Name == "Debit" && p.Res == "Ok"
+		}
+		return false
+	})
+}
+
+// AccountCommutativity returns Table VI, the "failure to commute" conflict
+// relation for Account under forward commutativity:
+//
+//	Credit × Post            (b·k + n  ≠  (b + n)·k)
+//	Credit × Debit/Overdraft (a credit can make the overdraft illegal)
+//	Post   × Debit/Ok        ((b − n)·k  ≠  b·k − n)
+//	Post   × Debit/Overdraft (posting can make the overdraft illegal)
+//	Debit/Ok × Debit/Ok      (insufficient funds in one order)
+//
+// Everything else commutes.  This relation strictly contains the symmetric
+// closure of Table V: commutativity-based algorithms additionally force
+// Post to conflict with Credit and with successful Debits.
+func AccountCommutativity() Conflict {
+	kind := func(o spec.Op) string {
+		if o.Name == "Debit" {
+			return "Debit/" + o.Res
+		}
+		return o.Name
+	}
+	conflicts := map[[2]string]bool{
+		{"Credit", "Post"}:            true,
+		{"Credit", "Debit/Overdraft"}: true,
+		{"Post", "Debit/Ok"}:          true,
+		{"Post", "Debit/Overdraft"}:   true,
+		{"Debit/Ok", "Debit/Ok"}:      true,
+	}
+	return ConflictFunc("Account/Table VI", func(a, b spec.Op) bool {
+		ka, kb := kind(a), kind(b)
+		return conflicts[[2]string{ka, kb}] || conflicts[[2]string{kb, ka}]
+	})
+}
+
+// CounterDependency returns the minimal dependency relation for Counter:
+// CtrRead(), v depends on Inc(n), Ok for n ≠ 0; increments never depend on
+// one another.
+func CounterDependency() Relation {
+	return RelationFunc("Counter", func(q, p spec.Op) bool {
+		return q.Name == "CtrRead" && p.Name == "Inc" && p.Arg != "0"
+	})
+}
+
+// SetDependency returns the invalidated-by relation for Set.  All pairs are
+// same-element; operations on distinct elements are independent:
+//
+//	[Insert(v), Ok]      depends on [Insert(v), Ok]   (v became present)
+//	[Insert(v), Present] depends on [Remove(v), Ok]   (v became absent)
+//	[Remove(v), Ok]      depends on [Remove(v), Ok]
+//	[Remove(v), Absent]  depends on [Insert(v), Ok]
+//	[Member(v), True]    depends on [Remove(v), Ok]
+//	[Member(v), False]   depends on [Insert(v), Ok]
+func SetDependency() Relation {
+	return RelationFunc("Set", func(q, p spec.Op) bool {
+		if q.Arg != p.Arg {
+			return false
+		}
+		insOk := p.Name == "Insert" && p.Res == "Ok"
+		remOk := p.Name == "Remove" && p.Res == "Ok"
+		switch {
+		case q.Name == "Insert" && q.Res == "Ok":
+			return insOk
+		case q.Name == "Insert" && q.Res == "Present":
+			return remOk
+		case q.Name == "Remove" && q.Res == "Ok":
+			return remOk
+		case q.Name == "Remove" && q.Res == "Absent":
+			return insOk
+		case q.Name == "Member" && q.Res == "True":
+			return remOk
+		case q.Name == "Member" && q.Res == "False":
+			return insOk
+		}
+		return false
+	})
+}
+
+// dirKey extracts the key an operation addresses.
+func dirKey(o spec.Op) string {
+	if o.Name == "Bind" {
+		for i := len(o.Arg) - 1; i >= 0; i-- {
+			if o.Arg[i] == '=' {
+				return o.Arg[:i]
+			}
+		}
+	}
+	return o.Arg
+}
+
+// DirectoryDependency returns the invalidated-by relation for Directory.
+// All pairs are same-key; operations on distinct keys are independent:
+//
+//	[Bind(k=·), Ok]     depends on [Bind(k=·), Ok]    (k became bound)
+//	[Bind(k=·), Bound]  depends on [Unbind(k), Ok]    (k became unbound)
+//	[Unbind(k), Ok]     depends on [Unbind(k), Ok]
+//	[Unbind(k), Absent] depends on [Bind(k=·), Ok]
+//	[Lookup(k), v]      depends on [Unbind(k), Ok]
+//	[Lookup(k), Absent] depends on [Bind(k=·), Ok]
+func DirectoryDependency() Relation {
+	return RelationFunc("Directory", func(q, p spec.Op) bool {
+		if dirKey(q) != dirKey(p) {
+			return false
+		}
+		bindOk := p.Name == "Bind" && p.Res == "Ok"
+		unbindOk := p.Name == "Unbind" && p.Res == "Ok"
+		switch {
+		case q.Name == "Bind" && q.Res == "Ok":
+			return bindOk
+		case q.Name == "Bind" && q.Res == "Bound":
+			return unbindOk
+		case q.Name == "Unbind" && q.Res == "Ok":
+			return unbindOk
+		case q.Name == "Unbind" && q.Res == "Absent":
+			return bindOk
+		case q.Name == "Lookup" && q.Res != "Absent":
+			return unbindOk
+		case q.Name == "Lookup" && q.Res == "Absent":
+			return bindOk
+		}
+		return false
+	})
+}

@@ -1,0 +1,362 @@
+package depend
+
+import (
+	"testing"
+
+	"hybridcc/internal/adt"
+	"hybridcc/internal/spec"
+)
+
+// The integer-exact Account model (Post multiplies the balance by an
+// integer factor; see adt/doc.go) reproduces the paper's Table V exactly:
+// invalidated-by quantifies over an intervening sequence h2, and a Debit in
+// h2 lets Post invalidate even Debit(1)/Overdraft (e.g. balance 1, Post(2),
+// Debit(1): the balance is 0 without the Post but 1 with it).  Table VI has
+// one bounded-domain artifact: forward commutativity tests *adjacent*
+// pairs, and with an integer balance below 1 (i.e. exactly 0) Post and
+// Debit(1)/Overdraft commute; the paper's real-valued balances in [m/k, m)
+// have no integer counterpart for m = 1.  The Table VI test pins that
+// artifact precisely.
+
+func TestTableI_FileDerivation(t *testing.T) {
+	sp := adt.NewFile()
+	universe := adt.FileUniverse([]int64{1, 2})
+	derived := InvalidatedBy(sp, universe, 2, 2)
+	want := Ground(FileDependency(), universe)
+	if !derived.Equal(want) {
+		t.Fatalf("derived invalidated-by differs from Table I\nderived:\n%s\nwant:\n%s\nextra:\n%s\nmissing:\n%s",
+			derived.Dump(), want.Dump(), derived.Diff(want).Dump(), want.Diff(derived).Dump())
+	}
+}
+
+func TestTableI_FileMinimalAndUnique(t *testing.T) {
+	sp := adt.NewFile()
+	universe := adt.FileUniverse([]int64{1, 2})
+	if cx := IsDependency(sp, FileDependency(), universe, 3, 3); cx != nil {
+		t.Fatalf("Table I is not a dependency relation: %s", cx)
+	}
+	if removable := RemovablePairs(sp, FileDependency(), universe, 3, 3); len(removable) != 0 {
+		t.Errorf("Table I is not minimal; removable pairs: %v", removable)
+	}
+}
+
+func TestTableII_QueueDerivation(t *testing.T) {
+	sp := adt.NewQueue()
+	universe := adt.QueueUniverse([]int64{1, 2})
+	derived := InvalidatedBy(sp, universe, 3, 2)
+	want := Ground(QueueDependencyII(), universe)
+	if !derived.Equal(want) {
+		t.Fatalf("derived invalidated-by differs from Table II\nextra:\n%s\nmissing:\n%s",
+			derived.Diff(want).Dump(), want.Diff(derived).Dump())
+	}
+}
+
+func TestTableII_QueueMinimal(t *testing.T) {
+	sp := adt.NewQueue()
+	universe := adt.QueueUniverse([]int64{1, 2})
+	if cx := IsDependency(sp, QueueDependencyII(), universe, 3, 3); cx != nil {
+		t.Fatalf("Table II is not a dependency relation: %s", cx)
+	}
+	if removable := RemovablePairs(sp, QueueDependencyII(), universe, 3, 3); len(removable) != 0 {
+		t.Errorf("Table II is not minimal; removable pairs: %v", removable)
+	}
+}
+
+func TestTableIII_QueueDependencyAndMinimal(t *testing.T) {
+	sp := adt.NewQueue()
+	universe := adt.QueueUniverse([]int64{1, 2})
+	if cx := IsDependency(sp, QueueDependencyIII(), universe, 3, 3); cx != nil {
+		t.Fatalf("Table III is not a dependency relation: %s", cx)
+	}
+	if removable := RemovablePairs(sp, QueueDependencyIII(), universe, 3, 3); len(removable) != 0 {
+		t.Errorf("Table III is not minimal; removable pairs: %v", removable)
+	}
+}
+
+// TestQueueTwoIncomparableMinima verifies the paper's observation that
+// Queue has two distinct minimal dependency relations imposing incomparable
+// constraints: neither Table II nor Table III is a subset of the other.
+func TestQueueTwoIncomparableMinima(t *testing.T) {
+	universe := adt.QueueUniverse([]int64{1, 2})
+	g2 := Ground(QueueDependencyII(), universe)
+	g3 := Ground(QueueDependencyIII(), universe)
+	if g2.Equal(g3) {
+		t.Fatal("Tables II and III ground to the same relation")
+	}
+	if g2.SubsetOf(g3) || g3.SubsetOf(g2) {
+		t.Error("Tables II and III must be incomparable")
+	}
+	// Table II allows concurrent enqueues (no Enq–Enq dependency).
+	if g2.Contains(adt.Enq(1), adt.Enq(2)) {
+		t.Error("Table II must not relate enqueues")
+	}
+	// Table III allows Deq to run against Enq (no Deq–Enq dependency).
+	if g3.Contains(adt.Deq(1), adt.Enq(2)) || g3.Contains(adt.Enq(2), adt.Deq(1)) {
+		t.Error("Table III must not relate Deq and Enq")
+	}
+}
+
+func TestTableIV_SemiqueueDerivation(t *testing.T) {
+	sp := adt.NewSemiqueue()
+	universe := adt.SemiqueueUniverse([]int64{1, 2})
+	derived := InvalidatedBy(sp, universe, 3, 2)
+	want := Ground(SemiqueueDependency(), universe)
+	if !derived.Equal(want) {
+		t.Fatalf("derived invalidated-by differs from Table IV\nextra:\n%s\nmissing:\n%s",
+			derived.Diff(want).Dump(), want.Diff(derived).Dump())
+	}
+}
+
+func TestTableIV_SemiqueueMinimal(t *testing.T) {
+	sp := adt.NewSemiqueue()
+	universe := adt.SemiqueueUniverse([]int64{1, 2})
+	if cx := IsDependency(sp, SemiqueueDependency(), universe, 3, 3); cx != nil {
+		t.Fatalf("Table IV is not a dependency relation: %s", cx)
+	}
+	if removable := RemovablePairs(sp, SemiqueueDependency(), universe, 3, 3); len(removable) != 0 {
+		t.Errorf("Table IV is not minimal; removable pairs: %v", removable)
+	}
+}
+
+// TestSemiqueueLooserThanQueue verifies the paper's point that
+// non-determinism buys concurrency: the Semiqueue relation constrains
+// strictly less than either Queue relation (on the analogous Ins/Enq,
+// Rem/Deq universes).
+func TestSemiqueueLooserThanQueue(t *testing.T) {
+	g := Ground(SemiqueueDependency(), adt.SemiqueueUniverse([]int64{1, 2}))
+	if g.Len() != 2 {
+		t.Errorf("Semiqueue relation has %d pairs, want 2 (Rem/Rem same item)", g.Len())
+	}
+	g2 := Ground(QueueDependencyII(), adt.QueueUniverse([]int64{1, 2}))
+	g3 := Ground(QueueDependencyIII(), adt.QueueUniverse([]int64{1, 2}))
+	if g.Len() >= g2.Len() || g.Len() >= g3.Len() {
+		t.Errorf("Semiqueue (%d pairs) must be strictly smaller than Queue II (%d) and III (%d)",
+			g.Len(), g2.Len(), g3.Len())
+	}
+}
+
+func TestTableV_AccountDerivation(t *testing.T) {
+	sp := adt.NewAccount()
+	universe := adt.AccountUniverse([]int64{1, 2, 3}, []int64{2})
+	derived := InvalidatedBy(sp, universe, 2, 1)
+	want := Ground(AccountDependency(), universe)
+	if !derived.Equal(want) {
+		t.Fatalf("derived invalidated-by differs from Table V\nextra:\n%s\nmissing:\n%s",
+			derived.Diff(want).Dump(), want.Diff(derived).Dump())
+	}
+}
+
+func TestTableV_ResponseDependentLocking(t *testing.T) {
+	// The paper's headline: Credit conflicts with attempted overdrafts but
+	// not with successful debits.
+	r := AccountDependency()
+	if !r.Depends(adt.Overdraft(5), adt.Credit(3)) {
+		t.Error("Overdraft must depend on Credit")
+	}
+	if r.Depends(adt.Debit(5), adt.Credit(3)) {
+		t.Error("successful Debit must not depend on Credit")
+	}
+	if r.Depends(adt.Credit(3), adt.Credit(5)) || r.Depends(adt.Post(2), adt.Post(3)) {
+		t.Error("Credits and Posts must be mutually independent")
+	}
+	if !r.Depends(adt.Debit(5), adt.Debit(3)) {
+		t.Error("successful Debit must depend on earlier successful Debit")
+	}
+}
+
+func TestTableV_DependencyAndMinimal(t *testing.T) {
+	sp := adt.NewAccount()
+	universe := adt.AccountUniverse([]int64{1, 2, 3}, []int64{2})
+	if cx := IsDependency(sp, AccountDependency(), universe, 2, 2); cx != nil {
+		t.Fatalf("Table V is not a dependency relation: %s", cx)
+	}
+	if removable := RemovablePairs(sp, AccountDependency(), universe, 2, 2); len(removable) != 0 {
+		t.Errorf("Table V is not minimal; removable pairs: %v", removable)
+	}
+}
+
+func TestTableVI_AccountCommutativityDerivation(t *testing.T) {
+	sp := adt.NewAccount()
+	universe := adt.AccountUniverse([]int64{1, 2, 3}, []int64{2})
+	invs := adt.AccountInvocations([]int64{1, 2, 3}, []int64{2})
+	derived := FailureToCommute(sp, universe, invs, 2, 2)
+
+	// Expected: the paper's Table VI, minus the integer artifact pairs
+	// Post × Debit(1)/Overdraft (a balance below 1 is 0; multiplying keeps
+	// it 0, so the pair commutes in the integer model).
+	paper := AccountCommutativity()
+	want := NewPairSet()
+	for _, a := range universe {
+		for _, b := range universe {
+			if !paper.Conflicts(a, b) {
+				continue
+			}
+			artifact := func(x, y spec.Op) bool {
+				return x.Name == "Post" && y.Name == "Debit" && y.Res == adt.ResOverdraft && y.Arg == "1"
+			}
+			if artifact(a, b) || artifact(b, a) {
+				continue
+			}
+			want.Add(a, b)
+		}
+	}
+	if !derived.Equal(want) {
+		t.Fatalf("derived failure-to-commute differs from Table VI\nextra:\n%s\nmissing:\n%s",
+			derived.Diff(want).Dump(), want.Diff(derived).Dump())
+	}
+}
+
+// TestTheorem28 verifies that "failure to commute" is a dependency relation
+// for every data type in the catalogue.
+func TestTheorem28_FailureToCommuteIsDependency(t *testing.T) {
+	cases := []struct {
+		sp   spec.Spec
+		ops  []spec.Op
+		invs []spec.Invocation
+	}{
+		{adt.NewFile(), adt.FileUniverse([]int64{1, 2}), adt.FileInvocations([]int64{1, 2})},
+		{adt.NewQueue(), adt.QueueUniverse([]int64{1, 2}), adt.QueueInvocations([]int64{1, 2})},
+		{adt.NewSemiqueue(), adt.SemiqueueUniverse([]int64{1, 2}), adt.SemiqueueInvocations([]int64{1, 2})},
+		{adt.NewAccount(), adt.AccountUniverse([]int64{1, 2}, []int64{2}), adt.AccountInvocations([]int64{1, 2}, []int64{2})},
+		{adt.NewSet(), adt.SetUniverse([]int64{1, 2}), adt.SetInvocations([]int64{1, 2})},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.sp.Name(), func(t *testing.T) {
+			ftc := FailureToCommute(tc.sp, tc.ops, tc.invs, 2, 2)
+			if cx := IsDependency(tc.sp, ftc, tc.ops, 2, 2); cx != nil {
+				t.Errorf("failure-to-commute is not a dependency relation: %s", cx)
+			}
+		})
+	}
+}
+
+// TestCommutativityStricterOnAccount verifies the Section 7 comparison: the
+// commutativity conflicts (Table VI) strictly contain the symmetric closure
+// of Table V; the extra conflicts are Post×Credit and Post×Debit/Ok.
+func TestCommutativityStricterOnAccount(t *testing.T) {
+	universe := adt.AccountUniverse([]int64{1, 2, 3}, []int64{2, 3})
+	hybrid := GroundConflict(SymmetricClosure(AccountDependency()), universe)
+	commut := GroundConflict(AccountCommutativity(), universe)
+	if !hybrid.SubsetOf(commut) {
+		t.Fatalf("Table V closure must be contained in Table VI; extra in hybrid:\n%s",
+			hybrid.Diff(commut).Dump())
+	}
+	extra := commut.Diff(hybrid)
+	if extra.Len() == 0 {
+		t.Fatal("Table VI must be strictly larger")
+	}
+	for _, pair := range extra.Pairs() {
+		a, b := pair[0], pair[1]
+		postCredit := (a.Name == "Post" && b.Name == "Credit") || (a.Name == "Credit" && b.Name == "Post")
+		postDebitOk := (a.Name == "Post" && b.Name == "Debit" && b.Res == adt.ResOk) ||
+			(b.Name == "Post" && a.Name == "Debit" && a.Res == adt.ResOk)
+		if !postCredit && !postDebitOk {
+			t.Errorf("unexpected extra commutativity conflict (%s, %s)", a, b)
+		}
+	}
+}
+
+// TestQueueCommutativityMatchesTableIII verifies the paper's claim that for
+// Queue the commutativity-based conflicts coincide with those induced by
+// Table III (and differ from Table II).
+func TestQueueCommutativityMatchesTableIII(t *testing.T) {
+	sp := adt.NewQueue()
+	universe := adt.QueueUniverse([]int64{1, 2})
+	invs := adt.QueueInvocations([]int64{1, 2})
+	ftc := FailureToCommute(sp, universe, invs, 3, 3)
+	tbl3 := GroundConflict(SymmetricClosure(QueueDependencyIII()), universe)
+	if !ftc.Equal(tbl3) {
+		t.Fatalf("queue failure-to-commute ≠ sym(Table III)\nextra:\n%s\nmissing:\n%s",
+			ftc.Diff(tbl3).Dump(), tbl3.Diff(ftc).Dump())
+	}
+	tbl2 := GroundConflict(SymmetricClosure(QueueDependencyII()), universe)
+	if ftc.Equal(tbl2) {
+		t.Error("queue failure-to-commute unexpectedly equals sym(Table II)")
+	}
+}
+
+// TestTheorem10 verifies that the derived invalidated-by relation is a
+// dependency relation for every data type in the catalogue.
+func TestTheorem10_InvalidatedByIsDependency(t *testing.T) {
+	cases := []struct {
+		sp  spec.Spec
+		ops []spec.Op
+	}{
+		{adt.NewFile(), adt.FileUniverse([]int64{1, 2})},
+		{adt.NewQueue(), adt.QueueUniverse([]int64{1, 2})},
+		{adt.NewSemiqueue(), adt.SemiqueueUniverse([]int64{1, 2})},
+		{adt.NewAccount(), adt.AccountUniverse([]int64{1, 2}, []int64{2})},
+		{adt.NewCounter(), adt.CounterUniverse([]int64{1, 2}, []int64{0, 1, 2, 3, 4})},
+		{adt.NewSet(), adt.SetUniverse([]int64{1, 2})},
+		{adt.NewDirectory(), adt.DirectoryUniverse([]string{"a", "b"}, []int64{1, 2})},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.sp.Name(), func(t *testing.T) {
+			derived := InvalidatedBy(tc.sp, tc.ops, 2, 2)
+			if cx := IsDependency(tc.sp, derived, tc.ops, 2, 2); cx != nil {
+				t.Errorf("invalidated-by is not a dependency relation: %s", cx)
+			}
+		})
+	}
+}
+
+func TestCounterDerivation(t *testing.T) {
+	sp := adt.NewCounter()
+	universe := adt.CounterUniverse([]int64{1, 2}, []int64{0, 1, 2, 3, 4})
+	derived := InvalidatedBy(sp, universe, 2, 2)
+	want := Ground(CounterDependency(), universe)
+	if !derived.Equal(want) {
+		t.Fatalf("counter derivation mismatch\nextra:\n%s\nmissing:\n%s",
+			derived.Diff(want).Dump(), want.Diff(derived).Dump())
+	}
+}
+
+func TestSetDerivation(t *testing.T) {
+	sp := adt.NewSet()
+	universe := adt.SetUniverse([]int64{1, 2})
+	derived := InvalidatedBy(sp, universe, 2, 2)
+	want := Ground(SetDependency(), universe)
+	if !derived.Equal(want) {
+		t.Fatalf("set derivation mismatch\nextra:\n%s\nmissing:\n%s",
+			derived.Diff(want).Dump(), want.Diff(derived).Dump())
+	}
+}
+
+func TestDirectoryDerivation(t *testing.T) {
+	sp := adt.NewDirectory()
+	universe := adt.DirectoryUniverse([]string{"a", "b"}, []int64{1, 2})
+	derived := InvalidatedBy(sp, universe, 2, 1)
+	want := Ground(DirectoryDependency(), universe)
+	if !derived.Equal(want) {
+		t.Fatalf("directory derivation mismatch\nextra:\n%s\nmissing:\n%s",
+			derived.Diff(want).Dump(), want.Diff(derived).Dump())
+	}
+}
+
+// TestEmptyRelationIsNotDependency exercises the counterexample machinery:
+// with no dependencies at all, Definition 3 fails on the Queue (this is the
+// germ of Theorem 17's necessity argument).
+func TestEmptyRelationIsNotDependency(t *testing.T) {
+	sp := adt.NewQueue()
+	universe := adt.QueueUniverse([]int64{1, 2})
+	empty := RelationFunc("empty", func(q, p spec.Op) bool { return false })
+	cx := IsDependency(sp, empty, universe, 2, 2)
+	if cx == nil {
+		t.Fatal("the empty relation must fail Definition 3 on Queue")
+	}
+	if cx.String() == "" {
+		t.Error("counterexample must render")
+	}
+	// Validate the counterexample: h•p and h•k legal, h•p•k illegal.
+	if !spec.LegalAfter(sp, cx.H, cx.P) {
+		t.Error("counterexample h•p must be legal")
+	}
+	if !spec.Legal(sp, spec.Concat(cx.H, cx.K)) {
+		t.Error("counterexample h•k must be legal")
+	}
+	if spec.Legal(sp, spec.Concat(cx.H, []spec.Op{cx.P}, cx.K)) {
+		t.Error("counterexample h•p•k must be illegal")
+	}
+}

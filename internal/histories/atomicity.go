@@ -1,0 +1,224 @@
+package histories
+
+import (
+	"fmt"
+
+	"hybridcc/internal/spec"
+)
+
+// ObjOp is an operation together with the object it executes on, the
+// elements of the operation sequences of Section 3.2.
+type ObjOp struct {
+	Obj ObjID
+	Op  spec.Op
+}
+
+// String renders the operation in the paper's "X : [Enq(3), Ok]" style.
+func (o ObjOp) String() string { return fmt.Sprintf("%s : %s", o.Obj, o.Op) }
+
+// OpSeq computes OpSeq(H) for a serial failure-free history: per
+// transaction (in appearance order), invocation events are paired with
+// their responses, commit events and a trailing pending invocation are
+// discarded.  It returns an error if h is not serial, not failure-free, or
+// not well-formed enough to pair events.
+func OpSeq(h History) ([]ObjOp, error) {
+	if !IsSerial(h) {
+		return nil, fmt.Errorf("histories: OpSeq of a non-serial history")
+	}
+	if !FailureFree(h) {
+		return nil, fmt.Errorf("histories: OpSeq of a history with aborts")
+	}
+	var out []ObjOp
+	for _, t := range Txs(h) {
+		ops, err := TxOpSeq(ByTx(h, t))
+		if err != nil {
+			return nil, fmt.Errorf("transaction %q: %w", t, err)
+		}
+		out = append(out, ops...)
+	}
+	return out, nil
+}
+
+// TxOpSeq computes OpSeq(H|P) for a single transaction's subhistory:
+// invocations paired with responses, commit/abort events and a trailing
+// pending invocation dropped.
+func TxOpSeq(hp History) ([]ObjOp, error) {
+	var out []ObjOp
+	var pending *Event
+	for i := range hp {
+		e := hp[i]
+		switch e.Kind {
+		case Invoke:
+			if pending != nil {
+				return nil, fmt.Errorf("invocation %v while %v is pending", e, *pending)
+			}
+			pending = &hp[i]
+		case Respond:
+			if pending == nil {
+				return nil, fmt.Errorf("response %v without pending invocation", e)
+			}
+			if pending.Obj != e.Obj {
+				return nil, fmt.Errorf("response %v pairs with invocation on %q", e, pending.Obj)
+			}
+			out = append(out, ObjOp{Obj: e.Obj, Op: pending.Inv.With(e.Res)})
+			pending = nil
+		case Commit, Abort:
+			// Discarded by OpSeq.
+		}
+	}
+	return out, nil
+}
+
+// FilterObj returns the operations of seq that execute on obj, as a plain
+// operation sequence.
+func FilterObj(seq []ObjOp, obj ObjID) []spec.Op {
+	var out []spec.Op
+	for _, o := range seq {
+		if o.Obj == obj {
+			out = append(out, o.Op)
+		}
+	}
+	return out
+}
+
+// SpecMap assigns a serial specification to every object.
+type SpecMap map[ObjID]spec.Spec
+
+// Acceptable reports whether the serial failure-free history h is
+// acceptable: OpSeq(H|X) belongs to the serial specification of X for every
+// object X (Section 3.2).
+func Acceptable(h History, specs SpecMap) (bool, error) {
+	seq, err := OpSeq(h)
+	if err != nil {
+		return false, err
+	}
+	for _, x := range Objs(h) {
+		sp, ok := specs[x]
+		if !ok {
+			return false, fmt.Errorf("histories: no specification for object %q", x)
+		}
+		if !spec.Legal(sp, FilterObj(seq, x)) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// SerializableIn reports whether the failure-free history h is serializable
+// in the order given: Serial(H, T) is acceptable.
+func SerializableIn(h History, order []TxID, specs SpecMap) (bool, error) {
+	s, err := Serial(h, order)
+	if err != nil {
+		return false, err
+	}
+	return Acceptable(s, specs)
+}
+
+// Serializable reports whether some total order serializes the
+// failure-free history h.  Brute force over permutations; use on small
+// histories only.
+func Serializable(h History, specs SpecMap) (bool, error) {
+	txs := Txs(h)
+	found := false
+	var firstErr error
+	Permutations(txs, func(order []TxID) bool {
+		ok, err := SerializableIn(h, order, specs)
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		if ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found, firstErr
+}
+
+// HybridAtomic reports whether permanent(h) is serializable in timestamp
+// order (Section 3.3).
+func HybridAtomic(h History, specs SpecMap) (bool, error) {
+	perm := Permanent(h)
+	return SerializableIn(perm, TimestampOrder(perm), specs)
+}
+
+// OnlineHybridAtomicAt reports whether h is online hybrid atomic at x
+// (Section 3.4): for every commit set C for h and every total order T
+// consistent with Known(H|X), H|C|X is serializable in the order T.
+//
+// The check enumerates commit sets over the transactions appearing in h and
+// total orders over the transactions appearing in H|X; it is exponential
+// and intended for small model-checking histories.
+func OnlineHybridAtomicAt(h History, x ObjID, specs SpecMap) (bool, error) {
+	hx := ByObj(h, x)
+	known := Known(hx)
+	committed := Committed(h)
+	aborted := Aborted(h)
+
+	// Candidate additions to the commit set: active transactions of h.
+	var active []TxID
+	for _, t := range Txs(h) {
+		if _, ok := committed[t]; !ok && !aborted[t] {
+			active = append(active, t)
+		}
+	}
+	xTxs := Txs(hx)
+
+	result := true
+	var firstErr error
+	Subsets(active, func(extra map[TxID]bool) bool {
+		commitSet := make(map[TxID]bool, len(committed)+len(extra))
+		for t := range committed {
+			commitSet[t] = true
+		}
+		for t := range extra {
+			commitSet[t] = true
+		}
+		hcx := ByTxSet(hx, commitSet)
+		ok := Permutations(xTxs, func(order []TxID) bool {
+			if !ConsistentWith(order, known) {
+				return true
+			}
+			serializable, err := SerializableIn(hcx, restrictOrder(order, hcx), specs)
+			if err != nil {
+				firstErr = err
+				return false
+			}
+			if !serializable {
+				result = false
+				return false
+			}
+			return true
+		})
+		return ok
+	})
+	return result, firstErr
+}
+
+// restrictOrder drops from order the transactions that do not appear in h.
+func restrictOrder(order []TxID, h History) []TxID {
+	present := make(map[TxID]bool)
+	for _, t := range Txs(h) {
+		present[t] = true
+	}
+	var out []TxID
+	for _, t := range order {
+		if present[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// OnlineHybridAtomic reports whether h is online hybrid atomic at every
+// object appearing in it.
+func OnlineHybridAtomic(h History, specs SpecMap) (bool, error) {
+	for _, x := range Objs(h) {
+		ok, err := OnlineHybridAtomicAt(h, x, specs)
+		if err != nil || !ok {
+			return ok, err
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,311 @@
+// Package histories implements the event-based model of computation of
+// Herlihy & Weihl, Sections 2 and 3: invocation, response, commit, and
+// abort events; histories and their well-formedness constraints; the
+// precedes, TS, and Known relations; and the atomicity definitions
+// (serializability, hybrid atomicity, and online hybrid atomicity).
+//
+// The atomicity checkers are brute-force decision procedures intended for
+// verifying small histories in tests and in randomized model checking; they
+// are exponential in the number of transactions by nature (serializability
+// quantifies over total orders).
+package histories
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridcc/internal/spec"
+)
+
+// TxID identifies a transaction (the paper's P, Q, R).
+type TxID string
+
+// ObjID identifies an object (the paper's X, Y, Z).
+type ObjID string
+
+// Timestamp is a commit timestamp drawn from a countable totally ordered
+// set; larger is later.
+type Timestamp int64
+
+// Kind enumerates the four kinds of events at the transaction/object
+// interface.
+type Kind uint8
+
+// The four event kinds of Section 2.
+const (
+	Invoke  Kind = iota // ⟨inv, X, P⟩
+	Respond             // ⟨res, X, P⟩
+	Commit              // ⟨commit(t), X, P⟩
+	Abort               // ⟨abort, X, P⟩
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Invoke:
+		return "invoke"
+	case Respond:
+		return "respond"
+	case Commit:
+		return "commit"
+	case Abort:
+		return "abort"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is a single event involving an object and a transaction.
+type Event struct {
+	Kind Kind
+	Tx   TxID
+	Obj  ObjID
+	Inv  spec.Invocation // set for Invoke events
+	Res  string          // set for Respond events
+	TS   Timestamp       // set for Commit events
+}
+
+// String renders the event in the paper's angle-bracket notation.
+func (e Event) String() string {
+	switch e.Kind {
+	case Invoke:
+		return fmt.Sprintf("⟨%s, %s, %s⟩", e.Inv, e.Obj, e.Tx)
+	case Respond:
+		return fmt.Sprintf("⟨%s, %s, %s⟩", e.Res, e.Obj, e.Tx)
+	case Commit:
+		return fmt.Sprintf("⟨commit(%d), %s, %s⟩", e.TS, e.Obj, e.Tx)
+	case Abort:
+		return fmt.Sprintf("⟨abort, %s, %s⟩", e.Obj, e.Tx)
+	}
+	return fmt.Sprintf("⟨?%d, %s, %s⟩", e.Kind, e.Obj, e.Tx)
+}
+
+// InvokeEvent returns an invocation event ⟨inv, obj, tx⟩.
+func InvokeEvent(tx TxID, obj ObjID, inv spec.Invocation) Event {
+	return Event{Kind: Invoke, Tx: tx, Obj: obj, Inv: inv}
+}
+
+// RespondEvent returns a response event ⟨res, obj, tx⟩.
+func RespondEvent(tx TxID, obj ObjID, res string) Event {
+	return Event{Kind: Respond, Tx: tx, Obj: obj, Res: res}
+}
+
+// CommitEvent returns a commit event ⟨commit(ts), obj, tx⟩.
+func CommitEvent(tx TxID, obj ObjID, ts Timestamp) Event {
+	return Event{Kind: Commit, Tx: tx, Obj: obj, TS: ts}
+}
+
+// AbortEvent returns an abort event ⟨abort, obj, tx⟩.
+func AbortEvent(tx TxID, obj ObjID) Event {
+	return Event{Kind: Abort, Tx: tx, Obj: obj}
+}
+
+// History is a finite sequence of events.
+type History []Event
+
+// String renders the history one event per line.
+func (h History) String() string {
+	lines := make([]string, len(h))
+	for i, e := range h {
+		lines[i] = e.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// ByObj returns H|X: the subsequence of events involving any of the given
+// objects.
+func ByObj(h History, objs ...ObjID) History {
+	want := make(map[ObjID]bool, len(objs))
+	for _, o := range objs {
+		want[o] = true
+	}
+	var out History
+	for _, e := range h {
+		if want[e.Obj] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByTx returns H|P: the subsequence of events involving any of the given
+// transactions.
+func ByTx(h History, txs ...TxID) History {
+	want := make(map[TxID]bool, len(txs))
+	for _, t := range txs {
+		want[t] = true
+	}
+	return ByTxSet(h, want)
+}
+
+// ByTxSet returns H|P for a set of transactions.
+func ByTxSet(h History, txs map[TxID]bool) History {
+	var out History
+	for _, e := range h {
+		if txs[e.Tx] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Committed returns the committed transactions of h with their timestamps
+// (from each transaction's first commit event; well-formedness requires all
+// of a transaction's commit events to carry the same timestamp).
+func Committed(h History) map[TxID]Timestamp {
+	out := make(map[TxID]Timestamp)
+	for _, e := range h {
+		if e.Kind == Commit {
+			if _, ok := out[e.Tx]; !ok {
+				out[e.Tx] = e.TS
+			}
+		}
+	}
+	return out
+}
+
+// Aborted returns the set of aborted transactions of h.
+func Aborted(h History) map[TxID]bool {
+	out := make(map[TxID]bool)
+	for _, e := range h {
+		if e.Kind == Abort {
+			out[e.Tx] = true
+		}
+	}
+	return out
+}
+
+// Completed returns committed(h) ∪ aborted(h) as a set.
+func Completed(h History) map[TxID]bool {
+	out := make(map[TxID]bool)
+	for _, e := range h {
+		if e.Kind == Commit || e.Kind == Abort {
+			out[e.Tx] = true
+		}
+	}
+	return out
+}
+
+// Permanent returns H|committed(H): the subhistory of events for committed
+// transactions (the paper's formalization of recoverability).
+func Permanent(h History) History {
+	committed := Committed(h)
+	var out History
+	for _, e := range h {
+		if _, ok := committed[e.Tx]; ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FailureFree reports whether aborted(h) is empty.
+func FailureFree(h History) bool {
+	for _, e := range h {
+		if e.Kind == Abort {
+			return false
+		}
+	}
+	return true
+}
+
+// Txs returns the transactions of h in order of first appearance.
+func Txs(h History) []TxID {
+	seen := make(map[TxID]bool)
+	var out []TxID
+	for _, e := range h {
+		if !seen[e.Tx] {
+			seen[e.Tx] = true
+			out = append(out, e.Tx)
+		}
+	}
+	return out
+}
+
+// Objs returns the objects of h in order of first appearance.
+func Objs(h History) []ObjID {
+	seen := make(map[ObjID]bool)
+	var out []ObjID
+	for _, e := range h {
+		if !seen[e.Obj] {
+			seen[e.Obj] = true
+			out = append(out, e.Obj)
+		}
+	}
+	return out
+}
+
+// IsSerial reports whether events for different transactions are not
+// interleaved in h.
+func IsSerial(h History) bool {
+	var cur TxID
+	done := make(map[TxID]bool)
+	for _, e := range h {
+		if e.Tx == cur {
+			continue
+		}
+		if done[e.Tx] {
+			return false
+		}
+		if cur != "" {
+			done[cur] = true
+		}
+		cur = e.Tx
+	}
+	return true
+}
+
+// Equivalent reports whether every transaction performs the same sequence
+// of steps in h and k (H|P = K|P for all P).
+func Equivalent(h, k History) bool {
+	txs := Txs(h)
+	for _, t := range Txs(k) {
+		found := false
+		for _, u := range txs {
+			if u == t {
+				found = true
+				break
+			}
+		}
+		if !found {
+			txs = append(txs, t)
+		}
+	}
+	for _, t := range txs {
+		ht := ByTx(h, t)
+		kt := ByTx(k, t)
+		if len(ht) != len(kt) {
+			return false
+		}
+		for i := range ht {
+			if ht[i] != kt[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Serial returns Serial(H, T): the serial history equivalent to h in which
+// transactions appear in the order given.  Transactions of h missing from
+// order are an error; extra transactions in order are skipped.
+func Serial(h History, order []TxID) (History, error) {
+	present := make(map[TxID]bool)
+	for _, t := range Txs(h) {
+		present[t] = true
+	}
+	covered := make(map[TxID]bool)
+	var out History
+	for _, t := range order {
+		if covered[t] {
+			return nil, fmt.Errorf("histories: duplicate transaction %q in order", t)
+		}
+		covered[t] = true
+		out = append(out, ByTx(h, t)...)
+	}
+	for t := range present {
+		if !covered[t] {
+			return nil, fmt.Errorf("histories: order is missing transaction %q", t)
+		}
+	}
+	return out, nil
+}

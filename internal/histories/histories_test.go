@@ -1,0 +1,497 @@
+package histories
+
+import (
+	"strings"
+	"testing"
+
+	"hybridcc/internal/adt"
+)
+
+const x = ObjID("X")
+
+// paperQueueHistory is the FIFO queue history of Section 3.2: P and Q
+// enqueue concurrently (P twice), P commits with timestamp 2, Q with
+// timestamp 1, then R dequeues 2 and 1 and commits with timestamp 3.  It is
+// atomic: serializable in the order Q, P, R.
+func paperQueueHistory() History {
+	return History{
+		InvokeEvent("P", x, adt.EnqInv(1)),
+		RespondEvent("P", x, adt.ResOk),
+		InvokeEvent("Q", x, adt.EnqInv(2)),
+		RespondEvent("Q", x, adt.ResOk),
+		InvokeEvent("P", x, adt.EnqInv(3)),
+		RespondEvent("P", x, adt.ResOk),
+		CommitEvent("P", x, 2),
+		CommitEvent("Q", x, 1),
+		InvokeEvent("R", x, adt.DeqInv()),
+		RespondEvent("R", x, "2"),
+		InvokeEvent("R", x, adt.DeqInv()),
+		RespondEvent("R", x, "1"),
+		CommitEvent("R", x, 3),
+	}
+}
+
+func queueSpecs() SpecMap { return SpecMap{x: adt.NewQueue()} }
+
+func TestEventStrings(t *testing.T) {
+	e := InvokeEvent("P", x, adt.EnqInv(3))
+	if !strings.Contains(e.String(), "Enq(3)") {
+		t.Errorf("invoke String = %q", e)
+	}
+	if s := CommitEvent("P", x, 7).String(); !strings.Contains(s, "commit(7)") {
+		t.Errorf("commit String = %q", s)
+	}
+	if s := AbortEvent("P", x).String(); !strings.Contains(s, "abort") {
+		t.Errorf("abort String = %q", s)
+	}
+	if s := RespondEvent("P", x, "Ok").String(); !strings.Contains(s, "Ok") {
+		t.Errorf("respond String = %q", s)
+	}
+	for _, k := range []Kind{Invoke, Respond, Commit, Abort} {
+		if k.String() == "" {
+			t.Error("Kind must render")
+		}
+	}
+}
+
+func TestRestrictions(t *testing.T) {
+	h := History{
+		InvokeEvent("P", "X", adt.EnqInv(1)),
+		RespondEvent("P", "X", adt.ResOk),
+		InvokeEvent("Q", "Y", adt.EnqInv(2)),
+		RespondEvent("Q", "Y", adt.ResOk),
+	}
+	if got := ByObj(h, "X"); len(got) != 2 || got[0].Tx != "P" {
+		t.Errorf("ByObj = %v", got)
+	}
+	if got := ByTx(h, "Q"); len(got) != 2 || got[0].Obj != "Y" {
+		t.Errorf("ByTx = %v", got)
+	}
+	if got := ByTx(h, "P", "Q"); len(got) != 4 {
+		t.Errorf("ByTx multi = %v", got)
+	}
+}
+
+func TestCompletionSets(t *testing.T) {
+	h := History{
+		CommitEvent("P", x, 5),
+		AbortEvent("Q", x),
+		CommitEvent("P", x, 5), // repeat commit allowed
+	}
+	committed := Committed(h)
+	if len(committed) != 1 || committed["P"] != 5 {
+		t.Errorf("Committed = %v", committed)
+	}
+	if !Aborted(h)["Q"] || Aborted(h)["P"] {
+		t.Errorf("Aborted = %v", Aborted(h))
+	}
+	c := Completed(h)
+	if !c["P"] || !c["Q"] || len(c) != 2 {
+		t.Errorf("Completed = %v", c)
+	}
+	if FailureFree(h) {
+		t.Error("history with abort reported failure-free")
+	}
+	if !FailureFree(paperQueueHistory()) {
+		t.Error("paper history is failure-free")
+	}
+}
+
+func TestPermanent(t *testing.T) {
+	h := History{
+		InvokeEvent("P", x, adt.EnqInv(1)),
+		RespondEvent("P", x, adt.ResOk),
+		InvokeEvent("Q", x, adt.EnqInv(2)),
+		RespondEvent("Q", x, adt.ResOk),
+		AbortEvent("Q", x),
+		CommitEvent("P", x, 1),
+	}
+	p := Permanent(h)
+	for _, e := range p {
+		if e.Tx == "Q" {
+			t.Errorf("Permanent kept aborted transaction event %v", e)
+		}
+	}
+	if len(p) != 3 {
+		t.Errorf("Permanent has %d events, want 3", len(p))
+	}
+}
+
+func TestTxsObjsOrder(t *testing.T) {
+	h := paperQueueHistory()
+	txs := Txs(h)
+	if len(txs) != 3 || txs[0] != "P" || txs[1] != "Q" || txs[2] != "R" {
+		t.Errorf("Txs = %v", txs)
+	}
+	objs := Objs(h)
+	if len(objs) != 1 || objs[0] != x {
+		t.Errorf("Objs = %v", objs)
+	}
+}
+
+func TestIsSerial(t *testing.T) {
+	if IsSerial(paperQueueHistory()) {
+		t.Error("paper history is interleaved")
+	}
+	serial, err := Serial(paperQueueHistory(), []TxID{"Q", "P", "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSerial(serial) {
+		t.Error("Serial() result must be serial")
+	}
+	if !Equivalent(serial, paperQueueHistory()) {
+		t.Error("Serial() must preserve per-transaction subhistories")
+	}
+}
+
+func TestSerialErrors(t *testing.T) {
+	h := paperQueueHistory()
+	if _, err := Serial(h, []TxID{"P", "Q"}); err == nil {
+		t.Error("missing transaction must error")
+	}
+	if _, err := Serial(h, []TxID{"P", "P", "Q", "R"}); err == nil {
+		t.Error("duplicate transaction must error")
+	}
+	if _, err := Serial(h, []TxID{"P", "Q", "R", "S"}); err != nil {
+		t.Errorf("extra transactions are skipped, got error %v", err)
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	h := paperQueueHistory()
+	if !Equivalent(h, h) {
+		t.Error("history must be equivalent to itself")
+	}
+	k := append(History{}, h...)
+	k[0] = InvokeEvent("P", x, adt.EnqInv(9))
+	if Equivalent(h, k) {
+		t.Error("modified history reported equivalent")
+	}
+	if Equivalent(h, h[:4]) {
+		t.Error("prefix reported equivalent")
+	}
+}
+
+func TestWellFormedAcceptsPaperHistory(t *testing.T) {
+	if err := WellFormed(paperQueueHistory()); err != nil {
+		t.Errorf("paper history must be well-formed: %v", err)
+	}
+}
+
+func TestWellFormedViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		h    History
+	}{
+		{"response without invocation", History{RespondEvent("P", x, "Ok")}},
+		{"double invocation", History{
+			InvokeEvent("P", x, adt.EnqInv(1)),
+			InvokeEvent("P", x, adt.EnqInv(2)),
+		}},
+		{"response on wrong object", History{
+			InvokeEvent("P", "X", adt.EnqInv(1)),
+			RespondEvent("P", "Y", adt.ResOk),
+		}},
+		{"commit while pending", History{
+			InvokeEvent("P", x, adt.EnqInv(1)),
+			CommitEvent("P", x, 1),
+		}},
+		{"invoke after commit", History{
+			CommitEvent("P", x, 1),
+			InvokeEvent("P", x, adt.EnqInv(1)),
+		}},
+		{"commit and abort", History{
+			CommitEvent("P", x, 1),
+			AbortEvent("P", x),
+		}},
+		{"abort then commit", History{
+			AbortEvent("P", x),
+			CommitEvent("P", x, 1),
+		}},
+		{"two timestamps", History{
+			CommitEvent("P", x, 1),
+			CommitEvent("P", x, 2),
+		}},
+		{"timestamp reuse", History{
+			CommitEvent("P", x, 1),
+			CommitEvent("Q", x, 1),
+		}},
+		{"precedes violates timestamps", History{
+			CommitEvent("P", x, 5),
+			InvokeEvent("Q", x, adt.EnqInv(1)),
+			RespondEvent("Q", x, adt.ResOk),
+			CommitEvent("Q", x, 3), // ran after P committed but ts earlier
+		}},
+	}
+	for _, tc := range cases {
+		if err := WellFormed(tc.h); err == nil {
+			t.Errorf("%s: well-formedness violation not detected", tc.name)
+		}
+	}
+}
+
+func TestWellFormedAllowsPaperLiberties(t *testing.T) {
+	cases := []struct {
+		name string
+		h    History
+	}{
+		{"commit without operations", History{CommitEvent("P", x, 1)}},
+		{"repeated commit same ts", History{CommitEvent("P", x, 1), CommitEvent("P", x, 1)}},
+		{"orphan operations after abort", History{
+			AbortEvent("P", x),
+			InvokeEvent("P", x, adt.EnqInv(1)),
+			RespondEvent("P", x, adt.ResOk),
+		}},
+		{"pending invocation at end", History{InvokeEvent("P", x, adt.EnqInv(1))}},
+	}
+	for _, tc := range cases {
+		if err := WellFormed(tc.h); err != nil {
+			t.Errorf("%s: must be allowed, got %v", tc.name, err)
+		}
+	}
+}
+
+func TestPrecedesTSKnown(t *testing.T) {
+	h := paperQueueHistory()
+	pre := Precedes(h)
+	// R responded after both P and Q committed.
+	if !pre[TxPair{"P", "R"}] || !pre[TxPair{"Q", "R"}] {
+		t.Errorf("Precedes = %v", pre)
+	}
+	if pre[TxPair{"P", "Q"}] || pre[TxPair{"Q", "P"}] {
+		t.Error("concurrent P and Q must be unrelated by precedes")
+	}
+	ts := TS(h)
+	if !ts[TxPair{"Q", "P"}] || !ts[TxPair{"P", "R"}] || !ts[TxPair{"Q", "R"}] {
+		t.Errorf("TS = %v", ts)
+	}
+	known := Known(h)
+	if !known[TxPair{"Q", "P"}] || !known[TxPair{"P", "R"}] {
+		t.Errorf("Known = %v", known)
+	}
+	if !ConsistentWith([]TxID{"Q", "P", "R"}, known) {
+		t.Error("Q,P,R must be consistent with Known")
+	}
+	if ConsistentWith([]TxID{"P", "Q", "R"}, known) {
+		t.Error("P,Q,R contradicts TS and must be inconsistent")
+	}
+	order := TimestampOrder(h)
+	if len(order) != 3 || order[0] != "Q" || order[1] != "P" || order[2] != "R" {
+		t.Errorf("TimestampOrder = %v", order)
+	}
+}
+
+func TestOpSeqPaperExample(t *testing.T) {
+	// The Section 3.2 example: Q enqueues 3 and commits, then P dequeues 3
+	// and commits; OpSeq is [Enq(3),Ok] [Deq(),3].
+	h := History{
+		InvokeEvent("Q", x, adt.EnqInv(3)),
+		RespondEvent("Q", x, adt.ResOk),
+		CommitEvent("Q", x, 1),
+		InvokeEvent("P", x, adt.DeqInv()),
+		RespondEvent("P", x, "3"),
+		CommitEvent("P", x, 2),
+	}
+	seq, err := OpSeq(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 2 {
+		t.Fatalf("OpSeq len = %d", len(seq))
+	}
+	if seq[0].Op != adt.Enq(3) || seq[1].Op != adt.Deq(3) {
+		t.Errorf("OpSeq = %v", seq)
+	}
+	if seq[0].Obj != x || !strings.Contains(seq[0].String(), "X :") {
+		t.Errorf("ObjOp rendering = %q", seq[0])
+	}
+}
+
+func TestOpSeqErrors(t *testing.T) {
+	if _, err := OpSeq(paperQueueHistory()); err == nil {
+		t.Error("OpSeq of interleaved history must error")
+	}
+	withAbort := History{AbortEvent("P", x)}
+	if _, err := OpSeq(withAbort); err == nil {
+		t.Error("OpSeq with aborts must error")
+	}
+}
+
+func TestTxOpSeqDropsPendingAndCompletion(t *testing.T) {
+	hp := History{
+		InvokeEvent("P", x, adt.EnqInv(1)),
+		RespondEvent("P", x, adt.ResOk),
+		CommitEvent("P", x, 9),
+		InvokeEvent("P", x, adt.EnqInv(2)), // pending (ill-formed, but OpSeq is defined on it)
+	}
+	ops, err := TxOpSeq(hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || ops[0].Op != adt.Enq(1) {
+		t.Errorf("TxOpSeq = %v", ops)
+	}
+}
+
+func TestAcceptableAndSerializable(t *testing.T) {
+	h := paperQueueHistory()
+	ok, err := SerializableIn(h, []TxID{"Q", "P", "R"}, queueSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("paper history must serialize in order Q,P,R")
+	}
+	ok, err = SerializableIn(h, []TxID{"P", "Q", "R"}, queueSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("order P,Q,R dequeues 1 before 2 and must fail")
+	}
+	ok, err = Serializable(h, queueSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("paper history must be serializable")
+	}
+}
+
+func TestHybridAtomicPaperHistory(t *testing.T) {
+	ok, err := HybridAtomic(paperQueueHistory(), queueSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("paper history must be hybrid atomic")
+	}
+}
+
+func TestHybridAtomicViolation(t *testing.T) {
+	// Two enqueues committed in timestamp order P(1), Q(2), but a reader
+	// saw Q's item first: not serializable in timestamp order.
+	h := History{
+		InvokeEvent("P", x, adt.EnqInv(1)),
+		RespondEvent("P", x, adt.ResOk),
+		InvokeEvent("Q", x, adt.EnqInv(2)),
+		RespondEvent("Q", x, adt.ResOk),
+		CommitEvent("P", x, 1),
+		CommitEvent("Q", x, 2),
+		InvokeEvent("R", x, adt.DeqInv()),
+		RespondEvent("R", x, "2"),
+		CommitEvent("R", x, 3),
+	}
+	ok, err := HybridAtomic(h, queueSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("history dequeuing out of timestamp order must not be hybrid atomic")
+	}
+	// It is, however, atomic (serializable in the order Q, P, R): hybrid
+	// atomicity is strictly stronger.
+	ok, err = Serializable(Permanent(h), queueSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("the same history is serializable in some order")
+	}
+}
+
+// TestOnlineHybridAtomicPrefixes reproduces the Section 3.4 walkthrough:
+// every prefix of the paper's queue history is online hybrid atomic.
+func TestOnlineHybridAtomicPrefixes(t *testing.T) {
+	h := paperQueueHistory()
+	for k := 0; k <= len(h); k++ {
+		ok, err := OnlineHybridAtomic(h[:k], queueSpecs())
+		if err != nil {
+			t.Fatalf("prefix %d: %v", k, err)
+		}
+		if !ok {
+			t.Errorf("prefix %d must be online hybrid atomic:\n%s", k, h[:k])
+		}
+	}
+}
+
+func TestOnlineHybridAtomicViolation(t *testing.T) {
+	// P enqueues 1 and 2 with nothing committed; R dequeues 2.  For the
+	// commit set {P, R} no order works: R saw P's second item first.
+	h := History{
+		InvokeEvent("P", x, adt.EnqInv(1)),
+		RespondEvent("P", x, adt.ResOk),
+		InvokeEvent("P", x, adt.EnqInv(2)),
+		RespondEvent("P", x, adt.ResOk),
+		InvokeEvent("R", x, adt.DeqInv()),
+		RespondEvent("R", x, "2"),
+	}
+	ok, err := OnlineHybridAtomicAt(h, x, queueSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("dequeuing an uncommitted non-front item must violate online hybrid atomicity")
+	}
+}
+
+func TestRelationUnion(t *testing.T) {
+	a := Relation{TxPair{"P", "Q"}: true}
+	b := Relation{TxPair{"Q", "R"}: true}
+	u := a.Union(b)
+	if len(u) != 2 || !u[TxPair{"P", "Q"}] || !u[TxPair{"Q", "R"}] {
+		t.Errorf("Union = %v", u)
+	}
+}
+
+func TestPermutationsAndSubsets(t *testing.T) {
+	var count int
+	Permutations([]TxID{"a", "b", "c"}, func(order []TxID) bool {
+		count++
+		return true
+	})
+	if count != 6 {
+		t.Errorf("permutation count = %d", count)
+	}
+	count = 0
+	done := Permutations([]TxID{"a", "b", "c"}, func(order []TxID) bool {
+		count++
+		return count < 2
+	})
+	if done || count != 2 {
+		t.Error("early exit failed")
+	}
+	count = 0
+	Subsets([]TxID{"a", "b"}, func(s map[TxID]bool) bool {
+		count++
+		return true
+	})
+	if count != 4 {
+		t.Errorf("subset count = %d", count)
+	}
+}
+
+func TestHistoryString(t *testing.T) {
+	h := paperQueueHistory()
+	s := h.String()
+	if !strings.Contains(s, "Enq(1)") || !strings.Contains(s, "commit(3)") {
+		t.Errorf("History.String missing events:\n%s", s)
+	}
+}
+
+// TestOpSeqViaSpec cross-checks FilterObj against a two-object history.
+func TestFilterObj(t *testing.T) {
+	seq := []ObjOp{
+		{Obj: "X", Op: adt.Enq(1)},
+		{Obj: "Y", Op: adt.FileWrite(2)},
+		{Obj: "X", Op: adt.Deq(1)},
+	}
+	xs := FilterObj(seq, "X")
+	if len(xs) != 2 || xs[0] != adt.Enq(1) || xs[1] != adt.Deq(1) {
+		t.Errorf("FilterObj = %v", xs)
+	}
+	if got := FilterObj(seq, "Z"); len(got) != 0 {
+		t.Errorf("FilterObj missing object = %v", got)
+	}
+}

@@ -1,0 +1,229 @@
+package histories
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hybridcc/internal/adt"
+)
+
+// genHistory maps a byte string onto an event sequence over a small
+// universe of transactions, objects, and operations.  The result is
+// arbitrary (often ill-formed), which is exactly what the algebraic
+// properties below must tolerate.
+func genHistory(data []byte) History {
+	txs := []TxID{"P", "Q", "R"}
+	objs := []ObjID{"X", "Y"}
+	var h History
+	for i := 0; i+2 < len(data); i += 3 {
+		tx := txs[int(data[i])%len(txs)]
+		obj := objs[int(data[i+1])%len(objs)]
+		switch data[i+2] % 5 {
+		case 0:
+			h = append(h, InvokeEvent(tx, obj, adt.EnqInv(int64(data[i+2]%4))))
+		case 1:
+			h = append(h, RespondEvent(tx, obj, adt.ResOk))
+		case 2:
+			h = append(h, CommitEvent(tx, obj, Timestamp(data[i+2])))
+		case 3:
+			h = append(h, AbortEvent(tx, obj))
+		default:
+			h = append(h, InvokeEvent(tx, obj, adt.DeqInv()))
+		}
+	}
+	return h
+}
+
+func TestPropRestrictionPartition(t *testing.T) {
+	// The per-transaction restrictions partition the history: every event
+	// appears in exactly one H|P, and their total length equals |H|.
+	f := func(data []byte) bool {
+		h := genHistory(data)
+		total := 0
+		for _, tx := range Txs(h) {
+			total += len(ByTx(h, tx))
+		}
+		return total == len(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropRestrictionPreservesOrder(t *testing.T) {
+	// H|P is a subsequence of H.
+	f := func(data []byte) bool {
+		h := genHistory(data)
+		for _, tx := range Txs(h) {
+			sub := ByTx(h, tx)
+			j := 0
+			for i := 0; i < len(h) && j < len(sub); i++ {
+				if h[i] == sub[j] && h[i].Tx == tx {
+					j++
+				}
+			}
+			if j != len(sub) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSerialIsSerialAndEquivalent(t *testing.T) {
+	// Serial(H, T) is serial, equivalent to H, and idempotent.
+	f := func(data []byte) bool {
+		h := genHistory(data)
+		order := Txs(h)
+		s, err := Serial(h, order)
+		if err != nil {
+			return false
+		}
+		if !IsSerial(s) || !Equivalent(h, s) {
+			return false
+		}
+		s2, err := Serial(s, order)
+		if err != nil || len(s2) != len(s) {
+			return false
+		}
+		for i := range s {
+			if s[i] != s2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropPrecedesSubsetOfKnown(t *testing.T) {
+	f := func(data []byte) bool {
+		h := genHistory(data)
+		known := Known(h)
+		for pair := range Precedes(h) {
+			if !known[pair] {
+				return false
+			}
+		}
+		for pair := range TS(h) {
+			if !known[pair] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropTimestampOrderSorted(t *testing.T) {
+	f := func(data []byte) bool {
+		h := genHistory(data)
+		committed := Committed(h)
+		order := TimestampOrder(h)
+		if len(order) != len(committed) {
+			return false
+		}
+		for i := 1; i < len(order); i++ {
+			if committed[order[i-1]] > committed[order[i]] {
+				return false
+			}
+		}
+		return ConsistentWith(order, TS(h))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropPermanentOnlyCommitted(t *testing.T) {
+	f := func(data []byte) bool {
+		h := genHistory(data)
+		committed := Committed(h)
+		for _, e := range Permanent(h) {
+			if _, ok := committed[e.Tx]; !ok {
+				return false
+			}
+		}
+		// Permanent is idempotent.
+		return len(Permanent(Permanent(h))) == len(Permanent(h))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCompletedIsUnion(t *testing.T) {
+	f := func(data []byte) bool {
+		h := genHistory(data)
+		completed := Completed(h)
+		committed := Committed(h)
+		aborted := Aborted(h)
+		for tx := range completed {
+			_, c := committed[tx]
+			if !c && !aborted[tx] {
+				return false
+			}
+		}
+		for tx := range committed {
+			if !completed[tx] {
+				return false
+			}
+		}
+		for tx := range aborted {
+			if !completed[tx] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropByObjByTxCommute(t *testing.T) {
+	f := func(data []byte) bool {
+		h := genHistory(data)
+		a := ByTx(ByObj(h, "X"), "P")
+		b := ByObj(ByTx(h, "P"), "X")
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropWellFormedPrefixClosed(t *testing.T) {
+	// Well-formedness is prefix-closed: if H is well-formed, so is every
+	// prefix of H.
+	f := func(data []byte) bool {
+		h := genHistory(data)
+		if WellFormed(h) != nil {
+			return true // nothing to check
+		}
+		for k := 0; k <= len(h); k++ {
+			if WellFormed(h[:k]) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package histories
+
+// TxPair is an ordered pair of transactions (P, Q) in a binary relation.
+type TxPair [2]TxID
+
+// Relation is a binary relation on transactions, represented as a pair set.
+type Relation map[TxPair]bool
+
+// Union returns r ∪ s.
+func (r Relation) Union(s Relation) Relation {
+	out := make(Relation, len(r)+len(s))
+	for p := range r {
+		out[p] = true
+	}
+	for p := range s {
+		out[p] = true
+	}
+	return out
+}
+
+// Precedes computes precedes(H): (P, Q) ∈ precedes(H) iff some operation
+// invoked by Q returns a response in H after P commits.  It captures
+// potential information flow between transactions (Section 2).
+func Precedes(h History) Relation {
+	out := make(Relation)
+	committed := make(map[TxID]bool)
+	for _, e := range h {
+		switch e.Kind {
+		case Commit:
+			committed[e.Tx] = true
+		case Respond:
+			for p := range committed {
+				if p != e.Tx {
+					out[TxPair{p, e.Tx}] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TS computes TS(H): (P, Q) for committed P, Q with ts(P) < ts(Q).
+func TS(h History) Relation {
+	committed := Committed(h)
+	out := make(Relation)
+	for p, tp := range committed {
+		for q, tq := range committed {
+			if tp < tq {
+				out[TxPair{p, q}] = true
+			}
+		}
+	}
+	return out
+}
+
+// Known computes Known(H) = precedes(H) ∪ TS(H): everything the history
+// reveals about the eventual timestamp order (Section 3.4).
+func Known(h History) Relation {
+	return Precedes(h).Union(TS(h))
+}
+
+// ConsistentWith reports whether the total order given extends rel: for
+// every (P, Q) ∈ rel with both P and Q in the order, P appears before Q.
+func ConsistentWith(order []TxID, rel Relation) bool {
+	pos := make(map[TxID]int, len(order))
+	for i, t := range order {
+		pos[t] = i
+	}
+	for pair := range rel {
+		ip, okP := pos[pair[0]]
+		iq, okQ := pos[pair[1]]
+		if okP && okQ && ip >= iq {
+			return false
+		}
+	}
+	return true
+}
+
+// TimestampOrder returns the committed transactions of h sorted by
+// timestamp (the total order TS(H) defines on committed(H)).
+func TimestampOrder(h History) []TxID {
+	committed := Committed(h)
+	out := make([]TxID, 0, len(committed))
+	for t := range committed {
+		out = append(out, t)
+	}
+	// Insertion sort by timestamp; committed sets in checked histories are
+	// small, and ties cannot occur in well-formed histories.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && committed[out[j-1]] > committed[out[j]]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Permutations calls yield with every permutation of txs until yield
+// returns false.  It reports whether enumeration ran to completion.
+func Permutations(txs []TxID, yield func([]TxID) bool) bool {
+	buf := make([]TxID, len(txs))
+	copy(buf, txs)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(buf) {
+			return yield(buf)
+		}
+		for i := k; i < len(buf); i++ {
+			buf[k], buf[i] = buf[i], buf[k]
+			if !rec(k + 1) {
+				return false
+			}
+			buf[k], buf[i] = buf[i], buf[k]
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// Subsets calls yield with every subset of txs (as a set) until yield
+// returns false.  It reports whether enumeration ran to completion.
+func Subsets(txs []TxID, yield func(map[TxID]bool) bool) bool {
+	n := len(txs)
+	if n > 30 {
+		panic("histories: subset enumeration over more than 30 transactions")
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		set := make(map[TxID]bool, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				set[txs[i]] = true
+			}
+		}
+		if !yield(set) {
+			return false
+		}
+	}
+	return true
+}

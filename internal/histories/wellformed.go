@@ -1,0 +1,126 @@
+package histories
+
+import "fmt"
+
+// WellFormed checks the well-formedness constraints of Section 2 and
+// returns nil when h is a history:
+//
+//   - Per transaction, op-events alternate invocation/response starting
+//     with an invocation, and each response involves the same object as the
+//     immediately preceding invocation.
+//   - No transaction both commits and aborts.
+//   - A transaction neither commits while an invocation is pending nor
+//     invokes an operation after committing (commits may repeat).
+//   - All commit events of one transaction carry the same timestamp;
+//     commit events of different transactions carry different timestamps.
+//   - precedes(H|X) ⊆ TS(H) for every object X: a transaction that runs at
+//     an object after another committed there must receive a later
+//     timestamp.
+//
+// Aborted transactions are deliberately unconstrained (they may keep
+// running as orphans), exactly as in the paper.
+func WellFormed(h History) error {
+	return WellFormedReadOnly(h, func(TxID) bool { return false })
+}
+
+// WellFormedReadOnly checks well-formedness under the generalized hybrid
+// atomicity of Section 7 (after Weihl): transactions classified read-only
+// choose their timestamps when they *start*, so the precedes ⊆ TS
+// constraint is waived for pairs whose later transaction is read-only — a
+// reader may run after a writer commits yet serialize before it.  All
+// other constraints are unchanged.
+func WellFormedReadOnly(h History, isReadOnly func(TxID) bool) error {
+	type txState struct {
+		pendingObj  ObjID
+		pending     bool
+		committed   bool
+		ts          Timestamp
+		everInvoked bool
+	}
+	states := make(map[TxID]*txState)
+	tsOwner := make(map[Timestamp]TxID)
+	aborted := make(map[TxID]bool)
+
+	st := func(t TxID) *txState {
+		s, ok := states[t]
+		if !ok {
+			s = &txState{}
+			states[t] = s
+		}
+		return s
+	}
+
+	for i, e := range h {
+		s := st(e.Tx)
+		switch e.Kind {
+		case Invoke:
+			if s.committed {
+				return fmt.Errorf("event %d %v: transaction invoked an operation after committing", i, e)
+			}
+			if s.pending {
+				return fmt.Errorf("event %d %v: transaction has a pending invocation", i, e)
+			}
+			s.pending = true
+			s.pendingObj = e.Obj
+			s.everInvoked = true
+		case Respond:
+			if !s.pending {
+				return fmt.Errorf("event %d %v: response without a pending invocation", i, e)
+			}
+			if s.pendingObj != e.Obj {
+				return fmt.Errorf("event %d %v: response object %q does not match pending invocation object %q",
+					i, e, e.Obj, s.pendingObj)
+			}
+			s.pending = false
+		case Commit:
+			if aborted[e.Tx] {
+				return fmt.Errorf("event %d %v: transaction already aborted", i, e)
+			}
+			if s.pending {
+				return fmt.Errorf("event %d %v: commit while an invocation is pending", i, e)
+			}
+			if s.committed {
+				if s.ts != e.TS {
+					return fmt.Errorf("event %d %v: transaction committed with two timestamps %d and %d",
+						i, e, s.ts, e.TS)
+				}
+			} else {
+				if owner, taken := tsOwner[e.TS]; taken && owner != e.Tx {
+					return fmt.Errorf("event %d %v: timestamp %d already used by %q", i, e, e.TS, owner)
+				}
+				tsOwner[e.TS] = e.Tx
+				s.committed = true
+				s.ts = e.TS
+			}
+		case Abort:
+			if s.committed {
+				return fmt.Errorf("event %d %v: transaction already committed", i, e)
+			}
+			aborted[e.Tx] = true
+		default:
+			return fmt.Errorf("event %d: unknown kind %d", i, e.Kind)
+		}
+	}
+
+	// precedes(H|X) ⊆ TS(H) for every object X (update transactions only;
+	// see WellFormedReadOnly).
+	committed := Committed(h)
+	for _, x := range Objs(h) {
+		for pair := range Precedes(ByObj(h, x)) {
+			p, q := pair[0], pair[1]
+			if isReadOnly(q) {
+				continue // Q's timestamp was chosen at start.
+			}
+			tq, ok := committed[q]
+			if !ok {
+				continue // Q has not committed; no constraint yet.
+			}
+			tp := committed[p] // p committed by definition of precedes
+			if tp >= tq {
+				return fmt.Errorf("timestamp order violates precedes at %q: %q committed at %d before %q ran, but %q committed at %d",
+					x, p, tp, q, q, tq)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,321 @@
+// Package lockmachine implements the LOCK state machine of Section 5 of
+// Herlihy & Weihl verbatim: states consist of pending invocations,
+// per-transaction intentions lists, commit timestamps, and an aborted set;
+// response events are enabled when the operation is legal in the caller's
+// view and conflicts with no operation of another active transaction.  The
+// package also maintains the Section 6 bookkeeping (clock, per-transaction
+// lower bounds, horizon, and the monotone common prefix).
+//
+// This is the reference model used for model checking Theorems 16 and 17;
+// the production runtime in internal/core implements the same algorithm
+// with compacted versions.
+package lockmachine
+
+import (
+	"fmt"
+	"sort"
+
+	"hybridcc/internal/depend"
+	"hybridcc/internal/histories"
+	"hybridcc/internal/spec"
+)
+
+// Timestamp sentinels: the clock starts at -∞ (paper: s.clock = −∞).
+const (
+	MinTS histories.Timestamp = -1 << 62
+	MaxTS histories.Timestamp = 1 << 62
+)
+
+// Machine is an instance of LOCK for a single object.
+type Machine struct {
+	obj      histories.ObjID
+	sp       spec.Spec
+	conflict depend.Conflict
+
+	pending    map[histories.TxID]spec.Invocation
+	intentions map[histories.TxID][]spec.Op
+	committed  map[histories.TxID]histories.Timestamp
+	aborted    map[histories.TxID]bool
+
+	// Section 6 auxiliary components.
+	clock histories.Timestamp
+	bound map[histories.TxID]histories.Timestamp
+
+	usedTS  map[histories.Timestamp]histories.TxID
+	history histories.History
+}
+
+// New returns a fresh LOCK machine for an object named obj with serial
+// specification sp and the given (symmetric) conflict relation.
+func New(obj histories.ObjID, sp spec.Spec, conflict depend.Conflict) *Machine {
+	return &Machine{
+		obj:        obj,
+		sp:         sp,
+		conflict:   conflict,
+		pending:    make(map[histories.TxID]spec.Invocation),
+		intentions: make(map[histories.TxID][]spec.Op),
+		committed:  make(map[histories.TxID]histories.Timestamp),
+		aborted:    make(map[histories.TxID]bool),
+		clock:      MinTS,
+		bound:      make(map[histories.TxID]histories.Timestamp),
+		usedTS:     make(map[histories.Timestamp]histories.TxID),
+	}
+}
+
+// Object returns the object this machine manages.
+func (m *Machine) Object() histories.ObjID { return m.obj }
+
+// Spec returns the machine's serial specification.
+func (m *Machine) Spec() spec.Spec { return m.sp }
+
+// History returns a copy of the event sequence accepted so far.
+func (m *Machine) History() histories.History {
+	return append(histories.History(nil), m.history...)
+}
+
+// Completed reports whether tx has committed or aborted.
+func (m *Machine) Completed(tx histories.TxID) bool {
+	_, c := m.committed[tx]
+	return c || m.aborted[tx]
+}
+
+// Intentions returns a copy of tx's intentions list.
+func (m *Machine) Intentions(tx histories.TxID) []spec.Op {
+	return append([]spec.Op(nil), m.intentions[tx]...)
+}
+
+// Clock returns the Section 6 logical clock: the largest commit timestamp
+// observed, or MinTS if none.
+func (m *Machine) Clock() histories.Timestamp { return m.clock }
+
+// Bound returns tx's recorded lower bound on its eventual commit timestamp.
+func (m *Machine) Bound(tx histories.TxID) (histories.Timestamp, bool) {
+	b, ok := m.bound[tx]
+	return b, ok
+}
+
+// committedOrder returns the committed transactions in timestamp order.
+func (m *Machine) committedOrder() []histories.TxID {
+	txs := make([]histories.TxID, 0, len(m.committed))
+	for t := range m.committed {
+		txs = append(txs, t)
+	}
+	sort.Slice(txs, func(i, j int) bool { return m.committed[txs[i]] < m.committed[txs[j]] })
+	return txs
+}
+
+// Permanent returns the concatenated intentions of committed transactions
+// in timestamp order (the "committed state" of Section 5.1).
+func (m *Machine) Permanent() []spec.Op {
+	var out []spec.Op
+	for _, t := range m.committedOrder() {
+		out = append(out, m.intentions[t]...)
+	}
+	return out
+}
+
+// View returns View(tx, s): the committed state followed by tx's own
+// intentions list.
+func (m *Machine) View(tx histories.TxID) []spec.Op {
+	return append(m.Permanent(), m.intentions[tx]...)
+}
+
+// viewState replays View(tx) and returns the resulting specification
+// state.  Accepted machine states always have legal views (this is an
+// invariant of the algorithm; a failure here is a bug, hence the panic).
+func (m *Machine) viewState(tx histories.TxID) spec.State {
+	s, ok := spec.Replay(m.sp, m.View(tx))
+	if !ok {
+		panic(fmt.Sprintf("lockmachine: view of %q is illegal: %s", tx, spec.SeqString(m.View(tx))))
+	}
+	return s
+}
+
+// Invoke records the invocation event ⟨inv, X, tx⟩.  Invocation events are
+// inputs with precondition True in the paper; the machine rejects inputs
+// that would violate well-formedness (a pending invocation, or an
+// invocation after commit).
+func (m *Machine) Invoke(tx histories.TxID, inv spec.Invocation) error {
+	if _, ok := m.committed[tx]; ok {
+		return fmt.Errorf("lockmachine: %q invoked %s after committing", tx, inv)
+	}
+	if p, ok := m.pending[tx]; ok {
+		return fmt.Errorf("lockmachine: %q invoked %s while %s is pending", tx, inv, p)
+	}
+	m.pending[tx] = inv
+	m.bound[tx] = m.clock
+	m.history = append(m.history, histories.InvokeEvent(tx, m.obj, inv))
+	return nil
+}
+
+// GrantableResponses enumerates the responses r such that the response
+// event ⟨r, X, tx⟩ is currently enabled: the operation (pending(tx), r) is
+// legal in tx's view and conflicts with no operation executed by another
+// active transaction.
+func (m *Machine) GrantableResponses(tx histories.TxID) ([]string, error) {
+	inv, ok := m.pending[tx]
+	if !ok {
+		return nil, fmt.Errorf("lockmachine: %q has no pending invocation", tx)
+	}
+	if m.Completed(tx) {
+		return nil, fmt.Errorf("lockmachine: %q has completed", tx)
+	}
+	state := m.viewState(tx)
+	var out []string
+	for _, r := range m.sp.Responses(state, inv) {
+		if m.conflictsWithActive(tx, inv.With(r)) {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// conflictsWithActive reports whether op conflicts with any operation in
+// the intentions list of another active (not completed) transaction.
+func (m *Machine) conflictsWithActive(tx histories.TxID, op spec.Op) bool {
+	for other, ops := range m.intentions {
+		if other == tx || m.Completed(other) {
+			continue
+		}
+		for _, p := range ops {
+			if m.conflict.Conflicts(p, op) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RespondWith attempts the response event ⟨res, X, tx⟩.  It returns true
+// and records the event when the precondition holds; false when the
+// response is not currently grantable (illegal in the view, or blocked by a
+// lock conflict) — the paper's "refused, retried later".
+func (m *Machine) RespondWith(tx histories.TxID, res string) (bool, error) {
+	grantable, err := m.GrantableResponses(tx)
+	if err != nil {
+		return false, err
+	}
+	for _, r := range grantable {
+		if r != res {
+			continue
+		}
+		inv := m.pending[tx]
+		delete(m.pending, tx)
+		m.intentions[tx] = append(m.intentions[tx], inv.With(res))
+		m.bound[tx] = m.clock
+		m.history = append(m.history, histories.RespondEvent(tx, m.obj, res))
+		return true, nil
+	}
+	return false, nil
+}
+
+// TryRespond attempts to respond to tx's pending invocation with the first
+// grantable response.  It returns the response and true on success, or
+// false when every response is blocked (lock conflict or partial
+// operation).
+func (m *Machine) TryRespond(tx histories.TxID) (string, bool, error) {
+	grantable, err := m.GrantableResponses(tx)
+	if err != nil {
+		return "", false, err
+	}
+	if len(grantable) == 0 {
+		return "", false, nil
+	}
+	ok, err := m.RespondWith(tx, grantable[0])
+	if err != nil || !ok {
+		return "", false, err
+	}
+	return grantable[0], true, nil
+}
+
+// Commit records the commit event ⟨commit(ts), X, tx⟩.  The machine
+// enforces the paper's well-formedness constraints on inputs: no commit
+// after abort or while an invocation is pending, timestamps are unique and
+// stable, and the timestamp respects the precedes order (ts must exceed the
+// transaction's recorded lower bound, which is how logical-clock generation
+// manifests at a single object).
+func (m *Machine) Commit(tx histories.TxID, ts histories.Timestamp) error {
+	if m.aborted[tx] {
+		return fmt.Errorf("lockmachine: commit of aborted %q", tx)
+	}
+	if _, ok := m.pending[tx]; ok {
+		return fmt.Errorf("lockmachine: commit of %q while an invocation is pending", tx)
+	}
+	if prev, ok := m.committed[tx]; ok {
+		if prev != ts {
+			return fmt.Errorf("lockmachine: %q recommitted with timestamp %d ≠ %d", tx, ts, prev)
+		}
+		m.history = append(m.history, histories.CommitEvent(tx, m.obj, ts))
+		return nil
+	}
+	if owner, ok := m.usedTS[ts]; ok && owner != tx {
+		return fmt.Errorf("lockmachine: timestamp %d already used by %q", ts, owner)
+	}
+	if b, ok := m.bound[tx]; ok && ts <= b {
+		return fmt.Errorf("lockmachine: timestamp %d for %q violates lower bound %d", ts, tx, b)
+	}
+	m.committed[tx] = ts
+	m.usedTS[ts] = tx
+	if ts > m.clock {
+		m.clock = ts
+	}
+	delete(m.bound, tx)
+	m.history = append(m.history, histories.CommitEvent(tx, m.obj, ts))
+	return nil
+}
+
+// Abort records the abort event ⟨abort, X, tx⟩, releasing tx's locks and
+// discarding its intentions.
+func (m *Machine) Abort(tx histories.TxID) error {
+	if _, ok := m.committed[tx]; ok {
+		return fmt.Errorf("lockmachine: abort of committed %q", tx)
+	}
+	m.aborted[tx] = true
+	delete(m.pending, tx)
+	delete(m.intentions, tx)
+	delete(m.bound, tx)
+	m.history = append(m.history, histories.AbortEvent(tx, m.obj))
+	return nil
+}
+
+// Horizon computes the horizon timestamp of Definition 20:
+//
+//	max(−∞, min(min{bound(P) : bound(P) ≠ ⊥}, max{committed(P)}))
+func (m *Machine) Horizon() histories.Timestamp {
+	minBound := MaxTS
+	for _, b := range m.bound {
+		if b < minBound {
+			minBound = b
+		}
+	}
+	maxCommitted := MinTS
+	for _, ts := range m.committed {
+		if ts > maxCommitted {
+			maxCommitted = ts
+		}
+	}
+	h := minBound
+	if maxCommitted < h {
+		h = maxCommitted
+	}
+	if h < MinTS {
+		h = MinTS
+	}
+	return h
+}
+
+// Common computes the common prefix of Definition 22: the concatenated
+// intentions of committed transactions whose timestamps precede the
+// horizon.  Theorem 24 guarantees the result grows monotonically, so a real
+// implementation can fold it into a version (internal/core does).
+func (m *Machine) Common() []spec.Op {
+	horizon := m.Horizon()
+	var out []spec.Op
+	for _, t := range m.committedOrder() {
+		if m.committed[t] < horizon {
+			out = append(out, m.intentions[t]...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package spec
+
+import "testing"
+
+// toySpec is a tiny register used to exercise the replay helpers without
+// depending on the adt package.
+type toySpec struct{}
+
+type toyState struct{ v string }
+
+func (toySpec) Name() string { return "Toy" }
+func (toySpec) Init() State  { return toyState{v: "0"} }
+func (toySpec) Step(s State, op Op) (State, bool) {
+	st := s.(toyState)
+	switch op.Name {
+	case "Set":
+		if op.Res != "Ok" {
+			return nil, false
+		}
+		return toyState{v: op.Arg}, true
+	case "Get":
+		if op.Res != st.v {
+			return nil, false
+		}
+		return st, true
+	}
+	return nil, false
+}
+func (toySpec) Responses(s State, inv Invocation) []string {
+	st := s.(toyState)
+	switch inv.Name {
+	case "Set":
+		return []string{"Ok"}
+	case "Get":
+		return []string{st.v}
+	}
+	return nil
+}
+func (toySpec) Equal(a, b State) bool { return a.(toyState) == b.(toyState) }
+
+func set(v string) Op { return Op{Name: "Set", Arg: v, Res: "Ok"} }
+func get(v string) Op { return Op{Name: "Get", Res: v} }
+
+func TestOpString(t *testing.T) {
+	if got := set("3").String(); got != "[Set(3), Ok]" {
+		t.Errorf("Op.String() = %q", got)
+	}
+	if got := get("3").String(); got != "[Get(), 3]" {
+		t.Errorf("Op.String() = %q", got)
+	}
+}
+
+func TestInvocationRoundTrip(t *testing.T) {
+	op := set("7")
+	if op.Inv().With(op.Res) != op {
+		t.Errorf("Inv/With did not round-trip %v", op)
+	}
+	if got := op.Inv().String(); got != "Set(7)" {
+		t.Errorf("Invocation.String() = %q", got)
+	}
+	if got := (Invocation{Name: "Get"}).String(); got != "Get()" {
+		t.Errorf("Invocation.String() = %q", got)
+	}
+}
+
+func TestReplayAndLegal(t *testing.T) {
+	sp := toySpec{}
+	cases := []struct {
+		name string
+		h    []Op
+		want bool
+	}{
+		{"empty", nil, true},
+		{"initial get", []Op{get("0")}, true},
+		{"wrong initial get", []Op{get("1")}, false},
+		{"set then get", []Op{set("5"), get("5")}, true},
+		{"set then stale get", []Op{set("5"), get("0")}, false},
+		{"overwrite", []Op{set("5"), set("6"), get("6")}, true},
+	}
+	for _, tc := range cases {
+		if got := Legal(sp, tc.h); got != tc.want {
+			t.Errorf("%s: Legal = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestLegalAfter(t *testing.T) {
+	sp := toySpec{}
+	h := []Op{set("5")}
+	if !LegalAfter(sp, h, get("5")) {
+		t.Error("get(5) should be legal after set(5)")
+	}
+	if LegalAfter(sp, h, get("0")) {
+		t.Error("get(0) should be illegal after set(5)")
+	}
+	if LegalAfter(sp, []Op{get("9")}, set("1")) {
+		t.Error("illegal prefix must make LegalAfter false")
+	}
+}
+
+func TestStepFrom(t *testing.T) {
+	sp := toySpec{}
+	s, ok := StepFrom(sp, sp.Init(), set("1"), set("2"), get("2"))
+	if !ok {
+		t.Fatal("legal sequence rejected")
+	}
+	if !sp.Equal(s, toyState{v: "2"}) {
+		t.Errorf("final state = %v", s)
+	}
+	if _, ok := StepFrom(sp, sp.Init(), get("no")); ok {
+		t.Error("illegal step accepted")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := []Op{set("1")}
+	b := []Op{set("2"), get("2")}
+	got := Concat(a, b, nil)
+	want := []Op{set("1"), set("2"), get("2")}
+	if !SeqEqual(got, want) {
+		t.Errorf("Concat = %v, want %v", got, want)
+	}
+	// Concat must copy: mutating the result must not alias inputs.
+	got[0] = set("9")
+	if a[0] != set("1") {
+		t.Error("Concat aliased its input")
+	}
+}
+
+func TestSeqString(t *testing.T) {
+	if got := SeqString(nil); got != "ε" {
+		t.Errorf("SeqString(nil) = %q", got)
+	}
+	if got := SeqString([]Op{set("1"), get("1")}); got != "[Set(1), Ok] [Get(), 1]" {
+		t.Errorf("SeqString = %q", got)
+	}
+}
+
+func TestIsPrefixAndSubsequence(t *testing.T) {
+	h := []Op{set("1"), set("2"), get("2")}
+	if !IsPrefix(h[:2], h) || IsPrefix(h, h[:2]) {
+		t.Error("IsPrefix misbehaved")
+	}
+	if !IsSubsequence([]Op{set("1"), get("2")}, h) {
+		t.Error("subsequence not recognized")
+	}
+	if IsSubsequence([]Op{get("2"), set("1")}, h) {
+		t.Error("order-violating subsequence accepted")
+	}
+	if !IsSubsequence(nil, h) {
+		t.Error("empty sequence is a subsequence of everything")
+	}
+}
+
+func TestEquieffective(t *testing.T) {
+	sp := toySpec{}
+	invs := []Invocation{{Name: "Get"}, {Name: "Set", Arg: "1"}}
+	// Same final state: equieffective.
+	if !Equieffective(sp, []Op{set("1")}, []Op{set("2"), set("1")}, invs, 2) {
+		t.Error("sequences with identical final states must be equieffective")
+	}
+	// Different final value is distinguished by Get.
+	if Equieffective(sp, []Op{set("1")}, []Op{set("2")}, invs, 2) {
+		t.Error("distinguishable states reported equieffective")
+	}
+	// With no observations allowed, nothing is distinguishable.
+	if !Equieffective(sp, []Op{set("1")}, []Op{set("2")}, invs, 0) {
+		t.Error("zero-depth observation must not distinguish")
+	}
+}
+
+func TestStatesEquieffectiveFastPath(t *testing.T) {
+	sp := toySpec{}
+	a := toyState{v: "3"}
+	if !StatesEquieffective(sp, a, a, nil, 0) {
+		t.Error("identical states must be equieffective with no universe")
+	}
+}

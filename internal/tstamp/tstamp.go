@@ -1,0 +1,106 @@
+// Package tstamp generates commit timestamps.  Section 2 of Herlihy &
+// Weihl requires timestamps to be unique, totally ordered, and consistent
+// with the precedes order: a transaction that executes at an object after
+// another has committed there must receive a later timestamp.  Both
+// generators here satisfy that constraint the way the paper suggests —
+// with Lamport-style logical clocks primed by an observed lower bound.
+package tstamp
+
+import (
+	"fmt"
+	"sync"
+
+	"hybridcc/internal/histories"
+)
+
+// Clock issues commit timestamps.  Next returns a fresh timestamp strictly
+// greater than both every timestamp the clock has issued or observed and
+// the supplied lower bound; Observe advances the clock past an externally
+// generated timestamp (the Lamport "receive" rule).
+type Clock interface {
+	Next(lower histories.Timestamp) histories.Timestamp
+	Observe(ts histories.Timestamp)
+}
+
+// Source is a process-wide timestamp source: a single logical clock.  The
+// zero value is ready to use and issues timestamps starting at 1.
+type Source struct {
+	mu   sync.Mutex
+	last histories.Timestamp
+}
+
+// NewSource returns a fresh Source.
+func NewSource() *Source { return &Source{} }
+
+// Next implements Clock.
+func (s *Source) Next(lower histories.Timestamp) histories.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if lower > s.last {
+		s.last = lower
+	}
+	s.last++
+	return s.last
+}
+
+// Observe implements Clock.
+func (s *Source) Observe(ts histories.Timestamp) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ts > s.last {
+		s.last = ts
+	}
+}
+
+// Now returns the largest timestamp issued or observed so far.
+func (s *Source) Now() histories.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// NodeClock is a per-node logical clock for a system of n nodes.  Issued
+// timestamps are congruent to the node index modulo the node count, so
+// timestamps from different nodes can never collide — the standard
+// (counter, node-id) Lamport pair packed into one integer, preserving the
+// total order the paper requires.
+type NodeClock struct {
+	mu    sync.Mutex
+	node  int64
+	nodes int64
+	last  histories.Timestamp
+}
+
+// NewNodeClock returns the clock for node (0 ≤ node < nodes).
+func NewNodeClock(node, nodes int) *NodeClock {
+	if nodes <= 0 || node < 0 || node >= nodes {
+		panic(fmt.Sprintf("tstamp: invalid node %d of %d", node, nodes))
+	}
+	return &NodeClock{node: int64(node), nodes: int64(nodes), last: histories.Timestamp(node)}
+}
+
+// Next implements Clock.
+func (c *NodeClock) Next(lower histories.Timestamp) histories.Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	floor := c.last
+	if lower > floor {
+		floor = lower
+	}
+	// Smallest timestamp > floor congruent to c.node mod c.nodes.
+	next := floor + 1
+	rem := (int64(next)%c.nodes + c.nodes) % c.nodes
+	delta := (c.node - rem + c.nodes) % c.nodes
+	next += histories.Timestamp(delta)
+	c.last = next
+	return next
+}
+
+// Observe implements Clock.
+func (c *NodeClock) Observe(ts histories.Timestamp) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ts > c.last {
+		c.last = ts
+	}
+}

@@ -1,0 +1,146 @@
+package tstamp
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"hybridcc/internal/histories"
+)
+
+func TestSourceMonotoneAndUnique(t *testing.T) {
+	s := NewSource()
+	seen := make(map[histories.Timestamp]bool)
+	var last histories.Timestamp
+	for i := 0; i < 100; i++ {
+		ts := s.Next(0)
+		if ts <= last {
+			t.Fatalf("timestamp %d not increasing past %d", ts, last)
+		}
+		if seen[ts] {
+			t.Fatalf("timestamp %d reused", ts)
+		}
+		seen[ts] = true
+		last = ts
+	}
+}
+
+func TestSourceRespectsLowerBound(t *testing.T) {
+	s := NewSource()
+	ts := s.Next(100)
+	if ts <= 100 {
+		t.Errorf("Next(100) = %d, want > 100", ts)
+	}
+	// A later call with a smaller bound must still move forward.
+	ts2 := s.Next(5)
+	if ts2 <= ts {
+		t.Errorf("Next(5) = %d after %d", ts2, ts)
+	}
+}
+
+func TestSourceObserve(t *testing.T) {
+	s := NewSource()
+	s.Observe(500)
+	if s.Now() != 500 {
+		t.Errorf("Now = %d after Observe(500)", s.Now())
+	}
+	if ts := s.Next(0); ts <= 500 {
+		t.Errorf("Next after Observe(500) = %d", ts)
+	}
+	s.Observe(10) // observing the past is a no-op
+	if s.Now() <= 500 {
+		t.Error("Observe moved the clock backwards")
+	}
+}
+
+func TestSourceConcurrentUnique(t *testing.T) {
+	s := NewSource()
+	const workers, per = 8, 200
+	out := make(chan histories.Timestamp, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				out <- s.Next(histories.Timestamp(i))
+			}
+		}()
+	}
+	wg.Wait()
+	close(out)
+	seen := make(map[histories.Timestamp]bool)
+	for ts := range out {
+		if seen[ts] {
+			t.Fatalf("duplicate timestamp %d under concurrency", ts)
+		}
+		seen[ts] = true
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("issued %d timestamps, want %d", len(seen), workers*per)
+	}
+}
+
+func TestNodeClockResidueClasses(t *testing.T) {
+	const nodes = 3
+	clocks := make([]*NodeClock, nodes)
+	for i := range clocks {
+		clocks[i] = NewNodeClock(i, nodes)
+	}
+	seen := make(map[histories.Timestamp]int)
+	for round := 0; round < 50; round++ {
+		for i, c := range clocks {
+			ts := c.Next(0)
+			if int64(ts)%nodes != int64(i) {
+				t.Fatalf("node %d issued %d (mod %d = %d)", i, ts, nodes, int64(ts)%nodes)
+			}
+			if owner, dup := seen[ts]; dup {
+				t.Fatalf("timestamp %d issued by both node %d and node %d", ts, owner, i)
+			}
+			seen[ts] = i
+		}
+	}
+}
+
+func TestNodeClockLowerBoundAndObserve(t *testing.T) {
+	c := NewNodeClock(1, 4)
+	ts := c.Next(1000)
+	if ts <= 1000 || int64(ts)%4 != 1 {
+		t.Errorf("Next(1000) = %d", ts)
+	}
+	c.Observe(5000)
+	ts2 := c.Next(0)
+	if ts2 <= 5000 || int64(ts2)%4 != 1 {
+		t.Errorf("Next after Observe(5000) = %d", ts2)
+	}
+	if ts3 := c.Next(0); ts3 <= ts2 {
+		t.Errorf("not monotone: %d then %d", ts2, ts3)
+	}
+}
+
+func TestNodeClockProperty(t *testing.T) {
+	c := NewNodeClock(2, 5)
+	var last histories.Timestamp
+	f := func(lower uint16) bool {
+		ts := c.Next(histories.Timestamp(lower))
+		ok := ts > histories.Timestamp(lower) && ts > last && int64(ts)%5 == 2
+		last = ts
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeClockValidation(t *testing.T) {
+	for _, bad := range [][2]int{{-1, 3}, {3, 3}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewNodeClock(%d, %d) must panic", bad[0], bad[1])
+				}
+			}()
+			NewNodeClock(bad[0], bad[1])
+		}()
+	}
+}

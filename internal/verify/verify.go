@@ -1,0 +1,107 @@
+// Package verify records runtime histories and checks them offline against
+// the paper's correctness conditions.  The core runtime emits every
+// accepted event to a Recorder; tests and the model-checking tool then
+// assert well-formedness, hybrid atomicity (linear-time: replay in
+// timestamp order), and — for small histories — online hybrid atomicity
+// (exponential, by enumeration).
+package verify
+
+import (
+	"fmt"
+	"sync"
+
+	"hybridcc/internal/histories"
+)
+
+// Recorder accumulates events; it is safe for concurrent use and
+// implements core.EventSink.
+type Recorder struct {
+	mu     sync.Mutex
+	events histories.History
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends an event.
+func (r *Recorder) Record(e histories.Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// History returns a copy of the recorded history.
+func (r *Recorder) History() histories.History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append(histories.History(nil), r.events...)
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = nil
+	r.mu.Unlock()
+}
+
+// CheckHybridAtomic verifies that h is well-formed and hybrid atomic:
+// permanent(h) serializable in timestamp order.  The check is linear in the
+// history (one replay per object), so it scales to stress-test histories.
+func CheckHybridAtomic(h histories.History, specs histories.SpecMap) error {
+	if err := histories.WellFormed(h); err != nil {
+		return fmt.Errorf("verify: ill-formed history: %w", err)
+	}
+	ok, err := histories.HybridAtomic(h, specs)
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	if !ok {
+		return fmt.Errorf("verify: history is not hybrid atomic (%d events, %d committed)",
+			len(h), len(histories.Committed(h)))
+	}
+	return nil
+}
+
+// CheckGeneralizedHybridAtomic verifies well-formedness and hybrid
+// atomicity under the Section 7 generalization: transactions classified
+// read-only chose their timestamps at start, so the precedes constraint is
+// waived for them; serializability in timestamp order is still required of
+// everything, readers included.
+func CheckGeneralizedHybridAtomic(h histories.History, specs histories.SpecMap, isReadOnly func(histories.TxID) bool) error {
+	if err := histories.WellFormedReadOnly(h, isReadOnly); err != nil {
+		return fmt.Errorf("verify: ill-formed history: %w", err)
+	}
+	ok, err := histories.HybridAtomic(h, specs)
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	if !ok {
+		return fmt.Errorf("verify: history is not hybrid atomic (%d events, %d committed)",
+			len(h), len(histories.Committed(h)))
+	}
+	return nil
+}
+
+// CheckOnlineHybridAtomic verifies the stronger online property by
+// enumeration over commit sets and consistent total orders.  Exponential;
+// use only on small model-checking histories.
+func CheckOnlineHybridAtomic(h histories.History, specs histories.SpecMap) error {
+	if err := histories.WellFormed(h); err != nil {
+		return fmt.Errorf("verify: ill-formed history: %w", err)
+	}
+	ok, err := histories.OnlineHybridAtomic(h, specs)
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	if !ok {
+		return fmt.Errorf("verify: history is not online hybrid atomic")
+	}
+	return nil
+}

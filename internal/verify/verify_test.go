@@ -1,0 +1,125 @@
+package verify
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"hybridcc/internal/adt"
+	"hybridcc/internal/histories"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	if r.Len() != 0 {
+		t.Fatal("fresh recorder not empty")
+	}
+	r.Record(histories.CommitEvent("P", "X", 1))
+	r.Record(histories.AbortEvent("Q", "X"))
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	h := r.History()
+	if h[0].Kind != histories.Commit || h[1].Kind != histories.Abort {
+		t.Errorf("history = %v", h)
+	}
+	// History must be a copy.
+	h[0] = histories.AbortEvent("Z", "X")
+	if r.History()[0].Tx != "P" {
+		t.Error("History aliased internal storage")
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(histories.CommitEvent(histories.TxID(rune('A'+w)), "X", histories.Timestamp(w*1000+i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestCheckHybridAtomicAccepts(t *testing.T) {
+	h := histories.History{
+		histories.InvokeEvent("P", "X", adt.EnqInv(1)),
+		histories.RespondEvent("P", "X", adt.ResOk),
+		histories.CommitEvent("P", "X", 1),
+		histories.InvokeEvent("Q", "X", adt.DeqInv()),
+		histories.RespondEvent("Q", "X", "1"),
+		histories.CommitEvent("Q", "X", 2),
+	}
+	specs := histories.SpecMap{"X": adt.NewQueue()}
+	if err := CheckHybridAtomic(h, specs); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckOnlineHybridAtomic(h, specs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckHybridAtomicRejectsIllFormed(t *testing.T) {
+	h := histories.History{
+		histories.RespondEvent("P", "X", adt.ResOk), // response without invocation
+	}
+	err := CheckHybridAtomic(h, histories.SpecMap{"X": adt.NewQueue()})
+	if err == nil || !strings.Contains(err.Error(), "ill-formed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckHybridAtomicRejectsNonAtomic(t *testing.T) {
+	// Dequeue out of timestamp order.
+	h := histories.History{
+		histories.InvokeEvent("P", "X", adt.EnqInv(1)),
+		histories.RespondEvent("P", "X", adt.ResOk),
+		histories.InvokeEvent("Q", "X", adt.EnqInv(2)),
+		histories.RespondEvent("Q", "X", adt.ResOk),
+		histories.CommitEvent("P", "X", 1),
+		histories.CommitEvent("Q", "X", 2),
+		histories.InvokeEvent("R", "X", adt.DeqInv()),
+		histories.RespondEvent("R", "X", "2"),
+		histories.CommitEvent("R", "X", 3),
+	}
+	specs := histories.SpecMap{"X": adt.NewQueue()}
+	err := CheckHybridAtomic(h, specs)
+	if err == nil || !strings.Contains(err.Error(), "not hybrid atomic") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := CheckOnlineHybridAtomic(h, specs); err == nil {
+		t.Fatal("online check must also reject")
+	}
+}
+
+func TestCheckOnlineStrongerThanHybrid(t *testing.T) {
+	// An uncommitted transaction's effects were observed: hybrid atomicity
+	// (which discards non-committed transactions) accepts, the online
+	// property rejects.
+	h := histories.History{
+		histories.InvokeEvent("P", "X", adt.EnqInv(1)),
+		histories.RespondEvent("P", "X", adt.ResOk),
+		histories.InvokeEvent("P", "X", adt.EnqInv(2)),
+		histories.RespondEvent("P", "X", adt.ResOk),
+		histories.InvokeEvent("R", "X", adt.DeqInv()),
+		histories.RespondEvent("R", "X", "2"),
+	}
+	specs := histories.SpecMap{"X": adt.NewQueue()}
+	if err := CheckHybridAtomic(h, specs); err != nil {
+		t.Fatalf("permanent part is empty, so hybrid atomicity holds: %v", err)
+	}
+	if err := CheckOnlineHybridAtomic(h, specs); err == nil {
+		t.Fatal("online hybrid atomicity must reject observing uncommitted effects")
+	}
+}

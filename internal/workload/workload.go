@@ -1,0 +1,250 @@
+// Package workload provides closed-loop transactional workload drivers and
+// generators for the throughput experiments: every benchmark table in
+// EXPERIMENTS.md is produced by running the same workload body against
+// systems configured with different conflict relations (hybrid,
+// commutativity, read/write).
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridcc/internal/adt"
+	"hybridcc/internal/core"
+)
+
+// Config parameterizes a driver run.
+type Config struct {
+	// Workers is the number of concurrent client goroutines.
+	Workers int
+	// TxPerWorker is how many transactions each worker must commit (or
+	// give up on after MaxRetries).
+	TxPerWorker int
+	// MaxRetries bounds abort-and-retry attempts per transaction.
+	MaxRetries int
+	// Hold keeps locks held for this long before commit, modelling
+	// transaction latency (message round trips, user think time); it is
+	// what turns lock conflicts into lost concurrency.
+	Hold time.Duration
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns a small, benchmark-friendly configuration.
+func DefaultConfig() Config {
+	return Config{Workers: 4, TxPerWorker: 50, MaxRetries: 25, Hold: 200 * time.Microsecond, Seed: 1}
+}
+
+// Body runs one transaction attempt.  Returning an error aborts the
+// attempt; core.ErrTimeout errors are retried up to Config.MaxRetries.
+type Body func(tx *core.Tx, rng *rand.Rand) error
+
+// Result aggregates the outcome of a driver run.
+type Result struct {
+	Committed int64
+	Failed    int64 // transactions abandoned after MaxRetries
+	Retries   int64
+	Duration  time.Duration
+	Waits     int64
+	Timeouts  int64
+}
+
+// Throughput returns committed transactions per second.
+func (r Result) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Committed) / r.Duration.Seconds()
+}
+
+// String summarizes the result.
+func (r Result) String() string {
+	return fmt.Sprintf("committed=%d failed=%d retries=%d waits=%d timeouts=%d in %s (%.0f tx/s)",
+		r.Committed, r.Failed, r.Retries, r.Waits, r.Timeouts, r.Duration, r.Throughput())
+}
+
+// Run drives body with cfg against sys and returns aggregated metrics.
+func Run(sys *core.System, cfg Config, body Body) Result {
+	before := sys.Stats()
+	var committed, failed, retries atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*1_000_003))
+			for i := 0; i < cfg.TxPerWorker; i++ {
+				ok := false
+				for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+					tx := sys.Begin()
+					err := body(tx, rng)
+					if err == nil {
+						if cfg.Hold > 0 {
+							time.Sleep(cfg.Hold)
+						}
+						if tx.Commit() == nil {
+							ok = true
+							break
+						}
+						err = core.ErrTxDone
+					}
+					_ = tx.Abort()
+					if !errors.Is(err, core.ErrTimeout) {
+						break // non-retryable failure
+					}
+					retries.Add(1)
+				}
+				if ok {
+					committed.Add(1)
+				} else {
+					failed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	after := sys.Stats()
+	return Result{
+		Committed: committed.Load(),
+		Failed:    failed.Load(),
+		Retries:   retries.Load(),
+		Duration:  time.Since(start),
+		Waits:     after.Waits - before.Waits,
+		Timeouts:  after.Timeouts - before.Timeouts,
+	}
+}
+
+// EnqueueOnly returns a body in which every transaction enqueues n items —
+// the paper's concurrent-enqueuers scenario (experiment B1).
+func EnqueueOnly(obj *core.Object, n int) Body {
+	return func(tx *core.Tx, rng *rand.Rand) error {
+		for i := 0; i < n; i++ {
+			if _, err := obj.Call(tx, adt.EnqInv(int64(rng.Intn(1000)))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// BlindWrites returns a body writing n values to a File — the Thomas Write
+// Rule scenario (experiment B2).  readEvery > 0 mixes in a read every
+// readEvery-th transaction.
+func BlindWrites(obj *core.Object, n int, readEvery int) Body {
+	var count atomic.Int64
+	return func(tx *core.Tx, rng *rand.Rand) error {
+		if readEvery > 0 && count.Add(1)%int64(readEvery) == 0 {
+			if _, err := obj.Call(tx, adt.FileReadInv()); err != nil {
+				return err
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			if _, err := obj.Call(tx, adt.FileWriteInv(int64(rng.Intn(1000)))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// AccountMix returns a banking body (experiment B3).  Each transaction
+// performs one operation: a credit, a post, or a debit.  debitBeyond
+// controls the overdraft rate: debits draw amounts in [1, debitBeyond] and
+// amounts above the balance produce Overdraft responses.  The account
+// should be pre-funded via Fund.
+func AccountMix(obj *core.Object, creditPct, postPct int, debitBeyond int64) Body {
+	return func(tx *core.Tx, rng *rand.Rand) error {
+		roll := rng.Intn(100)
+		var err error
+		switch {
+		case roll < creditPct:
+			_, err = obj.Call(tx, adt.CreditInv(int64(1+rng.Intn(10))))
+		case roll < creditPct+postPct:
+			_, err = obj.Call(tx, adt.PostInv(1)) // factor 1: interest noop, lock behaviour identical
+		default:
+			_, err = obj.Call(tx, adt.DebitInv(1+rng.Int63n(debitBeyond)))
+		}
+		return err
+	}
+}
+
+// Fund commits an initial balance into an Account object.
+func Fund(sys *core.System, obj *core.Object, amount int64) error {
+	tx := sys.Begin()
+	if _, err := obj.Call(tx, adt.CreditInv(amount)); err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Prefill commits n items into a Queue (queue=true) or Semiqueue object so
+// consumers have work (experiment B4).
+func Prefill(sys *core.System, obj *core.Object, n int, queue bool) error {
+	for i := 0; i < n; i++ {
+		tx := sys.Begin()
+		var err error
+		if queue {
+			_, err = obj.Call(tx, adt.EnqInv(int64(i)))
+		} else {
+			_, err = obj.Call(tx, adt.InsInv(int64(i)))
+		}
+		if err != nil {
+			_ = tx.Abort()
+			return err
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProducerConsumer returns a body that produces with probability
+// producePct/100 and consumes otherwise, using the queue operations when
+// queue is true and the semiqueue operations otherwise (experiment B4).
+func ProducerConsumer(obj *core.Object, producePct int, queue bool) Body {
+	return func(tx *core.Tx, rng *rand.Rand) error {
+		var err error
+		if rng.Intn(100) < producePct {
+			v := int64(rng.Intn(1000))
+			if queue {
+				_, err = obj.Call(tx, adt.EnqInv(v))
+			} else {
+				_, err = obj.Call(tx, adt.InsInv(v))
+			}
+		} else {
+			if queue {
+				_, err = obj.Call(tx, adt.DeqInv())
+			} else {
+				_, err = obj.Call(tx, adt.RemInv())
+			}
+		}
+		return err
+	}
+}
+
+// SetChurn returns a body doing random Insert/Remove/Member operations
+// over a key range; distinct elements never conflict under the hybrid
+// scheme, so throughput scales with the key range.
+func SetChurn(obj *core.Object, keys int64) Body {
+	return func(tx *core.Tx, rng *rand.Rand) error {
+		k := rng.Int63n(keys)
+		var err error
+		switch rng.Intn(3) {
+		case 0:
+			_, err = obj.Call(tx, adt.SetInsertInv(k))
+		case 1:
+			_, err = obj.Call(tx, adt.SetRemoveInv(k))
+		default:
+			_, err = obj.Call(tx, adt.SetMemberInv(k))
+		}
+		return err
+	}
+}

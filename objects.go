@@ -1,0 +1,300 @@
+package hybridcc
+
+import (
+	"hybridcc/internal/adt"
+	"hybridcc/internal/core"
+)
+
+// Account is a bank account with Credit, Post (interest), and Debit
+// operations (the paper's Section 4.3 Account and appendix example).  Under
+// the Hybrid scheme, credits never conflict with other credits, with
+// posts, or with successful debits; only attempted overdrafts and pairs of
+// successful debits conflict (Table V).
+type Account struct{ obj *core.Object }
+
+// NewAccount creates an account object.
+func (s *System) NewAccount(name string, opts ...ObjectOption) *Account {
+	return &Account{obj: s.newObject(name, "Account", schemeOf(opts))}
+}
+
+// Credit adds amount (≥ 0) to the balance.
+func (a *Account) Credit(tx *Tx, amount int64) error {
+	_, err := a.obj.Call(tx, adt.CreditInv(amount))
+	return err
+}
+
+// Post multiplies the balance by factor (≥ 1) — posting interest (see the
+// package documentation for the integer-factor substitution).
+func (a *Account) Post(tx *Tx, factor int64) error {
+	_, err := a.obj.Call(tx, adt.PostInv(factor))
+	return err
+}
+
+// Debit withdraws amount if the balance covers it.  It returns false (and
+// no error) when the debit is refused with an Overdraft, leaving the
+// balance unchanged.
+func (a *Account) Debit(tx *Tx, amount int64) (bool, error) {
+	res, err := a.obj.Call(tx, adt.DebitInv(amount))
+	if err != nil {
+		return false, err
+	}
+	return res == adt.ResOk, nil
+}
+
+// CommittedBalance returns the balance of the committed state, for
+// inspection outside transactions.
+func (a *Account) CommittedBalance() int64 {
+	return adt.AccountBalance(a.obj.CommittedState())
+}
+
+// Queue is a FIFO queue (Tables II and III).  The Hybrid scheme uses the
+// Table II conflicts: enqueues never conflict, so producers run fully
+// concurrently; dequeues serialize against enqueues of other items.  The
+// Commutativity scheme uses the incomparable Table III conflicts, which
+// instead let one dequeuer overlap one enqueuer.
+type Queue struct{ obj *core.Object }
+
+// NewQueue creates a queue object.
+func (s *System) NewQueue(name string, opts ...ObjectOption) *Queue {
+	return &Queue{obj: s.newObject(name, "Queue", schemeOf(opts))}
+}
+
+// Enq appends item to the queue.
+func (q *Queue) Enq(tx *Tx, item int64) error {
+	_, err := q.obj.Call(tx, adt.EnqInv(item))
+	return err
+}
+
+// Deq removes and returns the front item.  It blocks (up to the lock-wait
+// bound) while the queue is empty — Deq is a partial operation.
+func (q *Queue) Deq(tx *Tx) (int64, error) {
+	res, err := q.obj.Call(tx, adt.DeqInv())
+	if err != nil {
+		return 0, err
+	}
+	return adt.Atoi(res), nil
+}
+
+// CommittedItems returns the committed queue contents, front first.
+func (q *Queue) CommittedItems() []int64 {
+	return adt.QueueItems(q.obj.CommittedState())
+}
+
+// Semiqueue is a weakly ordered queue (Table IV): Rem removes an arbitrary
+// item rather than the oldest.  The non-determinism buys concurrency —
+// removers conflict only when they take the same item, and inserts never
+// conflict with anything.
+type Semiqueue struct{ obj *core.Object }
+
+// NewSemiqueue creates a semiqueue object.
+func (s *System) NewSemiqueue(name string, opts ...ObjectOption) *Semiqueue {
+	return &Semiqueue{obj: s.newObject(name, "Semiqueue", schemeOf(opts))}
+}
+
+// Ins inserts item.
+func (q *Semiqueue) Ins(tx *Tx, item int64) error {
+	_, err := q.obj.Call(tx, adt.InsInv(item))
+	return err
+}
+
+// Rem removes and returns some item; it blocks while the semiqueue is
+// empty.
+func (q *Semiqueue) Rem(tx *Tx) (int64, error) {
+	res, err := q.obj.Call(tx, adt.RemInv())
+	if err != nil {
+		return 0, err
+	}
+	return adt.Atoi(res), nil
+}
+
+// CommittedSize returns the number of committed items.
+func (q *Semiqueue) CommittedSize() int {
+	return adt.SemiqueueSize(q.obj.CommittedState())
+}
+
+// File is a read/write register (Table I).  Under the Hybrid scheme writes
+// never conflict with each other — the generalized Thomas Write Rule: later
+// transactions read the value written by the transaction with the later
+// commit timestamp.
+type File struct{ obj *core.Object }
+
+// NewFile creates a file object with initial value 0.
+func (s *System) NewFile(name string, opts ...ObjectOption) *File {
+	return &File{obj: s.newObject(name, "File", schemeOf(opts))}
+}
+
+// Write replaces the file's value.
+func (f *File) Write(tx *Tx, value int64) error {
+	_, err := f.obj.Call(tx, adt.FileWriteInv(value))
+	return err
+}
+
+// Read returns the file's value.
+func (f *File) Read(tx *Tx) (int64, error) {
+	res, err := f.obj.Call(tx, adt.FileReadInv())
+	if err != nil {
+		return 0, err
+	}
+	return adt.Atoi(res), nil
+}
+
+// CommittedValue returns the committed value.
+func (f *File) CommittedValue() int64 {
+	return adt.FileValue(f.obj.CommittedState())
+}
+
+// ReadAt returns the file's value as of the read-only transaction's
+// timestamp, without acquiring any locks.
+func (f *File) ReadAt(r *ReadTx) (int64, error) {
+	res, err := f.obj.ReadCall(r, adt.FileReadInv())
+	if err != nil {
+		return 0, err
+	}
+	return adt.Atoi(res), nil
+}
+
+// Counter is an increment-only counter with a read operation; increments
+// never conflict with one another.
+type Counter struct{ obj *core.Object }
+
+// NewCounter creates a counter object starting at zero.
+func (s *System) NewCounter(name string, opts ...ObjectOption) *Counter {
+	return &Counter{obj: s.newObject(name, "Counter", schemeOf(opts))}
+}
+
+// Inc adds n (≥ 0) to the counter.
+func (c *Counter) Inc(tx *Tx, n int64) error {
+	_, err := c.obj.Call(tx, adt.IncInv(n))
+	return err
+}
+
+// Read returns the current count.
+func (c *Counter) Read(tx *Tx) (int64, error) {
+	res, err := c.obj.Call(tx, adt.CtrReadInv())
+	if err != nil {
+		return 0, err
+	}
+	return adt.Atoi(res), nil
+}
+
+// CommittedValue returns the committed count.
+func (c *Counter) CommittedValue() int64 {
+	return adt.CounterValue(c.obj.CommittedState())
+}
+
+// ReadAt returns the count as of the read-only transaction's timestamp.
+func (c *Counter) ReadAt(r *ReadTx) (int64, error) {
+	res, err := c.obj.ReadCall(r, adt.CtrReadInv())
+	if err != nil {
+		return 0, err
+	}
+	return adt.Atoi(res), nil
+}
+
+// Set is a set of integers whose operations report prior membership;
+// conflicts derived from the specification are automatically per-element,
+// so operations on distinct elements run fully concurrently.
+type Set struct{ obj *core.Object }
+
+// NewSet creates an empty set object.
+func (s *System) NewSet(name string, opts ...ObjectOption) *Set {
+	return &Set{obj: s.newObject(name, "Set", schemeOf(opts))}
+}
+
+// Insert adds v; it reports whether v was newly added.
+func (st *Set) Insert(tx *Tx, v int64) (bool, error) {
+	res, err := st.obj.Call(tx, adt.SetInsertInv(v))
+	if err != nil {
+		return false, err
+	}
+	return res == adt.ResOk, nil
+}
+
+// Remove deletes v; it reports whether v was present.
+func (st *Set) Remove(tx *Tx, v int64) (bool, error) {
+	res, err := st.obj.Call(tx, adt.SetRemoveInv(v))
+	if err != nil {
+		return false, err
+	}
+	return res == adt.ResOk, nil
+}
+
+// Member reports whether v is in the set.
+func (st *Set) Member(tx *Tx, v int64) (bool, error) {
+	res, err := st.obj.Call(tx, adt.SetMemberInv(v))
+	if err != nil {
+		return false, err
+	}
+	return res == adt.ResTrue, nil
+}
+
+// CommittedSize returns the committed cardinality.
+func (st *Set) CommittedSize() int {
+	return adt.SetSize(st.obj.CommittedState())
+}
+
+// MemberAt reports membership as of the read-only transaction's timestamp.
+func (st *Set) MemberAt(r *ReadTx, v int64) (bool, error) {
+	res, err := st.obj.ReadCall(r, adt.SetMemberInv(v))
+	if err != nil {
+		return false, err
+	}
+	return res == adt.ResTrue, nil
+}
+
+// Directory maps string keys to integer values; conflicts are per-key.
+type Directory struct{ obj *core.Object }
+
+// NewDirectory creates an empty directory object.
+func (s *System) NewDirectory(name string, opts ...ObjectOption) *Directory {
+	return &Directory{obj: s.newObject(name, "Directory", schemeOf(opts))}
+}
+
+// Bind associates key with value when key is unbound; it reports whether
+// the binding was created (false: key already bound, unchanged).
+func (d *Directory) Bind(tx *Tx, key string, value int64) (bool, error) {
+	res, err := d.obj.Call(tx, adt.DirBindInv(key, value))
+	if err != nil {
+		return false, err
+	}
+	return res == adt.ResOk, nil
+}
+
+// Unbind removes key's binding; it reports whether a binding existed.
+func (d *Directory) Unbind(tx *Tx, key string) (bool, error) {
+	res, err := d.obj.Call(tx, adt.DirUnbindInv(key))
+	if err != nil {
+		return false, err
+	}
+	return res == adt.ResOk, nil
+}
+
+// Lookup returns the value bound to key, or ok=false when unbound.
+func (d *Directory) Lookup(tx *Tx, key string) (int64, bool, error) {
+	res, err := d.obj.Call(tx, adt.DirLookupInv(key))
+	if err != nil {
+		return 0, false, err
+	}
+	if res == adt.ResAbsent {
+		return 0, false, nil
+	}
+	return adt.Atoi(res), true, nil
+}
+
+// CommittedSize returns the number of committed bindings.
+func (d *Directory) CommittedSize() int {
+	return adt.DirectorySize(d.obj.CommittedState())
+}
+
+// LookupAt returns the binding of key as of the read-only transaction's
+// timestamp.
+func (d *Directory) LookupAt(r *ReadTx, key string) (int64, bool, error) {
+	res, err := d.obj.ReadCall(r, adt.DirLookupInv(key))
+	if err != nil {
+		return 0, false, err
+	}
+	if res == adt.ResAbsent {
+		return 0, false, nil
+	}
+	return adt.Atoi(res), true, nil
+}

@@ -1,0 +1,155 @@
+package hybridcc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSnapshotConsistentAcrossObjects(t *testing.T) {
+	sys := NewSystem()
+	c := sys.NewCounter("c")
+	f := sys.NewFile("f")
+	if err := sys.Atomically(func(tx *Tx) error {
+		if err := c.Inc(tx, 3); err != nil {
+			return err
+		}
+		return f.Write(tx, 3)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var count, value int64
+	if err := sys.Snapshot(func(r *ReadTx) error {
+		var err error
+		if count, err = c.ReadAt(r); err != nil {
+			return err
+		}
+		value, err = f.ReadAt(r)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 || value != 3 {
+		t.Errorf("snapshot = (%d, %d), want (3, 3)", count, value)
+	}
+}
+
+func TestSnapshotIsolatedFromLaterWrites(t *testing.T) {
+	sys := NewSystem()
+	c := sys.NewCounter("c")
+	if err := sys.Atomically(func(tx *Tx) error { return c.Inc(tx, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	r := sys.BeginReadOnly()
+	// A later writer commits after the reader's serialization point.
+	if err := sys.Atomically(func(tx *Tx) error { return c.Inc(tx, 100) }); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadAt(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("snapshot count = %d, want 1", got)
+	}
+	if err := r.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if c.CommittedValue() != 101 {
+		t.Errorf("committed count = %d", c.CommittedValue())
+	}
+}
+
+func TestSnapshotAllReadTypes(t *testing.T) {
+	sys := NewSystem()
+	f := sys.NewFile("f")
+	c := sys.NewCounter("c")
+	s := sys.NewSet("s")
+	d := sys.NewDirectory("d")
+	if err := sys.Atomically(func(tx *Tx) error {
+		if err := f.Write(tx, 9); err != nil {
+			return err
+		}
+		if err := c.Inc(tx, 2); err != nil {
+			return err
+		}
+		if _, err := s.Insert(tx, 5); err != nil {
+			return err
+		}
+		_, err := d.Bind(tx, "k", 7)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Snapshot(func(r *ReadTx) error {
+		if v, err := f.ReadAt(r); err != nil || v != 9 {
+			t.Errorf("file = %d err=%v", v, err)
+		}
+		if v, err := c.ReadAt(r); err != nil || v != 2 {
+			t.Errorf("counter = %d err=%v", v, err)
+		}
+		if in, err := s.MemberAt(r, 5); err != nil || !in {
+			t.Errorf("member(5) = %v err=%v", in, err)
+		}
+		if in, err := s.MemberAt(r, 6); err != nil || in {
+			t.Errorf("member(6) = %v err=%v", in, err)
+		}
+		if v, ok, err := d.LookupAt(r, "k"); err != nil || !ok || v != 7 {
+			t.Errorf("lookup(k) = %d %v err=%v", v, ok, err)
+		}
+		if _, ok, err := d.LookupAt(r, "zz"); err != nil || ok {
+			t.Errorf("lookup(zz) = %v err=%v", ok, err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotErrorAborts(t *testing.T) {
+	sys := NewSystem()
+	boom := errors.New("boom")
+	if err := sys.Snapshot(func(r *ReadTx) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReadersDoNotBlockWritersFacade(t *testing.T) {
+	rec := NewRecorder()
+	sys := NewSystem(WithRecorder(rec), WithLockWait(500*time.Millisecond))
+	c := sys.NewCounter("c")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// A steady stream of readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = sys.Snapshot(func(r *ReadTx) error {
+				_, err := c.ReadAt(r)
+				return err
+			})
+		}
+	}()
+	// Writers must keep committing regardless.
+	for i := 0; i < 50; i++ {
+		if err := sys.Atomically(func(tx *Tx) error { return c.Inc(tx, 1) }); err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if c.CommittedValue() != 50 {
+		t.Errorf("count = %d", c.CommittedValue())
+	}
+	if err := sys.Verify(); err != nil {
+		t.Fatalf("generalized verification failed: %v", err)
+	}
+}

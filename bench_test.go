@@ -71,11 +71,11 @@ func BenchmarkB1_QueueEnqueue(b *testing.B) {
 		b.Run(string(scheme), func(b *testing.B) {
 			sys := NewSystem(WithLockWait(benchLockWait))
 			var cur atomic.Value
-			cur.Store(sys.NewQueue("q0", WithScheme(scheme)))
+			cur.Store(Must(sys.NewQueue("q0", WithScheme(scheme))))
 			var count atomic.Int64
 			runSchemeBench(b, sys, func(tx *Tx, rng *rand.Rand) error {
 				if c := count.Add(1); c%4096 == 0 {
-					cur.Store(sys.NewQueue(fmt.Sprintf("q%d", c), WithScheme(scheme)))
+					cur.Store(Must(sys.NewQueue(fmt.Sprintf("q%d", c), WithScheme(scheme))))
 				}
 				q := cur.Load().(*Queue)
 				if err := q.Enq(tx, rng.Int63n(1000)); err != nil {
@@ -93,7 +93,7 @@ func BenchmarkB2_FileBlindWrites(b *testing.B) {
 	for _, scheme := range []Scheme{Hybrid, Commutativity, ReadWrite} {
 		b.Run(string(scheme), func(b *testing.B) {
 			sys := NewSystem(WithLockWait(benchLockWait))
-			f := sys.NewFile("f", WithScheme(scheme))
+			f := Must(sys.NewFile("f", WithScheme(scheme)))
 			runSchemeBench(b, sys, func(tx *Tx, rng *rand.Rand) error {
 				return f.Write(tx, rng.Int63n(1000))
 			})
@@ -116,7 +116,7 @@ func BenchmarkB3_AccountMix(b *testing.B) {
 		for _, scheme := range []Scheme{Hybrid, Commutativity, ReadWrite} {
 			b.Run(tc.name+"/"+string(scheme), func(b *testing.B) {
 				sys := NewSystem(WithLockWait(benchLockWait))
-				acct := sys.NewAccount("a", WithScheme(scheme))
+				acct := Must(sys.NewAccount("a", WithScheme(scheme)))
 				if err := sys.Atomically(func(tx *Tx) error { return acct.Credit(tx, 1_000_000) }); err != nil {
 					b.Fatal(err)
 				}
@@ -250,7 +250,7 @@ func BenchmarkB8_SetChurn(b *testing.B) {
 	for _, scheme := range []Scheme{Hybrid, Commutativity, ReadWrite} {
 		b.Run(string(scheme), func(b *testing.B) {
 			sys := NewSystem(WithLockWait(benchLockWait))
-			s := sys.NewSet("s", WithScheme(scheme))
+			s := Must(sys.NewSet("s", WithScheme(scheme)))
 			runSchemeBench(b, sys, func(tx *Tx, rng *rand.Rand) error {
 				k := rng.Int63n(4096)
 				switch rng.Intn(3) {

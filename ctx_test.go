@@ -1,0 +1,141 @@
+package hybridcc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestAtomicallyCtxCancelUnblocksLockWait holds a conflicting lock with a
+// long lock-wait bound and asserts that cancelling the context returns the
+// blocked transaction promptly — not after the 30s timeout.
+func TestAtomicallyCtxCancelUnblocksLockWait(t *testing.T) {
+	sys := NewSystem(WithLockWait(30 * time.Second))
+	acct := Must(sys.NewAccount("a"))
+	if err := sys.Atomically(func(tx *Tx) error { return acct.Credit(tx, 100) }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Successful debits conflict pairwise under the hybrid scheme (Table V):
+	// the holder's Debit lock blocks the second debit.
+	holder := sys.Begin()
+	if ok, err := acct.Debit(holder, 5); err != nil || !ok {
+		t.Fatalf("holder debit: ok=%v err=%v", ok, err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.AtomicallyCtx(ctx, func(tx *Tx) error {
+			_, err := acct.Debit(tx, 10)
+			return err
+		})
+	}()
+	time.Sleep(30 * time.Millisecond) // let the debit block
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+		if waited := time.Since(start); waited > 2*time.Second {
+			t.Errorf("cancellation took %v, want prompt return", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled transaction still blocked after 5s")
+	}
+
+	if err := holder.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if bal := acct.CommittedBalance(); bal != 100 {
+		t.Errorf("cancelled transaction leaked state: balance = %d", bal)
+	}
+}
+
+// TestAtomicallyCtxPreCancelled asserts a cancelled context fails fast
+// without running the transaction body.
+func TestAtomicallyCtxPreCancelled(t *testing.T) {
+	sys := NewSystem()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := sys.AtomicallyCtx(ctx, func(tx *Tx) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("transaction body ran under a cancelled context")
+	}
+}
+
+// TestAtomicallyCtxCancelCutsBackoff cancels while Atomically is inside
+// its retry backoff (every attempt times out against a never-released
+// lock) and asserts the deadline is honoured.
+func TestAtomicallyCtxCancelCutsBackoff(t *testing.T) {
+	sys := NewSystem(WithLockWait(time.Millisecond))
+	acct := Must(sys.NewAccount("a"))
+	if err := sys.Atomically(func(tx *Tx) error { return acct.Credit(tx, 100) }); err != nil {
+		t.Fatal(err)
+	}
+	holder := sys.Begin()
+	if ok, err := acct.Debit(holder, 5); err != nil || !ok {
+		t.Fatalf("holder debit: ok=%v err=%v", ok, err)
+	}
+	defer holder.Abort()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := sys.AtomicallyCtx(ctx, func(tx *Tx) error {
+		_, err := acct.Debit(tx, 10)
+		return err
+	})
+	if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, want context.DeadlineExceeded (or retries exhausted on timeouts)", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Errorf("deadline ignored: returned after %v", waited)
+	}
+}
+
+// TestSnapshotCtxPreCancelled covers the read-only path: a cancelled
+// context fails ReadCall with the context's error.
+func TestSnapshotCtxPreCancelled(t *testing.T) {
+	sys := NewSystem()
+	f := Must(sys.NewFile("f"))
+	if err := sys.Atomically(func(tx *Tx) error { return f.Write(tx, 9) }); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := sys.SnapshotCtx(ctx, func(r *ReadTx) error {
+		_, err := f.ReadAt(r)
+		return err
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestBeginCtxNilContext asserts a nil context defaults to Background
+// rather than panicking deep in a lock wait.
+func TestBeginCtxNilContext(t *testing.T) {
+	sys := NewSystem()
+	acct := Must(sys.NewAccount("a"))
+	tx := sys.BeginCtx(nil) //nolint:staticcheck // deliberate nil
+	if err := acct.Credit(tx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if bal := acct.CommittedBalance(); bal != 1 {
+		t.Errorf("balance = %d", bal)
+	}
+}

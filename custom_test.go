@@ -1,0 +1,299 @@
+// Package hybridcc_test exercises the public custom-ADT surface from
+// outside the module's internal packages: everything here compiles against
+// exported API only, which is exactly the situation of an application
+// author defining a new data type.
+package hybridcc_test
+
+import (
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+
+	"hybridcc"
+)
+
+// lbState is the state of a top-score leaderboard: the best score
+// submitted so far.
+type lbState struct{ best int64 }
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+func atoi(s string) int64 {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return -1
+	}
+	return v
+}
+
+func submitInv(score int64) hybridcc.Invocation {
+	return hybridcc.Invocation{Name: "Submit", Arg: itoa(score)}
+}
+
+func bestInv() hybridcc.Invocation { return hybridcc.Invocation{Name: "Best"} }
+
+// submitOp and bestOp build ground operations for the finite universe.
+func submitOp(score int64) hybridcc.Op {
+	return hybridcc.Op{Name: "Submit", Arg: itoa(score), Res: "Ok"}
+}
+func bestOp(v int64) hybridcc.Op { return hybridcc.Op{Name: "Best", Res: itoa(v)} }
+
+// leaderboardSpec is the serial specification of the leaderboard:
+// Submit(s) records a score (always Ok), Best() returns the highest score
+// seen.  The explicit dependency relation is the closed form the paper's
+// method yields: Best(v) depends on Submit(s) exactly when s > v — a
+// submission can only invalidate reads it would raise the answer of.
+// Submissions never depend on anything, so under the Hybrid scheme they
+// run fully concurrently.
+func leaderboardSpec() hybridcc.Spec {
+	return hybridcc.Spec{
+		Name: "Leaderboard",
+		Init: func() hybridcc.State { return lbState{} },
+		Responses: func(s hybridcc.State, inv hybridcc.Invocation) []string {
+			st := s.(lbState)
+			switch inv.Name {
+			case "Submit":
+				if atoi(inv.Arg) <= 0 {
+					return nil
+				}
+				return []string{"Ok"}
+			case "Best":
+				if inv.Arg != "" {
+					return nil
+				}
+				return []string{itoa(st.best)}
+			}
+			return nil
+		},
+		Apply: func(s hybridcc.State, op hybridcc.Op) hybridcc.State {
+			st := s.(lbState)
+			if op.Name == "Submit" {
+				if v := atoi(op.Arg); v > st.best {
+					st.best = v
+				}
+			}
+			return st
+		},
+		Equal: func(a, b hybridcc.State) bool { return a.(lbState) == b.(lbState) },
+		Dependency: func(q, p hybridcc.Op) bool {
+			return q.Name == "Best" && p.Name == "Submit" && atoi(p.Arg) > atoi(q.Res)
+		},
+		Readers: map[string]bool{"Best": true},
+		Universe: []hybridcc.Op{
+			submitOp(1), submitOp(2),
+			bestOp(0), bestOp(1), bestOp(2),
+		},
+		Invocations: []hybridcc.Invocation{submitInv(1), submitInv(2), bestInv()},
+	}
+}
+
+// TestCustomADTAllSchemes runs a concurrent leaderboard workload under all
+// three schemes, checks the committed result, and verifies the recorded
+// history is hybrid atomic — the acceptance gate for user-defined types.
+func TestCustomADTAllSchemes(t *testing.T) {
+	for _, scheme := range []hybridcc.Scheme{hybridcc.Hybrid, hybridcc.Commutativity, hybridcc.ReadWrite} {
+		t.Run(string(scheme), func(t *testing.T) {
+			rec := hybridcc.NewRecorder()
+			sys := hybridcc.NewSystem(hybridcc.WithRecorder(rec))
+			lb, err := sys.NewCustom("scores", leaderboardSpec(), hybridcc.WithScheme(scheme))
+			if err != nil {
+				t.Fatal(err)
+			}
+			const workers, rounds = 6, 4
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						score := int64(w*rounds + r + 1)
+						if err := sys.Atomically(func(tx *hybridcc.Tx) error {
+							_, err := lb.Call(tx, submitInv(score))
+							return err
+						}); err != nil {
+							t.Errorf("submit %d: %v", score, err)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			var best int64
+			if err := sys.Atomically(func(tx *hybridcc.Tx) error {
+				res, err := lb.Call(tx, bestInv())
+				if err != nil {
+					return err
+				}
+				best = atoi(res)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if want := int64(workers * rounds); best != want {
+				t.Errorf("best = %d, want %d", best, want)
+			}
+			if got := hybridcc.Typed[lbState](lb).Committed(); got.best != best {
+				t.Errorf("typed committed state = %+v, want best %d", got, best)
+			}
+			if err := sys.Verify(); err != nil {
+				t.Errorf("history not hybrid atomic: %v", err)
+			}
+		})
+	}
+}
+
+// TestCustomSubmitsRunConcurrently asserts the payoff of the explicit
+// dependency relation: two uncommitted transactions both submit without
+// blocking each other under the Hybrid scheme.
+func TestCustomSubmitsRunConcurrently(t *testing.T) {
+	sys := hybridcc.NewSystem()
+	lb, err := sys.NewCustom("scores", leaderboardSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t2 := sys.Begin(), sys.Begin()
+	if _, err := lb.Call(t1, submitInv(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lb.Call(t2, submitInv(20)); err != nil {
+		t.Fatalf("concurrent submit must not block: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := hybridcc.Typed[lbState](lb).Committed().best; got != 20 {
+		t.Errorf("best = %d", got)
+	}
+}
+
+// TestCustomDerivedConflicts drops the explicit relations and lets the
+// system derive conflicts mechanically from the declared finite universe —
+// the invalidated-by derivation for Hybrid, failure-to-commute for
+// Commutativity.  Submissions inside the universe still run concurrently.
+func TestCustomDerivedConflicts(t *testing.T) {
+	for _, scheme := range []hybridcc.Scheme{hybridcc.Hybrid, hybridcc.Commutativity} {
+		t.Run(string(scheme), func(t *testing.T) {
+			sp := leaderboardSpec()
+			sp.Dependency = nil
+			sp.FailsToCommute = nil
+			rec := hybridcc.NewRecorder()
+			sys := hybridcc.NewSystem(hybridcc.WithRecorder(rec))
+			lb, err := sys.NewCustom("scores", sp, hybridcc.WithScheme(scheme))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t1, t2 := sys.Begin(), sys.Begin()
+			if _, err := lb.Call(t1, submitInv(1)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := lb.Call(t2, submitInv(2)); err != nil {
+				t.Fatalf("derived conflicts must let universe submits overlap: %v", err)
+			}
+			if err := t1.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if err := t2.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Verify(); err != nil {
+				t.Errorf("history not hybrid atomic: %v", err)
+			}
+		})
+	}
+}
+
+// TestSpecDeriveOnce pre-derives the conflict relations so many objects
+// can share one specification without re-running the exponential
+// derivation per registration.
+func TestSpecDeriveOnce(t *testing.T) {
+	sp := leaderboardSpec()
+	sp.Dependency = nil
+	sp.FailsToCommute = nil
+	derived, err := sp.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived.Dependency == nil || derived.FailsToCommute == nil {
+		t.Fatal("Derive must fill in both relations")
+	}
+
+	sys := hybridcc.NewSystem()
+	for _, name := range []string{"s1", "s2", "s3"} {
+		if _, err := sys.NewCustom(name, derived); err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+	}
+	// The derived relation still admits concurrent submits.
+	lb, err := sys.NewCustom("s4", derived)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t2 := sys.Begin(), sys.Begin()
+	if _, err := lb.Call(t1, submitInv(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lb.Call(t2, submitInv(2)); err != nil {
+		t.Fatalf("concurrent submit under pre-derived relation: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Derive without a universe is refused.
+	bare := leaderboardSpec()
+	bare.Dependency = nil
+	bare.Universe = nil
+	if _, err := bare.Derive(); !errors.Is(err, hybridcc.ErrInvalidSpec) {
+		t.Errorf("derive without universe: err = %v, want ErrInvalidSpec", err)
+	}
+}
+
+// TestCustomSpecValidation covers the error contract: no construction
+// path panics on user input.
+func TestCustomSpecValidation(t *testing.T) {
+	sys := hybridcc.NewSystem()
+
+	if _, err := sys.NewCustom("x", hybridcc.Spec{}); !errors.Is(err, hybridcc.ErrInvalidSpec) {
+		t.Errorf("empty spec: err = %v, want ErrInvalidSpec", err)
+	}
+	if _, err := sys.NewCustom("", leaderboardSpec()); !errors.Is(err, hybridcc.ErrInvalidSpec) {
+		t.Errorf("empty name: err = %v, want ErrInvalidSpec", err)
+	}
+
+	// Hybrid with neither an explicit dependency nor a universe to derive
+	// one from is refused.
+	sp := leaderboardSpec()
+	sp.Dependency = nil
+	sp.Universe = nil
+	if _, err := sys.NewCustom("x", sp); !errors.Is(err, hybridcc.ErrInvalidSpec) {
+		t.Errorf("underivable hybrid: err = %v, want ErrInvalidSpec", err)
+	}
+
+	if _, err := sys.NewCustom("dup", leaderboardSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.NewCustom("dup", leaderboardSpec()); !errors.Is(err, hybridcc.ErrDuplicateName) {
+		t.Errorf("duplicate: err = %v, want ErrDuplicateName", err)
+	}
+	if _, err := sys.NewCustom("y", leaderboardSpec(), hybridcc.WithScheme("mvcc")); !errors.Is(err, hybridcc.ErrUnknownScheme) {
+		t.Errorf("unknown scheme: err = %v, want ErrUnknownScheme", err)
+	}
+
+	// ReadWrite needs no relations at all: a nil Readers map (everything a
+	// writer) is always safe.
+	sp = leaderboardSpec()
+	sp.Dependency = nil
+	sp.FailsToCommute = nil
+	sp.Universe = nil
+	sp.Readers = nil
+	if _, err := sys.NewCustom("rw-only", sp, hybridcc.WithScheme(hybridcc.ReadWrite)); err != nil {
+		t.Errorf("readwrite without relations: %v", err)
+	}
+}

@@ -12,7 +12,7 @@ import (
 // with ErrDeadlock, and Atomically's retry resolves the cycle.
 func TestDeadlockDetectionFacade(t *testing.T) {
 	sys := NewSystem(WithDeadlockDetection(), WithLockWait(5*time.Second))
-	acct := sys.NewAccount("a")
+	acct := Must(sys.NewAccount("a"))
 	if err := sys.Atomically(func(tx *Tx) error { return acct.Credit(tx, 10) }); err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestDeadlockDetectionFacade(t *testing.T) {
 // victim aborts-and-retries).
 func TestAtomicallyRetriesDeadlocks(t *testing.T) {
 	sys := NewSystem(WithDeadlockDetection(), WithLockWait(2*time.Second))
-	acct := sys.NewAccount("a")
+	acct := Must(sys.NewAccount("a"))
 	if err := sys.Atomically(func(tx *Tx) error { return acct.Credit(tx, 100) }); err != nil {
 		t.Fatal(err)
 	}

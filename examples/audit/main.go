@@ -37,9 +37,9 @@ func main() {
 		hybridcc.WithLockWait(500*time.Millisecond),
 		hybridcc.WithRecorder(rec),
 	)
-	stock := sys.NewDirectory("stock")  // sku → quantity
-	active := sys.NewSet("active-skus") // which SKUs are stocked
-	sales := sys.NewCounter("sales")
+	stock := hybridcc.Must(sys.NewDirectory("stock"))  // sku → quantity
+	active := hybridcc.Must(sys.NewSet("active-skus")) // which SKUs are stocked
+	sales := hybridcc.Must(sys.NewCounter("sales"))
 
 	var stop atomic.Bool
 	var wg sync.WaitGroup

@@ -36,7 +36,7 @@ func run(scheme hybridcc.Scheme) {
 		hybridcc.WithLockWait(2*time.Second),
 		hybridcc.WithRecorder(rec),
 	)
-	account := sys.NewAccount("vault", hybridcc.WithScheme(scheme))
+	account := hybridcc.Must(sys.NewAccount("vault", hybridcc.WithScheme(scheme)))
 
 	// Open with a balance so overdrafts are rare — the regime where
 	// response-dependent locking pays most.

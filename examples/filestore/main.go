@@ -36,9 +36,9 @@ func main() {
 
 	store := make([]*hybridcc.File, files)
 	for i := range store {
-		store[i] = sys.NewFile(fmt.Sprintf("file%d", i))
+		store[i] = hybridcc.Must(sys.NewFile(fmt.Sprintf("file%d", i)))
 	}
-	owners := sys.NewDirectory("owners")
+	owners := hybridcc.Must(sys.NewDirectory("owners"))
 
 	start := time.Now()
 	var wg sync.WaitGroup

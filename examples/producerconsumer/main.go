@@ -33,7 +33,7 @@ func main() {
 
 func runQueue() {
 	sys := hybridcc.NewSystem(hybridcc.WithLockWait(250 * time.Millisecond))
-	q := sys.NewQueue("jobs")
+	q := hybridcc.Must(sys.NewQueue("jobs"))
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -94,7 +94,7 @@ func runQueue() {
 
 func runSemiqueue() {
 	sys := hybridcc.NewSystem(hybridcc.WithLockWait(250 * time.Millisecond))
-	sq := sys.NewSemiqueue("jobs")
+	sq := hybridcc.Must(sys.NewSemiqueue("jobs"))
 
 	start := time.Now()
 	var wg sync.WaitGroup

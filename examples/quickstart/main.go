@@ -13,8 +13,8 @@ import (
 
 func main() {
 	sys := hybridcc.NewSystem()
-	checking := sys.NewAccount("checking")
-	savings := sys.NewAccount("savings")
+	checking := hybridcc.Must(sys.NewAccount("checking"))
+	savings := hybridcc.Must(sys.NewAccount("savings"))
 
 	// Fund the checking account.
 	if err := sys.Atomically(func(tx *hybridcc.Tx) error {

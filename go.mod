@@ -1,0 +1,3 @@
+module hybridcc
+
+go 1.24

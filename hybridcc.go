@@ -14,8 +14,9 @@
 // Quick start:
 //
 //	sys := hybridcc.NewSystem()
-//	acct := sys.NewAccount("checking")
-//	err := sys.Atomically(func(tx *hybridcc.Tx) error {
+//	acct, err := sys.NewAccount("checking")
+//	if err != nil { ... }
+//	err = sys.Atomically(func(tx *hybridcc.Tx) error {
 //		return acct.Credit(tx, 100)
 //	})
 //
@@ -24,17 +25,23 @@
 // commutativity and read/write baselines of the paper's Section 7 are
 // available through WithScheme for comparison, and remain correct because
 // hybrid atomicity is upward compatible with dynamic atomicity.
+//
+// User-defined types are first-class: describe a serial specification as a
+// Spec — optionally with an explicit dependency relation, or a finite
+// operation universe from which one is derived mechanically — and register
+// objects of it with System.NewCustom.  The seven built-in types are
+// themselves constructed through that path.  See examples/customadt.
 package hybridcc
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"strings"
 	"sync"
 	"time"
 
-	"hybridcc/internal/baseline"
 	"hybridcc/internal/core"
 	"hybridcc/internal/histories"
 	"hybridcc/internal/verify"
@@ -158,15 +165,32 @@ func NewSystem(opts ...Option) *System {
 // Begin starts a transaction.
 func (s *System) Begin() *Tx { return s.inner.Begin() }
 
+// BeginCtx starts a transaction bound to ctx: cancelling ctx promptly
+// unblocks any lock wait the transaction is in and fails its subsequent
+// operations with an error wrapping ctx.Err().  The caller still completes
+// the transaction with Abort.
+func (s *System) BeginCtx(ctx context.Context) *Tx { return s.inner.BeginCtx(ctx) }
+
 // BeginReadOnly starts a read-only transaction serializing at the current
 // logical time.
 func (s *System) BeginReadOnly() *ReadTx { return s.inner.BeginReadOnly() }
+
+// BeginReadOnlyCtx starts a read-only transaction bound to ctx.
+func (s *System) BeginReadOnlyCtx(ctx context.Context) *ReadTx {
+	return s.inner.BeginReadOnlyCtx(ctx)
+}
 
 // Snapshot runs fn inside a read-only transaction and commits it.  Unlike
 // Atomically, there is nothing to retry: readers take no locks; a timeout
 // (a writer lingering in its commit window) is returned as ErrTimeout.
 func (s *System) Snapshot(fn func(r *ReadTx) error) error {
-	r := s.BeginReadOnly()
+	return s.SnapshotCtx(context.Background(), fn)
+}
+
+// SnapshotCtx is Snapshot bound to ctx: cancellation unblocks a reader
+// waiting out a writer's commit window.
+func (s *System) SnapshotCtx(ctx context.Context, fn func(r *ReadTx) error) error {
+	r := s.BeginReadOnlyCtx(ctx)
 	if err := fn(r); err != nil {
 		_ = r.Abort()
 		return err
@@ -182,6 +206,15 @@ func (s *System) Snapshot(fn func(r *ReadTx) error) error {
 // re-collisions that a bare requester-aborts victim policy can livelock
 // on.
 func (s *System) Atomically(fn func(tx *Tx) error) error {
+	return s.AtomicallyCtx(context.Background(), fn)
+}
+
+// AtomicallyCtx is Atomically bound to ctx.  Cancelling ctx promptly
+// unblocks a transaction waiting on a lock, aborts it, and returns an
+// error satisfying errors.Is(err, ctx.Err()); cancellation also cuts the
+// retry backoff short.  A transaction that has already entered Commit is
+// not interrupted — commits are never torn.
+func (s *System) AtomicallyCtx(ctx context.Context, fn func(tx *Tx) error) error {
 	const maxAttempts = 16
 	var last error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
@@ -191,9 +224,18 @@ func (s *System) Atomically(fn func(tx *Tx) error) error {
 				shift = 6
 			}
 			window := 100 * time.Microsecond << shift
-			time.Sleep(time.Duration(rand.Int63n(int64(window))) + 50*time.Microsecond)
+			// rand/v2's top-level generator is contention-free, unlike the
+			// globally locked math/rand source: concurrent retry storms —
+			// exactly when backoff runs — don't serialize on a rand mutex.
+			pause := time.Duration(rand.Int64N(int64(window))) + 50*time.Microsecond
+			if !sleepCtx(ctx, pause) {
+				return ctx.Err()
+			}
 		}
-		tx := s.Begin()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		tx := s.BeginCtx(ctx)
 		err := fn(tx)
 		if err == nil {
 			if err = tx.Commit(); err == nil {
@@ -207,6 +249,23 @@ func (s *System) Atomically(fn func(tx *Tx) error) error {
 		last = err
 	}
 	return fmt.Errorf("hybridcc: transaction retries exhausted: %w", last)
+}
+
+// sleepCtx sleeps for d unless ctx is cancelled first; it reports whether
+// the full pause elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // Stats returns system-wide counters.
@@ -228,23 +287,6 @@ func (s *System) Verify() error {
 	s.mu.Unlock()
 	isReadOnly := func(id histories.TxID) bool { return strings.HasPrefix(string(id), "R") }
 	return verify.CheckGeneralizedHybridAtomic(s.recorder.History(), specs, isReadOnly)
-}
-
-// newObject registers a typed object under the chosen scheme.
-func (s *System) newObject(name, typeName string, scheme Scheme) *core.Object {
-	sp := baseline.SpecFor(typeName)
-	conflict := baseline.ConflictFor(string(scheme), typeName)
-	if sp == nil || conflict == nil {
-		panic(fmt.Sprintf("hybridcc: unknown type %q or scheme %q", typeName, scheme))
-	}
-	s.mu.Lock()
-	if _, dup := s.specs[histories.ObjID(name)]; dup {
-		s.mu.Unlock()
-		panic(fmt.Sprintf("hybridcc: duplicate object name %q", name))
-	}
-	s.specs[histories.ObjID(name)] = sp
-	s.mu.Unlock()
-	return s.inner.NewObject(name, sp, conflict)
 }
 
 // schemeOf applies object options.

@@ -10,7 +10,7 @@ import (
 
 func TestQuickstartFlow(t *testing.T) {
 	sys := NewSystem()
-	acct := sys.NewAccount("checking")
+	acct := Must(sys.NewAccount("checking"))
 	if err := sys.Atomically(func(tx *Tx) error {
 		return acct.Credit(tx, 100)
 	}); err != nil {
@@ -35,7 +35,7 @@ func TestQuickstartFlow(t *testing.T) {
 
 func TestAccountOverdraftReported(t *testing.T) {
 	sys := NewSystem()
-	acct := sys.NewAccount("a")
+	acct := Must(sys.NewAccount("a"))
 	var refused bool
 	if err := sys.Atomically(func(tx *Tx) error {
 		ok, err := acct.Debit(tx, 10)
@@ -54,7 +54,7 @@ func TestAccountOverdraftReported(t *testing.T) {
 
 func TestAccountPost(t *testing.T) {
 	sys := NewSystem()
-	acct := sys.NewAccount("a")
+	acct := Must(sys.NewAccount("a"))
 	if err := sys.Atomically(func(tx *Tx) error {
 		if err := acct.Credit(tx, 10); err != nil {
 			return err
@@ -70,7 +70,7 @@ func TestAccountPost(t *testing.T) {
 
 func TestQueueFIFOAcrossTransactions(t *testing.T) {
 	sys := NewSystem()
-	q := sys.NewQueue("q")
+	q := Must(sys.NewQueue("q"))
 	for _, v := range []int64{5, 6, 7} {
 		v := v
 		if err := sys.Atomically(func(tx *Tx) error { return q.Enq(tx, v) }); err != nil {
@@ -100,7 +100,7 @@ func TestQueueFIFOAcrossTransactions(t *testing.T) {
 
 func TestSemiqueue(t *testing.T) {
 	sys := NewSystem()
-	sq := sys.NewSemiqueue("sq")
+	sq := Must(sys.NewSemiqueue("sq"))
 	if err := sys.Atomically(func(tx *Tx) error {
 		if err := sq.Ins(tx, 1); err != nil {
 			return err
@@ -127,7 +127,7 @@ func TestSemiqueue(t *testing.T) {
 
 func TestFileReadsLatestWrite(t *testing.T) {
 	sys := NewSystem()
-	f := sys.NewFile("f")
+	f := Must(sys.NewFile("f"))
 	if err := sys.Atomically(func(tx *Tx) error { return f.Write(tx, 42) }); err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestFileReadsLatestWrite(t *testing.T) {
 
 func TestCounter(t *testing.T) {
 	sys := NewSystem()
-	c := sys.NewCounter("c")
+	c := Must(sys.NewCounter("c"))
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
@@ -165,7 +165,7 @@ func TestCounter(t *testing.T) {
 
 func TestSetMembership(t *testing.T) {
 	sys := NewSystem()
-	s := sys.NewSet("s")
+	s := Must(sys.NewSet("s"))
 	if err := sys.Atomically(func(tx *Tx) error {
 		fresh, err := s.Insert(tx, 7)
 		if err != nil {
@@ -206,7 +206,7 @@ func TestSetMembership(t *testing.T) {
 
 func TestDirectory(t *testing.T) {
 	sys := NewSystem()
-	d := sys.NewDirectory("d")
+	d := Must(sys.NewDirectory("d"))
 	if err := sys.Atomically(func(tx *Tx) error {
 		created, err := d.Bind(tx, "alpha", 1)
 		if err != nil || !created {
@@ -242,7 +242,7 @@ func TestDirectory(t *testing.T) {
 
 func TestAtomicallyAbortsOnError(t *testing.T) {
 	sys := NewSystem()
-	acct := sys.NewAccount("a")
+	acct := Must(sys.NewAccount("a"))
 	boom := errors.New("boom")
 	err := sys.Atomically(func(tx *Tx) error {
 		if err := acct.Credit(tx, 100); err != nil {
@@ -260,7 +260,7 @@ func TestAtomicallyAbortsOnError(t *testing.T) {
 
 func TestAtomicallyRetriesTimeouts(t *testing.T) {
 	sys := NewSystem(WithLockWait(5 * time.Millisecond))
-	q := sys.NewQueue("q")
+	q := Must(sys.NewQueue("q"))
 	// Hold a conflicting lock (a Deq needs the committed item; an Enq
 	// lock on another item conflicts with it under Table II).
 	if err := sys.Atomically(func(tx *Tx) error { return q.Enq(tx, 1) }); err != nil {
@@ -290,8 +290,8 @@ func TestAtomicallyRetriesTimeouts(t *testing.T) {
 func TestVerifyRecordedHistory(t *testing.T) {
 	rec := NewRecorder()
 	sys := NewSystem(WithRecorder(rec))
-	acct := sys.NewAccount("a")
-	q := sys.NewQueue("q")
+	acct := Must(sys.NewAccount("a"))
+	q := Must(sys.NewQueue("q"))
 	var wg sync.WaitGroup
 	for i := 0; i < 6; i++ {
 		wg.Add(1)
@@ -320,7 +320,7 @@ func TestVerifyWithoutRecorder(t *testing.T) {
 
 func TestSchemesSelectable(t *testing.T) {
 	sys := NewSystem(WithLockWait(5 * time.Millisecond))
-	q := sys.NewQueue("q-commut", WithScheme(Commutativity))
+	q := Must(sys.NewQueue("q-commut", WithScheme(Commutativity)))
 	// Under commutativity, concurrent enqueues of distinct items conflict.
 	holder := sys.Begin()
 	if err := q.Enq(holder, 1); err != nil {
@@ -336,7 +336,7 @@ func TestSchemesSelectable(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	rw := sys.NewFile("f-rw", WithScheme(ReadWrite))
+	rw := Must(sys.NewFile("f-rw", WithScheme(ReadWrite)))
 	h2 := sys.Begin()
 	if err := rw.Write(h2, 1); err != nil {
 		t.Fatal(err)
@@ -349,15 +349,21 @@ func TestSchemesSelectable(t *testing.T) {
 	_ = h2.Commit()
 }
 
-func TestDuplicateObjectNamePanics(t *testing.T) {
+func TestDuplicateObjectNameErrors(t *testing.T) {
 	sys := NewSystem()
-	sys.NewAccount("dup")
-	defer func() {
-		if recover() == nil {
-			t.Error("duplicate object name must panic")
-		}
-	}()
-	sys.NewQueue("dup")
+	if _, err := sys.NewAccount("dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.NewQueue("dup"); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("duplicate object name: err = %v, want ErrDuplicateName", err)
+	}
+}
+
+func TestUnknownSchemeErrors(t *testing.T) {
+	sys := NewSystem()
+	if _, err := sys.NewAccount("a", WithScheme(Scheme("optimistic"))); !errors.Is(err, ErrUnknownScheme) {
+		t.Errorf("unknown scheme: err = %v, want ErrUnknownScheme", err)
+	}
 }
 
 // NewRecorder is exercised via the facade; ensure it round-trips events.
@@ -367,7 +373,7 @@ func TestRecorderExposed(t *testing.T) {
 		t.Error("fresh recorder not empty")
 	}
 	sys := NewSystem(WithRecorder(rec))
-	f := sys.NewFile("f")
+	f := Must(sys.NewFile("f"))
 	if err := sys.Atomically(func(tx *Tx) error { return f.Write(tx, 1) }); err != nil {
 		t.Fatal(err)
 	}
@@ -383,7 +389,7 @@ func TestRecorderExposed(t *testing.T) {
 // NewRecorder returns a Recorder for WithRecorder.
 func TestStatsExposed(t *testing.T) {
 	sys := NewSystem()
-	a := sys.NewAccount("a")
+	a := Must(sys.NewAccount("a"))
 	_ = sys.Atomically(func(tx *Tx) error { return a.Credit(tx, 1) })
 	s := sys.Stats()
 	if s.Committed != 1 || s.Calls != 1 {

@@ -175,3 +175,54 @@ func SpecFor(typeName string) spec.Spec {
 	}
 	return nil
 }
+
+// Descriptor bundles everything needed to express a built-in type through
+// the public specification API: the serial specification, the paper's
+// minimal dependency relation (whose symmetric closure is the hybrid
+// conflict relation), the forward-commutativity conflicts, and the
+// read/write classification.  The facade converts Descriptors into public
+// Spec values so the seven built-in wrappers ride the same registration
+// path as user-defined types.
+type Descriptor struct {
+	Spec spec.Spec
+	// Dependency is the paper-table minimal dependency relation.
+	Dependency depend.Relation
+	// FailsToCommute holds the forward-commutativity conflicts.
+	FailsToCommute depend.Conflict
+	// Readers names the operations that never modify state, for classical
+	// read/write locking.
+	Readers map[string]bool
+}
+
+// DescriptorFor returns the Descriptor for a built-in type name.
+func DescriptorFor(typeName string) (Descriptor, bool) {
+	var dep depend.Relation
+	switch typeName {
+	case "File":
+		dep = depend.FileDependency()
+	case "Queue":
+		dep = depend.QueueDependencyII()
+	case "Semiqueue":
+		dep = depend.SemiqueueDependency()
+	case "Account":
+		dep = depend.AccountDependency()
+	case "Counter":
+		dep = depend.CounterDependency()
+	case "Set":
+		dep = depend.SetDependency()
+	case "Directory":
+		dep = depend.DirectoryDependency()
+	default:
+		return Descriptor{}, false
+	}
+	readers := make(map[string]bool, len(rwReaders[typeName]))
+	for op := range rwReaders[typeName] {
+		readers[op] = true
+	}
+	return Descriptor{
+		Spec:           SpecFor(typeName),
+		Dependency:     dep,
+		FailsToCommute: Commutativity(typeName),
+		Readers:        readers,
+	}, true
+}

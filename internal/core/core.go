@@ -25,6 +25,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -95,12 +96,22 @@ func NewSystem(opts Options) *System {
 }
 
 // Begin starts a transaction.
-func (s *System) Begin() *Tx {
+func (s *System) Begin() *Tx { return s.BeginCtx(context.Background()) }
+
+// BeginCtx starts a transaction bound to ctx.  Cancelling ctx unblocks any
+// lock wait the transaction is in and fails subsequent calls with an error
+// wrapping ctx.Err(); the caller still completes the transaction with
+// Abort.  A nil ctx means context.Background.
+func (s *System) BeginCtx(ctx context.Context) *Tx {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := s.txSeq.Add(1)
 	s.stats.Begun.Add(1)
 	return &Tx{
 		sys:     s,
 		id:      histories.TxID(fmt.Sprintf("T%d", n)),
+		ctx:     ctx,
 		touched: make(map[*Object]bool),
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -84,7 +85,8 @@ func (o *Object) activeCountLocked() int { return len(o.intentions) }
 // Call invokes an operation on behalf of tx and blocks until a response is
 // grantable: legal in tx's view and conflict-free against other active
 // transactions.  It returns ErrTimeout when the wait exceeds
-// Options.LockWait, and ErrTxDone when tx has completed.
+// Options.LockWait, ErrTxDone when tx has completed, and an error wrapping
+// the context's error when tx's context is cancelled mid-wait.
 func (o *Object) Call(tx *Tx, inv spec.Invocation) (string, error) {
 	if err := tx.enter(); err != nil {
 		return "", err
@@ -92,12 +94,18 @@ func (o *Object) Call(tx *Tx, inv spec.Invocation) (string, error) {
 	defer tx.exit()
 	o.sys.stats.Calls.Add(1)
 
+	ctx := tx.ctx
+	if err := ctx.Err(); err != nil {
+		return "", fmt.Errorf("hybridcc: %s on %s: %w", inv, o.name, err)
+	}
+
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	detect := o.sys.opts.DeadlockDetection
 	if detect {
 		defer o.sys.wfg.clear(tx)
 	}
+	var stopCancelWatch func() bool
 	deadline := time.Now().Add(o.sys.opts.LockWait)
 	for {
 		state := o.viewStateLocked(tx)
@@ -120,11 +128,27 @@ func (o *Object) Call(tx *Tx, inv spec.Invocation) (string, error) {
 				}
 			}
 		}
+		// A cancellable context must be able to interrupt the wait; the
+		// watch broadcasts the monitor so the sleeper below wakes and
+		// observes ctx.Err().  Installed lazily: the grant fast path never
+		// pays for it, and contexts that cannot be cancelled skip it
+		// entirely.
+		if stopCancelWatch == nil && ctx.Done() != nil {
+			stopCancelWatch = context.AfterFunc(ctx, func() {
+				o.mu.Lock()
+				o.cond.Broadcast()
+				o.mu.Unlock()
+			})
+			defer stopCancelWatch()
+		}
 		o.sys.stats.Waits.Add(1)
 		o.stats.waits++
 		start := time.Now()
 		expired := o.waitLocked(deadline)
 		o.sys.stats.WaitNanos.Add(int64(time.Since(start)))
+		if err := ctx.Err(); err != nil {
+			return "", fmt.Errorf("hybridcc: %s on %s: %w", inv, o.name, err)
+		}
 		if expired {
 			o.sys.stats.Timeouts.Add(1)
 			o.stats.timeouts++

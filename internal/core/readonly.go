@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -32,6 +33,7 @@ var ErrNotReadOnly = fmt.Errorf("hybridcc: operation mutates state in a read-onl
 type ReadTx struct {
 	sys *System
 	id  histories.TxID
+	ctx context.Context
 	ts  histories.Timestamp
 
 	mu      sync.Mutex
@@ -87,17 +89,30 @@ func (r *readSet) remove(tx *ReadTx) {
 // transactions that commit with earlier timestamps.  While it is active it
 // holds back intention compaction system-wide, so close it promptly
 // (Commit or Abort).
-func (s *System) BeginReadOnly() *ReadTx {
+func (s *System) BeginReadOnly() *ReadTx { return s.BeginReadOnlyCtx(context.Background()) }
+
+// BeginReadOnlyCtx starts a read-only transaction bound to ctx: cancelling
+// ctx unblocks a reader waiting out a writer's commit window and fails
+// subsequent reads with an error wrapping ctx.Err().  A nil ctx means
+// context.Background.
+func (s *System) BeginReadOnlyCtx(ctx context.Context) *ReadTx {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := s.txSeq.Add(1)
 	s.stats.Begun.Add(1)
 	tx := &ReadTx{
 		sys:     s,
 		id:      histories.TxID(fmt.Sprintf("R%d", n)),
+		ctx:     ctx,
 		touched: make(map[*Object]bool),
 	}
 	s.readers.register(tx, s.clock)
 	return tx
 }
+
+// Context returns the context the reader was started with.
+func (t *ReadTx) Context() context.Context { return t.ctx }
 
 // ID returns the reader's identifier.  Read-only identifiers carry an "R"
 // prefix; verification uses it to apply the generalized well-formedness
@@ -173,18 +188,35 @@ func (o *Object) ReadCall(t *ReadTx, inv spec.Invocation) (string, error) {
 	t.mu.Unlock()
 	o.sys.stats.Calls.Add(1)
 
+	ctx := t.ctx
+	if err := ctx.Err(); err != nil {
+		return "", fmt.Errorf("hybridcc: read of %s at %s: %w", inv, o.name, err)
+	}
+
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	var stopCancelWatch func() bool
 	deadline := time.Now().Add(o.sys.opts.LockWait)
 	for {
 		if w := o.blockingWriterLocked(t.ts); w == "" {
 			break
+		}
+		if stopCancelWatch == nil && ctx.Done() != nil {
+			stopCancelWatch = context.AfterFunc(ctx, func() {
+				o.mu.Lock()
+				o.cond.Broadcast()
+				o.mu.Unlock()
+			})
+			defer stopCancelWatch()
 		}
 		o.sys.stats.Waits.Add(1)
 		o.stats.waits++
 		start := time.Now()
 		expired := o.waitLocked(deadline)
 		o.sys.stats.WaitNanos.Add(int64(time.Since(start)))
+		if err := ctx.Err(); err != nil {
+			return "", fmt.Errorf("hybridcc: read of %s at %s: %w", inv, o.name, err)
+		}
 		if expired {
 			o.sys.stats.Timeouts.Add(1)
 			o.stats.timeouts++

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -22,6 +23,7 @@ const (
 type Tx struct {
 	sys *System
 	id  histories.TxID
+	ctx context.Context
 
 	mu      sync.Mutex
 	status  txStatus
@@ -32,6 +34,12 @@ type Tx struct {
 
 // ID returns the transaction's identifier.
 func (t *Tx) ID() histories.TxID { return t.id }
+
+// Context returns the context the transaction was started with
+// (context.Background for Begin).  Cancelling it makes every pending and
+// future call of the transaction return an error wrapping the context's
+// error; the transaction itself must still be completed with Abort.
+func (t *Tx) Context() context.Context { return t.ctx }
 
 // Timestamp returns the commit timestamp and true once the transaction has
 // committed.

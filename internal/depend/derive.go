@@ -1,0 +1,67 @@
+package depend
+
+import "hybridcc/internal/spec"
+
+// This file is the package's derivation entry point for callers that hold
+// only a serial specification and a finite operation universe — the public
+// custom-ADT API.  The individual derivations (InvalidatedBy,
+// FailureToCommute) quantify over the universe and therefore say nothing
+// about operations outside it, so the conflict relations returned here
+// treat an operation not in the universe as conflicting with everything:
+// omitting operations costs concurrency, not correctness.  Within the
+// universe the derivations are exhaustive only up to the callers' history
+// bounds — conflicts that first materialize in histories longer than the
+// bounds are missed, so callers choose bounds that cover their types'
+// reachable interaction depth (or supply closed-form relations instead).
+
+// guarded is a derived conflict relation restricted to a finite universe;
+// operations outside the universe conservatively conflict with everything.
+type guarded struct {
+	name   string
+	pairs  *PairSet
+	member map[spec.Op]bool
+}
+
+func (g guarded) Conflicts(a, b spec.Op) bool {
+	if !g.member[a] || !g.member[b] {
+		return true
+	}
+	return g.pairs.Contains(a, b)
+}
+
+func (g guarded) String() string { return g.name }
+
+func guard(name string, pairs *PairSet, universe []spec.Op) Conflict {
+	member := make(map[spec.Op]bool, len(universe))
+	for _, op := range universe {
+		member[op] = true
+	}
+	return guarded{name: name, pairs: pairs, member: member}
+}
+
+// DeriveHybrid derives the paper's recommended conflict relation from the
+// serial specification alone: the symmetric closure of the invalidated-by
+// relation (Definitions 8–9, sound by Theorem 10) computed exhaustively
+// over the finite universe with history bounds h1Len and h2Len.  Operations
+// outside the universe conflict with everything, keeping the relation a
+// dependency relation regardless of how the universe was chosen.
+func DeriveHybrid(sp spec.Spec, universe []spec.Op, h1Len, h2Len int) Conflict {
+	inv := InvalidatedBy(sp, universe, h1Len, h2Len)
+	sym := NewPairSet()
+	for _, p := range inv.Pairs() {
+		sym.Add(p[0], p[1])
+		sym.Add(p[1], p[0])
+	}
+	return guard("derived-hybrid("+sp.Name()+")", sym, universe)
+}
+
+// DeriveCommutativity derives the forward-commutativity conflict relation
+// (Definitions 25–26, a dependency relation by Theorem 28) over the finite
+// universe: two operations conflict iff they fail to forward-commute, with
+// histories bounded by hLen and equieffectiveness observations drawn from
+// invs to depth obsDepth.  Operations outside the universe conflict with
+// everything.
+func DeriveCommutativity(sp spec.Spec, universe []spec.Op, invs []spec.Invocation, hLen, obsDepth int) Conflict {
+	ftc := FailureToCommute(sp, universe, invs, hLen, obsDepth)
+	return guard("derived-commutativity("+sp.Name()+")", ftc, universe)
+}

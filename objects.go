@@ -2,19 +2,27 @@ package hybridcc
 
 import (
 	"hybridcc/internal/adt"
-	"hybridcc/internal/core"
 )
+
+// The seven built-in types are thin typed wrappers over the public
+// custom-ADT path: each constructor feeds its paper specification (as a
+// public Spec, see builtinSpec) through NewCustom and wraps the resulting
+// Object handle with typed methods.
 
 // Account is a bank account with Credit, Post (interest), and Debit
 // operations (the paper's Section 4.3 Account and appendix example).  Under
 // the Hybrid scheme, credits never conflict with other credits, with
 // posts, or with successful debits; only attempted overdrafts and pairs of
 // successful debits conflict (Table V).
-type Account struct{ obj *core.Object }
+type Account struct{ obj *Object }
 
 // NewAccount creates an account object.
-func (s *System) NewAccount(name string, opts ...ObjectOption) *Account {
-	return &Account{obj: s.newObject(name, "Account", schemeOf(opts))}
+func (s *System) NewAccount(name string, opts ...ObjectOption) (*Account, error) {
+	obj, err := s.NewCustom(name, builtinSpec("Account"), opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Account{obj: obj}, nil
 }
 
 // Credit adds amount (≥ 0) to the balance.
@@ -52,11 +60,15 @@ func (a *Account) CommittedBalance() int64 {
 // concurrently; dequeues serialize against enqueues of other items.  The
 // Commutativity scheme uses the incomparable Table III conflicts, which
 // instead let one dequeuer overlap one enqueuer.
-type Queue struct{ obj *core.Object }
+type Queue struct{ obj *Object }
 
 // NewQueue creates a queue object.
-func (s *System) NewQueue(name string, opts ...ObjectOption) *Queue {
-	return &Queue{obj: s.newObject(name, "Queue", schemeOf(opts))}
+func (s *System) NewQueue(name string, opts ...ObjectOption) (*Queue, error) {
+	obj, err := s.NewCustom(name, builtinSpec("Queue"), opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Queue{obj: obj}, nil
 }
 
 // Enq appends item to the queue.
@@ -84,11 +96,15 @@ func (q *Queue) CommittedItems() []int64 {
 // item rather than the oldest.  The non-determinism buys concurrency —
 // removers conflict only when they take the same item, and inserts never
 // conflict with anything.
-type Semiqueue struct{ obj *core.Object }
+type Semiqueue struct{ obj *Object }
 
 // NewSemiqueue creates a semiqueue object.
-func (s *System) NewSemiqueue(name string, opts ...ObjectOption) *Semiqueue {
-	return &Semiqueue{obj: s.newObject(name, "Semiqueue", schemeOf(opts))}
+func (s *System) NewSemiqueue(name string, opts ...ObjectOption) (*Semiqueue, error) {
+	obj, err := s.NewCustom(name, builtinSpec("Semiqueue"), opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Semiqueue{obj: obj}, nil
 }
 
 // Ins inserts item.
@@ -116,11 +132,15 @@ func (q *Semiqueue) CommittedSize() int {
 // never conflict with each other — the generalized Thomas Write Rule: later
 // transactions read the value written by the transaction with the later
 // commit timestamp.
-type File struct{ obj *core.Object }
+type File struct{ obj *Object }
 
 // NewFile creates a file object with initial value 0.
-func (s *System) NewFile(name string, opts ...ObjectOption) *File {
-	return &File{obj: s.newObject(name, "File", schemeOf(opts))}
+func (s *System) NewFile(name string, opts ...ObjectOption) (*File, error) {
+	obj, err := s.NewCustom(name, builtinSpec("File"), opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &File{obj: obj}, nil
 }
 
 // Write replaces the file's value.
@@ -155,11 +175,15 @@ func (f *File) ReadAt(r *ReadTx) (int64, error) {
 
 // Counter is an increment-only counter with a read operation; increments
 // never conflict with one another.
-type Counter struct{ obj *core.Object }
+type Counter struct{ obj *Object }
 
 // NewCounter creates a counter object starting at zero.
-func (s *System) NewCounter(name string, opts ...ObjectOption) *Counter {
-	return &Counter{obj: s.newObject(name, "Counter", schemeOf(opts))}
+func (s *System) NewCounter(name string, opts ...ObjectOption) (*Counter, error) {
+	obj, err := s.NewCustom(name, builtinSpec("Counter"), opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{obj: obj}, nil
 }
 
 // Inc adds n (≥ 0) to the counter.
@@ -194,11 +218,15 @@ func (c *Counter) ReadAt(r *ReadTx) (int64, error) {
 // Set is a set of integers whose operations report prior membership;
 // conflicts derived from the specification are automatically per-element,
 // so operations on distinct elements run fully concurrently.
-type Set struct{ obj *core.Object }
+type Set struct{ obj *Object }
 
 // NewSet creates an empty set object.
-func (s *System) NewSet(name string, opts ...ObjectOption) *Set {
-	return &Set{obj: s.newObject(name, "Set", schemeOf(opts))}
+func (s *System) NewSet(name string, opts ...ObjectOption) (*Set, error) {
+	obj, err := s.NewCustom(name, builtinSpec("Set"), opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Set{obj: obj}, nil
 }
 
 // Insert adds v; it reports whether v was newly added.
@@ -243,11 +271,15 @@ func (st *Set) MemberAt(r *ReadTx, v int64) (bool, error) {
 }
 
 // Directory maps string keys to integer values; conflicts are per-key.
-type Directory struct{ obj *core.Object }
+type Directory struct{ obj *Object }
 
 // NewDirectory creates an empty directory object.
-func (s *System) NewDirectory(name string, opts ...ObjectOption) *Directory {
-	return &Directory{obj: s.newObject(name, "Directory", schemeOf(opts))}
+func (s *System) NewDirectory(name string, opts ...ObjectOption) (*Directory, error) {
+	obj, err := s.NewCustom(name, builtinSpec("Directory"), opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Directory{obj: obj}, nil
 }
 
 // Bind associates key with value when key is unbound; it reports whether

@@ -9,8 +9,8 @@ import (
 
 func TestSnapshotConsistentAcrossObjects(t *testing.T) {
 	sys := NewSystem()
-	c := sys.NewCounter("c")
-	f := sys.NewFile("f")
+	c := Must(sys.NewCounter("c"))
+	f := Must(sys.NewFile("f"))
 	if err := sys.Atomically(func(tx *Tx) error {
 		if err := c.Inc(tx, 3); err != nil {
 			return err
@@ -38,7 +38,7 @@ func TestSnapshotConsistentAcrossObjects(t *testing.T) {
 
 func TestSnapshotIsolatedFromLaterWrites(t *testing.T) {
 	sys := NewSystem()
-	c := sys.NewCounter("c")
+	c := Must(sys.NewCounter("c"))
 	if err := sys.Atomically(func(tx *Tx) error { return c.Inc(tx, 1) }); err != nil {
 		t.Fatal(err)
 	}
@@ -64,10 +64,10 @@ func TestSnapshotIsolatedFromLaterWrites(t *testing.T) {
 
 func TestSnapshotAllReadTypes(t *testing.T) {
 	sys := NewSystem()
-	f := sys.NewFile("f")
-	c := sys.NewCounter("c")
-	s := sys.NewSet("s")
-	d := sys.NewDirectory("d")
+	f := Must(sys.NewFile("f"))
+	c := Must(sys.NewCounter("c"))
+	s := Must(sys.NewSet("s"))
+	d := Must(sys.NewDirectory("d"))
 	if err := sys.Atomically(func(tx *Tx) error {
 		if err := f.Write(tx, 9); err != nil {
 			return err
@@ -119,7 +119,7 @@ func TestSnapshotErrorAborts(t *testing.T) {
 func TestReadersDoNotBlockWritersFacade(t *testing.T) {
 	rec := NewRecorder()
 	sys := NewSystem(WithRecorder(rec), WithLockWait(500*time.Millisecond))
-	c := sys.NewCounter("c")
+	c := Must(sys.NewCounter("c"))
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 	// A steady stream of readers.

@@ -1,0 +1,157 @@
+package hybridcc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSchemeMatrix runs one concurrent workload per built-in type under
+// every scheme and cross-checks the outcomes: each scheme must produce
+// the same summary (the workloads are designed to have a deterministic
+// result regardless of interleaving), and every recorded history must
+// verify as hybrid atomic.  This is the facade-level guarantee behind
+// WithScheme: the baselines trade concurrency, never correctness.
+func TestSchemeMatrix(t *testing.T) {
+	const workers, rounds = 4, 3
+
+	// Each workload returns a scheme-independent summary string.
+	workloads := []struct {
+		name string
+		run  func(t *testing.T, sys *System, scheme Scheme) string
+	}{
+		{"Account", func(t *testing.T, sys *System, scheme Scheme) string {
+			acct := Must(sys.NewAccount("a", WithScheme(scheme)))
+			parallel(t, sys, workers, rounds, func(tx *Tx, w, r int) error {
+				if err := acct.Credit(tx, int64(w*rounds+r+1)); err != nil {
+					return err
+				}
+				return acct.Post(tx, 1)
+			})
+			return fmt.Sprint(acct.CommittedBalance())
+		}},
+		{"Queue", func(t *testing.T, sys *System, scheme Scheme) string {
+			q := Must(sys.NewQueue("q", WithScheme(scheme)))
+			parallel(t, sys, workers, rounds, func(tx *Tx, w, r int) error {
+				return q.Enq(tx, int64(w*rounds+r))
+			})
+			var got []int64
+			for i := 0; i < workers*rounds; i++ {
+				if err := sys.Atomically(func(tx *Tx) error {
+					v, err := q.Deq(tx)
+					got = append(got, v)
+					return err
+				}); err != nil {
+					t.Fatalf("deq: %v", err)
+				}
+			}
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			return fmt.Sprintf("%v left=%d", got, len(q.CommittedItems()))
+		}},
+		{"Semiqueue", func(t *testing.T, sys *System, scheme Scheme) string {
+			sq := Must(sys.NewSemiqueue("sq", WithScheme(scheme)))
+			parallel(t, sys, workers, rounds, func(tx *Tx, w, r int) error {
+				return sq.Ins(tx, int64(w*rounds+r))
+			})
+			for i := 0; i < workers; i++ {
+				if err := sys.Atomically(func(tx *Tx) error {
+					_, err := sq.Rem(tx)
+					return err
+				}); err != nil {
+					t.Fatalf("rem: %v", err)
+				}
+			}
+			return fmt.Sprint(sq.CommittedSize())
+		}},
+		{"File", func(t *testing.T, sys *System, scheme Scheme) string {
+			f := Must(sys.NewFile("f", WithScheme(scheme)))
+			parallel(t, sys, workers, rounds, func(tx *Tx, w, r int) error {
+				return f.Write(tx, int64(w*rounds+r))
+			})
+			// A final write makes the committed value deterministic.
+			if err := sys.Atomically(func(tx *Tx) error { return f.Write(tx, 777) }); err != nil {
+				t.Fatal(err)
+			}
+			return fmt.Sprint(f.CommittedValue())
+		}},
+		{"Counter", func(t *testing.T, sys *System, scheme Scheme) string {
+			c := Must(sys.NewCounter("c", WithScheme(scheme)))
+			parallel(t, sys, workers, rounds, func(tx *Tx, w, r int) error {
+				return c.Inc(tx, int64(w+r))
+			})
+			return fmt.Sprint(c.CommittedValue())
+		}},
+		{"Set", func(t *testing.T, sys *System, scheme Scheme) string {
+			s := Must(sys.NewSet("s", WithScheme(scheme)))
+			parallel(t, sys, workers, rounds, func(tx *Tx, w, r int) error {
+				v := int64(w*rounds + r)
+				if _, err := s.Insert(tx, v); err != nil {
+					return err
+				}
+				if v%2 == 0 {
+					_, err := s.Remove(tx, v)
+					return err
+				}
+				return nil
+			})
+			return fmt.Sprint(s.CommittedSize())
+		}},
+		{"Directory", func(t *testing.T, sys *System, scheme Scheme) string {
+			d := Must(sys.NewDirectory("d", WithScheme(scheme)))
+			parallel(t, sys, workers, rounds, func(tx *Tx, w, r int) error {
+				key := fmt.Sprintf("k%d-%d", w, r)
+				if _, err := d.Bind(tx, key, int64(w)); err != nil {
+					return err
+				}
+				if r == 0 {
+					_, err := d.Unbind(tx, key)
+					return err
+				}
+				return nil
+			})
+			return fmt.Sprint(d.CommittedSize())
+		}},
+	}
+
+	schemes := []Scheme{Hybrid, Commutativity, ReadWrite}
+	for _, wl := range workloads {
+		t.Run(wl.name, func(t *testing.T) {
+			results := make(map[Scheme]string, len(schemes))
+			for _, scheme := range schemes {
+				rec := NewRecorder()
+				sys := NewSystem(WithRecorder(rec), WithLockWait(50*time.Millisecond))
+				results[scheme] = wl.run(t, sys, scheme)
+				if err := sys.Verify(); err != nil {
+					t.Errorf("%s/%s: history not hybrid atomic: %v", wl.name, scheme, err)
+				}
+			}
+			for _, scheme := range schemes[1:] {
+				if results[scheme] != results[schemes[0]] {
+					t.Errorf("%s: %s result %q differs from %s result %q",
+						wl.name, scheme, results[scheme], schemes[0], results[schemes[0]])
+				}
+			}
+		})
+	}
+}
+
+// parallel runs workers goroutines of rounds transactions each, failing
+// the test on any transaction error.
+func parallel(t *testing.T, sys *System, workers, rounds int, body func(tx *Tx, w, r int) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := sys.Atomically(func(tx *Tx) error { return body(tx, w, r) }); err != nil {
+					t.Errorf("worker %d round %d: %v", w, r, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

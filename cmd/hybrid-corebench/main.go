@@ -1,0 +1,111 @@
+// Command hybrid-corebench runs the contended single-object throughput
+// probe and emits BENCH_core.json, the repository's hot-path performance
+// record.  Run it with fixed flags so numbers stay comparable across PRs:
+//
+//	go run ./cmd/hybrid-corebench -label "my change" -o BENCH_core.json
+//
+// With -append it merges the new runs into an existing file, so the file
+// accumulates a trajectory (one entry per labelled configuration).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"hybridcc/internal/bench"
+)
+
+// fileFormat is the schema of BENCH_core.json (documented in README.md).
+// The probe configuration lives inside each entry, not at the top level:
+// -append must never record numbers under a config block they were not
+// measured with.
+type fileFormat struct {
+	Benchmark string  `json:"benchmark"`
+	Workload  string  `json:"workload"`
+	Entries   []entry `json:"entries"`
+}
+
+type config struct {
+	Goroutines int   `json:"goroutines"`
+	OpsPerTx   int   `json:"ops_per_tx"`
+	DurationMS int64 `json:"duration_ms"`
+}
+
+type entry struct {
+	Label   string                  `json:"label"`
+	GoMaxP  int                     `json:"gomaxprocs"`
+	Config  config                  `json:"config"`
+	Results []bench.CoreBenchResult `json:"results"`
+}
+
+func main() {
+	var (
+		label      = flag.String("label", "dev", "entry label recorded in the output")
+		out        = flag.String("o", "", "output file (default stdout)")
+		appendFile = flag.Bool("append", false, "merge into an existing output file")
+		goroutines = flag.Int("goroutines", 8, "concurrent workers")
+		opsPerTx   = flag.Int("ops", 16, "operations per transaction")
+		duration   = flag.Duration("duration", 2*time.Second, "measurement window per scheme")
+		schemes    = flag.String("schemes", "hybrid,commutativity,readwrite", "comma-separated schemes")
+	)
+	flag.Parse()
+
+	e := entry{
+		Label:  *label,
+		GoMaxP: runtime.GOMAXPROCS(0),
+		Config: config{
+			Goroutines: *goroutines,
+			OpsPerTx:   *opsPerTx,
+			DurationMS: duration.Milliseconds(),
+		},
+	}
+	for _, scheme := range strings.Split(*schemes, ",") {
+		res, err := bench.CoreThroughput(bench.CoreBenchConfig{
+			Goroutines: *goroutines,
+			OpsPerTx:   *opsPerTx,
+			Duration:   *duration,
+			Scheme:     scheme,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%-14s %12.0f ops/s  (calls=%d commits=%d timeouts=%d)\n",
+			scheme, res.OpsPerSec, res.Calls, res.Commits, res.Timeouts)
+		e.Results = append(e.Results, res)
+	}
+
+	f := fileFormat{
+		Benchmark: "contended single-object throughput",
+		Workload:  "Account credits (non-conflicting under hybrid): begin; ops_per_tx credits; commit",
+	}
+	if *appendFile && *out != "" {
+		if data, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(data, &f); err != nil {
+				fmt.Fprintf(os.Stderr, "cannot merge into %s: %v\n", *out, err)
+				os.Exit(1)
+			}
+		}
+	}
+	f.Entries = append(f.Entries, e)
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -337,7 +337,11 @@ func (s *System) NewCustom(name string, sp Spec, opts ...ObjectOption) (*Object,
 	}
 	s.specs[histories.ObjID(name)] = isp
 	s.mu.Unlock()
-	return &Object{obj: s.inner.NewObject(name, isp, conflict)}, nil
+	// The declared universe seeds the object's compiled conflict table:
+	// its operation classes are interned (and their bitmask rows built) at
+	// registration rather than on first sight.  Open universes (nil) are
+	// fine — classes then intern lazily as operations appear.
+	return &Object{obj: s.inner.NewObjectSeeded(name, isp, conflict, sp.Universe)}, nil
 }
 
 // builtinSpec expresses a built-in type as a public Spec, with the paper's
@@ -356,6 +360,7 @@ func builtinSpec(typeName string) Spec {
 		Dependency:     d.Dependency.Depends,
 		FailsToCommute: d.FailsToCommute.Conflicts,
 		Readers:        d.Readers,
+		Universe:       d.Universe,
 		internal:       d.Spec,
 	}
 }

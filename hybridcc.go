@@ -216,7 +216,7 @@ func (s *System) Atomically(fn func(tx *Tx) error) error {
 // not interrupted — commits are never torn.
 func (s *System) AtomicallyCtx(ctx context.Context, fn func(tx *Tx) error) error {
 	const maxAttempts = 16
-	var last error
+	var first, last error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if attempt > 0 {
 			shift := attempt
@@ -246,9 +246,19 @@ func (s *System) AtomicallyCtx(ctx context.Context, fn func(tx *Tx) error) error
 		if !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrDeadlock) {
 			return err
 		}
+		if first == nil {
+			first = err
+		}
 		last = err
 	}
-	return fmt.Errorf("hybridcc: transaction retries exhausted: %w", last)
+	// The first failure names the object the retry storm started on —
+	// usually the contended one — which the last failure alone can hide.
+	// Wrapping last keeps errors.Is(err, ErrTimeout/ErrDeadlock) working.
+	if first.Error() == last.Error() {
+		return fmt.Errorf("hybridcc: transaction retries exhausted after %d attempts: %w", maxAttempts, last)
+	}
+	return fmt.Errorf("hybridcc: transaction retries exhausted after %d attempts (first failure: %v): %w",
+		maxAttempts, first, last)
 }
 
 // sleepCtx sleeps for d unless ctx is cancelled first; it reports whether

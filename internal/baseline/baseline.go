@@ -149,6 +149,31 @@ func Commutativity(typeName string) depend.Conflict {
 	return nil
 }
 
+// UniverseFor returns a small-domain finite operation universe for a
+// built-in type name, or nil for unknown names.  Registration seeds each
+// object's compiled conflict table from this universe so the common ground
+// operations never pay a first-sight interning scan; operations over other
+// values intern lazily as they appear.
+func UniverseFor(typeName string) []spec.Op {
+	switch typeName {
+	case "File":
+		return adt.FileUniverse([]int64{1, 2})
+	case "Queue":
+		return adt.QueueUniverse([]int64{1, 2})
+	case "Semiqueue":
+		return adt.SemiqueueUniverse([]int64{1, 2})
+	case "Account":
+		return adt.AccountUniverse([]int64{1, 2, 3}, []int64{2})
+	case "Counter":
+		return adt.CounterUniverse([]int64{1, 2}, []int64{0, 1, 2, 3, 4})
+	case "Set":
+		return adt.SetUniverse([]int64{1, 2})
+	case "Directory":
+		return adt.DirectoryUniverse([]string{"a", "b"}, []int64{1, 2})
+	}
+	return nil
+}
+
 // Schemes enumerates the three concurrency-control schemes compared in the
 // experiments.
 var Schemes = []string{"hybrid", "commutativity", "readwrite"}
@@ -192,6 +217,9 @@ type Descriptor struct {
 	// Readers names the operations that never modify state, for classical
 	// read/write locking.
 	Readers map[string]bool
+	// Universe is a small-domain finite operation universe used to seed
+	// the object's compiled conflict table at registration.
+	Universe []spec.Op
 }
 
 // DescriptorFor returns the Descriptor for a built-in type name.
@@ -224,5 +252,6 @@ func DescriptorFor(typeName string) (Descriptor, bool) {
 		Dependency:     dep,
 		FailsToCommute: Commutativity(typeName),
 		Readers:        readers,
+		Universe:       UniverseFor(typeName),
 	}, true
 }

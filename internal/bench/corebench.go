@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridcc/internal/adt"
+	"hybridcc/internal/baseline"
+	"hybridcc/internal/core"
+	"hybridcc/internal/spec"
+)
+
+// This file holds the hot-path throughput probe behind BENCH_core.json: a
+// contended single-object workload that stresses exactly the per-call costs
+// the LOCK algorithm is supposed to keep cheap — view reconstruction and
+// conflict checking under the object mutex.  The table experiments in
+// bench.go compare schemes; this probe tracks the runtime's own hot path
+// across PRs, so its configuration is fixed and fully reproducible.
+
+// CoreBenchConfig configures the contended single-object throughput probe.
+type CoreBenchConfig struct {
+	// Goroutines is the number of concurrent workers.
+	Goroutines int
+	// OpsPerTx is the number of operations each transaction executes
+	// before committing.  Larger values lengthen intentions lists, which
+	// is what makes the naive O(active × held-ops) conflict scan and the
+	// full view replay expensive.
+	OpsPerTx int
+	// Duration is the measurement window.
+	Duration time.Duration
+	// Scheme selects the conflict relation ("hybrid", "commutativity",
+	// "readwrite").
+	Scheme string
+}
+
+// CoreBenchResult reports one probe run.
+type CoreBenchResult struct {
+	Scheme    string  `json:"scheme"`
+	Calls     int64   `json:"calls"`
+	Commits   int64   `json:"commits"`
+	Timeouts  int64   `json:"timeouts"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// CoreThroughput runs the probe: Goroutines workers share one Account
+// object and loop { begin; OpsPerTx credits; commit } for Duration.
+// Credits never conflict under the hybrid scheme, so every call takes the
+// grant path — the cost measured is view reconstruction plus the conflict
+// scan against every other active transaction's held operations.  Under
+// commutativity credits still commute; under read/write everything
+// conflicts, so that scheme measures the blocked path instead.
+func CoreThroughput(cfg CoreBenchConfig) (CoreBenchResult, error) {
+	sp := baseline.SpecFor("Account")
+	conflict := baseline.ConflictFor(cfg.Scheme, "Account")
+	if sp == nil || conflict == nil {
+		return CoreBenchResult{}, fmt.Errorf("bench: unknown scheme %q", cfg.Scheme)
+	}
+	sys := core.NewSystem(core.Options{LockWait: 5 * time.Millisecond})
+	obj := sys.NewObject("hot", sp, conflict)
+
+	invs := make([]spec.Invocation, 8)
+	for i := range invs {
+		invs[i] = adt.CreditInv(int64(i%3 + 1))
+	}
+
+	var calls, commits, timeouts atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.Goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx := sys.Begin()
+				ok := true
+				for i := 0; i < cfg.OpsPerTx; i++ {
+					if _, err := obj.Call(tx, invs[(g+i)%len(invs)]); err != nil {
+						timeouts.Add(1)
+						ok = false
+						break
+					}
+					calls.Add(1)
+				}
+				if !ok {
+					_ = tx.Abort()
+					continue
+				}
+				if err := tx.Commit(); err == nil {
+					commits.Add(1)
+				}
+			}
+		}(g)
+	}
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return CoreBenchResult{
+		Scheme:    cfg.Scheme,
+		Calls:     calls.Load(),
+		Commits:   commits.Load(),
+		Timeouts:  timeouts.Load(),
+		OpsPerSec: float64(calls.Load()) / elapsed.Seconds(),
+	}, nil
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCoreThroughputRuns(t *testing.T) {
+	res, err := CoreThroughput(CoreBenchConfig{
+		Goroutines: 4,
+		OpsPerTx:   4,
+		Duration:   30 * time.Millisecond,
+		Scheme:     "hybrid",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Calls == 0 || res.OpsPerSec == 0 {
+		t.Fatalf("probe made no progress: %+v", res)
+	}
+}
+
+func TestCoreThroughputRejectsUnknownScheme(t *testing.T) {
+	if _, err := CoreThroughput(CoreBenchConfig{Scheme: "nope"}); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+}
+
+// BenchmarkCoreThroughput is the CI smoke hook for the hot-path probe:
+// `go test -bench=. -benchtime=1x ./internal/bench/...` runs one short
+// window per scheme, keeping the harness behind BENCH_core.json from
+// rotting.  Numbers for the committed record come from
+// cmd/hybrid-corebench, which uses the full configuration.
+func BenchmarkCoreThroughput(b *testing.B) {
+	for _, scheme := range []string{"hybrid", "commutativity", "readwrite"} {
+		b.Run(scheme, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := CoreThroughput(CoreBenchConfig{
+					Goroutines: 4,
+					OpsPerTx:   8,
+					Duration:   50 * time.Millisecond,
+					Scheme:     scheme,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.OpsPerSec, "ops/s")
+			}
+		})
+	}
+}

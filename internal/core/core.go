@@ -22,6 +22,11 @@
 // transaction's per-object lower bounds (Section 6), then distributes the
 // commit to every touched object; horizon-based compaction folds old
 // committed intentions into the version, exactly as the appendix's forget.
+//
+// The per-call hot path is compiled: conflict relations become bitmask
+// tables over interned operation classes (depend.CompiledTable), and view
+// states are cached per transaction and extended incrementally on grant
+// rather than replayed — see Object for the invariants.
 package core
 
 import (

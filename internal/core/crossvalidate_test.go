@@ -40,17 +40,30 @@ func TestRuntimeMatchesFormalMachine(t *testing.T) {
 		oc := oc
 		t.Run(oc.name, func(t *testing.T) {
 			for seed := int64(0); seed < 30; seed++ {
-				crossValidate(t, oc.sp, oc.conflict, oc.invs, seed)
+				crossValidate(t, oc.sp, oc.conflict, oc.invs, seed, 0)
+			}
+		})
+		// The same schedules with the compiled conflict table truncated to
+		// two classes: most operations then take the dynamic-dispatch
+		// fallback, which must grant and deny identically.  The machine is
+		// the common referee, so this cross-validates the compiled path
+		// against the interface path at the runtime level.
+		t.Run(oc.name+"/truncated-table", func(t *testing.T) {
+			for seed := int64(0); seed < 30; seed++ {
+				crossValidate(t, oc.sp, oc.conflict, oc.invs, seed, 2)
 			}
 		})
 	}
 }
 
-func crossValidate(t *testing.T, sp spec.Spec, conflict depend.Conflict, invs []spec.Invocation, seed int64) {
+func crossValidate(t *testing.T, sp spec.Spec, conflict depend.Conflict, invs []spec.Invocation, seed int64, tableLimit int) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	sys := NewSystem(Options{LockWait: time.Millisecond})
 	obj := sys.NewObject("X", sp, conflict)
+	if tableLimit > 0 {
+		obj.table = depend.Compile(conflict, nil, tableLimit)
+	}
 	machine := lockmachine.New("X", sp, conflict)
 
 	const nTx = 4

@@ -77,16 +77,14 @@ func (o *Object) blockersLocked(tx *Tx, inv spec.Invocation, state spec.State) [
 	seen := make(map[*Tx]bool)
 	for _, r := range o.sp.Responses(state, inv) {
 		op := inv.With(r)
-		for other, ops := range o.intentions {
+		row := o.rowOfLocked(op)
+		for other, lk := range o.active {
 			if other == tx || seen[other] {
 				continue
 			}
-			for _, p := range ops {
-				if o.conflict.Conflicts(p, op) {
-					seen[other] = true
-					holders = append(holders, other)
-					break
-				}
+			if o.holderConflictsLocked(lk, row, op) {
+				seen[other] = true
+				holders = append(holders, other)
 			}
 		}
 	}

@@ -14,11 +14,31 @@ import (
 
 // Object is a hybrid atomic object: typed shared data managed by the
 // paper's locking algorithm.
+//
+// The grant/deny hot path is kept O(1)-ish by two compiled representations,
+// both guarded by the object mutex:
+//
+//   - the conflict relation is compiled to a bitmask matrix
+//     (depend.CompiledTable): each distinct ground operation is interned
+//     into a dense class index, each active transaction carries a bitmask
+//     of held classes, and "does op conflict with anything another
+//     transaction holds?" is one row-AND per active transaction instead of
+//     O(their-ops) dynamic-dispatch predicate calls;
+//
+//   - view states are materialized incrementally: the committed-tail state
+//     (version + unforgotten intentions) is cached behind a generation
+//     counter bumped on commit, and each active transaction's view is
+//     extended in place on grant instead of replaying
+//     version + unforgotten + intentions from scratch on every attempt.
 type Object struct {
 	sys      *System
 	name     histories.ObjID
 	sp       spec.Spec
 	conflict depend.Conflict
+	// table is the conflict relation compiled to bitmask rows over
+	// interned operation classes (guarded by mu; tables are not safe for
+	// concurrent use).
+	table *depend.CompiledTable
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -29,16 +49,49 @@ type Object struct {
 	// unforgotten holds committed transactions not yet folded into
 	// version, sorted by timestamp.
 	unforgotten []committedEntry
-	// intentions holds each active transaction's operations; they double
-	// as the transaction's locks.
-	intentions map[*Tx][]spec.Op
-	// bounds records each active transaction's lower bound on its
-	// eventual commit timestamp (Section 6).
-	bounds map[*Tx]histories.Timestamp
+	// active holds each active transaction's lock record: its intentions
+	// (which double as its locks), timestamp lower bound, held-class
+	// bitmask, and cached view state.
+	active map[*Tx]*txLock
 	// clock is the largest commit timestamp this object has seen.
 	clock histories.Timestamp
 
+	// commitGen counts commits merged at this object.  Caches derived
+	// from the committed tail (version + unforgotten) are valid exactly
+	// when their recorded generation matches; aborts and folds leave the
+	// tail state unchanged and so do not bump it.
+	commitGen uint64
+	// events counts completion events (grants, commits, aborts) — the
+	// wakeup conditions of the appendix's "when" statement.  A blocked
+	// call whose event count is unchanged across a wakeup re-waits
+	// without re-deriving responses.
+	events uint64
+	// tailState is the committed-tail state as of tailGen; stale (and
+	// lazily recomputed) when tailGen != commitGen.
+	tailState spec.State
+	tailGen   uint64
+
 	stats ObjectStats
+}
+
+// txLock is one active transaction's lock record at an object.
+type txLock struct {
+	// ops is the intentions list; it doubles as the lock set.
+	ops []spec.Op
+	// bound is the transaction's lower bound on its eventual commit
+	// timestamp (Section 6).
+	bound histories.Timestamp
+	// mask marks the interned conflict classes of held operations.
+	mask depend.Mask
+	// extra holds operations the compiled table could not intern (table
+	// full); they take the dynamic-dispatch path.
+	extra []spec.Op
+	// view caches the transaction's view state: committed tail at viewGen
+	// plus the first viewOps own intentions.
+	view      spec.State
+	viewGen   uint64
+	viewOps   int
+	viewValid bool
 }
 
 type committedEntry struct {
@@ -53,15 +106,25 @@ type committedEntry struct {
 // for sp — Theorems 11 and 17 make this condition both sufficient and
 // necessary.
 func (s *System) NewObject(name string, sp spec.Spec, conflict depend.Conflict) *Object {
+	return s.NewObjectSeeded(name, sp, conflict, nil)
+}
+
+// NewObjectSeeded is NewObject with a declared finite operation universe:
+// the universe's operations are interned into the compiled conflict table
+// eagerly, so they never pay the first-sight interning scan.  Operations
+// outside the universe still intern lazily as they appear; a nil universe
+// (an open universe) just means every class interns on first sight.
+func (s *System) NewObjectSeeded(name string, sp spec.Spec, conflict depend.Conflict, universe []spec.Op) *Object {
 	o := &Object{
-		sys:        s,
-		name:       histories.ObjID(name),
-		sp:         sp,
-		conflict:   conflict,
-		version:    sp.Init(),
-		intentions: make(map[*Tx][]spec.Op),
-		bounds:     make(map[*Tx]histories.Timestamp),
-		clock:      0,
+		sys:       s,
+		name:      histories.ObjID(name),
+		sp:        sp,
+		conflict:  conflict,
+		table:     depend.Compile(conflict, universe, 0),
+		version:   sp.Init(),
+		active:    make(map[*Tx]*txLock),
+		clock:     0,
+		tailState: sp.Init(),
 	}
 	o.cond = sync.NewCond(&o.mu)
 	return o
@@ -80,7 +143,7 @@ func (o *Object) Stats() ObjectStatsSnapshot {
 	return o.stats.snapshot(len(o.unforgotten), o.activeCountLocked())
 }
 
-func (o *Object) activeCountLocked() int { return len(o.intentions) }
+func (o *Object) activeCountLocked() int { return len(o.active) }
 
 // Call invokes an operation on behalf of tx and blocks until a response is
 // grantable: legal in tx's view and conflict-free against other active
@@ -106,25 +169,47 @@ func (o *Object) Call(tx *Tx, inv spec.Invocation) (string, error) {
 		defer o.sys.wfg.clear(tx)
 	}
 	var stopCancelWatch func() bool
-	deadline := time.Now().Add(o.sys.opts.LockWait)
-	for {
-		state := o.viewStateLocked(tx)
-		for _, r := range o.sp.Responses(state, inv) {
-			op := inv.With(r)
-			if o.conflictsWithActiveLocked(tx, op) {
-				continue
-			}
-			o.grantLocked(tx, op)
-			return r, nil
+	// One timer serves the whole call: it is armed lazily on the first
+	// blocked iteration and fires once at the deadline, instead of a fresh
+	// AfterFunc per wakeup (which made every completion event under
+	// contention spawn a timer).
+	var wakeTimer *time.Timer
+	defer func() {
+		if wakeTimer != nil {
+			wakeTimer.Stop()
 		}
-		// Blocked: either a lock conflict or a partial operation with no
-		// enabled response.  Wait for a completion event and retry — the
-		// appendix's "when" statement.
-		if detect {
-			if holders := o.blockersLocked(tx, inv, state); len(holders) > 0 {
-				if o.sys.wfg.set(tx, holders) {
-					o.stats.deadlocks++
-					return "", fmt.Errorf("%w: %s on %s", ErrDeadlock, inv, o.name)
+	}()
+	deadline := time.Now().Add(o.sys.opts.LockWait)
+	attempted := false
+	var seen uint64
+	for {
+		// Re-derive responses only when a completion event has landed
+		// since the last attempt: grantability depends solely on the
+		// committed tail, own intentions, and other transactions' held
+		// operations, all of which change only through grant, commit, and
+		// abort.  Spurious wakeups (reader broadcasts, the deadline timer,
+		// cancellation) fall through to the checks below.
+		if !attempted || o.events != seen {
+			attempted = true
+			seen = o.events
+			state := o.viewStateLocked(tx)
+			for _, r := range o.sp.Responses(state, inv) {
+				op := inv.With(r)
+				if o.conflictsWithActiveLocked(tx, op) {
+					continue
+				}
+				o.grantLocked(tx, op, state)
+				return r, nil
+			}
+			// Blocked: either a lock conflict or a partial operation with
+			// no enabled response.  Wait for a completion event and retry —
+			// the appendix's "when" statement.
+			if detect {
+				if holders := o.blockersLocked(tx, inv, state); len(holders) > 0 {
+					if o.sys.wfg.set(tx, holders) {
+						o.stats.deadlocks++
+						return "", fmt.Errorf("%w: %s on %s", ErrDeadlock, inv, o.name)
+					}
 				}
 			}
 		}
@@ -144,7 +229,7 @@ func (o *Object) Call(tx *Tx, inv spec.Invocation) (string, error) {
 		o.sys.stats.Waits.Add(1)
 		o.stats.waits++
 		start := time.Now()
-		expired := o.waitLocked(deadline)
+		expired := o.waitLocked(deadline, &wakeTimer)
 		o.sys.stats.WaitNanos.Add(int64(time.Since(start)))
 		if err := ctx.Err(); err != nil {
 			return "", fmt.Errorf("hybridcc: %s on %s: %w", inv, o.name, err)
@@ -157,11 +242,36 @@ func (o *Object) Call(tx *Tx, inv spec.Invocation) (string, error) {
 	}
 }
 
+// lockOf returns tx's lock record, creating it on first use.
+func (o *Object) lockOf(tx *Tx) *txLock {
+	lk := o.active[tx]
+	if lk == nil {
+		lk = &txLock{}
+		o.active[tx] = lk
+	}
+	return lk
+}
+
 // grantLocked appends op to tx's intentions (acquiring its lock), records
-// the transaction's timestamp lower bound, and emits the event pair.
-func (o *Object) grantLocked(tx *Tx, op spec.Op) {
-	o.intentions[tx] = append(o.intentions[tx], op)
-	o.bounds[tx] = o.clock
+// the transaction's timestamp lower bound, marks op's conflict class in the
+// transaction's held mask, extends the cached view state, and emits the
+// event pair.  view must be tx's current view state (op's response was
+// derived from it).
+func (o *Object) grantLocked(tx *Tx, op spec.Op, view spec.State) {
+	lk := o.lockOf(tx)
+	lk.ops = append(lk.ops, op)
+	lk.bound = o.clock
+	if cls, ok := o.table.Intern(op); ok {
+		lk.mask.Set(cls)
+	} else {
+		lk.extra = append(lk.extra, op)
+	}
+	next, ok := o.sp.Step(view, op)
+	if !ok {
+		panic(fmt.Sprintf("hybridcc: granted response %s illegal at %s", op, o.name))
+	}
+	lk.view, lk.viewGen, lk.viewOps, lk.viewValid = next, o.commitGen, len(lk.ops), true
+	o.events++
 	o.stats.granted++
 	tx.touch(o)
 	o.sys.record(histories.InvokeEvent(tx.id, o.name, op.Inv()))
@@ -169,57 +279,117 @@ func (o *Object) grantLocked(tx *Tx, op spec.Op) {
 }
 
 // conflictsWithActiveLocked reports whether op conflicts with any operation
-// in another active transaction's intentions list.
+// in another active transaction's intentions list.  When op has a compiled
+// class, the check is one row-AND against each other transaction's held
+// mask (plus a predicate scan over its rare uninterned extras); only
+// operations the table could not intern fall back to the full
+// dynamic-dispatch scan.
 func (o *Object) conflictsWithActiveLocked(tx *Tx, op spec.Op) bool {
-	for other, ops := range o.intentions {
+	row := o.rowOfLocked(op)
+	for other, lk := range o.active {
 		if other == tx {
 			continue
 		}
-		for _, p := range ops {
-			if o.conflict.Conflicts(p, op) {
-				o.stats.conflicts++
-				return true
-			}
+		if o.holderConflictsLocked(lk, row, op) {
+			o.stats.conflicts++
+			return true
 		}
 	}
 	return false
 }
 
-// viewStateLocked computes the state of tx's view: the compacted version,
-// then unforgotten committed intentions in timestamp order, then tx's own
-// intentions.  Views of reachable runtime states are always legal; an
-// illegal view is a bug, hence the panic.
-func (o *Object) viewStateLocked(tx *Tx) spec.State {
-	state := o.version
-	ok := true
-	for _, e := range o.unforgotten {
-		state, ok = spec.StepFrom(o.sp, state, e.ops...)
-		if !ok {
-			panic(fmt.Sprintf("hybridcc: illegal committed intentions of %s at %s", e.tx, o.name))
+// rowOfLocked returns op's compiled conflict row, interning op's class on
+// first sight, or nil when the table cannot intern it (table full) — the
+// caller then takes the dynamic-dispatch path.  Rows of interned classes
+// are never nil.
+func (o *Object) rowOfLocked(op spec.Op) []uint64 {
+	if cls, ok := o.table.Intern(op); ok {
+		return o.table.Row(cls)
+	}
+	return nil
+}
+
+// holderConflictsLocked reports whether requesting op conflicts with any
+// operation lk holds; row is op's compiled conflict row (nil when op has
+// no class).  This is the single definition of the compiled-vs-fallback
+// check: grant/deny and deadlock detection must agree on it.
+func (o *Object) holderConflictsLocked(lk *txLock, row []uint64, op spec.Op) bool {
+	if row != nil {
+		return lk.mask.Intersects(row) || conflictsAny(o.conflict, lk.extra, op)
+	}
+	return conflictsAny(o.conflict, lk.ops, op)
+}
+
+// conflictsAny reports whether op conflicts with any held operation.
+func conflictsAny(c depend.Conflict, held []spec.Op, op spec.Op) bool {
+	for _, p := range held {
+		if c.Conflicts(p, op) {
+			return true
 		}
 	}
-	state, ok = spec.StepFrom(o.sp, state, o.intentions[tx]...)
+	return false
+}
+
+// committedTailLocked returns the state of the committed tail — the
+// compacted version followed by unforgotten committed intentions in
+// timestamp order — recomputing the cache only when a commit has landed
+// since it was last valid.  Commits that append in timestamp order extend
+// the cache incrementally; only out-of-order (externally timestamped)
+// commits force a replay.
+func (o *Object) committedTailLocked() spec.State {
+	if o.tailGen != o.commitGen {
+		state := o.version
+		ok := true
+		for _, e := range o.unforgotten {
+			state, ok = spec.StepFrom(o.sp, state, e.ops...)
+			if !ok {
+				panic(fmt.Sprintf("hybridcc: illegal committed intentions of %s at %s", e.tx, o.name))
+			}
+		}
+		o.tailState = state
+		o.tailGen = o.commitGen
+	}
+	return o.tailState
+}
+
+// viewStateLocked computes the state of tx's view: the committed tail, then
+// tx's own intentions.  The result is cached per transaction and reused
+// verbatim while no commit lands and no own operation is granted.  Views of
+// reachable runtime states are always legal; an illegal view is a bug,
+// hence the panic.
+func (o *Object) viewStateLocked(tx *Tx) spec.State {
+	lk := o.active[tx]
+	if lk == nil {
+		return o.committedTailLocked()
+	}
+	if lk.viewValid && lk.viewGen == o.commitGen && lk.viewOps == len(lk.ops) {
+		return lk.view
+	}
+	state, ok := spec.StepFrom(o.sp, o.committedTailLocked(), lk.ops...)
 	if !ok {
 		panic(fmt.Sprintf("hybridcc: illegal view for %s at %s", tx.id, o.name))
 	}
+	lk.view, lk.viewGen, lk.viewOps, lk.viewValid = state, o.commitGen, len(lk.ops), true
 	return state
 }
 
 // waitLocked blocks on the object's monitor until a completion event or
-// the deadline.  It returns true when the deadline has passed.  A timer
-// broadcast wakes all waiters; each rechecks its own condition, which is
-// the standard condition-variable discipline.
-func (o *Object) waitLocked(deadline time.Time) bool {
+// the deadline.  It returns true when the deadline has passed.  The
+// deadline timer is shared across all of one call's wait iterations: armed
+// once, it fires a single broadcast at the deadline; each waiter rechecks
+// its own condition, which is the standard condition-variable discipline.
+func (o *Object) waitLocked(deadline time.Time, timer **time.Timer) bool {
 	if !time.Now().Before(deadline) {
 		return true
 	}
-	timer := time.AfterFunc(time.Until(deadline), func() {
-		o.mu.Lock()
-		o.cond.Broadcast()
-		o.mu.Unlock()
-	})
+	if *timer == nil {
+		*timer = time.AfterFunc(time.Until(deadline), func() {
+			o.mu.Lock()
+			o.cond.Broadcast()
+			o.mu.Unlock()
+		})
+	}
 	o.cond.Wait()
-	timer.Stop()
 	return !time.Now().Before(deadline)
 }
 
@@ -228,14 +398,29 @@ func (o *Object) waitLocked(deadline time.Time) bool {
 func (o *Object) commit(tx *Tx, ts histories.Timestamp) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	ops := o.intentions[tx]
-	delete(o.intentions, tx)
-	delete(o.bounds, tx)
+	var ops []spec.Op
+	if lk := o.active[tx]; lk != nil {
+		ops = lk.ops
+	}
+	delete(o.active, tx)
 	entry := committedEntry{ts: ts, tx: tx.id, ops: ops}
 	i := sort.Search(len(o.unforgotten), func(i int) bool { return o.unforgotten[i].ts > ts })
 	o.unforgotten = append(o.unforgotten, committedEntry{})
 	copy(o.unforgotten[i+1:], o.unforgotten[i:])
 	o.unforgotten[i] = entry
+	// A commit that appends in timestamp order — the only case with the
+	// system clock; external timestamps can insert mid-tail — extends the
+	// tail cache incrementally instead of invalidating it.
+	if o.tailGen == o.commitGen && i == len(o.unforgotten)-1 {
+		state, ok := spec.StepFrom(o.sp, o.tailState, ops...)
+		if !ok {
+			panic(fmt.Sprintf("hybridcc: illegal committed intentions of %s at %s", tx.id, o.name))
+		}
+		o.tailState = state
+		o.tailGen = o.commitGen + 1
+	}
+	o.commitGen++
+	o.events++
 	if ts > o.clock {
 		o.clock = ts
 	}
@@ -247,12 +432,13 @@ func (o *Object) commit(tx *Tx, ts histories.Timestamp) {
 	o.cond.Broadcast()
 }
 
-// abort discards tx's intentions, releasing its locks.
+// abort discards tx's intentions, releasing its locks.  The committed tail
+// is untouched, so other transactions' cached views stay valid.
 func (o *Object) abort(tx *Tx) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	delete(o.intentions, tx)
-	delete(o.bounds, tx)
+	delete(o.active, tx)
+	o.events++
 	if !o.sys.opts.DisableCompaction {
 		o.forgetLocked() // an abort can advance the horizon
 	}
@@ -265,7 +451,10 @@ func (o *Object) abort(tx *Tx) {
 func (o *Object) boundOf(tx *Tx) histories.Timestamp {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return o.bounds[tx]
+	if lk := o.active[tx]; lk != nil {
+		return lk.bound
+	}
+	return 0
 }
 
 // forgetLocked folds committed intentions older than the horizon into the
@@ -274,12 +463,14 @@ func (o *Object) boundOf(tx *Tx) histories.Timestamp {
 // commit must choose a timestamp above its bound, so entries strictly
 // below every bound can never be preceded by a new commit.  Active
 // read-only transactions pin the horizon at their (start-chosen)
-// timestamps so their snapshots stay reconstructible.
+// timestamps so their snapshots stay reconstructible.  Folding moves
+// entries across the version/unforgotten boundary without changing the
+// committed-tail state, so tail and view caches stay valid.
 func (o *Object) forgetLocked() {
 	horizon := histories.Timestamp(1<<62 - 1)
-	for _, b := range o.bounds {
-		if b < horizon {
-			horizon = b
+	for _, lk := range o.active {
+		if lk.bound < horizon {
+			horizon = lk.bound
 		}
 	}
 	if rts, ok := o.sys.readers.minTS(); ok && rts < horizon {
@@ -306,15 +497,7 @@ func (o *Object) forgetLocked() {
 func (o *Object) CommittedState() spec.State {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	state := o.version
-	ok := true
-	for _, e := range o.unforgotten {
-		state, ok = spec.StepFrom(o.sp, state, e.ops...)
-		if !ok {
-			panic(fmt.Sprintf("hybridcc: illegal committed state at %s", o.name))
-		}
-	}
-	return state
+	return o.committedTailLocked()
 }
 
 // UnforgottenLen reports how many committed transactions await folding —

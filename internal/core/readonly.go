@@ -196,6 +196,12 @@ func (o *Object) ReadCall(t *ReadTx, inv spec.Invocation) (string, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	var stopCancelWatch func() bool
+	var wakeTimer *time.Timer
+	defer func() {
+		if wakeTimer != nil {
+			wakeTimer.Stop()
+		}
+	}()
 	deadline := time.Now().Add(o.sys.opts.LockWait)
 	for {
 		if w := o.blockingWriterLocked(t.ts); w == "" {
@@ -212,7 +218,7 @@ func (o *Object) ReadCall(t *ReadTx, inv spec.Invocation) (string, error) {
 		o.sys.stats.Waits.Add(1)
 		o.stats.waits++
 		start := time.Now()
-		expired := o.waitLocked(deadline)
+		expired := o.waitLocked(deadline, &wakeTimer)
 		o.sys.stats.WaitNanos.Add(int64(time.Since(start)))
 		if err := ctx.Err(); err != nil {
 			return "", fmt.Errorf("hybridcc: read of %s at %s: %w", inv, o.name, err)
@@ -254,21 +260,31 @@ func (o *Object) ReadCall(t *ReadTx, inv spec.Invocation) (string, error) {
 //   - a transaction already committed with an earlier timestamp whose
 //     intentions have not yet merged here must be waited for (a short
 //     window inside Commit);
+//   - a transaction inside Commit that has not yet published its
+//     timestamp (txCommitting) must also be waited for: its timestamp may
+//     already be drawn from the clock — possibly below a reader that
+//     begins right after the draw — and the reader cannot tell until it
+//     is published;
 //   - with ExternalTimestamps, an active transaction whose recorded bound
 //     is below ts could still land below ts via CommitAt, so the reader
 //     conservatively waits for it.  Without external timestamps, every
 //     future commit draws from the shared clock and therefore lands above
-//     the reader, so active transactions never block readers.
+//     the reader, so genuinely active transactions never block readers.
 func (o *Object) blockingWriterLocked(ts histories.Timestamp) histories.TxID {
-	for tx := range o.intentions {
-		if wts, committed := tx.Timestamp(); committed {
+	for tx, lk := range o.active {
+		wts, status := tx.commitState()
+		switch status {
+		case txCommitted:
 			if wts < ts {
 				return tx.id
 			}
-			continue // serialized after the reader; invisible to it
-		}
-		if o.sys.opts.ExternalTimestamps && o.bounds[tx] < ts {
+			// Serialized after the reader; invisible to it.
+		case txCommitting:
 			return tx.id
+		default:
+			if o.sys.opts.ExternalTimestamps && lk.bound < ts {
+				return tx.id
+			}
 		}
 	}
 	return ""
@@ -277,13 +293,18 @@ func (o *Object) blockingWriterLocked(ts histories.Timestamp) histories.TxID {
 // snapshotLocked reconstructs the committed state as of ts: the folded
 // version (always a prefix of every active reader's snapshot, because
 // readers pin the horizon) plus unforgotten intentions with earlier
-// timestamps.
+// timestamps.  unforgotten is sorted by timestamp, so the scan stops at the
+// first later entry; a reader at or past the newest commit reuses the
+// cached committed tail outright.
 func (o *Object) snapshotLocked(ts histories.Timestamp) spec.State {
+	if n := len(o.unforgotten); n == 0 || o.unforgotten[n-1].ts <= ts {
+		return o.committedTailLocked()
+	}
 	state := o.version
 	ok := true
 	for _, e := range o.unforgotten {
 		if e.ts > ts {
-			continue
+			break
 		}
 		state, ok = spec.StepFrom(o.sp, state, e.ops...)
 		if !ok {

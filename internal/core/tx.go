@@ -13,6 +13,12 @@ type txStatus int
 
 const (
 	txActive txStatus = iota
+	// txCommitting covers Commit's window between leaving txActive and
+	// learning the commit timestamp: the transaction can no longer execute
+	// operations or abort, but Timestamp() still reports "not committed".
+	// Publishing txCommitted before t.ts is assigned would let a
+	// concurrent Timestamp() observe (0, true) — a wrong public answer.
+	txCommitting
 	txCommitted
 	txAborted
 )
@@ -47,6 +53,17 @@ func (t *Tx) Timestamp() (histories.Timestamp, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.ts, t.status == txCommitted
+}
+
+// commitState returns the timestamp and status in one critical section, so
+// readers deciding whether to wait for this writer can distinguish
+// committing (timestamp still unknown — wait conservatively) from
+// committed (compare timestamps) without racing the transition between
+// two separate reads.
+func (t *Tx) commitState() (histories.Timestamp, txStatus) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ts, t.status
 }
 
 // enter marks the transaction as executing one operation.
@@ -104,7 +121,7 @@ func (t *Tx) Commit() error {
 		t.mu.Unlock()
 		return ErrTxBusy
 	}
-	t.status = txCommitted
+	t.status = txCommitting
 	t.mu.Unlock()
 
 	objs := t.touchedObjects()
@@ -116,8 +133,11 @@ func (t *Tx) Commit() error {
 	}
 	ts := t.sys.clock.Next(lower)
 
+	// The timestamp is assigned before txCommitted is published, in one
+	// critical section: Timestamp() must never observe (0, true).
 	t.mu.Lock()
 	t.ts = ts
+	t.status = txCommitted
 	t.mu.Unlock()
 
 	for _, o := range objs {
@@ -189,8 +209,10 @@ func (t *Tx) CommitAt(ts histories.Timestamp) error {
 		t.mu.Unlock()
 		return ErrTxBusy
 	}
-	t.status = txCommitted
+	// ts is assigned before the status is published (both under t.mu), so
+	// Timestamp() can never observe (0, true) mid-commit.
 	t.ts = ts
+	t.status = txCommitted
 	t.mu.Unlock()
 
 	t.sys.clock.Observe(ts)

@@ -1,0 +1,171 @@
+package depend
+
+import (
+	"fmt"
+
+	"hybridcc/internal/spec"
+)
+
+// This file compiles conflict relations to static bitmask tables, after
+// Malta & Martinez ("Automating Fine Concurrency Control in Object-Oriented
+// Databases"): over a finite operation universe a conflict relation is just
+// a boolean matrix, so the per-lock-request question "does op conflict with
+// anything another transaction holds?" reduces to ANDing one matrix row
+// against a per-transaction bitmask of held classes.  Operations are
+// interned into dense class indices — eagerly from a declared universe at
+// registration, then lazily as new ground operations appear at runtime —
+// and the matrix grows symmetrically with them.  A size limit keeps tables
+// of open universes (unbounded value domains) bounded: operations beyond
+// the limit simply stay uninterned and take the dynamic-dispatch path.
+
+// DefaultCompiledLimit bounds how many distinct operation classes a
+// CompiledTable interns before refusing new ones.  1024 classes cost
+// 1024 × 128 B of rows at worst — negligible — while capping the table for
+// objects whose operations range over unbounded value domains.
+const DefaultCompiledLimit = 1024
+
+// Mask is a bitset over the operation classes of one CompiledTable.  The
+// runtime keeps one per active transaction, recording which classes the
+// transaction holds operations of.
+type Mask []uint64
+
+// Set sets bit i, growing the mask as needed.
+func (m *Mask) Set(i int) {
+	w := i >> 6
+	for len(*m) <= w {
+		*m = append(*m, 0)
+	}
+	(*m)[w] |= 1 << (uint(i) & 63)
+}
+
+// Has reports whether bit i is set.
+func (m Mask) Has(i int) bool {
+	w := i >> 6
+	return w < len(m) && m[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Intersects reports whether the mask shares a set bit with row.  The two
+// may differ in length (classes interned at different times); missing words
+// are zero.
+func (m Mask) Intersects(row []uint64) bool {
+	n := len(m)
+	if len(row) < n {
+		n = len(row)
+	}
+	for w := 0; w < n; w++ {
+		if m[w]&row[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CompiledTable is a conflict relation compiled to a bitmask matrix over
+// interned operation classes.  rows[r] holds bit h exactly when the
+// underlying relation reports Conflicts(op(h), op(r)) — h the held
+// operation, r the requested one — so the table reproduces the interface
+// path bit-for-bit even for (incorrect) asymmetric inputs.
+//
+// A CompiledTable is NOT safe for concurrent use: Intern mutates it.  The
+// runtime gives each object its own table and guards it with the object
+// mutex.
+type CompiledTable struct {
+	conflict Conflict
+	index    map[spec.Op]int
+	ops      []spec.Op
+	rows     [][]uint64
+	limit    int
+}
+
+// Compile builds a table for c, eagerly interning the seed universe (in
+// order, up to limit).  A limit ≤ 0 means DefaultCompiledLimit.  The seed
+// may be nil: tables intern lazily as operations appear.
+func Compile(c Conflict, seed []spec.Op, limit int) *CompiledTable {
+	if limit <= 0 {
+		limit = DefaultCompiledLimit
+	}
+	t := &CompiledTable{
+		conflict: c,
+		index:    make(map[spec.Op]int, len(seed)),
+		limit:    limit,
+	}
+	for _, op := range seed {
+		t.Intern(op)
+	}
+	return t
+}
+
+// Len reports the number of interned classes.
+func (t *CompiledTable) Len() int { return len(t.ops) }
+
+// ClassOf returns op's dense class index, without interning.
+func (t *CompiledTable) ClassOf(op spec.Op) (int, bool) {
+	i, ok := t.index[op]
+	return i, ok
+}
+
+// Intern returns op's class index, assigning a fresh one when op is new and
+// the table has room.  It reports false — and the caller must use the
+// dynamic-dispatch path — when the table is full.  Interning a class costs
+// one pair of conflict evaluations against every existing class; every
+// later request of the class is a pure bitmask probe.
+func (t *CompiledTable) Intern(op spec.Op) (int, bool) {
+	if i, ok := t.index[op]; ok {
+		return i, true
+	}
+	if len(t.ops) >= t.limit {
+		return -1, false
+	}
+	d := len(t.ops)
+	t.index[op] = d
+	t.ops = append(t.ops, op)
+	row := make([]uint64, d/64+1)
+	for h, held := range t.ops[:d] {
+		if t.conflict.Conflicts(held, op) {
+			row[h>>6] |= 1 << (uint(h) & 63)
+		}
+		if t.conflict.Conflicts(op, held) {
+			t.setBit(h, d)
+		}
+	}
+	if t.conflict.Conflicts(op, op) {
+		row[d>>6] |= 1 << (uint(d) & 63)
+	}
+	t.rows = append(t.rows, row)
+	return d, true
+}
+
+// setBit sets bit col in rows[r], growing the row as needed.
+func (t *CompiledTable) setBit(r, col int) {
+	w := col >> 6
+	for len(t.rows[r]) <= w {
+		t.rows[r] = append(t.rows[r], 0)
+	}
+	t.rows[r][w] |= 1 << (uint(col) & 63)
+}
+
+// Row returns the conflict row of a class: the bitset of held classes that
+// conflict with a request of this class.  The returned slice is owned by
+// the table and must not be mutated.
+func (t *CompiledTable) Row(class int) []uint64 { return t.rows[class] }
+
+// Conflicts implements Conflict by probing the matrix, falling back to the
+// underlying relation when either operation is not interned.  a is the held
+// operation and b the requested one, matching the runtime's orientation.
+// It never interns, so it is read-only — but reads race with Intern, so
+// callers must serialize against whoever owns the table.
+func (t *CompiledTable) Conflicts(a, b spec.Op) bool {
+	h, okA := t.index[a]
+	r, okB := t.index[b]
+	if !okA || !okB {
+		return t.conflict.Conflicts(a, b)
+	}
+	row := t.rows[r]
+	w := h >> 6
+	return w < len(row) && row[w]&(1<<(uint(h)&63)) != 0
+}
+
+// String implements Conflict.
+func (t *CompiledTable) String() string {
+	return fmt.Sprintf("compiled(%s, %d classes)", t.conflict, len(t.ops))
+}

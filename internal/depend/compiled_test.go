@@ -1,0 +1,91 @@
+package depend
+
+import (
+	"testing"
+
+	"hybridcc/internal/spec"
+)
+
+func op(name, arg, res string) spec.Op { return spec.Op{Name: name, Arg: arg, Res: res} }
+
+func TestCompiledTableInterning(t *testing.T) {
+	c := ConflictFunc("same-name", func(a, b spec.Op) bool { return a.Name == b.Name })
+	seed := []spec.Op{op("A", "1", "Ok"), op("B", "1", "Ok")}
+	tbl := Compile(c, seed, 0)
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (seed interned eagerly)", tbl.Len())
+	}
+	if i, ok := tbl.ClassOf(seed[0]); !ok || i != 0 {
+		t.Fatalf("ClassOf(seed[0]) = %d, %v; want 0, true", i, ok)
+	}
+	// Interning is idempotent and lazy interning assigns the next index.
+	if i, ok := tbl.Intern(seed[1]); !ok || i != 1 {
+		t.Fatalf("re-Intern(seed[1]) = %d, %v; want 1, true", i, ok)
+	}
+	fresh := op("A", "2", "Ok")
+	if i, ok := tbl.Intern(fresh); !ok || i != 2 {
+		t.Fatalf("Intern(fresh) = %d, %v; want 2, true", i, ok)
+	}
+	// The matrix stays symmetric across lazy growth: the new class's row
+	// covers old classes AND old rows gain the new class's bit.
+	if !tbl.Conflicts(seed[0], fresh) || !tbl.Conflicts(fresh, seed[0]) {
+		t.Error("A(1) and A(2) must conflict in both orientations")
+	}
+	if tbl.Conflicts(seed[1], fresh) || tbl.Conflicts(fresh, seed[1]) {
+		t.Error("B(1) and A(2) must not conflict")
+	}
+	if !tbl.Conflicts(fresh, fresh) {
+		t.Error("self-conflict bit missing")
+	}
+}
+
+func TestCompiledTableLimit(t *testing.T) {
+	c := AllConflict()
+	tbl := Compile(c, []spec.Op{op("A", "", "Ok"), op("B", "", "Ok")}, 2)
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tbl.Len())
+	}
+	if _, ok := tbl.Intern(op("C", "", "Ok")); ok {
+		t.Fatal("Intern must refuse beyond the limit")
+	}
+	// Uninterned operations fall back to the underlying relation.
+	if !tbl.Conflicts(op("C", "", "Ok"), op("A", "", "Ok")) {
+		t.Error("fallback path must consult the underlying relation")
+	}
+}
+
+// TestCompiledTablePreservesAsymmetry pins the row orientation: rows[r] bit
+// h mirrors Conflicts(held, requested), so even an (incorrect) asymmetric
+// input compiles to a table that agrees with the interface path call for
+// call.
+func TestCompiledTablePreservesAsymmetry(t *testing.T) {
+	a, b := op("A", "", "Ok"), op("B", "", "Ok")
+	c := ConflictFunc("asym", func(x, y spec.Op) bool { return x == a && y == b })
+	tbl := Compile(c, []spec.Op{a, b}, 0)
+	for _, pair := range [][2]spec.Op{{a, b}, {b, a}, {a, a}, {b, b}} {
+		if got, want := tbl.Conflicts(pair[0], pair[1]), c.Conflicts(pair[0], pair[1]); got != want {
+			t.Errorf("Conflicts(%s, %s) = %v, interface path says %v", pair[0], pair[1], got, want)
+		}
+	}
+}
+
+func TestMask(t *testing.T) {
+	var m Mask
+	m.Set(3)
+	m.Set(100)
+	if !m.Has(3) || !m.Has(100) || m.Has(4) || m.Has(164) {
+		t.Fatalf("mask bits wrong: %v", m)
+	}
+	row := make([]uint64, 1)
+	row[0] = 1 << 3
+	if !m.Intersects(row) {
+		t.Error("mask must intersect a shorter row on a shared bit")
+	}
+	if (Mask{1 << 5}).Intersects(row) {
+		t.Error("disjoint mask must not intersect")
+	}
+	// A row shorter than the mask treats missing words as zero.
+	if (Mask{0, 1}).Intersects(row) {
+		t.Error("bit beyond the row's length must not intersect")
+	}
+}

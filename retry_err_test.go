@@ -1,0 +1,44 @@
+package hybridcc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAtomicallyExhaustedRetriesError pins the shape of the
+// retries-exhausted error: it must still satisfy errors.Is(err, ErrTimeout)
+// (callers branch on it), and it must name the attempt count and the object
+// of the first failure so retry storms are debuggable from the message
+// alone.
+func TestAtomicallyExhaustedRetriesError(t *testing.T) {
+	sys := NewSystem(WithLockWait(time.Millisecond))
+	f, err := sys.NewFile("contended-file", WithScheme(ReadWrite))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A pinned transaction holds the write lock for the whole test; under
+	// read/write locking every subsequent write conflicts with it.
+	pin := sys.Begin()
+	if err := f.Write(pin, 1); err != nil {
+		t.Fatal(err)
+	}
+	defer pin.Abort()
+
+	err = sys.Atomically(func(tx *Tx) error { return f.Write(tx, 2) })
+	if err == nil {
+		t.Fatal("Atomically against a pinned lock must exhaust retries")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("errors.Is(err, ErrTimeout) = false; err = %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "16 attempts") {
+		t.Errorf("error must report the attempt count, got %q", msg)
+	}
+	if !strings.Contains(msg, "contended-file") {
+		t.Errorf("error must name the object of the failure, got %q", msg)
+	}
+}

@@ -1,0 +1,235 @@
+package hybridcc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0); err == nil {
+		t.Fatal("NewCluster accepted 0 shards")
+	}
+	c, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumShards() != 3 {
+		t.Fatalf("NumShards = %d", c.NumShards())
+	}
+}
+
+func TestClusterDuplicateNamesClusterWide(t *testing.T) {
+	c, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NewAccount("acct"); err != nil {
+		t.Fatal(err)
+	}
+	// The same name is rejected even though the typed constructors differ:
+	// the registry is cluster-wide, not per shard.
+	if _, err := c.NewQueue("acct"); !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("second registration: %v, want ErrDuplicateName", err)
+	}
+}
+
+// TestForeignTransactionRejected pins the ownership check: a transaction
+// (or reader) from one System must not silently execute against objects
+// of another System or of a Cluster shard — mixed handles were previously
+// a silent wrong-clock corruption.
+func TestForeignTransactionRejected(t *testing.T) {
+	sys := NewSystem()
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct, err := c.NewAccount("acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := c.NewCounter("ctr")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tx := sys.Begin()
+	defer tx.Abort()
+	if err := acct.Credit(tx, 1); err == nil || !strings.Contains(err.Error(), "different System") {
+		t.Fatalf("foreign tx accepted: %v", err)
+	}
+	r := sys.BeginReadOnly()
+	defer r.Abort()
+	if _, err := ctr.ReadAt(r); err == nil || !strings.Contains(err.Error(), "different System") {
+		t.Fatalf("foreign reader accepted: %v", err)
+	}
+}
+
+// TestClusterTypedObjectsEndToEnd drives the same typed wrappers used on a
+// System — Account, Counter, Directory — through a Cluster, committing
+// single-shard and cross-shard transactions via Atomically and reading
+// them back through Snapshot, with the recorder proving global atomicity.
+func TestClusterTypedObjectsEndToEnd(t *testing.T) {
+	rec := NewRecorder()
+	c, err := NewCluster(4,
+		WithRecorder(rec),
+		WithLockWait(2*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Spread accounts over names that land on different shards.
+	var accts []*Account
+	var names []string
+	seen := map[int]bool{}
+	for i := 0; len(accts) < 3 && i < 256; i++ {
+		name := fmt.Sprintf("acct-%d", i)
+		if shard := c.ShardFor(name); !seen[shard] {
+			seen[shard] = true
+			a, err := c.NewAccount(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			accts = append(accts, a)
+			names = append(names, name)
+		}
+	}
+	ctr, err := c.NewCounter("ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fund each account in its own (single-shard) transaction.
+	for _, a := range accts {
+		a := a
+		if err := c.Atomically(func(tx *DTx) error {
+			return a.Credit(tx, 100)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Cross-shard transfers with a counter bump — three shards in one
+	// transaction, committed at one timestamp through 2PC.
+	var wg sync.WaitGroup
+	transferErrs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				src, dst := accts[(w+i)%3], accts[(w+i+1)%3]
+				err := c.Atomically(func(tx *DTx) error {
+					ok, err := src.Debit(tx, 5)
+					if err != nil || !ok {
+						return err
+					}
+					if err := dst.Credit(tx, 5); err != nil {
+						return err
+					}
+					return ctr.Inc(tx, 1)
+				})
+				if err != nil {
+					transferErrs <- fmt.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-transferErrs:
+		t.Fatal(err)
+	default:
+	}
+
+	// A cluster-wide snapshot sees a consistent cut: conservation holds
+	// at the snapshot's single timestamp.
+	snapErr := c.Snapshot(func(r *DReadTx) error {
+		// Counter readable; accounts have no read op, so check the
+		// counter moved and rely on committed state for balances.
+		n, err := ctr.ReadAt(r)
+		if err != nil {
+			return err
+		}
+		if n != 80 {
+			return fmt.Errorf("snapshot counter = %d, want 80", n)
+		}
+		return nil
+	})
+	if snapErr != nil && !errors.Is(snapErr, ErrTimeout) {
+		t.Fatal(snapErr)
+	}
+
+	total := int64(0)
+	for _, a := range accts {
+		total += a.CommittedBalance()
+	}
+	if total != 300 {
+		t.Fatalf("money not conserved: %d", total)
+	}
+	if got := ctr.CommittedValue(); got != 80 {
+		t.Fatalf("counter = %d, want 80", got)
+	}
+
+	if err := c.Verify(); err != nil {
+		t.Fatalf("global Verify: %v", err)
+	}
+	st := c.Stats()
+	if st.CrossShardCommits == 0 {
+		t.Fatalf("no cross-shard commits recorded: %+v", st)
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("stats cover %d shards", len(st.Shards))
+	}
+	t.Logf("cluster: %s (accounts on shards of %v)", st, names)
+}
+
+// TestClusterCustomADT registers a user-defined Spec on a cluster — the
+// public custom path must be shard-transparent too.
+func TestClusterCustomADT(t *testing.T) {
+	c, err := NewCluster(2, WithLockWait(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := c.NewCustom("reg", testRegisterSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	typed := Typed[int64](reg)
+	if err := c.Atomically(func(tx *DTx) error {
+		_, err := reg.Call(tx, Invocation{Name: "Add", Arg: "3"})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := typed.Committed(); got != 3 {
+		t.Fatalf("committed state = %d, want 3", got)
+	}
+}
+
+// testRegisterSpec is a minimal additive register used by the cluster
+// custom-ADT test: Add(n) accumulates, never conflicting with itself.
+func testRegisterSpec() Spec {
+	return Spec{
+		Name: "Register",
+		Init: func() State { return int64(0) },
+		Responses: func(s State, inv Invocation) []string {
+			return []string{"Ok"}
+		},
+		Apply: func(s State, op Op) State {
+			var n int64
+			fmt.Sscanf(op.Arg, "%d", &n)
+			return s.(int64) + n
+		},
+		Dependency: func(q, p Op) bool { return false },
+		Readers:    map[string]bool{},
+		FailsToCommute: func(a, b Op) bool {
+			return false
+		},
+	}
+}

@@ -22,7 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"os"
 
 	"hybridcc/internal/adt"
@@ -69,7 +69,7 @@ func main() {
 	for _, obj := range objects {
 		checked := 0
 		for r := 0; r < *runs; r++ {
-			rng := rand.New(rand.NewSource(*seed + int64(r)))
+			rng := rand.New(rand.NewPCG(uint64(*seed), uint64(r)))
 			m := lockmachine.New("X", obj.sp, obj.conflict)
 			h := drive(rng, m, obj.invs, *txs, *steps)
 			if err := histories.WellFormed(h); err != nil {
@@ -124,7 +124,7 @@ func drive(rng *rand.Rand, m *lockmachine.Machine, invs []spec.Invocation, nTx, 
 	pending := make(map[histories.TxID]bool)
 	nextTS := histories.Timestamp(1)
 	for i := 0; i < steps; i++ {
-		tx := txs[rng.Intn(len(txs))]
+		tx := txs[rng.IntN(len(txs))]
 		if m.Completed(tx) {
 			continue
 		}
@@ -136,13 +136,13 @@ func drive(rng *rand.Rand, m *lockmachine.Machine, invs []spec.Invocation, nTx, 
 			if len(grantable) == 0 {
 				continue
 			}
-			if _, err := m.RespondWith(tx, grantable[rng.Intn(len(grantable))]); err != nil {
+			if _, err := m.RespondWith(tx, grantable[rng.IntN(len(grantable))]); err != nil {
 				panic(err)
 			}
 			pending[tx] = false
 			continue
 		}
-		switch rng.Intn(6) {
+		switch rng.IntN(6) {
 		case 0:
 			b, ok := m.Bound(tx)
 			if !ok {
@@ -161,7 +161,7 @@ func drive(rng *rand.Rand, m *lockmachine.Machine, invs []spec.Invocation, nTx, 
 				panic(err)
 			}
 		default:
-			if err := m.Invoke(tx, invs[rng.Intn(len(invs))]); err != nil {
+			if err := m.Invoke(tx, invs[rng.IntN(len(invs))]); err != nil {
 				panic(err)
 			}
 			pending[tx] = true

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sync"
 
 	"hybridcc/internal/baseline"
 	"hybridcc/internal/core"
@@ -275,7 +276,10 @@ func (u *userSpec) Responses(s spec.State, inv spec.Invocation) []string {
 // Object is a handle on a registered object: typed shared data managed by
 // the hybrid locking runtime.  Typed wrappers — the built-ins in this
 // package, or user structs over NewCustom — embed or wrap an Object and
-// translate between application values and encoded operations.
+// translate between application values and encoded operations.  An Object
+// is shard-aware: operations route through the Txn/ReadTxn interfaces to
+// the branch on whichever System (a standalone one, or one shard of a
+// Cluster) owns the object.
 type Object struct{ obj *core.Object }
 
 // Name returns the object's registered name.
@@ -286,11 +290,23 @@ func (o *Object) Name() string { return string(o.obj.Name()) }
 // transactions.  It returns ErrTimeout when the wait exceeds the lock-wait
 // bound, and an error wrapping the transaction context's error on
 // cancellation.
-func (o *Object) Call(tx *Tx, inv Invocation) (string, error) { return o.obj.Call(tx, inv) }
+func (o *Object) Call(tx Txn, inv Invocation) (string, error) {
+	br, err := tx.Branch(o.obj)
+	if err != nil {
+		return "", err
+	}
+	return o.obj.Call(br, inv)
+}
 
 // ReadCall executes a read-only operation against the object's state as of
 // the reader's timestamp, without acquiring locks.
-func (o *Object) ReadCall(r *ReadTx, inv Invocation) (string, error) { return o.obj.ReadCall(r, inv) }
+func (o *Object) ReadCall(r ReadTxn, inv Invocation) (string, error) {
+	br, err := r.Branch(o.obj)
+	if err != nil {
+		return "", err
+	}
+	return o.obj.ReadCall(br, inv)
+}
 
 // CommittedState returns the state produced by all committed transactions
 // in timestamp order, for inspection outside transactions.
@@ -313,12 +329,43 @@ func Typed[S any](o *Object) Obj[S] { return Obj[S]{Object: o} }
 // Committed returns the committed state as its concrete type.
 func (o Obj[S]) Committed() S { return o.Object.CommittedState().(S) }
 
-// NewCustom registers an object named name whose behaviour is given by the
-// user-defined serial specification sp, under the scheme selected by opts
-// (default Hybrid).  It fails with ErrDuplicateName, ErrUnknownScheme, or
-// ErrInvalidSpec — never a panic — so callers can register types supplied
-// at runtime.
-func (s *System) NewCustom(name string, sp Spec, opts ...ObjectOption) (*Object, error) {
+// registry tracks the specifications of registered objects for duplicate
+// detection and offline verification.  A System has one; a Cluster shares
+// one across all of its shards, so names are unique cluster-wide and
+// Verify sees every object.
+type registry struct {
+	mu    sync.Mutex
+	specs histories.SpecMap
+}
+
+func newRegistry() *registry { return &registry{specs: make(histories.SpecMap)} }
+
+// add records name's specification, failing on duplicates.
+func (r *registry) add(name string, isp spec.Spec) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.specs[histories.ObjID(name)]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateName, name)
+	}
+	r.specs[histories.ObjID(name)] = isp
+	return nil
+}
+
+// snapshot copies the registered specifications.
+func (r *registry) snapshot() histories.SpecMap {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	specs := make(histories.SpecMap, len(r.specs))
+	for k, v := range r.specs {
+		specs[k] = v
+	}
+	return specs
+}
+
+// newCustomOn registers an object on sys, recording its specification in
+// reg — the registration path shared by System.NewCustom and
+// Cluster.NewCustom.
+func newCustomOn(sys *core.System, reg *registry, name string, sp Spec, opts []ObjectOption) (*Object, error) {
 	if name == "" {
 		return nil, fmt.Errorf("%w: empty object name", ErrInvalidSpec)
 	}
@@ -330,18 +377,23 @@ func (s *System) NewCustom(name string, sp Spec, opts ...ObjectOption) (*Object,
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	if _, dup := s.specs[histories.ObjID(name)]; dup {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, name)
+	if err := reg.add(name, isp); err != nil {
+		return nil, err
 	}
-	s.specs[histories.ObjID(name)] = isp
-	s.mu.Unlock()
 	// The declared universe seeds the object's compiled conflict table:
 	// its operation classes are interned (and their bitmask rows built) at
 	// registration rather than on first sight.  Open universes (nil) are
 	// fine — classes then intern lazily as operations appear.
-	return &Object{obj: s.inner.NewObjectSeeded(name, isp, conflict, sp.Universe)}, nil
+	return &Object{obj: sys.NewObjectSeeded(name, isp, conflict, sp.Universe)}, nil
+}
+
+// NewCustom registers an object named name whose behaviour is given by the
+// user-defined serial specification sp, under the scheme selected by opts
+// (default Hybrid).  It fails with ErrDuplicateName, ErrUnknownScheme, or
+// ErrInvalidSpec — never a panic — so callers can register types supplied
+// at runtime.
+func (s *System) NewCustom(name string, sp Spec, opts ...ObjectOption) (*Object, error) {
+	return newCustomOn(s.inner, s.reg, name, sp, opts)
 }
 
 // builtinSpec expresses a built-in type as a public Spec, with the paper's

@@ -17,7 +17,7 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,14 +47,14 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(w)))
+			rng := rand.New(rand.NewPCG(uint64(w), 0xa0d17))
 			for !stop.Load() {
-				sku := rng.Int63n(skus)
+				sku := rng.Int64N(skus)
 				key := fmt.Sprintf("sku%02d", sku)
 				err := sys.Atomically(func(tx *hybridcc.Tx) error {
 					// Restock or sell: keep Directory and Set in lockstep
 					// so auditors have an invariant to check.
-					bound, err := stock.Bind(tx, key, 1+rng.Int63n(100))
+					bound, err := stock.Bind(tx, key, 1+rng.Int64N(100))
 					if err != nil {
 						return err
 					}
@@ -79,7 +79,7 @@ func main() {
 				// Pace the writers: lock waits wake every waiter
 				// (barging), so a tight loop on few hot keys can starve a
 				// peer past its retry budget.
-				time.Sleep(time.Duration(50+rng.Intn(200)) * time.Microsecond)
+				time.Sleep(time.Duration(50+rng.IntN(200)) * time.Microsecond)
 			}
 		}(w)
 	}
@@ -112,6 +112,9 @@ func main() {
 			log.Fatal(err)
 		}
 		consistent++
+		// Space the audits out so writer transactions actually land
+		// between them; back-to-back snapshots can outrun the writers.
+		time.Sleep(2 * time.Millisecond)
 	}
 	stop.Store(true)
 	wg.Wait()

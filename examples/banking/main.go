@@ -12,7 +12,7 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
+	"math/rand/v2"
 	"sync"
 	"time"
 
@@ -54,18 +54,18 @@ func run(scheme hybridcc.Scheme) {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(t)))
+			rng := rand.New(rand.NewPCG(uint64(t), 0xba2c))
 			for i := 0; i < txPerAgent; i++ {
 				err := sys.Atomically(func(tx *hybridcc.Tx) error {
 					var err error
-					switch rng.Intn(10) {
+					switch rng.IntN(10) {
 					case 0, 1, 2, 3, 4: // deposit
-						err = account.Credit(tx, 1+rng.Int63n(100))
+						err = account.Credit(tx, 1+rng.Int64N(100))
 					case 5, 6: // interest posting
 						err = account.Post(tx, 1)
 					default: // withdrawal
 						var ok bool
-						ok, err = account.Debit(tx, 1+rng.Int63n(50))
+						ok, err = account.Debit(tx, 1+rng.Int64N(50))
 						if err == nil && !ok {
 							mu.Lock()
 							overdrafts++

@@ -31,6 +31,13 @@
 // operation universe from which one is derived mechanically — and register
 // objects of it with System.NewCustom.  The seven built-in types are
 // themselves constructed through that path.  See examples/customadt.
+//
+// NewCluster scales the same model out: objects partition across
+// independent shards by hashed name, single-shard transactions commit
+// locally, and cross-shard transactions commit through two-phase
+// commitment with the timestamp piggybacked on the protocol messages —
+// Section 2's distributed setting.  The typed objects and the
+// Atomically/Snapshot idioms are unchanged; see the Cluster type.
 package hybridcc
 
 import (
@@ -39,7 +46,6 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"strings"
-	"sync"
 	"time"
 
 	"hybridcc/internal/core"
@@ -51,6 +57,16 @@ import (
 // goroutine at a time; Commit and Abort complete it everywhere it executed
 // operations.
 type Tx = core.Tx
+
+// Txn is the executor every object operation routes through: a plain *Tx,
+// or a cluster *DTx whose Branch opens one transaction branch per touched
+// shard.  Typed object methods accept a Txn, so the same Account, Queue,
+// or custom-ADT wrapper works against a System and a Cluster alike.
+type Txn = core.Txn
+
+// ReadTxn is the read-only counterpart of Txn: a plain *ReadTx, or a
+// cluster *DReadTx snapshotting every shard at one timestamp.
+type ReadTxn = core.ReadTxn
 
 // ReadTx is a read-only transaction (the paper's Section 7 extension): its
 // timestamp — and serialization position — is chosen when it starts, it
@@ -105,6 +121,7 @@ type config struct {
 	disableCompaction bool
 	deadlockDetection bool
 	recorder          *Recorder
+	commitTimeout     time.Duration
 }
 
 // WithLockWait bounds how long an operation waits on a lock conflict (or a
@@ -132,13 +149,17 @@ func WithDeadlockDetection() Option {
 	return func(c *config) { c.deadlockDetection = true }
 }
 
+// WithCommitTimeout bounds each message round trip of a Cluster's commit
+// protocol (ignored by NewSystem, whose commits are local).
+func WithCommitTimeout(d time.Duration) Option {
+	return func(c *config) { c.commitTimeout = d }
+}
+
 // System manages hybrid atomic objects and mints transactions.
 type System struct {
 	inner    *core.System
 	recorder *Recorder
-
-	mu    sync.Mutex
-	specs histories.SpecMap
+	reg      *registry
 }
 
 // NewSystem creates a System.
@@ -158,7 +179,7 @@ func NewSystem(opts ...Option) *System {
 	return &System{
 		inner:    core.NewSystem(coreOpts),
 		recorder: c.recorder,
-		specs:    make(histories.SpecMap),
+		reg:      newRegistry(),
 	}
 }
 
@@ -215,11 +236,37 @@ func (s *System) Atomically(fn func(tx *Tx) error) error {
 // retry backoff short.  A transaction that has already entered Commit is
 // not interrupted — commits are never torn.
 func (s *System) AtomicallyCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	return atomicallyLoop(ctx, func() error {
+		tx := s.BeginCtx(ctx)
+		err := fn(tx)
+		if err == nil {
+			if err = tx.Commit(); err == nil {
+				return nil
+			}
+		}
+		_ = tx.Abort()
+		return err
+	})
+}
+
+// retryable reports whether one failed attempt is worth retrying with a
+// fresh transaction: lock-wait timeouts, detected deadlocks, and — for
+// clusters — commits the atomic-commitment protocol aborted.
+func retryable(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrDeadlock) || errors.Is(err, ErrCommitAborted)
+}
+
+// atomicallyLoop drives attempt with the shared retry policy: retryable
+// failures are re-run (fresh transaction, jittered exponential backoff) up
+// to a bounded number of attempts, and cancellation cuts the backoff
+// short.  System.AtomicallyCtx and Cluster.AtomicallyCtx differ only in
+// what one attempt is.
+func atomicallyLoop(ctx context.Context, attempt func() error) error {
 	const maxAttempts = 16
 	var first, last error
-	for attempt := 0; attempt < maxAttempts; attempt++ {
-		if attempt > 0 {
-			shift := attempt
+	for i := 0; i < maxAttempts; i++ {
+		if i > 0 {
+			shift := i
 			if shift > 6 {
 				shift = 6
 			}
@@ -235,15 +282,11 @@ func (s *System) AtomicallyCtx(ctx context.Context, fn func(tx *Tx) error) error
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		tx := s.BeginCtx(ctx)
-		err := fn(tx)
+		err := attempt()
 		if err == nil {
-			if err = tx.Commit(); err == nil {
-				return nil
-			}
+			return nil
 		}
-		_ = tx.Abort()
-		if !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrDeadlock) {
+		if !retryable(err) {
 			return err
 		}
 		if first == nil {
@@ -286,17 +329,19 @@ func (s *System) Stats() core.StatsSnapshot { return s.inner.Stats() }
 // through this System.  Read-only transactions are verified under the
 // generalized (start-timestamped) rules.
 func (s *System) Verify() error {
-	if s.recorder == nil {
-		return errors.New("hybridcc: system has no recorder; construct with WithRecorder")
+	return verifyRecorded(s.recorder, s.reg)
+}
+
+// verifyRecorded checks a recorder's history against a registry's
+// specifications — shared by System.Verify and Cluster.Verify (where the
+// recorder holds the interleaved history of every shard, so the check
+// proves global atomicity).
+func verifyRecorded(rec *Recorder, reg *registry) error {
+	if rec == nil {
+		return errors.New("hybridcc: no recorder attached; construct with WithRecorder")
 	}
-	s.mu.Lock()
-	specs := make(histories.SpecMap, len(s.specs))
-	for k, v := range s.specs {
-		specs[k] = v
-	}
-	s.mu.Unlock()
 	isReadOnly := func(id histories.TxID) bool { return strings.HasPrefix(string(id), "R") }
-	return verify.CheckGeneralizedHybridAtomic(s.recorder.History(), specs, isReadOnly)
+	return verify.CheckGeneralizedHybridAtomic(rec.History(), reg.snapshot(), isReadOnly)
 }
 
 // schemeOf applies object options.

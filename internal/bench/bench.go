@@ -7,7 +7,7 @@ package bench
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"sort"
 	"strings"
 	"sync"
@@ -436,7 +436,7 @@ func MixedSchemes() Experiment {
 			// Each transaction moves money and logs an audit record — two
 			// objects under different (compatible) schemes.
 			body := func(tx *core.Tx, rng *rand.Rand) error {
-				amount := 1 + rng.Int63n(50)
+				amount := 1 + rng.Int64N(50)
 				if _, err := acc.Call(tx, adt.DebitInv(amount)); err != nil {
 					return err
 				}
@@ -515,7 +515,7 @@ func ReadOnlySnapshots() Experiment {
 					wcfg := workloadConfig(cfg, 4)
 					wcfg.Hold = 0 // contention comes from the readers here
 					res := workload.Run(sys, wcfg, func(tx *core.Tx, rng *rand.Rand) error {
-						_, err := ctr.Call(tx, adt.IncInv(int64(1+rng.Intn(5))))
+						_, err := ctr.Call(tx, adt.IncInv(int64(1+rng.IntN(5))))
 						return err
 					})
 					close(stop)

@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClusterThroughputSmoke(t *testing.T) {
+	for _, cfg := range []ClusterBenchConfig{
+		{Shards: 1, Workers: 4, OpsPerTx: 4, CrossPct: 50, Duration: 50 * time.Millisecond},
+		{Shards: 2, Workers: 4, OpsPerTx: 4, CrossPct: 50, Duration: 50 * time.Millisecond},
+	} {
+		res, err := ClusterThroughput(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if res.Committed == 0 {
+			t.Fatalf("%+v: nothing committed", cfg)
+		}
+		if cfg.Shards == 1 && res.CrossShardCommits != 0 {
+			t.Fatalf("%+v: single shard ran 2PC %d times", cfg, res.CrossShardCommits)
+		}
+		if cfg.Shards == 2 && res.CrossShardCommits == 0 {
+			t.Fatalf("%+v: no 2PC commits despite cross_pct=50", cfg)
+		}
+	}
+}
+
+func TestClusterThroughputRejectsBadConfig(t *testing.T) {
+	if _, err := ClusterThroughput(ClusterBenchConfig{Shards: 0, Workers: 1, OpsPerTx: 1}); err == nil {
+		t.Error("accepted 0 shards")
+	}
+	if _, err := ClusterThroughput(ClusterBenchConfig{Shards: 1, Workers: 1, OpsPerTx: 1, CrossPct: 101}); err == nil {
+		t.Error("accepted cross_pct 101")
+	}
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"hybridcc/internal/core"
+	"hybridcc/internal/histories"
+)
+
+// DReadTx is a cluster-wide read-only snapshot: one read-only branch per
+// shard, all serializing at a single timestamp chosen when the snapshot
+// starts — the Section 7 treatment, lifted to the sharded setting.
+//
+// The timestamp is the first coordinator timestamp above every shard
+// clock ("the max of the per-shard read timestamps"): registration pins
+// compaction on every shard before the timestamp is chosen, and
+// activation makes every shard clock observe it, so no shard can later
+// mint a commit timestamp under the snapshot.  Reads acquire no locks;
+// a read may wait out (bounded by the lock wait) an update transaction
+// that could still commit below the snapshot.
+//
+// The instant is a LOGICAL one — the timestamp order every shard shares.
+// The snapshot observes exactly the transactions with earlier timestamps,
+// on every shard; that is hybrid atomicity's guarantee, and what Verify
+// checks.  It is not external consistency: while the snapshot is being
+// activated, a commit racing on one shard may mint a timestamp below the
+// snapshot while a real-time-earlier commit on another shard minted one
+// above it, so real-time order across shards is not always reflected
+// (within one shard it always is, because a shard clock never goes
+// backwards).
+type DReadTx struct {
+	c        *Cluster
+	id       histories.TxID
+	ts       histories.Timestamp
+	branches []*core.ReadTx // one per shard, indexed like c.shards
+
+	mu   sync.Mutex
+	done bool
+}
+
+// finish marks the snapshot completed; it reports false when it already
+// was.
+func (t *DReadTx) finish() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return false
+	}
+	t.done = true
+	return true
+}
+
+// BeginReadOnly starts a cluster-wide read-only snapshot.
+func (c *Cluster) BeginReadOnly() *DReadTx { return c.BeginReadOnlyCtx(context.Background()) }
+
+// BeginReadOnlyCtx starts a cluster-wide read-only snapshot bound to ctx.
+func (c *Cluster) BeginReadOnlyCtx(ctx context.Context) *DReadTx {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := c.txSeq.Add(1)
+	c.stats.begun.Add(1)
+	t := &DReadTx{
+		c:        c,
+		id:       histories.TxID(fmt.Sprintf("R%d", n)),
+		branches: make([]*core.ReadTx, len(c.shards)),
+	}
+	// Pin first, choose second, activate third: the provisional pins stop
+	// every shard from folding commits past the snapshot while the
+	// timestamp is still being chosen.
+	for i, sys := range c.shards {
+		t.branches[i] = sys.BeginReadOnlyBranch(ctx, t.id)
+	}
+	var max histories.Timestamp
+	for _, clk := range c.clocks {
+		if now := clk.Now(); now > max {
+			max = now
+		}
+	}
+	t.ts = c.coordClock.Next(max)
+	for _, br := range t.branches {
+		br.ActivateAt(t.ts)
+	}
+	return t
+}
+
+// ID returns the snapshot's cluster-wide identifier (with the "R" prefix
+// verification uses to apply the generalized read-only rules).
+func (t *DReadTx) ID() histories.TxID { return t.id }
+
+// Timestamp returns the snapshot's (start-chosen) serialization timestamp.
+func (t *DReadTx) Timestamp() histories.Timestamp { return t.ts }
+
+// Branch implements core.ReadTxn: it returns the read-only branch on the
+// shard that owns o.
+func (t *DReadTx) Branch(o *core.Object) (*core.ReadTx, error) {
+	shard := t.c.shardIndex(o.System())
+	if shard < 0 {
+		return nil, fmt.Errorf("cluster: object %s is not on any shard of this cluster", o.Name())
+	}
+	return t.branches[shard], nil
+}
+
+// Commit finishes the snapshot on every shard, releasing the compaction
+// pins and emitting its commit events.
+func (t *DReadTx) Commit() error {
+	if !t.finish() {
+		return core.ErrTxDone
+	}
+	var first error
+	for _, br := range t.branches {
+		if err := br.Commit(); err != nil && first == nil {
+			first = err
+		}
+	}
+	t.c.stats.committed.Add(1)
+	return first
+}
+
+// Abort abandons the snapshot on every shard.
+func (t *DReadTx) Abort() error {
+	if !t.finish() {
+		return core.ErrTxDone
+	}
+	var first error
+	for _, br := range t.branches {
+		if err := br.Abort(); err != nil && first == nil {
+			first = err
+		}
+	}
+	t.c.stats.aborted.Add(1)
+	return first
+}

@@ -16,8 +16,10 @@
 package commitproto
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"hybridcc/internal/histories"
@@ -127,15 +129,17 @@ func (s *Server) serve(p Participant) {
 	}
 }
 
-// send delivers a request, returning ok=false if the server is crashed or
-// does not answer within the timeout.
-func (s *Server) send(kind msgKind, tx histories.TxID, ts histories.Timestamp, timeout time.Duration) response {
+// send delivers a request, returning ok=false if the server is crashed,
+// does not answer within the timeout, or ctx is cancelled first.
+func (s *Server) send(ctx context.Context, kind msgKind, tx histories.TxID, ts histories.Timestamp, timeout time.Duration) response {
 	reply := make(chan response, 1)
 	req := request{kind: kind, tx: tx, ts: ts, reply: reply}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case s.inbox <- req:
+	case <-ctx.Done():
+		return response{}
 	case <-s.crashed:
 		return response{}
 	case <-timer.C:
@@ -144,6 +148,8 @@ func (s *Server) send(kind msgKind, tx histories.TxID, ts histories.Timestamp, t
 	select {
 	case r := <-reply:
 		return r
+	case <-ctx.Done():
+		return response{}
 	case <-s.crashed:
 		return response{}
 	case <-timer.C:
@@ -162,7 +168,7 @@ func (s *Server) Crash() {
 
 // Stop shuts the server down cleanly.
 func (s *Server) Stop() {
-	s.send(msgStop, "", 0, time.Second)
+	s.send(context.Background(), msgStop, "", 0, time.Second)
 }
 
 // Name returns the server's name.
@@ -186,6 +192,17 @@ func NewCoordinator(clock tstamp.Clock, timeout time.Duration) *Coordinator {
 // every participant.  Any missing or negative vote aborts the round; abort
 // messages are sent best-effort to all reachable participants.
 func (c *Coordinator) Run(tx histories.TxID, servers []*Server) (Decision, histories.Timestamp, error) {
+	return c.RunCtx(context.Background(), tx, servers)
+}
+
+// RunCtx is Run bound to ctx.  Cancellation is honored only while the
+// outcome is still open: a cancel during the prepare phase aborts the round
+// (abort messages are still delivered outside ctx, so no participant is
+// left prepared), and the returned error wraps ctx.Err().  Once every vote
+// is in and affirmative, the decision is commit — phase 2 ignores ctx,
+// because a decided commit must reach every participant or the transaction
+// would be torn.
+func (c *Coordinator) RunCtx(ctx context.Context, tx histories.TxID, servers []*Server) (Decision, histories.Timestamp, error) {
 	if len(servers) == 0 {
 		return Aborted, 0, ErrNoParticipants
 	}
@@ -199,7 +216,7 @@ func (c *Coordinator) Run(tx histories.TxID, servers []*Server) (Decision, histo
 	votes := make(chan voteResult, len(servers))
 	for i, s := range servers {
 		go func(i int, s *Server) {
-			votes <- voteResult{i: i, resp: s.send(msgPrepare, tx, 0, c.timeout)}
+			votes <- voteResult{i: i, resp: s.send(ctx, msgPrepare, tx, 0, c.timeout)}
 		}(i, s)
 	}
 	lower := histories.Timestamp(0)
@@ -220,9 +237,23 @@ func (c *Coordinator) Run(tx histories.TxID, servers []*Server) (Decision, histo
 		}
 	}
 
-	if !allYes {
+	if err := ctx.Err(); err != nil || !allYes {
+		// Aborts go out without ctx: participants that voted yes hold
+		// locks until they learn the decision, so the abort must be
+		// delivered even though the caller has given up.  Delivery is
+		// parallel — one site still chewing on its prepare must not delay
+		// the others' release.
+		var aborts sync.WaitGroup
 		for _, s := range servers {
-			s.send(msgAbort, tx, 0, c.timeout)
+			aborts.Add(1)
+			go func(s *Server) {
+				defer aborts.Done()
+				s.send(context.Background(), msgAbort, tx, 0, c.timeout)
+			}(s)
+		}
+		aborts.Wait()
+		if err != nil {
+			return Aborted, 0, fmt.Errorf("commitproto: round cancelled: %w", err)
 		}
 		if len(failed) > 0 {
 			return Aborted, 0, fmt.Errorf("commitproto: participants unreachable: %v", failed)
@@ -236,7 +267,7 @@ func (c *Coordinator) Run(tx histories.TxID, servers []*Server) (Decision, histo
 	acks := make(chan bool, len(servers))
 	for _, s := range servers {
 		go func(s *Server) {
-			acks <- s.send(msgCommit, tx, ts, c.timeout).ok
+			acks <- s.send(context.Background(), msgCommit, tx, ts, c.timeout).ok
 		}(s)
 	}
 	for range servers {

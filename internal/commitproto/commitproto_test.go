@@ -1,6 +1,8 @@
 package commitproto
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -224,5 +226,73 @@ func TestServerCrashIdempotent(t *testing.T) {
 	s.Crash() // must not panic
 	if s.Name() != "A" {
 		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestRunCtxCancelDuringSlowPrepare(t *testing.T) {
+	// One participant answers promptly, the other stalls in Prepare past
+	// the caller's patience.  Without the cancel this round would commit
+	// (both vote yes); with it, the round must abort with ctx's error, and
+	// the prompt yes-voter must still receive its abort — outside ctx —
+	// so no participant is left holding locks for a dead round.
+	prompt, slow := newFake(1, true), newFake(2, true)
+	slow.delay = 300 * time.Millisecond
+	sa, sb := NewServer("A", prompt), NewServer("B", slow)
+	defer sa.Stop()
+	defer sb.Stop()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	coord := NewCoordinator(tstamp.NewSource(), 10*time.Second)
+	dec, _, err := coord.RunCtx(ctx, "T1", []*Server{sa, sb})
+	if dec != Aborted {
+		t.Fatalf("decision = %v, want aborted", dec)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if prompt.abortedCount() != 1 {
+		t.Errorf("prompt participant got %d aborts, want 1 (delivered outside ctx)", prompt.abortedCount())
+	}
+	if _, ok := prompt.committedTS("T1"); ok {
+		t.Error("prompt participant committed a cancelled round")
+	}
+}
+
+// cancelOnCommit cancels a context the moment the first commit decision
+// reaches it, modelling a caller that gives up mid-phase-2.
+type cancelOnCommit struct {
+	*fakeParticipant
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnCommit) Commit(tx histories.TxID, ts histories.Timestamp) {
+	c.cancel()
+	c.fakeParticipant.Commit(tx, ts)
+}
+
+func TestRunCtxPhaseTwoIgnoresCancellation(t *testing.T) {
+	// Once the decision is commit, cancellation must not tear it: even
+	// with ctx cancelled while the decision is being distributed, every
+	// participant still learns it.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	a := &cancelOnCommit{fakeParticipant: newFake(3, true), cancel: cancel}
+	b := newFake(4, true)
+	sa, sb := NewServer("A", a), NewServer("B", b)
+	defer sa.Stop()
+	defer sb.Stop()
+
+	dec, ts, err := coordinator().RunCtx(ctx, "T1", []*Server{sa, sb})
+	if err != nil || dec != Committed {
+		t.Fatalf("round: %v %v", dec, err)
+	}
+	for name, f := range map[string]*fakeParticipant{"A": a.fakeParticipant, "B": b} {
+		if got, ok := f.committedTS("T1"); !ok || got != ts {
+			t.Errorf("participant %s: commit ts = (%d,%v), want (%d,true)", name, got, ok, ts)
+		}
 	}
 }

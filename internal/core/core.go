@@ -121,6 +121,25 @@ func (s *System) BeginCtx(ctx context.Context) *Tx {
 	}
 }
 
+// BeginBranch starts a transaction branch carrying an externally chosen
+// identifier: the local leg of a distributed transaction whose sibling
+// branches run on other Systems under the same id, so their events merge
+// into one global transaction in a shared recorder.  The caller owns id
+// uniqueness across every System sharing a sink; completion goes through
+// Prepare/CommitAt (driven by an atomic-commitment coordinator) or Abort.
+func (s *System) BeginBranch(ctx context.Context, id histories.TxID) *Tx {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.stats.Begun.Add(1)
+	return &Tx{
+		sys:     s,
+		id:      id,
+		ctx:     ctx,
+		touched: make(map[*Object]bool),
+	}
+}
+
 // Stats returns a snapshot of system-wide counters.
 func (s *System) Stats() StatsSnapshot { return s.stats.snapshot() }
 

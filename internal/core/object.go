@@ -133,6 +133,11 @@ func (s *System) NewObjectSeeded(name string, sp spec.Spec, conflict depend.Conf
 // Name returns the object's identifier.
 func (o *Object) Name() histories.ObjID { return o.name }
 
+// System returns the System the object is registered with — for a sharded
+// cluster, the shard that owns it.  Distributed transactions route each
+// operation to the branch on this System.
+func (o *Object) System() *System { return o.sys }
+
 // Spec returns the object's serial specification.
 func (o *Object) Spec() spec.Spec { return o.sp }
 

@@ -29,6 +29,23 @@ import (
 // inside a read-only transaction.
 var ErrNotReadOnly = fmt.Errorf("hybridcc: operation mutates state in a read-only transaction")
 
+// ReadTxn is the read-only counterpart of Txn: Branch returns the
+// read-only branch observing o's shard.  A plain ReadTx reads everywhere
+// itself; a cluster-wide snapshot returns the branch registered on the
+// System that owns o.
+type ReadTxn interface {
+	Branch(o *Object) (*ReadTx, error)
+}
+
+// Branch implements ReadTxn: a plain reader reads itself — on objects of
+// its own System only (see (*Tx).Branch).
+func (t *ReadTx) Branch(o *Object) (*ReadTx, error) {
+	if o.sys != t.sys {
+		return nil, fmt.Errorf("hybridcc: object %s belongs to a different System than reader %s", o.name, t.id)
+	}
+	return t, nil
+}
+
 // ReadTx is a read-only transaction with a start-time timestamp.
 type ReadTx struct {
 	sys *System
@@ -78,6 +95,27 @@ func (r *readSet) register(tx *ReadTx, clock tstamp.Clock) {
 	r.active[tx] = tx.ts
 }
 
+// pin installs a provisional compaction pin at timestamp 0, freezing every
+// horizon until repin fixes the reader's real timestamp.  A cluster-wide
+// snapshot pins all shards first and only then chooses one timestamp above
+// every shard clock; without the provisional pin, a commit landing between
+// the choice and the registration could fold past the reader's snapshot.
+func (r *readSet) pin(tx *ReadTx) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.active == nil {
+		r.active = make(map[*ReadTx]histories.Timestamp)
+	}
+	r.active[tx] = 0
+}
+
+// repin raises tx's compaction pin to its chosen timestamp.
+func (r *readSet) repin(tx *ReadTx, ts histories.Timestamp) {
+	r.mu.Lock()
+	r.active[tx] = ts
+	r.mu.Unlock()
+}
+
 func (r *readSet) remove(tx *ReadTx) {
 	r.mu.Lock()
 	delete(r.active, tx)
@@ -109,6 +147,36 @@ func (s *System) BeginReadOnlyCtx(ctx context.Context) *ReadTx {
 	}
 	s.readers.register(tx, s.clock)
 	return tx
+}
+
+// BeginReadOnlyBranch starts a read-only branch carrying an externally
+// chosen identifier — the local leg of a cluster-wide snapshot.  The
+// branch immediately pins compaction (at timestamp 0, holding every
+// horizon) but observes nothing until ActivateAt fixes its snapshot
+// position; the caller must activate it before reading through it.
+func (s *System) BeginReadOnlyBranch(ctx context.Context, id histories.TxID) *ReadTx {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.stats.Begun.Add(1)
+	tx := &ReadTx{
+		sys:     s,
+		id:      id,
+		ctx:     ctx,
+		touched: make(map[*Object]bool),
+	}
+	s.readers.pin(tx)
+	return tx
+}
+
+// ActivateAt fixes a branch's snapshot timestamp: the compaction pin rises
+// from its provisional 0 to ts, and the System clock observes ts so every
+// local commit from here on serializes after the snapshot.  Must be called
+// once, before any read through the branch.
+func (t *ReadTx) ActivateAt(ts histories.Timestamp) {
+	t.sys.readers.repin(t, ts)
+	t.ts = ts
+	t.sys.clock.Observe(ts)
 }
 
 // Context returns the context the reader was started with.

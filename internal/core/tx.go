@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 
@@ -23,6 +24,27 @@ const (
 	txAborted
 )
 
+// Txn is what the public API routes operations through: Branch returns
+// the transaction branch that executes operations at o.  A plain
+// transaction is its own branch everywhere; a distributed transaction
+// (internal/cluster) returns — opening on first use — the branch on the
+// shard that owns o.
+type Txn interface {
+	Branch(o *Object) (*Tx, error)
+}
+
+// Branch implements Txn: a plain transaction executes itself — on objects
+// of its own System only.  Rejecting foreign objects here turns a mixed-up
+// handle (an object from another System or a Cluster shard) into an
+// immediate error instead of silently minting timestamps from the wrong
+// clock.
+func (t *Tx) Branch(o *Object) (*Tx, error) {
+	if o.sys != t.sys {
+		return nil, fmt.Errorf("hybridcc: object %s belongs to a different System than transaction %s", o.name, t.id)
+	}
+	return t, nil
+}
+
 // Tx is a transaction.  A transaction is single-threaded, as in the
 // paper's model: it has at most one pending invocation at a time, and the
 // runtime reports ErrTxBusy on concurrent use.
@@ -31,11 +53,18 @@ type Tx struct {
 	id  histories.TxID
 	ctx context.Context
 
-	mu      sync.Mutex
-	status  txStatus
-	busy    bool
-	touched map[*Object]bool
-	ts      histories.Timestamp
+	mu     sync.Mutex
+	status txStatus
+	busy   bool
+	// prepared freezes the branch after a yes vote in an external commit
+	// protocol: new operations are rejected (ErrTxBusy) until the
+	// decision arrives via CommitAt or Abort.  Without the freeze, a call
+	// racing the protocol could be granted after the vote and raise the
+	// branch's timestamp bound above the already-chosen decision
+	// timestamp — standard 2PC participant behavior forbids exactly that.
+	prepared bool
+	touched  map[*Object]bool
+	ts       histories.Timestamp
 }
 
 // ID returns the transaction's identifier.
@@ -73,7 +102,7 @@ func (t *Tx) enter() error {
 	if t.status != txActive {
 		return ErrTxDone
 	}
-	if t.busy {
+	if t.busy || t.prepared {
 		return ErrTxBusy
 	}
 	t.busy = true
@@ -117,7 +146,9 @@ func (t *Tx) Commit() error {
 		t.mu.Unlock()
 		return ErrTxDone
 	}
-	if t.busy {
+	if t.busy || t.prepared {
+		// A prepared branch awaits its coordinator's decision; a local
+		// commit would race it with a second timestamp.
 		t.mu.Unlock()
 		return ErrTxBusy
 	}
@@ -169,7 +200,10 @@ func (t *Tx) Abort() error {
 // Prepare exposes the transaction's maximum recorded lower bound for use
 // by an external atomic-commitment protocol (internal/commitproto): the
 // coordinator must choose a commit timestamp greater than this bound, then
-// call CommitAt.
+// call CommitAt.  Preparing freezes the branch — further operations fail
+// with ErrTxBusy until CommitAt or Abort resolves it — so the reported
+// bound cannot rise after the vote.  Prepare is idempotent while the
+// branch stays unresolved.
 func (t *Tx) Prepare() (histories.Timestamp, error) {
 	t.mu.Lock()
 	if t.status != txActive {
@@ -180,6 +214,7 @@ func (t *Tx) Prepare() (histories.Timestamp, error) {
 		t.mu.Unlock()
 		return 0, ErrTxBusy
 	}
+	t.prepared = true
 	t.mu.Unlock()
 	lower := histories.Timestamp(0)
 	for _, o := range t.touchedObjects() {
@@ -206,6 +241,9 @@ func (t *Tx) CommitAt(ts histories.Timestamp) error {
 		return ErrTxDone
 	}
 	if t.busy {
+		// Only possible when CommitAt is used without Prepare (which
+		// would have frozen the branch or been vetoed by this very
+		// call): refuse rather than commit under a running operation.
 		t.mu.Unlock()
 		return ErrTxBusy
 	}

@@ -104,3 +104,10 @@ func (c *NodeClock) Observe(ts histories.Timestamp) {
 		c.last = ts
 	}
 }
+
+// Now returns the largest timestamp issued or observed so far.
+func (c *NodeClock) Now() histories.Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}

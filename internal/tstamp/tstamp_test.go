@@ -144,3 +144,21 @@ func TestNodeClockValidation(t *testing.T) {
 		}()
 	}
 }
+
+func TestNodeClockNow(t *testing.T) {
+	c := NewNodeClock(1, 3)
+	if got := c.Now(); got != 1 {
+		t.Fatalf("fresh Now = %d, want the node index floor 1", got)
+	}
+	ts := c.Next(0)
+	if got := c.Now(); got != ts {
+		t.Fatalf("Now = %d after issuing %d", got, ts)
+	}
+	c.Observe(100)
+	if got := c.Now(); got != 100 {
+		t.Fatalf("Now = %d after observing 100", got)
+	}
+	if next := c.Next(0); next <= 100 {
+		t.Fatalf("Next = %d, want above the observed 100", next)
+	}
+}

@@ -8,7 +8,7 @@ package workload
 import (
 	"errors"
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +41,9 @@ func DefaultConfig() Config {
 
 // Body runs one transaction attempt.  Returning an error aborts the
 // attempt; core.ErrTimeout errors are retried up to Config.MaxRetries.
+// The rng is a per-worker math/rand/v2 generator: deterministic from
+// Config.Seed, and free of the global lock that made the math/rand
+// top-level source a contention point inside measurement loops.
 type Body func(tx *core.Tx, rng *rand.Rand) error
 
 // Result aggregates the outcome of a driver run.
@@ -77,7 +80,7 @@ func Run(sys *core.System, cfg Config, body Body) Result {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*1_000_003))
+			rng := rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(w)*1_000_003))
 			for i := 0; i < cfg.TxPerWorker; i++ {
 				ok := false
 				for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
@@ -124,7 +127,7 @@ func Run(sys *core.System, cfg Config, body Body) Result {
 func EnqueueOnly(obj *core.Object, n int) Body {
 	return func(tx *core.Tx, rng *rand.Rand) error {
 		for i := 0; i < n; i++ {
-			if _, err := obj.Call(tx, adt.EnqInv(int64(rng.Intn(1000)))); err != nil {
+			if _, err := obj.Call(tx, adt.EnqInv(int64(rng.IntN(1000)))); err != nil {
 				return err
 			}
 		}
@@ -145,7 +148,7 @@ func BlindWrites(obj *core.Object, n int, readEvery int) Body {
 			return nil
 		}
 		for i := 0; i < n; i++ {
-			if _, err := obj.Call(tx, adt.FileWriteInv(int64(rng.Intn(1000)))); err != nil {
+			if _, err := obj.Call(tx, adt.FileWriteInv(int64(rng.IntN(1000)))); err != nil {
 				return err
 			}
 		}
@@ -160,15 +163,15 @@ func BlindWrites(obj *core.Object, n int, readEvery int) Body {
 // should be pre-funded via Fund.
 func AccountMix(obj *core.Object, creditPct, postPct int, debitBeyond int64) Body {
 	return func(tx *core.Tx, rng *rand.Rand) error {
-		roll := rng.Intn(100)
+		roll := rng.IntN(100)
 		var err error
 		switch {
 		case roll < creditPct:
-			_, err = obj.Call(tx, adt.CreditInv(int64(1+rng.Intn(10))))
+			_, err = obj.Call(tx, adt.CreditInv(int64(1+rng.IntN(10))))
 		case roll < creditPct+postPct:
 			_, err = obj.Call(tx, adt.PostInv(1)) // factor 1: interest noop, lock behaviour identical
 		default:
-			_, err = obj.Call(tx, adt.DebitInv(1+rng.Int63n(debitBeyond)))
+			_, err = obj.Call(tx, adt.DebitInv(1+rng.Int64N(debitBeyond)))
 		}
 		return err
 	}
@@ -212,8 +215,8 @@ func Prefill(sys *core.System, obj *core.Object, n int, queue bool) error {
 func ProducerConsumer(obj *core.Object, producePct int, queue bool) Body {
 	return func(tx *core.Tx, rng *rand.Rand) error {
 		var err error
-		if rng.Intn(100) < producePct {
-			v := int64(rng.Intn(1000))
+		if rng.IntN(100) < producePct {
+			v := int64(rng.IntN(1000))
 			if queue {
 				_, err = obj.Call(tx, adt.EnqInv(v))
 			} else {
@@ -235,9 +238,9 @@ func ProducerConsumer(obj *core.Object, producePct int, queue bool) Body {
 // scheme, so throughput scales with the key range.
 func SetChurn(obj *core.Object, keys int64) Body {
 	return func(tx *core.Tx, rng *rand.Rand) error {
-		k := rng.Int63n(keys)
+		k := rng.Int64N(keys)
 		var err error
-		switch rng.Intn(3) {
+		switch rng.IntN(3) {
 		case 0:
 			_, err = obj.Call(tx, adt.SetInsertInv(k))
 		case 1:

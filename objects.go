@@ -9,6 +9,31 @@ import (
 // public Spec, see builtinSpec) through NewCustom and wraps the resulting
 // Object handle with typed methods.
 
+// registrar is anything objects can be registered on: a System, or a
+// Cluster (which places them on the owning shard).  The built-in typed
+// constructors of both delegate to newBuiltin, so the spec-name/wrapper
+// pairing of each type is stated exactly once.
+type registrar interface {
+	NewCustom(name string, sp Spec, opts ...ObjectOption) (*Object, error)
+}
+
+// newBuiltin registers a built-in type's object on r and wraps it.
+func newBuiltin[T any](r registrar, name, typeName string, wrap func(*Object) *T, opts []ObjectOption) (*T, error) {
+	obj, err := r.NewCustom(name, builtinSpec(typeName), opts...)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(obj), nil
+}
+
+func wrapAccount(o *Object) *Account     { return &Account{obj: o} }
+func wrapQueue(o *Object) *Queue         { return &Queue{obj: o} }
+func wrapSemiqueue(o *Object) *Semiqueue { return &Semiqueue{obj: o} }
+func wrapFile(o *Object) *File           { return &File{obj: o} }
+func wrapCounter(o *Object) *Counter     { return &Counter{obj: o} }
+func wrapSet(o *Object) *Set             { return &Set{obj: o} }
+func wrapDirectory(o *Object) *Directory { return &Directory{obj: o} }
+
 // Account is a bank account with Credit, Post (interest), and Debit
 // operations (the paper's Section 4.3 Account and appendix example).  Under
 // the Hybrid scheme, credits never conflict with other credits, with
@@ -18,22 +43,18 @@ type Account struct{ obj *Object }
 
 // NewAccount creates an account object.
 func (s *System) NewAccount(name string, opts ...ObjectOption) (*Account, error) {
-	obj, err := s.NewCustom(name, builtinSpec("Account"), opts...)
-	if err != nil {
-		return nil, err
-	}
-	return &Account{obj: obj}, nil
+	return newBuiltin(s, name, "Account", wrapAccount, opts)
 }
 
 // Credit adds amount (≥ 0) to the balance.
-func (a *Account) Credit(tx *Tx, amount int64) error {
+func (a *Account) Credit(tx Txn, amount int64) error {
 	_, err := a.obj.Call(tx, adt.CreditInv(amount))
 	return err
 }
 
 // Post multiplies the balance by factor (≥ 1) — posting interest (see the
 // package documentation for the integer-factor substitution).
-func (a *Account) Post(tx *Tx, factor int64) error {
+func (a *Account) Post(tx Txn, factor int64) error {
 	_, err := a.obj.Call(tx, adt.PostInv(factor))
 	return err
 }
@@ -41,7 +62,7 @@ func (a *Account) Post(tx *Tx, factor int64) error {
 // Debit withdraws amount if the balance covers it.  It returns false (and
 // no error) when the debit is refused with an Overdraft, leaving the
 // balance unchanged.
-func (a *Account) Debit(tx *Tx, amount int64) (bool, error) {
+func (a *Account) Debit(tx Txn, amount int64) (bool, error) {
 	res, err := a.obj.Call(tx, adt.DebitInv(amount))
 	if err != nil {
 		return false, err
@@ -64,22 +85,18 @@ type Queue struct{ obj *Object }
 
 // NewQueue creates a queue object.
 func (s *System) NewQueue(name string, opts ...ObjectOption) (*Queue, error) {
-	obj, err := s.NewCustom(name, builtinSpec("Queue"), opts...)
-	if err != nil {
-		return nil, err
-	}
-	return &Queue{obj: obj}, nil
+	return newBuiltin(s, name, "Queue", wrapQueue, opts)
 }
 
 // Enq appends item to the queue.
-func (q *Queue) Enq(tx *Tx, item int64) error {
+func (q *Queue) Enq(tx Txn, item int64) error {
 	_, err := q.obj.Call(tx, adt.EnqInv(item))
 	return err
 }
 
 // Deq removes and returns the front item.  It blocks (up to the lock-wait
 // bound) while the queue is empty — Deq is a partial operation.
-func (q *Queue) Deq(tx *Tx) (int64, error) {
+func (q *Queue) Deq(tx Txn) (int64, error) {
 	res, err := q.obj.Call(tx, adt.DeqInv())
 	if err != nil {
 		return 0, err
@@ -100,22 +117,18 @@ type Semiqueue struct{ obj *Object }
 
 // NewSemiqueue creates a semiqueue object.
 func (s *System) NewSemiqueue(name string, opts ...ObjectOption) (*Semiqueue, error) {
-	obj, err := s.NewCustom(name, builtinSpec("Semiqueue"), opts...)
-	if err != nil {
-		return nil, err
-	}
-	return &Semiqueue{obj: obj}, nil
+	return newBuiltin(s, name, "Semiqueue", wrapSemiqueue, opts)
 }
 
 // Ins inserts item.
-func (q *Semiqueue) Ins(tx *Tx, item int64) error {
+func (q *Semiqueue) Ins(tx Txn, item int64) error {
 	_, err := q.obj.Call(tx, adt.InsInv(item))
 	return err
 }
 
 // Rem removes and returns some item; it blocks while the semiqueue is
 // empty.
-func (q *Semiqueue) Rem(tx *Tx) (int64, error) {
+func (q *Semiqueue) Rem(tx Txn) (int64, error) {
 	res, err := q.obj.Call(tx, adt.RemInv())
 	if err != nil {
 		return 0, err
@@ -136,21 +149,17 @@ type File struct{ obj *Object }
 
 // NewFile creates a file object with initial value 0.
 func (s *System) NewFile(name string, opts ...ObjectOption) (*File, error) {
-	obj, err := s.NewCustom(name, builtinSpec("File"), opts...)
-	if err != nil {
-		return nil, err
-	}
-	return &File{obj: obj}, nil
+	return newBuiltin(s, name, "File", wrapFile, opts)
 }
 
 // Write replaces the file's value.
-func (f *File) Write(tx *Tx, value int64) error {
+func (f *File) Write(tx Txn, value int64) error {
 	_, err := f.obj.Call(tx, adt.FileWriteInv(value))
 	return err
 }
 
 // Read returns the file's value.
-func (f *File) Read(tx *Tx) (int64, error) {
+func (f *File) Read(tx Txn) (int64, error) {
 	res, err := f.obj.Call(tx, adt.FileReadInv())
 	if err != nil {
 		return 0, err
@@ -165,7 +174,7 @@ func (f *File) CommittedValue() int64 {
 
 // ReadAt returns the file's value as of the read-only transaction's
 // timestamp, without acquiring any locks.
-func (f *File) ReadAt(r *ReadTx) (int64, error) {
+func (f *File) ReadAt(r ReadTxn) (int64, error) {
 	res, err := f.obj.ReadCall(r, adt.FileReadInv())
 	if err != nil {
 		return 0, err
@@ -179,21 +188,17 @@ type Counter struct{ obj *Object }
 
 // NewCounter creates a counter object starting at zero.
 func (s *System) NewCounter(name string, opts ...ObjectOption) (*Counter, error) {
-	obj, err := s.NewCustom(name, builtinSpec("Counter"), opts...)
-	if err != nil {
-		return nil, err
-	}
-	return &Counter{obj: obj}, nil
+	return newBuiltin(s, name, "Counter", wrapCounter, opts)
 }
 
 // Inc adds n (≥ 0) to the counter.
-func (c *Counter) Inc(tx *Tx, n int64) error {
+func (c *Counter) Inc(tx Txn, n int64) error {
 	_, err := c.obj.Call(tx, adt.IncInv(n))
 	return err
 }
 
 // Read returns the current count.
-func (c *Counter) Read(tx *Tx) (int64, error) {
+func (c *Counter) Read(tx Txn) (int64, error) {
 	res, err := c.obj.Call(tx, adt.CtrReadInv())
 	if err != nil {
 		return 0, err
@@ -207,7 +212,7 @@ func (c *Counter) CommittedValue() int64 {
 }
 
 // ReadAt returns the count as of the read-only transaction's timestamp.
-func (c *Counter) ReadAt(r *ReadTx) (int64, error) {
+func (c *Counter) ReadAt(r ReadTxn) (int64, error) {
 	res, err := c.obj.ReadCall(r, adt.CtrReadInv())
 	if err != nil {
 		return 0, err
@@ -222,15 +227,11 @@ type Set struct{ obj *Object }
 
 // NewSet creates an empty set object.
 func (s *System) NewSet(name string, opts ...ObjectOption) (*Set, error) {
-	obj, err := s.NewCustom(name, builtinSpec("Set"), opts...)
-	if err != nil {
-		return nil, err
-	}
-	return &Set{obj: obj}, nil
+	return newBuiltin(s, name, "Set", wrapSet, opts)
 }
 
 // Insert adds v; it reports whether v was newly added.
-func (st *Set) Insert(tx *Tx, v int64) (bool, error) {
+func (st *Set) Insert(tx Txn, v int64) (bool, error) {
 	res, err := st.obj.Call(tx, adt.SetInsertInv(v))
 	if err != nil {
 		return false, err
@@ -239,7 +240,7 @@ func (st *Set) Insert(tx *Tx, v int64) (bool, error) {
 }
 
 // Remove deletes v; it reports whether v was present.
-func (st *Set) Remove(tx *Tx, v int64) (bool, error) {
+func (st *Set) Remove(tx Txn, v int64) (bool, error) {
 	res, err := st.obj.Call(tx, adt.SetRemoveInv(v))
 	if err != nil {
 		return false, err
@@ -248,7 +249,7 @@ func (st *Set) Remove(tx *Tx, v int64) (bool, error) {
 }
 
 // Member reports whether v is in the set.
-func (st *Set) Member(tx *Tx, v int64) (bool, error) {
+func (st *Set) Member(tx Txn, v int64) (bool, error) {
 	res, err := st.obj.Call(tx, adt.SetMemberInv(v))
 	if err != nil {
 		return false, err
@@ -262,7 +263,7 @@ func (st *Set) CommittedSize() int {
 }
 
 // MemberAt reports membership as of the read-only transaction's timestamp.
-func (st *Set) MemberAt(r *ReadTx, v int64) (bool, error) {
+func (st *Set) MemberAt(r ReadTxn, v int64) (bool, error) {
 	res, err := st.obj.ReadCall(r, adt.SetMemberInv(v))
 	if err != nil {
 		return false, err
@@ -275,16 +276,12 @@ type Directory struct{ obj *Object }
 
 // NewDirectory creates an empty directory object.
 func (s *System) NewDirectory(name string, opts ...ObjectOption) (*Directory, error) {
-	obj, err := s.NewCustom(name, builtinSpec("Directory"), opts...)
-	if err != nil {
-		return nil, err
-	}
-	return &Directory{obj: obj}, nil
+	return newBuiltin(s, name, "Directory", wrapDirectory, opts)
 }
 
 // Bind associates key with value when key is unbound; it reports whether
 // the binding was created (false: key already bound, unchanged).
-func (d *Directory) Bind(tx *Tx, key string, value int64) (bool, error) {
+func (d *Directory) Bind(tx Txn, key string, value int64) (bool, error) {
 	res, err := d.obj.Call(tx, adt.DirBindInv(key, value))
 	if err != nil {
 		return false, err
@@ -293,7 +290,7 @@ func (d *Directory) Bind(tx *Tx, key string, value int64) (bool, error) {
 }
 
 // Unbind removes key's binding; it reports whether a binding existed.
-func (d *Directory) Unbind(tx *Tx, key string) (bool, error) {
+func (d *Directory) Unbind(tx Txn, key string) (bool, error) {
 	res, err := d.obj.Call(tx, adt.DirUnbindInv(key))
 	if err != nil {
 		return false, err
@@ -302,7 +299,7 @@ func (d *Directory) Unbind(tx *Tx, key string) (bool, error) {
 }
 
 // Lookup returns the value bound to key, or ok=false when unbound.
-func (d *Directory) Lookup(tx *Tx, key string) (int64, bool, error) {
+func (d *Directory) Lookup(tx Txn, key string) (int64, bool, error) {
 	res, err := d.obj.Call(tx, adt.DirLookupInv(key))
 	if err != nil {
 		return 0, false, err
@@ -320,7 +317,7 @@ func (d *Directory) CommittedSize() int {
 
 // LookupAt returns the binding of key as of the read-only transaction's
 // timestamp.
-func (d *Directory) LookupAt(r *ReadTx, key string) (int64, bool, error) {
+func (d *Directory) LookupAt(r ReadTxn, key string) (int64, bool, error) {
 	res, err := d.obj.ReadCall(r, adt.DirLookupInv(key))
 	if err != nil {
 		return 0, false, err

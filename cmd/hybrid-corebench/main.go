@@ -1,11 +1,14 @@
 // Command hybrid-corebench runs the contended single-object throughput
-// probe and emits BENCH_core.json, the repository's hot-path performance
+// probes and emits BENCH_core.json, the repository's hot-path performance
 // record.  Run it with fixed flags so numbers stay comparable across PRs:
 //
 //	go run ./cmd/hybrid-corebench -label "my change" -o BENCH_core.json
 //
 // With -append it merges the new runs into an existing file, so the file
-// accumulates a trajectory (one entry per labelled configuration).
+// accumulates a trajectory (one entry per labelled configuration).  The
+// -maxprocs flag sweeps GOMAXPROCS (one entry per value), and -workloads
+// selects the probes: "credit" (write-only Account credits) and
+// "readmostly" (one writer vs snapshot readers on a Counter).
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -52,37 +56,65 @@ func main() {
 		opsPerTx   = flag.Int("ops", 16, "operations per transaction")
 		duration   = flag.Duration("duration", 2*time.Second, "measurement window per scheme")
 		schemes    = flag.String("schemes", "hybrid,commutativity,readwrite", "comma-separated schemes")
+		workloads  = flag.String("workloads", "credit", "comma-separated workloads (credit, readmostly)")
+		maxprocs   = flag.String("maxprocs", "", "comma-separated GOMAXPROCS sweep (default: current value)")
 	)
 	flag.Parse()
 
-	e := entry{
-		Label:  *label,
-		GoMaxP: runtime.GOMAXPROCS(0),
-		Config: config{
-			Goroutines: *goroutines,
-			OpsPerTx:   *opsPerTx,
-			DurationMS: duration.Milliseconds(),
-		},
-	}
-	for _, scheme := range strings.Split(*schemes, ",") {
-		res, err := bench.CoreThroughput(bench.CoreBenchConfig{
-			Goroutines: *goroutines,
-			OpsPerTx:   *opsPerTx,
-			Duration:   *duration,
-			Scheme:     scheme,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	procs := []int{runtime.GOMAXPROCS(0)}
+	if *maxprocs != "" {
+		procs = procs[:0]
+		for _, s := range strings.Split(*maxprocs, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || p < 1 {
+				fmt.Fprintf(os.Stderr, "bad -maxprocs value %q\n", s)
+				os.Exit(2)
+			}
+			procs = append(procs, p)
 		}
-		fmt.Fprintf(os.Stderr, "%-14s %12.0f ops/s  (calls=%d commits=%d timeouts=%d)\n",
-			scheme, res.OpsPerSec, res.Calls, res.Commits, res.Timeouts)
-		e.Results = append(e.Results, res)
 	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var entries []entry
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		e := entry{
+			Label:  *label,
+			GoMaxP: p,
+			Config: config{
+				Goroutines: *goroutines,
+				OpsPerTx:   *opsPerTx,
+				DurationMS: duration.Milliseconds(),
+			},
+		}
+		for _, workload := range strings.Split(*workloads, ",") {
+			for _, scheme := range strings.Split(*schemes, ",") {
+				res, err := bench.CoreThroughput(bench.CoreBenchConfig{
+					Goroutines: *goroutines,
+					OpsPerTx:   *opsPerTx,
+					Duration:   *duration,
+					Scheme:     scheme,
+					Workload:   workload,
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr,
+					"procs=%d %-11s %-14s %12.0f ops/s  (calls=%d commits=%d timeouts=%d wakeups=%d spurious=%d waiter-hwm=%d)\n",
+					p, workload, scheme, res.OpsPerSec, res.Calls, res.Commits, res.Timeouts,
+					res.Wakeups, res.SpuriousWakeups, res.WaiterHWM)
+				e.Results = append(e.Results, res)
+			}
+		}
+		entries = append(entries, e)
+	}
+	runtime.GOMAXPROCS(prev)
 
 	f := fileFormat{
 		Benchmark: "contended single-object throughput",
-		Workload:  "Account credits (non-conflicting under hybrid): begin; ops_per_tx credits; commit",
+		Workload:  "credit: Account credits (non-conflicting under hybrid): begin; ops_per_tx credits; commit. readmostly: 1 writer of Counter increments vs goroutines-1 snapshot readers",
 	}
 	if *appendFile && *out != "" {
 		if data, err := os.ReadFile(*out); err == nil {
@@ -90,9 +122,10 @@ func main() {
 				fmt.Fprintf(os.Stderr, "cannot merge into %s: %v\n", *out, err)
 				os.Exit(1)
 			}
+			f.Workload = "credit: Account credits (non-conflicting under hybrid): begin; ops_per_tx credits; commit. readmostly: 1 writer of Counter increments vs goroutines-1 snapshot readers"
 		}
 	}
-	f.Entries = append(f.Entries, e)
+	f.Entries = append(f.Entries, entries...)
 
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {

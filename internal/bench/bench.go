@@ -243,8 +243,11 @@ func EnqueueScaling() Experiment {
 					func(obj *core.Object) workload.Body { return workload.EnqueueOnly(obj, 2) })
 				row.Label = fmt.Sprintf("enqueuers=%d", w)
 				t.Rows = append(t.Rows, row)
-				waits = append(waits, fmt.Sprintf("%s waits: hybrid=%d commutativity=%d readwrite=%d",
-					row.Label, results["hybrid"].Waits, results["commutativity"].Waits, results["readwrite"].Waits))
+				waits = append(waits, fmt.Sprintf("%s waits: hybrid=%d commutativity=%d readwrite=%d; wakeups (spurious): hybrid=%d (%d) commutativity=%d (%d) readwrite=%d (%d)",
+					row.Label, results["hybrid"].Waits, results["commutativity"].Waits, results["readwrite"].Waits,
+					results["hybrid"].Wakeups, results["hybrid"].Spurious,
+					results["commutativity"].Wakeups, results["commutativity"].Spurious,
+					results["readwrite"].Wakeups, results["readwrite"].Spurious))
 			}
 			t.Notes = waits
 			return withMeta(t, "B1")

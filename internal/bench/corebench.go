@@ -12,14 +12,16 @@ import (
 	"hybridcc/internal/spec"
 )
 
-// This file holds the hot-path throughput probe behind BENCH_core.json: a
-// contended single-object workload that stresses exactly the per-call costs
+// This file holds the hot-path throughput probes behind BENCH_core.json:
+// contended single-object workloads that stress exactly the per-call costs
 // the LOCK algorithm is supposed to keep cheap — view reconstruction and
-// conflict checking under the object mutex.  The table experiments in
-// bench.go compare schemes; this probe tracks the runtime's own hot path
-// across PRs, so its configuration is fixed and fully reproducible.
+// conflict checking under the object mutex for the credit workload, and
+// the lock-free snapshot path for the read-mostly workload.  The table
+// experiments in bench.go compare schemes; these probes track the
+// runtime's own hot path across PRs, so their configurations are fixed and
+// fully reproducible.
 
-// CoreBenchConfig configures the contended single-object throughput probe.
+// CoreBenchConfig configures a contended single-object throughput probe.
 type CoreBenchConfig struct {
 	// Goroutines is the number of concurrent workers.
 	Goroutines int
@@ -33,25 +35,46 @@ type CoreBenchConfig struct {
 	// Scheme selects the conflict relation ("hybrid", "commutativity",
 	// "readwrite").
 	Scheme string
+	// Workload selects the probe: "credit" (default) is the write-only
+	// Account credit workload; "readmostly" pits one committing writer
+	// against Goroutines-1 snapshot readers on a Counter, the workload
+	// the lock-free read path serves.
+	Workload string
 }
 
 // CoreBenchResult reports one probe run.
 type CoreBenchResult struct {
-	Scheme    string  `json:"scheme"`
-	Calls     int64   `json:"calls"`
-	Commits   int64   `json:"commits"`
-	Timeouts  int64   `json:"timeouts"`
-	OpsPerSec float64 `json:"ops_per_sec"`
+	Scheme          string  `json:"scheme"`
+	Workload        string  `json:"workload,omitempty"`
+	Calls           int64   `json:"calls"`
+	Commits         int64   `json:"commits"`
+	Timeouts        int64   `json:"timeouts"`
+	OpsPerSec       float64 `json:"ops_per_sec"`
+	Wakeups         int64   `json:"wakeups,omitempty"`
+	SpuriousWakeups int64   `json:"spurious_wakeups,omitempty"`
+	WaiterHWM       int64   `json:"waiter_hwm,omitempty"`
 }
 
-// CoreThroughput runs the probe: Goroutines workers share one Account
-// object and loop { begin; OpsPerTx credits; commit } for Duration.
-// Credits never conflict under the hybrid scheme, so every call takes the
-// grant path — the cost measured is view reconstruction plus the conflict
-// scan against every other active transaction's held operations.  Under
-// commutativity credits still commute; under read/write everything
-// conflicts, so that scheme measures the blocked path instead.
+// CoreThroughput runs the selected probe.
 func CoreThroughput(cfg CoreBenchConfig) (CoreBenchResult, error) {
+	switch cfg.Workload {
+	case "", "credit":
+		return creditThroughput(cfg)
+	case "readmostly":
+		return readMostlyThroughput(cfg)
+	default:
+		return CoreBenchResult{}, fmt.Errorf("bench: unknown workload %q", cfg.Workload)
+	}
+}
+
+// creditThroughput: Goroutines workers share one Account object and loop
+// { begin; OpsPerTx credits; commit } for Duration.  Credits never
+// conflict under the hybrid scheme, so every call takes the grant path —
+// the cost measured is view reconstruction plus the conflict scan against
+// every other active transaction's held operations.  Under commutativity
+// credits still commute; under read/write everything conflicts, so that
+// scheme measures the blocked path instead.
+func creditThroughput(cfg CoreBenchConfig) (CoreBenchResult, error) {
 	sp := baseline.SpecFor("Account")
 	conflict := baseline.ConflictFor(cfg.Scheme, "Account")
 	if sp == nil || conflict == nil {
@@ -104,11 +127,115 @@ func CoreThroughput(cfg CoreBenchConfig) (CoreBenchResult, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	return result(cfg, "credit", calls.Load(), commits.Load(), timeouts.Load(), elapsed, sys, obj), nil
+}
+
+// readMostlyThroughput: one writer loops { begin; OpsPerTx increments;
+// commit } on a Counter while Goroutines-1 readers loop start-timestamped
+// snapshot transactions of OpsPerTx reads each.  Readers take no locks and
+// — absent a commit window — no mutex, so this probe measures the
+// lock-free read path under a continuous stream of commits.  The universe
+// is seeded so blocked writers (under the read/write scheme) get precise
+// wakeup masks.
+func readMostlyThroughput(cfg CoreBenchConfig) (CoreBenchResult, error) {
+	sp := baseline.SpecFor("Counter")
+	conflict := baseline.ConflictFor(cfg.Scheme, "Counter")
+	if sp == nil || conflict == nil {
+		return CoreBenchResult{}, fmt.Errorf("bench: unknown scheme %q", cfg.Scheme)
+	}
+	sys := core.NewSystem(core.Options{LockWait: 5 * time.Millisecond})
+	obj := sys.NewObjectSeeded("hot", sp, conflict, baseline.UniverseFor("Counter"))
+
+	var calls, commits, timeouts atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	writers := 1
+	if cfg.Goroutines < 2 {
+		writers = cfg.Goroutines
+	}
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx := sys.Begin()
+				ok := true
+				for i := 0; i < cfg.OpsPerTx; i++ {
+					if _, err := obj.Call(tx, adt.IncInv(1)); err != nil {
+						timeouts.Add(1)
+						ok = false
+						break
+					}
+					calls.Add(1)
+				}
+				if !ok {
+					_ = tx.Abort()
+					continue
+				}
+				if err := tx.Commit(); err == nil {
+					commits.Add(1)
+				}
+			}
+		}()
+	}
+	for g := writers; g < cfg.Goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rt := sys.BeginReadOnly()
+				ok := true
+				for i := 0; i < cfg.OpsPerTx; i++ {
+					if _, err := obj.ReadCall(rt, adt.CtrReadInv()); err != nil {
+						timeouts.Add(1)
+						ok = false
+						break
+					}
+					calls.Add(1)
+				}
+				if !ok {
+					_ = rt.Abort()
+					continue
+				}
+				if err := rt.Commit(); err == nil {
+					commits.Add(1)
+				}
+			}
+		}()
+	}
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return result(cfg, "readmostly", calls.Load(), commits.Load(), timeouts.Load(), elapsed, sys, obj), nil
+}
+
+func result(cfg CoreBenchConfig, workload string, calls, commits, timeouts int64,
+	elapsed time.Duration, sys *core.System, obj *core.Object) CoreBenchResult {
+	st := sys.Stats()
+	os := obj.Stats()
 	return CoreBenchResult{
-		Scheme:    cfg.Scheme,
-		Calls:     calls.Load(),
-		Commits:   commits.Load(),
-		Timeouts:  timeouts.Load(),
-		OpsPerSec: float64(calls.Load()) / elapsed.Seconds(),
-	}, nil
+		Scheme:          cfg.Scheme,
+		Workload:        workload,
+		Calls:           calls,
+		Commits:         commits,
+		Timeouts:        timeouts,
+		OpsPerSec:       float64(calls) / elapsed.Seconds(),
+		Wakeups:         st.Wakeups,
+		SpuriousWakeups: st.SpuriousWakeups,
+		WaiterHWM:       os.WaiterHWM,
+	}
 }

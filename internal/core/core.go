@@ -42,8 +42,29 @@ import (
 // EventSink receives every event the runtime accepts, in a per-object
 // consistent order.  Sinks must be safe for concurrent use; the verify
 // package provides a Recorder for offline hybrid-atomicity checking.
+//
+// A plain EventSink is fed synchronously inside each object's critical
+// section (the only way to hand it an ordered stream).  Sinks that also
+// implement SeqSink get the fast path: the runtime assigns sequence
+// numbers under the object mutex but delivers the events after releasing
+// it, so recording never extends a critical section.
 type EventSink interface {
 	Record(e histories.Event)
+}
+
+// SeqSink is an EventSink that accepts explicitly sequenced events, which
+// lets the runtime move delivery off the critical sections of the hot
+// path.  The runtime draws one number from NextSeq per event at the moment
+// the event is accepted — while holding the owning object's mutex — and
+// calls RecordSeq later, from whatever goroutine, possibly out of order.
+// The sink must restore the sequence order when it materializes the
+// history; because the counter is a single atomic word shared by every
+// System feeding the sink, the restored order is per-object consistent and
+// per-transaction consistent, exactly like the synchronous path.
+type SeqSink interface {
+	EventSink
+	NextSeq() uint64
+	RecordSeq(seq uint64, e histories.Event)
 }
 
 // Options configures a System.
@@ -87,6 +108,16 @@ type System struct {
 	stats   Stats
 	readers readSet
 	wfg     waitsFor
+
+	// seqSink is opts.Sink when it supports sequenced off-critical-section
+	// delivery, nil otherwise.
+	seqSink SeqSink
+	// fastReads enables the lock-free ReadCall path: commit timestamps all
+	// come from this System's clock (no ExternalTimestamps), and event
+	// recording — if any — can be sequenced outside the object mutex.  A
+	// legacy sink without sequencing forces readers through the mutex so it
+	// keeps seeing a per-object ordered stream.
+	fastReads bool
 }
 
 // NewSystem returns a System with the given options.
@@ -97,7 +128,10 @@ func NewSystem(opts Options) *System {
 	if opts.Clock == nil {
 		opts.Clock = tstamp.NewSource()
 	}
-	return &System{opts: opts, clock: opts.Clock}
+	s := &System{opts: opts, clock: opts.Clock}
+	s.seqSink, _ = opts.Sink.(SeqSink)
+	s.fastReads = !opts.ExternalTimestamps && (opts.Sink == nil || s.seqSink != nil)
+	return s
 }
 
 // Begin starts a transaction.
@@ -143,10 +177,41 @@ func (s *System) BeginBranch(ctx context.Context, id histories.TxID) *Tx {
 // Stats returns a snapshot of system-wide counters.
 func (s *System) Stats() StatsSnapshot { return s.stats.snapshot() }
 
-// record forwards an event to the sink, if any.
-func (s *System) record(e histories.Event) {
+// pendingEvent is an accepted event awaiting delivery to the sequenced
+// sink: the sequence number was drawn inside the critical section, the
+// Record call happens after it.
+type pendingEvent struct {
+	seq uint64
+	e   histories.Event
+}
+
+// stage accepts an event for the sink, if any.  With a sequenced sink it
+// draws the acceptance sequence number now (callers hold the owning
+// object's mutex, which is what makes the number meaningful) and defers
+// delivery to a later flushEvents; with a legacy sink it records in place.
+func (s *System) stage(buf []pendingEvent, e histories.Event) []pendingEvent {
+	if s.seqSink != nil {
+		return append(buf, pendingEvent{seq: s.seqSink.NextSeq(), e: e})
+	}
 	if s.opts.Sink != nil {
 		s.opts.Sink.Record(e)
+	}
+	return buf
+}
+
+// flushEvents delivers staged events; callers must have released the
+// object mutex.  A non-empty buffer implies a sequenced sink.
+func (s *System) flushEvents(buf []pendingEvent) {
+	for _, pe := range buf {
+		s.seqSink.RecordSeq(pe.seq, pe.e)
+	}
+}
+
+// recordDirect records an event without holding any object mutex.  Only
+// valid on paths gated by fastReads (sequenced sink or no sink at all).
+func (s *System) recordDirect(e histories.Event) {
+	if s.seqSink != nil {
+		s.seqSink.RecordSeq(s.seqSink.NextSeq(), e)
 	}
 }
 
@@ -159,33 +224,42 @@ type Stats struct {
 	Waits     atomic.Int64
 	Timeouts  atomic.Int64
 	WaitNanos atomic.Int64
+	// Wakeups counts waiter signals delivered by completion events;
+	// SpuriousWakeups counts the subset whose re-derivation did not grant.
+	// Their ratio is the precision of the targeted-wakeup masks.
+	Wakeups         atomic.Int64
+	SpuriousWakeups atomic.Int64
 }
 
 // StatsSnapshot is an immutable copy of Stats.
 type StatsSnapshot struct {
-	Begun     int64
-	Committed int64
-	Aborted   int64
-	Calls     int64
-	Waits     int64
-	Timeouts  int64
-	WaitTime  time.Duration
+	Begun           int64
+	Committed       int64
+	Aborted         int64
+	Calls           int64
+	Waits           int64
+	Timeouts        int64
+	WaitTime        time.Duration
+	Wakeups         int64
+	SpuriousWakeups int64
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Begun:     s.Begun.Load(),
-		Committed: s.Committed.Load(),
-		Aborted:   s.Aborted.Load(),
-		Calls:     s.Calls.Load(),
-		Waits:     s.Waits.Load(),
-		Timeouts:  s.Timeouts.Load(),
-		WaitTime:  time.Duration(s.WaitNanos.Load()),
+		Begun:           s.Begun.Load(),
+		Committed:       s.Committed.Load(),
+		Aborted:         s.Aborted.Load(),
+		Calls:           s.Calls.Load(),
+		Waits:           s.Waits.Load(),
+		Timeouts:        s.Timeouts.Load(),
+		WaitTime:        time.Duration(s.WaitNanos.Load()),
+		Wakeups:         s.Wakeups.Load(),
+		SpuriousWakeups: s.SpuriousWakeups.Load(),
 	}
 }
 
 // String summarizes the snapshot.
 func (s StatsSnapshot) String() string {
-	return fmt.Sprintf("begun=%d committed=%d aborted=%d calls=%d waits=%d timeouts=%d waittime=%s",
-		s.Begun, s.Committed, s.Aborted, s.Calls, s.Waits, s.Timeouts, s.WaitTime)
+	return fmt.Sprintf("begun=%d committed=%d aborted=%d calls=%d waits=%d timeouts=%d waittime=%s wakeups=%d spurious=%d",
+		s.Begun, s.Committed, s.Aborted, s.Calls, s.Waits, s.Timeouts, s.WaitTime, s.Wakeups, s.SpuriousWakeups)
 }

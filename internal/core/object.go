@@ -1,10 +1,10 @@
 package core
 
 import (
-	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hybridcc/internal/depend"
@@ -30,6 +30,18 @@ import (
 //     counter bumped on commit, and each active transaction's view is
 //     extended in place on grant instead of replaying
 //     version + unforgotten + intentions from scratch on every attempt.
+//
+// Two more structures let the object scale across cores:
+//
+//   - an immutable snapshot of the committed tail is published behind an
+//     atomic pointer on every commit and fold, so read-only transactions
+//     (ReadCall) never take the mutex on the non-ExternalTimestamps path —
+//     see tailSnapshot for the publication invariants;
+//
+//   - blocked calls wait on a FIFO queue of per-waiter channels instead of
+//     a broadcast condition variable, each carrying the conflict-class
+//     mask of its blocked invocation, so a completion event signals only
+//     the waiters it could actually unblock — see waiter.
 type Object struct {
 	sys      *System
 	name     histories.ObjID
@@ -40,8 +52,14 @@ type Object struct {
 	// concurrent use).
 	table *depend.CompiledTable
 
-	mu   sync.Mutex
-	cond *sync.Cond
+	mu sync.Mutex
+
+	// waitHead/waitTail is the FIFO queue of blocked calls (guarded by
+	// mu).  Completion events signal matching waiters in queue order; a
+	// woken waiter is dequeued and re-enqueues at the tail if it blocks
+	// again.
+	waitHead, waitTail *waiter
+	waiterCount        int
 
 	// version is the compacted committed prefix: the state reached by the
 	// intentions of forgotten committed transactions (Section 6).
@@ -71,7 +89,120 @@ type Object struct {
 	tailState spec.State
 	tailGen   uint64
 
+	// tailSnap is the published committed-tail snapshot: an immutable
+	// picture of (version, unforgotten, tail state, clock) rebuilt under
+	// mu whenever the committed tail changes (commit) or its
+	// representation shifts (fold), and read lock-free by ReadCall.
+	tailSnap atomic.Pointer[tailSnapshot]
+	// windowWriters counts transactions inside their commit window at this
+	// object: incremented before the committing transaction draws its
+	// timestamp, decremented after its intentions merge here and the new
+	// snapshot is published.  A reader whose timestamp predates its own
+	// registration observes 0 only when every commit that could serialize
+	// below it is already in the published snapshot — the lock-free
+	// counterpart of blockingWriterLocked's commit-window wait.
+	windowWriters atomic.Int64
+
 	stats ObjectStats
+}
+
+// waiter is one blocked call on the object's wait queue.  The wake rule on
+// a completion event of transaction lk is:
+//
+//	allEvents ∨ (commit ∧ anyCommit) ∨ lk.extra ≠ ∅ ∨
+//	lk.mask ∩ mask ≠ ∅ ∨ lk.mask has a class interned after classes
+//
+// mask is the blocked invocation's conflict-row union (BlockMask): any
+// completion releasing a class that conflicts with some response of the
+// invocation re-checks the waiter.  The last clause covers classes the
+// table interned after the mask was captured (their bits may be missing
+// from it), and lk.extra covers operations the table could never intern.
+// anyCommit marks waiters whose response set can change with the state in
+// ways the mask cannot bound: calls blocked on data (no legal response
+// yet) and invocations outside the declared seed universe (a commit may
+// enable a never-yet-interned response).  allEvents marks waiters that
+// wait on transaction completion as such, whatever its classes: readers
+// waiting out commit windows, and calls whose candidate responses the
+// table could not intern.
+type waiter struct {
+	ch        chan struct{}
+	mask      depend.Mask
+	classes   int // table length when mask was captured
+	anyCommit bool
+	allEvents bool
+
+	next, prev *waiter
+	queued     bool
+}
+
+// enqueueWaiterLocked appends w to the wait queue.
+func (o *Object) enqueueWaiterLocked(w *waiter) {
+	w.queued = true
+	w.next, w.prev = nil, o.waitTail
+	if o.waitTail != nil {
+		o.waitTail.next = w
+	} else {
+		o.waitHead = w
+	}
+	o.waitTail = w
+	o.waiterCount++
+	if int64(o.waiterCount) > o.stats.waiterHWM.Load() {
+		o.stats.waiterHWM.Store(int64(o.waiterCount))
+	}
+}
+
+// dequeueWaiterLocked unlinks w if it is still queued (a signalling
+// completion event dequeues waiters itself).
+func (o *Object) dequeueWaiterLocked(w *waiter) {
+	if !w.queued {
+		return
+	}
+	w.queued = false
+	if w.prev != nil {
+		w.prev.next = w.next
+	} else {
+		o.waitHead = w.next
+	}
+	if w.next != nil {
+		w.next.prev = w.prev
+	} else {
+		o.waitTail = w.prev
+	}
+	w.next, w.prev = nil, nil
+	o.waiterCount--
+}
+
+// wakeWaitersLocked signals — in FIFO order — every waiter the completion
+// event of lk could unblock, dequeueing each signalled waiter.  lk is the
+// completing transaction's lock record (nil wakes everyone), isCommit
+// distinguishes commits (which change the committed tail and so can enable
+// state-blocked waiters) from aborts (which only release locks).  With no
+// waiters the walk is free: the common uncontended completion signals
+// nobody, where a condition-variable broadcast woke every blocked reader
+// and writer on the object.
+func (o *Object) wakeWaitersLocked(lk *txLock, isCommit bool) {
+	if o.waitHead == nil {
+		return
+	}
+	var wakeups int64
+	for w := o.waitHead; w != nil; {
+		next := w.next
+		wake := w.allEvents || (isCommit && w.anyCommit) || lk == nil ||
+			len(lk.extra) > 0 || lk.mask.Intersects(w.mask) || lk.mask.HasAbove(w.classes)
+		if wake {
+			o.dequeueWaiterLocked(w)
+			select {
+			case w.ch <- struct{}{}:
+			default:
+			}
+			wakeups++
+		}
+		w = next
+	}
+	if wakeups > 0 {
+		o.stats.wakeups.Add(wakeups)
+		o.sys.stats.Wakeups.Add(wakeups)
+	}
 }
 
 // txLock is one active transaction's lock record at an object.
@@ -100,6 +231,70 @@ type committedEntry struct {
 	ops []spec.Op
 }
 
+// tailSnapshot is the immutable committed-tail picture behind the
+// lock-free reader path.  Publication invariants:
+//
+//   - every field is immutable after publication: version/tail are spec
+//     states (never mutated by contract), committedEntry values are never
+//     rewritten once inserted, and unforgotten shares the live backing
+//     array under a copy-on-write discipline — in-order commits append
+//     past every published length, and the rare mid-slice insert
+//     (external timestamps arriving out of order) and the fold both
+//     replace the array instead of shifting shared elements;
+//   - a new snapshot is stored (under o.mu) before the committing
+//     transaction's windowWriters count is released, so a reader that
+//     observes windowWriters == 0 also observes every commit that could
+//     serialize below its timestamp;
+//   - folds republish: the fold moves entries from unforgotten into
+//     version without changing the tail state, and active readers pin the
+//     compaction horizon at their timestamps, so both the old and the new
+//     snapshot reconstruct any active reader's state.
+type tailSnapshot struct {
+	version     spec.State
+	unforgotten []committedEntry
+	tail        spec.State
+	clock       histories.Timestamp
+}
+
+// stateAt reconstructs the committed state as of ts from the snapshot:
+// the folded version plus unforgotten intentions with earlier timestamps.
+// Both read paths share it: ReadCall's lock-free path applies it to the
+// published snapshot, snapshotLocked to a transient one.
+func (s *tailSnapshot) stateAt(sp spec.Spec, ts histories.Timestamp) spec.State {
+	if ts >= s.clock {
+		return s.tail // at or past the newest commit this object has seen
+	}
+	if n := len(s.unforgotten); n == 0 || s.unforgotten[n-1].ts <= ts {
+		return s.tail
+	}
+	state := s.version
+	ok := true
+	for _, e := range s.unforgotten {
+		if e.ts > ts {
+			break
+		}
+		state, ok = spec.StepFrom(sp, state, e.ops...)
+		if !ok {
+			panic("hybridcc: illegal snapshot replay")
+		}
+	}
+	return state
+}
+
+// publishTailLocked publishes the committed-tail snapshot.  Call after
+// every change to version/unforgotten (commit, fold).  The unforgotten
+// slice is shared, not copied — the copy-on-write discipline documented
+// on tailSnapshot keeps every element below the published length
+// immutable — so publication is O(1), not O(tail length).
+func (o *Object) publishTailLocked() {
+	o.tailSnap.Store(&tailSnapshot{
+		version:     o.version,
+		unforgotten: o.unforgotten,
+		tail:        o.committedTailLocked(),
+		clock:       o.clock,
+	})
+}
+
 // NewObject registers a fresh object named name with serial specification
 // sp and the given symmetric conflict relation.  Correctness requires the
 // conflict relation to be (the symmetric closure of) a dependency relation
@@ -111,9 +306,11 @@ func (s *System) NewObject(name string, sp spec.Spec, conflict depend.Conflict) 
 
 // NewObjectSeeded is NewObject with a declared finite operation universe:
 // the universe's operations are interned into the compiled conflict table
-// eagerly, so they never pay the first-sight interning scan.  Operations
-// outside the universe still intern lazily as they appear; a nil universe
-// (an open universe) just means every class interns on first sight.
+// eagerly, so they never pay the first-sight interning scan — and blocked
+// calls of universe-covered invocations get precise wakeup masks instead
+// of conservative wake-on-every-commit.  Operations outside the universe
+// still intern lazily as they appear; a nil universe (an open universe)
+// just means every class interns on first sight.
 func (s *System) NewObjectSeeded(name string, sp spec.Spec, conflict depend.Conflict, universe []spec.Op) *Object {
 	o := &Object{
 		sys:       s,
@@ -126,7 +323,7 @@ func (s *System) NewObjectSeeded(name string, sp spec.Spec, conflict depend.Conf
 		clock:     0,
 		tailState: sp.Init(),
 	}
-	o.cond = sync.NewCond(&o.mu)
+	o.publishTailLocked()
 	return o
 }
 
@@ -167,84 +364,130 @@ func (o *Object) Call(tx *Tx, inv spec.Invocation) (string, error) {
 		return "", fmt.Errorf("hybridcc: %s on %s: %w", inv, o.name, err)
 	}
 
-	o.mu.Lock()
-	defer o.mu.Unlock()
 	detect := o.sys.opts.DeadlockDetection
 	if detect {
 		defer o.sys.wfg.clear(tx)
 	}
-	var stopCancelWatch func() bool
-	// One timer serves the whole call: it is armed lazily on the first
-	// blocked iteration and fires once at the deadline, instead of a fresh
-	// AfterFunc per wakeup (which made every completion event under
-	// contention spawn a timer).
-	var wakeTimer *time.Timer
+	// The deadline and its timer are lazy: the grant fast path pays for
+	// neither a clock read nor a timer allocation.  One timer serves the
+	// whole call — armed at the first blocked iteration, it fires once at
+	// the absolute deadline.
+	var deadline time.Time
+	var timer *time.Timer
 	defer func() {
-		if wakeTimer != nil {
-			wakeTimer.Stop()
+		if timer != nil {
+			timer.Stop()
 		}
 	}()
-	deadline := time.Now().Add(o.sys.opts.LockWait)
+	var w waiter
+	var ev []pendingEvent
 	attempted := false
+	signalled := false
 	var seen uint64
+
+	o.mu.Lock()
 	for {
 		// Re-derive responses only when a completion event has landed
 		// since the last attempt: grantability depends solely on the
 		// committed tail, own intentions, and other transactions' held
 		// operations, all of which change only through grant, commit, and
-		// abort.  Spurious wakeups (reader broadcasts, the deadline timer,
-		// cancellation) fall through to the checks below.
+		// abort.
 		if !attempted || o.events != seen {
 			attempted = true
 			seen = o.events
 			state := o.viewStateLocked(tx)
-			for _, r := range o.sp.Responses(state, inv) {
+			responses := o.sp.Responses(state, inv)
+			uninterned := false
+			for _, r := range responses {
 				op := inv.With(r)
-				if o.conflictsWithActiveLocked(tx, op) {
+				row := o.rowOfLocked(op)
+				if row == nil {
+					uninterned = true
+				}
+				if o.conflictsWithActiveRowLocked(tx, row, op) {
 					continue
 				}
-				o.grantLocked(tx, op, state)
+				o.grantLocked(tx, op, state, &ev)
+				o.mu.Unlock()
+				o.sys.flushEvents(ev)
 				return r, nil
 			}
+			if signalled {
+				signalled = false
+				o.stats.spurious.Add(1)
+				o.sys.stats.SpuriousWakeups.Add(1)
+			}
 			// Blocked: either a lock conflict or a partial operation with
-			// no enabled response.  Wait for a completion event and retry —
-			// the appendix's "when" statement.
+			// no enabled response.  Capture the wakeup mask and wait for a
+			// completion event that could matter — the appendix's "when"
+			// statement, with the herd filtered out.
+			w.mask, w.classes, w.anyCommit, w.allEvents = o.wakeMaskLocked(inv, len(responses) == 0, uninterned)
 			if detect {
 				if holders := o.blockersLocked(tx, inv, state); len(holders) > 0 {
 					if o.sys.wfg.set(tx, holders) {
-						o.stats.deadlocks++
+						o.stats.deadlocks.Add(1)
+						o.mu.Unlock()
 						return "", fmt.Errorf("%w: %s on %s", ErrDeadlock, inv, o.name)
 					}
 				}
 			}
 		}
-		// A cancellable context must be able to interrupt the wait; the
-		// watch broadcasts the monitor so the sleeper below wakes and
-		// observes ctx.Err().  Installed lazily: the grant fast path never
-		// pays for it, and contexts that cannot be cancelled skip it
-		// entirely.
-		if stopCancelWatch == nil && ctx.Done() != nil {
-			stopCancelWatch = context.AfterFunc(ctx, func() {
-				o.mu.Lock()
-				o.cond.Broadcast()
-				o.mu.Unlock()
-			})
-			defer stopCancelWatch()
-		}
-		o.sys.stats.Waits.Add(1)
-		o.stats.waits++
-		start := time.Now()
-		expired := o.waitLocked(deadline, &wakeTimer)
-		o.sys.stats.WaitNanos.Add(int64(time.Since(start)))
-		if err := ctx.Err(); err != nil {
-			return "", fmt.Errorf("hybridcc: %s on %s: %w", inv, o.name, err)
-		}
-		if expired {
+		if deadline.IsZero() {
+			deadline = time.Now().Add(o.sys.opts.LockWait)
+		} else if !time.Now().Before(deadline) {
 			o.sys.stats.Timeouts.Add(1)
-			o.stats.timeouts++
+			o.stats.timeouts.Add(1)
+			o.mu.Unlock()
 			return "", fmt.Errorf("%w: %s on %s", ErrTimeout, inv, o.name)
 		}
+		if w.ch == nil {
+			w.ch = make(chan struct{}, 1)
+		}
+		if timer == nil {
+			timer = time.NewTimer(time.Until(deadline))
+		}
+		o.enqueueWaiterLocked(&w)
+		o.sys.stats.Waits.Add(1)
+		o.stats.waits.Add(1)
+		start := time.Now()
+		o.mu.Unlock()
+		cancelled := false
+		select {
+		case <-w.ch:
+			signalled = true
+		case <-timer.C:
+		case <-ctx.Done():
+			cancelled = true
+		}
+		o.sys.stats.WaitNanos.Add(int64(time.Since(start)))
+		o.mu.Lock()
+		o.dequeueWaiterLocked(&w)
+		// A completion event may have signalled concurrently with the
+		// timer or cancellation; drain so a later enqueue starts clean,
+		// and count the signal so the re-derivation check sees it.
+		select {
+		case <-w.ch:
+			signalled = true
+		default:
+		}
+		if cancelled {
+			o.mu.Unlock()
+			return "", fmt.Errorf("hybridcc: %s on %s: %w", inv, o.name, ctx.Err())
+		}
 	}
+}
+
+// wakeMaskLocked captures the wakeup condition of a call of inv that just
+// blocked.  dataBlocked marks calls with no legal response (only a commit
+// can enable one); uninterned marks calls with candidate responses the
+// table could not intern (their conflicts are invisible to masks).
+func (o *Object) wakeMaskLocked(inv spec.Invocation, dataBlocked, uninterned bool) (depend.Mask, int, bool, bool) {
+	mask, seeded := o.table.BlockMask(inv)
+	// Outside the declared universe the mask cannot bound the responses a
+	// state change may enable, so state-changing events (commits) wake
+	// conservatively; lock releases stay targeted through the mask.
+	anyCommit := dataBlocked || !seeded
+	return mask, o.table.Len(), anyCommit, uninterned
 }
 
 // lockOf returns tx's lock record, creating it on first use.
@@ -259,10 +502,10 @@ func (o *Object) lockOf(tx *Tx) *txLock {
 
 // grantLocked appends op to tx's intentions (acquiring its lock), records
 // the transaction's timestamp lower bound, marks op's conflict class in the
-// transaction's held mask, extends the cached view state, and emits the
+// transaction's held mask, extends the cached view state, and stages the
 // event pair.  view must be tx's current view state (op's response was
 // derived from it).
-func (o *Object) grantLocked(tx *Tx, op spec.Op, view spec.State) {
+func (o *Object) grantLocked(tx *Tx, op spec.Op, view spec.State, ev *[]pendingEvent) {
 	lk := o.lockOf(tx)
 	lk.ops = append(lk.ops, op)
 	lk.bound = o.clock
@@ -277,26 +520,31 @@ func (o *Object) grantLocked(tx *Tx, op spec.Op, view spec.State) {
 	}
 	lk.view, lk.viewGen, lk.viewOps, lk.viewValid = next, o.commitGen, len(lk.ops), true
 	o.events++
-	o.stats.granted++
+	o.stats.granted.Add(1)
 	tx.touch(o)
-	o.sys.record(histories.InvokeEvent(tx.id, o.name, op.Inv()))
-	o.sys.record(histories.RespondEvent(tx.id, o.name, op.Res))
+	*ev = o.sys.stage(*ev, histories.InvokeEvent(tx.id, o.name, op.Inv()))
+	*ev = o.sys.stage(*ev, histories.RespondEvent(tx.id, o.name, op.Res))
 }
 
 // conflictsWithActiveLocked reports whether op conflicts with any operation
-// in another active transaction's intentions list.  When op has a compiled
-// class, the check is one row-AND against each other transaction's held
-// mask (plus a predicate scan over its rare uninterned extras); only
-// operations the table could not intern fall back to the full
-// dynamic-dispatch scan.
+// in another active transaction's intentions list.
 func (o *Object) conflictsWithActiveLocked(tx *Tx, op spec.Op) bool {
-	row := o.rowOfLocked(op)
+	return o.conflictsWithActiveRowLocked(tx, o.rowOfLocked(op), op)
+}
+
+// conflictsWithActiveRowLocked is conflictsWithActiveLocked with op's
+// compiled row already interned (nil when the table cannot intern it).
+// When op has a compiled class, the check is one row-AND against each
+// other transaction's held mask (plus a predicate scan over its rare
+// uninterned extras); only operations the table could not intern fall
+// back to the full dynamic-dispatch scan.
+func (o *Object) conflictsWithActiveRowLocked(tx *Tx, row []uint64, op spec.Op) bool {
 	for other, lk := range o.active {
 		if other == tx {
 			continue
 		}
 		if o.holderConflictsLocked(lk, row, op) {
-			o.stats.conflicts++
+			o.stats.conflicts.Add(1)
 			return true
 		}
 	}
@@ -378,41 +626,32 @@ func (o *Object) viewStateLocked(tx *Tx) spec.State {
 	return state
 }
 
-// waitLocked blocks on the object's monitor until a completion event or
-// the deadline.  It returns true when the deadline has passed.  The
-// deadline timer is shared across all of one call's wait iterations: armed
-// once, it fires a single broadcast at the deadline; each waiter rechecks
-// its own condition, which is the standard condition-variable discipline.
-func (o *Object) waitLocked(deadline time.Time, timer **time.Timer) bool {
-	if !time.Now().Before(deadline) {
-		return true
-	}
-	if *timer == nil {
-		*timer = time.AfterFunc(time.Until(deadline), func() {
-			o.mu.Lock()
-			o.cond.Broadcast()
-			o.mu.Unlock()
-		})
-	}
-	o.cond.Wait()
-	return !time.Now().Before(deadline)
-}
-
 // commit merges tx's intentions into the committed state at timestamp ts
 // (Prepare/Commit split between tx.Commit and the commit protocol).
 func (o *Object) commit(tx *Tx, ts histories.Timestamp) {
 	o.mu.Lock()
-	defer o.mu.Unlock()
+	lk := o.active[tx]
 	var ops []spec.Op
-	if lk := o.active[tx]; lk != nil {
+	if lk != nil {
 		ops = lk.ops
 	}
 	delete(o.active, tx)
 	entry := committedEntry{ts: ts, tx: tx.id, ops: ops}
-	i := sort.Search(len(o.unforgotten), func(i int) bool { return o.unforgotten[i].ts > ts })
-	o.unforgotten = append(o.unforgotten, committedEntry{})
-	copy(o.unforgotten[i+1:], o.unforgotten[i:])
-	o.unforgotten[i] = entry
+	n := len(o.unforgotten)
+	i := sort.Search(n, func(i int) bool { return o.unforgotten[i].ts > ts })
+	if i == n {
+		// In order: append past every published snapshot's length (their
+		// elements stay untouched even when the backing array is shared).
+		o.unforgotten = append(o.unforgotten, entry)
+	} else {
+		// Out of order (external timestamps): copy-on-write, because a
+		// shift would rewrite elements published snapshots still expose.
+		u := make([]committedEntry, n+1)
+		copy(u, o.unforgotten[:i])
+		u[i] = entry
+		copy(u[i+1:], o.unforgotten[i:])
+		o.unforgotten = u
+	}
 	// A commit that appends in timestamp order — the only case with the
 	// system clock; external timestamps can insert mid-tail — extends the
 	// tail cache incrementally instead of invalidating it.
@@ -432,24 +671,34 @@ func (o *Object) commit(tx *Tx, ts histories.Timestamp) {
 	if !o.sys.opts.DisableCompaction {
 		o.forgetLocked()
 	}
-	o.stats.commits++
-	o.sys.record(histories.CommitEvent(tx.id, o.name, ts))
-	o.cond.Broadcast()
+	// The new tail is published before the caller releases its
+	// windowWriters count: a lock-free reader that sees the count at zero
+	// must also see this commit in the snapshot.
+	o.publishTailLocked()
+	o.stats.commits.Add(1)
+	ev := o.sys.stage(nil, histories.CommitEvent(tx.id, o.name, ts))
+	o.wakeWaitersLocked(lk, true)
+	o.mu.Unlock()
+	o.sys.flushEvents(ev)
 }
 
 // abort discards tx's intentions, releasing its locks.  The committed tail
 // is untouched, so other transactions' cached views stay valid.
 func (o *Object) abort(tx *Tx) {
 	o.mu.Lock()
-	defer o.mu.Unlock()
+	lk := o.active[tx]
 	delete(o.active, tx)
 	o.events++
 	if !o.sys.opts.DisableCompaction {
-		o.forgetLocked() // an abort can advance the horizon
+		if o.forgetLocked() > 0 { // an abort can advance the horizon
+			o.publishTailLocked()
+		}
 	}
-	o.stats.aborts++
-	o.sys.record(histories.AbortEvent(tx.id, o.name))
-	o.cond.Broadcast()
+	o.stats.aborts.Add(1)
+	ev := o.sys.stage(nil, histories.AbortEvent(tx.id, o.name))
+	o.wakeWaitersLocked(lk, false)
+	o.mu.Unlock()
+	o.sys.flushEvents(ev)
 }
 
 // boundOf returns tx's recorded timestamp lower bound at this object.
@@ -463,15 +712,16 @@ func (o *Object) boundOf(tx *Tx) histories.Timestamp {
 }
 
 // forgetLocked folds committed intentions older than the horizon into the
-// version — the appendix's forget().  The horizon is the minimum lower
-// bound among active transactions (+∞ when none): any transaction yet to
-// commit must choose a timestamp above its bound, so entries strictly
-// below every bound can never be preceded by a new commit.  Active
-// read-only transactions pin the horizon at their (start-chosen)
-// timestamps so their snapshots stay reconstructible.  Folding moves
-// entries across the version/unforgotten boundary without changing the
-// committed-tail state, so tail and view caches stay valid.
-func (o *Object) forgetLocked() {
+// version — the appendix's forget() — and reports how many entries it
+// folded.  The horizon is the minimum lower bound among active
+// transactions (+∞ when none): any transaction yet to commit must choose a
+// timestamp above its bound, so entries strictly below every bound can
+// never be preceded by a new commit.  Active read-only transactions pin
+// the horizon at their (start-chosen) timestamps so their snapshots stay
+// reconstructible.  Folding moves entries across the version/unforgotten
+// boundary without changing the committed-tail state, so tail and view
+// caches stay valid — but the caller must republish the tail snapshot.
+func (o *Object) forgetLocked() int {
 	horizon := histories.Timestamp(1<<62 - 1)
 	for _, lk := range o.active {
 		if lk.bound < horizon {
@@ -492,8 +742,9 @@ func (o *Object) forgetLocked() {
 	}
 	if n > 0 {
 		o.unforgotten = append([]committedEntry(nil), o.unforgotten[n:]...)
-		o.stats.folds += int64(n)
+		o.stats.folds.Add(int64(n))
 	}
+	return n
 }
 
 // CommittedState returns the state all committed transactions produce in
@@ -513,17 +764,23 @@ func (o *Object) UnforgottenLen() int {
 	return len(o.unforgotten)
 }
 
-// ObjectStats aggregates per-object counters (all guarded by the object
-// mutex).
+// ObjectStats aggregates per-object counters.  All fields are atomic: the
+// lock-free reader path bumps granted without the object mutex, and the
+// rest follow for uniformity.
 type ObjectStats struct {
-	granted   int64
-	conflicts int64
-	waits     int64
-	timeouts  int64
-	deadlocks int64
-	commits   int64
-	aborts    int64
-	folds     int64
+	granted   atomic.Int64
+	conflicts atomic.Int64
+	waits     atomic.Int64
+	timeouts  atomic.Int64
+	deadlocks atomic.Int64
+	commits   atomic.Int64
+	aborts    atomic.Int64
+	folds     atomic.Int64
+	wakeups   atomic.Int64
+	spurious  atomic.Int64
+	// waiterHWM is the wait queue's high-water mark (written under the
+	// object mutex, read anywhere).
+	waiterHWM atomic.Int64
 }
 
 // ObjectStatsSnapshot is an immutable copy of ObjectStats plus instant
@@ -539,19 +796,28 @@ type ObjectStatsSnapshot struct {
 	Folds       int64
 	Unforgotten int
 	Active      int
+	// Wakeups counts waiter signals delivered by this object's completion
+	// events; SpuriousWakeups the subset that re-derived without granting;
+	// WaiterHWM the most waiters ever queued at once.
+	Wakeups         int64
+	SpuriousWakeups int64
+	WaiterHWM       int64
 }
 
 func (s *ObjectStats) snapshot(unforgotten, active int) ObjectStatsSnapshot {
 	return ObjectStatsSnapshot{
-		Granted:     s.granted,
-		Conflicts:   s.conflicts,
-		Waits:       s.waits,
-		Timeouts:    s.timeouts,
-		Deadlocks:   s.deadlocks,
-		Commits:     s.commits,
-		Aborts:      s.aborts,
-		Folds:       s.folds,
-		Unforgotten: unforgotten,
-		Active:      active,
+		Granted:         s.granted.Load(),
+		Conflicts:       s.conflicts.Load(),
+		Waits:           s.waits.Load(),
+		Timeouts:        s.timeouts.Load(),
+		Deadlocks:       s.deadlocks.Load(),
+		Commits:         s.commits.Load(),
+		Aborts:          s.aborts.Load(),
+		Folds:           s.folds.Load(),
+		Unforgotten:     unforgotten,
+		Active:          active,
+		Wakeups:         s.wakeups.Load(),
+		SpuriousWakeups: s.spurious.Load(),
+		WaiterHWM:       s.waiterHWM.Load(),
 	}
 }

@@ -191,7 +191,9 @@ func (t *ReadTx) ID() histories.TxID { return t.id }
 func (t *ReadTx) Timestamp() histories.Timestamp { return t.ts }
 
 // Commit finishes the reader, emitting its commit events so recorded
-// histories place it at its timestamp.
+// histories place it at its timestamp.  No waiter needs signalling: reader
+// completion releases only the compaction pin, which no blocked call waits
+// on (folds never change grantability or the committed-tail state).
 func (t *ReadTx) Commit() error {
 	t.mu.Lock()
 	if t.done {
@@ -207,10 +209,7 @@ func (t *ReadTx) Commit() error {
 
 	t.sys.readers.remove(t)
 	for _, o := range objs {
-		o.mu.Lock()
-		t.sys.record(histories.CommitEvent(t.id, o.name, t.ts))
-		o.cond.Broadcast() // the horizon may have advanced
-		o.mu.Unlock()
+		o.recordCompletion(histories.CommitEvent(t.id, o.name, t.ts))
 	}
 	t.sys.stats.Committed.Add(1)
 	return nil
@@ -233,13 +232,27 @@ func (t *ReadTx) Abort() error {
 
 	t.sys.readers.remove(t)
 	for _, o := range objs {
-		o.mu.Lock()
-		t.sys.record(histories.AbortEvent(t.id, o.name))
-		o.cond.Broadcast()
-		o.mu.Unlock()
+		o.recordCompletion(histories.AbortEvent(t.id, o.name))
 	}
 	t.sys.stats.Aborted.Add(1)
 	return nil
+}
+
+// recordCompletion records a reader completion event.  A sequenced sink
+// takes its number directly (transactions are single-threaded, so the
+// event still sequences after all of the reader's operations); a legacy
+// sink keeps the object mutex around the Record call so its per-object
+// stream stays ordered.
+func (o *Object) recordCompletion(e histories.Event) {
+	s := o.sys
+	switch {
+	case s.seqSink != nil:
+		s.seqSink.RecordSeq(s.seqSink.NextSeq(), e)
+	case s.opts.Sink != nil:
+		o.mu.Lock()
+		s.opts.Sink.Record(e)
+		o.mu.Unlock()
+	}
 }
 
 // ReadCall executes a read-only operation against the object's state as of
@@ -247,6 +260,15 @@ func (t *ReadTx) Abort() error {
 // (ErrNotReadOnly otherwise).  The call waits — bounded by the lock wait —
 // while some update transaction could still commit below the reader's
 // timestamp.
+//
+// On the fast path — timestamps all minted by this System's clock and no
+// legacy (unsequenced) sink — the call never takes the object mutex: it
+// checks the commit-window counter and reads the published committed-tail
+// snapshot.  The counter check is sound because a writer that could still
+// commit below the reader's timestamp must have drawn that timestamp
+// before the reader's own (the clock is monotone), hence after
+// incrementing the counter; a writer observed at zero has therefore
+// already merged and published everything the reader may observe.
 func (o *Object) ReadCall(t *ReadTx, inv spec.Invocation) (string, error) {
 	t.mu.Lock()
 	if t.done {
@@ -261,64 +283,117 @@ func (o *Object) ReadCall(t *ReadTx, inv spec.Invocation) (string, error) {
 		return "", fmt.Errorf("hybridcc: read of %s at %s: %w", inv, o.name, err)
 	}
 
+	if o.sys.fastReads && o.windowWriters.Load() == 0 {
+		return o.readFromSnapshot(t, inv, o.tailSnap.Load().stateAt(o.sp, t.ts))
+	}
+
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	var stopCancelWatch func() bool
-	var wakeTimer *time.Timer
+	var deadline time.Time
+	var timer *time.Timer
 	defer func() {
-		if wakeTimer != nil {
-			wakeTimer.Stop()
+		if timer != nil {
+			timer.Stop()
 		}
 	}()
-	deadline := time.Now().Add(o.sys.opts.LockWait)
+	var w waiter
+	w.allEvents = true // readers wait on transaction completion as such
 	for {
-		if w := o.blockingWriterLocked(t.ts); w == "" {
+		if bw := o.blockingWriterLocked(t.ts); bw == "" {
 			break
 		}
-		if stopCancelWatch == nil && ctx.Done() != nil {
-			stopCancelWatch = context.AfterFunc(ctx, func() {
-				o.mu.Lock()
-				o.cond.Broadcast()
-				o.mu.Unlock()
-			})
-			defer stopCancelWatch()
-		}
-		o.sys.stats.Waits.Add(1)
-		o.stats.waits++
-		start := time.Now()
-		expired := o.waitLocked(deadline, &wakeTimer)
-		o.sys.stats.WaitNanos.Add(int64(time.Since(start)))
-		if err := ctx.Err(); err != nil {
-			return "", fmt.Errorf("hybridcc: read of %s at %s: %w", inv, o.name, err)
-		}
-		if expired {
+		if deadline.IsZero() {
+			deadline = time.Now().Add(o.sys.opts.LockWait)
+		} else if !time.Now().Before(deadline) {
 			o.sys.stats.Timeouts.Add(1)
-			o.stats.timeouts++
+			o.stats.timeouts.Add(1)
+			o.mu.Unlock()
 			return "", fmt.Errorf("%w: read of %s at %s", ErrTimeout, inv, o.name)
+		}
+		if w.ch == nil {
+			w.ch = make(chan struct{}, 1)
+		}
+		if timer == nil {
+			timer = time.NewTimer(time.Until(deadline))
+		}
+		o.enqueueWaiterLocked(&w)
+		o.sys.stats.Waits.Add(1)
+		o.stats.waits.Add(1)
+		start := time.Now()
+		o.mu.Unlock()
+		cancelled := false
+		select {
+		case <-w.ch:
+		case <-timer.C:
+		case <-ctx.Done():
+			cancelled = true
+		}
+		o.sys.stats.WaitNanos.Add(int64(time.Since(start)))
+		o.mu.Lock()
+		o.dequeueWaiterLocked(&w)
+		select {
+		case <-w.ch:
+		default:
+		}
+		if cancelled {
+			o.mu.Unlock()
+			return "", fmt.Errorf("hybridcc: read of %s at %s: %w", inv, o.name, ctx.Err())
 		}
 	}
 
 	state := o.snapshotLocked(t.ts)
-	responses := o.sp.Responses(state, inv)
-	if len(responses) == 0 {
-		return "", fmt.Errorf("%w: %s has no response in snapshot of %s", ErrTimeout, inv, o.name)
+	if o.sys.seqSink != nil || o.sys.opts.Sink == nil {
+		o.mu.Unlock()
+		return o.readFromSnapshot(t, inv, state)
 	}
-	res := responses[0]
-	op := inv.With(res)
-	next, ok := o.sp.Step(state, op)
-	if !ok {
-		panic(fmt.Sprintf("hybridcc: listed response %s illegal at %s", op, o.name))
+	// Legacy sink: derive and record inside the critical section so its
+	// per-object stream stays ordered.
+	res, err := deriveRead(o.sp, state, inv, o.name)
+	if err != nil {
+		o.mu.Unlock()
+		return "", err
 	}
-	if !o.sp.Equal(state, next) {
-		return "", fmt.Errorf("%w: %s", ErrNotReadOnly, op)
-	}
-
+	o.stats.granted.Add(1)
+	o.sys.opts.Sink.Record(histories.InvokeEvent(t.id, o.name, inv))
+	o.sys.opts.Sink.Record(histories.RespondEvent(t.id, o.name, res))
+	o.mu.Unlock()
 	t.mu.Lock()
 	t.touched[o] = true
 	t.mu.Unlock()
-	o.stats.granted++
-	o.sys.record(histories.InvokeEvent(t.id, o.name, inv))
-	o.sys.record(histories.RespondEvent(t.id, o.name, res))
+	return res, nil
+}
+
+// readFromSnapshot derives a read-only response from a reconstructed
+// snapshot state and records it without holding the object mutex.
+func (o *Object) readFromSnapshot(t *ReadTx, inv spec.Invocation, state spec.State) (string, error) {
+	res, err := deriveRead(o.sp, state, inv, o.name)
+	if err != nil {
+		return "", err
+	}
+	t.mu.Lock()
+	t.touched[o] = true
+	t.mu.Unlock()
+	o.stats.granted.Add(1)
+	o.sys.recordDirect(histories.InvokeEvent(t.id, o.name, inv))
+	o.sys.recordDirect(histories.RespondEvent(t.id, o.name, res))
+	return res, nil
+}
+
+// deriveRead picks the response of a read-only invocation in a snapshot
+// state and checks it leaves the state unchanged.
+func deriveRead(sp spec.Spec, state spec.State, inv spec.Invocation, name histories.ObjID) (string, error) {
+	responses := sp.Responses(state, inv)
+	if len(responses) == 0 {
+		return "", fmt.Errorf("%w: %s has no response in snapshot of %s", ErrTimeout, inv, name)
+	}
+	res := responses[0]
+	op := inv.With(res)
+	next, ok := sp.Step(state, op)
+	if !ok {
+		panic(fmt.Sprintf("hybridcc: listed response %s illegal at %s", op, name))
+	}
+	if !sp.Equal(state, next) {
+		return "", fmt.Errorf("%w: %s", ErrNotReadOnly, op)
+	}
 	return res, nil
 }
 
@@ -361,23 +436,15 @@ func (o *Object) blockingWriterLocked(ts histories.Timestamp) histories.TxID {
 // snapshotLocked reconstructs the committed state as of ts: the folded
 // version (always a prefix of every active reader's snapshot, because
 // readers pin the horizon) plus unforgotten intentions with earlier
-// timestamps.  unforgotten is sorted by timestamp, so the scan stops at the
-// first later entry; a reader at or past the newest commit reuses the
-// cached committed tail outright.
+// timestamps.  It shares the replay algorithm with the lock-free path by
+// delegating to tailSnapshot.stateAt over a transient snapshot of the
+// live fields — the two read paths cannot drift apart.
 func (o *Object) snapshotLocked(ts histories.Timestamp) spec.State {
-	if n := len(o.unforgotten); n == 0 || o.unforgotten[n-1].ts <= ts {
-		return o.committedTailLocked()
+	snap := tailSnapshot{
+		version:     o.version,
+		unforgotten: o.unforgotten,
+		tail:        o.committedTailLocked(),
+		clock:       o.clock,
 	}
-	state := o.version
-	ok := true
-	for _, e := range o.unforgotten {
-		if e.ts > ts {
-			break
-		}
-		state, ok = spec.StepFrom(o.sp, state, e.ops...)
-		if !ok {
-			panic(fmt.Sprintf("hybridcc: illegal snapshot at %s", o.name))
-		}
-	}
-	return state
+	return snap.stateAt(o.sp, ts)
 }

@@ -156,6 +156,15 @@ func (t *Tx) Commit() error {
 	t.mu.Unlock()
 
 	objs := t.touchedObjects()
+	// Enter the commit window at every touched object BEFORE drawing the
+	// timestamp: a lock-free reader that observes a window count of zero
+	// may then rely on any not-yet-counted committer drawing a timestamp
+	// above the reader's own (the reader's timestamp is already in the
+	// clock).  Each count is released after o.commit publishes the merged
+	// snapshot.
+	for _, o := range objs {
+		o.windowWriters.Add(1)
+	}
 	lower := histories.Timestamp(0)
 	for _, o := range objs {
 		if b := o.boundOf(t); b > lower {
@@ -173,6 +182,7 @@ func (t *Tx) Commit() error {
 
 	for _, o := range objs {
 		o.commit(t, ts)
+		o.windowWriters.Add(-1)
 	}
 	t.sys.stats.Committed.Add(1)
 	return nil

@@ -60,6 +60,32 @@ func (m Mask) Intersects(row []uint64) bool {
 	return false
 }
 
+// Or merges every set bit of row into the mask, growing it as needed.
+func (m *Mask) Or(row []uint64) {
+	for len(*m) < len(row) {
+		*m = append(*m, 0)
+	}
+	for w, bits := range row {
+		(*m)[w] |= bits
+	}
+}
+
+// HasAbove reports whether any bit ≥ n is set — whether the mask holds a
+// class interned at or after table length n.
+func (m Mask) HasAbove(n int) bool {
+	first := n >> 6
+	for w := first; w < len(m); w++ {
+		bits := m[w]
+		if w == first {
+			bits &= ^uint64(0) << (uint(n) & 63)
+		}
+		if bits != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // CompiledTable is a conflict relation compiled to a bitmask matrix over
 // interned operation classes.  rows[r] holds bit h exactly when the
 // underlying relation reports Conflicts(op(h), op(r)) — h the held
@@ -75,6 +101,25 @@ type CompiledTable struct {
 	ops      []spec.Op
 	rows     [][]uint64
 	limit    int
+
+	// invClasses groups interned classes by invocation: the classes of
+	// every (inv, response) pair the table has seen.  Blocked calls build
+	// their wakeup masks from it (BlockMask).
+	invClasses map[spec.Invocation][]int
+	// seededInvs marks invocations that appeared in the declared seed
+	// universe; for those the universe is taken as enumerating the
+	// invocation's possible responses, which lets blocked calls skip the
+	// conservative wake-on-every-commit path.
+	seededInvs map[spec.Invocation]bool
+	// invMasks caches BlockMask results; an entry is valid while no class
+	// has been interned since it was computed (rows only gain bits when the
+	// table grows).
+	invMasks map[spec.Invocation]*cachedInvMask
+}
+
+type cachedInvMask struct {
+	mask    Mask
+	classes int // table length the mask was computed at
 }
 
 // Compile builds a table for c, eagerly interning the seed universe (in
@@ -85,12 +130,17 @@ func Compile(c Conflict, seed []spec.Op, limit int) *CompiledTable {
 		limit = DefaultCompiledLimit
 	}
 	t := &CompiledTable{
-		conflict: c,
-		index:    make(map[spec.Op]int, len(seed)),
-		limit:    limit,
+		conflict:   c,
+		index:      make(map[spec.Op]int, len(seed)),
+		limit:      limit,
+		invClasses: make(map[spec.Invocation][]int),
+		seededInvs: make(map[spec.Invocation]bool),
+		invMasks:   make(map[spec.Invocation]*cachedInvMask),
 	}
 	for _, op := range seed {
-		t.Intern(op)
+		if _, ok := t.Intern(op); ok {
+			t.seededInvs[op.Inv()] = true
+		}
 	}
 	return t
 }
@@ -119,6 +169,8 @@ func (t *CompiledTable) Intern(op spec.Op) (int, bool) {
 	d := len(t.ops)
 	t.index[op] = d
 	t.ops = append(t.ops, op)
+	inv := op.Inv()
+	t.invClasses[inv] = append(t.invClasses[inv], d)
 	row := make([]uint64, d/64+1)
 	for h, held := range t.ops[:d] {
 		if t.conflict.Conflicts(held, op) {
@@ -148,6 +200,28 @@ func (t *CompiledTable) setBit(r, col int) {
 // conflict with a request of this class.  The returned slice is owned by
 // the table and must not be mutated.
 func (t *CompiledTable) Row(class int) []uint64 { return t.rows[class] }
+
+// BlockMask returns the wakeup mask of a blocked invocation: the union of
+// the conflict rows of every class interned for inv — the set of held
+// classes whose release could unblock a call of inv.  The second result
+// reports whether inv was covered by the declared seed universe; when it
+// was not, the table cannot promise the mask covers responses it has never
+// seen, and the caller must fall back to conservative wakeups for
+// state-changing events.  The returned mask is immutable (a fresh mask is
+// built whenever the table has grown); callers may hold it across an
+// unlock.
+func (t *CompiledTable) BlockMask(inv spec.Invocation) (Mask, bool) {
+	cached := t.invMasks[inv]
+	if cached == nil || cached.classes != len(t.ops) {
+		var m Mask
+		for _, c := range t.invClasses[inv] {
+			m.Or(t.rows[c])
+		}
+		cached = &cachedInvMask{mask: m, classes: len(t.ops)}
+		t.invMasks[inv] = cached
+	}
+	return cached.mask, t.seededInvs[inv]
+}
 
 // Conflicts implements Conflict by probing the matrix, falling back to the
 // underlying relation when either operation is not interned.  a is the held

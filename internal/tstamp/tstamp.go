@@ -4,11 +4,18 @@
 // another has committed there must receive a later timestamp.  Both
 // generators here satisfy that constraint the way the paper suggests —
 // with Lamport-style logical clocks primed by an observed lower bound.
+//
+// Both clocks are lock-free: the counter is a single atomic word advanced
+// by compare-and-swap, so concurrent commits on different objects never
+// serialize on a clock mutex.  A successful CAS publishes a value no other
+// Next can return (the swap is the unique transition past that value),
+// which preserves uniqueness; monotonicity holds because every transition
+// strictly increases the counter.
 package tstamp
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"hybridcc/internal/histories"
 )
@@ -25,8 +32,7 @@ type Clock interface {
 // Source is a process-wide timestamp source: a single logical clock.  The
 // zero value is ready to use and issues timestamps starting at 1.
 type Source struct {
-	mu   sync.Mutex
-	last histories.Timestamp
+	last atomic.Int64
 }
 
 // NewSource returns a fresh Source.
@@ -34,29 +40,35 @@ func NewSource() *Source { return &Source{} }
 
 // Next implements Clock.
 func (s *Source) Next(lower histories.Timestamp) histories.Timestamp {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if lower > s.last {
-		s.last = lower
+	for {
+		cur := s.last.Load()
+		next := cur
+		if int64(lower) > next {
+			next = int64(lower)
+		}
+		next++
+		if s.last.CompareAndSwap(cur, next) {
+			return histories.Timestamp(next)
+		}
 	}
-	s.last++
-	return s.last
 }
 
 // Observe implements Clock.
 func (s *Source) Observe(ts histories.Timestamp) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if ts > s.last {
-		s.last = ts
+	for {
+		cur := s.last.Load()
+		if int64(ts) <= cur {
+			return
+		}
+		if s.last.CompareAndSwap(cur, int64(ts)) {
+			return
+		}
 	}
 }
 
 // Now returns the largest timestamp issued or observed so far.
 func (s *Source) Now() histories.Timestamp {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.last
+	return histories.Timestamp(s.last.Load())
 }
 
 // NodeClock is a per-node logical clock for a system of n nodes.  Issued
@@ -65,10 +77,9 @@ func (s *Source) Now() histories.Timestamp {
 // (counter, node-id) Lamport pair packed into one integer, preserving the
 // total order the paper requires.
 type NodeClock struct {
-	mu    sync.Mutex
 	node  int64
 	nodes int64
-	last  histories.Timestamp
+	last  atomic.Int64
 }
 
 // NewNodeClock returns the clock for node (0 ≤ node < nodes).
@@ -76,38 +87,43 @@ func NewNodeClock(node, nodes int) *NodeClock {
 	if nodes <= 0 || node < 0 || node >= nodes {
 		panic(fmt.Sprintf("tstamp: invalid node %d of %d", node, nodes))
 	}
-	return &NodeClock{node: int64(node), nodes: int64(nodes), last: histories.Timestamp(node)}
+	c := &NodeClock{node: int64(node), nodes: int64(nodes)}
+	c.last.Store(int64(node))
+	return c
 }
 
 // Next implements Clock.
 func (c *NodeClock) Next(lower histories.Timestamp) histories.Timestamp {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	floor := c.last
-	if lower > floor {
-		floor = lower
+	for {
+		cur := c.last.Load()
+		floor := cur
+		if int64(lower) > floor {
+			floor = int64(lower)
+		}
+		// Smallest timestamp > floor congruent to c.node mod c.nodes.
+		next := floor + 1
+		rem := (next%c.nodes + c.nodes) % c.nodes
+		next += (c.node - rem + c.nodes) % c.nodes
+		if c.last.CompareAndSwap(cur, next) {
+			return histories.Timestamp(next)
+		}
 	}
-	// Smallest timestamp > floor congruent to c.node mod c.nodes.
-	next := floor + 1
-	rem := (int64(next)%c.nodes + c.nodes) % c.nodes
-	delta := (c.node - rem + c.nodes) % c.nodes
-	next += histories.Timestamp(delta)
-	c.last = next
-	return next
 }
 
 // Observe implements Clock.
 func (c *NodeClock) Observe(ts histories.Timestamp) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if ts > c.last {
-		c.last = ts
+	for {
+		cur := c.last.Load()
+		if int64(ts) <= cur {
+			return
+		}
+		if c.last.CompareAndSwap(cur, int64(ts)) {
+			return
+		}
 	}
 }
 
 // Now returns the largest timestamp issued or observed so far.
 func (c *NodeClock) Now() histories.Timestamp {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.last
+	return histories.Timestamp(c.last.Load())
 }

@@ -1,0 +1,124 @@
+package tstamp
+
+import (
+	"sync"
+	"testing"
+
+	"hybridcc/internal/histories"
+)
+
+// CAS-clock micro-benchmarks: the commit path draws one timestamp per
+// transaction, so Next's cost and scalability bound commit throughput.
+
+func BenchmarkSourceNext(b *testing.B) {
+	s := NewSource()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next(0)
+	}
+}
+
+func BenchmarkSourceNextParallel(b *testing.B) {
+	s := NewSource()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s.Next(0)
+		}
+	})
+}
+
+func BenchmarkNodeClockNext(b *testing.B) {
+	c := NewNodeClock(1, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Next(0)
+	}
+}
+
+// TestSourceConcurrentNextUnique hammers the CAS loop: concurrent Next
+// calls must return pairwise distinct, strictly positive timestamps, and
+// Now must end at the maximum issued.
+func TestSourceConcurrentNextUnique(t *testing.T) {
+	s := NewSource()
+	const workers = 8
+	const perWorker = 2000
+	results := make([][]histories.Timestamp, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]histories.Timestamp, perWorker)
+			for i := range out {
+				out[i] = s.Next(histories.Timestamp(i % 7))
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+
+	seen := make(map[histories.Timestamp]bool, workers*perWorker)
+	var max histories.Timestamp
+	for w, out := range results {
+		last := histories.Timestamp(0)
+		for i, ts := range out {
+			if ts <= 0 {
+				t.Fatalf("worker %d: non-positive timestamp %d", w, ts)
+			}
+			if ts <= last {
+				t.Fatalf("worker %d: timestamps not increasing at %d: %d after %d", w, i, ts, last)
+			}
+			last = ts
+			if seen[ts] {
+				t.Fatalf("duplicate timestamp %d", ts)
+			}
+			seen[ts] = true
+			if ts > max {
+				max = ts
+			}
+		}
+	}
+	if now := s.Now(); now != max {
+		t.Fatalf("Now() = %d, want max issued %d", now, max)
+	}
+}
+
+// TestNodeClockConcurrentNextUnique checks the per-node congruence class
+// and uniqueness under concurrent Next and Observe.
+func TestNodeClockConcurrentNextUnique(t *testing.T) {
+	const nodes = 3
+	c := NewNodeClock(1, nodes)
+	const workers = 6
+	const perWorker = 1000
+	results := make([][]histories.Timestamp, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]histories.Timestamp, perWorker)
+			for i := range out {
+				if i%10 == 0 {
+					c.Observe(histories.Timestamp(w*perWorker + i))
+				}
+				out[i] = c.Next(0)
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+
+	seen := make(map[histories.Timestamp]bool, workers*perWorker)
+	for w, out := range results {
+		for _, ts := range out {
+			if int64(ts)%nodes != 1 {
+				t.Fatalf("worker %d: timestamp %d not ≡ 1 mod %d", w, ts, nodes)
+			}
+			if seen[ts] {
+				t.Fatalf("duplicate timestamp %d", ts)
+			}
+			seen[ts] = true
+		}
+	}
+}

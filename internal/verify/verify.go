@@ -8,47 +8,114 @@ package verify
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hybridcc/internal/histories"
 )
 
-// Recorder accumulates events; it is safe for concurrent use and
-// implements core.EventSink.
-type Recorder struct {
+// recorderStripes is the number of independently locked buckets a Recorder
+// spreads events over.  Sixteen keeps any two concurrent recording
+// goroutines on distinct mutexes with high probability while the merge in
+// History stays trivial.
+const recorderStripes = 16
+
+// seqEvent is an event tagged with its acceptance sequence number.
+type seqEvent struct {
+	seq   uint64
+	event histories.Event
+}
+
+// recorderStripe is one bucket of a striped Recorder.  The padding rounds
+// the struct up to 64 bytes (mutex 8 + slice header 24 + pad 32) so
+// neighbouring stripes live on distinct cache lines and concurrent
+// appends do not false-share.
+type recorderStripe struct {
 	mu     sync.Mutex
-	events histories.History
+	events []seqEvent
+	_      [32]byte
+}
+
+// Recorder accumulates events; it is safe for concurrent use and
+// implements core.EventSink and core.SeqSink.
+//
+// The runtime assigns each event a sequence number from NextSeq at the
+// moment the event is accepted (under the owning object's mutex) and
+// delivers it — possibly later, possibly from another goroutine — through
+// RecordSeq.  Events land on stripes keyed by sequence number, so
+// concurrent deliveries contend only one-in-recorderStripes of the time;
+// History merges the stripes by sequence number, reproducing exactly the
+// acceptance order.  Per-object event order is preserved because sequence
+// numbers are drawn while the object's mutex is held; per-transaction
+// order across objects is preserved because transactions are
+// single-threaded and the sequence counter is a single atomic word (its
+// modification order is consistent with real time).
+type Recorder struct {
+	seq     atomic.Uint64
+	stripes [recorderStripes]recorderStripe
 }
 
 // NewRecorder returns an empty Recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
-// Record appends an event.
-func (r *Recorder) Record(e histories.Event) {
-	r.mu.Lock()
-	r.events = append(r.events, e)
-	r.mu.Unlock()
+// NextSeq draws the next acceptance sequence number.
+func (r *Recorder) NextSeq() uint64 { return r.seq.Add(1) }
+
+// RecordSeq stores an event under an acceptance sequence number drawn from
+// NextSeq.  Deliveries may arrive out of order and from any goroutine;
+// History restores the acceptance order.
+func (r *Recorder) RecordSeq(seq uint64, e histories.Event) {
+	st := &r.stripes[seq%recorderStripes]
+	st.mu.Lock()
+	st.events = append(st.events, seqEvent{seq: seq, event: e})
+	st.mu.Unlock()
 }
 
-// History returns a copy of the recorded history.
+// Record appends an event at the next sequence number — the plain
+// EventSink path, equivalent to RecordSeq(NextSeq(), e).
+func (r *Recorder) Record(e histories.Event) {
+	r.RecordSeq(r.NextSeq(), e)
+}
+
+// History returns a copy of the recorded history in acceptance order.
 func (r *Recorder) History() histories.History {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return append(histories.History(nil), r.events...)
+	var all []seqEvent
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.Lock()
+		all = append(all, st.events...)
+		st.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	out := make(histories.History, len(all))
+	for i, se := range all {
+		out[i] = se.event
+	}
+	return out
 }
 
 // Len reports the number of recorded events.
 func (r *Recorder) Len() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.events)
+	n := 0
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.Lock()
+		n += len(st.events)
+		st.mu.Unlock()
+	}
+	return n
 }
 
-// Reset discards all recorded events.
+// Reset discards all recorded events.  The sequence counter keeps running:
+// events recorded after a Reset still sort after everything before it.
 func (r *Recorder) Reset() {
-	r.mu.Lock()
-	r.events = nil
-	r.mu.Unlock()
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.Lock()
+		st.events = nil
+		st.mu.Unlock()
+	}
 }
 
 // CheckHybridAtomic verifies that h is well-formed and hybrid atomic:

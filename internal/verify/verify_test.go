@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -121,5 +122,52 @@ func TestCheckOnlineStrongerThanHybrid(t *testing.T) {
 	}
 	if err := CheckOnlineHybridAtomic(h, specs); err == nil {
 		t.Fatal("online hybrid atomicity must reject observing uncommitted effects")
+	}
+}
+
+// TestRecorderSeqMerge pins the striped recorder's merge contract: events
+// delivered concurrently, out of order, from many goroutines — each under
+// a sequence number drawn from NextSeq — come back from History in exact
+// sequence order, none lost.
+func TestRecorderSeqMerge(t *testing.T) {
+	r := NewRecorder()
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				seq := r.NextSeq()
+				// Encode the sequence number in the event so the merged
+				// order is checkable.
+				r.RecordSeq(seq, histories.CommitEvent(
+					histories.TxID(fmt.Sprintf("T%d", seq)), "X", histories.Timestamp(seq)))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	h := r.History()
+	if len(h) != workers*perWorker {
+		t.Fatalf("history has %d events, want %d", len(h), workers*perWorker)
+	}
+	if r.Len() != len(h) {
+		t.Fatalf("Len() = %d, want %d", r.Len(), len(h))
+	}
+	for i, e := range h {
+		if e.TS != histories.Timestamp(i+1) {
+			t.Fatalf("event %d out of order: ts=%d", i, e.TS)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len() after Reset = %d", r.Len())
+	}
+	// Plain Record keeps sequencing after a Reset.
+	r.Record(histories.AbortEvent("T", "X"))
+	if got := r.History(); len(got) != 1 || got[0].Kind != histories.Abort {
+		t.Fatalf("history after Reset+Record = %v", got)
 	}
 }

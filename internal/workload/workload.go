@@ -54,6 +54,10 @@ type Result struct {
 	Duration  time.Duration
 	Waits     int64
 	Timeouts  int64
+	// Wakeups counts waiter signals delivered by completion events during
+	// the run; Spurious the subset whose re-derivation did not grant.
+	Wakeups  int64
+	Spurious int64
 }
 
 // Throughput returns committed transactions per second.
@@ -66,8 +70,8 @@ func (r Result) Throughput() float64 {
 
 // String summarizes the result.
 func (r Result) String() string {
-	return fmt.Sprintf("committed=%d failed=%d retries=%d waits=%d timeouts=%d in %s (%.0f tx/s)",
-		r.Committed, r.Failed, r.Retries, r.Waits, r.Timeouts, r.Duration, r.Throughput())
+	return fmt.Sprintf("committed=%d failed=%d retries=%d waits=%d timeouts=%d wakeups=%d spurious=%d in %s (%.0f tx/s)",
+		r.Committed, r.Failed, r.Retries, r.Waits, r.Timeouts, r.Wakeups, r.Spurious, r.Duration, r.Throughput())
 }
 
 // Run drives body with cfg against sys and returns aggregated metrics.
@@ -119,6 +123,8 @@ func Run(sys *core.System, cfg Config, body Body) Result {
 		Duration:  time.Since(start),
 		Waits:     after.Waits - before.Waits,
 		Timeouts:  after.Timeouts - before.Timeouts,
+		Wakeups:   after.Wakeups - before.Wakeups,
+		Spurious:  after.SpuriousWakeups - before.SpuriousWakeups,
 	}
 }
 

@@ -62,6 +62,8 @@ func NewCluster(shards int, opts ...Option) (*Cluster, error) {
 		DisableCompaction: c.disableCompaction,
 		DeadlockDetection: c.deadlockDetection,
 		CommitTimeout:     c.commitTimeout,
+		GroupCommit:       c.groupCommit,
+		ServerTransport:   c.serverTransport,
 	}
 	if c.recorder != nil {
 		copts.Sink = c.recorder

@@ -45,6 +45,9 @@ type entry struct {
 	GoMaxP  int                     `json:"gomaxprocs"`
 	Config  config                  `json:"config"`
 	Results []bench.CoreBenchResult `json:"results"`
+	// Allocs holds the -benchmem commit-path allocation probe (one row
+	// per transaction pipeline), recorded when -allocs is set.
+	Allocs []bench.AllocResult `json:"allocs,omitempty"`
 }
 
 func main() {
@@ -58,6 +61,8 @@ func main() {
 		schemes    = flag.String("schemes", "hybrid,commutativity,readwrite", "comma-separated schemes")
 		workloads  = flag.String("workloads", "credit", "comma-separated workloads (credit, readmostly)")
 		maxprocs   = flag.String("maxprocs", "", "comma-separated GOMAXPROCS sweep (default: current value)")
+		allocs     = flag.Bool("allocs", false, "record the commit-path allocation probe (allocs/op, bytes/op)")
+		group      = flag.Bool("group", false, "enable group commit in the throughput probes")
 	)
 	flag.Parse()
 
@@ -91,11 +96,12 @@ func main() {
 		for _, workload := range strings.Split(*workloads, ",") {
 			for _, scheme := range strings.Split(*schemes, ",") {
 				res, err := bench.CoreThroughput(bench.CoreBenchConfig{
-					Goroutines: *goroutines,
-					OpsPerTx:   *opsPerTx,
-					Duration:   *duration,
-					Scheme:     scheme,
-					Workload:   workload,
+					Goroutines:  *goroutines,
+					OpsPerTx:    *opsPerTx,
+					Duration:    *duration,
+					Scheme:      scheme,
+					Workload:    workload,
+					GroupCommit: *group,
 				})
 				if err != nil {
 					fmt.Fprintln(os.Stderr, err)
@@ -106,6 +112,13 @@ func main() {
 					p, workload, scheme, res.OpsPerSec, res.Calls, res.Commits, res.Timeouts,
 					res.Wakeups, res.SpuriousWakeups, res.WaiterHWM)
 				e.Results = append(e.Results, res)
+			}
+		}
+		if *allocs {
+			e.Allocs = bench.CommitAllocs()
+			for _, a := range e.Allocs {
+				fmt.Fprintf(os.Stderr, "procs=%d allocs %-7s %8.0f ns/op %6d B/op %4d allocs/op\n",
+					p, a.Path, a.NsPerOp, a.BytesPerOp, a.AllocsPerOp)
 			}
 		}
 		entries = append(entries, e)

@@ -71,8 +71,19 @@ func main() {
 		duration   = flag.Duration("duration", time.Second, "measurement window per configuration")
 		shards     = flag.String("shards", "1,2,4,8", "comma-separated shard counts")
 		crossPcts  = flag.String("cross", "0,10,50", "comma-separated cross-shard transaction percentages")
+		transport  = flag.String("transport", "direct", "cross-shard commit transport: direct (in-process fast path) or server (goroutine/channel fault-injection)")
+		group      = flag.Bool("group", false, "enable per-shard group commit")
 	)
 	flag.Parse()
+	var serverTransport bool
+	switch *transport {
+	case "direct":
+	case "server":
+		serverTransport = true
+	default:
+		fmt.Fprintf(os.Stderr, "bad -transport %q (want direct or server)\n", *transport)
+		os.Exit(2)
+	}
 
 	e := entry{
 		Label:  *label,
@@ -87,19 +98,21 @@ func main() {
 	for _, cross := range parseInts(*crossPcts, "cross percentage") {
 		for _, s := range parseInts(*shards, "shard count") {
 			res, err := bench.ClusterThroughput(bench.ClusterBenchConfig{
-				Shards:   s,
-				Workers:  *workers,
-				OpsPerTx: *opsPerTx,
-				CrossPct: cross,
-				Hold:     *hold,
-				Duration: *duration,
+				Shards:          s,
+				Workers:         *workers,
+				OpsPerTx:        *opsPerTx,
+				CrossPct:        cross,
+				Hold:            *hold,
+				Duration:        *duration,
+				ServerTransport: serverTransport,
+				GroupCommit:     *group,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "shards=%d cross=%2d%%  %10.0f tx/s  (committed=%d fastpath=%d 2pc=%d retries=%d)\n",
-				s, cross, res.TxPerSec, res.Committed, res.FastPathCommits, res.CrossShardCommits, res.Retries)
+			fmt.Fprintf(os.Stderr, "shards=%d cross=%2d%% %-6s group=%-5v %10.0f tx/s  (committed=%d fastpath=%d 2pc=%d retries=%d)\n",
+				s, cross, res.Transport, res.GroupCommit, res.TxPerSec, res.Committed, res.FastPathCommits, res.CrossShardCommits, res.Retries)
 			e.Results = append(e.Results, res)
 		}
 	}

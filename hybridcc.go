@@ -126,6 +126,8 @@ type config struct {
 	deadlockDetection bool
 	recorder          *Recorder
 	commitTimeout     time.Duration
+	groupCommit       bool
+	serverTransport   bool
 }
 
 // WithLockWait bounds how long an operation waits on a lock conflict (or a
@@ -159,6 +161,25 @@ func WithCommitTimeout(d time.Duration) Option {
 	return func(c *config) { c.commitTimeout = d }
 }
 
+// WithGroupCommit enables the commit batcher: concurrent commits coalesce
+// into one critical-section pass per object — one snapshot publication and
+// one targeted-wakeup scan amortized over the batch — while every
+// transaction still receives its own, distinct commit timestamp, so
+// serializability and Verify are unaffected.  On a Cluster the batcher
+// runs per shard and batches the single-shard fast path; cross-shard
+// commits still serialize through the commit protocol.
+func WithGroupCommit() Option {
+	return func(c *config) { c.groupCommit = true }
+}
+
+// WithServerTransport routes a Cluster's cross-shard commits through
+// goroutine/channel protocol servers — the fault-injection transport, for
+// tests that crash sites or time messages out — instead of the default
+// direct in-process calls.  Ignored by NewSystem.
+func WithServerTransport() Option {
+	return func(c *config) { c.serverTransport = true }
+}
+
 // System manages hybrid atomic objects and mints transactions.
 type System struct {
 	inner    *core.System
@@ -176,6 +197,7 @@ func NewSystem(opts ...Option) *System {
 		LockWait:          c.lockWait,
 		DisableCompaction: c.disableCompaction,
 		DeadlockDetection: c.deadlockDetection,
+		GroupCommit:       c.groupCommit,
 	}
 	if c.recorder != nil {
 		coreOpts.Sink = c.recorder
@@ -239,16 +261,26 @@ func (s *System) Atomically(fn func(tx *Tx) error) error {
 // error satisfying errors.Is(err, ctx.Err()); cancellation also cuts the
 // retry backoff short.  A transaction that has already entered Commit is
 // not interrupted — commits are never torn.
+//
+// The transaction handle is drawn from a free list and recycled once the
+// attempt completes — the retry loop reuses one pooled Tx across attempts
+// instead of allocating per attempt.  The handle is therefore only valid
+// inside fn: using a handle leaked out of the callback fails with
+// ErrTxDone while the struct sits recycled, and is undefined once a later
+// transaction reuses it (do not retain it, as with any pooled resource).
+// Use Begin/BeginCtx for handles that must outlive a callback.
 func (s *System) AtomicallyCtx(ctx context.Context, fn func(tx *Tx) error) error {
 	return atomicallyLoop(ctx, func() error {
-		tx := s.BeginCtx(ctx)
+		tx := s.inner.BeginPooledCtx(ctx)
 		err := fn(tx)
 		if err == nil {
 			if err = tx.Commit(); err == nil {
+				s.inner.Recycle(tx)
 				return nil
 			}
 		}
 		_ = tx.Abort()
+		s.inner.Recycle(tx)
 		return err
 	})
 }

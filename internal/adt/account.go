@@ -74,21 +74,21 @@ func (Account) Responses(s spec.State, inv spec.Invocation) []string {
 		if Atoi(inv.Arg) < 0 {
 			return nil
 		}
-		return []string{ResOk}
+		return respOk
 	case "Post":
 		if Atoi(inv.Arg) < 1 {
 			return nil
 		}
-		return []string{ResOk}
+		return respOk
 	case "Debit":
 		n := Atoi(inv.Arg)
 		if n < 0 {
 			return nil
 		}
 		if st.bal >= n {
-			return []string{ResOk}
+			return respOk
 		}
-		return []string{ResOverdraft}
+		return respOverdraft
 	}
 	return nil
 }

@@ -47,7 +47,7 @@ func (Counter) Responses(s spec.State, inv spec.Invocation) []string {
 		if Atoi(inv.Arg) < 0 {
 			return nil
 		}
-		return []string{ResOk}
+		return respOk
 	case "CtrRead":
 		if inv.Arg != "" {
 			return nil

@@ -109,19 +109,19 @@ func (Directory) Responses(s spec.State, inv spec.Invocation) []string {
 			return nil
 		}
 		if _, bound := st.bind[key]; bound {
-			return []string{ResBound}
+			return respBound
 		}
-		return []string{ResOk}
+		return respOk
 	case "Unbind":
 		if _, bound := st.bind[inv.Arg]; bound {
-			return []string{ResOk}
+			return respOk
 		}
-		return []string{ResAbsent}
+		return respAbsent
 	case "Lookup":
 		if val, bound := st.bind[inv.Arg]; bound {
 			return []string{val}
 		}
-		return []string{ResAbsent}
+		return respAbsent
 	}
 	return nil
 }

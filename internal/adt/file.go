@@ -45,7 +45,7 @@ func (File) Responses(s spec.State, inv spec.Invocation) []string {
 	st := s.(fileState)
 	switch inv.Name {
 	case "Write":
-		return []string{ResOk}
+		return respOk
 	case "Read":
 		if inv.Arg != "" {
 			return nil

@@ -17,6 +17,20 @@ const (
 	ResFalse     = "False"
 )
 
+// Interned single-response slices.  Responses sits on the runtime's
+// per-call hot path, and most answers are one of these constants: sharing
+// the slices saves an allocation per call.  Responses results are
+// immutable by the spec.Spec contract, so sharing is safe.
+var (
+	respOk        = []string{ResOk}
+	respOverdraft = []string{ResOverdraft}
+	respPresent   = []string{ResPresent}
+	respAbsent    = []string{ResAbsent}
+	respBound     = []string{ResBound}
+	respTrue      = []string{ResTrue}
+	respFalse     = []string{ResFalse}
+)
+
 // Itoa encodes an integer value for use as an operation argument or
 // response.
 func Itoa(v int64) string { return strconv.FormatInt(v, 10) }

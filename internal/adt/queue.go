@@ -48,7 +48,7 @@ func (Queue) Responses(s spec.State, inv spec.Invocation) []string {
 	st := s.(queueState)
 	switch inv.Name {
 	case "Enq":
-		return []string{ResOk}
+		return respOk
 	case "Deq":
 		if inv.Arg != "" || len(st.items) == 0 {
 			return nil

@@ -74,7 +74,7 @@ func (Semiqueue) Responses(s spec.State, inv spec.Invocation) []string {
 	st := s.(semiqueueState)
 	switch inv.Name {
 	case "Ins":
-		return []string{ResOk}
+		return respOk
 	case "Rem":
 		if inv.Arg != "" || len(st.items) == 0 {
 			return nil

@@ -87,19 +87,19 @@ func (Set) Responses(s spec.State, inv spec.Invocation) []string {
 	switch inv.Name {
 	case "Insert":
 		if in {
-			return []string{ResPresent}
+			return respPresent
 		}
-		return []string{ResOk}
+		return respOk
 	case "Remove":
 		if in {
-			return []string{ResOk}
+			return respOk
 		}
-		return []string{ResAbsent}
+		return respAbsent
 	case "Member":
 		if in {
-			return []string{ResTrue}
+			return respTrue
 		}
-		return []string{ResFalse}
+		return respFalse
 	}
 	return nil
 }

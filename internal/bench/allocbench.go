@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"hybridcc/internal/adt"
+	"hybridcc/internal/baseline"
+	"hybridcc/internal/core"
+)
+
+// This file holds the allocation probe behind BENCH_core.json's allocs
+// column: the credit commit path measured with the standard -benchmem
+// counters (testing.Benchmark drives the same machinery), once through
+// the plain Begin path and once through the pooled pipeline the
+// Atomically hot path uses.  The pooled row is the PR 5 contract — its
+// allocs/op must stay at least 50% below the pre-pooling baseline (16
+// allocs/op at PR 4, recorded in EXPERIMENTS.md), and CI enforces an
+// absolute ceiling through the core package's TestAllocCeiling gates.
+
+// AllocResult reports -benchmem style counters for one commit-path
+// variant.
+type AllocResult struct {
+	// Path names the variant: "begin" (fresh Tx per transaction) or
+	// "pooled" (BeginPooled/Recycle, the Atomically hot path).
+	Path        string  `json:"path"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// CommitAllocs measures the credit commit path's allocation behaviour:
+// one begin → credit → commit cycle per op on a single hot Account, via
+// the plain and the pooled transaction pipelines.
+func CommitAllocs() []AllocResult {
+	newSys := func() (*core.System, *core.Object) {
+		sys := core.NewSystem(core.Options{LockWait: 5 * time.Millisecond})
+		obj := sys.NewObjectSeeded("hot", baseline.SpecFor("Account"),
+			baseline.ConflictFor("hybrid", "Account"), baseline.UniverseFor("Account"))
+		return sys, obj
+	}
+	inv := adt.CreditInv(1)
+
+	begin := testing.Benchmark(func(b *testing.B) {
+		sys, obj := newSys()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tx := sys.Begin()
+			if _, err := obj.Call(tx, inv); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	pooled := testing.Benchmark(func(b *testing.B) {
+		sys, obj := newSys()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tx := sys.BeginPooledCtx(nil)
+			if _, err := obj.Call(tx, inv); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			sys.Recycle(tx)
+		}
+	})
+
+	return []AllocResult{
+		{Path: "begin", NsPerOp: float64(begin.NsPerOp()), AllocsPerOp: begin.AllocsPerOp(), BytesPerOp: begin.AllocedBytesPerOp()},
+		{Path: "pooled", NsPerOp: float64(pooled.NsPerOp()), AllocsPerOp: pooled.AllocsPerOp(), BytesPerOp: pooled.AllocedBytesPerOp()},
+	}
+}

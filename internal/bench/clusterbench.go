@@ -51,17 +51,29 @@ type ClusterBenchConfig struct {
 	Hold time.Duration
 	// Duration is the measurement window.
 	Duration time.Duration
+	// ServerTransport routes cross-shard commits through the goroutine/
+	// channel protocol servers (the PR 3 configuration); off means the
+	// direct in-process transport.
+	ServerTransport bool
+	// GroupCommit enables each shard's commit batcher.
+	GroupCommit bool
 }
 
 // ClusterBenchResult reports one probe run.
 type ClusterBenchResult struct {
 	Shards            int     `json:"shards"`
 	CrossPct          int     `json:"cross_pct"`
+	Transport         string  `json:"transport"`
+	GroupCommit       bool    `json:"group_commit,omitempty"`
 	Committed         int64   `json:"committed"`
 	FastPathCommits   int64   `json:"fastpath_commits"`
 	CrossShardCommits int64   `json:"cross_shard_commits"`
 	Retries           int64   `json:"retries"`
 	TxPerSec          float64 `json:"tx_per_sec"`
+	// GroupBatches/GroupBatchTxs sum the shard batchers' coalescing
+	// counters (zero unless GroupCommit).
+	GroupBatches  int64 `json:"group_batches,omitempty"`
+	GroupBatchTxs int64 `json:"group_batch_txs,omitempty"`
 }
 
 // ClusterThroughput runs the probe: Workers goroutines loop transactions
@@ -80,7 +92,12 @@ func ClusterThroughput(cfg ClusterBenchConfig) (ClusterBenchResult, error) {
 		// probe measures retry churn instead of lock throughput.
 		lockWait = w
 	}
-	cl, err := cluster.New(cluster.Options{Shards: cfg.Shards, LockWait: lockWait})
+	cl, err := cluster.New(cluster.Options{
+		Shards:          cfg.Shards,
+		LockWait:        lockWait,
+		ServerTransport: cfg.ServerTransport,
+		GroupCommit:     cfg.GroupCommit,
+	})
 	if err != nil {
 		return ClusterBenchResult{}, err
 	}
@@ -198,13 +215,21 @@ func ClusterThroughput(cfg ClusterBenchConfig) (ClusterBenchResult, error) {
 	}
 
 	st := cl.Stats()
+	transport := "direct"
+	if cfg.ServerTransport {
+		transport = "server"
+	}
 	return ClusterBenchResult{
 		Shards:            cfg.Shards,
 		CrossPct:          cfg.CrossPct,
+		Transport:         transport,
+		GroupCommit:       cfg.GroupCommit,
 		Committed:         committed.Load(),
 		FastPathCommits:   st.FastPathCommits - base.FastPathCommits,
 		CrossShardCommits: st.CrossShardCommits - base.CrossShardCommits,
 		Retries:           retries.Load(),
 		TxPerSec:          float64(committed.Load()) / elapsed.Seconds(),
+		GroupBatches:      st.Total.GroupBatches - base.Total.GroupBatches,
+		GroupBatchTxs:     st.Total.GroupBatchTxs - base.Total.GroupBatchTxs,
 	}, nil
 }

@@ -40,6 +40,8 @@ type CoreBenchConfig struct {
 	// against Goroutines-1 snapshot readers on a Counter, the workload
 	// the lock-free read path serves.
 	Workload string
+	// GroupCommit enables the commit batcher (core.Options.GroupCommit).
+	GroupCommit bool
 }
 
 // CoreBenchResult reports one probe run.
@@ -53,6 +55,10 @@ type CoreBenchResult struct {
 	Wakeups         int64   `json:"wakeups,omitempty"`
 	SpuriousWakeups int64   `json:"spurious_wakeups,omitempty"`
 	WaiterHWM       int64   `json:"waiter_hwm,omitempty"`
+	// GroupBatches/GroupBatchTxs report the commit batcher's coalescing
+	// (zero unless GroupCommit): txs ÷ batches is the achieved batch size.
+	GroupBatches  int64 `json:"group_batches,omitempty"`
+	GroupBatchTxs int64 `json:"group_batch_txs,omitempty"`
 }
 
 // CoreThroughput runs the selected probe.
@@ -80,7 +86,7 @@ func creditThroughput(cfg CoreBenchConfig) (CoreBenchResult, error) {
 	if sp == nil || conflict == nil {
 		return CoreBenchResult{}, fmt.Errorf("bench: unknown scheme %q", cfg.Scheme)
 	}
-	sys := core.NewSystem(core.Options{LockWait: 5 * time.Millisecond})
+	sys := core.NewSystem(core.Options{LockWait: 5 * time.Millisecond, GroupCommit: cfg.GroupCommit})
 	obj := sys.NewObject("hot", sp, conflict)
 
 	invs := make([]spec.Invocation, 8)
@@ -101,7 +107,9 @@ func creditThroughput(cfg CoreBenchConfig) (CoreBenchResult, error) {
 					return
 				default:
 				}
-				tx := sys.Begin()
+				// The pooled pipeline is the production hot path (it is
+				// what Atomically drives), so it is what the probe tracks.
+				tx := sys.BeginPooledCtx(nil)
 				ok := true
 				for i := 0; i < cfg.OpsPerTx; i++ {
 					if _, err := obj.Call(tx, invs[(g+i)%len(invs)]); err != nil {
@@ -113,11 +121,13 @@ func creditThroughput(cfg CoreBenchConfig) (CoreBenchResult, error) {
 				}
 				if !ok {
 					_ = tx.Abort()
+					sys.Recycle(tx)
 					continue
 				}
 				if err := tx.Commit(); err == nil {
 					commits.Add(1)
 				}
+				sys.Recycle(tx)
 			}
 		}(g)
 	}
@@ -237,5 +247,7 @@ func result(cfg CoreBenchConfig, workload string, calls, commits, timeouts int64
 		Wakeups:         st.Wakeups,
 		SpuriousWakeups: st.SpuriousWakeups,
 		WaiterHWM:       os.WaiterHWM,
+		GroupBatches:    st.GroupBatches,
+		GroupBatchTxs:   st.GroupBatchTxs,
 	}
 }

@@ -59,6 +59,17 @@ type Options struct {
 	// CommitTimeout bounds each message round trip of the commit
 	// protocol.  Zero means DefaultCommitTimeout.
 	CommitTimeout time.Duration
+	// GroupCommit enables each shard's commit batcher: concurrent
+	// single-shard commits on one shard coalesce into one critical-section
+	// pass per object (core.Options.GroupCommit).  Cross-shard commits are
+	// not batched — they serialize through the commit protocol.
+	GroupCommit bool
+	// ServerTransport routes cross-shard commits through goroutine/channel
+	// protocol servers (commitproto.Server) instead of direct in-process
+	// calls — the fault-injection transport, for tests that crash sites or
+	// time messages out.  Production clusters leave it off: the direct
+	// transport has no per-commit server lifecycle at all.
+	ServerTransport bool
 }
 
 // Cluster partitions objects across shard Systems and runs distributed
@@ -69,8 +80,12 @@ type Cluster struct {
 	coordClock *tstamp.NodeClock
 	coord      *commitproto.Coordinator
 	index      map[*core.System]int
-	txSeq      atomic.Uint64
-	stats      stats
+	// names holds the protocol site name of every shard ("shard<i>"),
+	// precomputed once here so the commit hot path never formats them.
+	names           []string
+	serverTransport bool
+	txSeq           atomic.Uint64
+	stats           stats
 }
 
 // New creates a cluster of opts.Shards independent shards.
@@ -82,9 +97,11 @@ func New(opts Options) (*Cluster, error) {
 		opts.CommitTimeout = DefaultCommitTimeout
 	}
 	c := &Cluster{
-		shards: make([]*core.System, opts.Shards),
-		clocks: make([]*tstamp.NodeClock, opts.Shards),
-		index:  make(map[*core.System]int, opts.Shards),
+		shards:          make([]*core.System, opts.Shards),
+		clocks:          make([]*tstamp.NodeClock, opts.Shards),
+		index:           make(map[*core.System]int, opts.Shards),
+		names:           make([]string, opts.Shards),
+		serverTransport: opts.ServerTransport,
 	}
 	for i := range c.shards {
 		clock := tstamp.NewNodeClock(i, opts.Shards+1)
@@ -94,12 +111,14 @@ func New(opts Options) (*Cluster, error) {
 			DeadlockDetection: opts.DeadlockDetection,
 			Sink:              opts.Sink,
 			Clock:             clock,
+			GroupCommit:       opts.GroupCommit,
 			// Cross-shard commits land via CommitAt with the
 			// coordinator's timestamp; shards must account for them.
 			ExternalTimestamps: true,
 		})
 		c.shards[i], c.clocks[i] = sys, clock
 		c.index[sys] = i
+		c.names[i] = fmt.Sprintf("shard%d", i)
 	}
 	c.coordClock = tstamp.NewNodeClock(opts.Shards, opts.Shards+1)
 	c.coord = commitproto.NewCoordinator(c.coordClock, opts.CommitTimeout)
@@ -185,6 +204,10 @@ func (c *Cluster) Stats() StatsSnapshot {
 		s.Total.Waits += sh.Waits
 		s.Total.Timeouts += sh.Timeouts
 		s.Total.WaitTime += sh.WaitTime
+		s.Total.Wakeups += sh.Wakeups
+		s.Total.SpuriousWakeups += sh.SpuriousWakeups
+		s.Total.GroupBatches += sh.GroupBatches
+		s.Total.GroupBatchTxs += sh.GroupBatchTxs
 	}
 	return s
 }

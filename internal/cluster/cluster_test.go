@@ -395,7 +395,27 @@ func readMirror(c *Cluster, ctrA, ctrB *core.Object) (a, b int64, ok bool, err e
 // and observed by cluster-wide snapshots.  The shared recorder must verify
 // as a single globally hybrid atomic history — global atomicity, not
 // per-shard atomicity — and money must be conserved.
+// TestClusterStressGlobalAtomicity runs the full mixed workload under
+// every commit configuration: the default direct transport, the
+// fault-injection server transport, and the direct transport with
+// per-shard group commit.  Global atomicity must hold identically.
 func TestClusterStressGlobalAtomicity(t *testing.T) {
+	for _, cfg := range []struct {
+		name            string
+		serverTransport bool
+		groupCommit     bool
+	}{
+		{"direct", false, false},
+		{"server-transport", true, false},
+		{"direct+group-commit", false, true},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			runClusterStress(t, cfg.serverTransport, cfg.groupCommit)
+		})
+	}
+}
+
+func runClusterStress(t *testing.T, serverTransport, groupCommit bool) {
 	const (
 		shards  = 4
 		workers = 8
@@ -403,7 +423,8 @@ func TestClusterStressGlobalAtomicity(t *testing.T) {
 		opening = 1_000
 	)
 	rec := verify.NewRecorder()
-	c, err := New(Options{Shards: shards, LockWait: 2 * time.Second, Sink: rec})
+	c, err := New(Options{Shards: shards, LockWait: 2 * time.Second, Sink: rec,
+		ServerTransport: serverTransport, GroupCommit: groupCommit})
 	if err != nil {
 		t.Fatal(err)
 	}

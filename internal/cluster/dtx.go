@@ -136,14 +136,26 @@ func (t *DTx) Commit() error {
 		return nil
 	}
 
-	servers := make([]*commitproto.Server, len(order))
+	// The protocol runs over the direct in-process transport by default:
+	// participants are called without any per-commit server goroutines,
+	// channels, or timers — the fault-injection Server transport survives
+	// behind Options.ServerTransport for crash testing.  Either way the
+	// transports stay alive until the decision re-apply loop below has
+	// finished: tearing a transport down before recovery re-delivery is
+	// exactly the late-decision race the seam forbids.
+	trs := make([]commitproto.Transport, len(order))
+	var servers []*commitproto.Server
 	for i, b := range order {
-		servers[i] = commitproto.NewServer(fmt.Sprintf("shard%d", b.shard), core.TxParticipant{Tx: b.tx})
+		p := core.TxParticipant{Tx: b.tx}
+		if t.c.serverTransport {
+			s := commitproto.NewServer(t.c.names[b.shard], p)
+			servers = append(servers, s)
+			trs[i] = s
+		} else {
+			trs[i] = commitproto.NewDirect(t.c.names[b.shard], p)
+		}
 	}
-	dec, ts, err := t.c.coord.RunCtx(t.ctx, t.id, servers)
-	for _, s := range servers {
-		s.Stop()
-	}
+	dec, ts, err := t.c.coord.RunTransports(t.ctx, t.id, trs)
 
 	// The protocol's message delivery is timeout-bounded; a branch that
 	// missed the decision would stay prepared, holding locks the caller
@@ -158,10 +170,11 @@ func (t *DTx) Commit() error {
 				// before the protocol, so no new call can enter, and a
 				// call still in flight makes Prepare veto the round.  A
 				// failure here would tear the transaction across shards.
-				panic(fmt.Sprintf("cluster: branch of %s on shard%d cannot apply decision %d: %v",
-					t.id, b.shard, ts, err))
+				panic(fmt.Sprintf("cluster: branch of %s on %s cannot apply decision %d: %v",
+					t.id, t.c.names[b.shard], ts, err))
 			}
 		}
+		stopServers(servers)
 		t.c.stats.committed.Add(1)
 		t.c.stats.crossShardCommit.Add(1)
 		return nil
@@ -169,6 +182,7 @@ func (t *DTx) Commit() error {
 	for _, b := range order {
 		_ = b.tx.Abort()
 	}
+	stopServers(servers)
 	t.c.stats.aborted.Add(1)
 	t.c.stats.protocolAborts.Add(1)
 	if err != nil {
@@ -179,6 +193,17 @@ func (t *DTx) Commit() error {
 		return fmt.Errorf("cluster: commit of %s: %w (%w)", t.id, ErrCommitAborted, err)
 	}
 	return fmt.Errorf("%w: %s", ErrCommitAborted, t.id)
+}
+
+// stopServers shuts down the fault-injection transport's servers, if that
+// transport was in use.  Called only after the protocol decision has been
+// applied (or every branch aborted) locally, so a stopped server can never
+// race a late decision delivery — the teardown used to precede the
+// decision re-apply loop, which left exactly that window open.
+func stopServers(servers []*commitproto.Server) {
+	for _, s := range servers {
+		s.Stop()
+	}
 }
 
 // Abort aborts the transaction on every touched shard, releasing its locks

@@ -1,8 +1,8 @@
 // Package commitproto implements atomic commitment: a two-phase commit
-// protocol over message-passing participants, with commit-timestamp
-// generation piggybacked on the protocol messages exactly as Section 2 of
-// Herlihy & Weihl suggests ("algorithms that piggyback timestamp
-// information on the messages of a commit protocol").
+// protocol over participants, with commit-timestamp generation piggybacked
+// on the protocol messages exactly as Section 2 of Herlihy & Weihl
+// suggests ("algorithms that piggyback timestamp information on the
+// messages of a commit protocol").
 //
 // During the prepare phase each participant votes and reports a lower bound
 // on the transaction's commit timestamp (the Section 6 bound recorded when
@@ -10,16 +10,31 @@
 // timestamp from its logical clock primed with the maximum reported bound,
 // which establishes precedes(H|X) ⊆ TS(H) at every participant.
 //
-// Participants run as goroutine servers connected by channels, simulating
-// the distributed setting in-process; failures are injected by making
-// participants vote no, crash before voting, or crash after voting.
+// The coordinator talks to participants through the Transport seam, which
+// has two implementations:
+//
+//   - Server wraps a participant in a goroutine reachable only through
+//     channels, simulating a remote site with crash and timeout failure
+//     modes — the fault-injection transport the crash-path tests drive;
+//   - Direct calls the participant in-process with no goroutine, channel,
+//     or timer per message — the fast transport production clusters put on
+//     the commit hot path (internal/cluster).
+//
+// Both transports must stay deliverable until every decision re-delivery
+// the caller intends has completed: the protocol's phase 2 is
+// timeout-bounded, so a caller that re-applies a missed decision (standard
+// 2PC recovery) does it after Run returns, and closing a transport first
+// would turn recovery into a lost decision.  Close transports only after
+// the decision is fully applied.
 package commitproto
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hybridcc/internal/histories"
@@ -36,6 +51,23 @@ type Participant interface {
 	Commit(tx histories.TxID, ts histories.Timestamp)
 	// Abort rolls the transaction back.
 	Abort(tx histories.TxID)
+}
+
+// Transport delivers protocol messages to one participant site.  Every
+// method reports ok=false when the site is unreachable (crashed, timed
+// out, or the context was cancelled before delivery); the coordinator
+// treats an unreachable prepare as a veto and an unreachable decision as
+// lost (the caller re-applies it through recovery).
+type Transport interface {
+	// Name identifies the site in error reports.
+	Name() string
+	// Prepare delivers the prepare request and returns the participant's
+	// timestamp lower bound and vote.
+	Prepare(ctx context.Context, tx histories.TxID, timeout time.Duration) (lower histories.Timestamp, vote, ok bool)
+	// Commit delivers the commit decision.
+	Commit(ctx context.Context, tx histories.TxID, ts histories.Timestamp, timeout time.Duration) (ok bool)
+	// Abort delivers the abort decision.
+	Abort(ctx context.Context, tx histories.TxID, timeout time.Duration) (ok bool)
 }
 
 // Decision is the outcome of a protocol round.
@@ -82,13 +114,19 @@ type response struct {
 	ok    bool // false when the server has crashed
 }
 
-// Server wraps a Participant in a goroutine reachable only through
-// channels, simulating a remote site.
+// Server is the fault-injection transport: it wraps a Participant in a
+// goroutine reachable only through channels, simulating a remote site that
+// can crash before or after voting and whose messages can time out.  The
+// per-commit cost (a server goroutine plus a channel, timer, and request
+// allocation per message) is the price of the failure modes; production
+// hot paths use Direct instead.
 type Server struct {
 	name    string
 	inbox   chan request
 	crashed chan struct{}
 }
+
+var _ Transport = (*Server)(nil)
 
 // NewServer starts a server for p.  The server processes one message at a
 // time until Stop or Crash.
@@ -157,6 +195,22 @@ func (s *Server) send(ctx context.Context, kind msgKind, tx histories.TxID, ts h
 	}
 }
 
+// Prepare implements Transport.
+func (s *Server) Prepare(ctx context.Context, tx histories.TxID, timeout time.Duration) (histories.Timestamp, bool, bool) {
+	r := s.send(ctx, msgPrepare, tx, 0, timeout)
+	return r.lower, r.vote, r.ok
+}
+
+// Commit implements Transport.
+func (s *Server) Commit(ctx context.Context, tx histories.TxID, ts histories.Timestamp, timeout time.Duration) bool {
+	return s.send(ctx, msgCommit, tx, ts, timeout).ok
+}
+
+// Abort implements Transport.
+func (s *Server) Abort(ctx context.Context, tx histories.TxID, timeout time.Duration) bool {
+	return s.send(ctx, msgAbort, tx, 0, timeout).ok
+}
+
 // Crash makes the server unreachable, simulating a site failure.
 func (s *Server) Crash() {
 	select {
@@ -166,25 +220,215 @@ func (s *Server) Crash() {
 	}
 }
 
-// Stop shuts the server down cleanly.
+// Stop shuts the server down cleanly.  Stop only after every decision
+// delivery — including recovery re-deliveries — has completed; a stopped
+// server silently drops late decisions, which is exactly the race the
+// Transport seam exists to make impossible on the direct path.
 func (s *Server) Stop() {
 	s.send(context.Background(), msgStop, "", 0, time.Second)
 }
 
-// Name returns the server's name.
+// Name implements Transport.
 func (s *Server) Name() string { return s.name }
 
+// Direct is the in-process fast transport: protocol messages are plain
+// method calls on the participant — no server goroutine, no per-message
+// channel or timer, no per-commit lifecycle to tear down.  Crash makes the
+// site unreachable (messages are dropped without reaching the
+// participant), so the crash-path protocol tests run against Direct
+// exactly as against Server; what Direct cannot simulate is a slow site —
+// calls are synchronous, so the timeout parameter is ignored and only
+// pre-call cancellation is observed.
+type Direct struct {
+	name    string
+	p       Participant
+	crashed atomic.Bool
+}
+
+var _ Transport = (*Direct)(nil)
+
+// NewDirect returns a direct transport for p.
+func NewDirect(name string, p Participant) *Direct {
+	return &Direct{name: name, p: p}
+}
+
+// Crash makes the transport unreachable: subsequent messages are dropped
+// before reaching the participant.
+func (d *Direct) Crash() { d.crashed.Store(true) }
+
+// Name implements Transport.
+func (d *Direct) Name() string { return d.name }
+
+// Prepare implements Transport.
+func (d *Direct) Prepare(ctx context.Context, tx histories.TxID, _ time.Duration) (histories.Timestamp, bool, bool) {
+	if d.crashed.Load() || ctx.Err() != nil {
+		return 0, false, false
+	}
+	lower, vote := d.p.Prepare(tx)
+	return lower, vote, true
+}
+
+// Commit implements Transport.
+func (d *Direct) Commit(ctx context.Context, tx histories.TxID, ts histories.Timestamp, _ time.Duration) bool {
+	if d.crashed.Load() || ctx.Err() != nil {
+		return false
+	}
+	d.p.Commit(tx, ts)
+	return true
+}
+
+// Abort implements Transport.
+func (d *Direct) Abort(ctx context.Context, tx histories.TxID, _ time.Duration) bool {
+	if d.crashed.Load() || ctx.Err() != nil {
+		return false
+	}
+	d.p.Abort(tx)
+	return true
+}
+
+// workerPool is a bounded pool of fan-out workers shared by every protocol
+// round of one Coordinator — the coordinator-side batcher: concurrent
+// cross-shard commits reuse the same resident goroutines for their prepare
+// and decision fan-outs instead of spawning fresh ones per round.
+//
+// A task is handed to the queue only after reserving an idle worker (a
+// CAS-decrement of the idle count), so it can never sit behind a worker
+// stalled in a slow or crashed site's message: with no idle worker a new
+// one is spawned up to max, and beyond max the task runs on a one-off
+// goroutine.
+type workerPool struct {
+	tasks   chan func()
+	idle    atomic.Int32
+	workers atomic.Int32
+	max     int32
+}
+
+func newWorkerPool() *workerPool {
+	max := int32(4 * runtime.GOMAXPROCS(0))
+	return &workerPool{tasks: make(chan func(), 4*max), max: max}
+}
+
+// submit runs f on an idle pooled worker if one can be reserved, else on a
+// freshly spawned worker (bounded by max), else on a plain goroutine.  f
+// always runs; submit never blocks.
+func (p *workerPool) submit(f func()) {
+	for {
+		n := p.idle.Load()
+		if n <= 0 {
+			break
+		}
+		if p.idle.CompareAndSwap(n, n-1) {
+			// The reservation guarantees a worker is at (or heading to)
+			// the channel receive, and the buffer outsizes max, so this
+			// send cannot block.
+			p.tasks <- f
+			return
+		}
+	}
+	p.spawn(f)
+}
+
+// poolIdleTimeout is how long a resident worker waits for its next task
+// before retiring: the pool shrinks back to nothing when a coordinator
+// goes quiet, so discarded Coordinators leak no goroutines.
+const poolIdleTimeout = time.Second
+
+// spawn starts a resident worker seeded with f if the pool has room, and
+// otherwise runs f on a one-off goroutine.
+func (p *workerPool) spawn(f func()) {
+	if n := p.workers.Add(1); n <= p.max {
+		go func() {
+			f()
+			for {
+				// The matching decrement happens in submit's reservation.
+				p.idle.Add(1)
+				select {
+				case t := <-p.tasks:
+					t()
+				case <-time.After(poolIdleTimeout):
+					// Retract the idle token and retire.  If the token is
+					// gone, a submitter already reserved it — a task is
+					// owed to the channel, so take exactly one more.
+					if p.retractIdle() {
+						p.workers.Add(-1)
+						return
+					}
+					t := <-p.tasks
+					t()
+				}
+			}
+		}()
+		return
+	}
+	p.workers.Add(-1)
+	go f()
+}
+
+// retractIdle removes one idle token if any remain.  Tokens are fungible —
+// retracting "someone else's" is fine, the count is what matters: it must
+// equal the number of workers that will come to the channel for a task.
+func (p *workerPool) retractIdle() bool {
+	for {
+		n := p.idle.Load()
+		if n <= 0 {
+			return false
+		}
+		if p.idle.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
 // Coordinator drives two-phase commit rounds and owns the logical clock
-// that issues commit timestamps.
+// that issues commit timestamps.  One Coordinator serves concurrent
+// rounds; their message fan-outs share its worker pool.
 type Coordinator struct {
 	clock   tstamp.Clock
 	timeout time.Duration
+
+	poolOnce sync.Once
+	pool     *workerPool
 }
 
 // NewCoordinator returns a coordinator drawing timestamps from clock.
 // timeout bounds each message round trip.
 func NewCoordinator(clock tstamp.Clock, timeout time.Duration) *Coordinator {
 	return &Coordinator{clock: clock, timeout: timeout}
+}
+
+func (c *Coordinator) workers() *workerPool {
+	c.poolOnce.Do(func() { c.pool = newWorkerPool() })
+	return c.pool
+}
+
+// fanOut delivers f(i) for every transport index.  With at most two
+// participants the calls run inline and sequentially — cheaper than any
+// goroutine handoff for the in-process direct transport, the production
+// hot path and the common shape of a cross-shard transaction.  The
+// trade-off falls on the Server (fault-injection) transport: a stalled
+// site in a two-participant round delays its peer's message by up to the
+// round-trip timeout, where the old always-parallel fan-out overlapped
+// them; crash tests absorb that bounded extra latency.  Larger fan-outs
+// go through the shared worker pool, one call inline.
+func (c *Coordinator) fanOut(n int, f func(int)) {
+	if n <= 2 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n - 1)
+	w := c.workers()
+	for i := 1; i < n; i++ {
+		i := i
+		w.submit(func() {
+			defer wg.Done()
+			f(i)
+		})
+	}
+	f(0)
+	wg.Wait()
 }
 
 // Run executes one two-phase commit round for tx across the given servers.
@@ -195,44 +439,61 @@ func (c *Coordinator) Run(tx histories.TxID, servers []*Server) (Decision, histo
 	return c.RunCtx(context.Background(), tx, servers)
 }
 
-// RunCtx is Run bound to ctx.  Cancellation is honored only while the
-// outcome is still open: a cancel during the prepare phase aborts the round
-// (abort messages are still delivered outside ctx, so no participant is
-// left prepared), and the returned error wraps ctx.Err().  Once every vote
-// is in and affirmative, the decision is commit — phase 2 ignores ctx,
-// because a decided commit must reach every participant or the transaction
-// would be torn.
+// RunCtx is Run bound to ctx; see RunTransports for the semantics.
 func (c *Coordinator) RunCtx(ctx context.Context, tx histories.TxID, servers []*Server) (Decision, histories.Timestamp, error) {
-	if len(servers) == 0 {
+	trs := make([]Transport, len(servers))
+	for i, s := range servers {
+		trs[i] = s
+	}
+	return c.RunTransports(ctx, tx, trs)
+}
+
+// RunTransports executes one two-phase commit round for tx across the
+// given transports.  Cancellation is honored only while the outcome is
+// still open: a cancel during the prepare phase aborts the round (abort
+// messages are still delivered outside ctx, so no participant is left
+// prepared), and the returned error wraps ctx.Err().  Once every vote is
+// in and affirmative, the decision is commit — phase 2 ignores ctx,
+// because a decided commit must reach every participant or the transaction
+// would be torn.  The caller owns transport lifecycle: transports must
+// outlive every decision (re-)delivery, including post-Run recovery.
+func (c *Coordinator) RunTransports(ctx context.Context, tx histories.TxID, trs []Transport) (Decision, histories.Timestamp, error) {
+	n := len(trs)
+	if n == 0 {
 		return Aborted, 0, ErrNoParticipants
 	}
 
-	// Phase 1: prepare, collecting votes and timestamp lower bounds in
-	// parallel (one goroutine per site, as a real coordinator would).
+	// Phase 1: prepare, collecting votes and timestamp lower bounds.  The
+	// fan-out is inline for one or two participants and pooled beyond
+	// that; each slot of votes is owned by exactly one call, so the
+	// results need no channel.
 	type voteResult struct {
-		i    int
-		resp response
+		lower histories.Timestamp
+		vote  bool
+		ok    bool
 	}
-	votes := make(chan voteResult, len(servers))
-	for i, s := range servers {
-		go func(i int, s *Server) {
-			votes <- voteResult{i: i, resp: s.send(ctx, msgPrepare, tx, 0, c.timeout)}
-		}(i, s)
+	var votesBuf [4]voteResult
+	votes := votesBuf[:min(n, len(votesBuf))]
+	if n > len(votesBuf) {
+		votes = make([]voteResult, n)
 	}
+	c.fanOut(n, func(i int) {
+		lower, vote, ok := trs[i].Prepare(ctx, tx, c.timeout)
+		votes[i] = voteResult{lower: lower, vote: vote, ok: ok}
+	})
 	lower := histories.Timestamp(0)
 	allYes := true
 	var failed []string
-	for range servers {
-		v := <-votes
+	for i, v := range votes {
 		switch {
-		case !v.resp.ok:
+		case !v.ok:
 			allYes = false
-			failed = append(failed, servers[v.i].name)
-		case !v.resp.vote:
+			failed = append(failed, trs[i].Name())
+		case !v.vote:
 			allYes = false
 		default:
-			if v.resp.lower > lower {
-				lower = v.resp.lower
+			if v.lower > lower {
+				lower = v.lower
 			}
 		}
 	}
@@ -240,18 +501,12 @@ func (c *Coordinator) RunCtx(ctx context.Context, tx histories.TxID, servers []*
 	if err := ctx.Err(); err != nil || !allYes {
 		// Aborts go out without ctx: participants that voted yes hold
 		// locks until they learn the decision, so the abort must be
-		// delivered even though the caller has given up.  Delivery is
-		// parallel — one site still chewing on its prepare must not delay
-		// the others' release.
-		var aborts sync.WaitGroup
-		for _, s := range servers {
-			aborts.Add(1)
-			go func(s *Server) {
-				defer aborts.Done()
-				s.send(context.Background(), msgAbort, tx, 0, c.timeout)
-			}(s)
-		}
-		aborts.Wait()
+		// delivered even though the caller has given up.  Wide fan-outs
+		// deliver in parallel; two-participant rounds deliver in line
+		// (each send is still individually timeout-bounded).
+		c.fanOut(n, func(i int) {
+			trs[i].Abort(context.Background(), tx, c.timeout)
+		})
 		if err != nil {
 			return Aborted, 0, fmt.Errorf("commitproto: round cancelled: %w", err)
 		}
@@ -262,20 +517,14 @@ func (c *Coordinator) RunCtx(ctx context.Context, tx histories.TxID, servers []*
 	}
 
 	// Phase 2: decide.  The timestamp exceeds every participant's bound,
-	// establishing the precedes ⊆ TS constraint at each object.
+	// establishing the precedes ⊆ TS constraint at each object.  In
+	// standard 2PC a participant that voted yes must apply the decision
+	// when it recovers; delivery is best-effort here, and a participant
+	// the message missed is re-applied by the caller (which is why the
+	// transports must still be alive after Run returns).
 	ts := c.clock.Next(lower)
-	acks := make(chan bool, len(servers))
-	for _, s := range servers {
-		go func(s *Server) {
-			acks <- s.send(context.Background(), msgCommit, tx, ts, c.timeout).ok
-		}(s)
-	}
-	for range servers {
-		// In standard 2PC a participant that voted yes must apply the
-		// decision when it recovers; the in-process simulation just
-		// collects acks (a crashed participant loses its state, which
-		// failure-injection tests observe deliberately).
-		<-acks
-	}
+	c.fanOut(n, func(i int) {
+		trs[i].Commit(context.Background(), tx, ts, c.timeout)
+	})
 	return Committed, ts, nil
 }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"hybridcc/internal/adt"
+	"hybridcc/internal/baseline"
+)
+
+// Allocation ceilings for the zero-allocation commit pipeline.  These are
+// hard regression gates, not benchmarks: CI runs them on every push (the
+// bench-smoke step), and a change that re-introduces per-transaction
+// allocation churn fails loudly.  The ceilings leave one alloc of
+// headroom over the measured steady state (see EXPERIMENTS.md for the
+// recorded numbers); raise them only with a justification in the commit.
+const (
+	// grantAllocCeiling bounds one granted call inside an open pooled
+	// transaction (steady state: spec-state boxing + intentions growth).
+	grantAllocCeiling = 4
+	// commitAllocCeiling bounds one full pooled begin→credit→commit→
+	// recycle cycle (steady state ~5: spec boxing, tail entry, snapshot).
+	commitAllocCeiling = 6
+)
+
+func TestAllocCeilingGrantFastPath(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts shift under the race detector")
+	}
+	sys := NewSystem(Options{})
+	obj := sys.NewObjectSeeded("hot", baseline.SpecFor("Account"),
+		baseline.ConflictFor("hybrid", "Account"), baseline.UniverseFor("Account"))
+	inv := adt.CreditInv(1)
+	tx := sys.BeginPooledCtx(nil)
+	n := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := obj.Call(tx, inv); err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n%64 == 0 {
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			sys.Recycle(tx)
+			tx = sys.BeginPooledCtx(nil)
+		}
+	})
+	if allocs > grantAllocCeiling {
+		t.Errorf("grant fast path allocates %.1f/op, ceiling %d", allocs, grantAllocCeiling)
+	}
+}
+
+func TestAllocCeilingPooledCommitCycle(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts shift under the race detector")
+	}
+	sys := NewSystem(Options{})
+	obj := sys.NewObjectSeeded("hot", baseline.SpecFor("Account"),
+		baseline.ConflictFor("hybrid", "Account"), baseline.UniverseFor("Account"))
+	inv := adt.CreditInv(1)
+	// Warm the pools so the run measures steady state, not first-use
+	// growth.
+	for i := 0; i < 16; i++ {
+		tx := sys.BeginPooledCtx(nil)
+		if _, err := obj.Call(tx, inv); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		sys.Recycle(tx)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		tx := sys.BeginPooledCtx(nil)
+		if _, err := obj.Call(tx, inv); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		sys.Recycle(tx)
+	})
+	if allocs > commitAllocCeiling {
+		t.Errorf("pooled commit cycle allocates %.1f/op, ceiling %d", allocs, commitAllocCeiling)
+	}
+}

@@ -32,6 +32,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -95,6 +96,12 @@ type Options struct {
 	// letting it time out.  Timeouts still apply to waits that are not
 	// deadlocks (e.g. a partial operation awaiting data).
 	DeadlockDetection bool
+	// GroupCommit routes Tx.Commit through a per-System commit batcher
+	// that coalesces concurrent commits into one critical-section pass per
+	// object — one snapshot publication and one wakeup scan amortized over
+	// the whole batch, with every transaction still drawing its own,
+	// distinct timestamp.  See commitBatcher for the invariants.
+	GroupCommit bool
 }
 
 // DefaultLockWait is the default lock-conflict timeout.
@@ -118,6 +125,19 @@ type System struct {
 	// legacy sink without sequencing forces readers through the mutex so it
 	// keeps seeing a per-object ordered stream.
 	fastReads bool
+
+	// batcher is the group-commit combiner, nil unless Options.GroupCommit.
+	batcher *commitBatcher
+
+	// The hot-path free lists.  txPool recycles Tx structs (with their
+	// touched maps and scratch buffers) through BeginPooled/Recycle;
+	// lockPool recycles txLock records released by commit and abort;
+	// waiterPool recycles blocked-call waiter nodes and their signal
+	// channels.  Everything handed to a pool is reset first — the
+	// recycling stress tests pin that no state crosses incarnations.
+	txPool     sync.Pool
+	lockPool   sync.Pool
+	waiterPool sync.Pool
 }
 
 // NewSystem returns a System with the given options.
@@ -131,6 +151,9 @@ func NewSystem(opts Options) *System {
 	s := &System{opts: opts, clock: opts.Clock}
 	s.seqSink, _ = opts.Sink.(SeqSink)
 	s.fastReads = !opts.ExternalTimestamps && (opts.Sink == nil || s.seqSink != nil)
+	if opts.GroupCommit {
+		s.batcher = newCommitBatcher(s)
+	}
 	return s
 }
 
@@ -145,14 +168,83 @@ func (s *System) BeginCtx(ctx context.Context) *Tx {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	n := s.txSeq.Add(1)
 	s.stats.Begun.Add(1)
 	return &Tx{
 		sys:     s,
-		id:      histories.TxID(fmt.Sprintf("T%d", n)),
+		seq:     s.txSeq.Add(1),
 		ctx:     ctx,
 		touched: make(map[*Object]bool),
 	}
+}
+
+// BeginPooledCtx is BeginCtx drawing the Tx from the system free list: the
+// struct, its touched map, and its scratch buffers are recycled from an
+// earlier completed transaction instead of allocated.  The caller must
+// hand the Tx back with Recycle once it has committed or aborted, and must
+// not retain the handle past that point: a retained handle fails with
+// ErrTxDone (the recycled status) until the struct is reused, and never
+// observes the previous incarnation's state — but once a NEW transaction
+// begins on the reused struct, the retained pointer aliases that
+// transaction, exactly like a database/sql statement used after Close.
+// Code that needs handles with an open-ended lifetime uses Begin, whose
+// transactions are never pooled.  Atomically's retry loop runs entirely
+// on one pooled Tx this way, scoping the handle to the callback.
+func (s *System) BeginPooledCtx(ctx context.Context) *Tx {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.stats.Begun.Add(1)
+	t, ok := s.txPool.Get().(*Tx)
+	if !ok {
+		return &Tx{
+			sys:     s,
+			seq:     s.txSeq.Add(1),
+			ctx:     ctx,
+			touched: make(map[*Object]bool),
+		}
+	}
+	// The struct left Recycle in the txRecycled state with touched cleared
+	// and scratches truncated; only identity and liveness need resetting.
+	t.mu.Lock()
+	t.seq = s.txSeq.Add(1)
+	t.id = ""
+	t.gen++
+	t.status = txActive
+	t.busy = false
+	t.prepared = false
+	t.ts = 0
+	t.ctx = ctx
+	t.mu.Unlock()
+	return t
+}
+
+// Recycle returns a completed pooled transaction to the free list.  It is
+// a no-op unless the transaction has committed or aborted and no operation
+// is still executing on it — an active or busy Tx is never torn out from
+// under a concurrent caller, it is simply not recycled.  After Recycle the
+// handle is dead: every method returns ErrTxDone.
+func (s *System) Recycle(t *Tx) {
+	t.mu.Lock()
+	if (t.status != txCommitted && t.status != txAborted) || t.busy {
+		t.mu.Unlock()
+		return
+	}
+	t.status = txRecycled
+	clear(t.touched)
+	t.objScratch = t.objScratch[:0]
+	t.evScratch = t.evScratch[:0]
+	t.ctx = nil
+	if t.done != nil {
+		// A group-commit signal can never be pending here (only blocked
+		// followers are signalled), but a stray token must not leak into
+		// the next incarnation's wait.
+		select {
+		case <-t.done:
+		default:
+		}
+	}
+	t.mu.Unlock()
+	s.txPool.Put(t)
 }
 
 // BeginBranch starts a transaction branch carrying an externally chosen
@@ -172,6 +264,60 @@ func (s *System) BeginBranch(ctx context.Context, id histories.TxID) *Tx {
 		ctx:     ctx,
 		touched: make(map[*Object]bool),
 	}
+}
+
+// getLock draws a clean txLock record from the free list.
+func (s *System) getLock() *txLock {
+	if lk, ok := s.lockPool.Get().(*txLock); ok {
+		return lk
+	}
+	return &txLock{}
+}
+
+// putLock resets a released lock record and returns it to the free list.
+// opsEscaped tells it the intentions slice was handed to the committed
+// tail (committedEntry shares the backing array) and must not be reused;
+// an aborted record's slice escaped nowhere and keeps its capacity.
+func (s *System) putLock(lk *txLock, opsEscaped bool) {
+	if opsEscaped {
+		lk.ops = nil
+	} else {
+		lk.ops = lk.ops[:0]
+	}
+	for i := range lk.mask {
+		lk.mask[i] = 0
+	}
+	lk.mask = lk.mask[:0]
+	lk.extra = lk.extra[:0]
+	lk.bound = 0
+	lk.view = nil
+	lk.viewGen, lk.viewOps, lk.viewValid = 0, 0, false
+	s.lockPool.Put(lk)
+}
+
+// getWaiter draws a waiter node (with its reusable signal channel) from
+// the free list.
+func (s *System) getWaiter() *waiter {
+	if w, ok := s.waiterPool.Get().(*waiter); ok {
+		return w
+	}
+	return &waiter{ch: make(chan struct{}, 1)}
+}
+
+// putWaiter resets a dequeued waiter and returns it to the free list.  The
+// caller must have dequeued it; a stray signal already in flight to the
+// channel is drained so the next incarnation starts unsignalled.
+func (s *System) putWaiter(w *waiter) {
+	select {
+	case <-w.ch:
+	default:
+	}
+	w.mask = nil
+	w.classes = 0
+	w.anyCommit, w.allEvents = false, false
+	w.next, w.prev = nil, nil
+	w.queued = false
+	s.waiterPool.Put(w)
 }
 
 // Stats returns a snapshot of system-wide counters.
@@ -229,6 +375,11 @@ type Stats struct {
 	// Their ratio is the precision of the targeted-wakeup masks.
 	Wakeups         atomic.Int64
 	SpuriousWakeups atomic.Int64
+	// GroupBatches counts group-commit batches; GroupBatchTxs the
+	// transactions committed through them.  Their ratio is the achieved
+	// batch size — the amortization factor of the commit batcher.
+	GroupBatches  atomic.Int64
+	GroupBatchTxs atomic.Int64
 }
 
 // StatsSnapshot is an immutable copy of Stats.
@@ -242,6 +393,8 @@ type StatsSnapshot struct {
 	WaitTime        time.Duration
 	Wakeups         int64
 	SpuriousWakeups int64
+	GroupBatches    int64
+	GroupBatchTxs   int64
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
@@ -255,6 +408,8 @@ func (s *Stats) snapshot() StatsSnapshot {
 		WaitTime:        time.Duration(s.WaitNanos.Load()),
 		Wakeups:         s.Wakeups.Load(),
 		SpuriousWakeups: s.SpuriousWakeups.Load(),
+		GroupBatches:    s.GroupBatches.Load(),
+		GroupBatchTxs:   s.GroupBatchTxs.Load(),
 	}
 }
 

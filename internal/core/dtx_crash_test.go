@@ -19,15 +19,43 @@ import (
 // through core.TxParticipant: a participant that loses the commit decision
 // (crash after voting) leaves its branch prepared — locks held — until a
 // later decision resolves it, and a round that cannot gather every vote
-// releases the locks of every branch that did vote.
+// releases the locks of every branch that did vote.  Every scenario runs
+// against BOTH transports — the goroutine/channel Server (fault
+// injection) and the in-process Direct (the production fast path) — since
+// the recovery obligations are transport-independent.
 
-// decisionDropper wraps a participant and swallows the first commit
-// decision, simulating a site that crashed after voting yes: the decision
-// was made without it, and only recovery (a later re-delivery) applies it.
+// protoTransport bundles a transport with its crash and stop controls so
+// the crash-path scenarios can be written once and run over both kinds.
+type protoTransport struct {
+	tr    commitproto.Transport
+	crash func()
+	stop  func()
+}
+
+var transportKinds = []string{"server", "direct"}
+
+func makeTransport(kind, name string, p commitproto.Participant) protoTransport {
+	switch kind {
+	case "server":
+		s := commitproto.NewServer(name, p)
+		return protoTransport{tr: s, crash: s.Crash, stop: s.Stop}
+	case "direct":
+		d := commitproto.NewDirect(name, p)
+		return protoTransport{tr: d, crash: d.Crash, stop: func() {}}
+	default:
+		panic("unknown transport kind " + kind)
+	}
+}
+
+// decisionDropper wraps a participant and swallows commit decisions while
+// the simulated site is down (crashed after voting yes): the decision was
+// made without it, and only recovery — recover() then a re-delivery —
+// applies it.
 type decisionDropper struct {
 	inner commitproto.Participant
 
 	mu      sync.Mutex
+	up      bool
 	dropped []histories.Timestamp
 }
 
@@ -37,7 +65,21 @@ func (d *decisionDropper) Prepare(tx histories.TxID) (histories.Timestamp, bool)
 
 func (d *decisionDropper) Commit(tx histories.TxID, ts histories.Timestamp) {
 	d.mu.Lock()
-	d.dropped = append(d.dropped, ts)
+	up := d.up
+	if !up {
+		d.dropped = append(d.dropped, ts)
+	}
+	d.mu.Unlock()
+	if up {
+		d.inner.Commit(tx, ts)
+	}
+}
+
+// recover brings the site back: subsequent deliveries reach the inner
+// participant.
+func (d *decisionDropper) recover() {
+	d.mu.Lock()
+	d.up = true
 	d.mu.Unlock()
 }
 
@@ -53,64 +95,74 @@ func debitBlocked(s *site) bool {
 }
 
 func TestCrashAfterVoteLeavesBranchPreparedUntilDecision(t *testing.T) {
-	a, b := newSite("accA"), newSite("accB")
-	fund(t, a, 100)
-	fund(t, b, 100)
+	for _, kind := range transportKinds {
+		t.Run(kind, func(t *testing.T) {
+			a, b := newSite("accA"), newSite("accB")
+			fund(t, a, 100)
+			fund(t, b, 100)
 
-	brA, brB := a.sys.Begin(), b.sys.Begin()
-	if res, err := a.acc.Call(brA, adt.DebitInv(10)); err != nil || res != adt.ResOk {
-		t.Fatalf("debit A: %q %v", res, err)
-	}
-	if res, err := b.acc.Call(brB, adt.DebitInv(10)); err != nil || res != adt.ResOk {
-		t.Fatalf("debit B: %q %v", res, err)
-	}
+			brA, brB := a.sys.Begin(), b.sys.Begin()
+			if res, err := a.acc.Call(brA, adt.DebitInv(10)); err != nil || res != adt.ResOk {
+				t.Fatalf("debit A: %q %v", res, err)
+			}
+			if res, err := b.acc.Call(brB, adt.DebitInv(10)); err != nil || res != adt.ResOk {
+				t.Fatalf("debit B: %q %v", res, err)
+			}
 
-	dropB := &decisionDropper{inner: TxParticipant{Tx: brB}}
-	sa := commitproto.NewServer("siteA", TxParticipant{Tx: brA})
-	sb := commitproto.NewServer("siteB", dropB)
-	defer sa.Stop()
-	defer sb.Stop()
+			dropB := &decisionDropper{inner: TxParticipant{Tx: brB}}
+			ta := makeTransport(kind, "siteA", TxParticipant{Tx: brA})
+			tb := makeTransport(kind, "siteB", dropB)
+			defer ta.stop()
+			defer tb.stop()
 
-	coord := commitproto.NewCoordinator(tstamp.NewSource(), time.Second)
-	dec, ts, err := coord.Run("gtx", []*commitproto.Server{sa, sb})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if dec != commitproto.Committed {
-		t.Fatalf("decision = %v, want committed (both voted yes)", dec)
-	}
+			coord := commitproto.NewCoordinator(tstamp.NewSource(), time.Second)
+			dec, ts, err := coord.RunTransports(context.Background(), "gtx",
+				[]commitproto.Transport{ta.tr, tb.tr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dec != commitproto.Committed {
+				t.Fatalf("decision = %v, want committed (both voted yes)", dec)
+			}
 
-	// Site A applied the decision; site B lost it.  B's branch must still
-	// be prepared: intentions not merged, locks held.
-	if got := adt.AccountBalance(a.acc.CommittedState()); got != 90 {
-		t.Errorf("site A balance = %d, want 90", got)
-	}
-	if got := adt.AccountBalance(b.acc.CommittedState()); got != 100 {
-		t.Errorf("site B balance = %d, want 100 (decision lost, not applied)", got)
-	}
-	if !debitBlocked(b) {
-		t.Fatal("site B released its locks without learning the decision")
-	}
+			// Site A applied the decision; site B lost it.  B's branch must
+			// still be prepared: intentions not merged, locks held.
+			if got := adt.AccountBalance(a.acc.CommittedState()); got != 90 {
+				t.Errorf("site A balance = %d, want 90", got)
+			}
+			if got := adt.AccountBalance(b.acc.CommittedState()); got != 100 {
+				t.Errorf("site B balance = %d, want 100 (decision lost, not applied)", got)
+			}
+			if !debitBlocked(b) {
+				t.Fatal("site B released its locks without learning the decision")
+			}
 
-	// Recovery: the decision is re-delivered with the round's timestamp.
-	// CommitAt is idempotent in outcome — the branch merges at exactly the
-	// timestamp every other site already used.
-	TxParticipant{Tx: brB}.Commit("gtx", ts)
-	if got := adt.AccountBalance(b.acc.CommittedState()); got != 90 {
-		t.Errorf("site B balance after recovery = %d, want 90", got)
-	}
-	if wts, ok := brB.Timestamp(); !ok || wts != ts {
-		t.Errorf("branch timestamp = (%d,%v), want (%d,true)", wts, ok, ts)
-	}
-	if debitBlocked(b) {
-		t.Error("site B still holds locks after the decision resolved the branch")
-	}
+			// Recovery: the decision is re-delivered with the round's
+			// timestamp — through the still-live transport, which the
+			// lifecycle contract keeps deliverable until exactly this
+			// point.  CommitAt is idempotent in outcome: the branch merges
+			// at the timestamp every other site already used.
+			dropB.recover()
+			if !tb.tr.Commit(context.Background(), "gtx", ts, time.Second) {
+				t.Fatal("recovery delivery failed on a live transport")
+			}
+			if got := adt.AccountBalance(b.acc.CommittedState()); got != 90 {
+				t.Errorf("site B balance after recovery = %d, want 90", got)
+			}
+			if wts, ok := brB.Timestamp(); !ok || wts != ts {
+				t.Errorf("branch timestamp = (%d,%v), want (%d,true)", wts, ok, ts)
+			}
+			if debitBlocked(b) {
+				t.Error("site B still holds locks after the decision resolved the branch")
+			}
 
-	for _, s := range []*site{a, b} {
-		specs := histories.SpecMap{s.acc.Name(): adt.NewAccount()}
-		if err := verify.CheckHybridAtomic(s.rec.History(), specs); err != nil {
-			t.Errorf("site %s: %v", s.acc.Name(), err)
-		}
+			for _, s := range []*site{a, b} {
+				specs := histories.SpecMap{s.acc.Name(): adt.NewAccount()}
+				if err := verify.CheckHybridAtomic(s.rec.History(), specs); err != nil {
+					t.Errorf("site %s: %v", s.acc.Name(), err)
+				}
+			}
+		})
 	}
 }
 
@@ -149,93 +201,107 @@ func TestPreparedBranchFrozen(t *testing.T) {
 }
 
 func TestPartialPrepareAbortReleasesVotedLocks(t *testing.T) {
-	a, b, c := newSite("accA"), newSite("accB"), newSite("accC")
-	for _, s := range []*site{a, b, c} {
-		fund(t, s, 100)
-	}
+	for _, kind := range transportKinds {
+		t.Run(kind, func(t *testing.T) {
+			a, b, c := newSite("accA"), newSite("accB"), newSite("accC")
+			for _, s := range []*site{a, b, c} {
+				fund(t, s, 100)
+			}
 
-	brA, brB, brC := a.sys.Begin(), b.sys.Begin(), c.sys.Begin()
-	for _, p := range []struct {
-		s  *site
-		br *Tx
-	}{{a, brA}, {b, brB}, {c, brC}} {
-		if res, err := p.s.acc.Call(p.br, adt.DebitInv(10)); err != nil || res != adt.ResOk {
-			t.Fatalf("debit %s: %q %v", p.s.acc.Name(), res, err)
-		}
-	}
+			brA, brB, brC := a.sys.Begin(), b.sys.Begin(), c.sys.Begin()
+			for _, p := range []struct {
+				s  *site
+				br *Tx
+			}{{a, brA}, {b, brB}, {c, brC}} {
+				if res, err := p.s.acc.Call(p.br, adt.DebitInv(10)); err != nil || res != adt.ResOk {
+					t.Fatalf("debit %s: %q %v", p.s.acc.Name(), res, err)
+				}
+			}
 
-	sa := commitproto.NewServer("siteA", TxParticipant{Tx: brA})
-	sb := commitproto.NewServer("siteB", TxParticipant{Tx: brB})
-	sc := commitproto.NewServer("siteC", TxParticipant{Tx: brC})
-	defer sa.Stop()
-	defer sb.Stop()
-	sc.Crash() // site C never votes
+			ta := makeTransport(kind, "siteA", TxParticipant{Tx: brA})
+			tb := makeTransport(kind, "siteB", TxParticipant{Tx: brB})
+			tc := makeTransport(kind, "siteC", TxParticipant{Tx: brC})
+			defer ta.stop()
+			defer tb.stop()
+			tc.crash() // site C never votes
 
-	coord := commitproto.NewCoordinator(tstamp.NewSource(), 50*time.Millisecond)
-	dec, _, err := coord.Run("gtx", []*commitproto.Server{sa, sb, sc})
-	if dec != commitproto.Aborted {
-		t.Fatalf("decision = %v, want aborted", dec)
-	}
-	if err == nil || !strings.Contains(err.Error(), "unreachable") {
-		t.Fatalf("err = %v, want unreachable report", err)
-	}
+			coord := commitproto.NewCoordinator(tstamp.NewSource(), 50*time.Millisecond)
+			dec, _, err := coord.RunTransports(context.Background(), "gtx",
+				[]commitproto.Transport{ta.tr, tb.tr, tc.tr})
+			if dec != commitproto.Aborted {
+				t.Fatalf("decision = %v, want aborted", dec)
+			}
+			if err == nil || !strings.Contains(err.Error(), "unreachable") {
+				t.Fatalf("err = %v, want unreachable report", err)
+			}
 
-	// The voted branches were aborted by the protocol: completed (a direct
-	// Abort is redundant), unwound (balances untouched), and unlocked (a
-	// conflicting debit is grantable again immediately).
-	for _, p := range []struct {
-		s  *site
-		br *Tx
-	}{{a, brA}, {b, brB}} {
-		if err := p.br.Abort(); !errors.Is(err, ErrTxDone) {
-			t.Errorf("branch at %s: Abort = %v, want ErrTxDone (protocol aborted it)", p.s.acc.Name(), err)
-		}
-		if got := adt.AccountBalance(p.s.acc.CommittedState()); got != 100 {
-			t.Errorf("site %s balance = %d, want 100", p.s.acc.Name(), got)
-		}
-		if debitBlocked(p.s) {
-			t.Errorf("site %s still holds the aborted branch's locks", p.s.acc.Name())
-		}
+			// The voted branches were aborted by the protocol: completed (a
+			// direct Abort is redundant), unwound (balances untouched), and
+			// unlocked (a conflicting debit is grantable again immediately).
+			for _, p := range []struct {
+				s  *site
+				br *Tx
+			}{{a, brA}, {b, brB}} {
+				if err := p.br.Abort(); !errors.Is(err, ErrTxDone) {
+					t.Errorf("branch at %s: Abort = %v, want ErrTxDone (protocol aborted it)", p.s.acc.Name(), err)
+				}
+				if got := adt.AccountBalance(p.s.acc.CommittedState()); got != 100 {
+					t.Errorf("site %s balance = %d, want 100", p.s.acc.Name(), got)
+				}
+				if debitBlocked(p.s) {
+					t.Errorf("site %s still holds the aborted branch's locks", p.s.acc.Name())
+				}
+			}
+			// Site C never voted, so nothing there needs releasing; its
+			// branch is still active and is cleaned up directly.
+			_ = brC.Abort()
+		})
 	}
 }
 
 func TestCoordinatorCancelledMidPrepareAbortsAllBranches(t *testing.T) {
-	a, b := newSite("accA"), newSite("accB")
-	fund(t, a, 100)
-	fund(t, b, 100)
+	for _, kind := range transportKinds {
+		t.Run(kind, func(t *testing.T) {
+			a, b := newSite("accA"), newSite("accB")
+			fund(t, a, 100)
+			fund(t, b, 100)
 
-	brA, brB := a.sys.Begin(), b.sys.Begin()
-	if _, err := a.acc.Call(brA, adt.DebitInv(10)); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := b.acc.Call(brB, adt.DebitInv(10)); err != nil {
-		t.Fatal(err)
-	}
-	sa := commitproto.NewServer("siteA", TxParticipant{Tx: brA})
-	sb := commitproto.NewServer("siteB", TxParticipant{Tx: brB})
-	defer sa.Stop()
-	defer sb.Stop()
+			brA, brB := a.sys.Begin(), b.sys.Begin()
+			if _, err := a.acc.Call(brA, adt.DebitInv(10)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.acc.Call(brB, adt.DebitInv(10)); err != nil {
+				t.Fatal(err)
+			}
+			ta := makeTransport(kind, "siteA", TxParticipant{Tx: brA})
+			tb := makeTransport(kind, "siteB", TxParticipant{Tx: brB})
+			defer ta.stop()
+			defer tb.stop()
 
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel() // already cancelled: the round must abort, never commit
-	coord := commitproto.NewCoordinator(tstamp.NewSource(), time.Second)
-	dec, _, err := coord.RunCtx(ctx, "gtx", []*commitproto.Server{sa, sb})
-	if dec != commitproto.Aborted {
-		t.Fatalf("decision = %v, want aborted", dec)
-	}
-	if !errors.Is(err, context.Canceled) {
-		t.Fatalf("err = %v, want context.Canceled", err)
-	}
-	// The aborts were delivered outside ctx: no branch is left prepared.
-	for _, p := range []struct {
-		s  *site
-		br *Tx
-	}{{a, brA}, {b, brB}} {
-		if err := p.br.Abort(); !errors.Is(err, ErrTxDone) {
-			t.Errorf("branch at %s: Abort = %v, want ErrTxDone", p.s.acc.Name(), err)
-		}
-		if debitBlocked(p.s) {
-			t.Errorf("site %s still locked after cancelled round", p.s.acc.Name())
-		}
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel() // already cancelled: the round must abort, never commit
+			coord := commitproto.NewCoordinator(tstamp.NewSource(), time.Second)
+			dec, _, err := coord.RunTransports(ctx, "gtx",
+				[]commitproto.Transport{ta.tr, tb.tr})
+			if dec != commitproto.Aborted {
+				t.Fatalf("decision = %v, want aborted", dec)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			// The aborts were delivered outside ctx: no branch is left
+			// prepared.
+			for _, p := range []struct {
+				s  *site
+				br *Tx
+			}{{a, brA}, {b, brB}} {
+				if err := p.br.Abort(); !errors.Is(err, ErrTxDone) {
+					t.Errorf("branch at %s: Abort = %v, want ErrTxDone", p.s.acc.Name(), err)
+				}
+				if debitBlocked(p.s) {
+					t.Errorf("site %s still locked after cancelled round", p.s.acc.Name())
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sync"
+
+	"hybridcc/internal/histories"
+)
+
+// commitBatcher implements group commit: concurrent Tx.Commit calls are
+// coalesced so that each object's critical section — tail merge, fold,
+// snapshot publication, waiter scan — runs once per batch instead of once
+// per transaction, the way ARIES-style engines amortize their log forces.
+//
+// The combining discipline is flat: the first committer through becomes
+// the leader and processes batches until the queue drains; later
+// committers append themselves to the pending queue and block on their
+// per-transaction signal channel (pooled with the Tx).  The timestamp
+// discipline of the single path is preserved exactly:
+//
+//   - every transaction in a batch draws its own timestamp from the system
+//     clock primed with its per-object lower bounds, in submission order,
+//     so batch timestamps are distinct and strictly increasing;
+//   - every touched object's windowWriters count is raised before the
+//     first timestamp of the batch is drawn and released only after that
+//     object republished its tail snapshot, so the lock-free reader rule
+//     ("count observed at zero ⇒ every commit that could serialize below
+//     me is in the snapshot") holds across the whole batch;
+//   - per-object merges happen in timestamp order (the batch order), so
+//     the committed tail extends incrementally exactly as on the single
+//     path, and staged commit events sequence in timestamp order.
+type commitBatcher struct {
+	sys *System
+
+	mu      sync.Mutex
+	pending []*Tx
+	leading bool
+
+	// Leader-only scratch, reused across batches: the current batch (ping-
+	// ponged with pending), the deduplicated object set, and the staged-
+	// event buffer.
+	batch []*Tx
+	objs  []*Object
+	ev    []pendingEvent
+}
+
+func newCommitBatcher(s *System) *commitBatcher {
+	return &commitBatcher{sys: s}
+}
+
+// commit commits t through the batcher.  The transaction must already be
+// in the txCommitting state (Tx.Commit's state machine put it there); by
+// return it has committed at every touched object.  Commit cannot fail
+// past txCommitting, so there is no error to deliver.
+func (b *commitBatcher) commit(t *Tx) {
+	b.mu.Lock()
+	if b.leading {
+		if t.done == nil {
+			t.done = make(chan struct{}, 1)
+		}
+		b.pending = append(b.pending, t)
+		b.mu.Unlock()
+		<-t.done
+		return
+	}
+	b.leading = true
+	b.mu.Unlock()
+
+	// Leader: commit own transaction first (nothing was pending, so the
+	// first batch is a singleton), then drain whatever queued meanwhile.
+	b.batch = append(b.batch[:0], t)
+	b.run(b.batch, false)
+	for {
+		b.mu.Lock()
+		if len(b.pending) == 0 {
+			b.leading = false
+			b.mu.Unlock()
+			return
+		}
+		b.batch, b.pending = b.pending, b.batch[:0]
+		b.mu.Unlock()
+		b.run(b.batch, true)
+	}
+}
+
+// run commits one batch.  signal tells it every batch member is a blocked
+// follower awaiting its done channel; the leader's own transaction (first
+// batch only) is committed synchronously and must not be signalled — a
+// stray token would instantly release the struct's next pooled
+// incarnation.
+func (b *commitBatcher) run(batch []*Tx, signal bool) {
+	s := b.sys
+	s.stats.GroupBatches.Add(1)
+	s.stats.GroupBatchTxs.Add(int64(len(batch)))
+
+	// Enter every touched object's commit window BEFORE any timestamp is
+	// drawn (the deduplicated object set is also the merge plan).
+	objs := b.objs[:0]
+	for _, t := range batch {
+		for _, o := range t.touchedObjects() {
+			seen := false
+			for _, p := range objs {
+				if p == o {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				objs = append(objs, o)
+			}
+		}
+	}
+	b.objs = objs
+	for _, o := range objs {
+		o.windowWriters.Add(1)
+	}
+
+	// Draw timestamps in submission order: distinct (the clock never
+	// repeats) and strictly increasing, each above its transaction's
+	// per-object lower bounds.
+	for _, t := range batch {
+		lower := histories.Timestamp(0)
+		for _, o := range t.touchedObjects() {
+			if bd := o.boundOf(t); bd > lower {
+				lower = bd
+			}
+		}
+		ts := s.clock.Next(lower)
+		t.mu.Lock()
+		t.ts = ts
+		t.status = txCommitted
+		t.mu.Unlock()
+	}
+
+	// Merge per object — one critical section, one snapshot publication,
+	// one waiter scan each — releasing the object's window count only
+	// after its new tail is published.
+	for _, o := range objs {
+		ev := o.commitBatch(batch, b.ev[:0])
+		o.windowWriters.Add(-1)
+		s.flushEvents(ev)
+		b.ev = ev[:0]
+	}
+
+	if signal {
+		for _, t := range batch {
+			t.done <- struct{}{}
+		}
+	}
+}

@@ -94,6 +94,12 @@ type Object struct {
 	// mu whenever the committed tail changes (commit) or its
 	// representation shifts (fold), and read lock-free by ReadCall.
 	tailSnap atomic.Pointer[tailSnapshot]
+	// batchMask and batchLocks are the group-commit scratch buffers
+	// (guarded by mu): the union wakeup mask of a batch and the lock
+	// records it releases, reused across batches.
+	batchMask  depend.Mask
+	batchLocks []*txLock
+
 	// windowWriters counts transactions inside their commit window at this
 	// object: incremented before the committing transaction draws its
 	// timestamp, decremented after its intentions merge here and the new
@@ -181,14 +187,27 @@ func (o *Object) dequeueWaiterLocked(w *waiter) {
 // nobody, where a condition-variable broadcast woke every blocked reader
 // and writer on the object.
 func (o *Object) wakeWaitersLocked(lk *txLock, isCommit bool) {
+	if lk == nil {
+		o.wakeScanLocked(nil, false, true, isCommit)
+		return
+	}
+	o.wakeScanLocked(lk.mask, len(lk.extra) > 0, false, isCommit)
+}
+
+// wakeScanLocked is the waiter-queue walk shared by single completions and
+// group-commit batches: mask is the completing class set (the union over a
+// batch), hasExtra marks uninterned held operations (their conflicts are
+// invisible to masks, so every mask-filtered waiter must re-check), and
+// wakeAll bypasses the filters entirely.
+func (o *Object) wakeScanLocked(mask depend.Mask, hasExtra, wakeAll, isCommit bool) {
 	if o.waitHead == nil {
 		return
 	}
 	var wakeups int64
 	for w := o.waitHead; w != nil; {
 		next := w.next
-		wake := w.allEvents || (isCommit && w.anyCommit) || lk == nil ||
-			len(lk.extra) > 0 || lk.mask.Intersects(w.mask) || lk.mask.HasAbove(w.classes)
+		wake := wakeAll || w.allEvents || (isCommit && w.anyCommit) ||
+			hasExtra || mask.Intersects(w.mask) || mask.HasAbove(w.classes)
 		if wake {
 			o.dequeueWaiterLocked(w)
 			select {
@@ -368,19 +387,22 @@ func (o *Object) Call(tx *Tx, inv spec.Invocation) (string, error) {
 	if detect {
 		defer o.sys.wfg.clear(tx)
 	}
-	// The deadline and its timer are lazy: the grant fast path pays for
-	// neither a clock read nor a timer allocation.  One timer serves the
-	// whole call — armed at the first blocked iteration, it fires once at
-	// the absolute deadline.
+	// The deadline, its timer, and the waiter node are all lazy: the grant
+	// fast path pays for none of them (the waiter comes from the system
+	// free list, so even the blocked path stops allocating at steady
+	// state).  One timer serves the whole call — armed at the first
+	// blocked iteration, it fires once at the absolute deadline.
 	var deadline time.Time
 	var timer *time.Timer
+	var w *waiter
 	defer func() {
 		if timer != nil {
 			timer.Stop()
 		}
+		if w != nil {
+			o.sys.putWaiter(w)
+		}
 	}()
-	var w waiter
-	var ev []pendingEvent
 	attempted := false
 	signalled := false
 	var seen uint64
@@ -407,7 +429,7 @@ func (o *Object) Call(tx *Tx, inv spec.Invocation) (string, error) {
 				if o.conflictsWithActiveRowLocked(tx, row, op) {
 					continue
 				}
-				o.grantLocked(tx, op, state, &ev)
+				ev := o.grantLocked(tx, op, state)
 				o.mu.Unlock()
 				o.sys.flushEvents(ev)
 				return r, nil
@@ -421,6 +443,9 @@ func (o *Object) Call(tx *Tx, inv spec.Invocation) (string, error) {
 			// no enabled response.  Capture the wakeup mask and wait for a
 			// completion event that could matter — the appendix's "when"
 			// statement, with the herd filtered out.
+			if w == nil {
+				w = o.sys.getWaiter()
+			}
 			w.mask, w.classes, w.anyCommit, w.allEvents = o.wakeMaskLocked(inv, len(responses) == 0, uninterned)
 			if detect {
 				if holders := o.blockersLocked(tx, inv, state); len(holders) > 0 {
@@ -440,13 +465,10 @@ func (o *Object) Call(tx *Tx, inv spec.Invocation) (string, error) {
 			o.mu.Unlock()
 			return "", fmt.Errorf("%w: %s on %s", ErrTimeout, inv, o.name)
 		}
-		if w.ch == nil {
-			w.ch = make(chan struct{}, 1)
-		}
 		if timer == nil {
 			timer = time.NewTimer(time.Until(deadline))
 		}
-		o.enqueueWaiterLocked(&w)
+		o.enqueueWaiterLocked(w)
 		o.sys.stats.Waits.Add(1)
 		o.stats.waits.Add(1)
 		start := time.Now()
@@ -461,7 +483,7 @@ func (o *Object) Call(tx *Tx, inv spec.Invocation) (string, error) {
 		}
 		o.sys.stats.WaitNanos.Add(int64(time.Since(start)))
 		o.mu.Lock()
-		o.dequeueWaiterLocked(&w)
+		o.dequeueWaiterLocked(w)
 		// A completion event may have signalled concurrently with the
 		// timer or cancellation; drain so a later enqueue starts clean,
 		// and count the signal so the re-derivation check sees it.
@@ -490,11 +512,12 @@ func (o *Object) wakeMaskLocked(inv spec.Invocation, dataBlocked, uninterned boo
 	return mask, o.table.Len(), anyCommit, uninterned
 }
 
-// lockOf returns tx's lock record, creating it on first use.
+// lockOf returns tx's lock record, drawing one from the system free list
+// on first use.
 func (o *Object) lockOf(tx *Tx) *txLock {
 	lk := o.active[tx]
 	if lk == nil {
-		lk = &txLock{}
+		lk = o.sys.getLock()
 		o.active[tx] = lk
 	}
 	return lk
@@ -504,8 +527,9 @@ func (o *Object) lockOf(tx *Tx) *txLock {
 // the transaction's timestamp lower bound, marks op's conflict class in the
 // transaction's held mask, extends the cached view state, and stages the
 // event pair.  view must be tx's current view state (op's response was
-// derived from it).
-func (o *Object) grantLocked(tx *Tx, op spec.Op, view spec.State, ev *[]pendingEvent) {
+// derived from it).  The returned buffer (backed by tx's scratch, empty
+// without a sink) is flushed by the caller after releasing o.mu.
+func (o *Object) grantLocked(tx *Tx, op spec.Op, view spec.State) []pendingEvent {
 	lk := o.lockOf(tx)
 	lk.ops = append(lk.ops, op)
 	lk.bound = o.clock
@@ -522,8 +546,14 @@ func (o *Object) grantLocked(tx *Tx, op spec.Op, view spec.State, ev *[]pendingE
 	o.events++
 	o.stats.granted.Add(1)
 	tx.touch(o)
-	*ev = o.sys.stage(*ev, histories.InvokeEvent(tx.id, o.name, op.Inv()))
-	*ev = o.sys.stage(*ev, histories.RespondEvent(tx.id, o.name, op.Res))
+	var ev []pendingEvent
+	if o.sys.opts.Sink != nil {
+		id := tx.ID()
+		ev = o.sys.stage(tx.evScratch[:0], histories.InvokeEvent(id, o.name, op.Inv()))
+		ev = o.sys.stage(ev, histories.RespondEvent(id, o.name, op.Res))
+		tx.evScratch = ev
+	}
+	return ev
 }
 
 // conflictsWithActiveLocked reports whether op conflicts with any operation
@@ -626,17 +656,31 @@ func (o *Object) viewStateLocked(tx *Tx) spec.State {
 	return state
 }
 
-// commit merges tx's intentions into the committed state at timestamp ts
-// (Prepare/Commit split between tx.Commit and the commit protocol).
-func (o *Object) commit(tx *Tx, ts histories.Timestamp) {
-	o.mu.Lock()
+// mergeCommitLocked merges tx's intentions into the committed tail at ts
+// and stages its commit event into ev.  It is the per-transaction core of
+// both commit paths: the caller folds, republishes the tail snapshot,
+// wakes waiters, and releases the returned lock record — once per
+// transaction on the single path, once per batch on the group-commit path.
+func (o *Object) mergeCommitLocked(tx *Tx, ts histories.Timestamp, ev []pendingEvent) (*txLock, []pendingEvent) {
 	lk := o.active[tx]
 	var ops []spec.Op
 	if lk != nil {
 		ops = lk.ops
 	}
 	delete(o.active, tx)
-	entry := committedEntry{ts: ts, tx: tx.id, ops: ops}
+	// The entry's transaction id feeds the sink's commit event and panic
+	// diagnostics.  Without a sink it is not materialized — the entry
+	// keeps whatever id the transaction already built (possibly none) —
+	// so the no-sink commit path does not allocate an identifier string.
+	var id histories.TxID
+	if o.sys.opts.Sink != nil {
+		id = tx.ID()
+	} else {
+		tx.mu.Lock()
+		id = tx.id
+		tx.mu.Unlock()
+	}
+	entry := committedEntry{ts: ts, tx: id, ops: ops}
 	n := len(o.unforgotten)
 	i := sort.Search(n, func(i int) bool { return o.unforgotten[i].ts > ts })
 	if i == n {
@@ -658,7 +702,7 @@ func (o *Object) commit(tx *Tx, ts histories.Timestamp) {
 	if o.tailGen == o.commitGen && i == len(o.unforgotten)-1 {
 		state, ok := spec.StepFrom(o.sp, o.tailState, ops...)
 		if !ok {
-			panic(fmt.Sprintf("hybridcc: illegal committed intentions of %s at %s", tx.id, o.name))
+			panic(fmt.Sprintf("hybridcc: illegal committed intentions of %s at %s", entry.tx, o.name))
 		}
 		o.tailState = state
 		o.tailGen = o.commitGen + 1
@@ -668,6 +712,18 @@ func (o *Object) commit(tx *Tx, ts histories.Timestamp) {
 	if ts > o.clock {
 		o.clock = ts
 	}
+	if o.sys.opts.Sink != nil {
+		ev = o.sys.stage(ev, histories.CommitEvent(id, o.name, ts))
+	}
+	return lk, ev
+}
+
+// commit merges tx's intentions into the committed state at timestamp ts
+// (Prepare/Commit split between tx.Commit and the commit protocol).
+func (o *Object) commit(tx *Tx, ts histories.Timestamp) {
+	o.mu.Lock()
+	lk, ev := o.mergeCommitLocked(tx, ts, tx.evScratch[:0])
+	tx.evScratch = ev[:0]
 	if !o.sys.opts.DisableCompaction {
 		o.forgetLocked()
 	}
@@ -676,10 +732,55 @@ func (o *Object) commit(tx *Tx, ts histories.Timestamp) {
 	// must also see this commit in the snapshot.
 	o.publishTailLocked()
 	o.stats.commits.Add(1)
-	ev := o.sys.stage(nil, histories.CommitEvent(tx.id, o.name, ts))
 	o.wakeWaitersLocked(lk, true)
+	if lk != nil {
+		// The intentions slice escaped into the committed tail; the record
+		// itself is clean to recycle.
+		o.sys.putLock(lk, true)
+	}
 	o.mu.Unlock()
 	o.sys.flushEvents(ev)
+}
+
+// commitBatch merges a group-commit batch at this object in one critical
+// section: every transaction's intentions merge at its own (already
+// assigned, strictly increasing) timestamp, but the fold, the snapshot
+// publication, and the waiter scan run once for the whole batch, with the
+// wakeup filter taken over the union of the batch's held-class masks.
+// Transactions that never executed here are skipped.  Staged events are
+// appended to ev and flushed by the caller after the critical section.
+func (o *Object) commitBatch(batch []*Tx, ev []pendingEvent) []pendingEvent {
+	o.mu.Lock()
+	o.batchMask = o.batchMask[:0]
+	o.batchLocks = o.batchLocks[:0]
+	hasExtra := false
+	for _, tx := range batch {
+		if o.active[tx] == nil {
+			continue
+		}
+		lk, ev2 := o.mergeCommitLocked(tx, tx.ts, ev)
+		ev = ev2
+		if lk != nil {
+			o.batchMask.Or(lk.mask)
+			hasExtra = hasExtra || len(lk.extra) > 0
+			o.batchLocks = append(o.batchLocks, lk)
+		}
+	}
+	if len(o.batchLocks) > 0 {
+		if !o.sys.opts.DisableCompaction {
+			o.forgetLocked()
+		}
+		o.publishTailLocked()
+		o.stats.commits.Add(int64(len(o.batchLocks)))
+		o.wakeScanLocked(o.batchMask, hasExtra, false, true)
+		for i, lk := range o.batchLocks {
+			o.sys.putLock(lk, true)
+			o.batchLocks[i] = nil
+		}
+		o.batchLocks = o.batchLocks[:0]
+	}
+	o.mu.Unlock()
+	return ev
 }
 
 // abort discards tx's intentions, releasing its locks.  The committed tail
@@ -695,8 +796,17 @@ func (o *Object) abort(tx *Tx) {
 		}
 	}
 	o.stats.aborts.Add(1)
-	ev := o.sys.stage(nil, histories.AbortEvent(tx.id, o.name))
+	var ev []pendingEvent
+	if o.sys.opts.Sink != nil {
+		ev = o.sys.stage(tx.evScratch[:0], histories.AbortEvent(tx.ID(), o.name))
+		tx.evScratch = ev[:0]
+	}
 	o.wakeWaitersLocked(lk, false)
+	if lk != nil {
+		// An aborted record's intentions escaped nowhere: the slice
+		// capacity is recycled along with the record.
+		o.sys.putLock(lk, false)
+	}
 	o.mu.Unlock()
 	o.sys.flushEvents(ev)
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-ceiling tests skip under it (instrumentation changes
+// allocation counts).
+const raceEnabled = true

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -41,19 +42,22 @@ type ReadTxn interface {
 // its own System only (see (*Tx).Branch).
 func (t *ReadTx) Branch(o *Object) (*ReadTx, error) {
 	if o.sys != t.sys {
-		return nil, fmt.Errorf("hybridcc: object %s belongs to a different System than reader %s", o.name, t.id)
+		return nil, fmt.Errorf("hybridcc: object %s belongs to a different System than reader %s", o.name, t.ID())
 	}
 	return t, nil
 }
 
-// ReadTx is a read-only transaction with a start-time timestamp.
+// ReadTx is a read-only transaction with a start-time timestamp.  Like Tx,
+// its identifier is materialized lazily from seq ("R<seq>"): a reader that
+// records no events never allocates an identifier string.
 type ReadTx struct {
 	sys *System
-	id  histories.TxID
+	seq uint64
 	ctx context.Context
 	ts  histories.Timestamp
 
 	mu      sync.Mutex
+	id      histories.TxID
 	done    bool
 	touched map[*Object]bool
 }
@@ -137,11 +141,10 @@ func (s *System) BeginReadOnlyCtx(ctx context.Context) *ReadTx {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	n := s.txSeq.Add(1)
 	s.stats.Begun.Add(1)
 	tx := &ReadTx{
 		sys:     s,
-		id:      histories.TxID(fmt.Sprintf("R%d", n)),
+		seq:     s.txSeq.Add(1),
 		ctx:     ctx,
 		touched: make(map[*Object]bool),
 	}
@@ -182,10 +185,22 @@ func (t *ReadTx) ActivateAt(ts histories.Timestamp) {
 // Context returns the context the reader was started with.
 func (t *ReadTx) Context() context.Context { return t.ctx }
 
-// ID returns the reader's identifier.  Read-only identifiers carry an "R"
-// prefix; verification uses it to apply the generalized well-formedness
-// rules.
-func (t *ReadTx) ID() histories.TxID { return t.id }
+// ID returns the reader's identifier, materializing it on first use.
+// Read-only identifiers carry an "R" prefix; verification uses it to apply
+// the generalized well-formedness rules.
+func (t *ReadTx) ID() histories.TxID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.idLocked()
+}
+
+func (t *ReadTx) idLocked() histories.TxID {
+	if t.id == "" {
+		var buf [24]byte
+		t.id = histories.TxID(strconv.AppendUint(append(buf[:0], 'R'), t.seq, 10))
+	}
+	return t.id
+}
 
 // Timestamp returns the reader's (start-chosen) serialization timestamp.
 func (t *ReadTx) Timestamp() histories.Timestamp { return t.ts }
@@ -208,8 +223,10 @@ func (t *ReadTx) Commit() error {
 	t.mu.Unlock()
 
 	t.sys.readers.remove(t)
-	for _, o := range objs {
-		o.recordCompletion(histories.CommitEvent(t.id, o.name, t.ts))
+	if t.sys.opts.Sink != nil {
+		for _, o := range objs {
+			o.recordCompletion(histories.CommitEvent(t.ID(), o.name, t.ts))
+		}
 	}
 	t.sys.stats.Committed.Add(1)
 	return nil
@@ -231,8 +248,10 @@ func (t *ReadTx) Abort() error {
 	t.mu.Unlock()
 
 	t.sys.readers.remove(t)
-	for _, o := range objs {
-		o.recordCompletion(histories.AbortEvent(t.id, o.name))
+	if t.sys.opts.Sink != nil {
+		for _, o := range objs {
+			o.recordCompletion(histories.AbortEvent(t.ID(), o.name))
+		}
 	}
 	t.sys.stats.Aborted.Add(1)
 	return nil
@@ -290,13 +309,15 @@ func (o *Object) ReadCall(t *ReadTx, inv spec.Invocation) (string, error) {
 	o.mu.Lock()
 	var deadline time.Time
 	var timer *time.Timer
+	var w *waiter
 	defer func() {
 		if timer != nil {
 			timer.Stop()
 		}
+		if w != nil {
+			o.sys.putWaiter(w)
+		}
 	}()
-	var w waiter
-	w.allEvents = true // readers wait on transaction completion as such
 	for {
 		if bw := o.blockingWriterLocked(t.ts); bw == "" {
 			break
@@ -309,13 +330,14 @@ func (o *Object) ReadCall(t *ReadTx, inv spec.Invocation) (string, error) {
 			o.mu.Unlock()
 			return "", fmt.Errorf("%w: read of %s at %s", ErrTimeout, inv, o.name)
 		}
-		if w.ch == nil {
-			w.ch = make(chan struct{}, 1)
+		if w == nil {
+			w = o.sys.getWaiter()
+			w.allEvents = true // readers wait on transaction completion as such
 		}
 		if timer == nil {
 			timer = time.NewTimer(time.Until(deadline))
 		}
-		o.enqueueWaiterLocked(&w)
+		o.enqueueWaiterLocked(w)
 		o.sys.stats.Waits.Add(1)
 		o.stats.waits.Add(1)
 		start := time.Now()
@@ -329,7 +351,7 @@ func (o *Object) ReadCall(t *ReadTx, inv spec.Invocation) (string, error) {
 		}
 		o.sys.stats.WaitNanos.Add(int64(time.Since(start)))
 		o.mu.Lock()
-		o.dequeueWaiterLocked(&w)
+		o.dequeueWaiterLocked(w)
 		select {
 		case <-w.ch:
 		default:
@@ -353,8 +375,8 @@ func (o *Object) ReadCall(t *ReadTx, inv spec.Invocation) (string, error) {
 		return "", err
 	}
 	o.stats.granted.Add(1)
-	o.sys.opts.Sink.Record(histories.InvokeEvent(t.id, o.name, inv))
-	o.sys.opts.Sink.Record(histories.RespondEvent(t.id, o.name, res))
+	o.sys.opts.Sink.Record(histories.InvokeEvent(t.ID(), o.name, inv))
+	o.sys.opts.Sink.Record(histories.RespondEvent(t.ID(), o.name, res))
 	o.mu.Unlock()
 	t.mu.Lock()
 	t.touched[o] = true
@@ -373,8 +395,11 @@ func (o *Object) readFromSnapshot(t *ReadTx, inv spec.Invocation, state spec.Sta
 	t.touched[o] = true
 	t.mu.Unlock()
 	o.stats.granted.Add(1)
-	o.sys.recordDirect(histories.InvokeEvent(t.id, o.name, inv))
-	o.sys.recordDirect(histories.RespondEvent(t.id, o.name, res))
+	if o.sys.seqSink != nil {
+		id := t.ID()
+		o.sys.recordDirect(histories.InvokeEvent(id, o.name, inv))
+		o.sys.recordDirect(histories.RespondEvent(id, o.name, res))
+	}
 	return res, nil
 }
 
@@ -419,14 +444,14 @@ func (o *Object) blockingWriterLocked(ts histories.Timestamp) histories.TxID {
 		switch status {
 		case txCommitted:
 			if wts < ts {
-				return tx.id
+				return tx.ID()
 			}
 			// Serialized after the reader; invisible to it.
 		case txCommitting:
-			return tx.id
+			return tx.ID()
 		default:
 			if o.sys.opts.ExternalTimestamps && lk.bound < ts {
-				return tx.id
+				return tx.ID()
 			}
 		}
 	}

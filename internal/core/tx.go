@@ -1,9 +1,11 @@
 package core
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
+	"strconv"
 	"sync"
 
 	"hybridcc/internal/histories"
@@ -22,6 +24,12 @@ const (
 	txCommitting
 	txCommitted
 	txAborted
+	// txRecycled marks a Tx sitting in (or reset for) the system pool: the
+	// previous incarnation completed and the struct may be handed to a new
+	// transaction at any moment.  Every public method treats it as done, so
+	// a stale handle held across Recycle fails with ErrTxDone instead of
+	// silently operating on whatever transaction reuses the struct.
+	txRecycled
 )
 
 // Txn is what the public API routes operations through: Branch returns
@@ -40,7 +48,7 @@ type Txn interface {
 // clock.
 func (t *Tx) Branch(o *Object) (*Tx, error) {
 	if o.sys != t.sys {
-		return nil, fmt.Errorf("hybridcc: object %s belongs to a different System than transaction %s", o.name, t.id)
+		return nil, fmt.Errorf("hybridcc: object %s belongs to a different System than transaction %s", o.name, t.ID())
 	}
 	return t, nil
 }
@@ -48,9 +56,14 @@ func (t *Tx) Branch(o *Object) (*Tx, error) {
 // Tx is a transaction.  A transaction is single-threaded, as in the
 // paper's model: it has at most one pending invocation at a time, and the
 // runtime reports ErrTxBusy on concurrent use.
+//
+// Tx structs are recycled through the system pool (BeginPooled/Recycle):
+// each incarnation carries a fresh generation stamp and identifier, and the
+// scratch buffers below — the per-commit object list, the staged-event
+// buffer, the group-commit signal channel — survive recycling so the hot
+// path stops allocating them per transaction.
 type Tx struct {
 	sys *System
-	id  histories.TxID
 	ctx context.Context
 
 	mu     sync.Mutex
@@ -65,16 +78,52 @@ type Tx struct {
 	prepared bool
 	touched  map[*Object]bool
 	ts       histories.Timestamp
+
+	// seq is the local sequence number behind the lazy identifier; id is
+	// materialized from it on first use ("T<seq>") unless preset by
+	// BeginBranch.  gen counts pool incarnations — bumped on every recycle
+	// so debugging and the recycling stress tests can tell reuse from
+	// aliasing.
+	seq uint64
+	id  histories.TxID
+	gen uint64
+
+	// objScratch backs touchedObjects; evScratch backs staged-event
+	// buffers; done carries the group-commit completion signal.  All three
+	// are reused across the transaction's operations and across pool
+	// incarnations.
+	objScratch []*Object
+	evScratch  []pendingEvent
+	done       chan struct{}
 }
 
-// ID returns the transaction's identifier.
-func (t *Tx) ID() histories.TxID { return t.id }
+// ID returns the transaction's identifier, materializing it on first use:
+// a transaction that never records events, never errors, and is never
+// asked needs no identifier string at all.
+func (t *Tx) ID() histories.TxID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.idLocked()
+}
+
+func (t *Tx) idLocked() histories.TxID {
+	if t.id == "" {
+		var buf [24]byte
+		t.id = histories.TxID(strconv.AppendUint(append(buf[:0], 'T'), t.seq, 10))
+	}
+	return t.id
+}
 
 // Context returns the context the transaction was started with
-// (context.Background for Begin).  Cancelling it makes every pending and
-// future call of the transaction return an error wrapping the context's
-// error; the transaction itself must still be completed with Abort.
-func (t *Tx) Context() context.Context { return t.ctx }
+// (context.Background for Begin), or nil on a recycled handle.
+// Cancelling it makes every pending and future call of the transaction
+// return an error wrapping the context's error; the transaction itself
+// must still be completed with Abort.
+func (t *Tx) Context() context.Context {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ctx
+}
 
 // Timestamp returns the commit timestamp and true once the transaction has
 // committed.
@@ -125,14 +174,20 @@ func (t *Tx) touch(o *Object) {
 }
 
 // touchedObjects returns the touched objects in a deterministic order.
+// The returned slice is the transaction's own scratch buffer, valid until
+// the next touchedObjects call; it is reused across commits, aborts, and
+// pool incarnations so the commit path does not allocate it (the generic
+// slices.SortFunc allocates nothing either, unlike sort.Slice's
+// closure-and-interface header).
 func (t *Tx) touchedObjects() []*Object {
 	t.mu.Lock()
-	objs := make([]*Object, 0, len(t.touched))
+	objs := t.objScratch[:0]
 	for o := range t.touched {
 		objs = append(objs, o)
 	}
+	t.objScratch = objs
 	t.mu.Unlock()
-	sort.Slice(objs, func(i, j int) bool { return objs[i].name < objs[j].name })
+	slices.SortFunc(objs, func(a, b *Object) int { return cmp.Compare(a.name, b.name) })
 	return objs
 }
 
@@ -140,6 +195,11 @@ func (t *Tx) touchedObjects() []*Object {
 // The commit timestamp is drawn from the system clock primed with the
 // transaction's per-object lower bounds, which establishes the paper's
 // timestamp-generation constraint (precedes ⊆ TS) at every object.
+//
+// With Options.GroupCommit the transaction is handed to the system's
+// commit batcher, which coalesces concurrent commits into one
+// critical-section pass per object; the timestamp discipline is identical
+// (each transaction still gets its own, distinct timestamp).
 func (t *Tx) Commit() error {
 	t.mu.Lock()
 	if t.status != txActive {
@@ -154,6 +214,12 @@ func (t *Tx) Commit() error {
 	}
 	t.status = txCommitting
 	t.mu.Unlock()
+
+	if b := t.sys.batcher; b != nil {
+		b.commit(t)
+		t.sys.stats.Committed.Add(1)
+		return nil
+	}
 
 	objs := t.touchedObjects()
 	// Enter the commit window at every touched object BEFORE drawing the

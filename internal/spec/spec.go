@@ -84,7 +84,9 @@ type Spec interface {
 	// Responses enumerates every response r such that the operation
 	// inv.With(r) is legal in state s.  An empty slice means the
 	// invocation is blocked (a partial operation, like Deq on an empty
-	// queue).  The order is deterministic.
+	// queue).  The order is deterministic.  The returned slice is
+	// immutable: callers must not modify it, and implementations may
+	// return a shared slice (the hot path relies on it).
 	Responses(s State, inv Invocation) []string
 
 	// Equal reports whether two states are equal.  It is used by bounded

@@ -1,0 +1,83 @@
+package hybridcc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// The public pooling contract: Atomically's transaction handles are
+// recycled, so a handle leaked out of the callback is dead — it must fail
+// with ErrTxDone, never operate on a later transaction that reuses the
+// struct.
+
+func TestAtomicallyLeakedHandleIsDead(t *testing.T) {
+	sys := NewSystem()
+	acc, err := sys.NewAccount("acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leaked *Tx
+	if err := sys.Atomically(func(tx *Tx) error {
+		leaked = tx
+		return acc.Credit(tx, 10)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := acc.Credit(leaked, 1); !errors.Is(err, ErrTxDone) {
+		t.Errorf("Credit through leaked handle = %v, want ErrTxDone", err)
+	}
+	if err := leaked.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("Commit through leaked handle = %v, want ErrTxDone", err)
+	}
+
+	// The pool is intact: later transactions see none of the above.
+	if err := sys.Atomically(func(tx *Tx) error { return acc.Credit(tx, 5) }); err != nil {
+		t.Fatal(err)
+	}
+	if bal := acc.CommittedBalance(); bal != 15 {
+		t.Errorf("balance = %d, want 15", bal)
+	}
+}
+
+// TestGroupCommitPublicOption drives WithGroupCommit through the public
+// API under concurrency and verifies the recorded history — group commit
+// must be invisible to everything but the throughput counters.
+func TestGroupCommitPublicOption(t *testing.T) {
+	rec := NewRecorder()
+	sys := NewSystem(WithGroupCommit(), WithRecorder(rec))
+	acc, err := sys.NewAccount("acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const rounds = 40
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if err := sys.Atomically(func(tx *Tx) error {
+					return acc.Credit(tx, 1)
+				}); err != nil {
+					t.Errorf("atomically: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := sys.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if bal := acc.CommittedBalance(); bal != workers*rounds {
+		t.Errorf("balance = %d, want %d", bal, workers*rounds)
+	}
+	if st := sys.Stats(); st.GroupBatches == 0 {
+		t.Error("group commit enabled but no batches recorded")
+	}
+}

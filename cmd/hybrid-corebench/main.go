@@ -63,6 +63,8 @@ func main() {
 		maxprocs   = flag.String("maxprocs", "", "comma-separated GOMAXPROCS sweep (default: current value)")
 		allocs     = flag.Bool("allocs", false, "record the commit-path allocation probe (allocs/op, bytes/op)")
 		group      = flag.Bool("group", false, "enable group commit in the throughput probes")
+		durable    = flag.Bool("durable", false, "give the probes a write-ahead commit log with fsync on (combine with -group for batched fsyncs)")
+		nosync     = flag.Bool("nosync", false, "with -durable: buffer log writes instead of fsyncing each commit")
 	)
 	flag.Parse()
 
@@ -96,21 +98,27 @@ func main() {
 		for _, workload := range strings.Split(*workloads, ",") {
 			for _, scheme := range strings.Split(*schemes, ",") {
 				res, err := bench.CoreThroughput(bench.CoreBenchConfig{
-					Goroutines:  *goroutines,
-					OpsPerTx:    *opsPerTx,
-					Duration:    *duration,
-					Scheme:      scheme,
-					Workload:    workload,
-					GroupCommit: *group,
+					Goroutines:    *goroutines,
+					OpsPerTx:      *opsPerTx,
+					Duration:      *duration,
+					Scheme:        scheme,
+					Workload:      workload,
+					GroupCommit:   *group,
+					Durable:       *durable,
+					DurableNoSync: *nosync,
 				})
 				if err != nil {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(1)
 				}
+				durInfo := ""
+				if *durable {
+					durInfo = fmt.Sprintf(" fsyncs=%d fsyncs/commit=%.3f", res.LogFsyncs, res.FsyncsPerCommit)
+				}
 				fmt.Fprintf(os.Stderr,
-					"procs=%d %-11s %-14s %12.0f ops/s  (calls=%d commits=%d timeouts=%d wakeups=%d spurious=%d waiter-hwm=%d)\n",
+					"procs=%d %-11s %-14s %12.0f ops/s  (calls=%d commits=%d timeouts=%d wakeups=%d spurious=%d waiter-hwm=%d%s)\n",
 					p, workload, scheme, res.OpsPerSec, res.Calls, res.Commits, res.Timeouts,
-					res.Wakeups, res.SpuriousWakeups, res.WaiterHWM)
+					res.Wakeups, res.SpuriousWakeups, res.WaiterHWM, durInfo)
 				e.Results = append(e.Results, res)
 			}
 		}

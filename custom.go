@@ -377,6 +377,12 @@ func newCustomOn(sys *core.System, reg *registry, name string, sp Spec, opts []O
 	if err != nil {
 		return nil, err
 	}
+	if sys.HasUnclaimedRecovery(name) {
+		// Recovery replay already ran and had to skip this object's logged
+		// commits; accepting the registration now would resurrect the object
+		// empty — silent data loss.
+		return nil, fmt.Errorf("hybridcc: object %q has committed operations in the recovered log but was registered after recovery; register it inside the Open setup callback", name)
+	}
 	if err := reg.add(name, isp); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,141 @@
+package hybridcc
+
+import (
+	"hybridcc/internal/cluster"
+	"hybridcc/internal/core"
+)
+
+// This file is the durable face of the library: Open and OpenCluster give
+// a System or Cluster a write-ahead commit log and recover committed state
+// from an existing one.  See internal/wal for the log format and README's
+// "Durability architecture" for the invariants.
+
+// WithFsync controls whether commits fsync the log before acknowledging
+// (Open/OpenCluster only; default on).  Off, records are buffered
+// in-process and flushed on segment rotation and Close: markedly faster,
+// and still recoverable after a clean Close — but a crash loses the
+// buffered tail (those transactions recover as aborted, never as torn).
+func WithFsync(on bool) Option {
+	return func(c *config) { c.fsync, c.fsyncSet = on, true }
+}
+
+// WithSegmentSize overrides the log segment rotation threshold in bytes
+// (Open/OpenCluster only); zero keeps the default.  Mainly a testing knob
+// for exercising rotation and torn-tail repair on small logs.
+func WithSegmentSize(bytes int64) Option {
+	return func(c *config) { c.segmentSize = bytes }
+}
+
+// durabilityOf builds the core durability config from the option set.
+func (c *config) durabilityOf(dir string) *core.Durability {
+	sync := true
+	if c.fsyncSet {
+		sync = c.fsync
+	}
+	return &core.Durability{Dir: dir, Sync: sync, SegmentSize: c.segmentSize}
+}
+
+// Open is NewSystem with a durable write-ahead commit log in dir: every
+// commit is logged (and, by default, fsynced) before its effects become
+// visible, and reopening the directory recovers every logged commit.
+//
+// The setup callback registers the system's objects — NewAccount,
+// NewCustom, and the rest work exactly as after NewSystem.  It runs before
+// recovery replay: recovered transactions must be replayed in one global
+// timestamp order after every object exists, so that a shared Recorder
+// sees a well-formed serial prefix and Verify proves atomicity across the
+// crash.  Registering an object the log references outside the callback is
+// an error.
+//
+// A crash — process death at any instant — loses only transactions whose
+// commit records never fully reached the disk; those recover as aborted.
+// Everything acknowledged by Commit (with fsync on) is recovered, cross-
+// shard decisions included.  Close the returned System to flush and
+// release the log.
+func Open(dir string, setup func(*System) error, opts ...Option) (*System, error) {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	coreOpts := core.Options{
+		LockWait:          c.lockWait,
+		DisableCompaction: c.disableCompaction,
+		DeadlockDetection: c.deadlockDetection,
+		GroupCommit:       c.groupCommit,
+		Durability:        c.durabilityOf(dir),
+	}
+	if c.recorder != nil {
+		coreOpts.Sink = c.recorder
+	}
+	inner, err := core.OpenSystem(coreOpts)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{inner: inner, recorder: c.recorder, reg: newRegistry()}
+	if setup != nil {
+		if err := setup(s); err != nil {
+			_ = inner.Close()
+			return nil, err
+		}
+	}
+	if err := inner.FinishRecovery(); err != nil {
+		_ = inner.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Close flushes and closes the commit log (no-op on a volatile System).
+// Call it after every transaction has completed; commits issued after
+// Close fail rather than silently losing durability.
+func (s *System) Close() error { return s.inner.Close() }
+
+// OpenCluster is NewCluster with durable per-shard commit logs under
+// dir/shard<i> and a coordinator decision log under dir/coord.  The setup
+// callback registers objects exactly as Open's does; recovery then
+// resolves prepared-but-undecided two-phase-commit branches from the
+// decision log (a logged commit decision commits them at the decided
+// timestamp; no record means presumed abort) and replays all committed
+// transactions — cross-shard ones merged across shard logs — in one global
+// timestamp order.  The shard count is pinned by the log directory: reopen
+// with a different count and OpenCluster refuses, since placement hashes
+// names modulo the count.
+func OpenCluster(dir string, shards int, setup func(*Cluster) error, opts ...Option) (*Cluster, error) {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	copts := cluster.Options{
+		Shards:            shards,
+		LockWait:          c.lockWait,
+		DisableCompaction: c.disableCompaction,
+		DeadlockDetection: c.deadlockDetection,
+		CommitTimeout:     c.commitTimeout,
+		GroupCommit:       c.groupCommit,
+		ServerTransport:   c.serverTransport,
+		Durability:        c.durabilityOf(dir),
+	}
+	if c.recorder != nil {
+		copts.Sink = c.recorder
+	}
+	inner, err := cluster.New(copts)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{inner: inner, recorder: c.recorder, reg: newRegistry()}
+	if setup != nil {
+		if err := setup(cl); err != nil {
+			_ = inner.Close()
+			return nil, err
+		}
+	}
+	if err := inner.FinishRecovery(); err != nil {
+		_ = inner.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// Close closes every shard's commit log and the coordinator decision log
+// (no-op on a volatile Cluster).
+func (c *Cluster) Close() error { return c.inner.Close() }

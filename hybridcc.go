@@ -128,6 +128,12 @@ type config struct {
 	commitTimeout     time.Duration
 	groupCommit       bool
 	serverTransport   bool
+	// Durability knobs, meaningful to Open/OpenCluster only: fsync
+	// defaults to on there (fsyncSet distinguishes "unset" from
+	// WithFsync(false)); segmentSize zero keeps the log's default.
+	fsync       bool
+	fsyncSet    bool
+	segmentSize int64
 }
 
 // WithLockWait bounds how long an operation waits on a lock conflict (or a

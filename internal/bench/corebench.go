@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,19 @@ type CoreBenchConfig struct {
 	Workload string
 	// GroupCommit enables the commit batcher (core.Options.GroupCommit).
 	GroupCommit bool
+	// Durable gives the system a write-ahead commit log with fsync on:
+	// every commit is logged and synced before it is acknowledged, so the
+	// probe measures the durable hot path.  With GroupCommit the batcher
+	// amortizes the fsync across the batch (one sync per batch, reported
+	// as FsyncsPerCommit < 1); without it every commit pays its own.
+	Durable bool
+	// DurableDir is the log directory for Durable runs; empty means a
+	// fresh temporary directory, removed when the probe ends.
+	DurableDir string
+	// DurableNoSync turns fsync off for Durable runs (hybridcc's
+	// WithFsync(false)): records are buffered and flushed on rotation and
+	// close, measuring the log's CPU cost without its disk latency.
+	DurableNoSync bool
 }
 
 // CoreBenchResult reports one probe run.
@@ -59,6 +73,12 @@ type CoreBenchResult struct {
 	// (zero unless GroupCommit): txs ÷ batches is the achieved batch size.
 	GroupBatches  int64 `json:"group_batches,omitempty"`
 	GroupBatchTxs int64 `json:"group_batch_txs,omitempty"`
+	// LogAppends/LogFsyncs report the write-ahead log's write side (zero
+	// unless Durable); FsyncsPerCommit is fsyncs ÷ commits — below 1 when
+	// group commit amortizes the sync across a batch.
+	LogAppends      int64   `json:"log_appends,omitempty"`
+	LogFsyncs       int64   `json:"log_fsyncs,omitempty"`
+	FsyncsPerCommit float64 `json:"fsyncs_per_commit,omitempty"`
 }
 
 // CoreThroughput runs the selected probe.
@@ -86,7 +106,11 @@ func creditThroughput(cfg CoreBenchConfig) (CoreBenchResult, error) {
 	if sp == nil || conflict == nil {
 		return CoreBenchResult{}, fmt.Errorf("bench: unknown scheme %q", cfg.Scheme)
 	}
-	sys := core.NewSystem(core.Options{LockWait: 5 * time.Millisecond, GroupCommit: cfg.GroupCommit})
+	sys, cleanup, err := benchSystem(cfg, core.Options{LockWait: 5 * time.Millisecond, GroupCommit: cfg.GroupCommit})
+	if err != nil {
+		return CoreBenchResult{}, err
+	}
+	defer cleanup()
 	obj := sys.NewObject("hot", sp, conflict)
 
 	invs := make([]spec.Invocation, 8)
@@ -153,7 +177,11 @@ func readMostlyThroughput(cfg CoreBenchConfig) (CoreBenchResult, error) {
 	if sp == nil || conflict == nil {
 		return CoreBenchResult{}, fmt.Errorf("bench: unknown scheme %q", cfg.Scheme)
 	}
-	sys := core.NewSystem(core.Options{LockWait: 5 * time.Millisecond})
+	sys, cleanup, err := benchSystem(cfg, core.Options{LockWait: 5 * time.Millisecond})
+	if err != nil {
+		return CoreBenchResult{}, err
+	}
+	defer cleanup()
 	obj := sys.NewObjectSeeded("hot", sp, conflict, baseline.UniverseFor("Counter"))
 
 	var calls, commits, timeouts atomic.Int64
@@ -233,6 +261,44 @@ func readMostlyThroughput(cfg CoreBenchConfig) (CoreBenchResult, error) {
 	return result(cfg, "readmostly", calls.Load(), commits.Load(), timeouts.Load(), elapsed, sys, obj), nil
 }
 
+// benchSystem builds the probe's System: volatile by default, or — when
+// cfg.Durable — logging to cfg.DurableDir (a fresh temporary directory if
+// empty).  The cleanup closes the log and removes a temporary directory.
+func benchSystem(cfg CoreBenchConfig, opts core.Options) (*core.System, func(), error) {
+	if !cfg.Durable {
+		return core.NewSystem(opts), func() {}, nil
+	}
+	dir, temp := cfg.DurableDir, false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "corebench-wal-")
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: %w", err)
+		}
+		dir, temp = d, true
+	}
+	opts.Durability = &core.Durability{Dir: dir, Sync: !cfg.DurableNoSync}
+	sys, err := core.OpenSystem(opts)
+	if err != nil {
+		if temp {
+			_ = os.RemoveAll(dir)
+		}
+		return nil, nil, err
+	}
+	if err := sys.FinishRecovery(); err != nil {
+		_ = sys.Close()
+		if temp {
+			_ = os.RemoveAll(dir)
+		}
+		return nil, nil, err
+	}
+	return sys, func() {
+		_ = sys.Close()
+		if temp {
+			_ = os.RemoveAll(dir)
+		}
+	}, nil
+}
+
 func result(cfg CoreBenchConfig, workload string, calls, commits, timeouts int64,
 	elapsed time.Duration, sys *core.System, obj *core.Object) CoreBenchResult {
 	st := sys.Stats()
@@ -249,5 +315,15 @@ func result(cfg CoreBenchConfig, workload string, calls, commits, timeouts int64
 		WaiterHWM:       os.WaiterHWM,
 		GroupBatches:    st.GroupBatches,
 		GroupBatchTxs:   st.GroupBatchTxs,
+		LogAppends:      st.LogAppends,
+		LogFsyncs:       st.LogFsyncs,
+		FsyncsPerCommit: fsyncsPerCommit(st.LogFsyncs, commits),
 	}
+}
+
+func fsyncsPerCommit(fsyncs, commits int64) float64 {
+	if commits == 0 {
+		return 0
+	}
+	return float64(fsyncs) / float64(commits)
 }

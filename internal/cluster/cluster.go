@@ -25,12 +25,14 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
 	"hybridcc/internal/commitproto"
 	"hybridcc/internal/core"
 	"hybridcc/internal/tstamp"
+	"hybridcc/internal/wal"
 )
 
 // ErrCommitAborted reports a cross-shard commit vetoed or abandoned by the
@@ -70,6 +72,13 @@ type Options struct {
 	// time messages out.  Production clusters leave it off: the direct
 	// transport has no per-commit server lifecycle at all.
 	ServerTransport bool
+	// Durability gives every shard a write-ahead commit log under
+	// Dir/shard<i> and the coordinator a decision log under Dir/coord
+	// (Sync and SegmentSize apply to all of them).  Reopening an existing
+	// directory recovers: the caller must register every logged object and
+	// then call FinishRecovery before beginning transactions.  The shard
+	// count is pinned by the directory layout.
+	Durability *core.Durability
 }
 
 // Cluster partitions objects across shard Systems and runs distributed
@@ -86,6 +95,12 @@ type Cluster struct {
 	serverTransport bool
 	txSeq           atomic.Uint64
 	stats           stats
+
+	// decisionLog is the coordinator's commit-decision log, nil on a
+	// volatile cluster; decisions holds the recovered decision records
+	// (tx id → timestamp) FinishRecovery resolves prepared branches from.
+	decisionLog *wal.Log
+	decisions   map[string]int64
 }
 
 // New creates a cluster of opts.Shards independent shards.
@@ -96,6 +111,11 @@ func New(opts Options) (*Cluster, error) {
 	if opts.CommitTimeout <= 0 {
 		opts.CommitTimeout = DefaultCommitTimeout
 	}
+	if d := opts.Durability; d != nil {
+		if err := checkShardLayout(d.Dir, opts.Shards); err != nil {
+			return nil, err
+		}
+	}
 	c := &Cluster{
 		shards:          make([]*core.System, opts.Shards),
 		clocks:          make([]*tstamp.NodeClock, opts.Shards),
@@ -105,7 +125,8 @@ func New(opts Options) (*Cluster, error) {
 	}
 	for i := range c.shards {
 		clock := tstamp.NewNodeClock(i, opts.Shards+1)
-		sys := core.NewSystem(core.Options{
+		c.names[i] = fmt.Sprintf("shard%d", i)
+		sysOpts := core.Options{
 			LockWait:          opts.LockWait,
 			DisableCompaction: opts.DisableCompaction,
 			DeadlockDetection: opts.DeadlockDetection,
@@ -115,13 +136,28 @@ func New(opts Options) (*Cluster, error) {
 			// Cross-shard commits land via CommitAt with the
 			// coordinator's timestamp; shards must account for them.
 			ExternalTimestamps: true,
-		})
+		}
+		if d := opts.Durability; d != nil {
+			sysOpts.Durability = &core.Durability{
+				Dir:         filepath.Join(d.Dir, c.names[i]),
+				Sync:        d.Sync,
+				SegmentSize: d.SegmentSize,
+			}
+		}
+		sys, err := core.OpenSystem(sysOpts)
+		if err != nil {
+			return nil, err
+		}
 		c.shards[i], c.clocks[i] = sys, clock
 		c.index[sys] = i
-		c.names[i] = fmt.Sprintf("shard%d", i)
 	}
 	c.coordClock = tstamp.NewNodeClock(opts.Shards, opts.Shards+1)
 	c.coord = commitproto.NewCoordinator(c.coordClock, opts.CommitTimeout)
+	if d := opts.Durability; d != nil {
+		if err := c.openDurability(d); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
@@ -208,6 +244,9 @@ func (c *Cluster) Stats() StatsSnapshot {
 		s.Total.SpuriousWakeups += sh.SpuriousWakeups
 		s.Total.GroupBatches += sh.GroupBatches
 		s.Total.GroupBatchTxs += sh.GroupBatchTxs
+		s.Total.Recovered += sh.Recovered
+		s.Total.LogAppends += sh.LogAppends
+		s.Total.LogFsyncs += sh.LogFsyncs
 	}
 	return s
 }

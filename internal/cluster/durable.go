@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"hybridcc/internal/core"
+	"hybridcc/internal/histories"
+	"hybridcc/internal/wal"
+)
+
+// coordDirName is the coordinator decision log's subdirectory, next to the
+// shard<i> log directories under Options.Durability.Dir.
+const coordDirName = "coord"
+
+// shardDirIndex parses "shard<n>", returning -1 for other names.
+func shardDirIndex(name string) int {
+	s, ok := strings.CutPrefix(name, "shard")
+	if !ok {
+		return -1
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+// checkShardLayout rejects reopening a durable cluster with a different
+// shard count: placement hashes names modulo the shard count, so a changed
+// count would recover objects onto shards that no longer own them.
+func checkShardLayout(dir string, shards int) error {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	existing := 0
+	for _, e := range entries {
+		if e.IsDir() && shardDirIndex(e.Name()) >= 0 {
+			existing++
+		}
+	}
+	if existing > 0 && existing != shards {
+		return fmt.Errorf("cluster: log directory %s holds %d shard logs but Shards=%d — the shard count cannot change across restarts (placement hashes modulo the count)", dir, existing, shards)
+	}
+	return nil
+}
+
+// openDurability opens the coordinator decision log and wires the
+// decision-before-delivery hook; per-shard logs were already opened by
+// core.OpenSystem.  Called by New when Options.Durability is set.
+func (c *Cluster) openDurability(d *core.Durability) error {
+	dl, recs, err := wal.Open(filepath.Join(d.Dir, coordDirName), wal.Options{Sync: d.Sync, SegmentSize: d.SegmentSize})
+	if err != nil {
+		return err
+	}
+	c.decisionLog = dl
+	c.decisions = wal.Summarize(recs).Decisions
+	// The coordinator clock must stay ahead of every decision it ever
+	// issued, or a post-recovery round could remint a timestamp.
+	for _, ts := range c.decisions {
+		c.coordClock.Observe(histories.Timestamp(ts))
+	}
+	c.coord.SetDecisionLog(func(tx histories.TxID, ts histories.Timestamp) error {
+		return dl.AppendSync(wal.Record{Kind: wal.KindDecision, Tx: string(tx), TS: int64(ts)})
+	})
+	return nil
+}
+
+// FinishRecovery completes a durable cluster's recovery, after every
+// object has been registered on its shard:
+//
+//  1. each shard's prepared-but-undecided branches are resolved from the
+//     coordinator's decision log — a logged commit decision commits the
+//     branch at the decided timestamp (durably, via a shard commit
+//     record); no decision means presumed abort;
+//  2. committed transactions are merged across shard logs by identifier
+//     (a cross-shard transaction has a commit record on every shard it
+//     touched, all carrying the same timestamp) and replayed in one
+//     global timestamp-ordered pass, so a shared recorder sees one
+//     well-formed serial prefix;
+//  3. the cluster's transaction counter advances past every recovered
+//     identifier.
+//
+// On a volatile cluster it is a no-op.  Call exactly once, before any
+// transaction begins.
+func (c *Cluster) FinishRecovery() error {
+	if c.decisionLog == nil {
+		return nil
+	}
+	for _, sys := range c.shards {
+		for _, p := range sys.RecoveredPending() {
+			ts, ok := c.decisions[string(p.ID)]
+			if !ok {
+				continue // presumed abort, handled by AbandonPending
+			}
+			if err := sys.ResolvePending(p.ID, histories.Timestamp(ts)); err != nil {
+				return err
+			}
+		}
+		if err := sys.AbandonPending(); err != nil {
+			return err
+		}
+	}
+
+	merged := make(map[histories.TxID]int)
+	var txs []core.RecoveredTx
+	for _, sys := range c.shards {
+		for _, tx := range sys.RecoveredCommitted() {
+			if i, ok := merged[tx.ID]; ok {
+				if txs[i].TS != tx.TS {
+					return fmt.Errorf("cluster: recovered %s committed at timestamp %d on one shard and %d on another — logs inconsistent", tx.ID, txs[i].TS, tx.TS)
+				}
+				txs[i].Ops = append(txs[i].Ops, tx.Ops...)
+				continue
+			}
+			merged[tx.ID] = len(txs)
+			txs = append(txs, tx)
+			c.coordClock.Observe(tx.TS)
+		}
+	}
+	if err := core.Replay(txs); err != nil {
+		return err
+	}
+
+	var maxSeq uint64
+	for _, sys := range c.shards {
+		if n := sys.MaxRecoveredSeq(); n > maxSeq {
+			maxSeq = n
+		}
+	}
+	if maxSeq > c.txSeq.Load() {
+		c.txSeq.Store(maxSeq)
+	}
+	return nil
+}
+
+// Close closes every shard's commit log and the coordinator decision log.
+// Volatile clusters close as a no-op.
+func (c *Cluster) Close() error {
+	var first error
+	for _, sys := range c.shards {
+		if err := sys.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.decisionLog != nil {
+		if err := c.decisionLog.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CrashLogs simulates process death for crash tests: every shard log and
+// the decision log drop their buffers and close, as one kill -9 would.
+// No-op on a volatile cluster.
+func (c *Cluster) CrashLogs() {
+	for _, sys := range c.shards {
+		sys.CrashLog()
+	}
+	if c.decisionLog != nil {
+		c.decisionLog.Crash()
+	}
+}

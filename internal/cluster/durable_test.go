@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hybridcc/internal/adt"
+	"hybridcc/internal/commitproto"
+	"hybridcc/internal/core"
+	"hybridcc/internal/histories"
+)
+
+// Crash-point tests for durable clusters: shard commit logs plus the
+// coordinator decision log, exercised through the real 2PC machinery with
+// message delivery cut at the worst moments.
+
+func openDurableCluster(t *testing.T, dir string, shards int, server bool) *Cluster {
+	t.Helper()
+	c, err := New(Options{
+		Shards:          shards,
+		LockWait:        250 * time.Millisecond,
+		ServerTransport: server,
+		Durability:      &core.Durability{Dir: dir, Sync: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// transfer moves amount between two accounts on different shards through a
+// distributed transaction (the cross-shard 2PC path when they differ).
+func transfer(t *testing.T, c *Cluster, from, to *core.Object, amount int64) {
+	t.Helper()
+	tx := c.Begin()
+	brF, err := tx.Branch(from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := from.Call(brF, adt.DebitInv(amount)); err != nil {
+		t.Fatal(err)
+	}
+	brT, err := tx.Branch(to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := to.Call(brT, adt.CreditInv(amount)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func balance(t *testing.T, o *core.Object) int64 {
+	t.Helper()
+	return adt.AccountBalance(o.CommittedState())
+}
+
+// TestDurableClusterHardStop: cross-shard transfers under 2PC, hard stop
+// (CrashLogs, no Close), reopen — every acknowledged transfer is back, with
+// both shards agreeing on each cross-shard timestamp (FinishRecovery would
+// refuse the merge otherwise).
+func TestDurableClusterHardStop(t *testing.T) {
+	dir := t.TempDir()
+	c := openDurableCluster(t, dir, 2, false)
+	if err := c.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	a, b := newAccountOn(c, 0, "a"), newAccountOn(c, 1, "b")
+	fund(t, c, a, 100)
+	fund(t, c, b, 100)
+	for i := 0; i < 5; i++ {
+		transfer(t, c, a, b, 10)
+	}
+	c.CrashLogs()
+
+	c2 := openDurableCluster(t, dir, 2, false)
+	a2, b2 := newAccountOn(c2, 0, "a"), newAccountOn(c2, 1, "b")
+	if err := c2.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := balance(t, a2), int64(50); got != want {
+		t.Fatalf("a = %d, want %d", got, want)
+	}
+	if got, want := balance(t, b2), int64(150); got != want {
+		t.Fatalf("b = %d, want %d", got, want)
+	}
+	// Recovery counted every transaction once per shard it touched.
+	st := c2.Stats()
+	if st.Total.Recovered != 2+2*5 {
+		t.Fatalf("Recovered = %d, want %d", st.Total.Recovered, 2+2*5)
+	}
+	// And the cluster's identifier counter cleared the recovered ids: the
+	// next transaction commits under a fresh name.
+	transfer(t, c2, b2, a2, 1)
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c3 := openDurableCluster(t, dir, 2, false)
+	a3, b3 := newAccountOn(c3, 0, "a"), newAccountOn(c3, 1, "b")
+	if err := c3.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := balance(t, a3), int64(51); got != want {
+		t.Fatalf("second recovery: a = %d, want %d", got, want)
+	}
+	if got, want := balance(t, b3), int64(149); got != want {
+		t.Fatalf("second recovery: b = %d, want %d", got, want)
+	}
+	c3.Close()
+}
+
+// dropCommit wraps a transport and loses every commit-decision delivery:
+// the participant voted yes, the coordinator decided, the message never
+// arrived — the canonical prepared-but-undecided window.
+type dropCommit struct {
+	commitproto.Transport
+}
+
+func (dropCommit) Commit(context.Context, histories.TxID, histories.Timestamp, time.Duration) bool {
+	return false
+}
+
+// TestPreparedUndecidedRecovery drives the prepared-but-undecided window on
+// both transports and both decision outcomes.
+//
+// decided=true: the coordinator's decision record reached its log before
+// delivery died (decision-before-delivery guarantees this ordering), so
+// recovery finds the record and commits the prepared branches at the
+// decided timestamp.
+//
+// decided=false: the process died after the branches' prepared records were
+// synced but before the coordinator decided.  No decision record exists, so
+// recovery presumes abort and the transfer vanishes — on every shard, so
+// atomicity holds either way.
+func TestPreparedUndecidedRecovery(t *testing.T) {
+	for _, server := range []bool{false, true} {
+		for _, decided := range []bool{true, false} {
+			name := fmt.Sprintf("server=%v/decided=%v", server, decided)
+			t.Run(name, func(t *testing.T) {
+				dir := t.TempDir()
+				c := openDurableCluster(t, dir, 2, server)
+				if err := c.FinishRecovery(); err != nil {
+					t.Fatal(err)
+				}
+				a, b := newAccountOn(c, 0, "a"), newAccountOn(c, 1, "b")
+				fund(t, c, a, 100)
+				fund(t, c, b, 100)
+
+				// Run the transfer's branches by hand, exactly as DTx
+				// does, so the crash point is ours to place.
+				const id = histories.TxID("T77")
+				brA := c.Shard(0).BeginBranch(nil, id)
+				brB := c.Shard(1).BeginBranch(nil, id)
+				if _, err := a.Call(brA, adt.DebitInv(30)); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := b.Call(brB, adt.CreditInv(30)); err != nil {
+					t.Fatal(err)
+				}
+
+				if decided {
+					// Full protocol round over transports that lose the
+					// decision delivery.
+					var trs []commitproto.Transport
+					var servers []*commitproto.Server
+					for i, br := range []*core.Tx{brA, brB} {
+						p := core.TxParticipant{Tx: br}
+						if server {
+							s := commitproto.NewServer(c.names[i], p)
+							servers = append(servers, s)
+							trs = append(trs, dropCommit{s})
+						} else {
+							trs = append(trs, dropCommit{commitproto.NewDirect(c.names[i], p)})
+						}
+					}
+					dec, _, err := c.coord.RunTransports(context.Background(), id, trs)
+					if err != nil || dec != commitproto.Committed {
+						t.Fatalf("RunTransports = %v, %v", dec, err)
+					}
+					for _, s := range servers {
+						s.Stop()
+					}
+				} else {
+					// Death between prepare and decision: votes logged,
+					// coordinator never decided.
+					if _, err := brA.Prepare(); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := brB.Prepare(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				c.CrashLogs()
+
+				c2 := openDurableCluster(t, dir, 2, server)
+				a2, b2 := newAccountOn(c2, 0, "a"), newAccountOn(c2, 1, "b")
+				// Before resolution, both shards report the branch pending.
+				for i := 0; i < 2; i++ {
+					pend := c2.Shard(i).RecoveredPending()
+					if len(pend) != 1 || pend[0].ID != id {
+						t.Fatalf("shard %d pending = %+v, want [%s]", i, pend, id)
+					}
+				}
+				if err := c2.FinishRecovery(); err != nil {
+					t.Fatal(err)
+				}
+				wantA, wantB := int64(100), int64(100)
+				if decided {
+					wantA, wantB = 70, 130
+				}
+				if got := balance(t, a2); got != wantA {
+					t.Fatalf("a = %d, want %d", got, wantA)
+				}
+				if got := balance(t, b2); got != wantB {
+					t.Fatalf("b = %d, want %d", got, wantB)
+				}
+				if err := c2.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				// The resolution is durable either way: a third
+				// incarnation sees no pending branches and the same
+				// balances.
+				c3 := openDurableCluster(t, dir, 2, server)
+				a3, b3 := newAccountOn(c3, 0, "a"), newAccountOn(c3, 1, "b")
+				for i := 0; i < 2; i++ {
+					if n := len(c3.Shard(i).RecoveredPending()); n != 0 {
+						t.Fatalf("shard %d still has %d pending after resolution", i, n)
+					}
+				}
+				if err := c3.FinishRecovery(); err != nil {
+					t.Fatal(err)
+				}
+				if got := balance(t, a3); got != wantA {
+					t.Fatalf("third open: a = %d, want %d", got, wantA)
+				}
+				if got := balance(t, b3); got != wantB {
+					t.Fatalf("third open: b = %d, want %d", got, wantB)
+				}
+				c3.Close()
+			})
+		}
+	}
+}
+
+// TestShardCountPinned: a durable cluster's directory fixes the shard
+// count; reopening with a different one must refuse, since placement
+// hashes object names modulo the count.
+func TestShardCountPinned(t *testing.T) {
+	dir := t.TempDir()
+	c := openDurableCluster(t, dir, 2, false)
+	if err := c.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	newAccountOn(c, 0, "a")
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := New(Options{Shards: 3, Durability: &core.Durability{Dir: dir, Sync: true}})
+	if err == nil || !strings.Contains(err.Error(), "shard count") {
+		t.Fatalf("reopen with changed shard count: err = %v", err)
+	}
+}

@@ -386,8 +386,24 @@ type Coordinator struct {
 	clock   tstamp.Clock
 	timeout time.Duration
 
+	// decisionLog, when set, persists a commit decision before phase 2
+	// delivers it (see SetDecisionLog).
+	decisionLog func(tx histories.TxID, ts histories.Timestamp) error
+
 	poolOnce sync.Once
 	pool     *workerPool
+}
+
+// SetDecisionLog installs a write-ahead hook for commit decisions: f runs
+// after every vote is in and the timestamp is chosen, before any
+// participant is told to commit.  Recovery uses the logged record to
+// resolve prepared-but-undecided participants; under the presumed-abort
+// rule only commits are logged — a missing record means abort.  If f
+// fails, the round aborts (no participant has seen the commit decision, so
+// abort is still a legal outcome).  Set before the first round; the hook
+// must be safe for concurrent rounds.
+func (c *Coordinator) SetDecisionLog(f func(tx histories.TxID, ts histories.Timestamp) error) {
+	c.decisionLog = f
 }
 
 // NewCoordinator returns a coordinator drawing timestamps from clock.
@@ -523,6 +539,19 @@ func (c *Coordinator) RunTransports(ctx context.Context, tx histories.TxID, trs 
 	// the message missed is re-applied by the caller (which is why the
 	// transports must still be alive after Run returns).
 	ts := c.clock.Next(lower)
+	if c.decisionLog != nil {
+		// Decision-before-delivery: once any participant learns the commit
+		// it may expose the transaction's effects, so the decision record
+		// must be durable first.  A failed append turns the round into an
+		// abort — every participant is still merely prepared, and under
+		// presumed abort that is exactly what an unlogged decision means.
+		if err := c.decisionLog(tx, ts); err != nil {
+			c.fanOut(n, func(i int) {
+				trs[i].Abort(context.Background(), tx, c.timeout)
+			})
+			return Aborted, 0, fmt.Errorf("commitproto: decision for %s not logged, aborted: %w", tx, err)
+		}
+	}
 	c.fanOut(n, func(i int) {
 		trs[i].Commit(context.Background(), tx, ts, c.timeout)
 	})

@@ -296,3 +296,68 @@ func TestRunCtxPhaseTwoIgnoresCancellation(t *testing.T) {
 		}
 	}
 }
+
+// TestDecisionLogOrdering: the decision hook fires after votes are in and
+// the timestamp is drawn, but before any participant is told to commit —
+// the write-ahead rule for 2PC decisions.
+func TestDecisionLogOrdering(t *testing.T) {
+	a, b := newFake(10, true), newFake(25, true)
+	sa, sb := NewServer("A", a), NewServer("B", b)
+	defer sa.Stop()
+	defer sb.Stop()
+
+	c := coordinator()
+	var logged []histories.Timestamp
+	c.SetDecisionLog(func(tx histories.TxID, ts histories.Timestamp) error {
+		if tx != "T1" {
+			t.Errorf("decision log saw tx %s, want T1", tx)
+		}
+		// No participant may have learned the outcome yet.
+		if _, ok := a.committedTS("T1"); ok {
+			t.Error("participant A committed before the decision was logged")
+		}
+		if _, ok := b.committedTS("T1"); ok {
+			t.Error("participant B committed before the decision was logged")
+		}
+		logged = append(logged, ts)
+		return nil
+	})
+
+	dec, ts, err := c.Run("T1", []*Server{sa, sb})
+	if err != nil || dec != Committed {
+		t.Fatalf("Run = %v, %v, %v", dec, ts, err)
+	}
+	if len(logged) != 1 || logged[0] != ts {
+		t.Fatalf("decision log got %v, round committed at %d", logged, ts)
+	}
+	if got, ok := a.committedTS("T1"); !ok || got != ts {
+		t.Fatalf("participant A committed at %d/%v, want %d", got, ok, ts)
+	}
+}
+
+// TestDecisionLogFailureAborts: if the decision cannot be made durable the
+// round aborts — legal precisely because no participant saw the commit.
+func TestDecisionLogFailureAborts(t *testing.T) {
+	a, b := newFake(10, true), newFake(25, true)
+	sa, sb := NewServer("A", a), NewServer("B", b)
+	defer sa.Stop()
+	defer sb.Stop()
+
+	c := coordinator()
+	logErr := errors.New("disk gone")
+	c.SetDecisionLog(func(histories.TxID, histories.Timestamp) error { return logErr })
+
+	dec, _, err := c.Run("T1", []*Server{sa, sb})
+	if dec != Aborted {
+		t.Fatalf("decision = %v, want Aborted", dec)
+	}
+	if !errors.Is(err, logErr) {
+		t.Fatalf("err = %v, want wrapped %v", err, logErr)
+	}
+	if _, ok := a.committedTS("T1"); ok {
+		t.Fatal("participant A committed despite unlogged decision")
+	}
+	if a.abortedCount() != 1 || b.abortedCount() != 1 {
+		t.Fatalf("aborts = %d/%d, want 1/1", a.abortedCount(), b.abortedCount())
+	}
+}

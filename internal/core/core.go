@@ -38,6 +38,7 @@ import (
 
 	"hybridcc/internal/histories"
 	"hybridcc/internal/tstamp"
+	"hybridcc/internal/wal"
 )
 
 // EventSink receives every event the runtime accepts, in a per-object
@@ -102,6 +103,13 @@ type Options struct {
 	// the whole batch, with every transaction still drawing its own,
 	// distinct timestamp.  See commitBatcher for the invariants.
 	GroupCommit bool
+	// Durability, when non-nil, gives the System a write-ahead commit log:
+	// every commit appends its invocations (and fsyncs, per
+	// Durability.Sync) before merging into any object, and OpenSystem
+	// recovers committed state from an existing log.  With GroupCommit the
+	// batcher logs the whole batch under one fsync.  Requires OpenSystem;
+	// NewSystem panics on log errors.
+	Durability *Durability
 }
 
 // DefaultLockWait is the default lock-conflict timeout.
@@ -129,6 +137,15 @@ type System struct {
 	// batcher is the group-commit combiner, nil unless Options.GroupCommit.
 	batcher *commitBatcher
 
+	// log is the write-ahead commit log, nil unless Options.Durability.
+	log *wal.Log
+	// objmu guards objects (the name→object index recovery replay resolves
+	// against) and recovered.unclaimed.
+	objmu   sync.Mutex
+	objects map[histories.ObjID]*Object
+	// recovered carries log state between OpenSystem and FinishRecovery.
+	recovered *recoveredState
+
 	// The hot-path free lists.  txPool recycles Tx structs (with their
 	// touched maps and scratch buffers) through BeginPooled/Recycle;
 	// lockPool recycles txLock records released by commit and abort;
@@ -140,19 +157,13 @@ type System struct {
 	waiterPool sync.Pool
 }
 
-// NewSystem returns a System with the given options.
+// NewSystem returns a System with the given options, panicking where
+// OpenSystem would return an error (only reachable with Options.Durability
+// set).
 func NewSystem(opts Options) *System {
-	if opts.LockWait == 0 {
-		opts.LockWait = DefaultLockWait
-	}
-	if opts.Clock == nil {
-		opts.Clock = tstamp.NewSource()
-	}
-	s := &System{opts: opts, clock: opts.Clock}
-	s.seqSink, _ = opts.Sink.(SeqSink)
-	s.fastReads = !opts.ExternalTimestamps && (opts.Sink == nil || s.seqSink != nil)
-	if opts.GroupCommit {
-		s.batcher = newCommitBatcher(s)
+	s, err := OpenSystem(opts)
+	if err != nil {
+		panic("hybridcc: " + err.Error())
 	}
 	return s
 }
@@ -214,6 +225,7 @@ func (s *System) BeginPooledCtx(ctx context.Context) *Tx {
 	t.prepared = false
 	t.ts = 0
 	t.ctx = ctx
+	t.commitErr = nil
 	t.mu.Unlock()
 	return t
 }
@@ -321,7 +333,15 @@ func (s *System) putWaiter(w *waiter) {
 }
 
 // Stats returns a snapshot of system-wide counters.
-func (s *System) Stats() StatsSnapshot { return s.stats.snapshot() }
+func (s *System) Stats() StatsSnapshot {
+	snap := s.stats.snapshot()
+	if s.log != nil {
+		ls := s.log.Stats()
+		snap.LogAppends = ls.Appends
+		snap.LogFsyncs = ls.Fsyncs
+	}
+	return snap
+}
 
 // pendingEvent is an accepted event awaiting delivery to the sequenced
 // sink: the sequence number was drawn inside the critical section, the
@@ -380,6 +400,9 @@ type Stats struct {
 	// batch size — the amortization factor of the commit batcher.
 	GroupBatches  atomic.Int64
 	GroupBatchTxs atomic.Int64
+	// Recovered counts committed transactions replayed from the commit log
+	// at startup (distinct from Committed, which counts live commits).
+	Recovered atomic.Int64
 }
 
 // StatsSnapshot is an immutable copy of Stats.
@@ -395,6 +418,12 @@ type StatsSnapshot struct {
 	SpuriousWakeups int64
 	GroupBatches    int64
 	GroupBatchTxs   int64
+	Recovered       int64
+	// LogAppends and LogFsyncs mirror the commit log's counters (zero on a
+	// volatile System); LogFsyncs/Committed is the fsyncs-per-commit ratio
+	// group commit drives below one.
+	LogAppends int64
+	LogFsyncs  int64
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
@@ -410,6 +439,7 @@ func (s *Stats) snapshot() StatsSnapshot {
 		SpuriousWakeups: s.SpuriousWakeups.Load(),
 		GroupBatches:    s.GroupBatches.Load(),
 		GroupBatchTxs:   s.GroupBatchTxs.Load(),
+		Recovered:       s.Recovered.Load(),
 	}
 }
 

@@ -1,0 +1,437 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hybridcc/internal/histories"
+	"hybridcc/internal/spec"
+	"hybridcc/internal/tstamp"
+	"hybridcc/internal/wal"
+)
+
+// Durability configures the write-ahead commit log (internal/wal).  With
+// it set, every commit appends its invocations to the log before merging
+// them into any object — the append-before-merge rule: a transaction can
+// observe another's effects only after the other's record is in the log,
+// so log order respects dependency order and truncating a torn tail is
+// equivalent to those transactions having aborted.  Group commit turns the
+// batch's appends into one fsync (wal.Log.AppendBatchSync); without it the
+// fallback fsyncs per commit.
+type Durability struct {
+	// Dir is the log directory (per shard in a cluster).
+	Dir string
+	// Sync fsyncs on the commit path: a commit is acknowledged only once
+	// its record is on stable storage.  Off, records are buffered
+	// in-process (flushed on rotation and Close): cheap, but a process
+	// crash loses the buffered tail.
+	Sync bool
+	// SegmentSize overrides the log rotation threshold (testing knob).
+	SegmentSize int64
+}
+
+// recoveredState carries what OpenSystem read from the log until recovery
+// finishes: committed records awaiting replay, prepared-but-undecided
+// branches awaiting resolution, and the names replay found no registered
+// object for.
+type recoveredState struct {
+	committed []wal.Record
+	pending   []wal.Record
+	maxSeq    uint64
+	unclaimed map[histories.ObjID]bool
+}
+
+// OpenSystem is NewSystem returning errors: required when
+// Options.Durability is set, since opening a log can fail and an existing
+// log means there is state to recover.  The caller must then register
+// every object the log references and call FinishRecovery (directly or
+// through the resolve/replay pieces a cluster composes) before running
+// transactions.
+func OpenSystem(opts Options) (*System, error) {
+	if opts.LockWait == 0 {
+		opts.LockWait = DefaultLockWait
+	}
+	if opts.Clock == nil {
+		opts.Clock = tstamp.NewSource()
+	}
+	s := &System{opts: opts, clock: opts.Clock}
+	s.seqSink, _ = opts.Sink.(SeqSink)
+	s.fastReads = !opts.ExternalTimestamps && (opts.Sink == nil || s.seqSink != nil)
+	if opts.GroupCommit {
+		s.batcher = newCommitBatcher(s)
+	}
+	if d := opts.Durability; d != nil {
+		l, recs, err := wal.Open(d.Dir, wal.Options{Sync: d.Sync, SegmentSize: d.SegmentSize})
+		if err != nil {
+			return nil, err
+		}
+		s.log = l
+		sum := wal.Summarize(recs)
+		st := &recoveredState{committed: sum.Committed, pending: sum.Pending}
+		for _, r := range sum.Committed {
+			s.clock.Observe(histories.Timestamp(r.TS))
+			if n, ok := txSeqOf(r.Tx); ok && n > st.maxSeq {
+				st.maxSeq = n
+			}
+		}
+		for _, r := range sum.Pending {
+			if n, ok := txSeqOf(r.Tx); ok && n > st.maxSeq {
+				st.maxSeq = n
+			}
+		}
+		// Never mint an identifier a recovered transaction already used: a
+		// reused id would make the recorded history show one transaction
+		// committing twice.
+		if st.maxSeq > s.txSeq.Load() {
+			s.txSeq.Store(st.maxSeq)
+		}
+		s.recovered = st
+	}
+	return s, nil
+}
+
+// txSeqOf parses the numeric suffix of a runtime-minted identifier
+// ("T<n>"); externally chosen ids fail the parse and constrain nothing.
+func txSeqOf(id string) (uint64, bool) {
+	if !strings.HasPrefix(id, "T") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(id[1:], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Close flushes and closes the commit log.  Volatile systems close as a
+// no-op.  Close after every transaction has completed; commits issued
+// after Close fail rather than silently losing durability.
+func (s *System) Close() error {
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Close()
+}
+
+// CrashLog simulates process death for crash tests: the log's unflushed
+// buffer is dropped and its file closed, exactly as a kill -9 at this
+// instant; in-memory state is untouched, so a test can compare the
+// survivor against it.  No-op without durability.
+func (s *System) CrashLog() {
+	if s.log != nil {
+		s.log.Crash()
+	}
+}
+
+// LogStats returns the commit log's counters (zero without durability).
+func (s *System) LogStats() wal.Stats {
+	if s.log == nil {
+		return wal.Stats{}
+	}
+	return s.log.Stats()
+}
+
+// RecoveredOps is one recovered transaction's operation sequence at one
+// object of one System.
+type RecoveredOps struct {
+	Sys *System
+	Obj histories.ObjID
+	Ops []spec.Op
+}
+
+// RecoveredTx is one transaction reconstructed from a commit log:
+// committed (TS set) or prepared-but-undecided (TS zero, awaiting
+// ResolvePending or AbandonPending).
+type RecoveredTx struct {
+	ID  histories.TxID
+	TS  histories.Timestamp
+	Ops []RecoveredOps
+}
+
+// recoveredTxOf converts a log record into the replay representation.
+func (s *System) recoveredTxOf(r wal.Record) RecoveredTx {
+	tx := RecoveredTx{ID: histories.TxID(r.Tx), TS: histories.Timestamp(r.TS)}
+	for _, oo := range r.Objs {
+		ops := make([]spec.Op, len(oo.Ops))
+		for i, op := range oo.Ops {
+			ops[i] = spec.Op{Name: op.Name, Arg: op.Arg, Res: op.Res}
+		}
+		tx.Ops = append(tx.Ops, RecoveredOps{Sys: s, Obj: histories.ObjID(oo.Obj), Ops: ops})
+	}
+	return tx
+}
+
+// RecoveredCommitted returns the committed transactions read from the log
+// (plus any ResolvePending resolutions), ready for Replay.
+func (s *System) RecoveredCommitted() []RecoveredTx {
+	if s.recovered == nil {
+		return nil
+	}
+	out := make([]RecoveredTx, 0, len(s.recovered.committed))
+	for _, r := range s.recovered.committed {
+		out = append(out, s.recoveredTxOf(r))
+	}
+	return out
+}
+
+// RecoveredPending returns prepared-but-undecided branches read from the
+// log: participants that voted yes in two-phase commit and crashed before
+// learning the decision.  The caller resolves each from its coordinator's
+// decision record (ResolvePending) or presumes it aborted
+// (AbandonPending).
+func (s *System) RecoveredPending() []RecoveredTx {
+	if s.recovered == nil {
+		return nil
+	}
+	out := make([]RecoveredTx, 0, len(s.recovered.pending))
+	for _, r := range s.recovered.pending {
+		out = append(out, s.recoveredTxOf(r))
+	}
+	return out
+}
+
+// MaxRecoveredSeq reports the largest runtime-minted transaction sequence
+// number seen in the log, so an owner minting ids above this System (a
+// cluster) can keep its own counter ahead too.
+func (s *System) MaxRecoveredSeq() uint64 {
+	if s.recovered == nil {
+		return 0
+	}
+	return s.recovered.maxSeq
+}
+
+// ResolvePending resolves a recovered prepared branch as committed at ts —
+// the coordinator's logged decision — making the resolution durable (a
+// commit record, so the next recovery needs no coordinator) before moving
+// the branch into the committed set for Replay.
+func (s *System) ResolvePending(id histories.TxID, ts histories.Timestamp) error {
+	if s.recovered == nil {
+		return fmt.Errorf("hybridcc: ResolvePending(%s): no recovery in progress", id)
+	}
+	for i, r := range s.recovered.pending {
+		if r.Tx != string(id) {
+			continue
+		}
+		rec := wal.Record{Kind: wal.KindCommit, Tx: r.Tx, TS: int64(ts), Objs: r.Objs}
+		if err := s.log.AppendSync(rec); err != nil {
+			return err
+		}
+		s.recovered.committed = append(s.recovered.committed, rec)
+		s.recovered.pending = append(s.recovered.pending[:i], s.recovered.pending[i+1:]...)
+		s.clock.Observe(ts)
+		return nil
+	}
+	return fmt.Errorf("hybridcc: ResolvePending(%s): no such prepared branch", id)
+}
+
+// AbandonPending applies the presumed-abort rule to every still-unresolved
+// prepared branch: no decision record means the coordinator never
+// committed, so the branch aborted.  Abort records make the next recovery
+// skip the prepared records without re-deriving this.
+func (s *System) AbandonPending() error {
+	if s.recovered == nil || len(s.recovered.pending) == 0 {
+		return nil
+	}
+	for _, r := range s.recovered.pending {
+		if err := s.log.Append(wal.Record{Kind: wal.KindAbort, Tx: r.Tx}); err != nil {
+			return err
+		}
+	}
+	if err := s.log.Sync(); err != nil {
+		return err
+	}
+	s.recovered.pending = nil
+	return nil
+}
+
+// FinishRecovery completes a standalone System's recovery: presumed-abort
+// every undecided prepared branch, then replay the committed transactions.
+// Call it after registering every object the log references; a Cluster
+// composes the pieces itself (decision-record resolution between them).
+func (s *System) FinishRecovery() error {
+	if err := s.AbandonPending(); err != nil {
+		return err
+	}
+	return Replay(s.RecoveredCommitted())
+}
+
+// Replay applies recovered committed transactions — possibly spanning
+// several Systems, as a cluster's shards do — in timestamp order: for each
+// transaction, its operations are validated against each object's serial
+// specification, its invoke/respond events are emitted, then its commit
+// events, and its intentions join each object's committed tail.  Emitting
+// each transaction's full event set before the next yields a serial
+// history in timestamp order: well-formed by construction (no invocation
+// ever follows one of the transaction's commit events) and trivially
+// hybrid atomic, so Verify over pre-crash plus post-crash events still
+// proves the combined history.  Operations at objects not (yet)
+// registered are skipped and remembered: registering such an object later
+// panics, because its events could no longer be emitted well-formed.
+//
+// Replay runs once, single-threaded, before the System accepts
+// transactions; it takes object mutexes only to publish seeded snapshots.
+func Replay(txs []RecoveredTx) error {
+	sort.Slice(txs, func(i, j int) bool { return txs[i].TS < txs[j].TS })
+	states := make(map[*Object]spec.State)
+	type leg struct {
+		o    *Object
+		ops  []spec.Op
+		next spec.State
+	}
+	var legs []leg
+	for _, tx := range txs {
+		legs = legs[:0]
+		for _, ro := range tx.Ops {
+			o := ro.Sys.objectByName(ro.Obj)
+			if o == nil {
+				ro.Sys.markUnclaimed(ro.Obj)
+				continue
+			}
+			st, ok := states[o]
+			if !ok {
+				st = o.version
+			}
+			next, ok := spec.StepFrom(o.sp, st, ro.Ops...)
+			if !ok {
+				return fmt.Errorf("hybridcc: recovery replay of %s at %s is illegal — log corrupt or specification changed", tx.ID, ro.Obj)
+			}
+			states[o] = next
+			legs = append(legs, leg{o: o, ops: ro.Ops, next: next})
+		}
+		for _, lg := range legs {
+			sys := lg.o.sys
+			if sys.opts.Sink == nil {
+				continue
+			}
+			for _, op := range lg.ops {
+				sys.emitRecovered(histories.InvokeEvent(tx.ID, lg.o.name, op.Inv()))
+				sys.emitRecovered(histories.RespondEvent(tx.ID, lg.o.name, op.Res))
+			}
+		}
+		for _, lg := range legs {
+			if lg.o.sys.opts.Sink != nil {
+				lg.o.sys.emitRecovered(histories.CommitEvent(tx.ID, lg.o.name, tx.TS))
+			}
+			lg.o.seedRecovered(tx.ID, tx.TS, lg.ops, lg.next)
+		}
+		for i, lg := range legs {
+			counted := false
+			for _, prev := range legs[:i] {
+				if prev.o.sys == lg.o.sys {
+					counted = true
+					break
+				}
+			}
+			if !counted {
+				lg.o.sys.stats.Recovered.Add(1)
+			}
+		}
+	}
+	return nil
+}
+
+// emitRecovered records one replay event through whatever sink the System
+// has.  Replay is single-threaded, so emission order is sequence order.
+func (s *System) emitRecovered(e histories.Event) {
+	if s.seqSink != nil {
+		s.seqSink.RecordSeq(s.seqSink.NextSeq(), e)
+		return
+	}
+	if s.opts.Sink != nil {
+		s.opts.Sink.Record(e)
+	}
+}
+
+// seedRecovered installs one recovered transaction's intentions in the
+// committed tail: entries arrive in timestamp order (Replay sorts), so
+// each append keeps unforgotten sorted and the tail cache extends exactly
+// as a live in-order commit would.
+func (o *Object) seedRecovered(id histories.TxID, ts histories.Timestamp, ops []spec.Op, state spec.State) {
+	o.mu.Lock()
+	o.unforgotten = append(o.unforgotten, committedEntry{ts: ts, tx: id, ops: ops})
+	o.commitGen++
+	o.tailState = state
+	o.tailGen = o.commitGen
+	if ts > o.clock {
+		o.clock = ts
+	}
+	o.events++
+	o.stats.commits.Add(1)
+	o.publishTailLocked()
+	o.mu.Unlock()
+}
+
+// objectByName returns the registered object named name, or nil.
+func (s *System) objectByName(name histories.ObjID) *Object {
+	s.objmu.Lock()
+	defer s.objmu.Unlock()
+	return s.objects[name]
+}
+
+// markUnclaimed remembers that replay skipped recovered operations at an
+// object no one registered.
+func (s *System) markUnclaimed(name histories.ObjID) {
+	s.objmu.Lock()
+	defer s.objmu.Unlock()
+	if s.recovered.unclaimed == nil {
+		s.recovered.unclaimed = make(map[histories.ObjID]bool)
+	}
+	s.recovered.unclaimed[name] = true
+}
+
+// HasUnclaimedRecovery reports whether recovery replay skipped committed
+// operations at name because no object was registered under it — the
+// public registration path turns this into an error before the core-level
+// panic can trigger.
+func (s *System) HasUnclaimedRecovery(name string) bool {
+	s.objmu.Lock()
+	defer s.objmu.Unlock()
+	return s.recovered != nil && s.recovered.unclaimed[histories.ObjID(name)]
+}
+
+// registerObject indexes a new object by name for recovery replay.
+func (s *System) registerObject(o *Object) {
+	s.objmu.Lock()
+	defer s.objmu.Unlock()
+	if s.recovered != nil && s.recovered.unclaimed[o.name] {
+		panic(fmt.Sprintf("hybridcc: object %s has recovered committed operations but was registered after recovery replay; register every logged object before FinishRecovery", o.name))
+	}
+	if s.objects == nil {
+		s.objects = make(map[histories.ObjID]*Object)
+	}
+	s.objects[o.name] = o
+}
+
+// walCommitRecord builds t's commit record: its identifier, timestamp, and
+// per-object intentions (read under each object's mutex; the transaction
+// is past txActive, so they can no longer change).
+func (s *System) walCommitRecord(t *Tx, objs []*Object, ts histories.Timestamp) wal.Record {
+	r := wal.Record{Kind: wal.KindCommit, Tx: string(t.ID()), TS: int64(ts)}
+	r.Objs = walObjOps(t, objs)
+	return r
+}
+
+// walPreparedRecord builds t's prepared record (the vote that must survive
+// a participant crash).
+func (s *System) walPreparedRecord(t *Tx, objs []*Object) wal.Record {
+	return wal.Record{Kind: wal.KindPrepared, Tx: string(t.ID()), Objs: walObjOps(t, objs)}
+}
+
+func walObjOps(t *Tx, objs []*Object) []wal.ObjOps {
+	out := make([]wal.ObjOps, 0, len(objs))
+	for _, o := range objs {
+		oo := wal.ObjOps{Obj: string(o.name)}
+		o.mu.Lock()
+		if lk := o.active[t]; lk != nil {
+			oo.Ops = make([]wal.Op, len(lk.ops))
+			for i, op := range lk.ops {
+				oo.Ops[i] = wal.Op{Name: op.Name, Arg: op.Arg, Res: op.Res}
+			}
+		}
+		o.mu.Unlock()
+		out = append(out, oo)
+	}
+	return out
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hybridcc/internal/adt"
+	"hybridcc/internal/depend"
+	"hybridcc/internal/histories"
+	"hybridcc/internal/wal"
+)
+
+// Crash-point tests for the durable commit pipeline: every test drives the
+// real commit paths against a real log directory, kills the log at an
+// injected crash point (wal.Log.Crash == process death: buffered bytes are
+// gone, the fd is closed), reopens, and checks exactly the right
+// transactions survived.
+
+func openDurable(t *testing.T, dir string, group bool) *System {
+	t.Helper()
+	s, err := OpenSystem(Options{
+		LockWait:    250 * time.Millisecond,
+		GroupCommit: group,
+		Durability:  &Durability{Dir: dir, Sync: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func accountOn(s *System) *Object {
+	return s.NewObject("acc", adt.NewAccount(), depend.SymmetricClosure(depend.AccountDependency()))
+}
+
+// credit commits one credit transaction and returns its id.
+func credit(t *testing.T, s *System, acc *Object, amount int64) histories.TxID {
+	t.Helper()
+	tx := s.Begin()
+	if _, err := acc.Call(tx, adt.CreditInv(amount)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return tx.ID()
+}
+
+func TestDurableCommitRecovered(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, false)
+	if err := s.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	acc := accountOn(s)
+	var lastID histories.TxID
+	for i := 0; i < 5; i++ {
+		lastID = credit(t, s, acc, 10)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openDurable(t, dir, false)
+	acc2 := accountOn(s2)
+	if err := s2.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	if got := adt.AccountBalance(acc2.CommittedState()); got != 50 {
+		t.Fatalf("recovered balance = %d, want 50", got)
+	}
+	if got := s2.Stats().Recovered; got != 5 {
+		t.Fatalf("Recovered = %d, want 5", got)
+	}
+	// The identifier counter advanced past every recovered transaction: a
+	// fresh commit must not reuse a logged id.
+	id := credit(t, s2, acc2, 1)
+	if id == lastID {
+		t.Fatalf("recovered system reissued transaction id %s", id)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// And the post-recovery commit is itself durable.
+	s3 := openDurable(t, dir, false)
+	acc3 := accountOn(s3)
+	if err := s3.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	if got := adt.AccountBalance(acc3.CommittedState()); got != 51 {
+		t.Fatalf("second recovery balance = %d, want 51", got)
+	}
+	s3.Close()
+}
+
+// TestLogFailureAbortsCommit is the kill-before-fsync crash point on the
+// non-group path: the log dies between the transaction's work and its
+// commit; Commit must report the failure and leave the transaction aborted
+// — and recovery must agree.
+func TestLogFailureAbortsCommit(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, false)
+	if err := s.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	acc := accountOn(s)
+	credit(t, s, acc, 100)
+
+	tx := s.Begin()
+	if _, err := acc.Call(tx, adt.CreditInv(7)); err != nil {
+		t.Fatal(err)
+	}
+	s.CrashLog()
+	err := tx.Commit()
+	if err == nil || !errors.Is(err, wal.ErrClosed) {
+		t.Fatalf("commit with dead log: got %v, want wal.ErrClosed", err)
+	}
+	if _, committed := tx.Timestamp(); committed {
+		t.Fatal("transaction reports committed after log failure")
+	}
+	// The in-memory state never saw the aborted commit either.
+	if got := adt.AccountBalance(acc.CommittedState()); got != 100 {
+		t.Fatalf("balance after aborted commit = %d, want 100", got)
+	}
+
+	s2 := openDurable(t, dir, false)
+	acc2 := accountOn(s2)
+	if err := s2.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	if got := adt.AccountBalance(acc2.CommittedState()); got != 100 {
+		t.Fatalf("recovered balance = %d, want 100", got)
+	}
+	s2.Close()
+}
+
+// TestGroupCommitLogFailureAbortsBatch: same crash point through the
+// group-commit batcher — the whole batch must abort, every member must see
+// the error, and no merge may have happened.
+func TestGroupCommitLogFailureAbortsBatch(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, true)
+	if err := s.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	acc := accountOn(s)
+	credit(t, s, acc, 100)
+	s.CrashLog()
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tx := s.Begin()
+			if _, err := acc.Call(tx, adt.CreditInv(1)); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = tx.Commit()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil || !errors.Is(err, wal.ErrClosed) {
+			t.Fatalf("goroutine %d: got %v, want wal.ErrClosed", i, err)
+		}
+	}
+	if got := adt.AccountBalance(acc.CommittedState()); got != 100 {
+		t.Fatalf("balance after aborted batch = %d, want 100", got)
+	}
+	if got := s.Stats().Aborted; got != n {
+		t.Fatalf("Aborted = %d, want %d", got, n)
+	}
+}
+
+// TestGroupCommitDurableRecovery: concurrent commits through the batcher,
+// hard-stop (no Close — synced records must carry everything), reopen,
+// and every acknowledged commit is back.  The fsync counter must show
+// amortization actually engaged the batch path (fsyncs ≤ appends).
+func TestGroupCommitDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, true)
+	if err := s.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	acc := accountOn(s)
+
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tx := s.Begin()
+				if _, err := acc.Call(tx, adt.CreditInv(1)); err != nil {
+					t.Error(err)
+					_ = tx.Abort()
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.LogAppends != workers*per {
+		t.Fatalf("LogAppends = %d, want %d", st.LogAppends, workers*per)
+	}
+	if st.LogFsyncs > st.LogAppends {
+		t.Fatalf("LogFsyncs = %d > LogAppends = %d", st.LogFsyncs, st.LogAppends)
+	}
+	t.Logf("fsyncs/commit = %d/%d = %.3f", st.LogFsyncs, st.Committed, float64(st.LogFsyncs)/float64(st.Committed))
+	s.CrashLog() // hard stop: no Close, only what fsync promised
+
+	s2 := openDurable(t, dir, true)
+	acc2 := accountOn(s2)
+	if err := s2.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	if got := adt.AccountBalance(acc2.CommittedState()); got != workers*per {
+		t.Fatalf("recovered balance = %d, want %d", got, workers*per)
+	}
+	s2.Close()
+}
+
+// TestPreparedBranchRecovery: a branch that voted yes (Prepare logged,
+// synced) and died before the decision is recovered as pending; resolving
+// it with the coordinator's decision commits it durably, abandoning it
+// presumes abort.  This is the participant half of 2PC recovery — the
+// cluster tests drive the full protocol over both transports.
+func TestPreparedBranchRecovery(t *testing.T) {
+	for _, resolve := range []bool{true, false} {
+		dir := t.TempDir()
+		s, err := OpenSystem(Options{
+			LockWait:           250 * time.Millisecond,
+			ExternalTimestamps: true,
+			Durability:         &Durability{Dir: dir, Sync: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.FinishRecovery(); err != nil {
+			t.Fatal(err)
+		}
+		acc := accountOn(s)
+
+		// A committed baseline below the prepared branch.
+		tx := s.BeginBranch(nil, "X1")
+		if _, err := acc.Call(tx, adt.CreditInv(100)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.CommitAt(10); err != nil {
+			t.Fatal(err)
+		}
+
+		br := s.BeginBranch(nil, "X2")
+		if _, err := acc.Call(br, adt.CreditInv(5)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := br.Prepare(); err != nil {
+			t.Fatal(err)
+		}
+		s.CrashLog() // dies prepared, decision never arrives
+
+		s2, err := OpenSystem(Options{
+			LockWait:           250 * time.Millisecond,
+			ExternalTimestamps: true,
+			Durability:         &Durability{Dir: dir, Sync: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc2 := accountOn(s2)
+		pend := s2.RecoveredPending()
+		if len(pend) != 1 || pend[0].ID != "X2" {
+			t.Fatalf("pending = %+v, want [X2]", pend)
+		}
+		want := int64(100)
+		if resolve {
+			if err := s2.ResolvePending("X2", 20); err != nil {
+				t.Fatal(err)
+			}
+			want = 105
+		}
+		if err := s2.FinishRecovery(); err != nil {
+			t.Fatal(err)
+		}
+		if got := adt.AccountBalance(acc2.CommittedState()); got != want {
+			t.Fatalf("resolve=%v: recovered balance = %d, want %d", resolve, got, want)
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// The resolution itself is durable: a third incarnation needs no
+		// ResolvePending call to reach the same state.
+		s3, err := OpenSystem(Options{
+			LockWait:           250 * time.Millisecond,
+			ExternalTimestamps: true,
+			Durability:         &Durability{Dir: dir, Sync: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc3 := accountOn(s3)
+		if n := len(s3.RecoveredPending()); n != 0 {
+			t.Fatalf("resolve=%v: %d pending after resolution was logged", resolve, n)
+		}
+		if err := s3.FinishRecovery(); err != nil {
+			t.Fatal(err)
+		}
+		if got := adt.AccountBalance(acc3.CommittedState()); got != want {
+			t.Fatalf("resolve=%v: third recovery balance = %d, want %d", resolve, got, want)
+		}
+		s3.Close()
+	}
+}
+
+// TestUnregisteredRecoveredObject: replay skips log records for objects no
+// one registered, and a late registration of such a name must fail loudly
+// (panic at the core layer; the public layer converts it to an error).
+func TestUnregisteredRecoveredObject(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, false)
+	if err := s.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	acc := accountOn(s)
+	credit(t, s, acc, 42)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openDurable(t, dir, false)
+	if err := s2.FinishRecovery(); err != nil { // nobody registered "acc"
+		t.Fatal(err)
+	}
+	if !s2.HasUnclaimedRecovery("acc") {
+		t.Fatal("skipped object not marked unclaimed")
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("late registration of a recovered object did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "acc") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+		s2.Close()
+	}()
+	accountOn(s2)
+}

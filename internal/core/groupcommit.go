@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"hybridcc/internal/histories"
+	"hybridcc/internal/wal"
 )
 
 // commitBatcher implements group commit: concurrent Tx.Commit calls are
@@ -36,11 +37,12 @@ type commitBatcher struct {
 	leading bool
 
 	// Leader-only scratch, reused across batches: the current batch (ping-
-	// ponged with pending), the deduplicated object set, and the staged-
-	// event buffer.
+	// ponged with pending), the deduplicated object set, the staged-event
+	// buffer, and the batch's log records.
 	batch []*Tx
 	objs  []*Object
 	ev    []pendingEvent
+	recs  []wal.Record
 }
 
 func newCommitBatcher(s *System) *commitBatcher {
@@ -49,8 +51,9 @@ func newCommitBatcher(s *System) *commitBatcher {
 
 // commit commits t through the batcher.  The transaction must already be
 // in the txCommitting state (Tx.Commit's state machine put it there); by
-// return it has committed at every touched object.  Commit cannot fail
-// past txCommitting, so there is no error to deliver.
+// return it has committed at every touched object — or, if the batch's log
+// append failed, aborted with the failure left in t.commitErr for
+// Tx.Commit to return.
 func (b *commitBatcher) commit(t *Tx) {
 	b.mu.Lock()
 	if b.leading {
@@ -116,7 +119,8 @@ func (b *commitBatcher) run(batch []*Tx, signal bool) {
 
 	// Draw timestamps in submission order: distinct (the clock never
 	// repeats) and strictly increasing, each above its transaction's
-	// per-object lower bounds.
+	// per-object lower bounds.  Status stays txCommitting until the batch
+	// is logged — a commit is published only once it is durable.
 	for _, t := range batch {
 		lower := histories.Timestamp(0)
 		for _, o := range t.touchedObjects() {
@@ -127,6 +131,46 @@ func (b *commitBatcher) run(batch []*Tx, signal bool) {
 		ts := s.clock.Next(lower)
 		t.mu.Lock()
 		t.ts = ts
+		t.mu.Unlock()
+	}
+
+	// Append-before-merge, amortized: the whole batch's commit records go
+	// to the log under ONE fsync (wal.Log.AppendBatchSync) — the group
+	// commit discipline that drives fsyncs-per-commit below one.  If the
+	// log fails, the entire batch aborts before any merge.
+	if s.log != nil {
+		recs := b.recs[:0]
+		for _, t := range batch {
+			recs = append(recs, s.walCommitRecord(t, t.touchedObjects(), t.ts))
+		}
+		b.recs = recs
+		if err := s.log.AppendBatchSync(recs); err != nil {
+			for _, t := range batch {
+				t.mu.Lock()
+				t.status = txAborted
+				t.commitErr = err
+				t.mu.Unlock()
+			}
+			for _, t := range batch {
+				for _, o := range t.touchedObjects() {
+					o.abort(t)
+				}
+			}
+			for _, o := range objs {
+				o.windowWriters.Add(-1)
+			}
+			s.stats.Aborted.Add(int64(len(batch)))
+			if signal {
+				for _, t := range batch {
+					t.done <- struct{}{}
+				}
+			}
+			return
+		}
+	}
+
+	for _, t := range batch {
+		t.mu.Lock()
 		t.status = txCommitted
 		t.mu.Unlock()
 	}

@@ -343,6 +343,7 @@ func (s *System) NewObjectSeeded(name string, sp spec.Spec, conflict depend.Conf
 		tailState: sp.Init(),
 	}
 	o.publishTailLocked()
+	s.registerObject(o)
 	return o
 }
 

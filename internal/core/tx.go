@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"hybridcc/internal/histories"
+	"hybridcc/internal/wal"
 )
 
 // txStatus tracks a transaction's lifecycle.
@@ -95,6 +96,12 @@ type Tx struct {
 	objScratch []*Object
 	evScratch  []pendingEvent
 	done       chan struct{}
+
+	// commitErr reports a group-commit log-append failure back to the
+	// follower: the batcher aborted the transaction instead of committing
+	// it, and Commit returns this error.  Guarded by mu; reset when a
+	// pooled Tx begins a new incarnation.
+	commitErr error
 }
 
 // ID returns the transaction's identifier, materializing it on first use:
@@ -217,6 +224,15 @@ func (t *Tx) Commit() error {
 
 	if b := t.sys.batcher; b != nil {
 		b.commit(t)
+		t.mu.Lock()
+		err := t.commitErr
+		t.commitErr = nil
+		t.mu.Unlock()
+		if err != nil {
+			// The batcher could not make the batch durable: it aborted every
+			// member (locks released, intentions discarded) before any merge.
+			return err
+		}
 		t.sys.stats.Committed.Add(1)
 		return nil
 	}
@@ -238,6 +254,24 @@ func (t *Tx) Commit() error {
 		}
 	}
 	ts := t.sys.clock.Next(lower)
+
+	// Append-before-merge: the commit record (invocations + timestamp) must
+	// be durable before any object merges the intentions, so no later
+	// transaction can depend on a commit the log might lose.  A failed
+	// append aborts the transaction instead.
+	if s := t.sys; s.log != nil {
+		if err := s.log.AppendSync(s.walCommitRecord(t, objs, ts)); err != nil {
+			t.mu.Lock()
+			t.status = txAborted
+			t.mu.Unlock()
+			for _, o := range objs {
+				o.abort(t)
+				o.windowWriters.Add(-1)
+			}
+			s.stats.Aborted.Add(1)
+			return fmt.Errorf("hybridcc: commit of %s not logged, aborted: %w", t.ID(), err)
+		}
+	}
 
 	// The timestamp is assigned before txCommitted is published, in one
 	// critical section: Timestamp() must never observe (0, true).
@@ -263,11 +297,19 @@ func (t *Tx) Abort() error {
 		t.mu.Unlock()
 		return ErrTxDone
 	}
+	wasPrepared := t.prepared
 	t.status = txAborted
 	t.mu.Unlock()
 
 	for _, o := range t.touchedObjects() {
 		o.abort(t)
+	}
+	if wasPrepared && t.sys.log != nil {
+		// Resolve the logged prepared vote so the next recovery skips it
+		// without consulting a coordinator.  Buffered, no fsync: under
+		// presumed abort, losing this record costs nothing — recovery
+		// reaches the same verdict from the decision record's absence.
+		_ = t.sys.log.Append(wal.Record{Kind: wal.KindAbort, Tx: string(t.ID())})
 	}
 	t.sys.stats.Aborted.Add(1)
 	return nil
@@ -292,10 +334,22 @@ func (t *Tx) Prepare() (histories.Timestamp, error) {
 	}
 	t.prepared = true
 	t.mu.Unlock()
+	objs := t.touchedObjects()
 	lower := histories.Timestamp(0)
-	for _, o := range t.touchedObjects() {
+	for _, o := range objs {
 		if b := o.boundOf(t); b > lower {
 			lower = b
+		}
+	}
+	// The yes vote must survive a participant crash: log the branch's
+	// intentions (synced) before reporting the bound.  A branch that cannot
+	// log votes no — unfreeze and fail the Prepare.
+	if s := t.sys; s.log != nil {
+		if err := s.log.AppendSync(s.walPreparedRecord(t, objs)); err != nil {
+			t.mu.Lock()
+			t.prepared = false
+			t.mu.Unlock()
+			return 0, fmt.Errorf("hybridcc: prepare of %s not logged: %w", t.ID(), err)
 		}
 	}
 	return lower, nil
@@ -323,14 +377,36 @@ func (t *Tx) CommitAt(ts histories.Timestamp) error {
 		t.mu.Unlock()
 		return ErrTxBusy
 	}
+	t.status = txCommitting
+	t.mu.Unlock()
+
+	objs := t.touchedObjects()
+	// Append-before-merge, as in Commit.  The record repeats the branch's
+	// full operation sequences even though a prepared record usually
+	// precedes it, making it self-contained: recovery of a decided branch
+	// never needs to pair records.
+	if s := t.sys; s.log != nil {
+		if err := s.log.AppendSync(s.walCommitRecord(t, objs, ts)); err != nil {
+			t.mu.Lock()
+			t.status = txAborted
+			t.mu.Unlock()
+			for _, o := range objs {
+				o.abort(t)
+			}
+			s.stats.Aborted.Add(1)
+			return fmt.Errorf("hybridcc: commit of %s not logged, aborted: %w", t.ID(), err)
+		}
+	}
+
 	// ts is assigned before the status is published (both under t.mu), so
 	// Timestamp() can never observe (0, true) mid-commit.
+	t.mu.Lock()
 	t.ts = ts
 	t.status = txCommitted
 	t.mu.Unlock()
 
 	t.sys.clock.Observe(ts)
-	for _, o := range t.touchedObjects() {
+	for _, o := range objs {
 		o.commit(t, ts)
 	}
 	t.sys.stats.Committed.Add(1)

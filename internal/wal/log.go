@@ -1,0 +1,298 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// ErrClosed reports an append or sync on a closed (or crashed) log.
+var ErrClosed = errors.New("wal: log closed")
+
+// DefaultSegmentSize is the rotation threshold when Options.SegmentSize is
+// zero.
+const DefaultSegmentSize = 64 << 20
+
+// appendBufferSize sizes the per-segment write buffer.  Large enough that
+// a no-fsync log rarely syscalls per commit; a crash (process death) loses
+// at most this much of the unflushed tail, which torn-tail recovery maps
+// to "those transactions aborted".
+const appendBufferSize = 256 << 10
+
+// Options configures a Log.
+type Options struct {
+	// Sync makes Sync fsync the current segment (durable against machine
+	// crash).  Off, appends are buffered in-process and flushed on
+	// rotation and Close only: a process crash loses the buffered tail.
+	Sync bool
+	// SegmentSize is the rotation threshold; zero means
+	// DefaultSegmentSize.
+	SegmentSize int64
+}
+
+// Stats counts a Log's work.
+type Stats struct {
+	// Appends counts records appended; Fsyncs counts fsyncs actually
+	// issued (the fsyncs-per-commit ratio of the group-commit experiments
+	// divides these).  Segments is the current segment count.
+	Appends  int64
+	Fsyncs   int64
+	Segments int
+}
+
+// Log is a segmented append-only record log.  It is safe for concurrent
+// use; Append and Sync serialize on one mutex, which is exactly the
+// discipline the commit paths need (records of one batch stay contiguous).
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	segIndex int
+	segSize  int64
+	segCount int
+	closed   bool
+	enc      []byte
+
+	appends atomic.Int64
+	fsyncs  atomic.Int64
+}
+
+// segmentName formats the segment file name for index i.
+func segmentName(i int) string { return fmt.Sprintf("wal-%08d.seg", i) }
+
+// Open opens (creating if needed) the log directory, repairs a torn tail,
+// and returns the log positioned for appending plus every record that
+// survived.  A torn final segment is truncated at its last valid frame —
+// the crash-recovery contract: a frame that never fully reached the disk
+// is a transaction that never committed.  Corruption anywhere else
+// (a torn segment followed by further segments) is not a tail and is
+// returned as an error rather than silently dropped.
+func Open(dir string, opts Options) (*Log, []Record, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = DefaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	recs, segs, err := ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, s := range segs {
+		if s.Torn && i != len(segs)-1 {
+			return nil, nil, fmt.Errorf("wal: segment %s is corrupt at byte %d but later segments exist — not a torn tail", s.Name, s.GoodBytes)
+		}
+	}
+	l := &Log{dir: dir, opts: opts}
+	l.segCount = len(segs)
+	if len(segs) == 0 {
+		if err := l.createSegmentLocked(1); err != nil {
+			return nil, nil, err
+		}
+		return l, recs, nil
+	}
+	last := segs[len(segs)-1]
+	l.segIndex = segmentIndex(last.Name)
+	f, err := os.OpenFile(filepath.Join(dir, last.Name), os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	if last.Torn {
+		if err := f.Truncate(last.GoodBytes); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncating torn tail of %s: %w", last.Name, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: %w", err)
+		}
+	}
+	if _, err := f.Seek(last.GoodBytes, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.w = bufio.NewWriterSize(f, appendBufferSize)
+	l.segSize = last.GoodBytes
+	return l, recs, nil
+}
+
+// createSegmentLocked creates and opens segment index (which must not
+// exist) and fsyncs the directory so the file itself survives a crash.
+func (l *Log) createSegmentLocked(index int) error {
+	name := filepath.Join(l.dir, segmentName(index))
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if d, derr := os.Open(l.dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	l.f = f
+	l.w = bufio.NewWriterSize(f, appendBufferSize)
+	l.segIndex = index
+	l.segSize = 0
+	l.segCount++
+	return nil
+}
+
+// Append encodes and buffers one record, rotating segments as needed.
+// Durability requires a subsequent Sync; the record's bytes may sit in the
+// in-process buffer until then.
+func (l *Log) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(r)
+}
+
+func (l *Log) appendLocked(r Record) error {
+	if l.closed {
+		return ErrClosed
+	}
+	payload := encodePayload(l.enc[:0], r)
+	l.enc = payload[:0]
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.appends.Add(1)
+	l.segSize += int64(frameHeaderSize + len(payload))
+	if l.segSize >= l.opts.SegmentSize {
+		return l.rotateLocked()
+	}
+	return nil
+}
+
+// AppendSync appends r and syncs in one critical section, so the record is
+// durable (to the extent Options.Sync promises) when it returns.  The
+// single-transaction commit fallback and prepared-vote logging use it.
+func (l *Log) AppendSync(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.appendLocked(r); err != nil {
+		return err
+	}
+	return l.syncLocked()
+}
+
+// AppendBatchSync appends every record, then syncs once — the group-commit
+// discipline: one fsync amortized over the whole batch.
+func (l *Log) AppendBatchSync(recs []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, r := range recs {
+		if err := l.appendLocked(r); err != nil {
+			return err
+		}
+	}
+	return l.syncLocked()
+}
+
+// Sync makes previously appended records durable: the buffer is flushed
+// and, with Options.Sync, the segment fsynced.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if !l.opts.Sync {
+		// Lazy mode: leave records in the in-process buffer; rotation and
+		// Close flush them.  A process crash loses the buffered tail —
+		// the accepted trade of Sync off.
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.fsyncs.Add(1)
+	return nil
+}
+
+// rotateLocked seals the current segment (flush + fsync, whatever the Sync
+// mode: a sealed segment is never written again, so it should never be
+// half on disk) and opens the next.
+func (l *Log) rotateLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.fsyncs.Add(1)
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return l.createSegmentLocked(l.segIndex + 1)
+}
+
+// Close flushes, fsyncs, and closes the log.  Closing twice is a no-op.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.fsyncs.Add(1)
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Crash simulates process death at this instant: the in-process buffer is
+// dropped (never flushed) and the file handle closed.  Records past the
+// last flush are lost exactly as a kill -9 would lose them; subsequent
+// appends fail with ErrClosed.  Test hook for the crash-point suites.
+func (l *Log) Crash() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	_ = l.f.Close()
+}
+
+// Stats returns append/fsync counters and the segment count.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	n := l.segCount
+	l.mu.Unlock()
+	return Stats{Appends: l.appends.Load(), Fsyncs: l.fsyncs.Load(), Segments: n}
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }

@@ -1,0 +1,294 @@
+// Package wal implements the durable write-ahead commit log behind
+// core.Options.Durability: an append-only, segmented log of committed
+// invocations plus the two-phase-commit bookkeeping records recovery
+// needs.
+//
+// The paper defines hybrid atomicity over histories of committed
+// operations, which makes durability unusually direct: logging exactly the
+// committed invocations (with their commit timestamps) and replaying them
+// through the serial specifications reconstructs every object's committed
+// state, and replaying them in timestamp order reconstructs a serial
+// history the verifier accepts.  Four record kinds cover the protocol:
+//
+//   - Commit: a transaction's commit — its timestamp and, per touched
+//     object, the ground operation sequence (the intentions list the
+//     runtime merged into the committed tail);
+//   - Prepared: a participant branch's yes vote in two-phase commit,
+//     carrying the same per-object operation sequences (the branch's
+//     in-memory intentions do not survive a crash, so the vote must);
+//   - Abort: resolution of a prepared branch that did not commit —
+//     recovery skips it without consulting any coordinator;
+//   - Decision: the coordinator's commit decision (transaction and
+//     timestamp), logged before phase 2 delivery.  Only commits are
+//     logged — the presumed-abort rule: a prepared branch whose
+//     coordinator log holds no decision record aborted.
+//
+// On disk, records are length-prefixed and CRC32C-checksummed frames in
+// numbered segment files.  Appends are buffered; Sync flushes and (when
+// the log is opened with Options.Sync) fsyncs, which is how the group
+// commit batcher turns a batch of commits into one fsync.  The reader
+// tolerates a torn tail — a crash mid-append leaves a short or
+// corrupt final frame, which truncation maps to "those transactions never
+// committed" — but treats corruption anywhere before the tail as fatal.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Kind enumerates record kinds.
+type Kind byte
+
+// Record kinds; see the package comment for their roles.
+const (
+	KindCommit Kind = iota + 1
+	KindPrepared
+	KindAbort
+	KindDecision
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCommit:
+		return "commit"
+	case KindPrepared:
+		return "prepared"
+	case KindAbort:
+		return "abort"
+	case KindDecision:
+		return "decision"
+	}
+	return fmt.Sprintf("kind(%d)", byte(k))
+}
+
+// Op is one ground operation: invocation name, encoded argument, and the
+// response the runtime granted.  It mirrors spec.Op without importing it —
+// the log is below the spec layer and must stay decodable on its own.
+type Op struct {
+	Name string
+	Arg  string
+	Res  string
+}
+
+// ObjOps is a transaction's operation sequence at one object, in execution
+// order (the order the intentions list merges into the committed tail).
+type ObjOps struct {
+	Obj string
+	Ops []Op
+}
+
+// Record is one log record.  TS is meaningful for Commit and Decision
+// records; Objs for Commit and Prepared records.
+type Record struct {
+	Kind Kind
+	Tx   string
+	TS   int64
+	Objs []ObjOps
+}
+
+// castagnoli is the CRC32C table; Castagnoli has hardware support on the
+// platforms this runs on and better error detection than IEEE.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeaderSize is the per-record framing overhead: a little-endian
+// uint32 payload length followed by the payload's CRC32C.
+const frameHeaderSize = 8
+
+// maxPayload bounds a single record; anything larger in a length prefix
+// marks the frame corrupt rather than an allocation request.
+const maxPayload = 1 << 28
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// encodePayload appends r's payload encoding (without framing) to buf.
+func encodePayload(buf []byte, r Record) []byte {
+	buf = append(buf, byte(r.Kind))
+	buf = appendString(buf, r.Tx)
+	switch r.Kind {
+	case KindCommit, KindDecision:
+		buf = binary.AppendUvarint(buf, uint64(r.TS))
+	}
+	switch r.Kind {
+	case KindCommit, KindPrepared:
+		buf = binary.AppendUvarint(buf, uint64(len(r.Objs)))
+		for _, oo := range r.Objs {
+			buf = appendString(buf, oo.Obj)
+			buf = binary.AppendUvarint(buf, uint64(len(oo.Ops)))
+			for _, op := range oo.Ops {
+				buf = appendString(buf, op.Name)
+				buf = appendString(buf, op.Arg)
+				buf = appendString(buf, op.Res)
+			}
+		}
+	}
+	return buf
+}
+
+// decoder is a bounds-checked cursor over one payload.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) byteVal() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("wal: payload truncated")
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("wal: bad uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail("wal: string length %d exceeds payload", n)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// decodePayload decodes one payload into a Record.
+func decodePayload(buf []byte) (Record, error) {
+	d := &decoder{buf: buf}
+	var r Record
+	r.Kind = Kind(d.byteVal())
+	switch r.Kind {
+	case KindCommit, KindPrepared, KindAbort, KindDecision:
+	default:
+		return r, fmt.Errorf("wal: unknown record kind %d", byte(r.Kind))
+	}
+	r.Tx = d.str()
+	switch r.Kind {
+	case KindCommit, KindDecision:
+		r.TS = int64(d.uvarint())
+	}
+	switch r.Kind {
+	case KindCommit, KindPrepared:
+		nObjs := d.uvarint()
+		if d.err == nil && nObjs > uint64(len(buf)) {
+			d.fail("wal: object count %d exceeds payload", nObjs)
+		}
+		for i := uint64(0); i < nObjs && d.err == nil; i++ {
+			oo := ObjOps{Obj: d.str()}
+			nOps := d.uvarint()
+			if d.err == nil && nOps > uint64(len(buf)) {
+				d.fail("wal: op count %d exceeds payload", nOps)
+			}
+			for j := uint64(0); j < nOps && d.err == nil; j++ {
+				oo.Ops = append(oo.Ops, Op{Name: d.str(), Arg: d.str(), Res: d.str()})
+			}
+			r.Objs = append(r.Objs, oo)
+		}
+	}
+	if d.err != nil {
+		return r, d.err
+	}
+	if d.off != len(buf) {
+		return r, fmt.Errorf("wal: %d trailing payload bytes", len(buf)-d.off)
+	}
+	return r, nil
+}
+
+// Summary is the recovery-relevant digest of a record stream: which
+// transactions committed (with their operations and timestamps), which
+// prepared branches are still undecided, and which coordinator decisions
+// were logged.
+type Summary struct {
+	// Committed holds one commit record per committed transaction, in log
+	// order; duplicates (a decision re-applied across restarts) keep the
+	// first record.
+	Committed []Record
+	// Pending holds prepared records with no commit or abort resolution —
+	// the branches recovery must resolve from decision records or presume
+	// aborted.
+	Pending []Record
+	// Decisions maps transaction id to the committed decision timestamp
+	// (coordinator logs only; presumed abort means absence is an abort).
+	Decisions map[string]int64
+	// Aborts counts abort records (resolved prepared branches).
+	Aborts int
+}
+
+// Summarize folds a record stream read from one log directory.
+func Summarize(recs []Record) Summary {
+	s := Summary{Decisions: make(map[string]int64)}
+	committed := make(map[string]bool)
+	pending := make(map[string]int) // tx -> index into s.Pending, -1 when resolved
+	for _, r := range recs {
+		switch r.Kind {
+		case KindCommit:
+			if committed[r.Tx] {
+				continue
+			}
+			committed[r.Tx] = true
+			s.Committed = append(s.Committed, r)
+			if i, ok := pending[r.Tx]; ok && i >= 0 {
+				s.Pending[i].Tx = "" // tombstone, compacted below
+				pending[r.Tx] = -1
+			}
+		case KindPrepared:
+			if committed[r.Tx] {
+				continue
+			}
+			if _, ok := pending[r.Tx]; ok {
+				continue // Prepare is idempotent; keep the first record.
+			}
+			pending[r.Tx] = len(s.Pending)
+			s.Pending = append(s.Pending, r)
+		case KindAbort:
+			s.Aborts++
+			if i, ok := pending[r.Tx]; ok && i >= 0 {
+				s.Pending[i].Tx = ""
+				pending[r.Tx] = -1
+			}
+		case KindDecision:
+			s.Decisions[r.Tx] = r.TS
+		}
+	}
+	// Compact tombstoned pending entries.
+	out := s.Pending[:0]
+	for _, r := range s.Pending {
+		if r.Tx != "" {
+			out = append(out, r)
+		}
+	}
+	s.Pending = out
+	return s
+}

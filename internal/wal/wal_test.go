@@ -1,0 +1,322 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func commitRec(tx string, ts int64) Record {
+	return Record{
+		Kind: KindCommit,
+		Tx:   tx,
+		TS:   ts,
+		Objs: []ObjOps{{Obj: "acct", Ops: []Op{
+			{Name: "Credit", Arg: "100", Res: "Ok"},
+			{Name: "Debit", Arg: "30", Res: "Ok"},
+		}}},
+	}
+}
+
+func recordsEqual(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Kind != w.Kind || g.Tx != w.Tx || g.TS != w.TS || len(g.Objs) != len(w.Objs) {
+			t.Fatalf("record %d: got %+v, want %+v", i, g, w)
+		}
+		for j := range w.Objs {
+			if g.Objs[j].Obj != w.Objs[j].Obj || len(g.Objs[j].Ops) != len(w.Objs[j].Ops) {
+				t.Fatalf("record %d obj %d: got %+v, want %+v", i, j, g.Objs[j], w.Objs[j])
+			}
+			for k := range w.Objs[j].Ops {
+				if g.Objs[j].Ops[k] != w.Objs[j].Ops[k] {
+					t.Fatalf("record %d obj %d op %d: got %+v, want %+v", i, j, k, g.Objs[j].Ops[k], w.Objs[j].Ops[k])
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, recs, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh log returned %d records", len(recs))
+	}
+	want := []Record{
+		commitRec("T1", 3),
+		{Kind: KindPrepared, Tx: "T2", Objs: []ObjOps{{Obj: "q", Ops: []Op{{Name: "Enq", Arg: "7", Res: "Ok"}}}}},
+		{Kind: KindDecision, Tx: "T2", TS: 9},
+		{Kind: KindAbort, Tx: "T3"},
+	}
+	for _, r := range want {
+		if err := l.AppendSync(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recordsEqual(t, got, want)
+}
+
+func TestRotationAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: true, SegmentSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 20; i++ {
+		r := commitRec("T"+string(rune('A'+i)), int64(i+1))
+		want = append(want, r)
+		if err := l.AppendSync(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Segments < 2 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got, err := Open(dir, Options{Sync: true, SegmentSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recordsEqual(t, got, want)
+	// The reopened log appends into the last segment seamlessly.
+	extra := commitRec("T99", 99)
+	if err := l2.AppendSync(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	gotAll, err := ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordsEqual(t, gotAll, append(want, extra))
+}
+
+// TestCrashAfterAppendBeforeSync is the kill-after-append/before-fsync
+// crash point: a record appended but never synced dies with the process,
+// while everything synced before it survives.
+func TestCrashAfterAppendBeforeSync(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable := commitRec("T1", 1)
+	if err := l.AppendSync(durable); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(commitRec("T2", 2)); err != nil { // no sync
+		t.Fatal(err)
+	}
+	l.Crash()
+	if err := l.Append(commitRec("T3", 3)); err != ErrClosed {
+		t.Fatalf("append after crash: got %v, want ErrClosed", err)
+	}
+	l2, got, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recordsEqual(t, got, []Record{durable})
+}
+
+// TestTornTail truncates the last record mid-frame and checks that reopen
+// repairs the tail: the valid prefix survives, the torn record is gone,
+// and new appends land cleanly after the truncation point.
+func TestTornTail(t *testing.T) {
+	for _, cut := range []int{1, 5, 11} { // inside header, inside payload, near end
+		dir := t.TempDir()
+		l, _, err := Open(dir, Options{Sync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keep := []Record{commitRec("T1", 1), commitRec("T2", 2)}
+		for _, r := range keep {
+			if err := l.AppendSync(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.AppendSync(commitRec("T3", 3)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		seg := filepath.Join(dir, segmentName(1))
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(seg, data[:len(data)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, got, err := Open(dir, Options{Sync: true})
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		recordsEqual(t, got, keep)
+		after := commitRec("T4", 4)
+		if err := l2.AppendSync(after); err != nil {
+			t.Fatal(err)
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err = ReadAll(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recordsEqual(t, got, append(append([]Record{}, keep...), after))
+	}
+}
+
+// TestCorruptRecord flips a byte inside the final record's payload: the
+// CRC rejects it and the reader truncates there.
+func TestCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := commitRec("T1", 1)
+	if err := l.AppendSync(keep); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendSync(commitRec("T2", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, segs, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || !segs[0].Torn || segs[0].Reason != "CRC mismatch" {
+		t.Fatalf("unexpected segment diagnostics: %+v", segs)
+	}
+	l2, got, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recordsEqual(t, got, []Record{keep})
+}
+
+// TestTornMiddleSegmentRefused: corruption before the final segment is not
+// a torn tail and must fail loudly instead of silently dropping committed
+// records.
+func TestTornMiddleSegmentRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: true, SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.AppendSync(commitRec("T1", int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Segments < 3 {
+		t.Fatalf("expected ≥3 segments, got %d", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{Sync: true, SegmentSize: 64}); err == nil {
+		t.Fatal("Open accepted a torn middle segment")
+	}
+	if _, err := ReadAll(dir); err == nil {
+		t.Fatal("ReadAll accepted a torn middle segment")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	recs := []Record{
+		{Kind: KindPrepared, Tx: "T1", Objs: []ObjOps{{Obj: "a"}}},
+		{Kind: KindPrepared, Tx: "T2", Objs: []ObjOps{{Obj: "b"}}},
+		{Kind: KindPrepared, Tx: "T3", Objs: []ObjOps{{Obj: "c"}}},
+		{Kind: KindCommit, Tx: "T1", TS: 5, Objs: []ObjOps{{Obj: "a"}}},
+		{Kind: KindAbort, Tx: "T2"},
+		{Kind: KindCommit, Tx: "T4", TS: 7, Objs: []ObjOps{{Obj: "d"}}},
+		{Kind: KindDecision, Tx: "T3", TS: 9},
+		{Kind: KindCommit, Tx: "T4", TS: 7, Objs: []ObjOps{{Obj: "d"}}}, // duplicate ignored
+	}
+	s := Summarize(recs)
+	if len(s.Committed) != 2 || s.Committed[0].Tx != "T1" || s.Committed[1].Tx != "T4" {
+		t.Fatalf("committed: %+v", s.Committed)
+	}
+	if len(s.Pending) != 1 || s.Pending[0].Tx != "T3" {
+		t.Fatalf("pending: %+v", s.Pending)
+	}
+	if ts, ok := s.Decisions["T3"]; !ok || ts != 9 {
+		t.Fatalf("decisions: %+v", s.Decisions)
+	}
+	if s.Aborts != 1 {
+		t.Fatalf("aborts: %d", s.Aborts)
+	}
+}
+
+// TestNoSyncLosesBufferedTail: with Sync off, Sync() is a no-op and a
+// crash loses the buffered records — the documented trade.
+func TestNoSyncLosesBufferedTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendSync(commitRec("T1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	l.Crash()
+	if st := l.Stats(); st.Fsyncs != 0 {
+		t.Fatalf("no-sync log issued %d fsyncs", st.Fsyncs)
+	}
+	l2, got, err := Open(dir, Options{Sync: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(got) != 0 {
+		t.Fatalf("buffered record survived a crash: %+v", got)
+	}
+}

@@ -109,6 +109,9 @@ func recordLine(r wal.Record) string {
 		wal.KindDecision: "decision",
 	}[r.Kind]
 	line := fmt.Sprintf("%-8s %-6s ts=%d", kind, r.Tx, r.TS)
+	if r.Participants > 0 {
+		line += fmt.Sprintf(" shards=%d", r.Participants)
+	}
 	for _, oo := range r.Objs {
 		line += fmt.Sprintf(" %s[", oo.Obj)
 		for i, op := range oo.Ops {

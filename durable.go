@@ -15,6 +15,15 @@ import (
 // in-process and flushed on segment rotation and Close: markedly faster,
 // and still recoverable after a clean Close — but a crash loses the
 // buffered tail (those transactions recover as aborted, never as torn).
+//
+// On a cluster, fsync off weakens the crash story further: each shard log
+// loses an independent amount of tail, so a cross-shard transaction's
+// commit record can survive on one shard and be lost on another.  Commit
+// records carry their participant count, so OpenCluster detects the
+// missing leg and refuses to recover the directory (an error naming the
+// torn transaction) rather than silently replaying it on a subset of its
+// shards.  Leave fsync on when cross-shard recovery after a hard crash
+// must always succeed.
 func WithFsync(on bool) Option {
 	return func(c *config) { c.fsync, c.fsyncSet = on, true }
 }

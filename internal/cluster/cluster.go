@@ -146,6 +146,7 @@ func New(opts Options) (*Cluster, error) {
 		}
 		sys, err := core.OpenSystem(sysOpts)
 		if err != nil {
+			c.closeOpened()
 			return nil, err
 		}
 		c.shards[i], c.clocks[i] = sys, clock
@@ -155,10 +156,25 @@ func New(opts Options) (*Cluster, error) {
 	c.coord = commitproto.NewCoordinator(c.coordClock, opts.CommitTimeout)
 	if d := opts.Durability; d != nil {
 		if err := c.openDurability(d); err != nil {
+			c.closeOpened()
 			return nil, err
 		}
 	}
 	return c, nil
+}
+
+// closeOpened releases whatever a failed New had opened so far — shard
+// Systems (whose logs hold OS file handles) and the decision log — so a
+// constructor error does not leak descriptors.
+func (c *Cluster) closeOpened() {
+	for _, sys := range c.shards {
+		if sys != nil {
+			_ = sys.Close()
+		}
+	}
+	if c.decisionLog != nil {
+		_ = c.decisionLog.Close()
+	}
 }
 
 // NumShards returns the shard count.

@@ -146,6 +146,10 @@ func (t *DTx) Commit() error {
 	trs := make([]commitproto.Transport, len(order))
 	var servers []*commitproto.Server
 	for i, b := range order {
+		// Stamp every leg's commit record with the full site count, so a
+		// recovery merging this transaction across shard logs can tell a
+		// complete merge from one missing a leg (cluster.FinishRecovery).
+		b.tx.SetParticipants(len(order))
 		p := core.TxParticipant{Tx: b.tx}
 		if t.c.serverTransport {
 			s := commitproto.NewServer(t.c.names[b.shard], p)

@@ -110,19 +110,37 @@ func (c *Cluster) FinishRecovery() error {
 	}
 
 	merged := make(map[histories.TxID]int)
+	legs := make(map[histories.TxID]int)
 	var txs []core.RecoveredTx
 	for _, sys := range c.shards {
 		for _, tx := range sys.RecoveredCommitted() {
+			legs[tx.ID]++
 			if i, ok := merged[tx.ID]; ok {
 				if txs[i].TS != tx.TS {
 					return fmt.Errorf("cluster: recovered %s committed at timestamp %d on one shard and %d on another — logs inconsistent", tx.ID, txs[i].TS, tx.TS)
 				}
 				txs[i].Ops = append(txs[i].Ops, tx.Ops...)
+				// A resolution record re-logged by a previous recovery is
+				// unstamped (Participants zero); keep the largest stamp so
+				// the leg check below still sees the original count.
+				if tx.Participants > txs[i].Participants {
+					txs[i].Participants = tx.Participants
+				}
 				continue
 			}
 			merged[tx.ID] = len(txs)
 			txs = append(txs, tx)
 			c.coordClock.Observe(tx.TS)
+		}
+	}
+	// Cross-shard atomicity check: every commit record of a cross-shard
+	// transaction promises Participants legs, so fewer merged legs means a
+	// shard log lost its commit record — possible only with fsync off,
+	// where each log loses an independent buffered tail.  Replaying the
+	// subset would tear the transaction; refuse instead.
+	for _, i := range merged {
+		if n := txs[i].Participants; n > 0 && legs[txs[i].ID] < n {
+			return fmt.Errorf("cluster: recovered %s on %d of its %d shards — a cross-shard leg is missing (a log opened with fsync off lost its buffered tail); the directory cannot be recovered atomically", txs[i].ID, legs[txs[i].ID], n)
 		}
 	}
 	if err := core.Replay(txs); err != nil {

@@ -3,6 +3,8 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -266,5 +268,131 @@ func TestShardCountPinned(t *testing.T) {
 	_, err := New(Options{Shards: 3, Durability: &core.Durability{Dir: dir, Sync: true}})
 	if err == nil || !strings.Contains(err.Error(), "shard count") {
 		t.Fatalf("reopen with changed shard count: err = %v", err)
+	}
+}
+
+// segSize returns the byte length of a shard's (single) log segment.
+func segSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			segs = append(segs, e.Name())
+		}
+	}
+	if len(segs) != 1 {
+		t.Fatalf("%s holds %d segments, want 1", dir, len(segs))
+	}
+	fi, err := os.Stat(filepath.Join(dir, segs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// TestTornCrossShardLegRefused: when one shard's log lost every trace of a
+// cross-shard transaction (the WithFsync(false) crash shape: each log
+// loses an independent buffered tail), recovery must detect the missing
+// leg from the surviving commit record's participant stamp and refuse the
+// directory — never replay the transaction on a subset of its shards.
+func TestTornCrossShardLegRefused(t *testing.T) {
+	dir := t.TempDir()
+	c := openDurableCluster(t, dir, 2, false)
+	if err := c.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	a, b := newAccountOn(c, 0, "a"), newAccountOn(c, 1, "b")
+	fund(t, c, a, 100)
+	fund(t, c, b, 100)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	shard1 := filepath.Join(dir, "shard1")
+	beforeTransfer := segSize(t, shard1)
+
+	c2 := openDurableCluster(t, dir, 2, false)
+	a2, b2 := newAccountOn(c2, 0, "a"), newAccountOn(c2, 1, "b")
+	if err := c2.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	transfer(t, c2, a2, b2, 10) // cross-shard 2PC commit
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lose shard1's tail: truncate its log back to the pre-transfer length,
+	// dropping the transfer's prepared AND commit records there while
+	// shard0's leg and the coordinator's decision record survive.
+	seg := filepath.Join(shard1, "wal-00000001.seg")
+	if err := os.Truncate(seg, beforeTransfer); err != nil {
+		t.Fatal(err)
+	}
+
+	c3, err := New(Options{
+		Shards:     2,
+		LockWait:   250 * time.Millisecond,
+		Durability: &core.Durability{Dir: dir, Sync: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	newAccountOn(c3, 0, "a")
+	newAccountOn(c3, 1, "b")
+	err = c3.FinishRecovery()
+	if err == nil {
+		t.Fatal("recovery replayed a cross-shard transaction missing a leg")
+	}
+	if !strings.Contains(err.Error(), "leg is missing") {
+		t.Fatalf("recovery error = %v, want a missing-leg refusal", err)
+	}
+}
+
+// TestNewFailureClosesLogs: a Cluster constructor failure after shard logs
+// have opened must close them — file descriptors must not outlive the
+// failed New (regression: they leaked).
+func TestNewFailureClosesLogs(t *testing.T) {
+	countFDs := func() int {
+		t.Helper()
+		ents, err := os.ReadDir("/proc/self/fd")
+		if err != nil {
+			t.Skipf("cannot count descriptors: %v", err)
+		}
+		return len(ents)
+	}
+	durable := func(dir string) Options {
+		return Options{Shards: 2, Durability: &core.Durability{Dir: dir, Sync: true}}
+	}
+
+	// Failure after every shard opened: a regular file squatting on the
+	// coordinator log's directory name.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, coordDirName), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := countFDs()
+	if _, err := New(durable(dir)); err == nil {
+		t.Fatal("New succeeded with the coord directory blocked")
+	}
+	if after := countFDs(); after > before {
+		t.Fatalf("coord-failure path leaked %d descriptor(s)", after-before)
+	}
+
+	// Failure opening a later shard: the same squatter on shard1's name,
+	// so shard0's log opens and must be closed again.
+	dir = t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "shard1"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before = countFDs()
+	if _, err := New(durable(dir)); err == nil {
+		t.Fatal("New succeeded with shard1's directory blocked")
+	}
+	if after := countFDs(); after > before {
+		t.Fatalf("shard-failure path leaked %d descriptor(s)", after-before)
 	}
 }

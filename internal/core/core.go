@@ -223,6 +223,8 @@ func (s *System) BeginPooledCtx(ctx context.Context) *Tx {
 	t.status = txActive
 	t.busy = false
 	t.prepared = false
+	t.loggedPrepare = false
+	t.participants = 0
 	t.ts = 0
 	t.ctx = ctx
 	t.commitErr = nil

@@ -143,16 +143,19 @@ type RecoveredOps struct {
 
 // RecoveredTx is one transaction reconstructed from a commit log:
 // committed (TS set) or prepared-but-undecided (TS zero, awaiting
-// ResolvePending or AbandonPending).
+// ResolvePending or AbandonPending).  Participants is the site count the
+// commit record was stamped with (see wal.Record); a cluster merging
+// cross-shard transactions checks it against the legs actually found.
 type RecoveredTx struct {
-	ID  histories.TxID
-	TS  histories.Timestamp
-	Ops []RecoveredOps
+	ID           histories.TxID
+	TS           histories.Timestamp
+	Participants int
+	Ops          []RecoveredOps
 }
 
 // recoveredTxOf converts a log record into the replay representation.
 func (s *System) recoveredTxOf(r wal.Record) RecoveredTx {
-	tx := RecoveredTx{ID: histories.TxID(r.Tx), TS: histories.Timestamp(r.TS)}
+	tx := RecoveredTx{ID: histories.TxID(r.Tx), TS: histories.Timestamp(r.TS), Participants: r.Participants}
 	for _, oo := range r.Objs {
 		ops := make([]spec.Op, len(oo.Ops))
 		for i, op := range oo.Ops {
@@ -408,7 +411,10 @@ func (s *System) registerObject(o *Object) {
 // per-object intentions (read under each object's mutex; the transaction
 // is past txActive, so they can no longer change).
 func (s *System) walCommitRecord(t *Tx, objs []*Object, ts histories.Timestamp) wal.Record {
-	r := wal.Record{Kind: wal.KindCommit, Tx: string(t.ID()), TS: int64(ts)}
+	t.mu.Lock()
+	parts := t.participants
+	t.mu.Unlock()
+	r := wal.Record{Kind: wal.KindCommit, Tx: string(t.ID()), TS: int64(ts), Participants: parts}
 	r.Objs = walObjOps(t, objs)
 	return r
 }

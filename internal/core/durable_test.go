@@ -360,3 +360,49 @@ func TestUnregisteredRecoveredObject(t *testing.T) {
 	}()
 	accountOn(s2)
 }
+
+// TestPrepareIdempotentLogging: a repeat Prepare of a branch whose yes
+// vote is already durable must not append a second prepared record — and,
+// above all, must not unfreeze the branch when a redundant append would
+// have failed: the coordinator may already hold the bound the freeze
+// protects, so new operations must stay fenced off whatever the log does.
+func TestPrepareIdempotentLogging(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSystem(Options{
+		LockWait:           250 * time.Millisecond,
+		ExternalTimestamps: true,
+		Durability:         &Durability{Dir: dir, Sync: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	acc := accountOn(s)
+	br := s.BeginBranch(nil, "X1")
+	if _, err := acc.Call(br, adt.CreditInv(5)); err != nil {
+		t.Fatal(err)
+	}
+	lower, err := br.Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	appends := s.LogStats().Appends
+	again, err := br.Prepare()
+	if err != nil || again != lower {
+		t.Fatalf("repeat Prepare = (%d, %v), want (%d, nil)", again, err, lower)
+	}
+	if got := s.LogStats().Appends; got != appends {
+		t.Fatalf("repeat Prepare re-logged the vote: %d appends, want %d", got, appends)
+	}
+	// Even over a dead log the repeat Prepare succeeds (nothing to log) and
+	// the branch stays frozen.
+	s.CrashLog()
+	if _, err := br.Prepare(); err != nil {
+		t.Fatalf("repeat Prepare after log death: %v", err)
+	}
+	if _, err := acc.Call(br, adt.CreditInv(1)); !errors.Is(err, ErrTxBusy) {
+		t.Fatalf("prepared branch accepted an operation: %v", err)
+	}
+}

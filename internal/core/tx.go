@@ -77,8 +77,18 @@ type Tx struct {
 	// branch's timestamp bound above the already-chosen decision
 	// timestamp — standard 2PC participant behavior forbids exactly that.
 	prepared bool
-	touched  map[*Object]bool
-	ts       histories.Timestamp
+	// loggedPrepare records that the branch's yes vote reached the log
+	// durably: a repeat Prepare (the protocol retries idempotently) must
+	// not re-log it, and above all must not unfreeze the branch if the
+	// redundant append fails — the coordinator may already hold the bound
+	// the freeze protects.
+	loggedPrepare bool
+	// participants is the number of sites the enclosing distributed
+	// transaction commits on (stamped into the commit record so cluster
+	// recovery can detect a missing leg); zero for single-site commits.
+	participants int
+	touched      map[*Object]bool
+	ts           histories.Timestamp
 
 	// seq is the local sequence number behind the lazy identifier; id is
 	// materialized from it on first use ("T<seq>") unless preset by
@@ -333,6 +343,7 @@ func (t *Tx) Prepare() (histories.Timestamp, error) {
 		return 0, ErrTxBusy
 	}
 	t.prepared = true
+	voteLogged := t.loggedPrepare
 	t.mu.Unlock()
 	objs := t.touchedObjects()
 	lower := histories.Timestamp(0)
@@ -343,16 +354,35 @@ func (t *Tx) Prepare() (histories.Timestamp, error) {
 	}
 	// The yes vote must survive a participant crash: log the branch's
 	// intentions (synced) before reporting the bound.  A branch that cannot
-	// log votes no — unfreeze and fail the Prepare.
-	if s := t.sys; s.log != nil {
+	// log votes no — unfreeze and fail the Prepare.  A repeat Prepare whose
+	// vote is already durable skips the append entirely: re-logging buys
+	// nothing, and a failure of the redundant append must not unfreeze a
+	// branch whose bound the coordinator may already hold.
+	if s := t.sys; s.log != nil && !voteLogged {
 		if err := s.log.AppendSync(s.walPreparedRecord(t, objs)); err != nil {
 			t.mu.Lock()
 			t.prepared = false
 			t.mu.Unlock()
 			return 0, fmt.Errorf("hybridcc: prepare of %s not logged: %w", t.ID(), err)
 		}
+		t.mu.Lock()
+		t.loggedPrepare = true
+		t.mu.Unlock()
 	}
 	return lower, nil
+}
+
+// SetParticipants records the number of sites the enclosing distributed
+// transaction commits on.  The count is stamped into this branch's commit
+// record, so a recovery that merges the transaction across shard logs can
+// check it found every leg (a log opened with fsync off can lose a
+// buffered leg in a crash) instead of silently replaying a subset.  Call
+// it before the commit protocol runs; it has no effect on a volatile
+// System.
+func (t *Tx) SetParticipants(n int) {
+	t.mu.Lock()
+	t.participants = n
+	t.mu.Unlock()
 }
 
 // CommitAt commits with an externally chosen timestamp (from an atomic

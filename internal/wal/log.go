@@ -16,6 +16,11 @@ import (
 // ErrClosed reports an append or sync on a closed (or crashed) log.
 var ErrClosed = errors.New("wal: log closed")
 
+// ErrFailed reports an append or sync on a log poisoned by an earlier
+// write, fsync, or rotation failure.  It wraps ErrClosed, so callers that
+// only check for ErrClosed treat a poisoned log as closed.
+var ErrFailed = fmt.Errorf("%w after write failure", ErrClosed)
+
 // DefaultSegmentSize is the rotation threshold when Options.SegmentSize is
 // zero.
 const DefaultSegmentSize = 64 << 20
@@ -50,6 +55,17 @@ type Stats struct {
 // Log is a segmented append-only record log.  It is safe for concurrent
 // use; Append and Sync serialize on one mutex, which is exactly the
 // discipline the commit paths need (records of one batch stay contiguous).
+//
+// Any write, fsync, or rotation failure POISONS the log: every later
+// Append or Sync fails with an error wrapping ErrClosed (ErrFailed).  The
+// commit paths depend on this — a failed append or fsync leaves the disk
+// state unknown (the record may or may not have reached the platter; bufio
+// only poisons its own buffer on flush errors, not on fsync errors), so if
+// later commits kept appending valid frames after it, recovery would
+// replay a transaction its client was told aborted, alongside transactions
+// that observed its locks released.  Poisoning makes the failed record the
+// log's last: whatever of it survived is at the recoverable tail, and no
+// acknowledged commit ever follows an unacknowledged one.
 type Log struct {
 	dir  string
 	opts Options
@@ -61,6 +77,7 @@ type Log struct {
 	segSize  int64
 	segCount int
 	closed   bool
+	failed   error
 	enc      []byte
 
 	appends atomic.Int64
@@ -147,6 +164,29 @@ func (l *Log) createSegmentLocked(index int) error {
 	return nil
 }
 
+// poisonLocked marks the log permanently failed: err left the on-disk
+// state unknown, so the log refuses every further append and sync (see the
+// Log doc comment).  The file handle is closed best-effort; Close becomes
+// a no-op.  Returns err wrapped for the caller to propagate.
+func (l *Log) poisonLocked(err error) error {
+	if l.failed == nil {
+		l.failed = err
+		l.closed = true
+		if l.f != nil {
+			_ = l.f.Close()
+		}
+	}
+	return fmt.Errorf("wal: %w", err)
+}
+
+// closedErrLocked distinguishes a cleanly closed log from a poisoned one.
+func (l *Log) closedErrLocked() error {
+	if l.failed != nil {
+		return fmt.Errorf("%w: %v", ErrFailed, l.failed)
+	}
+	return ErrClosed
+}
+
 // Append encodes and buffers one record, rotating segments as needed.
 // Durability requires a subsequent Sync; the record's bytes may sit in the
 // in-process buffer until then.
@@ -158,7 +198,7 @@ func (l *Log) Append(r Record) error {
 
 func (l *Log) appendLocked(r Record) error {
 	if l.closed {
-		return ErrClosed
+		return l.closedErrLocked()
 	}
 	payload := encodePayload(l.enc[:0], r)
 	l.enc = payload[:0]
@@ -166,10 +206,10 @@ func (l *Log) appendLocked(r Record) error {
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
 	if _, err := l.w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.poisonLocked(err)
 	}
 	if _, err := l.w.Write(payload); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.poisonLocked(err)
 	}
 	l.appends.Add(1)
 	l.segSize += int64(frameHeaderSize + len(payload))
@@ -214,7 +254,7 @@ func (l *Log) Sync() error {
 
 func (l *Log) syncLocked() error {
 	if l.closed {
-		return ErrClosed
+		return l.closedErrLocked()
 	}
 	if !l.opts.Sync {
 		// Lazy mode: leave records in the in-process buffer; rotation and
@@ -223,10 +263,10 @@ func (l *Log) syncLocked() error {
 		return nil
 	}
 	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.poisonLocked(err)
 	}
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.poisonLocked(err)
 	}
 	l.fsyncs.Add(1)
 	return nil
@@ -237,16 +277,20 @@ func (l *Log) syncLocked() error {
 // half on disk) and opens the next.
 func (l *Log) rotateLocked() error {
 	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.poisonLocked(err)
 	}
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.poisonLocked(err)
 	}
 	l.fsyncs.Add(1)
 	if err := l.f.Close(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.poisonLocked(err)
 	}
-	return l.createSegmentLocked(l.segIndex + 1)
+	if err := l.createSegmentLocked(l.segIndex + 1); err != nil {
+		_ = l.poisonLocked(err) // already "wal: "-wrapped; poison, don't re-wrap
+		return err
+	}
+	return nil
 }
 
 // Close flushes, fsyncs, and closes the log.  Closing twice is a no-op.

@@ -12,7 +12,9 @@
 //
 //   - Commit: a transaction's commit — its timestamp and, per touched
 //     object, the ground operation sequence (the intentions list the
-//     runtime merged into the committed tail);
+//     runtime merged into the committed tail), plus, for cross-shard
+//     transactions, the participant count that lets recovery detect a
+//     shard log missing its leg;
 //   - Prepared: a participant branch's yes vote in two-phase commit,
 //     carrying the same per-object operation sequences (the branch's
 //     in-memory intentions do not survive a crash, so the vote must);
@@ -30,6 +32,9 @@
 // tolerates a torn tail — a crash mid-append leaves a short or
 // corrupt final frame, which truncation maps to "those transactions never
 // committed" — but treats corruption anywhere before the tail as fatal.
+// A write or fsync failure poisons the log (see Log): the failed record
+// stays the stream's last, so the torn-tail rule keeps holding even when
+// the disk, rather than the process, is what failed.
 package wal
 
 import (
@@ -82,11 +87,21 @@ type ObjOps struct {
 
 // Record is one log record.  TS is meaningful for Commit and Decision
 // records; Objs for Commit and Prepared records.
+//
+// Participants (Commit records only) is the number of sites the
+// transaction committed on: a cross-shard transaction writes one commit
+// record per shard log, each stamped with the full site count, so cluster
+// recovery can count the legs it actually merged against the count each
+// leg promises and detect a missing one (a shard log that lost its
+// buffered tail with fsync off).  Zero means "unstamped" — a single-site
+// commit, or a record re-logged by recovery resolution — and constrains
+// nothing.
 type Record struct {
-	Kind Kind
-	Tx   string
-	TS   int64
-	Objs []ObjOps
+	Kind         Kind
+	Tx           string
+	TS           int64
+	Participants int
+	Objs         []ObjOps
 }
 
 // castagnoli is the CRC32C table; Castagnoli has hardware support on the
@@ -114,6 +129,9 @@ func encodePayload(buf []byte, r Record) []byte {
 	switch r.Kind {
 	case KindCommit, KindDecision:
 		buf = binary.AppendUvarint(buf, uint64(r.TS))
+	}
+	if r.Kind == KindCommit {
+		buf = binary.AppendUvarint(buf, uint64(r.Participants))
 	}
 	switch r.Kind {
 	case KindCommit, KindPrepared:
@@ -198,6 +216,13 @@ func decodePayload(buf []byte) (Record, error) {
 	switch r.Kind {
 	case KindCommit, KindDecision:
 		r.TS = int64(d.uvarint())
+	}
+	if r.Kind == KindCommit {
+		n := d.uvarint()
+		if d.err == nil && n > uint64(maxPayload) {
+			d.fail("wal: participant count %d exceeds payload", n)
+		}
+		r.Participants = int(n)
 	}
 	switch r.Kind {
 	case KindCommit, KindPrepared:

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -318,5 +319,84 @@ func TestNoSyncLosesBufferedTail(t *testing.T) {
 	defer l2.Close()
 	if len(got) != 0 {
 		t.Fatalf("buffered record survived a crash: %+v", got)
+	}
+}
+
+// TestPoisonOnSyncFailure: a commit-path sync failure must poison the log —
+// the failed record's durability is unknown, so no later append may produce
+// a valid frame after it (recovery treats every readable commit record as
+// committed, and a phantom record followed by live traffic would replay a
+// transaction its client was told aborted).  The failure is injected by
+// closing the segment file behind the log's back, so the next flush fails.
+func TestPoisonOnSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable := commitRec("T1", 1)
+	if err := l.AppendSync(durable); err != nil {
+		t.Fatal(err)
+	}
+	l.f.Close() // injected: the next buffer flush hits a closed descriptor
+	if err := l.AppendSync(commitRec("T2", 2)); err == nil {
+		t.Fatal("AppendSync on a broken file succeeded")
+	}
+	// Poisoned: every later append and sync fails, as closed AND as failed.
+	for name, err := range map[string]error{
+		"Append": l.Append(commitRec("T3", 3)),
+		"Sync":   l.Sync(),
+	} {
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("%s after poison: got %v, want ErrClosed", name, err)
+		}
+		if !errors.Is(err, ErrFailed) {
+			t.Fatalf("%s after poison: got %v, want ErrFailed", name, err)
+		}
+	}
+	// Close after poison is a no-op, and recovery sees only the record
+	// acknowledged before the failure.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recordsEqual(t, got, []Record{durable})
+}
+
+// TestParticipantsRoundTrip: the participant stamp on commit records
+// survives encode/decode; other kinds never carry one.
+func TestParticipantsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamped := commitRec("T1", 1)
+	stamped.Participants = 3
+	if err := l.AppendSync(stamped); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendSync(Record{Kind: KindPrepared, Tx: "T2", Objs: stamped.Objs}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records, want 2", len(got))
+	}
+	if got[0].Participants != 3 {
+		t.Fatalf("commit record Participants = %d, want 3", got[0].Participants)
+	}
+	if got[1].Participants != 0 {
+		t.Fatalf("prepared record Participants = %d, want 0", got[1].Participants)
 	}
 }

@@ -63,6 +63,7 @@ func NewCluster(shards int, opts ...Option) (*Cluster, error) {
 		DeadlockDetection: c.deadlockDetection,
 		CommitTimeout:     c.commitTimeout,
 		GroupCommit:       c.groupCommit,
+		Adaptive:          c.adaptive,
 		ServerTransport:   c.serverTransport,
 	}
 	if c.recorder != nil {
@@ -143,6 +144,12 @@ func (c *Cluster) SnapshotCtx(ctx context.Context, fn func(r *DReadTx) error) er
 
 // Stats returns cluster-wide counters, aggregated across every shard.
 func (c *Cluster) Stats() ClusterStats { return c.inner.Stats() }
+
+// SetScheme switches the named object's concurrency-control scheme at
+// runtime on whichever shard owns it (see Object.SetScheme).
+func (c *Cluster) SetScheme(name string, scheme Scheme) error {
+	return c.inner.SystemFor(name).SetObjectScheme(name, string(scheme))
+}
 
 // Verify checks the recorded global history (requires WithRecorder):
 // one interleaved history covering every shard, proven well-formed and

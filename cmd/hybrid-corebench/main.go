@@ -7,8 +7,11 @@
 // With -append it merges the new runs into an existing file, so the file
 // accumulates a trajectory (one entry per labelled configuration).  The
 // -maxprocs flag sweeps GOMAXPROCS (one entry per value), and -workloads
-// selects the probes: "credit" (write-only Account credits) and
-// "readmostly" (one writer vs snapshot readers on a Counter).
+// selects the probes: "credit" (write-only Account credits), "readmostly"
+// (one writer vs snapshot readers on a Counter), and "skewed" (eight
+// Accounts, 80% of traffic on one hot key, history recorded and verified).
+// With -adaptive the skewed probe runs the adaptation controller, so a
+// pessimistic -schemes value measures how far runtime switching recovers.
 package main
 
 import (
@@ -59,12 +62,13 @@ func main() {
 		opsPerTx   = flag.Int("ops", 16, "operations per transaction")
 		duration   = flag.Duration("duration", 2*time.Second, "measurement window per scheme")
 		schemes    = flag.String("schemes", "hybrid,commutativity,readwrite", "comma-separated schemes")
-		workloads  = flag.String("workloads", "credit", "comma-separated workloads (credit, readmostly)")
+		workloads  = flag.String("workloads", "credit", "comma-separated workloads (credit, readmostly, skewed)")
 		maxprocs   = flag.String("maxprocs", "", "comma-separated GOMAXPROCS sweep (default: current value)")
 		allocs     = flag.Bool("allocs", false, "record the commit-path allocation probe (allocs/op, bytes/op)")
 		group      = flag.Bool("group", false, "enable group commit in the throughput probes")
 		durable    = flag.Bool("durable", false, "give the probes a write-ahead commit log with fsync on (combine with -group for batched fsyncs)")
 		nosync     = flag.Bool("nosync", false, "with -durable: buffer log writes instead of fsyncing each commit")
+		adaptive   = flag.Bool("adaptive", false, "run the adaptation controller (skewed workload): -schemes is each run's initial rung")
 	)
 	flag.Parse()
 
@@ -106,6 +110,7 @@ func main() {
 					GroupCommit:   *group,
 					Durable:       *durable,
 					DurableNoSync: *nosync,
+					Adaptive:      *adaptive,
 				})
 				if err != nil {
 					fmt.Fprintln(os.Stderr, err)
@@ -114,6 +119,13 @@ func main() {
 				durInfo := ""
 				if *durable {
 					durInfo = fmt.Sprintf(" fsyncs=%d fsyncs/commit=%.3f", res.LogFsyncs, res.FsyncsPerCommit)
+				}
+				if res.FinalScheme != "" {
+					v := "?"
+					if res.Verified != nil {
+						v = strconv.FormatBool(*res.Verified)
+					}
+					durInfo += fmt.Sprintf(" switches=%d final=%s verified=%s", res.SchemeSwitches, res.FinalScheme, v)
 				}
 				fmt.Fprintf(os.Stderr,
 					"procs=%d %-11s %-14s %12.0f ops/s  (calls=%d commits=%d timeouts=%d wakeups=%d spurious=%d waiter-hwm=%d%s)\n",
@@ -135,7 +147,7 @@ func main() {
 
 	f := fileFormat{
 		Benchmark: "contended single-object throughput",
-		Workload:  "credit: Account credits (non-conflicting under hybrid): begin; ops_per_tx credits; commit. readmostly: 1 writer of Counter increments vs goroutines-1 snapshot readers",
+		Workload:  "credit: Account credits (non-conflicting under hybrid): begin; ops_per_tx credits; commit. readmostly: 1 writer of Counter increments vs goroutines-1 snapshot readers. skewed: 8 Accounts, 80% of credit txs on one hot key, history verified",
 	}
 	if *appendFile && *out != "" {
 		if data, err := os.ReadFile(*out); err == nil {
@@ -143,7 +155,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "cannot merge into %s: %v\n", *out, err)
 				os.Exit(1)
 			}
-			f.Workload = "credit: Account credits (non-conflicting under hybrid): begin; ops_per_tx credits; commit. readmostly: 1 writer of Counter increments vs goroutines-1 snapshot readers"
+			f.Workload = "credit: Account credits (non-conflicting under hybrid): begin; ops_per_tx credits; commit. readmostly: 1 writer of Counter increments vs goroutines-1 snapshot readers. skewed: 8 Accounts, 80% of credit txs on one hot key, history verified"
 		}
 	}
 	f.Entries = append(f.Entries, entries...)

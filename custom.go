@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"hybridcc/internal/baseline"
+	"hybridcc/internal/ccpolicy"
 	"hybridcc/internal/core"
 	"hybridcc/internal/depend"
 	"hybridcc/internal/histories"
@@ -44,6 +45,9 @@ var (
 	// ErrInvalidSpec reports a Spec missing required pieces for the
 	// requested scheme.
 	ErrInvalidSpec = errors.New("hybridcc: invalid specification")
+	// ErrConflictingOptions reports object options that contradict each
+	// other, e.g. two WithScheme options naming different schemes.
+	ErrConflictingOptions = errors.New("hybridcc: conflicting object options")
 )
 
 // Spec is the serial specification of an abstract data type (Section 3.1
@@ -231,6 +235,48 @@ func (sp Spec) conflictFor(scheme Scheme, isp spec.Spec) (depend.Conflict, error
 	return nil, fmt.Errorf("%w: %q", ErrUnknownScheme, scheme)
 }
 
+// explicitFor reports whether the Spec states the scheme's conflict
+// relation explicitly, without mechanical derivation.  ReadWrite is always
+// explicit: the Readers classification (even an empty one — all writes) is
+// a complete relation.
+func (sp Spec) explicitFor(scheme Scheme) bool {
+	switch scheme {
+	case Hybrid:
+		return sp.Dependency != nil
+	case Commutativity:
+		return sp.FailsToCommute != nil
+	case ReadWrite:
+		return true
+	}
+	return false
+}
+
+// policySetFor builds the object's precompiled policy set: the initial
+// scheme's relation — derived mechanically if the Spec permits — plus
+// every other scheme whose relation the Spec states explicitly.
+// Derivation is reserved for the initial scheme (and for Derive, which
+// fills the explicit fields in) because it is exponential in the universe
+// size: a Spec that should adapt across all three schemes calls Derive
+// once before registering.  Built-in types carry closed-form relations for
+// all three schemes, so their sets are always complete.
+func (sp Spec) policySetFor(initial Scheme, isp spec.Spec) (*ccpolicy.Set, error) {
+	set := ccpolicy.NewSet()
+	for _, scheme := range []Scheme{ReadWrite, Commutativity, Hybrid} {
+		if scheme != initial && !sp.explicitFor(scheme) {
+			continue
+		}
+		conflict, err := sp.conflictFor(scheme, isp)
+		if err != nil {
+			if scheme == initial {
+				return nil, err
+			}
+			continue
+		}
+		set.Add(string(scheme), conflict, sp.Universe)
+	}
+	return set, nil
+}
+
 // invocationsOf returns the distinct invocations of the operations, in
 // first-appearance order.
 func invocationsOf(universe []Op) []Invocation {
@@ -315,6 +361,26 @@ func (o *Object) CommittedState() State { return o.obj.CommittedState() }
 // Stats returns a snapshot of the object's counters.
 func (o *Object) Stats() ObjectStats { return o.obj.Stats() }
 
+// Scheme returns the object's active concurrency-control scheme.  With the
+// adaptation controller running it can differ from the scheme the object
+// was registered with.
+func (o *Object) Scheme() Scheme { return Scheme(o.obj.Scheme()) }
+
+// Schemes returns every scheme the object carries a precompiled policy
+// for — the set SetScheme and the adaptation controller choose from.
+func (o *Object) Schemes() []string { return o.obj.Schemes() }
+
+// SetScheme switches the object's concurrency-control scheme at runtime.
+// The switch installs at a quiescent point — no transaction holding locks
+// at the object — reached by draining: existing holders run to completion
+// while new transactions wait at this object, then every waiter re-derives
+// under the new conflict table.  All schemes in the object's policy set
+// preserve hybrid atomicity; switching trades concurrency, not
+// correctness.  It errors when the object carries no policy for the
+// scheme (see Spec.Derive for making every scheme available on a custom
+// type).
+func (o *Object) SetScheme(s Scheme) error { return o.obj.SetScheme(string(s)) }
+
 // ObjectStats is a snapshot of an object's counters.
 type ObjectStats = core.ObjectStatsSnapshot
 
@@ -373,7 +439,17 @@ func newCustomOn(sys *core.System, reg *registry, name string, sp Spec, opts []O
 	if err != nil {
 		return nil, err
 	}
-	conflict, err := sp.conflictFor(schemeOf(opts), isp)
+	scheme, err := schemeOf(opts)
+	if err != nil {
+		return nil, err
+	}
+	// The full policy set — every scheme the Spec can express — is
+	// compiled here, at registration: the declared universe seeds each
+	// scheme's conflict table (classes interned, bitmask rows built), so a
+	// later SetScheme is a pointer swap at a quiescent point, never a
+	// recompile.  Open universes (nil) are fine — classes then intern
+	// lazily as operations appear.
+	set, err := sp.policySetFor(scheme, isp)
 	if err != nil {
 		return nil, err
 	}
@@ -386,11 +462,11 @@ func newCustomOn(sys *core.System, reg *registry, name string, sp Spec, opts []O
 	if err := reg.add(name, isp); err != nil {
 		return nil, err
 	}
-	// The declared universe seeds the object's compiled conflict table:
-	// its operation classes are interned (and their bitmask rows built) at
-	// registration rather than on first sight.  Open universes (nil) are
-	// fine — classes then intern lazily as operations appear.
-	return &Object{obj: sys.NewObjectSeeded(name, isp, conflict, sp.Universe)}, nil
+	obj, err := sys.NewObjectPolicies(name, isp, set, string(scheme))
+	if err != nil {
+		return nil, err
+	}
+	return &Object{obj: obj}, nil
 }
 
 // NewCustom registers an object named name whose behaviour is given by the

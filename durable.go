@@ -71,6 +71,7 @@ func Open(dir string, setup func(*System) error, opts ...Option) (*System, error
 		DisableCompaction: c.disableCompaction,
 		DeadlockDetection: c.deadlockDetection,
 		GroupCommit:       c.groupCommit,
+		Adaptive:          c.adaptive,
 		Durability:        c.durabilityOf(dir),
 	}
 	if c.recorder != nil {
@@ -94,9 +95,10 @@ func Open(dir string, setup func(*System) error, opts ...Option) (*System, error
 	return s, nil
 }
 
-// Close flushes and closes the commit log (no-op on a volatile System).
-// Call it after every transaction has completed; commits issued after
-// Close fail rather than silently losing durability.
+// Close stops the adaptation controller (if WithAdaptive) and flushes and
+// closes the commit log (no-op on a volatile System without one).  Call it
+// after every transaction has completed; commits issued after Close fail
+// rather than silently losing durability.
 func (s *System) Close() error { return s.inner.Close() }
 
 // OpenCluster is NewCluster with durable per-shard commit logs under
@@ -121,6 +123,7 @@ func OpenCluster(dir string, shards int, setup func(*Cluster) error, opts ...Opt
 		DeadlockDetection: c.deadlockDetection,
 		CommitTimeout:     c.commitTimeout,
 		GroupCommit:       c.groupCommit,
+		Adaptive:          c.adaptive,
 		ServerTransport:   c.serverTransport,
 		Durability:        c.durabilityOf(dir),
 	}

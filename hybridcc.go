@@ -128,6 +128,7 @@ type config struct {
 	commitTimeout     time.Duration
 	groupCommit       bool
 	serverTransport   bool
+	adaptive          *core.Adaptive
 	// Durability knobs, meaningful to Open/OpenCluster only: fsync
 	// defaults to on there (fsyncSet distinguishes "unset" from
 	// WithFsync(false)); segmentSize zero keeps the log's default.
@@ -178,6 +179,34 @@ func WithGroupCommit() Option {
 	return func(c *config) { c.groupCommit = true }
 }
 
+// Adaptive configures the runtime adaptation controller: the sampling
+// interval, the contention threshold and hysteresis counters, and the
+// hot-object group-commit trigger.  The zero value means defaults
+// throughout; see the field docs on core.Adaptive for the exact rules.
+type Adaptive = core.Adaptive
+
+// WithAdaptive starts the runtime adaptation controller: a per-system
+// observer that samples every object's wait/grant/commit counters over a
+// sliding window and switches contended objects to more permissive schemes
+// from their precompiled policy sets (readwrite → commutativity → hybrid),
+// stepping back toward the registered scheme in calm, with hysteresis
+// against flapping.  Objects carry every scheme whose conflict relation
+// their Spec states explicitly (built-ins carry all three; Derive fills a
+// user Spec's in), so a switch is a pointer swap at a quiescent point,
+// never a recompile.  Scheme switches never compromise correctness — all
+// three relations are valid for hybrid atomicity; they trade concurrency —
+// so Verify holds across every switch.  On a Cluster the controller runs
+// per shard.  Stop it with Close.
+//
+// Recovery is deterministic without logging the active policy: the WAL
+// replays committed intentions with no conflict checking at all, so the
+// scheme in force when a record was written is irrelevant to replay.
+// Objects reopen at their registered schemes and the controller re-adapts
+// from live load.
+func WithAdaptive(a Adaptive) Option {
+	return func(c *config) { c.adaptive = &a }
+}
+
 // WithServerTransport routes a Cluster's cross-shard commits through
 // goroutine/channel protocol servers — the fault-injection transport, for
 // tests that crash sites or time messages out — instead of the default
@@ -204,6 +233,7 @@ func NewSystem(opts ...Option) *System {
 		DisableCompaction: c.disableCompaction,
 		DeadlockDetection: c.deadlockDetection,
 		GroupCommit:       c.groupCommit,
+		Adaptive:          c.adaptive,
 	}
 	if c.recorder != nil {
 		coreOpts.Sink = c.recorder
@@ -366,6 +396,13 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 // Stats returns system-wide counters.
 func (s *System) Stats() core.StatsSnapshot { return s.inner.Stats() }
 
+// SetScheme switches the named object's concurrency-control scheme at
+// runtime (see Object.SetScheme).  It errors when no object is registered
+// under name or the object carries no policy for the scheme.
+func (s *System) SetScheme(name string, scheme Scheme) error {
+	return s.inner.SetObjectScheme(name, string(scheme))
+}
+
 // Verify checks the recorded history (requires WithRecorder): well-formed
 // and hybrid atomic against the specifications of every object created
 // through this System.  Read-only transactions are verified under the
@@ -386,19 +423,54 @@ func verifyRecorded(rec *Recorder, reg *registry) error {
 	return verify.CheckGeneralizedHybridAtomic(rec.History(), reg.snapshot(), isReadOnly)
 }
 
-// schemeOf applies object options.
-func schemeOf(opts []ObjectOption) Scheme {
-	scheme := Hybrid
+// objectConfig accumulates object-creation options, carrying the first
+// option error so registration can reject bad options instead of silently
+// applying them.
+type objectConfig struct {
+	scheme    Scheme
+	schemeSet bool
+	err       error
+}
+
+// schemeOf applies object options and validates the result at creation
+// time: an unknown scheme string or two conflicting WithScheme options is
+// an error here, not a surprise at first use.
+func schemeOf(opts []ObjectOption) (Scheme, error) {
+	c := objectConfig{scheme: Hybrid}
 	for _, o := range opts {
-		scheme = o(scheme)
+		o(&c)
 	}
-	return scheme
+	if c.err != nil {
+		return "", c.err
+	}
+	return c.scheme, nil
 }
 
 // ObjectOption configures a typed object at creation.
-type ObjectOption func(Scheme) Scheme
+type ObjectOption func(*objectConfig)
 
-// WithScheme selects the conflict relation (default Hybrid).
+// WithScheme selects the initial conflict relation (default Hybrid) — the
+// scheme the object starts under; SetScheme and the adaptation controller
+// can move it between schemes at runtime.  A scheme other than Hybrid,
+// Commutativity, or ReadWrite fails registration with ErrUnknownScheme;
+// two WithScheme options naming different schemes fail it with
+// ErrConflictingOptions (repeating the same scheme is harmless).
 func WithScheme(s Scheme) ObjectOption {
-	return func(Scheme) Scheme { return s }
+	return func(c *objectConfig) {
+		switch s {
+		case Hybrid, Commutativity, ReadWrite:
+		default:
+			if c.err == nil {
+				c.err = fmt.Errorf("%w: %q", ErrUnknownScheme, s)
+			}
+			return
+		}
+		if c.schemeSet && c.scheme != s {
+			if c.err == nil {
+				c.err = fmt.Errorf("%w: WithScheme(%q) after WithScheme(%q)", ErrConflictingOptions, s, c.scheme)
+			}
+			return
+		}
+		c.scheme, c.schemeSet = s, true
+	}
 }

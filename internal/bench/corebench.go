@@ -3,14 +3,18 @@ package bench
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hybridcc/internal/adt"
 	"hybridcc/internal/baseline"
+	"hybridcc/internal/ccpolicy"
 	"hybridcc/internal/core"
+	"hybridcc/internal/histories"
 	"hybridcc/internal/spec"
+	"hybridcc/internal/verify"
 )
 
 // This file holds the hot-path throughput probes behind BENCH_core.json:
@@ -39,8 +43,17 @@ type CoreBenchConfig struct {
 	// Workload selects the probe: "credit" (default) is the write-only
 	// Account credit workload; "readmostly" pits one committing writer
 	// against Goroutines-1 snapshot readers on a Counter, the workload
-	// the lock-free read path serves.
+	// the lock-free read path serves; "skewed" spreads credits over eight
+	// Accounts with 80% of the traffic on one hot key — the workload where
+	// a fixed pessimistic scheme suffers and the adaptation controller
+	// should escape.  The skewed probe records its whole history and
+	// verifies hybrid atomicity after the run.
 	Workload string
+	// Adaptive starts the runtime adaptation controller (fast sampling
+	// interval, bench-scaled thresholds) so the skewed probe measures
+	// fixed-vs-adaptive.  The skewed objects carry full three-scheme
+	// policy sets; Scheme is only their initial rung.
+	Adaptive bool
 	// GroupCommit enables the commit batcher (core.Options.GroupCommit).
 	GroupCommit bool
 	// Durable gives the system a write-ahead commit log with fsync on:
@@ -79,6 +92,15 @@ type CoreBenchResult struct {
 	LogAppends      int64   `json:"log_appends,omitempty"`
 	LogFsyncs       int64   `json:"log_fsyncs,omitempty"`
 	FsyncsPerCommit float64 `json:"fsyncs_per_commit,omitempty"`
+	// Adaptive/SchemeSwitches/FinalScheme report the adaptation
+	// controller's work (skewed workload): switches performed and the hot
+	// object's scheme when the run ended.  Verified reports the recorded
+	// history passed offline hybrid-atomicity verification — set (true or
+	// false) only by workloads that record one.
+	Adaptive       bool   `json:"adaptive,omitempty"`
+	SchemeSwitches int64  `json:"scheme_switches,omitempty"`
+	FinalScheme    string `json:"final_scheme,omitempty"`
+	Verified       *bool  `json:"verified,omitempty"`
 }
 
 // CoreThroughput runs the selected probe.
@@ -88,6 +110,8 @@ func CoreThroughput(cfg CoreBenchConfig) (CoreBenchResult, error) {
 		return creditThroughput(cfg)
 	case "readmostly":
 		return readMostlyThroughput(cfg)
+	case "skewed":
+		return skewedThroughput(cfg)
 	default:
 		return CoreBenchResult{}, fmt.Errorf("bench: unknown workload %q", cfg.Workload)
 	}
@@ -261,12 +285,159 @@ func readMostlyThroughput(cfg CoreBenchConfig) (CoreBenchResult, error) {
 	return result(cfg, "readmostly", calls.Load(), commits.Load(), timeouts.Load(), elapsed, sys, obj), nil
 }
 
+// skewedThroughput: Goroutines workers spread { begin; OpsPerTx credits;
+// commit } over eight Account objects, 80% of transactions hitting the hot
+// one.  Every object carries the full three-scheme policy set with
+// cfg.Scheme as its initial rung, so a fixed run measures that scheme's
+// cost on a skewed keyspace while an Adaptive run lets the controller walk
+// the hot object down the ladder (readwrite → commutativity → hybrid,
+// where credits commute) and leave the cold ones alone.
+//
+// The probe runs twice.  The timed measurement phase is unrecorded —
+// offline verification replays the serial history, which is far too slow
+// for a full-throughput window.  A second, commit-bounded phase on a fresh
+// system with identical configuration records everything and proves hybrid
+// atomicity across whatever switches the controller performed; its verdict
+// is the result's Verified field.
+func skewedThroughput(cfg CoreBenchConfig) (CoreBenchResult, error) {
+	if baseline.ConflictFor(cfg.Scheme, "Account") == nil {
+		return CoreBenchResult{}, fmt.Errorf("bench: unknown scheme %q", cfg.Scheme)
+	}
+	res, _, err := skewedRun(cfg, nil, 0)
+	if err != nil {
+		return res, err
+	}
+	// skewedVerifyCommits bounds the recorded phase: enough transactions
+	// for the controller's hysteresis to act (at the bench-scaled 2ms
+	// interval), small enough that replay-based verification stays cheap.
+	const skewedVerifyCommits = 1500
+	rec := verify.NewRecorder()
+	_, specs, err := skewedRun(cfg, rec, skewedVerifyCommits)
+	if err != nil {
+		return res, err
+	}
+	verified := verify.CheckHybridAtomic(rec.History(), specs) == nil
+	res.Verified = &verified
+	return res, nil
+}
+
+// skewedRun is one phase of the skewed probe: timed when commitBudget is
+// zero, bounded to roughly commitBudget commits (and recording into rec)
+// otherwise.
+func skewedRun(cfg CoreBenchConfig, rec *verify.Recorder, commitBudget int64) (CoreBenchResult, histories.SpecMap, error) {
+	opts := core.Options{LockWait: 5 * time.Millisecond, GroupCommit: cfg.GroupCommit}
+	if rec != nil {
+		opts.Sink = rec
+	}
+	if cfg.Adaptive {
+		// Bench-scaled controller: sample every 2ms so even a short run
+		// gives the hysteresis enough windows to act.
+		opts.Adaptive = &core.Adaptive{Interval: 2 * time.Millisecond, MinCalls: 16}
+	}
+	sys, cleanup, err := benchSystem(cfg, opts)
+	if err != nil {
+		return CoreBenchResult{}, nil, err
+	}
+	defer cleanup()
+
+	const nObjs = 8
+	objs := make([]*core.Object, nObjs)
+	specs := make(histories.SpecMap, nObjs)
+	universe := baseline.UniverseFor("Account")
+	for i := range objs {
+		set := ccpolicy.NewSet()
+		for _, s := range []string{"readwrite", "commutativity", "hybrid"} {
+			set.Add(s, baseline.ConflictFor(s, "Account"), universe)
+		}
+		name := fmt.Sprintf("acct%d", i)
+		o, oerr := sys.NewObjectPolicies(name, baseline.SpecFor("Account"), set, cfg.Scheme)
+		if oerr != nil {
+			return CoreBenchResult{}, nil, oerr
+		}
+		objs[i] = o
+		specs[histories.ObjID(name)] = baseline.SpecFor("Account")
+	}
+
+	invs := make([]spec.Invocation, 8)
+	for i := range invs {
+		invs[i] = adt.CreditInv(int64(i%3 + 1))
+	}
+
+	var calls, commits, timeouts atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.Goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for seq := g; ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if commitBudget > 0 && commits.Load() >= commitBudget {
+					return
+				}
+				// Deterministic 80/20 skew: four of five transactions hit
+				// the hot object, the rest round-robin the cold ones.
+				obj := objs[0]
+				if seq%5 == 0 {
+					obj = objs[1+(seq/5)%(nObjs-1)]
+				}
+				tx := sys.BeginPooledCtx(nil)
+				ok := true
+				for i := 0; i < cfg.OpsPerTx; i++ {
+					if _, err := obj.Call(tx, invs[(g+i)%len(invs)]); err != nil {
+						timeouts.Add(1)
+						ok = false
+						break
+					}
+					calls.Add(1)
+					// Yield between operations so lock hold windows overlap
+					// even on one CPU: the skew story needs transactions
+					// that actually collide on the hot object, not ones
+					// that run to commit unpreempted.
+					runtime.Gosched()
+				}
+				if !ok {
+					_ = tx.Abort()
+					sys.Recycle(tx)
+					continue
+				}
+				if err := tx.Commit(); err == nil {
+					commits.Add(1)
+				}
+				sys.Recycle(tx)
+			}
+		}(g)
+	}
+	start := time.Now()
+	if commitBudget > 0 {
+		wg.Wait()
+	} else {
+		time.Sleep(cfg.Duration)
+		close(stop)
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	res := result(cfg, "skewed", calls.Load(), commits.Load(), timeouts.Load(), elapsed, sys, objs[0])
+	res.Adaptive = cfg.Adaptive
+	res.SchemeSwitches = sys.Stats().SchemeSwitches
+	res.FinalScheme = objs[0].Scheme()
+	return res, specs, nil
+}
+
 // benchSystem builds the probe's System: volatile by default, or — when
 // cfg.Durable — logging to cfg.DurableDir (a fresh temporary directory if
 // empty).  The cleanup closes the log and removes a temporary directory.
 func benchSystem(cfg CoreBenchConfig, opts core.Options) (*core.System, func(), error) {
 	if !cfg.Durable {
-		return core.NewSystem(opts), func() {}, nil
+		sys := core.NewSystem(opts)
+		// Close is a near no-op on a volatile system but does stop the
+		// adaptation controller's goroutine.
+		return sys, func() { _ = sys.Close() }, nil
 	}
 	dir, temp := cfg.DurableDir, false
 	if dir == "" {

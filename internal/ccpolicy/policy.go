@@ -1,0 +1,156 @@
+// Package ccpolicy makes the concurrency-control scheme of an object a
+// first-class, swappable policy rather than registration-time state.
+//
+// The paper's point is that the conflict relation is *derived from the
+// data type*, and that different derivations (minimal dependency,
+// forward commutativity, read/write classification) trade concurrency
+// for simplicity.  A Policy bundles one such derivation ready to run:
+// the scheme name, the conflict relation, and the relation compiled to a
+// bitmask table over interned operation classes.  A Set holds every
+// policy an object can run — all compiled up front at registration, so
+// switching schemes at runtime is a pointer swap, never a recompile.
+//
+// Concurrency contract: a Policy's table is NOT safe for concurrent use
+// (interning mutates it).  The owning object guards the active policy
+// with its mutex and installs a different one only at a quiescent point —
+// no active lock holders — because the class indices in transactions'
+// held-operation masks are meaningful only against the table that
+// granted them.  core.Object enforces that invariant; this package just
+// provides the precompiled material.
+package ccpolicy
+
+import (
+	"hybridcc/internal/depend"
+	"hybridcc/internal/spec"
+)
+
+// Ladder orders the built-in schemes by typically admitted concurrency,
+// least permissive first: read/write locking conflicts most; the
+// commutativity and dependency (hybrid) relations both sit strictly
+// inside it.  The order is a heuristic, not a subset chain — hybrid and
+// commutativity are incomparable on some types (Queue: dependency orders
+// Deq after Enq, forward commutativity admits them concurrently) — but
+// every scheme is independently sound, so walking the ladder trades only
+// concurrency, never correctness.  The adaptation controller walks it
+// toward hybrid under contention and back toward the configured scheme
+// in calm.
+var Ladder = []string{"readwrite", "commutativity", "hybrid"}
+
+// LadderRank returns a scheme's position on the Ladder (0 = least
+// permissive), or -1 for schemes outside it (custom relations).
+func LadderRank(scheme string) int {
+	for i, s := range Ladder {
+		if s == scheme {
+			return i
+		}
+	}
+	return -1
+}
+
+// Policy is one compiled concurrency-control policy: a scheme name, its
+// conflict relation, and the relation compiled to bitmask rows.  A
+// Policy is immutable except for its table's interning, which the owning
+// object's mutex guards.
+type Policy struct {
+	// Scheme names the policy ("hybrid", "commutativity", "readwrite",
+	// or "" for a bare custom relation outside the ladder).
+	Scheme string
+	// Conflict is the symmetric conflict relation — the dynamic-dispatch
+	// fallback for operations the table cannot intern.
+	Conflict depend.Conflict
+	// Table is Conflict compiled over the declared universe.
+	Table *depend.CompiledTable
+}
+
+// Set is an object's precompiled policy set: one Policy per scheme the
+// object's specification can express.  Policies are compiled once, at
+// construction, and retained for the object's lifetime, so a switch
+// re-installs an existing table (with whatever classes it has interned)
+// rather than compiling a new one.
+type Set struct {
+	policies []*Policy
+	byScheme map[string]*Policy
+}
+
+// NewSet returns an empty policy set.
+func NewSet() *Set {
+	return &Set{byScheme: make(map[string]*Policy, len(Ladder))}
+}
+
+// Add compiles conflict over universe and records it under scheme,
+// replacing any previous policy of the same scheme.  It returns the new
+// Policy.
+func (s *Set) Add(scheme string, conflict depend.Conflict, universe []spec.Op) *Policy {
+	p := &Policy{
+		Scheme:   scheme,
+		Conflict: conflict,
+		Table:    depend.Compile(conflict, universe, 0),
+	}
+	if old := s.byScheme[scheme]; old != nil {
+		for i, q := range s.policies {
+			if q == old {
+				s.policies[i] = p
+			}
+		}
+	} else {
+		s.policies = append(s.policies, p)
+	}
+	s.byScheme[scheme] = p
+	return p
+}
+
+// Get returns the policy registered under scheme, or nil.
+func (s *Set) Get(scheme string) *Policy { return s.byScheme[scheme] }
+
+// Len returns the number of policies in the set.
+func (s *Set) Len() int { return len(s.policies) }
+
+// Schemes returns the registered scheme names in insertion order.
+func (s *Set) Schemes() []string {
+	out := make([]string, len(s.policies))
+	for i, p := range s.policies {
+		out[i] = p.Scheme
+	}
+	return out
+}
+
+// MorePermissive returns the nearest scheme strictly above `scheme` on
+// the Ladder that this set holds a policy for, and whether one exists.
+// Schemes off the ladder have nowhere to go.
+func (s *Set) MorePermissive(scheme string) (string, bool) {
+	rank := LadderRank(scheme)
+	if rank < 0 {
+		return "", false
+	}
+	for _, cand := range Ladder[rank+1:] {
+		if s.byScheme[cand] != nil {
+			return cand, true
+		}
+	}
+	return "", false
+}
+
+// Toward returns the next scheme one Ladder step from `from` in the
+// direction of `to`, skipping ranks the set has no policy for, and
+// whether a step exists.  It is how the adaptation controller reverts a
+// switched object toward its configured scheme without jumping the
+// ladder in one hop.
+func (s *Set) Toward(from, to string) (string, bool) {
+	fr, tr := LadderRank(from), LadderRank(to)
+	if fr < 0 || tr < 0 || fr == tr {
+		return "", false
+	}
+	step := 1
+	if tr < fr {
+		step = -1
+	}
+	for r := fr + step; r >= 0 && r < len(Ladder); r += step {
+		if s.byScheme[Ladder[r]] != nil {
+			return Ladder[r], true
+		}
+		if r == tr {
+			break
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,107 @@
+package ccpolicy
+
+import (
+	"testing"
+
+	"hybridcc/internal/adt"
+	"hybridcc/internal/baseline"
+)
+
+// fullSet builds the three-scheme policy set for a built-in type, exactly
+// as the public facade does for registered objects.
+func fullSet(t *testing.T, typeName string) *Set {
+	t.Helper()
+	set := NewSet()
+	for _, scheme := range baseline.Schemes {
+		c := baseline.ConflictFor(scheme, typeName)
+		if c == nil {
+			t.Fatalf("no conflict relation for %s/%s", scheme, typeName)
+		}
+		set.Add(scheme, c, baseline.UniverseFor(typeName))
+	}
+	return set
+}
+
+// TestPolicyTablesMatchInterfacePath extends the compiled-table
+// cross-validation matrix (internal/baseline) through the policy seam:
+// for every built-in type and every scheme, the table carried by the
+// policy an object would actually install must agree with its interface-
+// path conflict relation on every ordered pair of the declared universe.
+// A disagreement here would mean a runtime scheme switch installs a table
+// that enforces a different relation than the one it advertises.
+func TestPolicyTablesMatchInterfacePath(t *testing.T) {
+	for _, sp := range adt.All() {
+		typeName := sp.Name()
+		set := fullSet(t, typeName)
+		universe := baseline.UniverseFor(typeName)
+		for _, scheme := range set.Schemes() {
+			p := set.Get(scheme)
+			if p == nil || p.Table == nil || p.Conflict == nil {
+				t.Fatalf("%s/%s: incomplete policy", typeName, scheme)
+			}
+			for _, a := range universe {
+				for _, b := range universe {
+					if got, want := p.Table.Conflicts(a, b), p.Conflict.Conflicts(a, b); got != want {
+						t.Errorf("%s/%s: policy table Conflicts(%s, %s) = %v, interface path says %v",
+							typeName, scheme, a, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLadderRank(t *testing.T) {
+	for i, s := range Ladder {
+		if got := LadderRank(s); got != i {
+			t.Errorf("LadderRank(%q) = %d, want %d", s, got, i)
+		}
+	}
+	if got := LadderRank("custom"); got != -1 {
+		t.Errorf("LadderRank(custom) = %d, want -1", got)
+	}
+}
+
+func TestSetNavigation(t *testing.T) {
+	set := fullSet(t, "Account")
+	if n := set.Len(); n != 3 {
+		t.Fatalf("Len = %d, want 3", n)
+	}
+	if next, ok := set.MorePermissive("readwrite"); !ok || next != "commutativity" {
+		t.Errorf("MorePermissive(readwrite) = %q, %v", next, ok)
+	}
+	if next, ok := set.MorePermissive("hybrid"); ok {
+		t.Errorf("MorePermissive(hybrid) = %q, want none", next)
+	}
+	if next, ok := set.Toward("hybrid", "readwrite"); !ok || next != "commutativity" {
+		t.Errorf("Toward(hybrid, readwrite) = %q, %v", next, ok)
+	}
+	if next, ok := set.Toward("hybrid", "hybrid"); ok {
+		t.Errorf("Toward(hybrid, hybrid) = %q, want none", next)
+	}
+
+	// A sparse set skips missing ranks in both directions.
+	sparse := NewSet()
+	sparse.Add("readwrite", baseline.ConflictFor("readwrite", "Account"), baseline.UniverseFor("Account"))
+	sparse.Add("hybrid", baseline.ConflictFor("hybrid", "Account"), baseline.UniverseFor("Account"))
+	if next, ok := sparse.MorePermissive("readwrite"); !ok || next != "hybrid" {
+		t.Errorf("sparse MorePermissive(readwrite) = %q, %v", next, ok)
+	}
+	if next, ok := sparse.Toward("hybrid", "readwrite"); !ok || next != "readwrite" {
+		t.Errorf("sparse Toward(hybrid, readwrite) = %q, %v", next, ok)
+	}
+
+	// Re-adding a scheme replaces in place, preserving order and length.
+	before := set.Schemes()
+	set.Add("commutativity", baseline.ConflictFor("commutativity", "Account"), baseline.UniverseFor("Account"))
+	if n := set.Len(); n != 3 {
+		t.Errorf("Len after re-Add = %d, want 3", n)
+	}
+	after := set.Schemes()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Errorf("scheme order changed by re-Add: %v -> %v", before, after)
+			break
+		}
+	}
+}

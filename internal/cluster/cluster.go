@@ -72,6 +72,11 @@ type Options struct {
 	// time messages out.  Production clusters leave it off: the direct
 	// transport has no per-commit server lifecycle at all.
 	ServerTransport bool
+	// Adaptive starts a runtime adaptation controller on every shard
+	// (core.Options.Adaptive): each shard's controller samples its own
+	// objects and switches schemes locally.  Switch counters aggregate in
+	// Stats().Total.
+	Adaptive *core.Adaptive
 	// Durability gives every shard a write-ahead commit log under
 	// Dir/shard<i> and the coordinator a decision log under Dir/coord
 	// (Sync and SegmentSize apply to all of them).  Reopening an existing
@@ -133,6 +138,7 @@ func New(opts Options) (*Cluster, error) {
 			Sink:              opts.Sink,
 			Clock:             clock,
 			GroupCommit:       opts.GroupCommit,
+			Adaptive:          opts.Adaptive,
 			// Cross-shard commits land via CommitAt with the
 			// coordinator's timestamp; shards must account for them.
 			ExternalTimestamps: true,
@@ -261,6 +267,8 @@ func (c *Cluster) Stats() StatsSnapshot {
 		s.Total.GroupBatches += sh.GroupBatches
 		s.Total.GroupBatchTxs += sh.GroupBatchTxs
 		s.Total.Recovered += sh.Recovered
+		s.Total.SchemeSwitches += sh.SchemeSwitches
+		s.Total.AutoGroupCommits += sh.AutoGroupCommits
 		s.Total.LogAppends += sh.LogAppends
 		s.Total.LogFsyncs += sh.LogFsyncs
 	}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"hybridcc/internal/ccpolicy"
+)
+
+// Adaptive configures the runtime adaptation controller — the closed loop
+// from the per-object counters the runtime already exports to the scheme
+// each object actually runs.  The controller samples every registered
+// object on a fixed Interval; for each window it computes the lock
+// pressure, the fraction of call attempts that blocked:
+//
+//	pressure = Δwaits / (Δwaits + Δgranted)
+//
+// An object whose pressure stays at or above HighWater for SwitchAfter
+// consecutive windows is stepped to the next scheme up the ladder its
+// policy set holds (readwrite → commutativity → hybrid — a concurrency
+// heuristic, not a strict subset chain: hybrid and commutativity are
+// incomparable on some types, but both sit inside read/write and each is
+// independently sound, so a step never risks correctness);
+// an object with RevertAfter consecutive windows of zero blocking steps
+// back toward its registered scheme.  Every switch is followed by Cooldown
+// quiet windows, and the two thresholds together are the hysteresis that
+// prevents flapping.  Objects without a multi-scheme policy set, or
+// running a scheme outside the ladder, are never touched.
+type Adaptive struct {
+	// Interval is the sampling period.  Zero means DefaultAdaptiveInterval.
+	Interval time.Duration
+	// MinCalls is the fewest call attempts (waits + grants) in a window
+	// worth acting on; sparser windows only feed the calm counter.  Zero
+	// means 32.
+	MinCalls int64
+	// HighWater is the pressure threshold in [0,1] at which a window
+	// counts as contended.  Zero means 0.2.
+	HighWater float64
+	// SwitchAfter is how many consecutive contended windows trigger a
+	// switch.  Zero means 2.
+	SwitchAfter int
+	// RevertAfter is how many consecutive fully calm windows (zero waits)
+	// step a switched object back toward its registered scheme.  Zero
+	// means 16; negative disables reverting.
+	RevertAfter int
+	// Cooldown is how many windows an object is left alone after a
+	// switch, so the new scheme's effect is measured rather than the
+	// transient.  Zero means 4.
+	Cooldown int
+	// HotCommits, when positive, auto-enables the system's group-commit
+	// batcher the first time any single object commits at least this many
+	// transactions in one window.
+	HotCommits int64
+}
+
+// DefaultAdaptiveInterval is the default controller sampling period.
+const DefaultAdaptiveInterval = 10 * time.Millisecond
+
+// withDefaults resolves zero fields to their defaults.
+func (a Adaptive) withDefaults() Adaptive {
+	if a.Interval <= 0 {
+		a.Interval = DefaultAdaptiveInterval
+	}
+	if a.MinCalls == 0 {
+		a.MinCalls = 32
+	}
+	if a.HighWater == 0 {
+		a.HighWater = 0.2
+	}
+	if a.SwitchAfter == 0 {
+		a.SwitchAfter = 2
+	}
+	if a.RevertAfter == 0 {
+		a.RevertAfter = 16
+	}
+	if a.Cooldown == 0 {
+		a.Cooldown = 4
+	}
+	return a
+}
+
+// adaptState is the controller's per-object window memory: the counter
+// values at the last sample and the hysteresis counters.
+type adaptState struct {
+	waits, granted, commits int64
+	hot, calm, cool         int
+}
+
+// adaptController runs the adaptation loop for one System.
+type adaptController struct {
+	sys  *System
+	cfg  Adaptive
+	quit chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	state map[*Object]*adaptState
+	objs  []*Object
+}
+
+func newAdaptController(s *System, cfg Adaptive) *adaptController {
+	return &adaptController{
+		sys:   s,
+		cfg:   cfg.withDefaults(),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+		state: make(map[*Object]*adaptState),
+	}
+}
+
+func (c *adaptController) start() {
+	go c.run()
+}
+
+// stop shuts the controller down and waits for its goroutine to exit, so
+// Close leaves no sweep racing teardown.  Idempotent.
+func (c *adaptController) stop() {
+	c.once.Do(func() { close(c.quit) })
+	<-c.done
+}
+
+func (c *adaptController) run() {
+	defer close(c.done)
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case <-t.C:
+			c.tick()
+		}
+	}
+}
+
+// tick samples one window over every registered object and applies the
+// switch rules.  It runs on the controller goroutine only; the state map
+// needs no lock.
+func (c *adaptController) tick() {
+	c.objs = c.sys.objectsSnapshot(c.objs)
+	for _, o := range c.objs {
+		as := c.state[o]
+		if as == nil {
+			as = &adaptState{}
+			c.state[o] = as
+			// First sight: establish the baseline, judge from next window.
+			as.waits = o.stats.waits.Load()
+			as.granted = o.stats.granted.Load()
+			as.commits = o.stats.commits.Load()
+			continue
+		}
+		waits := o.stats.waits.Load()
+		granted := o.stats.granted.Load()
+		commits := o.stats.commits.Load()
+		dW, dG, dC := waits-as.waits, granted-as.granted, commits-as.commits
+		as.waits, as.granted, as.commits = waits, granted, commits
+
+		if c.cfg.HotCommits > 0 && dC >= c.cfg.HotCommits && c.sys.batcher.Load() == nil {
+			if c.sys.EnableGroupCommit() {
+				c.sys.stats.AutoGroupCommits.Add(1)
+			}
+		}
+		if as.cool > 0 {
+			as.cool--
+			continue
+		}
+		if dW == 0 {
+			as.hot = 0
+			as.calm++
+			if c.cfg.RevertAfter > 0 && as.calm >= c.cfg.RevertAfter {
+				as.calm = 0
+				if c.revert(o) {
+					as.cool = c.cfg.Cooldown
+				}
+			}
+			continue
+		}
+		as.calm = 0
+		if dW+dG < c.cfg.MinCalls {
+			continue
+		}
+		if pressure := float64(dW) / float64(dW+dG); pressure >= c.cfg.HighWater {
+			as.hot++
+			if as.hot >= c.cfg.SwitchAfter {
+				as.hot = 0
+				if c.relax(o) {
+					as.cool = c.cfg.Cooldown
+				}
+			}
+		} else {
+			as.hot = 0
+		}
+	}
+}
+
+// policyView reads the object's switchable-policy view in one critical
+// section.  ok is false for objects the controller must not touch: no
+// multi-scheme set, a switch already draining, or a scheme off the ladder.
+func (o *Object) policyView() (cur, initial string, set *ccpolicy.Set, ok bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.policies == nil || o.policies.Len() < 2 || o.pending != nil {
+		return "", "", nil, false
+	}
+	if ccpolicy.LadderRank(o.policy.Scheme) < 0 {
+		return "", "", nil, false
+	}
+	return o.policy.Scheme, o.initial, o.policies, true
+}
+
+// relax steps o one ladder rank more permissive, reporting whether a
+// switch was requested.
+func (c *adaptController) relax(o *Object) bool {
+	cur, _, set, ok := o.policyView()
+	if !ok {
+		return false
+	}
+	next, ok := set.MorePermissive(cur)
+	if !ok {
+		return false
+	}
+	return o.SetScheme(next) == nil
+}
+
+// revert steps o one ladder rank back toward its registered scheme,
+// reporting whether a switch was requested.
+func (c *adaptController) revert(o *Object) bool {
+	cur, initial, set, ok := o.policyView()
+	if !ok || cur == initial {
+		return false
+	}
+	next, ok := set.Toward(cur, initial)
+	if !ok {
+		return false
+	}
+	return o.SetScheme(next) == nil
+}

@@ -72,6 +72,19 @@ func (w *waitsFor) reachesLocked(cur, target *Tx, seen map[*Tx]bool) bool {
 // empty result for a blocked call means it is blocked on data (a partial
 // operation awaiting a commit), which creates no waits-for edge: such
 // waits are resolved by commits, not lock releases.
+// activeHoldersLocked returns every other transaction holding a lock at
+// the object — the waits-for edges of a call parked at the drain barrier
+// of a pending policy switch, which completes only when all of them do.
+func (o *Object) activeHoldersLocked(tx *Tx) []*Tx {
+	var holders []*Tx
+	for other := range o.active {
+		if other != tx {
+			holders = append(holders, other)
+		}
+	}
+	return holders
+}
+
 func (o *Object) blockersLocked(tx *Tx, inv spec.Invocation, state spec.State) []*Tx {
 	var holders []*Tx
 	seen := make(map[*Tx]bool)

@@ -60,7 +60,7 @@ func OpenSystem(opts Options) (*System, error) {
 	s.seqSink, _ = opts.Sink.(SeqSink)
 	s.fastReads = !opts.ExternalTimestamps && (opts.Sink == nil || s.seqSink != nil)
 	if opts.GroupCommit {
-		s.batcher = newCommitBatcher(s)
+		s.batcher.Store(newCommitBatcher(s))
 	}
 	if d := opts.Durability; d != nil {
 		l, recs, err := wal.Open(d.Dir, wal.Options{Sync: d.Sync, SegmentSize: d.SegmentSize})
@@ -89,6 +89,10 @@ func OpenSystem(opts Options) (*System, error) {
 		}
 		s.recovered = st
 	}
+	if opts.Adaptive != nil {
+		s.adapt = newAdaptController(s, *opts.Adaptive)
+		s.adapt.start()
+	}
 	return s, nil
 }
 
@@ -105,10 +109,14 @@ func txSeqOf(id string) (uint64, bool) {
 	return n, true
 }
 
-// Close flushes and closes the commit log.  Volatile systems close as a
-// no-op.  Close after every transaction has completed; commits issued
-// after Close fail rather than silently losing durability.
+// Close stops the adaptation controller (if any) and flushes and closes
+// the commit log.  Volatile systems without a controller close as a no-op.
+// Close after every transaction has completed; commits issued after Close
+// fail rather than silently losing durability.
 func (s *System) Close() error {
+	if s.adapt != nil {
+		s.adapt.stop()
+	}
 	if s.log == nil {
 		return nil
 	}
@@ -371,6 +379,29 @@ func (s *System) objectByName(name histories.ObjID) *Object {
 	s.objmu.Lock()
 	defer s.objmu.Unlock()
 	return s.objects[name]
+}
+
+// SetObjectScheme switches the named object's active concurrency-control
+// policy (see Object.SetScheme).  It errors when no object is registered
+// under name or the object has no policy for the scheme.
+func (s *System) SetObjectScheme(name, scheme string) error {
+	o := s.objectByName(histories.ObjID(name))
+	if o == nil {
+		return fmt.Errorf("hybridcc: SetObjectScheme(%q): no such object", name)
+	}
+	return o.SetScheme(scheme)
+}
+
+// objectsSnapshot returns the registered objects, for the adaptation
+// controller's sampling sweep.
+func (s *System) objectsSnapshot(buf []*Object) []*Object {
+	s.objmu.Lock()
+	defer s.objmu.Unlock()
+	buf = buf[:0]
+	for _, o := range s.objects {
+		buf = append(buf, o)
+	}
+	return buf
 }
 
 // markUnclaimed remembers that replay skipped recovered operations at an

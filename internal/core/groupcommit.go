@@ -49,6 +49,17 @@ func newCommitBatcher(s *System) *commitBatcher {
 	return &commitBatcher{sys: s}
 }
 
+// EnableGroupCommit installs the commit batcher at runtime and reports
+// whether this call installed it (false when group commit was already on).
+// Commits in flight on the solo path finish there — both paths bracket
+// windowWriters and draw globally unique timestamps, so they coexist
+// safely; every commit that starts after the pointer is published batches.
+// Group commit cannot be disabled at runtime: a batcher leader may hold
+// followers that a disable would strand.
+func (s *System) EnableGroupCommit() bool {
+	return s.batcher.CompareAndSwap(nil, newCommitBatcher(s))
+}
+
 // commit commits t through the batcher.  The transaction must already be
 // in the txCommitting state (Tx.Commit's state machine put it there); by
 // return it has committed at every touched object — or, if the batch's log

@@ -148,17 +148,18 @@ func TestGroupCommitCoalescesConcurrentCommits(t *testing.T) {
 	// Wait until every committer is parked: one leader inside the stalled
 	// critical section, the rest queued.
 	deadline := time.Now().Add(2 * time.Second)
+	b := sys.batcher.Load()
 	for {
-		sys.batcher.mu.Lock()
-		queued := len(sys.batcher.pending)
-		sys.batcher.mu.Unlock()
+		b.mu.Lock()
+		queued := len(b.pending)
+		b.mu.Unlock()
 		if queued == followers {
 			break
 		}
 		if time.Now().After(deadline) {
-			sys.batcher.mu.Lock()
-			queued := len(sys.batcher.pending)
-			sys.batcher.mu.Unlock()
+			b.mu.Lock()
+			queued := len(b.pending)
+			b.mu.Unlock()
 			acc.mu.Unlock()
 			wg.Wait()
 			t.Fatalf("only %d of %d followers queued behind the stalled leader", queued, followers)

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hybridcc/internal/ccpolicy"
 	"hybridcc/internal/depend"
 	"hybridcc/internal/histories"
 	"hybridcc/internal/spec"
@@ -43,14 +44,35 @@ import (
 //     mask of its blocked invocation, so a completion event signals only
 //     the waiters it could actually unblock — see waiter.
 type Object struct {
-	sys      *System
-	name     histories.ObjID
-	sp       spec.Spec
+	sys  *System
+	name histories.ObjID
+	sp   spec.Spec
+	// conflict and table are the ACTIVE policy's components, denormalized
+	// into plain fields so the grant/deny hot path pays no extra
+	// indirection for policy support (guarded by mu; tables are not safe
+	// for concurrent use).  They always mirror policy.Conflict and
+	// policy.Table, except in tests that splice a table in directly.
 	conflict depend.Conflict
-	// table is the conflict relation compiled to bitmask rows over
-	// interned operation classes (guarded by mu; tables are not safe for
-	// concurrent use).
-	table *depend.CompiledTable
+	table    *depend.CompiledTable
+
+	// policies is the object's precompiled policy set; policy the active
+	// member; pending a requested switch awaiting a quiescent instant
+	// (len(active) == 0); initial the scheme the object was registered
+	// with, the adaptation controller's revert target.  All guarded by mu.
+	//
+	// Switch quiescence invariant: the active policy changes only while no
+	// transaction holds a lock here.  Held-class masks (txLock.mask,
+	// waiter.mask) are class indices into the table that granted them and
+	// are meaningless against any other; with the active set empty no lock
+	// mask exists, and every parked waiter is woken by the install so it
+	// re-derives and re-captures its mask from the new table.  While a
+	// switch is pending, first-time grants are held back (the drain
+	// barrier in Call) but existing holders always proceed — denying a
+	// holder would prevent the drain from ever completing.
+	policies *ccpolicy.Set
+	policy   *ccpolicy.Policy
+	pending  *ccpolicy.Policy
+	initial  string
 
 	mu sync.Mutex
 
@@ -331,12 +353,33 @@ func (s *System) NewObject(name string, sp spec.Spec, conflict depend.Conflict) 
 // still intern lazily as they appear; a nil universe (an open universe)
 // just means every class interns on first sight.
 func (s *System) NewObjectSeeded(name string, sp spec.Spec, conflict depend.Conflict, universe []spec.Op) *Object {
+	set := ccpolicy.NewSet()
+	set.Add("", conflict, universe)
+	o, err := s.NewObjectPolicies(name, sp, set, "")
+	if err != nil {
+		panic("hybridcc: " + err.Error()) // unreachable: "" is in the set
+	}
+	return o
+}
+
+// NewObjectPolicies registers an object carrying a precompiled policy set:
+// one conflict relation per scheme, each compiled up front so a runtime
+// SetScheme is a pointer swap, never a recompile.  initial names the
+// starting policy and must be a member of the set.
+func (s *System) NewObjectPolicies(name string, sp spec.Spec, set *ccpolicy.Set, initial string) (*Object, error) {
+	p := set.Get(initial)
+	if p == nil {
+		return nil, fmt.Errorf("hybridcc: object %s: initial scheme %q not in policy set (have %v)", name, initial, set.Schemes())
+	}
 	o := &Object{
 		sys:       s,
 		name:      histories.ObjID(name),
 		sp:        sp,
-		conflict:  conflict,
-		table:     depend.Compile(conflict, universe, 0),
+		conflict:  p.Conflict,
+		table:     p.Table,
+		policies:  set,
+		policy:    p,
+		initial:   initial,
 		version:   sp.Init(),
 		active:    make(map[*Tx]*txLock),
 		clock:     0,
@@ -344,7 +387,78 @@ func (s *System) NewObjectSeeded(name string, sp spec.Spec, conflict depend.Conf
 	}
 	o.publishTailLocked()
 	s.registerObject(o)
-	return o
+	return o, nil
+}
+
+// Scheme returns the active policy's scheme name ("" for an object built
+// from a bare conflict relation).
+func (o *Object) Scheme() string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.policy.Scheme
+}
+
+// Schemes returns every scheme the object holds a precompiled policy for.
+func (o *Object) Schemes() []string {
+	return o.policies.Schemes()
+}
+
+// SetScheme requests a switch of the object's active concurrency-control
+// policy.  The switch installs at the first quiescent instant — no active
+// lock holders — which SetScheme itself reaches when the object is idle;
+// otherwise the request stays pending: new transactions are held back at
+// this object (the drain barrier) while existing holders complete, and the
+// completion that empties the active set installs the policy and wakes
+// every parked waiter to re-derive under the new table.  Requesting the
+// already-active scheme cancels any pending switch.  The error names the
+// schemes available when the requested one was never registered.
+func (o *Object) SetScheme(scheme string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	p := o.policies.Get(scheme)
+	if p == nil {
+		return fmt.Errorf("hybridcc: object %s has no %q policy (have %v)", o.name, scheme, o.policies.Schemes())
+	}
+	if p == o.policy {
+		if o.pending != nil {
+			// Cancel the not-yet-installed switch and release the drain
+			// barrier: parked first-timers can be granted again.
+			o.pending = nil
+			o.events++
+			o.wakeScanLocked(nil, false, true, false)
+		}
+		return nil
+	}
+	o.pending = p
+	o.maybeInstallPendingLocked()
+	return nil
+}
+
+// maybeInstallPendingLocked installs the pending policy if the object is
+// quiescent (no active lock holders) and reports whether no switch remains
+// pending.  Completion paths that can empty the active set — commit,
+// batch commit, abort — call it before releasing o.mu, as does the drain
+// barrier itself, so the switch lands at the first quiescent instant
+// without a dedicated background sweep.
+func (o *Object) maybeInstallPendingLocked() bool {
+	if o.pending == nil {
+		return true
+	}
+	if len(o.active) != 0 {
+		return false
+	}
+	o.policy = o.pending
+	o.pending = nil
+	o.conflict = o.policy.Conflict
+	o.table = o.policy.Table
+	o.events++
+	o.stats.schemeSwitches.Add(1)
+	o.sys.stats.SchemeSwitches.Add(1)
+	// Wake every waiter unconditionally: masks captured against the old
+	// table are meaningless now, so each parked call re-derives and
+	// re-captures its wakeup mask from the new table.
+	o.wakeScanLocked(nil, false, true, false)
+	return true
 }
 
 // Name returns the object's identifier.
@@ -362,7 +476,10 @@ func (o *Object) Spec() spec.Spec { return o.sp }
 func (o *Object) Stats() ObjectStatsSnapshot {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return o.stats.snapshot(len(o.unforgotten), o.activeCountLocked())
+	snap := o.stats.snapshot(len(o.unforgotten), o.activeCountLocked())
+	snap.Scheme = o.policy.Scheme
+	snap.PendingSwitch = o.pending != nil
+	return snap
 }
 
 func (o *Object) activeCountLocked() int { return len(o.active) }
@@ -417,43 +534,79 @@ func (o *Object) Call(tx *Tx, inv spec.Invocation) (string, error) {
 		// abort.
 		if !attempted || o.events != seen {
 			attempted = true
+			// A pending policy switch installs at the first quiescent
+			// instant; a call that holds no lock here yet can be that
+			// instant too (the drain may already be complete).
+			if o.pending != nil && o.active[tx] == nil {
+				o.maybeInstallPendingLocked()
+			}
 			seen = o.events
-			state := o.viewStateLocked(tx)
-			responses := o.sp.Responses(state, inv)
-			uninterned := false
-			for _, r := range responses {
-				op := inv.With(r)
-				row := o.rowOfLocked(op)
-				if row == nil {
-					uninterned = true
+			if o.pending != nil && o.active[tx] == nil {
+				// Drain barrier: a switch is pending and this transaction
+				// holds nothing here, so granting it a first operation
+				// would extend the drain indefinitely.  Park until a
+				// completion event empties the active set and installs the
+				// new policy (existing holders pass the barrier — denying
+				// them could never drain).  Any completion can matter, so
+				// the waiter wakes on all events.
+				if signalled {
+					signalled = false
+					o.stats.spurious.Add(1)
+					o.sys.stats.SpuriousWakeups.Add(1)
 				}
-				if o.conflictsWithActiveRowLocked(tx, row, op) {
-					continue
+				if w == nil {
+					w = o.sys.getWaiter()
 				}
-				ev := o.grantLocked(tx, op, state)
-				o.mu.Unlock()
-				o.sys.flushEvents(ev)
-				return r, nil
-			}
-			if signalled {
-				signalled = false
-				o.stats.spurious.Add(1)
-				o.sys.stats.SpuriousWakeups.Add(1)
-			}
-			// Blocked: either a lock conflict or a partial operation with
-			// no enabled response.  Capture the wakeup mask and wait for a
-			// completion event that could matter — the appendix's "when"
-			// statement, with the herd filtered out.
-			if w == nil {
-				w = o.sys.getWaiter()
-			}
-			w.mask, w.classes, w.anyCommit, w.allEvents = o.wakeMaskLocked(inv, len(responses) == 0, uninterned)
-			if detect {
-				if holders := o.blockersLocked(tx, inv, state); len(holders) > 0 {
-					if o.sys.wfg.set(tx, holders) {
-						o.stats.deadlocks.Add(1)
-						o.mu.Unlock()
-						return "", fmt.Errorf("%w: %s on %s", ErrDeadlock, inv, o.name)
+				w.mask, w.classes, w.anyCommit, w.allEvents = nil, 0, false, true
+				if detect {
+					// The barrier waits on every current holder, whatever
+					// it holds: the drain finishes only when all complete.
+					if holders := o.activeHoldersLocked(tx); len(holders) > 0 {
+						if o.sys.wfg.set(tx, holders) {
+							o.stats.deadlocks.Add(1)
+							o.mu.Unlock()
+							return "", fmt.Errorf("%w: %s on %s", ErrDeadlock, inv, o.name)
+						}
+					}
+				}
+			} else {
+				state := o.viewStateLocked(tx)
+				responses := o.sp.Responses(state, inv)
+				uninterned := false
+				for _, r := range responses {
+					op := inv.With(r)
+					row := o.rowOfLocked(op)
+					if row == nil {
+						uninterned = true
+					}
+					if o.conflictsWithActiveRowLocked(tx, row, op) {
+						continue
+					}
+					ev := o.grantLocked(tx, op, state)
+					o.mu.Unlock()
+					o.sys.flushEvents(ev)
+					return r, nil
+				}
+				if signalled {
+					signalled = false
+					o.stats.spurious.Add(1)
+					o.sys.stats.SpuriousWakeups.Add(1)
+				}
+				// Blocked: either a lock conflict or a partial operation with
+				// no enabled response.  Capture the wakeup mask and wait for a
+				// completion event that could matter — the appendix's "when"
+				// statement, with the herd filtered out.
+				if w == nil {
+					w = o.sys.getWaiter()
+				}
+				w.mask, w.classes, w.anyCommit, w.allEvents = o.wakeMaskLocked(inv, len(responses) == 0, uninterned)
+				if detect {
+					if holders := o.blockersLocked(tx, inv, state); len(holders) > 0 {
+						if o.sys.wfg.set(tx, holders) {
+							o.stats.deadlocks.Add(1)
+							o.mu.Unlock()
+							return "", fmt.Errorf("%w: %s on %s", ErrDeadlock, inv, o.name)
+						}
 					}
 				}
 			}
@@ -739,6 +892,9 @@ func (o *Object) commit(tx *Tx, ts histories.Timestamp) {
 		// itself is clean to recycle.
 		o.sys.putLock(lk, true)
 	}
+	if o.pending != nil {
+		o.maybeInstallPendingLocked()
+	}
 	o.mu.Unlock()
 	o.sys.flushEvents(ev)
 }
@@ -780,6 +936,9 @@ func (o *Object) commitBatch(batch []*Tx, ev []pendingEvent) []pendingEvent {
 		}
 		o.batchLocks = o.batchLocks[:0]
 	}
+	if o.pending != nil {
+		o.maybeInstallPendingLocked()
+	}
 	o.mu.Unlock()
 	return ev
 }
@@ -807,6 +966,9 @@ func (o *Object) abort(tx *Tx) {
 		// An aborted record's intentions escaped nowhere: the slice
 		// capacity is recycled along with the record.
 		o.sys.putLock(lk, false)
+	}
+	if o.pending != nil {
+		o.maybeInstallPendingLocked()
 	}
 	o.mu.Unlock()
 	o.sys.flushEvents(ev)
@@ -892,6 +1054,9 @@ type ObjectStats struct {
 	// waiterHWM is the wait queue's high-water mark (written under the
 	// object mutex, read anywhere).
 	waiterHWM atomic.Int64
+	// schemeSwitches counts installed policy switches (written under the
+	// object mutex, read anywhere — the adaptation controller polls it).
+	schemeSwitches atomic.Int64
 }
 
 // ObjectStatsSnapshot is an immutable copy of ObjectStats plus instant
@@ -913,6 +1078,12 @@ type ObjectStatsSnapshot struct {
 	Wakeups         int64
 	SpuriousWakeups int64
 	WaiterHWM       int64
+	// SchemeSwitches counts installed policy switches; Scheme is the
+	// active policy's scheme name; PendingSwitch reports a requested
+	// switch still draining toward its quiescent instant.
+	SchemeSwitches int64
+	Scheme         string
+	PendingSwitch  bool
 }
 
 func (s *ObjectStats) snapshot(unforgotten, active int) ObjectStatsSnapshot {
@@ -930,5 +1101,6 @@ func (s *ObjectStats) snapshot(unforgotten, active int) ObjectStatsSnapshot {
 		Wakeups:         s.wakeups.Load(),
 		SpuriousWakeups: s.spurious.Load(),
 		WaiterHWM:       s.waiterHWM.Load(),
+		SchemeSwitches:  s.schemeSwitches.Load(),
 	}
 }

@@ -232,7 +232,7 @@ func (t *Tx) Commit() error {
 	t.status = txCommitting
 	t.mu.Unlock()
 
-	if b := t.sys.batcher; b != nil {
+	if b := t.sys.batcher.Load(); b != nil {
 		b.commit(t)
 		t.mu.Lock()
 		err := t.commitErr

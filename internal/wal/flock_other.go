@@ -1,0 +1,17 @@
+//go:build !unix
+
+package wal
+
+import "os"
+
+// lockDir is a no-op on platforms without flock: the log opens without
+// inter-process exclusion, as it did before the LOCK file existed.
+func lockDir(dir string) (*os.File, error) { return nil, nil }
+
+// unlockDir matches the unix release; nil (the only value lockDir returns
+// here) is a no-op.
+func unlockDir(f *os.File) {
+	if f != nil {
+		_ = f.Close()
+	}
+}

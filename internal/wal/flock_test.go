@@ -1,0 +1,65 @@
+//go:build unix
+
+package wal
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestOpenExcludesSecondOpen proves the directory lock: while a Log holds
+// a directory, a second Open — flock is per open file description, so even
+// the same process conflicts — fails with ErrLocked naming the holder, and
+// every way of releasing the log (Close, Crash, poisoning) frees the
+// directory for reopening.
+func TestOpenExcludesSecondOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("first Open: %v", err)
+	}
+	if _, _, err := Open(dir, Options{}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open: got %v, want ErrLocked", err)
+	} else if !strings.Contains(err.Error(), "pid ") {
+		t.Fatalf("second Open error %q does not name the holder", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l, _, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	l.Crash()
+	l, _, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after Crash: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("final Close: %v", err)
+	}
+}
+
+// TestPoisonReleasesLock proves a poisoned log frees the directory: the
+// write failure closed the log for good, so a recovery Open must not be
+// locked out by the corpse.
+func TestPoisonReleasesLock(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Close the segment file behind the log's back so the next synced
+	// append fails and poisons it.
+	_ = l.f.Close()
+	if err := l.AppendSync(Record{Kind: KindCommit, Tx: "t1", TS: 1}); err == nil {
+		t.Fatal("AppendSync on closed file unexpectedly succeeded")
+	}
+	l2, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after poison: %v", err)
+	}
+	_ = l2.Close()
+}

@@ -1,0 +1,53 @@
+//go:build unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+)
+
+// lockDir takes an exclusive, non-blocking advisory flock on dir/LOCK and
+// writes the holder's identity into the file.  flock locks belong to the
+// open file description, not the process, so a second Open of the same
+// directory conflicts even within one process — exactly the property the
+// one-writer-per-log invariant needs.  On conflict the returned error
+// wraps ErrLocked and names the holder recorded in the file.
+func lockDir(dir string) (*os.File, error) {
+	path := filepath.Join(dir, "LOCK")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		holder, _ := os.ReadFile(path)
+		_ = f.Close()
+		if h := strings.TrimSpace(string(holder)); h != "" {
+			return nil, fmt.Errorf("%w: %s is held by %s", ErrLocked, dir, h)
+		}
+		return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+	}
+	host, herr := os.Hostname()
+	if herr != nil {
+		host = "unknown-host"
+	}
+	// Best-effort holder record: the lock itself, not this text, is the
+	// mutual exclusion — the text only makes the conflict error useful.
+	_ = f.Truncate(0)
+	_, _ = fmt.Fprintf(f, "pid %d on %s\n", os.Getpid(), host)
+	return f, nil
+}
+
+// unlockDir releases a lock taken by lockDir.  Closing the file would drop
+// the flock anyway; the explicit LOCK_UN documents intent.  Nil is a no-op
+// so callers need not track whether a lock was ever taken.
+func unlockDir(f *os.File) {
+	if f == nil {
+		return
+	}
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	_ = f.Close()
+}

@@ -21,6 +21,13 @@ var ErrClosed = errors.New("wal: log closed")
 // only check for ErrClosed treat a poisoned log as closed.
 var ErrFailed = fmt.Errorf("%w after write failure", ErrClosed)
 
+// ErrLocked reports an Open of a log directory another Log (possibly in
+// another process) already holds open.  The error text names the holder
+// recorded in the directory's LOCK file ("pid N on host").  Two live logs
+// on one directory would interleave appends and fight over the torn tail,
+// so Open refuses rather than corrupting.
+var ErrLocked = errors.New("wal: log directory locked")
+
 // DefaultSegmentSize is the rotation threshold when Options.SegmentSize is
 // zero.
 const DefaultSegmentSize = 64 << 20
@@ -69,6 +76,10 @@ type Stats struct {
 type Log struct {
 	dir  string
 	opts Options
+	// lock is the exclusive flock on dir/LOCK (nil where flock is
+	// unsupported), held from Open until Close, Crash, or poisoning so a
+	// second Open — same process or another — fails with ErrLocked.
+	lock *os.File
 
 	mu       sync.Mutex
 	f        *os.File
@@ -94,6 +105,11 @@ func segmentName(i int) string { return fmt.Sprintf("wal-%08d.seg", i) }
 // is a transaction that never committed.  Corruption anywhere else
 // (a torn segment followed by further segments) is not a tail and is
 // returned as an error rather than silently dropped.
+//
+// Open holds an exclusive flock on dir/LOCK until the log is closed,
+// crashed, or poisoned: a second Open of the same directory — from this
+// process or another — fails with an error wrapping ErrLocked that names
+// the holder.
 func Open(dir string, opts Options) (*Log, []Record, error) {
 	if opts.SegmentSize <= 0 {
 		opts.SegmentSize = DefaultSegmentSize
@@ -101,6 +117,22 @@ func Open(dir string, opts Options) (*Log, []Record, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: %w", err)
 	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	l, recs, err := openDir(dir, opts)
+	if err != nil {
+		unlockDir(lock)
+		return nil, nil, err
+	}
+	l.lock = lock
+	return l, recs, nil
+}
+
+// openDir is Open past directory creation and locking: read and repair
+// the segments, position the log for appending.
+func openDir(dir string, opts Options) (*Log, []Record, error) {
 	recs, segs, err := ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
@@ -175,6 +207,8 @@ func (l *Log) poisonLocked(err error) error {
 		if l.f != nil {
 			_ = l.f.Close()
 		}
+		unlockDir(l.lock)
+		l.lock = nil
 	}
 	return fmt.Errorf("wal: %w", err)
 }
@@ -301,6 +335,10 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	defer func() {
+		unlockDir(l.lock)
+		l.lock = nil
+	}()
 	if err := l.w.Flush(); err != nil {
 		l.f.Close()
 		return fmt.Errorf("wal: %w", err)
@@ -328,6 +366,11 @@ func (l *Log) Crash() {
 	}
 	l.closed = true
 	_ = l.f.Close()
+	// A real kill -9 drops the flock with the process; the simulated crash
+	// must release it too, or the recovery half of a crash test could
+	// never reopen the directory.
+	unlockDir(l.lock)
+	l.lock = nil
 }
 
 // Stats returns append/fsync counters and the segment count.

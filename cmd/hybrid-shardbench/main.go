@@ -71,18 +71,26 @@ func main() {
 		duration   = flag.Duration("duration", time.Second, "measurement window per configuration")
 		shards     = flag.String("shards", "1,2,4,8", "comma-separated shard counts")
 		crossPcts  = flag.String("cross", "0,10,50", "comma-separated cross-shard transaction percentages")
-		transport  = flag.String("transport", "direct", "cross-shard commit transport: direct (in-process fast path) or server (goroutine/channel fault-injection)")
+		transport  = flag.String("transport", "direct", "cross-shard commit transport: direct (in-process fast path), server (goroutine/channel fault-injection), or tcp (loopback netproto; see -addrs)")
+		addrsFlag  = flag.String("addrs", "", "comma-separated shard-server addresses for -transport tcp (addrs[i] serves shard i; empty starts in-process loopback servers); requires a single -shards count matching the list")
 		group      = flag.Bool("group", false, "enable per-shard group commit")
 	)
 	flag.Parse()
-	var serverTransport bool
 	switch *transport {
-	case "direct":
-	case "server":
-		serverTransport = true
+	case "direct", "server", "tcp":
 	default:
-		fmt.Fprintf(os.Stderr, "bad -transport %q (want direct or server)\n", *transport)
+		fmt.Fprintf(os.Stderr, "bad -transport %q (want direct, server, or tcp)\n", *transport)
 		os.Exit(2)
+	}
+	var addrs []string
+	if *addrsFlag != "" {
+		if *transport != "tcp" {
+			fmt.Fprintln(os.Stderr, "-addrs only applies to -transport tcp")
+			os.Exit(2)
+		}
+		for _, a := range strings.Split(*addrsFlag, ",") {
+			addrs = append(addrs, strings.TrimSpace(a))
+		}
 	}
 
 	e := entry{
@@ -95,17 +103,23 @@ func main() {
 			DurationMS: duration.Milliseconds(),
 		},
 	}
+	shardCounts := parseInts(*shards, "shard count")
+	if len(addrs) > 0 && (len(shardCounts) != 1 || shardCounts[0] != len(addrs)) {
+		fmt.Fprintf(os.Stderr, "-addrs lists %d servers; -shards must be exactly %d\n", len(addrs), len(addrs))
+		os.Exit(2)
+	}
 	for _, cross := range parseInts(*crossPcts, "cross percentage") {
-		for _, s := range parseInts(*shards, "shard count") {
+		for _, s := range shardCounts {
 			res, err := bench.ClusterThroughput(bench.ClusterBenchConfig{
-				Shards:          s,
-				Workers:         *workers,
-				OpsPerTx:        *opsPerTx,
-				CrossPct:        cross,
-				Hold:            *hold,
-				Duration:        *duration,
-				ServerTransport: serverTransport,
-				GroupCommit:     *group,
+				Shards:      s,
+				Workers:     *workers,
+				OpsPerTx:    *opsPerTx,
+				CrossPct:    cross,
+				Hold:        *hold,
+				Duration:    *duration,
+				Transport:   *transport,
+				Addrs:       addrs,
+				GroupCommit: *group,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,201 @@
+// Command hybrid-shardd serves one durable shard of a hybridcc cluster
+// over TCP: a core System with a write-ahead commit log and the netproto
+// wire protocol in front of it.  A cluster is N of these processes plus
+// any number of clients using hybridcc.Dial, which routes object names to
+// shards with the same partitioner the in-process cluster uses.
+//
+//	hybrid-shardd -addr 127.0.0.1:7101 -shard 1 -shards 4 -dir /var/lib/hybrid/shard1
+//
+// The shard's timestamp discipline matches the in-process cluster: shard
+// i of an N-shard cluster mints fast-path commit timestamps from the
+// logical clock congruent to i modulo N+1, leaving the class N to client
+// coordinators, so timestamps stay globally unique without coordination.
+//
+// Restarting after a crash recovers from the WAL and the registration
+// catalog.  If the crash left prepared-but-undecided 2PC branches, the
+// process starts in the recovering state and serves only decision
+// traffic (netproto clients resolve the branches from their decision
+// ledgers on connect — commit if a decision was logged, presumed abort
+// otherwise) until every branch is resolved; -stats exposes the state.
+//
+// SIGTERM and SIGINT drain gracefully: the listener closes, in-flight
+// connections get -grace to finish, and the WAL closes cleanly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"hybridcc/internal/core"
+	"hybridcc/internal/netproto"
+	"hybridcc/internal/tstamp"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7100", "TCP listen address for the shard protocol")
+		shard    = flag.Int("shard", 0, "this shard's index (0-based)")
+		shards   = flag.Int("shards", 1, "total shard count of the cluster")
+		dir      = flag.String("dir", "", "durable state directory (WAL + registration catalog); required")
+		statsOn  = flag.String("stats", "", "HTTP listen address for /stats and /health (empty: disabled)")
+		fsync    = flag.Bool("fsync", true, "fsync the commit log on every commit")
+		segment  = flag.Int64("segment", 0, "WAL segment rotation threshold in bytes (0: default)")
+		lockWait = flag.Duration("lockwait", 0, "per-call lock wait bound (0: default)")
+		group    = flag.Bool("group", false, "batch fast-path commits through the group-commit pipeline")
+		grace    = flag.Duration("grace", 5*time.Second, "shutdown drain period")
+	)
+	flag.Parse()
+	log.SetPrefix(fmt.Sprintf("shardd[%d]: ", *shard))
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	if *dir == "" {
+		log.Fatal("-dir is required")
+	}
+	if *shard < 0 || *shards < 1 || *shard >= *shards {
+		log.Fatalf("bad shard coordinates: -shard %d -shards %d", *shard, *shards)
+	}
+
+	sys, err := core.OpenSystem(core.Options{
+		LockWait:           *lockWait,
+		Clock:              tstamp.NewNodeClock(*shard, *shards+1),
+		ExternalTimestamps: true,
+		DeadlockDetection:  true,
+		GroupCommit:        *group,
+		Durability: &core.Durability{
+			Dir:         filepath.Join(*dir, "wal"),
+			Sync:        *fsync,
+			SegmentSize: *segment,
+		},
+	})
+	if err != nil {
+		log.Fatalf("open system: %v", err)
+	}
+
+	// Re-register every catalogued object BEFORE recovery finishes: the
+	// WAL records operations by object name, and replay needs the objects
+	// back under those names.  The catalog was fsynced ahead of each
+	// registration acknowledgement, so it covers every name the WAL can
+	// mention.
+	catalog, entries, err := netproto.OpenCatalog(*dir)
+	if err != nil {
+		log.Fatalf("open catalog: %v", err)
+	}
+	for _, e := range entries {
+		if _, err := netproto.RegisterObject(sys, e.Name, e.TypeName, e.Scheme); err != nil {
+			log.Fatalf("re-register %s (%s/%s): %v", e.Name, e.TypeName, e.Scheme, err)
+		}
+	}
+
+	srv, err := netproto.NewServer(sys, *shard, *shards, netproto.ServerOptions{Catalog: catalog})
+	if err != nil {
+		log.Fatalf("recovery: %v", err)
+	}
+	if srv.Recovering() {
+		log.Printf("recovered with undecided prepared branches; serving decision traffic only until resolved")
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("shard %d/%d serving on %s (dir %s, %d catalogued objects)", *shard, *shards, ln.Addr(), *dir, len(entries))
+
+	var statsSrv *http.Server
+	if *statsOn != "" {
+		statsSrv = startStats(*statsOn, srv, *shard, *shards)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		log.Printf("%s: draining (grace %s)", s, *grace)
+	case err := <-done:
+		if err != nil {
+			log.Printf("serve: %v", err)
+		}
+	}
+
+	srv.Shutdown(*grace)
+	if statsSrv != nil {
+		_ = statsSrv.Close()
+	}
+	if err := sys.Close(); err != nil {
+		log.Printf("close system: %v", err)
+	}
+	if err := catalog.Close(); err != nil {
+		log.Printf("close catalog: %v", err)
+	}
+	log.Printf("stopped")
+}
+
+// statsPayload is the /stats response schema.
+type statsPayload struct {
+	Shard   int                `json:"shard"`
+	Shards  int                `json:"shards"`
+	State   string             `json:"state"`
+	Stats   core.StatsSnapshot `json:"stats"`
+	Objects []objectPayload    `json:"objects"`
+}
+
+type objectPayload struct {
+	Name   string                   `json:"name"`
+	Scheme string                   `json:"scheme"`
+	Stats  core.ObjectStatsSnapshot `json:"stats"`
+}
+
+// startStats serves /stats (JSON counters, per-object breakdown) and
+// /health (200 serving, 503 recovering) on its own listener, so probing a
+// wedged shard never competes with the transaction protocol.
+func startStats(addr string, srv *netproto.Server, shard, shards int) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		state := "serving"
+		if srv.Recovering() {
+			state = "recovering"
+		}
+		p := statsPayload{
+			Shard:  shard,
+			Shards: shards,
+			State:  state,
+			Stats:  srv.System().Stats(),
+		}
+		for _, o := range srv.System().Objects() {
+			p.Objects = append(p.Objects, objectPayload{
+				Name:   string(o.Name()),
+				Scheme: o.Scheme(),
+				Stats:  o.Stats(),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(p)
+	})
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		if srv.Recovering() {
+			http.Error(w, "recovering", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "serving")
+	})
+	s := &http.Server{Addr: addr, Handler: mux}
+	go func() {
+		if err := s.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Printf("stats listener: %v", err)
+		}
+	}()
+	return s
+}

@@ -1,0 +1,183 @@
+package hybridcc
+
+import (
+	crand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"hybridcc/internal/cluster"
+	"hybridcc/internal/histories"
+	"hybridcc/internal/netproto"
+	"hybridcc/internal/wal"
+)
+
+// ErrShardUnavailable reports a shard server that could not be reached or
+// failed mid-round-trip.  Atomically retries it: the failed transaction
+// aborted on every shard (or will resolve by presumed abort), so a fresh
+// attempt is always safe.
+var ErrShardUnavailable = netproto.ErrUnavailable
+
+// WithDialDecisionLog makes a dialed cluster's commit-decision ledger
+// durable in dir: every cross-shard commit decision is fsynced there
+// before any shard is told to commit, and a later Dial from the same dir
+// reloads it.  Without this option the ledger is in-memory — enough to
+// resolve a shard that crashes and restarts while this client lives, but
+// a client that dies with undelivered decisions leaves its prepared
+// shards waiting for some other resolver.
+func WithDialDecisionLog(dir string) Option {
+	return func(c *config) { c.dialDecisionDir = dir }
+}
+
+// decisionLedger remembers the commit decisions a dialed cluster's
+// coordinator has reached, keyed by transaction identifier.  It backs
+// presumed abort across process boundaries: reconnecting to a recovering
+// shard feeds each of its pending prepared branches the ledgered decision
+// — or, absent one, an abort.
+type decisionLedger struct {
+	mu        sync.Mutex
+	decisions map[string]int64
+	log       *wal.Log // nil: in-memory only
+}
+
+func openDecisionLedger(dir string) (*decisionLedger, error) {
+	l := &decisionLedger{decisions: make(map[string]int64)}
+	if dir == "" {
+		return l, nil
+	}
+	dl, recs, err := wal.Open(dir, wal.Options{Sync: true})
+	if err != nil {
+		return nil, fmt.Errorf("hybridcc: decision log: %w", err)
+	}
+	l.log = dl
+	for tx, ts := range wal.Summarize(recs).Decisions {
+		l.decisions[tx] = ts
+	}
+	return l, nil
+}
+
+// record is the coordinator's decision hook: remember (and persist, when
+// durable) before any shard learns the decision.
+func (l *decisionLedger) record(tx histories.TxID, ts histories.Timestamp) error {
+	l.mu.Lock()
+	l.decisions[string(tx)] = int64(ts)
+	log := l.log
+	l.mu.Unlock()
+	if log != nil {
+		return log.AppendSync(wal.Record{Kind: wal.KindDecision, Tx: string(tx), TS: int64(ts)})
+	}
+	return nil
+}
+
+// lookup answers a recovering shard's pending-branch query.
+func (l *decisionLedger) lookup(tx histories.TxID) (histories.Timestamp, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ts, ok := l.decisions[string(tx)]
+	return histories.Timestamp(ts), ok
+}
+
+func (l *decisionLedger) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.log == nil {
+		return nil
+	}
+	err := l.log.Close()
+	l.log = nil
+	return err
+}
+
+// Dial connects to a cluster of hybrid-shardd processes and returns a
+// Cluster with the same API an in-process one has: the same typed
+// objects, the same Atomically/Snapshot, the same Verify — but every
+// branch operation is an RPC, single-shard commits take the remote fast
+// path, and cross-shard commits run two-phase commit over the
+// connections, timestamps piggybacked on the protocol messages exactly
+// as in-process.  addrs[i] must be the server for shard i; placement
+// hashes object names modulo len(addrs), so the address order must be
+// the same for every client of one cluster.
+//
+// setup runs once on the connected cluster, before Dial returns — the
+// place to register (or re-register: registration is idempotent) the
+// client's objects.  Only the built-in types travel the wire; a custom
+// Spec's behaviour lives in this process, so NewCustom fails on a dialed
+// cluster.
+//
+// Transaction identifiers are salted with a random per-Dial prefix, so
+// concurrent clients of one cluster never collide in the shards' logs.
+// Cross-shard commit decisions go to the client's decision ledger
+// (durable with WithDialDecisionLog) before any shard commits; a shard
+// that crashes mid-protocol and restarts is fed its pending decisions
+// from the ledger when this client reconnects, and branches without a
+// ledgered decision presume abort.
+//
+// Of the usual Options, WithRecorder (client-local verification) and
+// WithCommitTimeout (here bounding every RPC round trip, not just
+// protocol messages) apply; the per-shard engine knobs are fixed by each
+// server's own flags.
+func Dial(addrs []string, setup func(*Cluster) error, opts ...Option) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("hybridcc: Dial needs at least one shard address")
+	}
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	timeout := c.commitTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+
+	var nonce [4]byte
+	if _, err := crand.Read(nonce[:]); err != nil {
+		return nil, fmt.Errorf("hybridcc: tx-id nonce: %w", err)
+	}
+	ledger, err := openDecisionLedger(c.dialDecisionDir)
+	if err != nil {
+		return nil, err
+	}
+
+	conns := make([]cluster.RemoteConn, len(addrs))
+	for i, addr := range addrs {
+		sc, err := netproto.DialShard(addr, i, len(addrs), netproto.ClientOptions{
+			Timeout:     timeout,
+			DecisionFor: ledger.lookup,
+		})
+		if err != nil {
+			for _, prev := range conns[:i] {
+				_ = prev.Close()
+			}
+			_ = ledger.close()
+			return nil, fmt.Errorf("hybridcc: dial shard %d: %w", i, err)
+		}
+		conns[i] = sc
+	}
+
+	ropts := cluster.RemoteOptions{
+		CommitTimeout: timeout,
+		IDPrefix:      hex.EncodeToString(nonce[:]) + "-",
+		OnDecision:    ledger.record,
+		CloseHook:     ledger.close,
+	}
+	if c.recorder != nil {
+		ropts.Sink = c.recorder
+	}
+	inner, err := cluster.NewRemote(conns, ropts)
+	if err != nil {
+		for _, conn := range conns {
+			_ = conn.Close()
+		}
+		_ = ledger.close()
+		return nil, err
+	}
+	cl := &Cluster{inner: inner, recorder: c.recorder, reg: newRegistry()}
+	if setup != nil {
+		if err := setup(cl); err != nil {
+			_ = cl.Close()
+			return nil, fmt.Errorf("hybridcc: Dial setup: %w", err)
+		}
+	}
+	return cl, nil
+}

@@ -135,6 +135,9 @@ type config struct {
 	fsync       bool
 	fsyncSet    bool
 	segmentSize int64
+	// dialDecisionDir, meaningful to Dial only: a durable home for the
+	// client's commit-decision ledger (WithDialDecisionLog).
+	dialDecisionDir string
 }
 
 // WithLockWait bounds how long an operation waits on a lock conflict (or a
@@ -323,9 +326,12 @@ func (s *System) AtomicallyCtx(ctx context.Context, fn func(tx *Tx) error) error
 
 // retryable reports whether one failed attempt is worth retrying with a
 // fresh transaction: lock-wait timeouts, detected deadlocks, and — for
-// clusters — commits the atomic-commitment protocol aborted.
+// clusters — commits the atomic-commitment protocol aborted, plus, on
+// dialed clusters, shards unreachable mid-attempt (the transaction
+// aborted there or resolves by presumed abort, so a retry is safe).
 func retryable(err error) bool {
-	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrDeadlock) || errors.Is(err, ErrCommitAborted)
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrDeadlock) ||
+		errors.Is(err, ErrCommitAborted) || errors.Is(err, ErrShardUnavailable)
 }
 
 // atomicallyLoop drives attempt with the shared retry policy: retryable

@@ -1,9 +1,12 @@
 package bench
 
 import (
+	crand "crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +15,8 @@ import (
 	"hybridcc/internal/baseline"
 	"hybridcc/internal/cluster"
 	"hybridcc/internal/core"
+	"hybridcc/internal/netproto"
+	"hybridcc/internal/tstamp"
 )
 
 // This file holds the sharded-engine throughput probe behind
@@ -51,10 +56,18 @@ type ClusterBenchConfig struct {
 	Hold time.Duration
 	// Duration is the measurement window.
 	Duration time.Duration
-	// ServerTransport routes cross-shard commits through the goroutine/
-	// channel protocol servers (the PR 3 configuration); off means the
-	// direct in-process transport.
-	ServerTransport bool
+	// Transport selects the commit transport: "direct" (or empty, the
+	// in-process fast path), "server" (goroutine/channel fault-injection
+	// servers, the PR 3 configuration), or "tcp" (every branch operation
+	// and protocol message over loopback TCP through internal/netproto —
+	// the multi-process cost model with the process boundary factored
+	// out).
+	Transport string
+	// Addrs lists running shard servers (addrs[i] serves shard i) for
+	// Transport "tcp".  Empty starts in-process loopback servers for the
+	// run — the no-setup default; point it at real hybrid-shardd
+	// processes to include the process boundary.
+	Addrs []string
 	// GroupCommit enables each shard's commit batcher.
 	GroupCommit bool
 }
@@ -76,6 +89,41 @@ type ClusterBenchResult struct {
 	GroupBatchTxs int64 `json:"group_batch_txs,omitempty"`
 }
 
+// startLoopbackShards serves n volatile shard systems over loopback TCP
+// for a self-contained "tcp" transport run, returning their addresses in
+// shard order and a stop function.
+func startLoopbackShards(n int, lockWait time.Duration) ([]string, func(), error) {
+	addrs := make([]string, n)
+	srvs := make([]*netproto.Server, 0, n)
+	stop := func() {
+		for _, s := range srvs {
+			s.Shutdown(time.Second)
+		}
+	}
+	for i := 0; i < n; i++ {
+		sys := core.NewSystem(core.Options{
+			Clock:              tstamp.NewNodeClock(i, n+1),
+			ExternalTimestamps: true,
+			LockWait:           lockWait,
+			DeadlockDetection:  true,
+		})
+		srv, err := netproto.NewServer(sys, i, n, netproto.ServerOptions{})
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		go func() { _ = srv.Serve(ln) }()
+		srvs = append(srvs, srv)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs, stop, nil
+}
+
 // ClusterThroughput runs the probe: Workers goroutines loop transactions
 // against a cluster with one hot Account per shard, committing either on
 // one shard (fast path) or across two (2PC) according to CrossPct.
@@ -86,20 +134,90 @@ func ClusterThroughput(cfg ClusterBenchConfig) (ClusterBenchResult, error) {
 	if cfg.CrossPct < 0 || cfg.CrossPct > 100 {
 		return ClusterBenchResult{}, fmt.Errorf("bench: cross_pct %d out of range", cfg.CrossPct)
 	}
+	transport := cfg.Transport
+	if transport == "" {
+		transport = "direct"
+	}
 	lockWait := 25 * time.Millisecond
 	if w := time.Duration(cfg.Workers) * cfg.Hold * 4; w > lockWait {
 		// Queueing behind worker-held locks must time out rarely, or the
 		// probe measures retry churn instead of lock throughput.
 		lockWait = w
 	}
-	cl, err := cluster.New(cluster.Options{
-		Shards:          cfg.Shards,
-		LockWait:        lockWait,
-		ServerTransport: cfg.ServerTransport,
-		GroupCommit:     cfg.GroupCommit,
-	})
-	if err != nil {
-		return ClusterBenchResult{}, err
+	var cl *cluster.Cluster
+	var stopShards func()
+	switch transport {
+	case "direct", "server":
+		var err error
+		cl, err = cluster.New(cluster.Options{
+			Shards:          cfg.Shards,
+			LockWait:        lockWait,
+			ServerTransport: transport == "server",
+			GroupCommit:     cfg.GroupCommit,
+		})
+		if err != nil {
+			return ClusterBenchResult{}, err
+		}
+	case "tcp":
+		if cfg.GroupCommit {
+			return ClusterBenchResult{}, fmt.Errorf("bench: group commit is a shard-server flag, not a tcp client option")
+		}
+		addrs := cfg.Addrs
+		if len(addrs) == 0 {
+			var err error
+			addrs, stopShards, err = startLoopbackShards(cfg.Shards, lockWait)
+			if err != nil {
+				return ClusterBenchResult{}, err
+			}
+		} else if len(addrs) != cfg.Shards {
+			return ClusterBenchResult{}, fmt.Errorf("bench: %d addrs for %d shards", len(addrs), cfg.Shards)
+		}
+		conns := make([]cluster.RemoteConn, cfg.Shards)
+		for i, addr := range addrs {
+			sc, err := netproto.DialShard(addr, i, cfg.Shards, netproto.ClientOptions{Timeout: 5 * time.Second})
+			if err != nil {
+				for _, prev := range conns[:i] {
+					if prev != nil {
+						_ = prev.Close()
+					}
+				}
+				if stopShards != nil {
+					stopShards()
+				}
+				return ClusterBenchResult{}, fmt.Errorf("bench: dial shard %d: %w", i, err)
+			}
+			conns[i] = sc
+		}
+		// Shard servers key branches and remembered outcomes by transaction
+		// identifier, so every client run against the same servers (a later
+		// sweep, a rerun) must namespace its IDs or they collide with
+		// outcomes the shards still remember.
+		var nonce [4]byte
+		if _, err := crand.Read(nonce[:]); err != nil {
+			if stopShards != nil {
+				stopShards()
+			}
+			return ClusterBenchResult{}, fmt.Errorf("bench: tx-id nonce: %w", err)
+		}
+		var err error
+		cl, err = cluster.NewRemote(conns, cluster.RemoteOptions{
+			CommitTimeout: 5 * time.Second,
+			IDPrefix:      hex.EncodeToString(nonce[:]) + "-",
+		})
+		if err != nil {
+			if stopShards != nil {
+				stopShards()
+			}
+			return ClusterBenchResult{}, err
+		}
+	default:
+		return ClusterBenchResult{}, fmt.Errorf("bench: unknown transport %q (want direct, server, or tcp)", transport)
+	}
+	if stopShards != nil {
+		defer stopShards()
+	}
+	if transport == "tcp" {
+		defer func() { _ = cl.Close() }()
 	}
 	hot := make([]*core.Object, cfg.Shards)
 	for i := range hot {
@@ -215,10 +333,6 @@ func ClusterThroughput(cfg ClusterBenchConfig) (ClusterBenchResult, error) {
 	}
 
 	st := cl.Stats()
-	transport := "direct"
-	if cfg.ServerTransport {
-		transport = "server"
-	}
 	return ClusterBenchResult{
 		Shards:            cfg.Shards,
 		CrossPct:          cfg.CrossPct,

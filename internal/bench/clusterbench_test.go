@@ -9,6 +9,10 @@ func TestClusterThroughputSmoke(t *testing.T) {
 	for _, cfg := range []ClusterBenchConfig{
 		{Shards: 1, Workers: 4, OpsPerTx: 4, CrossPct: 50, Duration: 50 * time.Millisecond},
 		{Shards: 2, Workers: 4, OpsPerTx: 4, CrossPct: 50, Duration: 50 * time.Millisecond},
+		// Every transaction cross-shard and a longer window: over TCP a
+		// 50ms run can end before any 2PC round survives the retry churn,
+		// and the 2PC assertion below must not flake.
+		{Shards: 2, Workers: 2, OpsPerTx: 4, CrossPct: 100, Duration: 250 * time.Millisecond, Transport: "tcp"},
 	} {
 		res, err := ClusterThroughput(cfg)
 		if err != nil {
@@ -32,5 +36,14 @@ func TestClusterThroughputRejectsBadConfig(t *testing.T) {
 	}
 	if _, err := ClusterThroughput(ClusterBenchConfig{Shards: 1, Workers: 1, OpsPerTx: 1, CrossPct: 101}); err == nil {
 		t.Error("accepted cross_pct 101")
+	}
+	if _, err := ClusterThroughput(ClusterBenchConfig{Shards: 1, Workers: 1, OpsPerTx: 1, Transport: "carrier-pigeon"}); err == nil {
+		t.Error("accepted unknown transport")
+	}
+	if _, err := ClusterThroughput(ClusterBenchConfig{Shards: 1, Workers: 1, OpsPerTx: 1, Transport: "tcp", GroupCommit: true}); err == nil {
+		t.Error("accepted group commit on tcp client")
+	}
+	if _, err := ClusterThroughput(ClusterBenchConfig{Shards: 2, Workers: 1, OpsPerTx: 1, Transport: "tcp", Addrs: []string{"127.0.0.1:1"}}); err == nil {
+		t.Error("accepted addr/shard count mismatch")
 	}
 }

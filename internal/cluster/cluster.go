@@ -77,6 +77,11 @@ type Options struct {
 	// objects and switches schemes locally.  Switch counters aggregate in
 	// Stats().Total.
 	Adaptive *core.Adaptive
+	// WrapTransport, when set, wraps each cross-shard commit's per-shard
+	// protocol transport — the hook the deterministic fault-injection
+	// transport (commitproto.FaultTransport) plugs into, composing with
+	// either the direct or the server transport underneath.
+	WrapTransport func(shard int, tr commitproto.Transport) commitproto.Transport
 	// Durability gives every shard a write-ahead commit log under
 	// Dir/shard<i> and the coordinator a decision log under Dir/coord
 	// (Sync and SegmentSize apply to all of them).  Reopening an existing
@@ -100,6 +105,17 @@ type Cluster struct {
 	serverTransport bool
 	txSeq           atomic.Uint64
 	stats           stats
+
+	// remotes, when non-nil, holds one dialed connection per shard: the
+	// shard Systems are remote stubs and cross-shard commits run over the
+	// connections' protocol transports (NewRemote).  idPrefix namespaces
+	// this client's transaction identifiers on the shared shard servers;
+	// wrapTransport optionally wraps each commit transport (fault
+	// injection); closeHook runs at the end of Close.
+	remotes       []RemoteConn
+	idPrefix      string
+	wrapTransport func(shard int, tr commitproto.Transport) commitproto.Transport
+	closeHook     func() error
 
 	// decisionLog is the coordinator's commit-decision log, nil on a
 	// volatile cluster; decisions holds the recovered decision records
@@ -127,6 +143,7 @@ func New(opts Options) (*Cluster, error) {
 		index:           make(map[*core.System]int, opts.Shards),
 		names:           make([]string, opts.Shards),
 		serverTransport: opts.ServerTransport,
+		wrapTransport:   opts.WrapTransport,
 	}
 	for i := range c.shards {
 		clock := tstamp.NewNodeClock(i, opts.Shards+1)

@@ -7,11 +7,13 @@ import (
 	"math/rand/v2"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"hybridcc/internal/adt"
 	"hybridcc/internal/baseline"
+	"hybridcc/internal/commitproto"
 	"hybridcc/internal/core"
 	"hybridcc/internal/histories"
 	"hybridcc/internal/verify"
@@ -404,18 +406,20 @@ func TestClusterStressGlobalAtomicity(t *testing.T) {
 		name            string
 		serverTransport bool
 		groupCommit     bool
+		faults          bool
 	}{
-		{"direct", false, false},
-		{"server-transport", true, false},
-		{"direct+group-commit", false, true},
+		{"direct", false, false, false},
+		{"server-transport", true, false, false},
+		{"direct+group-commit", false, true, false},
+		{"direct+faults", false, false, true},
 	} {
 		t.Run(cfg.name, func(t *testing.T) {
-			runClusterStress(t, cfg.serverTransport, cfg.groupCommit)
+			runClusterStress(t, cfg.serverTransport, cfg.groupCommit, cfg.faults)
 		})
 	}
 }
 
-func runClusterStress(t *testing.T, serverTransport, groupCommit bool) {
+func runClusterStress(t *testing.T, serverTransport, groupCommit, faults bool) {
 	const (
 		shards  = 4
 		workers = 8
@@ -423,8 +427,31 @@ func runClusterStress(t *testing.T, serverTransport, groupCommit bool) {
 		opening = 1_000
 	)
 	rec := verify.NewRecorder()
-	c, err := New(Options{Shards: shards, LockWait: 2 * time.Second, Sink: rec,
-		ServerTransport: serverTransport, GroupCommit: groupCommit})
+	opts := Options{Shards: shards, LockWait: 2 * time.Second, Sink: rec,
+		ServerTransport: serverTransport, GroupCommit: groupCommit}
+	if faults {
+		// Intermittent scripted faults: every few commit rounds lose a
+		// prepare (the round aborts and is retried), duplicate a commit
+		// decision (receiver idempotence), or lose a commit delivery
+		// (the decision re-apply path heals it).  Atomicity must hold
+		// identically to the fault-free runs.
+		var round atomic.Int64
+		opts.WrapTransport = func(shard int, tr commitproto.Transport) commitproto.Transport {
+			ft := commitproto.NewFaultTransport(tr)
+			switch round.Add(1) % 11 {
+			case 0:
+				ft.Script(commitproto.ClassPrepare, commitproto.DropRequest)
+			case 3:
+				ft.Script(commitproto.ClassPrepare, commitproto.DropReply)
+			case 6:
+				ft.Script(commitproto.ClassCommit, commitproto.Dup)
+			case 9:
+				ft.Script(commitproto.ClassCommit, commitproto.DropRequest)
+			}
+			return ft
+		}
+	}
+	c, err := New(opts)
 	if err != nil {
 		t.Fatal(err)
 	}

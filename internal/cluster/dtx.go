@@ -49,7 +49,7 @@ func (c *Cluster) BeginCtx(ctx context.Context) *DTx {
 	c.stats.begun.Add(1)
 	return &DTx{
 		c:        c,
-		id:       histories.TxID(fmt.Sprintf("T%d", n)),
+		id:       histories.TxID(fmt.Sprintf("T%s%d", c.idPrefix, n)),
 		ctx:      ctx,
 		branches: make(map[*core.System]*core.Tx),
 	}
@@ -150,13 +150,22 @@ func (t *DTx) Commit() error {
 		// recovery merging this transaction across shard logs can tell a
 		// complete merge from one missing a leg (cluster.FinishRecovery).
 		b.tx.SetParticipants(len(order))
-		p := core.TxParticipant{Tx: b.tx}
-		if t.c.serverTransport {
-			s := commitproto.NewServer(t.c.names[b.shard], p)
-			servers = append(servers, s)
-			trs[i] = s
+		if t.c.remotes != nil {
+			// Dialed cluster: the protocol messages travel the shard
+			// connections; the remote server holds the real branch.
+			trs[i] = t.c.remotes[b.shard].Transport()
 		} else {
-			trs[i] = commitproto.NewDirect(t.c.names[b.shard], p)
+			p := core.TxParticipant{Tx: b.tx}
+			if t.c.serverTransport {
+				s := commitproto.NewServer(t.c.names[b.shard], p)
+				servers = append(servers, s)
+				trs[i] = s
+			} else {
+				trs[i] = commitproto.NewDirect(t.c.names[b.shard], p)
+			}
+		}
+		if t.c.wrapTransport != nil {
+			trs[i] = t.c.wrapTransport(b.shard, trs[i])
 		}
 	}
 	dec, ts, err := t.c.coord.RunTransports(t.ctx, t.id, trs)

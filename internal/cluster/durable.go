@@ -173,6 +173,16 @@ func (c *Cluster) Close() error {
 			first = err
 		}
 	}
+	for _, conn := range c.remotes {
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.closeHook != nil {
+		if err := c.closeHook(); err != nil && first == nil {
+			first = err
+		}
+	}
 	return first
 }
 

@@ -64,7 +64,7 @@ func (c *Cluster) BeginReadOnlyCtx(ctx context.Context) *DReadTx {
 	c.stats.begun.Add(1)
 	t := &DReadTx{
 		c:        c,
-		id:       histories.TxID(fmt.Sprintf("R%d", n)),
+		id:       histories.TxID(fmt.Sprintf("R%s%d", c.idPrefix, n)),
 		branches: make([]*core.ReadTx, len(c.shards)),
 	}
 	// Pin first, choose second, activate third: the provisional pins stop
@@ -73,9 +73,13 @@ func (c *Cluster) BeginReadOnlyCtx(ctx context.Context) *DReadTx {
 	for i, sys := range c.shards {
 		t.branches[i] = sys.BeginReadOnlyBranch(ctx, t.id)
 	}
+	// Each branch reports its shard's clock bound — read locally on an
+	// in-process shard, fetched by the ReadBegin RPC on a dialed one — and
+	// the snapshot serializes at the first coordinator timestamp above all
+	// of them.
 	var max histories.Timestamp
-	for _, clk := range c.clocks {
-		if now := clk.Now(); now > max {
+	for _, br := range t.branches {
+		if now := br.ClockBound(); now > max {
 			max = now
 		}
 	}

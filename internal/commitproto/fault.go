@@ -1,0 +1,238 @@
+package commitproto
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"hybridcc/internal/histories"
+)
+
+// MsgClass partitions protocol messages for fault scripting.
+type MsgClass int
+
+// Message classes.
+const (
+	ClassPrepare MsgClass = iota
+	ClassCommit
+	ClassAbort
+	numClasses
+)
+
+// FaultAction is one scripted behaviour applied to a single message.
+type FaultAction int
+
+// Fault actions.  Each consumed action applies to exactly one message of
+// its class; messages with no pending action pass through untouched.
+const (
+	// PassThrough delivers the message normally (a scripted no-op, useful
+	// to skip the first N messages of a class).
+	PassThrough FaultAction = iota
+	// DropRequest loses the message before it reaches the participant:
+	// nothing is delivered and the sender sees the site as unreachable.
+	DropRequest
+	// DropReply delivers the message but loses the acknowledgement: the
+	// participant acts on it, yet the sender sees the site as unreachable.
+	// This is the classic "decision applied, coordinator unsure" fault.
+	DropReply
+	// Delay delivers the message after the transport's configured delay.
+	Delay
+	// Dup delivers the message twice back to back, exercising receiver
+	// idempotence.
+	Dup
+	// Hold captures the message without delivering it; ReleaseHeld later
+	// delivers all held messages in capture order.  The sender sees the
+	// site as unreachable now — when the message is a decision, delivery
+	// happens after the sender has moved on, reordering decision delivery
+	// against subsequent traffic.
+	Hold
+)
+
+// FaultTransport wraps another Transport with deterministic, scripted
+// fault injection: per message class, a FIFO script of actions is
+// consumed one action per message.  Unlike Server's crash/timeout model,
+// every fault here is chosen in advance by the test, so failure
+// interleavings reproduce exactly.  It composes with any Transport —
+// Direct, Server, or a network shard client — making the 2PC crash
+// suites runnable unchanged over each.
+type FaultTransport struct {
+	inner Transport
+
+	mu          sync.Mutex
+	script      [numClasses][]FaultAction
+	held        []func()
+	partitioned bool
+	delay       time.Duration
+	delivered   [numClasses]int
+}
+
+var _ Transport = (*FaultTransport)(nil)
+
+// NewFaultTransport wraps inner with an empty script (all messages pass
+// through) and a default Delay duration of 10ms.
+func NewFaultTransport(inner Transport) *FaultTransport {
+	return &FaultTransport{inner: inner, delay: 10 * time.Millisecond}
+}
+
+// Script appends actions to the class's FIFO script.
+func (f *FaultTransport) Script(class MsgClass, actions ...FaultAction) {
+	f.mu.Lock()
+	f.script[class] = append(f.script[class], actions...)
+	f.mu.Unlock()
+}
+
+// SetDelay sets the duration used by Delay actions.
+func (f *FaultTransport) SetDelay(d time.Duration) {
+	f.mu.Lock()
+	f.delay = d
+	f.mu.Unlock()
+}
+
+// SetPartitioned toggles a full partition: while set, every message of
+// every class is dropped before delivery (scripts are not consumed).
+func (f *FaultTransport) SetPartitioned(p bool) {
+	f.mu.Lock()
+	f.partitioned = p
+	f.mu.Unlock()
+}
+
+// ReleaseHeld delivers every held message in capture order and returns
+// how many were released.
+func (f *FaultTransport) ReleaseHeld() int {
+	f.mu.Lock()
+	held := f.held
+	f.held = nil
+	f.mu.Unlock()
+	for _, deliver := range held {
+		deliver()
+	}
+	return len(held)
+}
+
+// HeldCount reports how many captured messages await ReleaseHeld.
+func (f *FaultTransport) HeldCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.held)
+}
+
+// Delivered reports how many messages of class actually reached the inner
+// transport (dup deliveries count twice, held ones on release).
+func (f *FaultTransport) Delivered(class MsgClass) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.delivered[class]
+}
+
+// next consumes the class's next scripted action, honouring partition.
+func (f *FaultTransport) next(class MsgClass) (FaultAction, time.Duration, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.partitioned {
+		return DropRequest, 0, true
+	}
+	s := f.script[class]
+	if len(s) == 0 {
+		return PassThrough, f.delay, false
+	}
+	f.script[class] = s[1:]
+	return s[0], f.delay, false
+}
+
+func (f *FaultTransport) countDelivery(class MsgClass) {
+	f.mu.Lock()
+	f.delivered[class]++
+	f.mu.Unlock()
+}
+
+func (f *FaultTransport) hold(deliver func()) {
+	f.mu.Lock()
+	f.held = append(f.held, deliver)
+	f.mu.Unlock()
+}
+
+// Name implements Transport.
+func (f *FaultTransport) Name() string { return f.inner.Name() + "+faults" }
+
+// Prepare implements Transport, applying the next scripted prepare fault.
+func (f *FaultTransport) Prepare(ctx context.Context, tx histories.TxID, timeout time.Duration) (histories.Timestamp, bool, bool) {
+	action, delay, _ := f.next(ClassPrepare)
+	deliver := func() (histories.Timestamp, bool, bool) {
+		f.countDelivery(ClassPrepare)
+		return f.inner.Prepare(ctx, tx, timeout)
+	}
+	switch action {
+	case DropRequest:
+		return 0, false, false
+	case DropReply:
+		deliver()
+		return 0, false, false
+	case Delay:
+		time.Sleep(delay)
+		return deliver()
+	case Dup:
+		deliver()
+		return deliver()
+	case Hold:
+		f.hold(func() { deliver() })
+		return 0, false, false
+	default:
+		return deliver()
+	}
+}
+
+// Commit implements Transport, applying the next scripted commit-decision
+// fault.
+func (f *FaultTransport) Commit(ctx context.Context, tx histories.TxID, ts histories.Timestamp, timeout time.Duration) bool {
+	action, delay, _ := f.next(ClassCommit)
+	deliver := func() bool {
+		f.countDelivery(ClassCommit)
+		return f.inner.Commit(ctx, tx, ts, timeout)
+	}
+	switch action {
+	case DropRequest:
+		return false
+	case DropReply:
+		deliver()
+		return false
+	case Delay:
+		time.Sleep(delay)
+		return deliver()
+	case Dup:
+		deliver()
+		return deliver()
+	case Hold:
+		f.hold(func() { deliver() })
+		return false
+	default:
+		return deliver()
+	}
+}
+
+// Abort implements Transport, applying the next scripted abort-decision
+// fault.
+func (f *FaultTransport) Abort(ctx context.Context, tx histories.TxID, timeout time.Duration) bool {
+	action, delay, _ := f.next(ClassAbort)
+	deliver := func() bool {
+		f.countDelivery(ClassAbort)
+		return f.inner.Abort(ctx, tx, timeout)
+	}
+	switch action {
+	case DropRequest:
+		return false
+	case DropReply:
+		deliver()
+		return false
+	case Delay:
+		time.Sleep(delay)
+		return deliver()
+	case Dup:
+		deliver()
+		return deliver()
+	case Hold:
+		f.hold(func() { deliver() })
+		return false
+	default:
+		return deliver()
+	}
+}

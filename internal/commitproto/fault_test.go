@@ -1,0 +1,195 @@
+package commitproto
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// faultPair wires two yes-voting fake participants behind fault
+// transports over the direct transport — the composition the cluster uses
+// for deterministic network-fault tests.
+func faultPair() (a, b *fakeParticipant, fa, fb *FaultTransport) {
+	a, b = newFake(10, true), newFake(25, true)
+	fa = NewFaultTransport(NewDirect("A", a))
+	fb = NewFaultTransport(NewDirect("B", b))
+	return
+}
+
+// A dropped prepare request makes the site unreachable: the round aborts,
+// the dropped site never hears prepare (presumed abort resolves it), and
+// the reachable peer — which voted yes and holds locks — receives the
+// abort decision.
+func TestFaultDroppedPrepareAborts(t *testing.T) {
+	a, b, fa, fb := faultPair()
+	fa.Script(ClassPrepare, DropRequest)
+
+	dec, _, err := coordinator().RunTransports(context.Background(), "T1", []Transport{fa, fb})
+	if dec != Aborted {
+		t.Fatalf("decision = %v, want aborted", dec)
+	}
+	if err == nil {
+		t.Fatal("want an unreachable-participant error")
+	}
+	if got := len(a.prepared); got != 0 {
+		t.Fatalf("dropped site saw %d prepares, want 0", got)
+	}
+	if ts, ok := b.committedTS("T1"); ok {
+		t.Fatalf("peer committed at %d after an aborted round", ts)
+	}
+	if b.abortedCount() != 1 {
+		t.Fatalf("peer aborted %d times, want 1", b.abortedCount())
+	}
+}
+
+// A dropped prepare REPLY is the nastier half: the participant voted yes
+// and prepared, but the coordinator saw it as unreachable.  The round
+// aborts, and the abort decision must still reach the prepared site —
+// otherwise it would hold locks forever.
+func TestFaultDroppedPrepareReply(t *testing.T) {
+	a, _, fa, fb := faultPair()
+	fa.Script(ClassPrepare, DropReply)
+
+	dec, _, _ := coordinator().RunTransports(context.Background(), "T1", []Transport{fa, fb})
+	if dec != Aborted {
+		t.Fatalf("decision = %v, want aborted", dec)
+	}
+	if got := len(a.prepared); got != 1 {
+		t.Fatalf("site saw %d prepares, want 1 (reply dropped, not request)", got)
+	}
+	if a.abortedCount() != 1 {
+		t.Fatalf("prepared site aborted %d times, want 1 — it would hold locks forever", a.abortedCount())
+	}
+}
+
+// Decision-before-delivery: the commit decision to one site is held (not
+// delivered), the coordinator commits anyway — the decision is reached
+// once votes are in; delivery failures cannot reverse it — and the held
+// message delivered later lands the same commit at the same timestamp.
+func TestFaultHeldCommitDeliveredLate(t *testing.T) {
+	a, b, fa, fb := faultPair()
+	fa.Script(ClassCommit, Hold)
+
+	dec, ts, err := coordinator().RunTransports(context.Background(), "T1", []Transport{fa, fb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != Committed {
+		t.Fatalf("decision = %v, want committed (decision precedes delivery)", dec)
+	}
+	if _, ok := a.committedTS("T1"); ok {
+		t.Fatal("held decision delivered early")
+	}
+	if got, ok := b.committedTS("T1"); !ok || got != ts {
+		t.Fatalf("peer committed at %d/%v, want %d", got, ok, ts)
+	}
+	if n := fa.ReleaseHeld(); n != 1 {
+		t.Fatalf("released %d held messages, want 1", n)
+	}
+	if got, ok := a.committedTS("T1"); !ok || got != ts {
+		t.Fatalf("late delivery committed at %d/%v, want %d", got, ok, ts)
+	}
+}
+
+// Duplicated decisions exercise receiver idempotence: the participant
+// sees the commit twice and must land exactly one commit at one
+// timestamp.  (The fake applies blindly; the map makes the second apply
+// a no-op at the same timestamp — mirroring the real participant's
+// ErrTxDone tolerance.)
+func TestFaultDuplicateCommitIdempotent(t *testing.T) {
+	a, _, fa, fb := faultPair()
+	fa.Script(ClassCommit, Dup)
+
+	dec, ts, err := coordinator().RunTransports(context.Background(), "T1", []Transport{fa, fb})
+	if err != nil || dec != Committed {
+		t.Fatalf("round: %v %v", dec, err)
+	}
+	if fa.Delivered(ClassCommit) != 2 {
+		t.Fatalf("delivered %d commits, want 2", fa.Delivered(ClassCommit))
+	}
+	if got, ok := a.committedTS("T1"); !ok || got != ts {
+		t.Fatalf("committed at %d/%v, want %d", got, ok, ts)
+	}
+}
+
+// A partition drops everything: the round aborts and consumes no script.
+func TestFaultPartition(t *testing.T) {
+	a, _, fa, fb := faultPair()
+	fa.SetPartitioned(true)
+
+	dec, _, _ := coordinator().RunTransports(context.Background(), "T1", []Transport{fa, fb})
+	if dec != Aborted {
+		t.Fatalf("decision = %v, want aborted", dec)
+	}
+	if len(a.prepared) != 0 || a.abortedCount() != 0 {
+		t.Fatalf("partitioned site saw traffic: %d prepares, %d aborts", len(a.prepared), a.abortedCount())
+	}
+
+	// Healing the partition lets the next round through.
+	fa.SetPartitioned(false)
+	dec, _, err := coordinator().RunTransports(context.Background(), "T2", []Transport{fa, fb})
+	if err != nil || dec != Committed {
+		t.Fatalf("post-heal round: %v %v", dec, err)
+	}
+}
+
+// PassThrough entries skip healthy messages, so a script can target the
+// Nth message of a class deterministically.
+func TestFaultScriptTargetsNthMessage(t *testing.T) {
+	a, _, fa, fb := faultPair()
+	fa.Script(ClassPrepare, PassThrough, DropRequest)
+
+	if dec, _, err := coordinator().RunTransports(context.Background(), "T1", []Transport{fa, fb}); err != nil || dec != Committed {
+		t.Fatalf("first round: %v %v", dec, err)
+	}
+	if dec, _, _ := coordinator().RunTransports(context.Background(), "T2", []Transport{fa, fb}); dec != Aborted {
+		t.Fatalf("second round = %v, want aborted (scripted drop)", dec)
+	}
+	if got := len(a.prepared); got != 1 {
+		t.Fatalf("site prepared %d times, want 1", got)
+	}
+}
+
+// The crash-path suite shape from transport_test, run through the fault
+// transport: a site that votes no behind a healthy fault transport still
+// aborts the round — the wrapper must not mask votes.
+func TestFaultTransparentVotes(t *testing.T) {
+	a := newFake(10, true)
+	b := newFake(25, false) // votes no
+	fa := NewFaultTransport(NewDirect("A", a))
+	fb := NewFaultTransport(NewDirect("B", b))
+
+	dec, _, err := coordinator().RunTransports(context.Background(), "T1", []Transport{fa, fb})
+	if dec != Aborted {
+		t.Fatalf("decision = %v, want aborted", dec)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("no-vote abort misreported as timeout: %v", err)
+	}
+	if a.abortedCount() != 1 {
+		t.Fatalf("yes-voter aborted %d times, want 1", a.abortedCount())
+	}
+}
+
+// Held abort decisions redeliver too: a round that aborts with one site
+// unreachable must eventually deliver the abort when the site heals, or
+// the prepared branch would hold its locks forever.
+func TestFaultHeldAbortDeliveredLate(t *testing.T) {
+	a, _, fa, fb := faultPair()
+	fa.Script(ClassPrepare, DropReply) // a prepares, coordinator sees it unreachable
+	fa.Script(ClassAbort, Hold)        // ...and the abort is held
+
+	dec, _, _ := coordinator().RunTransports(context.Background(), "T1", []Transport{fa, fb})
+	if dec != Aborted {
+		t.Fatalf("decision = %v, want aborted", dec)
+	}
+	if a.abortedCount() != 0 {
+		t.Fatal("held abort delivered early")
+	}
+	if n := fa.ReleaseHeld(); n != 1 {
+		t.Fatalf("released %d, want 1", n)
+	}
+	if a.abortedCount() != 1 {
+		t.Fatalf("late abort count = %d, want 1", a.abortedCount())
+	}
+}

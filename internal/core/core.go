@@ -150,6 +150,11 @@ type System struct {
 	// adapt is the adaptation controller, nil unless Options.Adaptive.
 	adapt *adaptController
 
+	// remote, when non-nil, makes this a client-side stub for a shard
+	// served in another process (see remote.go): every operation becomes an
+	// RPC and the fields above hold no authoritative state.
+	remote RemoteShard
+
 	// log is the write-ahead commit log, nil unless Options.Durability.
 	log *wal.Log
 	// objmu guards objects (the name→object index recovery replay resolves
@@ -347,8 +352,18 @@ func (s *System) putWaiter(w *waiter) {
 	s.waiterPool.Put(w)
 }
 
-// Stats returns a snapshot of system-wide counters.
+// Stats returns a snapshot of system-wide counters.  On a remote System
+// the serving shard's counters are fetched over the wire (its lock waits,
+// log fsyncs, and recovery counts are the ones that matter); if the shard
+// is unreachable the local client-side counters are returned instead.
 func (s *System) Stats() StatsSnapshot {
+	if s.remote != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), remoteStatsTimeout)
+		defer cancel()
+		if snap, err := s.remote.Stats(ctx); err == nil {
+			return snap
+		}
+	}
 	snap := s.stats.snapshot()
 	if s.log != nil {
 		ls := s.log.Stats()

@@ -257,6 +257,31 @@ func (s *System) AbandonPending() error {
 	return nil
 }
 
+// AbandonPendingTx applies the presumed-abort rule to ONE recovered
+// prepared branch: a shard server resolving its pending set incrementally
+// (decisions and presumed aborts arriving over the wire in any order) uses
+// it instead of the all-at-once AbandonPending.  The abort record is
+// synced so the resolution survives a second crash.
+func (s *System) AbandonPendingTx(id histories.TxID) error {
+	if s.recovered == nil {
+		return fmt.Errorf("hybridcc: AbandonPendingTx(%s): no recovery in progress", id)
+	}
+	for i, r := range s.recovered.pending {
+		if r.Tx != string(id) {
+			continue
+		}
+		if err := s.log.Append(wal.Record{Kind: wal.KindAbort, Tx: r.Tx}); err != nil {
+			return err
+		}
+		if err := s.log.Sync(); err != nil {
+			return err
+		}
+		s.recovered.pending = append(s.recovered.pending[:i], s.recovered.pending[i+1:]...)
+		return nil
+	}
+	return fmt.Errorf("hybridcc: AbandonPendingTx(%s): no such prepared branch", id)
+}
+
 // FinishRecovery completes a standalone System's recovery: presumed-abort
 // every undecided prepared branch, then replay the committed transactions.
 // Call it after registering every object the log references; a Cluster
@@ -379,6 +404,18 @@ func (s *System) objectByName(name histories.ObjID) *Object {
 	s.objmu.Lock()
 	defer s.objmu.Unlock()
 	return s.objects[name]
+}
+
+// LookupObject returns the registered object named name, or nil — the
+// shard server's dispatch from wire names to objects.
+func (s *System) LookupObject(name histories.ObjID) *Object {
+	return s.objectByName(name)
+}
+
+// Objects returns a snapshot of every registered object (map order), for
+// a shard server's statistics endpoint.
+func (s *System) Objects() []*Object {
+	return s.objectsSnapshot(nil)
 }
 
 // SetObjectScheme switches the named object's active concurrency-control

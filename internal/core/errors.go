@@ -22,4 +22,11 @@ var (
 	// ErrExternalTS reports a CommitAt on a System constructed without
 	// Options.ExternalTimestamps.
 	ErrExternalTS = errors.New("hybridcc: external timestamps not enabled for this system")
+
+	// ErrOutcomeUnknown reports a commit whose fate could not be learned:
+	// the request may or may not have reached the remote shard before the
+	// connection failed, and a status probe could not settle it.  The
+	// transaction must NOT be retried blindly — its effects may already be
+	// durable.  Callers surface it instead of retrying.
+	ErrOutcomeUnknown = errors.New("hybridcc: transaction outcome unknown")
 )

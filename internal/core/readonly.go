@@ -56,6 +56,12 @@ type ReadTx struct {
 	ctx context.Context
 	ts  histories.Timestamp
 
+	// bound is the owning shard's clock bound learned when a remote branch
+	// opened (ClockBound); rerr is the sticky error of a remote branch
+	// whose open or activation RPC failed — reads through it fail fast.
+	bound histories.Timestamp
+	rerr  error
+
 	mu      sync.Mutex
 	id      histories.TxID
 	done    bool
@@ -168,8 +174,33 @@ func (s *System) BeginReadOnlyBranch(ctx context.Context, id histories.TxID) *Re
 		ctx:     ctx,
 		touched: make(map[*Object]bool),
 	}
+	if s.remote != nil {
+		// The pin lives on the serving shard; ReadBegin installs it there
+		// and reports the shard clock's bound for timestamp election.  A
+		// failed open leaves a sticky error: reads through the branch fail,
+		// the snapshot as a whole aborts.
+		tx.bound, tx.rerr = s.remote.ReadBegin(ctx, id)
+		return tx
+	}
 	s.readers.pin(tx)
 	return tx
+}
+
+// ClockBound reports the largest timestamp the branch's System may already
+// have issued: the electing coordinator of a cluster-wide snapshot picks a
+// timestamp above every branch's bound.  For a remote branch it is the
+// serving shard's bound, captured when the branch opened.
+func (t *ReadTx) ClockBound() histories.Timestamp {
+	if t.sys.remote != nil {
+		return t.bound
+	}
+	if c, ok := t.sys.clock.(interface{ Now() histories.Timestamp }); ok {
+		return c.Now()
+	}
+	// A clock without Now: drawing a fresh timestamp over-approximates the
+	// bound safely (the election only needs an upper bound on issued
+	// timestamps).
+	return t.sys.clock.Next(0)
 }
 
 // ActivateAt fixes a branch's snapshot timestamp: the compaction pin rises
@@ -177,6 +208,13 @@ func (s *System) BeginReadOnlyBranch(ctx context.Context, id histories.TxID) *Re
 // local commit from here on serializes after the snapshot.  Must be called
 // once, before any read through the branch.
 func (t *ReadTx) ActivateAt(ts histories.Timestamp) {
+	if t.sys.remote != nil {
+		t.ts = ts
+		if t.rerr == nil {
+			t.rerr = t.sys.remote.ReadActivate(t.ctx, t.ID(), ts)
+		}
+		return
+	}
 	t.sys.readers.repin(t, ts)
 	t.ts = ts
 	t.sys.clock.Observe(ts)
@@ -222,7 +260,13 @@ func (t *ReadTx) Commit() error {
 	}
 	t.mu.Unlock()
 
-	t.sys.readers.remove(t)
+	if t.sys.remote != nil {
+		// Release the shard-side pin, best-effort: a lost release resolves
+		// when the connection drops.
+		_ = t.sys.remote.ReadComplete(context.Background(), t.ID(), true)
+	} else {
+		t.sys.readers.remove(t)
+	}
 	if t.sys.opts.Sink != nil {
 		for _, o := range objs {
 			o.recordCompletion(histories.CommitEvent(t.ID(), o.name, t.ts))
@@ -247,7 +291,11 @@ func (t *ReadTx) Abort() error {
 	}
 	t.mu.Unlock()
 
-	t.sys.readers.remove(t)
+	if t.sys.remote != nil {
+		_ = t.sys.remote.ReadComplete(context.Background(), t.ID(), false)
+	} else {
+		t.sys.readers.remove(t)
+	}
 	if t.sys.opts.Sink != nil {
 		for _, o := range objs {
 			o.recordCompletion(histories.AbortEvent(t.ID(), o.name))
@@ -289,6 +337,9 @@ func (o *Object) recordCompletion(e histories.Event) {
 // incrementing the counter; a writer observed at zero has therefore
 // already merged and published everything the reader may observe.
 func (o *Object) ReadCall(t *ReadTx, inv spec.Invocation) (string, error) {
+	if o.sys.remote != nil {
+		return o.remoteReadCall(t, inv)
+	}
 	t.mu.Lock()
 	if t.done {
 		t.mu.Unlock()

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"hybridcc/internal/histories"
+	"hybridcc/internal/spec"
+	"hybridcc/internal/tstamp"
+)
+
+// This file is the client half of the networked cluster: a System whose
+// objects live in another process.  A remote System keeps the whole public
+// surface — Begin/Branch/ReadCall/Stats, the typed wrappers, the recorder
+// feeding Verify — but routes every operation through a RemoteShard
+// instead of the local lock manager.  Locks, intention lists, the WAL, and
+// the clock all live on the serving shard; the local Object structs exist
+// only so registration, scheme introspection, and event recording keep
+// working unchanged on the client.
+//
+// Event recording is client-side: the dialed process records
+// invoke/respond events when an RPC is granted and commit/abort events
+// when the outcome is learned, so a shared Recorder sees one global
+// history across every shard it dialed and Verify proves distributed
+// atomicity without collecting logs from the servers.
+
+// RemoteShard is the wire seam a remote System drives.  One implementation
+// exists: netproto.ShardClient.  Every method is an RPC to the shard
+// process that owns the objects; errors are the transport's (mapped onto
+// the core sentinels where the server reported one).
+type RemoteShard interface {
+	// Register creates (or idempotently re-opens) an object on the shard.
+	// typeName names a built-in specification (baseline.DescriptorFor);
+	// scheme "" means the shard's default.
+	Register(name, typeName, scheme string) error
+	// SetScheme switches the named object's policy on the shard.
+	SetScheme(name, scheme string) error
+
+	// Call executes one update-transaction operation.
+	Call(ctx context.Context, tx histories.TxID, obj histories.ObjID, inv spec.Invocation) (string, error)
+	// Commit commits a single-shard transaction on the shard, returning the
+	// shard-chosen timestamp.  A transport failure after the request may
+	// have reached the shard yields ErrOutcomeUnknown.
+	Commit(ctx context.Context, tx histories.TxID) (histories.Timestamp, error)
+	// Abort aborts the transaction on the shard.
+	Abort(ctx context.Context, tx histories.TxID) error
+	// StampParticipants records, client-side, the site count the next
+	// Prepare for tx carries (the server stamps it into the commit record
+	// for torn-leg detection).
+	StampParticipants(tx histories.TxID, n int)
+
+	// ReadBegin opens a read-only branch on the shard, pinning compaction,
+	// and returns the shard clock's current bound for snapshot-timestamp
+	// election.
+	ReadBegin(ctx context.Context, tx histories.TxID) (histories.Timestamp, error)
+	// ReadActivate fixes the branch's snapshot timestamp.
+	ReadActivate(ctx context.Context, tx histories.TxID, ts histories.Timestamp) error
+	// ReadCall executes one read-only operation at the branch's timestamp.
+	ReadCall(ctx context.Context, tx histories.TxID, obj histories.ObjID, inv spec.Invocation) (string, error)
+	// ReadComplete finishes the branch (commit or abort), releasing its pin.
+	ReadComplete(ctx context.Context, tx histories.TxID, commit bool) error
+
+	// Stats fetches the shard's counters.
+	Stats(ctx context.Context) (StatsSnapshot, error)
+}
+
+// NewRemoteSystem returns a System whose operations execute on r.  The
+// local System holds no data: objects registered on it are mirrored to the
+// shard and kept as stubs for introspection and event recording.  Options
+// matter only for Sink (the recorder) — lock waits, durability, and
+// adaptation are the serving shard's business.
+func NewRemoteSystem(r RemoteShard, opts Options) *System {
+	s := &System{opts: opts, clock: tstamp.NewSource(), remote: r}
+	s.seqSink, _ = opts.Sink.(SeqSink)
+	return s
+}
+
+// Remote returns the shard connection behind a remote System, nil on a
+// local one.
+func (s *System) Remote() RemoteShard { return s.remote }
+
+// remoteStatsTimeout bounds the Stats RPC (Stats has no ctx parameter).
+const remoteStatsTimeout = 5 * time.Second
+
+// remoteRegister mirrors a new object onto the serving shard before the
+// local stub is built.
+func (s *System) remoteRegister(name string, sp spec.Spec, initial string) error {
+	return s.remote.Register(name, sp.Name(), initial)
+}
+
+// remoteCall executes one operation of an update transaction on the shard.
+func (o *Object) remoteCall(t *Tx, inv spec.Invocation) (string, error) {
+	if err := t.enter(); err != nil {
+		return "", err
+	}
+	defer t.exit()
+	s := o.sys
+	s.stats.Calls.Add(1)
+	ctx := t.ctx
+	if err := ctx.Err(); err != nil {
+		return "", fmt.Errorf("hybridcc: %s on %s: %w", inv, o.name, err)
+	}
+	res, err := s.remote.Call(ctx, t.ID(), o.name, inv)
+	if err != nil {
+		return "", err
+	}
+	t.touch(o)
+	o.stats.granted.Add(1)
+	id := t.ID()
+	s.recordDirect(histories.InvokeEvent(id, o.name, inv))
+	s.recordDirect(histories.RespondEvent(id, o.name, res))
+	return res, nil
+}
+
+// recordRemoteCompletion emits the completion events of a remote update
+// transaction: one commit (at ts) or abort event per touched object.
+func (t *Tx) recordRemoteCompletion(commit bool, ts histories.Timestamp) {
+	s := t.sys
+	if s.seqSink == nil {
+		return
+	}
+	id := t.ID()
+	for _, o := range t.touchedObjects() {
+		if commit {
+			s.recordDirect(histories.CommitEvent(id, o.name, ts))
+		} else {
+			s.recordDirect(histories.AbortEvent(id, o.name))
+		}
+	}
+}
+
+// remoteCommit commits a single-shard remote transaction: the shard runs
+// the whole local commit (timestamp draw, WAL append, merge) and reports
+// the timestamp.  An unknowable outcome — the connection died with the
+// request possibly delivered — surfaces as ErrOutcomeUnknown with NO
+// completion events: the transaction stays incomplete in the recorded
+// history (verify-safe either way) rather than recorded with the wrong
+// fate.
+func (t *Tx) remoteCommit() error {
+	t.mu.Lock()
+	if t.status != txActive {
+		t.mu.Unlock()
+		return ErrTxDone
+	}
+	if t.busy || t.prepared {
+		t.mu.Unlock()
+		return ErrTxBusy
+	}
+	t.status = txCommitting
+	ctx := t.ctx
+	t.mu.Unlock()
+
+	ts, err := t.sys.remote.Commit(ctx, t.ID())
+	if err != nil {
+		t.mu.Lock()
+		t.status = txAborted
+		t.mu.Unlock()
+		t.sys.stats.Aborted.Add(1)
+		if errors.Is(err, ErrOutcomeUnknown) {
+			return err
+		}
+		t.recordRemoteCompletion(false, 0)
+		return err
+	}
+	t.mu.Lock()
+	t.ts = ts
+	t.status = txCommitted
+	t.mu.Unlock()
+	t.sys.clock.Observe(ts)
+	t.recordRemoteCompletion(true, ts)
+	t.sys.stats.Committed.Add(1)
+	return nil
+}
+
+// remoteAbort aborts the transaction on the shard, best-effort: the local
+// handle is dead either way, and a lost abort resolves server-side when
+// the connection drops (non-prepared) or by presumed abort (prepared).
+func (t *Tx) remoteAbort() error {
+	t.mu.Lock()
+	if t.status != txActive {
+		t.mu.Unlock()
+		return ErrTxDone
+	}
+	t.status = txAborted
+	t.mu.Unlock()
+	_ = t.sys.remote.Abort(context.Background(), t.ID())
+	t.recordRemoteCompletion(false, 0)
+	t.sys.stats.Aborted.Add(1)
+	return nil
+}
+
+// remoteCommitAt applies an atomic-commitment decision to a remote branch.
+// The decision already travelled to the shard through the commit protocol
+// transport (netproto.ShardClient delivers — and redelivers — it); here we
+// only mark the local handle committed and record its events.  It never
+// fails with anything but ErrTxDone, which the cluster re-apply loop
+// treats as already-applied.
+func (t *Tx) remoteCommitAt(ts histories.Timestamp) error {
+	t.mu.Lock()
+	if t.status != txActive {
+		t.mu.Unlock()
+		return ErrTxDone
+	}
+	t.ts = ts
+	t.status = txCommitted
+	t.mu.Unlock()
+	t.sys.clock.Observe(ts)
+	t.recordRemoteCompletion(true, ts)
+	t.sys.stats.Committed.Add(1)
+	return nil
+}
+
+// remoteReadCall executes one read-only operation at the branch's snapshot
+// timestamp on the shard.
+func (o *Object) remoteReadCall(t *ReadTx, inv spec.Invocation) (string, error) {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return "", ErrTxDone
+	}
+	rerr := t.rerr
+	t.mu.Unlock()
+	if rerr != nil {
+		return "", fmt.Errorf("hybridcc: read of %s at %s: branch unusable: %w", inv, o.name, rerr)
+	}
+	s := o.sys
+	s.stats.Calls.Add(1)
+	ctx := t.ctx
+	if err := ctx.Err(); err != nil {
+		return "", fmt.Errorf("hybridcc: read of %s at %s: %w", inv, o.name, err)
+	}
+	res, err := s.remote.ReadCall(ctx, t.ID(), o.name, inv)
+	if err != nil {
+		return "", err
+	}
+	t.mu.Lock()
+	t.touched[o] = true
+	t.mu.Unlock()
+	o.stats.granted.Add(1)
+	id := t.ID()
+	s.recordDirect(histories.InvokeEvent(id, o.name, inv))
+	s.recordDirect(histories.RespondEvent(id, o.name, res))
+	return res, nil
+}

@@ -218,6 +218,9 @@ func (t *Tx) touchedObjects() []*Object {
 // critical-section pass per object; the timestamp discipline is identical
 // (each transaction still gets its own, distinct timestamp).
 func (t *Tx) Commit() error {
+	if t.sys.remote != nil {
+		return t.remoteCommit()
+	}
 	t.mu.Lock()
 	if t.status != txActive {
 		t.mu.Unlock()
@@ -302,6 +305,9 @@ func (t *Tx) Commit() error {
 // intentions at every touched object.  Aborting a completed transaction is
 // a no-op error (ErrTxDone).
 func (t *Tx) Abort() error {
+	if t.sys.remote != nil {
+		return t.remoteAbort()
+	}
 	t.mu.Lock()
 	if t.status != txActive {
 		t.mu.Unlock()
@@ -333,6 +339,12 @@ func (t *Tx) Abort() error {
 // bound cannot rise after the vote.  Prepare is idempotent while the
 // branch stays unresolved.
 func (t *Tx) Prepare() (histories.Timestamp, error) {
+	if t.sys.remote != nil {
+		// A remote branch never prepares through this handle: the commit
+		// protocol's Prepare travels over the shard connection, which is
+		// itself the commitproto.Transport, and the serving shard votes.
+		return 0, fmt.Errorf("hybridcc: Prepare on remote branch %s (use the shard transport)", t.ID())
+	}
 	t.mu.Lock()
 	if t.status != txActive {
 		t.mu.Unlock()
@@ -383,6 +395,12 @@ func (t *Tx) SetParticipants(n int) {
 	t.mu.Lock()
 	t.participants = n
 	t.mu.Unlock()
+	if t.sys.remote != nil {
+		// The count rides the Prepare RPC so the serving shard stamps it
+		// into its commit record (torn-leg detection works across
+		// processes, not just across in-process shards).
+		t.sys.remote.StampParticipants(t.ID(), n)
+	}
 }
 
 // CommitAt commits with an externally chosen timestamp (from an atomic
@@ -392,6 +410,9 @@ func (t *Tx) SetParticipants(n int) {
 // constructed with Options.ExternalTimestamps, which tells read-only
 // transactions to account for externally timestamped commits.
 func (t *Tx) CommitAt(ts histories.Timestamp) error {
+	if t.sys.remote != nil {
+		return t.remoteCommitAt(ts)
+	}
 	if !t.sys.opts.ExternalTimestamps {
 		return ErrExternalTS
 	}

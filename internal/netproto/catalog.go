@@ -1,0 +1,152 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// A Catalog makes a shard's object registrations durable.  The WAL records
+// operations by object name only; the mapping from names to types and
+// schemes arrives over the wire at registration time and would be lost in
+// a crash — leaving the recovered WAL records unclaimed and the shard
+// unable to replay them.  The catalog persists each (name, type, scheme)
+// triple, fsynced BEFORE the registration is acknowledged to the client,
+// so that any object a client may have logged operations against is
+// re-registerable from local state alone.
+//
+// The file is append-only with the same CRC framing as the wire and the
+// WAL; a torn final record (crash mid-append) is ignored on load.  A
+// scheme switch appends a new record for the same name; the loader keeps
+// the last record per name.
+type Catalog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// CatalogEntry is one durable registration.
+type CatalogEntry struct {
+	Name     string
+	TypeName string
+	Scheme   string
+}
+
+// catalogFile is the file name inside the shard directory.
+const catalogFile = "catalog"
+
+// OpenCatalog opens (creating if absent) the catalog in dir and returns
+// the surviving entries, deduplicated by name with the last scheme kept,
+// in first-registration order.
+func OpenCatalog(dir string) (*Catalog, []CatalogEntry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	path := filepath.Join(dir, catalogFile)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	entries, valid, err := readCatalog(f)
+	if err != nil {
+		_ = f.Close()
+		return nil, nil, err
+	}
+	// Drop a torn tail so the next append starts at a frame boundary.
+	if err := f.Truncate(valid); err != nil {
+		_ = f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, nil, err
+	}
+	// Last record wins per name; preserve first-seen order for replay
+	// determinism.
+	latest := make(map[string]int)
+	var out []CatalogEntry
+	for _, e := range entries {
+		if i, ok := latest[e.Name]; ok {
+			out[i] = e
+			continue
+		}
+		latest[e.Name] = len(out)
+		out = append(out, e)
+	}
+	return &Catalog{f: f}, out, nil
+}
+
+// readCatalog scans every intact frame, returning the entries and the
+// offset where the intact prefix ends.
+func readCatalog(f *os.File) ([]CatalogEntry, int64, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	var entries []CatalogEntry
+	off := 0
+	for {
+		if len(data)-off < frameHeaderSize {
+			break
+		}
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		want := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxPayload || len(data)-off-frameHeaderSize < int(n) {
+			break
+		}
+		payload := data[off+frameHeaderSize : off+frameHeaderSize+int(n)]
+		if crc32.Checksum(payload, castagnoli) != want {
+			break
+		}
+		d := &decoder{buf: payload}
+		e := CatalogEntry{Name: d.str(), TypeName: d.str(), Scheme: d.str()}
+		if d.err != nil || d.off != len(payload) {
+			break
+		}
+		entries = append(entries, e)
+		off += frameHeaderSize + int(n)
+	}
+	return entries, int64(off), nil
+}
+
+// Append durably records one registration: the frame is written and
+// fsynced before Append returns, so an acknowledged registration survives
+// any crash.
+func (c *Catalog) Append(e CatalogEntry) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return errors.New("netproto: catalog closed")
+	}
+	var payload []byte
+	payload = appendString(payload, e.Name)
+	payload = appendString(payload, e.TypeName)
+	payload = appendString(payload, e.Scheme)
+	frame := make([]byte, frameHeaderSize, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	frame = append(frame, payload...)
+	if _, err := c.f.Write(frame); err != nil {
+		return fmt.Errorf("netproto: catalog append: %w", err)
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("netproto: catalog sync: %w", err)
+	}
+	return nil
+}
+
+// Close releases the catalog file.
+func (c *Catalog) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	return err
+}

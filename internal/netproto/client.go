@@ -1,0 +1,678 @@
+package netproto
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"hybridcc/internal/commitproto"
+	"hybridcc/internal/core"
+	"hybridcc/internal/histories"
+	"hybridcc/internal/spec"
+)
+
+// ShardClient is one dialed shard: it implements core.RemoteShard (the
+// operation path of a remote System), and its Transport view implements
+// commitproto.Transport (the 2PC message path of the cluster
+// coordinator), so the same connection pool carries calls, votes, and
+// decisions.  The two interfaces both name Commit and Abort with
+// different shapes, hence the separate Transport adapter.
+//
+// Connections are pinned per transaction: a transaction's first RPC
+// checks a connection out of the pool and every later RPC of that
+// transaction reuses it, until commit or abort returns it.  The server
+// relies on this — a dying connection aborts exactly the unprepared
+// transactions that were pinned to it.
+//
+// Decision delivery is reliable-until-resolved: a commit or abort
+// decision that cannot be delivered now (shard down, connection broken)
+// is retried in the background with backoff until the shard acknowledges
+// it.  Combined with the handshake's pending-branch resolution — a
+// freshly dialed shard in the recovering state is fed decisions from
+// DecisionFor, or presumed aborts — a prepared branch always learns its
+// fate, however many crashes intervene.
+type ShardClient struct {
+	addr   string
+	shard  int
+	shards int
+	opts   ClientOptions
+
+	mu     sync.Mutex
+	idle   []*rpcConn
+	pinned map[histories.TxID]*rpcConn
+	parts  map[histories.TxID]int
+	closed bool
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// ClientOptions configures a ShardClient.
+type ClientOptions struct {
+	// Timeout bounds each RPC round trip (default 5s).
+	Timeout time.Duration
+	// DecisionFor reports the logged commit decision for a transaction, if
+	// any — the client-side decision ledger.  When a dialed shard is
+	// recovering, each of its pending prepared branches is resolved from
+	// this ledger (decision found → commit at its timestamp) or presumed
+	// aborted (not found).  Nil means always presume abort.
+	DecisionFor func(tx histories.TxID) (histories.Timestamp, bool)
+}
+
+// rpcConn is one pooled connection with its buffers.  A connection is
+// used by one RPC at a time (pool checkout or transaction pinning makes
+// it exclusive).
+type rpcConn struct {
+	nc   net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	rbuf []byte
+	wbuf []byte
+}
+
+// DialShard connects to a shard server, verifies the handshake (shard
+// index and count must match what the caller routes by), and resolves the
+// shard's pending branches if it is recovering.
+func DialShard(addr string, shard, shards int, opts ClientOptions) (*ShardClient, error) {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	c := &ShardClient{
+		addr:   addr,
+		shard:  shard,
+		shards: shards,
+		opts:   opts,
+		pinned: make(map[histories.TxID]*rpcConn),
+		parts:  make(map[histories.TxID]int),
+		quit:   make(chan struct{}),
+	}
+	conn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.release(conn)
+	return c, nil
+}
+
+// Name identifies the shard in protocol traces.
+func (c *ShardClient) Name() string { return "shard" + strconv.Itoa(c.shard) }
+
+// Transport returns the commitproto.Transport view of this shard for the
+// cluster coordinator's two-phase commit.
+func (c *ShardClient) Transport() commitproto.Transport { return shardTransport{c} }
+
+// Addr returns the dialed address.
+func (c *ShardClient) Addr() string { return c.addr }
+
+// Close severs the pool and stops background redelivery.
+func (c *ShardClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := append([]*rpcConn(nil), c.idle...)
+	for _, pc := range c.pinned {
+		conns = append(conns, pc)
+	}
+	c.idle, c.pinned = nil, map[histories.TxID]*rpcConn{}
+	c.mu.Unlock()
+	close(c.quit)
+	for _, rc := range conns {
+		_ = rc.nc.Close()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+// dial opens and handshakes a fresh connection.
+func (c *ShardClient) dial() (*rpcConn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.Timeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnavailable, c.addr, err)
+	}
+	rc := &rpcConn{nc: nc, r: bufio.NewReaderSize(nc, 32<<10), w: bufio.NewWriterSize(nc, 32<<10)}
+	resp, err := rc.roundTrip(&message{typ: msgHello, n: protoVersion}, c.opts.Timeout)
+	if err != nil {
+		_ = nc.Close()
+		return nil, fmt.Errorf("%w: %s: handshake: %v", ErrUnavailable, c.addr, err)
+	}
+	if resp.typ != msgHelloResp || resp.n != protoVersion {
+		_ = nc.Close()
+		return nil, fmt.Errorf("netproto: %s: bad handshake response", c.addr)
+	}
+	if int(resp.ts) != c.shard {
+		_ = nc.Close()
+		return nil, fmt.Errorf("netproto: %s serves shard %d, dialed as shard %d", c.addr, resp.ts, c.shard)
+	}
+	if len(resp.ids) == 1 {
+		if n, err := strconv.Atoi(resp.ids[0]); err == nil && n != c.shards {
+			_ = nc.Close()
+			return nil, fmt.Errorf("netproto: %s serves a %d-shard cluster, dialed as %d shards", c.addr, n, c.shards)
+		}
+	}
+	if resp.flag == stateRecovering {
+		if err := c.resolvePending(rc); err != nil {
+			_ = nc.Close()
+			return nil, err
+		}
+	}
+	return rc, nil
+}
+
+// resolvePending drives a recovering shard out of recovery: every pending
+// prepared branch gets its logged decision from the ledger, or a presumed
+// abort.
+func (c *ShardClient) resolvePending(rc *rpcConn) error {
+	resp, err := rc.roundTrip(&message{typ: msgPending}, c.opts.Timeout)
+	if err != nil {
+		return fmt.Errorf("%w: %s: pending query: %v", ErrUnavailable, c.addr, err)
+	}
+	if resp.typ != msgTxList {
+		return fmt.Errorf("netproto: %s: bad pending response", c.addr)
+	}
+	for _, id := range resp.ids {
+		req := &message{typ: msgAbort, tx: id}
+		if c.opts.DecisionFor != nil {
+			if ts, ok := c.opts.DecisionFor(histories.TxID(id)); ok {
+				req = &message{typ: msgDecide, tx: id, ts: uint64(ts)}
+			}
+		}
+		r, err := rc.roundTrip(req, c.opts.Timeout)
+		if err != nil {
+			return fmt.Errorf("%w: %s: resolving %s: %v", ErrUnavailable, c.addr, id, err)
+		}
+		if r.typ == msgErr {
+			return fmt.Errorf("netproto: %s: resolving %s: %s", c.addr, id, r.a)
+		}
+	}
+	return nil
+}
+
+// roundTrip sends one request and reads its response on this connection,
+// bounded by timeout.  Any error poisons the connection (the stream may
+// be desynchronized); the caller must discard it.
+func (rc *rpcConn) roundTrip(req *message, timeout time.Duration) (message, error) {
+	if err := rc.nc.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return message{}, err
+	}
+	var err error
+	rc.wbuf, err = writeMessage(rc.w, rc.wbuf, req)
+	if err != nil {
+		return message{}, err
+	}
+	if err := rc.w.Flush(); err != nil {
+		return message{}, err
+	}
+	var resp message
+	resp, rc.rbuf, err = readMessage(rc.r, rc.rbuf)
+	return resp, err
+}
+
+// timeoutFor folds a context deadline into the default RPC timeout.
+func (c *ShardClient) timeoutFor(ctx context.Context) time.Duration {
+	t := c.opts.Timeout
+	if ctx != nil {
+		if dl, ok := ctx.Deadline(); ok {
+			if d := time.Until(dl); d < t {
+				t = d
+			}
+		}
+	}
+	if t <= 0 {
+		t = time.Millisecond
+	}
+	return t
+}
+
+// connFor returns tx's pinned connection, pinning a pooled or fresh one
+// on first use.
+func (c *ShardClient) connFor(tx histories.TxID) (*rpcConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: client closed", ErrUnavailable)
+	}
+	if rc, ok := c.pinned[tx]; ok {
+		c.mu.Unlock()
+		return rc, nil
+	}
+	var rc *rpcConn
+	if n := len(c.idle); n > 0 {
+		rc = c.idle[n-1]
+		c.idle = c.idle[:n-1]
+	}
+	c.mu.Unlock()
+	if rc == nil {
+		fresh, err := c.dial()
+		if err != nil {
+			return nil, err
+		}
+		rc = fresh
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = rc.nc.Close()
+		return nil, fmt.Errorf("%w: client closed", ErrUnavailable)
+	}
+	c.pinned[tx] = rc
+	c.mu.Unlock()
+	return rc, nil
+}
+
+// anyConn checks out an unpinned connection for a one-shot RPC.
+func (c *ShardClient) anyConn() (*rpcConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: client closed", ErrUnavailable)
+	}
+	var rc *rpcConn
+	if n := len(c.idle); n > 0 {
+		rc = c.idle[n-1]
+		c.idle = c.idle[:n-1]
+	}
+	c.mu.Unlock()
+	if rc != nil {
+		return rc, nil
+	}
+	return c.dial()
+}
+
+// release returns a healthy connection to the pool.
+func (c *ShardClient) release(rc *rpcConn) {
+	c.mu.Lock()
+	if c.closed || len(c.idle) >= 8 {
+		c.mu.Unlock()
+		_ = rc.nc.Close()
+		return
+	}
+	c.idle = append(c.idle, rc)
+	c.mu.Unlock()
+}
+
+// unpin detaches tx's connection, returning it to the pool (healthy) or
+// closing it (broken).
+func (c *ShardClient) unpin(tx histories.TxID, broken bool) {
+	c.mu.Lock()
+	rc := c.pinned[tx]
+	delete(c.pinned, tx)
+	delete(c.parts, tx)
+	c.mu.Unlock()
+	if rc == nil {
+		return
+	}
+	if broken {
+		_ = rc.nc.Close()
+		return
+	}
+	c.release(rc)
+}
+
+// txRPC runs one RPC on tx's pinned connection.  A transport failure
+// closes the pinned connection — the server will abort the transaction's
+// unprepared branch when the close lands, which is exactly the client's
+// intent: the transaction is dead on this shard.
+func (c *ShardClient) txRPC(ctx context.Context, tx histories.TxID, req *message) (message, error) {
+	rc, err := c.connFor(tx)
+	if err != nil {
+		return message{}, err
+	}
+	resp, err := rc.roundTrip(req, c.timeoutFor(ctx))
+	if err != nil {
+		c.unpin(tx, true)
+		return message{}, fmt.Errorf("%w: %s: %v", ErrUnavailable, c.addr, err)
+	}
+	return resp, nil
+}
+
+// oneShot runs one RPC on any pooled connection.
+func (c *ShardClient) oneShot(ctx context.Context, req *message) (message, error) {
+	rc, err := c.anyConn()
+	if err != nil {
+		return message{}, err
+	}
+	resp, err := rc.roundTrip(req, c.timeoutFor(ctx))
+	if err != nil {
+		_ = rc.nc.Close()
+		return message{}, fmt.Errorf("%w: %s: %v", ErrUnavailable, c.addr, err)
+	}
+	c.release(rc)
+	return resp, nil
+}
+
+// --- core.RemoteShard ---
+
+// Register implements core.RemoteShard.
+func (c *ShardClient) Register(name, typeName, scheme string) error {
+	resp, err := c.oneShot(context.Background(), &message{typ: msgRegister, obj: name, a: typeName, b: scheme})
+	if err != nil {
+		return err
+	}
+	if resp.typ == msgErr {
+		return errOf(resp.flag, resp.a)
+	}
+	return nil
+}
+
+// SetScheme implements core.RemoteShard.
+func (c *ShardClient) SetScheme(name, scheme string) error {
+	resp, err := c.oneShot(context.Background(), &message{typ: msgSetScheme, obj: name, a: scheme})
+	if err != nil {
+		return err
+	}
+	if resp.typ == msgErr {
+		return errOf(resp.flag, resp.a)
+	}
+	return nil
+}
+
+// Call implements core.RemoteShard.
+func (c *ShardClient) Call(ctx context.Context, tx histories.TxID, obj histories.ObjID, inv spec.Invocation) (string, error) {
+	resp, err := c.txRPC(ctx, tx, &message{typ: msgCall, tx: string(tx), obj: string(obj), a: inv.Name, b: inv.Arg})
+	if err != nil {
+		return "", err
+	}
+	if resp.typ == msgErr {
+		return "", errOf(resp.flag, resp.a)
+	}
+	return resp.a, nil
+}
+
+// Commit implements core.RemoteShard: the single-shard fast path.  When
+// the round trip fails mid-flight the commit may or may not have landed;
+// a status probe on a fresh connection settles it, and an unsettled fate
+// is reported as ErrOutcomeUnknown rather than guessed.
+func (c *ShardClient) Commit(ctx context.Context, tx histories.TxID) (histories.Timestamp, error) {
+	rc, err := c.connFor(tx)
+	if err != nil {
+		// Never reached the shard: nothing to commit, the branch (if any)
+		// dies with its connection.
+		return 0, err
+	}
+	resp, rtErr := rc.roundTrip(&message{typ: msgCommit, tx: string(tx)}, c.timeoutFor(ctx))
+	if rtErr != nil {
+		c.unpin(tx, true)
+		return c.probeCommit(tx)
+	}
+	c.unpin(tx, false)
+	if resp.typ == msgErr {
+		return 0, errOf(resp.flag, resp.a)
+	}
+	if resp.typ != msgTS {
+		return 0, fmt.Errorf("netproto: %s: bad commit response", c.addr)
+	}
+	return histories.Timestamp(resp.ts), nil
+}
+
+// probeCommit asks the shard what became of a commit whose response was
+// lost.
+func (c *ShardClient) probeCommit(tx histories.TxID) (histories.Timestamp, error) {
+	resp, err := c.oneShot(context.Background(), &message{typ: msgTxStatus, tx: string(tx)})
+	if err != nil || resp.typ != msgOutcome {
+		return 0, fmt.Errorf("%w: commit of %s on %s: fate unprobeable", core.ErrOutcomeUnknown, tx, c.addr)
+	}
+	switch resp.flag {
+	case outcomeCommitted:
+		return histories.Timestamp(resp.ts), nil
+	case outcomeAborted:
+		return 0, fmt.Errorf("%w: commit of %s on %s aborted with the connection", core.ErrTimeout, tx, c.addr)
+	default:
+		return 0, fmt.Errorf("%w: commit of %s on %s still in flight", core.ErrOutcomeUnknown, tx, c.addr)
+	}
+}
+
+// Abort implements core.RemoteShard (best-effort: a lost abort resolves
+// server-side when the pinned connection closes).
+func (c *ShardClient) Abort(ctx context.Context, tx histories.TxID) error {
+	resp, err := c.txRPC(ctx, tx, &message{typ: msgAbort, tx: string(tx)})
+	if err != nil {
+		return err
+	}
+	c.unpin(tx, false)
+	if resp.typ == msgErr {
+		return errOf(resp.flag, resp.a)
+	}
+	return nil
+}
+
+// StampParticipants implements core.RemoteShard: the count rides the next
+// Prepare for tx.
+func (c *ShardClient) StampParticipants(tx histories.TxID, n int) {
+	c.mu.Lock()
+	if !c.closed {
+		c.parts[tx] = n
+	}
+	c.mu.Unlock()
+}
+
+// ReadBegin implements core.RemoteShard.
+func (c *ShardClient) ReadBegin(ctx context.Context, tx histories.TxID) (histories.Timestamp, error) {
+	resp, err := c.txRPC(ctx, tx, &message{typ: msgReadBegin, tx: string(tx)})
+	if err != nil {
+		return 0, err
+	}
+	if resp.typ == msgErr {
+		c.unpin(tx, false)
+		return 0, errOf(resp.flag, resp.a)
+	}
+	return histories.Timestamp(resp.ts), nil
+}
+
+// ReadActivate implements core.RemoteShard.
+func (c *ShardClient) ReadActivate(ctx context.Context, tx histories.TxID, ts histories.Timestamp) error {
+	resp, err := c.txRPC(ctx, tx, &message{typ: msgReadActivate, tx: string(tx), ts: uint64(ts)})
+	if err != nil {
+		return err
+	}
+	if resp.typ == msgErr {
+		return errOf(resp.flag, resp.a)
+	}
+	return nil
+}
+
+// ReadCall implements core.RemoteShard.
+func (c *ShardClient) ReadCall(ctx context.Context, tx histories.TxID, obj histories.ObjID, inv spec.Invocation) (string, error) {
+	resp, err := c.txRPC(ctx, tx, &message{typ: msgReadCall, tx: string(tx), obj: string(obj), a: inv.Name, b: inv.Arg})
+	if err != nil {
+		return "", err
+	}
+	if resp.typ == msgErr {
+		return "", errOf(resp.flag, resp.a)
+	}
+	return resp.a, nil
+}
+
+// ReadComplete implements core.RemoteShard.
+func (c *ShardClient) ReadComplete(ctx context.Context, tx histories.TxID, commit bool) error {
+	var flag byte
+	if commit {
+		flag = 1
+	}
+	resp, err := c.txRPC(ctx, tx, &message{typ: msgReadComplete, tx: string(tx), flag: flag})
+	if err != nil {
+		return err
+	}
+	c.unpin(tx, false)
+	if resp.typ == msgErr {
+		return errOf(resp.flag, resp.a)
+	}
+	return nil
+}
+
+// Stats implements core.RemoteShard.
+func (c *ShardClient) Stats(ctx context.Context) (core.StatsSnapshot, error) {
+	resp, err := c.oneShot(ctx, &message{typ: msgStats})
+	if err != nil {
+		return core.StatsSnapshot{}, err
+	}
+	if resp.typ == msgErr {
+		return core.StatsSnapshot{}, errOf(resp.flag, resp.a)
+	}
+	var snap core.StatsSnapshot
+	if err := json.Unmarshal(resp.blob, &snap); err != nil {
+		return core.StatsSnapshot{}, err
+	}
+	return snap, nil
+}
+
+// --- commitproto.Transport ---
+
+// shardTransport adapts a ShardClient to commitproto.Transport.
+type shardTransport struct{ c *ShardClient }
+
+var (
+	_ core.RemoteShard      = (*ShardClient)(nil)
+	_ commitproto.Transport = shardTransport{}
+)
+
+// Name implements commitproto.Transport.
+func (t shardTransport) Name() string { return t.c.Name() }
+
+// Prepare implements commitproto.Transport: deliver the prepare request
+// on the transaction's pinned connection and relay the shard's vote.  A
+// transport failure is "unreachable" (ok=false) — the coordinator treats
+// it as a veto, and the shard's branch either died with the connection
+// (unprepared) or resolves by presumed abort.
+func (tr shardTransport) Prepare(ctx context.Context, tx histories.TxID, timeout time.Duration) (histories.Timestamp, bool, bool) {
+	c := tr.c
+	c.mu.Lock()
+	n := c.parts[tx]
+	c.mu.Unlock()
+	rc, err := c.connFor(tx)
+	if err != nil {
+		return 0, false, false
+	}
+	t := c.timeoutFor(ctx)
+	if timeout > 0 && timeout < t {
+		t = timeout
+	}
+	resp, err := rc.roundTrip(&message{typ: msgPrepare, tx: string(tx), n: uint64(n)}, t)
+	if err != nil {
+		c.unpin(tx, true)
+		return 0, false, false
+	}
+	if resp.typ != msgVote || resp.flag != 1 {
+		return 0, false, true
+	}
+	return histories.Timestamp(resp.ts), true, true
+}
+
+// Commit implements commitproto.Transport: deliver the commit decision.
+// A failed delivery is re-attempted in the background until the shard
+// acknowledges — the decision is logged and irreversible, and a prepared
+// branch holds its locks until it learns its fate.
+func (tr shardTransport) Commit(ctx context.Context, tx histories.TxID, ts histories.Timestamp, timeout time.Duration) bool {
+	c := tr.c
+	if c.deliverDecision(tx, &message{typ: msgDecide, tx: string(tx), ts: uint64(ts)}, timeout) {
+		return true
+	}
+	c.redeliver(&message{typ: msgDecide, tx: string(tx), ts: uint64(ts)})
+	return false
+}
+
+// Abort implements commitproto.Transport: deliver the abort decision,
+// with background redelivery on failure (a disowned prepared branch
+// would otherwise hold its locks until the shard restarts).
+func (tr shardTransport) Abort(ctx context.Context, tx histories.TxID, timeout time.Duration) bool {
+	c := tr.c
+	if c.deliverDecision(tx, &message{typ: msgAbort, tx: string(tx)}, timeout) {
+		return true
+	}
+	c.redeliver(&message{typ: msgAbort, tx: string(tx)})
+	return false
+}
+
+// deliverDecision sends a decision on the transaction's pinned connection
+// (falling back to any connection) and unpins on success.
+func (c *ShardClient) deliverDecision(tx histories.TxID, req *message, timeout time.Duration) bool {
+	t := c.opts.Timeout
+	if timeout > 0 && timeout < t {
+		t = timeout
+	}
+	c.mu.Lock()
+	rc := c.pinned[tx]
+	c.mu.Unlock()
+	if rc == nil {
+		var err error
+		rc, err = c.anyConn()
+		if err != nil {
+			return false
+		}
+		resp, err := rc.roundTrip(req, t)
+		if err != nil {
+			_ = rc.nc.Close()
+			return false
+		}
+		c.release(rc)
+		return resp.typ != msgErr
+	}
+	resp, err := rc.roundTrip(req, t)
+	if err != nil {
+		c.unpin(tx, true)
+		return false
+	}
+	c.unpin(tx, false)
+	return resp.typ != msgErr
+}
+
+// redeliver retries a decision in the background until the shard
+// acknowledges it or the client closes.  Redialing runs the handshake,
+// whose pending-branch resolution may deliver the decision first — the
+// retry then lands on an already-resolved branch and acknowledges
+// idempotently.
+func (c *ShardClient) redeliver(req *message) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.wg.Add(1)
+	c.mu.Unlock()
+	go func() {
+		defer c.wg.Done()
+		backoff := 100 * time.Millisecond
+		for {
+			select {
+			case <-c.quit:
+				return
+			case <-time.After(backoff):
+			}
+			rc, err := c.anyConn()
+			if err == nil {
+				resp, rtErr := rc.roundTrip(req, c.opts.Timeout)
+				if rtErr == nil {
+					c.release(rc)
+					if resp.typ != msgErr || errors.Is(errOf(resp.flag, resp.a), core.ErrTxDone) {
+						return
+					}
+				} else {
+					_ = rc.nc.Close()
+				}
+			}
+			if backoff < 2*time.Second {
+				backoff *= 2
+			}
+		}
+	}()
+}
+
+// Ping checks liveness over any pooled connection.
+func (c *ShardClient) Ping(ctx context.Context) error {
+	resp, err := c.oneShot(ctx, &message{typ: msgPing})
+	if err != nil {
+		return err
+	}
+	if resp.typ == msgErr {
+		return errOf(resp.flag, resp.a)
+	}
+	return nil
+}

@@ -1,0 +1,665 @@
+package netproto
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hybridcc/internal/baseline"
+	"hybridcc/internal/ccpolicy"
+	"hybridcc/internal/core"
+	"hybridcc/internal/histories"
+	"hybridcc/internal/spec"
+)
+
+// Server serves one shard — a core.System — over the wire protocol.  One
+// goroutine per connection runs a synchronous request/response loop;
+// transactions are pinned by the client to one connection each, so a
+// blocking lock wait stalls only its own transaction's connection.
+//
+// The server is the 2PC participant: Prepare freezes a branch and reports
+// its vote and timestamp bound, a decision message commits it at the
+// coordinator-chosen timestamp, an abort message rolls it back.  A
+// connection that dies aborts its unprepared transactions (their client
+// can no longer decide anything for them) but leaves prepared branches
+// alive and disowned: under presumed abort, a prepared participant may
+// not unilaterally abort, and the decision may arrive later on any
+// connection — including a brand-new one after the coordinator redials.
+//
+// After a crash, a server whose WAL holds prepared-but-undecided branches
+// starts in the recovering state: it answers handshakes, status probes,
+// and resolution traffic only, refusing new work until every pending
+// branch is resolved by a decision (commit at its timestamp) or an abort
+// (presumed abort made explicit).  The moment the pending set drains, the
+// committed log replays and the shard serves again.
+type Server struct {
+	sys    *core.System
+	shard  int
+	shards int
+	opts   ServerOptions
+
+	mu         sync.Mutex
+	ln         net.Listener
+	conns      map[*serverConn]bool
+	txs        map[histories.TxID]*txEntry
+	reads      map[histories.TxID]*readEntry
+	outcomes   map[histories.TxID]txOutcome
+	order      []histories.TxID
+	recovering bool
+	pending    map[histories.TxID]bool
+	closed     bool
+
+	wg sync.WaitGroup
+}
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// Catalog, when non-nil, makes registrations durable (fsynced before
+	// acknowledgement).  A volatile server (tests, benchmarks) leaves it
+	// nil.
+	Catalog *Catalog
+}
+
+// txEntry tracks one update transaction's branch on this shard.
+type txEntry struct {
+	tx       *core.Tx
+	owner    *serverConn // nil once disowned (prepared, connection lost)
+	prepared bool
+}
+
+// readEntry tracks one read-only branch.
+type readEntry struct {
+	r     *core.ReadTx
+	owner *serverConn
+}
+
+// txOutcome is a remembered completion, for status probes.
+type txOutcome struct {
+	status byte
+	ts     histories.Timestamp
+}
+
+// outcomeCap bounds the remembered-outcome ring; older outcomes are
+// forgotten (probes then answer unknown, which callers treat as presumed
+// abort only when the shard has no trace at all).
+const outcomeCap = 65536
+
+// serverConn is one client connection.
+type serverConn struct {
+	nc     net.Conn
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// NewServer wraps sys as a served shard.  If sys recovered
+// prepared-but-undecided branches from its WAL, the server starts in the
+// recovering state and FinishRecovery is deferred until every branch is
+// resolved over the wire; otherwise recovery completes here and the
+// server starts serving.
+func NewServer(sys *core.System, shard, shards int, opts ServerOptions) (*Server, error) {
+	s := &Server{
+		sys:      sys,
+		shard:    shard,
+		shards:   shards,
+		opts:     opts,
+		conns:    make(map[*serverConn]bool),
+		txs:      make(map[histories.TxID]*txEntry),
+		reads:    make(map[histories.TxID]*readEntry),
+		outcomes: make(map[histories.TxID]txOutcome),
+	}
+	for _, tx := range sys.RecoveredCommitted() {
+		s.rememberLocked(tx.ID, txOutcome{status: outcomeCommitted, ts: tx.TS})
+	}
+	pend := sys.RecoveredPending()
+	if len(pend) == 0 {
+		if err := sys.FinishRecovery(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	s.recovering = true
+	s.pending = make(map[histories.TxID]bool, len(pend))
+	for _, tx := range pend {
+		s.pending[tx.ID] = true
+	}
+	return s, nil
+}
+
+// Recovering reports whether the shard is still resolving recovered
+// prepared branches.
+func (s *Server) Recovering() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovering
+}
+
+// System returns the served shard.
+func (s *Server) System() *core.System { return s.sys }
+
+// Serve accepts connections on ln until Shutdown.  It returns when the
+// listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("netproto: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		c := &serverConn{nc: nc, ctx: ctx, cancel: cancel}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			cancel()
+			_ = nc.Close()
+			return nil
+		}
+		s.conns[c] = true
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(c)
+	}
+}
+
+// Shutdown stops accepting, waits up to grace for connections to drain,
+// then severs the rest (cancelling their contexts so blocked lock waits
+// unwind) and waits for the handlers to exit.
+func (s *Server) Shutdown(grace time.Duration) {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	deadline := time.Now().Add(grace)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.cancel()
+		_ = c.nc.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// rememberLocked records a completion in the bounded outcome ring.
+// Callers hold s.mu (or run before Serve).
+func (s *Server) rememberLocked(id histories.TxID, o txOutcome) {
+	if _, ok := s.outcomes[id]; !ok {
+		s.order = append(s.order, id)
+		if len(s.order) > outcomeCap {
+			delete(s.outcomes, s.order[0])
+			s.order = s.order[1:]
+		}
+	}
+	s.outcomes[id] = o
+}
+
+// serveConn runs one connection's request loop.
+func (s *Server) serveConn(c *serverConn) {
+	defer s.wg.Done()
+	defer s.dropConn(c)
+	r := bufio.NewReaderSize(c.nc, 32<<10)
+	w := bufio.NewWriterSize(c.nc, 32<<10)
+	var rbuf, wbuf []byte
+	for {
+		m, b, err := readMessage(r, rbuf)
+		if err != nil {
+			return
+		}
+		rbuf = b
+		resp := s.handle(c, &m)
+		wbuf, err = writeMessage(w, wbuf, &resp)
+		if err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dropConn cleans up after a connection: its unprepared transactions
+// abort (their owner can no longer decide for them), its prepared
+// branches are disowned but stay alive awaiting the decision, and its
+// read branches release their pins.
+func (s *Server) dropConn(c *serverConn) {
+	c.cancel()
+	_ = c.nc.Close()
+	var aborts []*core.Tx
+	var reads []*core.ReadTx
+	s.mu.Lock()
+	delete(s.conns, c)
+	for id, e := range s.txs {
+		if e.owner != c {
+			continue
+		}
+		if e.prepared {
+			e.owner = nil
+			continue
+		}
+		aborts = append(aborts, e.tx)
+		s.rememberLocked(id, txOutcome{status: outcomeAborted})
+		delete(s.txs, id)
+	}
+	for id, e := range s.reads {
+		if e.owner == c {
+			reads = append(reads, e.r)
+			delete(s.reads, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, tx := range aborts {
+		_ = tx.Abort()
+	}
+	for _, r := range reads {
+		_ = r.Abort()
+	}
+}
+
+// errMsg builds an error response.
+func errMsg(err error) message {
+	return message{typ: msgErr, flag: codeOf(err), a: err.Error()}
+}
+
+// handle dispatches one request.  It takes s.mu only for table lookups,
+// never across a blocking core call.
+func (s *Server) handle(c *serverConn, m *message) message {
+	switch m.typ {
+	case msgHello:
+		if m.n != protoVersion {
+			return errMsg(fmt.Errorf("netproto: protocol version %d, want %d", m.n, protoVersion))
+		}
+		state := byte(stateServing)
+		s.mu.Lock()
+		if s.recovering {
+			state = stateRecovering
+		}
+		s.mu.Unlock()
+		return message{typ: msgHelloResp, n: protoVersion, ts: uint64(s.shard), flag: state, ids: []string{fmt.Sprint(s.shards)}}
+
+	case msgRegister:
+		if err := s.register(m.obj, m.a, m.b); err != nil {
+			return errMsg(err)
+		}
+		return message{typ: msgOK}
+
+	case msgCall:
+		return s.handleCall(c, m)
+
+	case msgCommit:
+		return s.handleCommit(c, m)
+
+	case msgAbort:
+		return s.handleAbort(m)
+
+	case msgPrepare:
+		return s.handlePrepare(c, m)
+
+	case msgDecide:
+		return s.handleDecide(m)
+
+	case msgReadBegin:
+		if err := s.gate(); err != nil {
+			return errMsg(err)
+		}
+		id := histories.TxID(m.tx)
+		r := s.sys.BeginReadOnlyBranch(c.ctx, id)
+		s.mu.Lock()
+		s.reads[id] = &readEntry{r: r, owner: c}
+		s.mu.Unlock()
+		return message{typ: msgTS, ts: uint64(r.ClockBound())}
+
+	case msgReadActivate:
+		e := s.readEntryOf(histories.TxID(m.tx))
+		if e == nil {
+			return errMsg(fmt.Errorf("netproto: unknown read branch %s", m.tx))
+		}
+		e.r.ActivateAt(histories.Timestamp(m.ts))
+		return message{typ: msgOK}
+
+	case msgReadCall:
+		e := s.readEntryOf(histories.TxID(m.tx))
+		if e == nil {
+			return errMsg(fmt.Errorf("netproto: unknown read branch %s", m.tx))
+		}
+		o := s.sys.LookupObject(histories.ObjID(m.obj))
+		if o == nil {
+			return errMsg(fmt.Errorf("netproto: no object %q on shard %d", m.obj, s.shard))
+		}
+		res, err := o.ReadCall(e.r, spec.Invocation{Name: m.a, Arg: m.b})
+		if err != nil {
+			return errMsg(err)
+		}
+		return message{typ: msgRes, a: res}
+
+	case msgReadComplete:
+		id := histories.TxID(m.tx)
+		s.mu.Lock()
+		e := s.reads[id]
+		delete(s.reads, id)
+		s.mu.Unlock()
+		if e != nil {
+			if m.flag == 1 {
+				_ = e.r.Commit()
+			} else {
+				_ = e.r.Abort()
+			}
+		}
+		return message{typ: msgOK}
+
+	case msgStats:
+		blob, err := json.Marshal(s.sys.Stats())
+		if err != nil {
+			return errMsg(err)
+		}
+		return message{typ: msgBlob, blob: blob}
+
+	case msgPending:
+		s.mu.Lock()
+		ids := make([]string, 0, len(s.pending))
+		for id := range s.pending {
+			ids = append(ids, string(id))
+		}
+		s.mu.Unlock()
+		return message{typ: msgTxList, ids: ids}
+
+	case msgTxStatus:
+		return s.handleTxStatus(m)
+
+	case msgSetScheme:
+		if err := s.sys.SetObjectScheme(m.obj, m.a); err != nil {
+			return errMsg(err)
+		}
+		return message{typ: msgOK}
+
+	case msgPing:
+		return message{typ: msgOK}
+	}
+	return errMsg(fmt.Errorf("netproto: unknown message type %d", m.typ))
+}
+
+// gate refuses new work while recovering.
+func (s *Server) gate() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.recovering {
+		return ErrRecovering
+	}
+	if s.closed {
+		return errors.New("netproto: server shutting down")
+	}
+	return nil
+}
+
+// register creates or idempotently re-opens an object.  The durable
+// catalog record lands (fsynced) before the object exists, so a crash
+// cannot leave WAL records naming an object the shard no longer knows how
+// to rebuild.
+func (s *Server) register(name, typeName, scheme string) error {
+	if scheme == "" {
+		scheme = "hybrid"
+	}
+	if o := s.sys.LookupObject(histories.ObjID(name)); o != nil {
+		if o.Spec().Name() != typeName {
+			return fmt.Errorf("netproto: object %q already registered as %s, not %s", name, o.Spec().Name(), typeName)
+		}
+		if o.Scheme() != scheme {
+			return o.SetScheme(scheme)
+		}
+		return nil
+	}
+	if s.opts.Catalog != nil {
+		if err := s.opts.Catalog.Append(CatalogEntry{Name: name, TypeName: typeName, Scheme: scheme}); err != nil {
+			return err
+		}
+	}
+	_, err := RegisterObject(s.sys, name, typeName, scheme)
+	return err
+}
+
+// RegisterObject builds the full three-scheme policy set for a built-in
+// type and registers it on sys — the shard-side half of a client's
+// registration, also used to replay the catalog at startup.
+func RegisterObject(sys *core.System, name, typeName, scheme string) (*core.Object, error) {
+	if scheme == "" {
+		scheme = "hybrid"
+	}
+	d, ok := baseline.DescriptorFor(typeName)
+	if !ok {
+		return nil, fmt.Errorf("netproto: no built-in type %q (custom specifications cannot travel the wire; register them in the shard process)", typeName)
+	}
+	set := ccpolicy.NewSet()
+	for _, sc := range baseline.Schemes {
+		set.Add(sc, baseline.ConflictFor(sc, typeName), d.Universe)
+	}
+	return sys.NewObjectPolicies(name, d.Spec, set, scheme)
+}
+
+// txEntryOf looks up a transaction entry.
+func (s *Server) txEntryOf(id histories.TxID) *txEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.txs[id]
+}
+
+// readEntryOf looks up a read entry.
+func (s *Server) readEntryOf(id histories.TxID) *readEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reads[id]
+}
+
+// handleCall executes one operation, creating the transaction's branch on
+// first touch.  The branch binds to the connection's context, so a dead
+// client unblocks its own lock waits.
+func (s *Server) handleCall(c *serverConn, m *message) message {
+	if err := s.gate(); err != nil {
+		return errMsg(err)
+	}
+	id := histories.TxID(m.tx)
+	s.mu.Lock()
+	e := s.txs[id]
+	if e == nil {
+		if o, done := s.outcomes[id]; done {
+			s.mu.Unlock()
+			return errMsg(fmt.Errorf("%w (outcome %d)", core.ErrTxDone, o.status))
+		}
+		e = &txEntry{tx: s.sys.BeginBranch(c.ctx, id), owner: c}
+		s.txs[id] = e
+	}
+	if e.owner != c {
+		s.mu.Unlock()
+		return errMsg(fmt.Errorf("netproto: transaction %s owned by another connection", id))
+	}
+	tx := e.tx
+	s.mu.Unlock()
+	o := s.sys.LookupObject(histories.ObjID(m.obj))
+	if o == nil {
+		return errMsg(fmt.Errorf("netproto: no object %q on shard %d", m.obj, s.shard))
+	}
+	res, err := o.Call(tx, spec.Invocation{Name: m.a, Arg: m.b})
+	if err != nil {
+		return errMsg(err)
+	}
+	return message{typ: msgRes, a: res}
+}
+
+// handleCommit runs the single-shard fast path: a local commit drawing the
+// shard clock's timestamp, no coordination.
+func (s *Server) handleCommit(c *serverConn, m *message) message {
+	id := histories.TxID(m.tx)
+	s.mu.Lock()
+	e := s.txs[id]
+	if e == nil || e.owner != c {
+		s.mu.Unlock()
+		if e == nil {
+			return errMsg(fmt.Errorf("%w: no branch of %s on shard %d", core.ErrTxDone, id, s.shard))
+		}
+		return errMsg(fmt.Errorf("netproto: transaction %s owned by another connection", id))
+	}
+	tx := e.tx
+	s.mu.Unlock()
+	if err := tx.Commit(); err != nil {
+		s.mu.Lock()
+		s.rememberLocked(id, txOutcome{status: outcomeAborted})
+		delete(s.txs, id)
+		s.mu.Unlock()
+		return errMsg(err)
+	}
+	ts, _ := tx.Timestamp()
+	s.mu.Lock()
+	s.rememberLocked(id, txOutcome{status: outcomeCommitted, ts: ts})
+	delete(s.txs, id)
+	s.mu.Unlock()
+	return message{typ: msgTS, ts: uint64(ts)}
+}
+
+// handleAbort rolls a branch back.  Unknown transactions acknowledge
+// idempotently (redelivered aborts, presumed-abort probes); while
+// recovering, an abort resolves a pending prepared branch as the
+// presumed-abort rule made explicit.
+func (s *Server) handleAbort(m *message) message {
+	id := histories.TxID(m.tx)
+	s.mu.Lock()
+	if s.recovering && s.pending[id] {
+		// Resolution runs under s.mu: the core resolve/replay calls are
+		// single-threaded by design, and nothing here can re-enter the
+		// server.
+		if err := s.sys.AbandonPendingTx(id); err != nil {
+			s.mu.Unlock()
+			return errMsg(err)
+		}
+		delete(s.pending, id)
+		s.rememberLocked(id, txOutcome{status: outcomeAborted})
+		if len(s.pending) == 0 {
+			if err := s.sys.FinishRecovery(); err != nil {
+				s.mu.Unlock()
+				return errMsg(err)
+			}
+			s.recovering = false
+		}
+		s.mu.Unlock()
+		return message{typ: msgOK}
+	}
+	e := s.txs[id]
+	if e != nil {
+		s.rememberLocked(id, txOutcome{status: outcomeAborted})
+		delete(s.txs, id)
+	}
+	s.mu.Unlock()
+	if e != nil {
+		_ = e.tx.Abort()
+	}
+	return message{typ: msgOK}
+}
+
+// handlePrepare votes on a branch: freeze it, log the vote durably, and
+// report the timestamp bound.  Any failure — unknown branch, logging
+// error — is a no vote.
+func (s *Server) handlePrepare(c *serverConn, m *message) message {
+	if err := s.gate(); err != nil {
+		return errMsg(err)
+	}
+	id := histories.TxID(m.tx)
+	s.mu.Lock()
+	e := s.txs[id]
+	if e == nil || (e.owner != nil && e.owner != c) {
+		s.mu.Unlock()
+		return message{typ: msgVote, flag: 0}
+	}
+	tx := e.tx
+	s.mu.Unlock()
+	tx.SetParticipants(int(m.n))
+	lower, err := tx.Prepare()
+	if err != nil {
+		return message{typ: msgVote, flag: 0}
+	}
+	s.mu.Lock()
+	e.prepared = true
+	s.mu.Unlock()
+	return message{typ: msgVote, flag: 1, ts: uint64(lower)}
+}
+
+// handleDecide applies a coordinator's commit decision at its timestamp.
+// Idempotent: a branch already resolved (or never seen — the decision
+// outran every operation, impossible in-order but possible on redelivery
+// after this shard already applied and forgot) acknowledges cleanly.
+func (s *Server) handleDecide(m *message) message {
+	id := histories.TxID(m.tx)
+	ts := histories.Timestamp(m.ts)
+	s.mu.Lock()
+	if s.recovering && s.pending[id] {
+		if err := s.sys.ResolvePending(id, ts); err != nil {
+			s.mu.Unlock()
+			return errMsg(err)
+		}
+		delete(s.pending, id)
+		s.rememberLocked(id, txOutcome{status: outcomeCommitted, ts: ts})
+		if len(s.pending) == 0 {
+			if err := s.sys.FinishRecovery(); err != nil {
+				s.mu.Unlock()
+				return errMsg(err)
+			}
+			s.recovering = false
+		}
+		s.mu.Unlock()
+		return message{typ: msgOK}
+	}
+	e := s.txs[id]
+	if e != nil {
+		s.rememberLocked(id, txOutcome{status: outcomeCommitted, ts: ts})
+		delete(s.txs, id)
+	}
+	s.mu.Unlock()
+	if e != nil {
+		if err := e.tx.CommitAt(ts); err != nil && !errors.Is(err, core.ErrTxDone) {
+			return errMsg(err)
+		}
+	}
+	return message{typ: msgOK}
+}
+
+// handleTxStatus answers a fate probe: committed (with timestamp),
+// aborted, still pending, or unknown.
+func (s *Server) handleTxStatus(m *message) message {
+	id := histories.TxID(m.tx)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if o, ok := s.outcomes[id]; ok {
+		return message{typ: msgOutcome, flag: o.status, ts: uint64(o.ts)}
+	}
+	if _, ok := s.txs[id]; ok {
+		return message{typ: msgOutcome, flag: outcomePending}
+	}
+	if s.pending[id] {
+		return message{typ: msgOutcome, flag: outcomePending}
+	}
+	return message{typ: msgOutcome, flag: outcomeUnknown}
+}

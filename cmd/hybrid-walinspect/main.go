@@ -103,10 +103,12 @@ func inspect(dir string) error {
 
 func recordLine(r wal.Record) string {
 	kind := map[wal.Kind]string{
-		wal.KindCommit:   "commit",
-		wal.KindPrepared: "prepared",
-		wal.KindAbort:    "abort",
-		wal.KindDecision: "decision",
+		wal.KindCommit:    "commit",
+		wal.KindPrepared:  "prepared",
+		wal.KindAbort:     "abort",
+		wal.KindDecision:  "decision",
+		wal.KindOwner:     "owner",
+		wal.KindDischarge: "discharge",
 	}[r.Kind]
 	line := fmt.Sprintf("%-8s %-6s ts=%d", kind, r.Tx, r.TS)
 	if r.Participants > 0 {

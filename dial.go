@@ -4,6 +4,8 @@ import (
 	crand "crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -22,39 +24,146 @@ var ErrShardUnavailable = netproto.ErrUnavailable
 // WithDialDecisionLog makes a dialed cluster's commit-decision ledger
 // durable in dir: every cross-shard commit decision is fsynced there
 // before any shard is told to commit, and a later Dial from the same dir
-// reloads it.  Without this option the ledger is in-memory — enough to
-// resolve a shard that crashes and restarts while this client lives, but
-// a client that dies with undelivered decisions leaves its prepared
-// shards waiting for some other resolver.
+// reloads it.  The ledger also remembers every transaction-identifier
+// prefix it has dialed under, so a client restarted over the same dir
+// recognizes its crashed incarnations' prepared branches as its own to
+// resolve (and leaves other clients' branches alone).  Entries are pruned
+// once every shard acknowledges the decision durably applied, and the log
+// compacts itself on open when the pruned records dominate, so a
+// long-lived ledger stays bounded.  Without this option the ledger is
+// in-memory — enough to resolve a shard that crashes and restarts while
+// this client lives, but a client that dies with undelivered decisions
+// leaves its prepared shards waiting for some other resolver.
 func WithDialDecisionLog(dir string) Option {
 	return func(c *config) { c.dialDecisionDir = dir }
 }
 
 // decisionLedger remembers the commit decisions a dialed cluster's
-// coordinator has reached, keyed by transaction identifier.  It backs
+// coordinator has reached, keyed by transaction identifier, plus the
+// identifier prefixes this ledger has ever coordinated under.  It backs
 // presumed abort across process boundaries: reconnecting to a recovering
 // shard feeds each of its pending prepared branches the ledgered decision
-// — or, absent one, an abort.
+// — or, for a branch this ledger owns and holds no decision for, an
+// abort.  Branches owned by other clients are not touched.
 type decisionLedger struct {
 	mu        sync.Mutex
 	decisions map[string]int64
+	owners    []string // identifier prefixes, current Dial's last
 	log       *wal.Log // nil: in-memory only
 }
 
-func openDecisionLedger(dir string) (*decisionLedger, error) {
-	l := &decisionLedger{decisions: make(map[string]int64)}
+// ledgerCompactThreshold is the number of dead (discharged or duplicate)
+// records a ledger log tolerates before Open rewrites it; below this,
+// compaction costs more than the space it reclaims.
+const ledgerCompactThreshold = 512
+
+// openDecisionLedger opens (or creates) the ledger, registering prefix as
+// the new incarnation's identifier salt.  A durable ledger recovers any
+// interrupted compaction, reloads undischarged decisions and prior
+// owner prefixes, and compacts the log when dead records dominate.
+func openDecisionLedger(dir, prefix string) (*decisionLedger, error) {
+	l := &decisionLedger{decisions: make(map[string]int64), owners: []string{prefix}}
 	if dir == "" {
 		return l, nil
+	}
+	if err := recoverLedgerCompaction(dir); err != nil {
+		return nil, fmt.Errorf("hybridcc: decision log: %w", err)
 	}
 	dl, recs, err := wal.Open(dir, wal.Options{Sync: true})
 	if err != nil {
 		return nil, fmt.Errorf("hybridcc: decision log: %w", err)
 	}
-	l.log = dl
-	for tx, ts := range wal.Summarize(recs).Decisions {
-		l.decisions[tx] = ts
+	sum := wal.Summarize(recs)
+	l.decisions = sum.Decisions
+	l.owners = append(sum.Owners, prefix)
+
+	live := len(sum.Decisions) + len(sum.Owners)
+	if dead := len(recs) - live; dead > ledgerCompactThreshold && dead > live {
+		if err := dl.Close(); err != nil {
+			return nil, fmt.Errorf("hybridcc: decision log: %w", err)
+		}
+		if err := compactLedgerDir(dir, l.owners, l.decisions); err != nil {
+			return nil, fmt.Errorf("hybridcc: decision log compaction: %w", err)
+		}
+		if dl, _, err = wal.Open(dir, wal.Options{Sync: true}); err != nil {
+			return nil, fmt.Errorf("hybridcc: decision log: %w", err)
+		}
+		// The compact pass wrote the new owner record; nothing to append.
+		l.log = dl
+		return l, nil
 	}
+	if err := dl.AppendSync(wal.Record{Kind: wal.KindOwner, Tx: prefix}); err != nil {
+		_ = dl.Close()
+		return nil, fmt.Errorf("hybridcc: decision log: %w", err)
+	}
+	l.log = dl
 	return l, nil
+}
+
+// compactLedgerDir rewrites the ledger directory to exactly the live
+// records, crash-safely: the live set is written and fsynced into a
+// sibling directory, then swapped in with two renames.  A crash anywhere
+// leaves either the original or the complete copy for
+// recoverLedgerCompaction to settle — never a mix.
+func compactLedgerDir(dir string, owners []string, decisions map[string]int64) error {
+	compact, old := dir+".compact", dir+".old"
+	if err := os.RemoveAll(compact); err != nil {
+		return err
+	}
+	cl, _, err := wal.Open(compact, wal.Options{Sync: true})
+	if err != nil {
+		return err
+	}
+	recs := make([]wal.Record, 0, len(owners)+len(decisions))
+	for _, p := range owners {
+		recs = append(recs, wal.Record{Kind: wal.KindOwner, Tx: p})
+	}
+	for tx, ts := range decisions {
+		recs = append(recs, wal.Record{Kind: wal.KindDecision, Tx: tx, TS: ts})
+	}
+	if len(recs) > 0 {
+		if err := cl.AppendBatchSync(recs); err != nil {
+			_ = cl.Close()
+			return err
+		}
+	}
+	if err := cl.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(dir, old); err != nil {
+		return err
+	}
+	if err := os.Rename(compact, dir); err != nil {
+		return err
+	}
+	return os.RemoveAll(old)
+}
+
+// recoverLedgerCompaction settles a compaction a crash interrupted.  The
+// swap's invariant: dir+".compact" is complete iff dir is absent (the
+// first rename runs only after the copy is fsynced and closed).
+func recoverLedgerCompaction(dir string) error {
+	compact, old := dir+".compact", dir+".old"
+	if _, err := os.Stat(compact); err == nil {
+		if _, derr := os.Stat(dir); derr == nil {
+			// Crashed before the swap: the original is intact and the copy
+			// may be partial — scrap the copy.
+			if err := os.RemoveAll(compact); err != nil {
+				return err
+			}
+		} else if os.IsNotExist(derr) {
+			// Crashed between the renames: the copy is complete — promote it.
+			if err := os.Rename(compact, dir); err != nil {
+				return err
+			}
+		} else {
+			return derr
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	// A leftover ".old" is always superseded, whichever window crashed.
+	return os.RemoveAll(old)
 }
 
 // record is the coordinator's decision hook: remember (and persist, when
@@ -70,12 +179,47 @@ func (l *decisionLedger) record(tx histories.TxID, ts histories.Timestamp) error
 	return nil
 }
 
+// discharge retires a decision every shard has durably applied: no
+// recovery can need it again.  The discharge record is buffered, not
+// fsynced — losing it to a crash merely keeps the decision around, which
+// is safe (stale decisions are garbage, never a hazard).
+func (l *decisionLedger) discharge(tx histories.TxID, _ histories.Timestamp) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.decisions[string(tx)]; !ok {
+		return
+	}
+	delete(l.decisions, string(tx))
+	if l.log != nil {
+		_ = l.log.Append(wal.Record{Kind: wal.KindDischarge, Tx: string(tx)})
+	}
+}
+
 // lookup answers a recovering shard's pending-branch query.
 func (l *decisionLedger) lookup(tx histories.TxID) (histories.Timestamp, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	ts, ok := l.decisions[string(tx)]
 	return histories.Timestamp(ts), ok
+}
+
+// owns reports whether tx was coordinated by this ledger — some
+// incarnation of it minted the identifier ("T<prefix><n>"/"R<prefix><n>").
+// Only owned branches may be presumed aborted on a recovering shard;
+// foreign ones are their own coordinator's to resolve.
+func (l *decisionLedger) owns(tx histories.TxID) bool {
+	id := string(tx)
+	if len(id) > 0 && (id[0] == 'T' || id[0] == 'R') {
+		id = id[1:]
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, p := range l.owners {
+		if strings.HasPrefix(id, p) {
+			return true
+		}
+	}
+	return false
 }
 
 func (l *decisionLedger) close() error {
@@ -108,10 +252,13 @@ func (l *decisionLedger) close() error {
 // Transaction identifiers are salted with a random per-Dial prefix, so
 // concurrent clients of one cluster never collide in the shards' logs.
 // Cross-shard commit decisions go to the client's decision ledger
-// (durable with WithDialDecisionLog) before any shard commits; a shard
+// (durable with WithDialDecisionLog) before any shard commits.  A shard
 // that crashes mid-protocol and restarts is fed its pending decisions
-// from the ledger when this client reconnects, and branches without a
-// ledgered decision presume abort.
+// from the ledger when this client reconnects; branches this client
+// coordinated (under any of the ledger's prefixes) with no ledgered
+// decision presume abort, and branches coordinated by OTHER clients are
+// left pending for their own coordinators — the shard keeps refusing new
+// work until every coordinator has resolved its own.
 //
 // Of the usual Options, WithRecorder (client-local verification) and
 // WithCommitTimeout (here bounding every RPC round trip, not just
@@ -134,7 +281,8 @@ func Dial(addrs []string, setup func(*Cluster) error, opts ...Option) (*Cluster,
 	if _, err := crand.Read(nonce[:]); err != nil {
 		return nil, fmt.Errorf("hybridcc: tx-id nonce: %w", err)
 	}
-	ledger, err := openDecisionLedger(c.dialDecisionDir)
+	prefix := hex.EncodeToString(nonce[:]) + "-"
+	ledger, err := openDecisionLedger(c.dialDecisionDir, prefix)
 	if err != nil {
 		return nil, err
 	}
@@ -144,6 +292,7 @@ func Dial(addrs []string, setup func(*Cluster) error, opts ...Option) (*Cluster,
 		sc, err := netproto.DialShard(addr, i, len(addrs), netproto.ClientOptions{
 			Timeout:     timeout,
 			DecisionFor: ledger.lookup,
+			Owns:        ledger.owns,
 		})
 		if err != nil {
 			for _, prev := range conns[:i] {
@@ -156,10 +305,11 @@ func Dial(addrs []string, setup func(*Cluster) error, opts ...Option) (*Cluster,
 	}
 
 	ropts := cluster.RemoteOptions{
-		CommitTimeout: timeout,
-		IDPrefix:      hex.EncodeToString(nonce[:]) + "-",
-		OnDecision:    ledger.record,
-		CloseHook:     ledger.close,
+		CommitTimeout:      timeout,
+		IDPrefix:           prefix,
+		OnDecision:         ledger.record,
+		OnDecisionResolved: ledger.discharge,
+		CloseHook:          ledger.close,
 	}
 	if c.recorder != nil {
 		ropts.Sink = c.recorder

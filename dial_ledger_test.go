@@ -1,0 +1,235 @@
+package hybridcc
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hybridcc/internal/histories"
+	"hybridcc/internal/wal"
+)
+
+// A reloaded ledger must remember every incarnation's identifier prefix
+// (so a restarted client recognizes its crashed predecessors' branches as
+// its own) and must have forgotten discharged decisions while keeping the
+// undischarged ones.
+func TestDecisionLedgerReloadOwnershipAndDischarge(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ledger")
+
+	l, err := openDecisionLedger(dir, "aaaa-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.record("Taaaa-1", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.record("Taaaa-2", 200); err != nil {
+		t.Fatal(err)
+	}
+	l.discharge("Taaaa-1", 100)
+	if !l.owns("Taaaa-1") || !l.owns("Raaaa-7") {
+		t.Fatal("ledger does not own its own prefix")
+	}
+	if l.owns("Tcccc-1") {
+		t.Fatal("ledger claims a foreign prefix")
+	}
+	if err := l.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new incarnation over the same dir: prior prefixes still owned,
+	// discharged decision gone, live decision kept.
+	l2, err := openDecisionLedger(dir, "bbbb-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.close()
+	if ts, ok := l2.lookup("Taaaa-2"); !ok || ts != 200 {
+		t.Fatalf("lookup(Taaaa-2) = %d, %v; want 200, true", ts, ok)
+	}
+	if _, ok := l2.lookup("Taaaa-1"); ok {
+		t.Fatal("discharged decision survived reload")
+	}
+	for _, id := range []histories.TxID{"Taaaa-9", "Rbbbb-1"} {
+		if !l2.owns(id) {
+			t.Fatalf("reloaded ledger does not own %s", id)
+		}
+	}
+	if l2.owns("Tcccc-1") {
+		t.Fatal("reloaded ledger claims a foreign prefix")
+	}
+}
+
+// A ledger whose log is mostly dead records (discharged decisions) must
+// compact itself on open down to the live set.
+func TestDecisionLedgerCompaction(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ledger")
+
+	l, err := openDecisionLedger(dir, "aaaa-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.record("Taaaa-keep", 5); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600; i++ {
+		tx := histories.TxID(fmt.Sprintf("Taaaa-%d", i))
+		if err := l.record(tx, histories.Timestamp(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+		l.discharge(tx, histories.Timestamp(1000+i))
+	}
+	if err := l.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 1200 dead records against 2 live ones: the reopen must rewrite.
+	l2, err := openDecisionLedger(dir, "bbbb-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts, ok := l2.lookup("Taaaa-keep"); !ok || ts != 5 {
+		t.Fatalf("lookup(Taaaa-keep) = %d, %v after compaction; want 5, true", ts, ok)
+	}
+	if err := l2.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := wal.ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) > 4 {
+		t.Fatalf("compacted log holds %d records, want the live handful", len(recs))
+	}
+	s := wal.Summarize(recs)
+	if len(s.Owners) != 2 || s.Owners[0] != "aaaa-" || s.Owners[1] != "bbbb-" {
+		t.Fatalf("Owners after compaction = %v, want [aaaa- bbbb-]", s.Owners)
+	}
+	if len(s.Decisions) != 1 || s.Decisions["Taaaa-keep"] != 5 {
+		t.Fatalf("Decisions after compaction = %v, want only Taaaa-keep@5", s.Decisions)
+	}
+}
+
+// Both compaction crash windows must recover to a consistent ledger: a
+// partial copy beside an intact original is scrapped; a complete copy
+// whose original was already renamed away is promoted.
+func TestLedgerCompactionCrashWindows(t *testing.T) {
+	// Window 1: crash before the swap — dir intact, dir+".compact" partial.
+	dir := filepath.Join(t.TempDir(), "ledger")
+	l, err := openDecisionLedger(dir, "aaaa-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.record("Taaaa-1", 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir+".compact", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir+".compact", "000001.wal"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := openDecisionLedger(dir, "bbbb-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts, ok := l2.lookup("Taaaa-1"); !ok || ts != 42 {
+		t.Fatalf("original lost to a scrapped partial copy: lookup = %d, %v", ts, ok)
+	}
+	if err := l2.close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir + ".compact"); !os.IsNotExist(err) {
+		t.Fatal("partial compact copy not scrapped")
+	}
+
+	// Window 2: crash between the renames — dir absent, complete copy waiting.
+	dir2 := filepath.Join(t.TempDir(), "ledger")
+	cl, _, err := wal.Open(dir2+".compact", wal.Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AppendSync(wal.Record{Kind: wal.KindOwner, Tx: "aaaa-"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AppendSync(wal.Record{Kind: wal.KindDecision, Tx: "Taaaa-1", TS: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir2+".old", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	l3, err := openDecisionLedger(dir2, "bbbb-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.close()
+	if ts, ok := l3.lookup("Taaaa-1"); !ok || ts != 7 {
+		t.Fatalf("complete compact copy not promoted: lookup = %d, %v", ts, ok)
+	}
+	if !l3.owns("Taaaa-3") {
+		t.Fatal("promoted copy lost the prior owner prefix")
+	}
+	if _, err := os.Stat(dir2 + ".old"); !os.IsNotExist(err) {
+		t.Fatal("superseded .old directory not removed")
+	}
+}
+
+// End to end: a dialed cluster with a durable decision log discharges
+// every decision once all shards acknowledge durable apply, so a clean
+// shutdown leaves the ledger holding no decisions — only owner records.
+func TestDialedDecisionLogPrunedAfterAcks(t *testing.T) {
+	addrs := startNetShards(t, 2)
+	dir := filepath.Join(t.TempDir(), "ledger")
+
+	var out, in *Counter
+	c, err := Dial(addrs, func(cl *Cluster) error {
+		var err error
+		if out, err = counterOn(cl, 0, "out"); err != nil {
+			return err
+		}
+		in, err = counterOn(cl, 1, "in")
+		return err
+	}, WithDialDecisionLog(dir), WithCommitTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 5; i++ {
+		err := c.Atomically(func(tx *DTx) error {
+			if err := out.Inc(tx, 3); err != nil {
+				return err
+			}
+			return in.Inc(tx, 3)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := wal.ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := wal.Summarize(recs)
+	if len(s.Decisions) != 0 {
+		t.Fatalf("ledger still holds %d decisions after acked shutdown: %v", len(s.Decisions), s.Decisions)
+	}
+	if len(s.Owners) != 1 {
+		t.Fatalf("Owners = %v, want the single dialing prefix", s.Owners)
+	}
+	if s.Discharged == 0 {
+		t.Fatal("no discharge records: cross-shard commits were never pruned")
+	}
+}

@@ -288,6 +288,12 @@ func (c *Cluster) Stats() StatsSnapshot {
 		s.Total.AutoGroupCommits += sh.AutoGroupCommits
 		s.Total.LogAppends += sh.LogAppends
 		s.Total.LogFsyncs += sh.LogFsyncs
+		// A shard whose counters could not be fetched contributed only
+		// client-side stub numbers above; taint the total so the sum is
+		// not mistaken for complete.
+		if sh.StatsErr != "" && s.Total.StatsErr == "" {
+			s.Total.StatsErr = fmt.Sprintf("shard %d: %s", i, sh.StatsErr)
+		}
 	}
 	return s
 }

@@ -45,6 +45,12 @@ type RemoteOptions struct {
 	// a shard that crashed after preparing can be fed its decision on
 	// reconnect (netproto's handshake resolution).
 	OnDecision func(tx histories.TxID, ts histories.Timestamp) error
+	// OnDecisionResolved, when set, runs after every shard acknowledged a
+	// commit decision.  The shard server acks a decision only once the
+	// branch's commit record is durable, so the ledger entry OnDecision
+	// wrote for this transaction can never be needed again — the dialing
+	// client uses this to prune its decision ledger.
+	OnDecisionResolved func(tx histories.TxID, ts histories.Timestamp)
 	// CloseHook runs at the end of Close, after every connection closed.
 	CloseHook func() error
 	// WrapTransport, when set, wraps each shard's commit-protocol
@@ -88,6 +94,9 @@ func NewRemote(conns []RemoteConn, opts RemoteOptions) (*Cluster, error) {
 	c.coord = commitproto.NewCoordinator(c.coordClock, opts.CommitTimeout)
 	if opts.OnDecision != nil {
 		c.coord.SetDecisionLog(opts.OnDecision)
+	}
+	if opts.OnDecisionResolved != nil {
+		c.coord.SetDecisionResolved(opts.OnDecisionResolved)
 	}
 	return c, nil
 }

@@ -390,6 +390,11 @@ type Coordinator struct {
 	// delivers it (see SetDecisionLog).
 	decisionLog func(tx histories.TxID, ts histories.Timestamp) error
 
+	// decisionResolved, when set, runs after phase 2 when every
+	// participant acknowledged the commit decision (see
+	// SetDecisionResolved).
+	decisionResolved func(tx histories.TxID, ts histories.Timestamp)
+
 	poolOnce sync.Once
 	pool     *workerPool
 }
@@ -404,6 +409,22 @@ type Coordinator struct {
 // must be safe for concurrent rounds.
 func (c *Coordinator) SetDecisionLog(f func(tx histories.TxID, ts histories.Timestamp) error) {
 	c.decisionLog = f
+}
+
+// SetDecisionResolved installs a hook that runs when a commit decision has
+// been acknowledged by EVERY participant in phase 2 — the round's decision
+// record is then dead weight, since no recovery can ever need it again,
+// and the caller's decision log may retire it.  The hook must only be
+// installed when a transport acknowledgement proves the participant
+// applied the commit durably (the wire transport acks after the branch's
+// commit record is fsynced); an ack that merely means "message delivered"
+// would retire decisions recovery still depends on.  If any delivery
+// fails, the hook does not run — redelivery resolves the branch later, and
+// the decision record stays until some later round's bookkeeping (or
+// nothing: an undischarged decision is only garbage, never a hazard).  Set
+// before the first round; the hook must be safe for concurrent rounds.
+func (c *Coordinator) SetDecisionResolved(f func(tx histories.TxID, ts histories.Timestamp)) {
+	c.decisionResolved = f
 }
 
 // NewCoordinator returns a coordinator drawing timestamps from clock.
@@ -552,8 +573,25 @@ func (c *Coordinator) RunTransports(ctx context.Context, tx histories.TxID, trs 
 			return Aborted, 0, fmt.Errorf("commitproto: decision for %s not logged, aborted: %w", tx, err)
 		}
 	}
+	var acksBuf [4]bool
+	acks := acksBuf[:min(n, len(acksBuf))]
+	if n > len(acksBuf) {
+		acks = make([]bool, n)
+	}
 	c.fanOut(n, func(i int) {
-		trs[i].Commit(context.Background(), tx, ts, c.timeout)
+		acks[i] = trs[i].Commit(context.Background(), tx, ts, c.timeout)
 	})
+	if c.decisionResolved != nil {
+		all := true
+		for _, ok := range acks {
+			if !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			c.decisionResolved(tx, ts)
+		}
+	}
 	return Committed, ts, nil
 }

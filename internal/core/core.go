@@ -355,20 +355,28 @@ func (s *System) putWaiter(w *waiter) {
 // Stats returns a snapshot of system-wide counters.  On a remote System
 // the serving shard's counters are fetched over the wire (its lock waits,
 // log fsyncs, and recovery counts are the ones that matter); if the shard
-// is unreachable the local client-side counters are returned instead.
+// is unreachable the local client-side counters are returned with
+// StatsErr set, so callers can tell a stub fallback from real shard
+// numbers.
 func (s *System) Stats() StatsSnapshot {
+	var remoteErr error
 	if s.remote != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), remoteStatsTimeout)
 		defer cancel()
-		if snap, err := s.remote.Stats(ctx); err == nil {
+		snap, err := s.remote.Stats(ctx)
+		if err == nil {
 			return snap
 		}
+		remoteErr = err
 	}
 	snap := s.stats.snapshot()
 	if s.log != nil {
 		ls := s.log.Stats()
 		snap.LogAppends = ls.Appends
 		snap.LogFsyncs = ls.Fsyncs
+	}
+	if remoteErr != nil {
+		snap.StatsErr = remoteErr.Error()
 	}
 	return snap
 }
@@ -463,6 +471,11 @@ type StatsSnapshot struct {
 	// group commit drives below one.
 	LogAppends int64
 	LogFsyncs  int64
+	// StatsErr is empty for a snapshot of real counters.  On a remote
+	// System whose shard could not be reached, it carries the fetch error
+	// and the other fields are the local client-side stub's counters —
+	// near zero, and not to be mistaken for the shard's.
+	StatsErr string `json:",omitempty"`
 }
 
 func (s *Stats) snapshot() StatsSnapshot {

@@ -35,8 +35,9 @@ import (
 // is retried in the background with backoff until the shard acknowledges
 // it.  Combined with the handshake's pending-branch resolution — a
 // freshly dialed shard in the recovering state is fed decisions from
-// DecisionFor, or presumed aborts — a prepared branch always learns its
-// fate, however many crashes intervene.
+// DecisionFor, and branches this client Owns with no ledgered decision
+// are presumed aborted — a prepared branch always learns its fate from
+// its own coordinator, however many crashes intervene.
 type ShardClient struct {
 	addr   string
 	shard  int
@@ -61,8 +62,18 @@ type ClientOptions struct {
 	// any — the client-side decision ledger.  When a dialed shard is
 	// recovering, each of its pending prepared branches is resolved from
 	// this ledger (decision found → commit at its timestamp) or presumed
-	// aborted (not found).  Nil means always presume abort.
+	// aborted (not found).  Nil means no decisions are known.
 	DecisionFor func(tx histories.TxID) (histories.Timestamp, bool)
+	// Owns reports whether this client coordinated the given transaction
+	// — in practice, whether its identifier carries one of the prefixes
+	// this client's decision ledger has dialed under.  Presumed abort is a
+	// coordinator's rule, so a recovering shard's pending branch may be
+	// aborted only by the client that owns it; a branch that is neither in
+	// the ledger nor owned is left pending for its own coordinator (the
+	// shard keeps refusing new work until every branch resolves — 2PC
+	// blocks rather than guesses).  Nil means this client is the cluster's
+	// sole coordinator and resolves every branch.
+	Owns func(tx histories.TxID) bool
 }
 
 // rpcConn is one pooled connection with its buffers.  A connection is
@@ -167,9 +178,18 @@ func (c *ShardClient) dial() (*rpcConn, error) {
 	return rc, nil
 }
 
-// resolvePending drives a recovering shard out of recovery: every pending
-// prepared branch gets its logged decision from the ledger, or a presumed
-// abort.
+// resolvePending resolves a recovering shard's pending prepared branches —
+// but only the ones this client may speak for.  A branch with a ledgered
+// decision commits at its timestamp (delivering a decision is always safe:
+// only the branch's own coordinator could have logged it).  A branch this
+// client owns but has no decision for is presumed aborted — the owner's
+// log is the authority, and no record there means abort.  A foreign branch
+// is left strictly alone: its coordinator may have logged a commit this
+// client cannot see, and aborting it would tear that transaction across
+// shards.  The shard stays recovering until every branch's owner resolves
+// it (classical 2PC blocking), so this handshake may leave the shard still
+// refusing new work — correct, if inconvenient, and the owner's next dial
+// or background redelivery clears it.
 func (c *ShardClient) resolvePending(rc *rpcConn) error {
 	resp, err := rc.roundTrip(&message{typ: msgPending}, c.opts.Timeout)
 	if err != nil {
@@ -179,17 +199,32 @@ func (c *ShardClient) resolvePending(rc *rpcConn) error {
 		return fmt.Errorf("netproto: %s: bad pending response", c.addr)
 	}
 	for _, id := range resp.ids {
-		req := &message{typ: msgAbort, tx: id}
+		var req *message
+		ledgered := false
 		if c.opts.DecisionFor != nil {
 			if ts, ok := c.opts.DecisionFor(histories.TxID(id)); ok {
 				req = &message{typ: msgDecide, tx: id, ts: uint64(ts)}
+				ledgered = true
 			}
+		}
+		if req == nil {
+			if c.opts.Owns != nil && !c.opts.Owns(histories.TxID(id)) {
+				continue // foreign branch: its coordinator's call, not ours
+			}
+			req = &message{typ: msgAbort, tx: id}
 		}
 		r, err := rc.roundTrip(req, c.opts.Timeout)
 		if err != nil {
 			return fmt.Errorf("%w: %s: resolving %s: %v", ErrUnavailable, c.addr, id, err)
 		}
 		if r.typ == msgErr {
+			if ledgered {
+				// The shard could not durably apply a decided commit (its
+				// log may be failing).  The decision stays ledgered and
+				// redelivery keeps trying; the handshake proceeds so other
+				// branches can still resolve.
+				continue
+			}
 			return fmt.Errorf("netproto: %s: resolving %s: %s", c.addr, id, r.a)
 		}
 	}

@@ -658,6 +658,138 @@ func TestRecoveringShardGatesNewWork(t *testing.T) {
 	}
 }
 
+// A recovering shard's pending branch that belongs to ANOTHER client must
+// not be presumed aborted by whoever connects first: the owner's ledger
+// may hold a commit decision the stranger cannot see, and aborting the
+// branch would tear that transaction across shards.  The stranger's dial
+// succeeds but leaves the branch pending (the shard keeps refusing new
+// work); the owner's connection then resolves it.
+func TestForeignPendingBranchLeftForItsOwner(t *testing.T) {
+	dir := t.TempDir()
+	prepareCrashedShard(t, dir)
+	addr, srv, _ := reopenShard(t, dir)
+
+	stranger := dialTest(t, addr, 0, 1, ClientOptions{
+		Owns: func(histories.TxID) bool { return false },
+	})
+	if !srv.Recovering() {
+		t.Fatal("a non-owning client drove the shard out of recovery")
+	}
+	srv.mu.Lock()
+	stillPending := srv.pending["T-pending"]
+	srv.mu.Unlock()
+	if !stillPending {
+		t.Fatal("foreign branch resolved by a client that does not own it")
+	}
+	if _, err := stranger.Call(context.Background(), "T-x", "ctr", adt.CtrReadInv()); !errors.Is(err, ErrRecovering) {
+		t.Fatalf("call while blocked on a foreign branch: %v, want ErrRecovering", err)
+	}
+
+	// The owner reconnects with its ledgered decision: the branch commits
+	// and the shard serves again.
+	owner := dialTest(t, addr, 0, 1, ClientOptions{
+		DecisionFor: func(tx histories.TxID) (histories.Timestamp, bool) {
+			if tx == "T-pending" {
+				return 90_001, true
+			}
+			return 0, false
+		},
+		Owns: func(tx histories.TxID) bool { return tx == "T-pending" },
+	})
+	if srv.Recovering() {
+		t.Fatal("shard still recovering after the owner resolved its branch")
+	}
+	res, err := owner.Call(context.Background(), "T-new", "ctr", adt.CtrReadInv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != adt.Itoa(107) {
+		t.Fatalf("recovered value %q, want 107 (100 committed + 7 decided)", res)
+	}
+	if _, err := owner.Commit(context.Background(), "T-new"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An owned branch with no ledgered decision is still presumed aborted —
+// the ownership scoping must not weaken the presumed-abort rule for the
+// coordinator's own crashed transactions.
+func TestOwnedPendingBranchPresumedAborted(t *testing.T) {
+	dir := t.TempDir()
+	prepareCrashedShard(t, dir)
+	addr, srv, _ := reopenShard(t, dir)
+
+	c := dialTest(t, addr, 0, 1, ClientOptions{
+		Owns: func(tx histories.TxID) bool { return tx == "T-pending" },
+	})
+	if srv.Recovering() {
+		t.Fatal("owner with no decision did not presume abort")
+	}
+	res, err := c.Call(context.Background(), "T-new", "ctr", adt.CtrReadInv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != adt.Itoa(100) {
+		t.Fatalf("recovered value %q, want 100 (owned leg presumed aborted)", res)
+	}
+	if _, err := c.Commit(context.Background(), "T-new"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A decided commit whose durable apply fails (the shard's log died) must
+// not be acknowledged or remembered as committed: the branch entry stays,
+// status probes answer pending — never a lying committed — and every
+// redelivery is refused until a restart recovers the branch from its
+// prepared record.
+func TestDecideFailureKeepsBranchPending(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := core.OpenSystem(core.Options{
+		Clock:              tstamp.NewNodeClock(0, 2),
+		ExternalTimestamps: true,
+		Durability:         &core.Durability{Dir: filepath.Join(dir, "wal"), Sync: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RegisterObject(sys, "ctr", "Counter", "hybrid"); err != nil {
+		t.Fatal(err)
+	}
+	addr, srv := serveSystem(t, sys, 0, 1, nil)
+
+	c := dialTest(t, addr, 0, 1, ClientOptions{})
+	ctx := context.Background()
+	if _, err := c.Call(ctx, "T1", "ctr", adt.IncInv(5)); err != nil {
+		t.Fatal(err)
+	}
+	tr := c.Transport()
+	lower, vote, ok := tr.Prepare(ctx, "T1", time.Second)
+	if !vote || !ok {
+		t.Fatal("prepare refused")
+	}
+
+	// The shard's log dies under it, as a full disk or pulled volume
+	// would; the decided commit can no longer be made durable.
+	sys.CrashLog()
+	ts := lower + 1000
+
+	if tr.Commit(ctx, "T1", ts, time.Second) {
+		t.Fatal("undurable commit decision acknowledged")
+	}
+	if !srvHasTx(srv, "T1") {
+		t.Fatal("failed decide dropped the branch entry")
+	}
+	if _, err := c.probeCommit("T1"); !errors.Is(err, core.ErrOutcomeUnknown) {
+		t.Fatalf("probe after failed decide: %v, want still-pending (ErrOutcomeUnknown)", err)
+	}
+	if c.deliverDecision("T1", &message{typ: msgDecide, tx: "T1", ts: uint64(ts)}, time.Second) {
+		t.Fatal("redelivered undurable decision acknowledged")
+	}
+	if !srvHasTx(srv, "T1") {
+		t.Fatal("redelivery dropped the failed branch entry")
+	}
+}
+
 func TestCommitOutcomeProbe(t *testing.T) {
 	addr, _ := startShard(t, 0, 1)
 	c := dialTest(t, addr, 0, 1, ClientOptions{})

@@ -70,6 +70,15 @@ type txEntry struct {
 	tx       *core.Tx
 	owner    *serverConn // nil once disowned (prepared, connection lost)
 	prepared bool
+	// deciding marks a commit decision mid-apply: concurrent redeliveries
+	// are refused (retried later) instead of racing the apply.
+	deciding bool
+	// failed marks a branch whose decided commit could not be made
+	// durable (CommitAt failed — the shard's log is likely poisoned).
+	// The entry is kept so status probes answer pending, never a lying
+	// committed; every redelivery is refused until the process restarts
+	// and recovery resolves the branch from its prepared record.
+	failed bool
 }
 
 // readEntry tracks one read-only branch.
@@ -260,7 +269,9 @@ func (s *Server) dropConn(c *serverConn) {
 		if e.owner != c {
 			continue
 		}
-		if e.prepared {
+		if e.prepared || e.deciding || e.failed {
+			// Prepared (or decision-in-flight) branches may not die with
+			// their connection: the decision is the coordinator's alone.
 			e.owner = nil
 			continue
 		}
@@ -569,6 +580,12 @@ func (s *Server) handleAbort(m *message) message {
 		return message{typ: msgOK}
 	}
 	e := s.txs[id]
+	if e != nil && (e.deciding || e.failed) {
+		// A commit decision for this branch is being applied (or failed to
+		// apply durably): an abort now would contradict it.
+		s.mu.Unlock()
+		return errMsg(fmt.Errorf("netproto: %s has a commit decision in flight, abort refused", id))
+	}
 	if e != nil {
 		s.rememberLocked(id, txOutcome{status: outcomeAborted})
 		delete(s.txs, id)
@@ -608,9 +625,13 @@ func (s *Server) handlePrepare(c *serverConn, m *message) message {
 }
 
 // handleDecide applies a coordinator's commit decision at its timestamp.
-// Idempotent: a branch already resolved (or never seen — the decision
-// outran every operation, impossible in-order but possible on redelivery
-// after this shard already applied and forgot) acknowledges cleanly.
+// The acknowledgement means "durably applied": the branch's commit record
+// reached the log (fsynced, when the shard runs with fsync on) before the
+// OK goes out, which is what lets the coordinator retire the decision from
+// its ledger once every shard acked.  Idempotent: a branch already
+// resolved (or never seen — the decision outran every operation,
+// impossible in-order but possible on redelivery after this shard already
+// applied and forgot) acknowledges cleanly.
 func (s *Server) handleDecide(m *message) message {
 	id := histories.TxID(m.tx)
 	ts := histories.Timestamp(m.ts)
@@ -633,16 +654,39 @@ func (s *Server) handleDecide(m *message) message {
 		return message{typ: msgOK}
 	}
 	e := s.txs[id]
-	if e != nil {
-		s.rememberLocked(id, txOutcome{status: outcomeCommitted, ts: ts})
-		delete(s.txs, id)
+	if e == nil {
+		// Already resolved and forgotten, or never seen: acknowledge
+		// idempotently.
+		s.mu.Unlock()
+		return message{typ: msgOK}
 	}
+	if e.failed {
+		s.mu.Unlock()
+		return errMsg(fmt.Errorf("netproto: commit of %s decided but not durably applied (log failure); restart the shard to recover", id))
+	}
+	if e.deciding {
+		s.mu.Unlock()
+		return errMsg(fmt.Errorf("netproto: commit of %s already being applied", id))
+	}
+	e.deciding = true
+	tx := e.tx
 	s.mu.Unlock()
-	if e != nil {
-		if err := e.tx.CommitAt(ts); err != nil && !errors.Is(err, core.ErrTxDone) {
-			return errMsg(err)
-		}
+	// Apply BEFORE recording the outcome or forgetting the branch: a
+	// failed CommitAt (log write error) must leave the entry in place, so
+	// redelivery is refused rather than acked and probes answer pending —
+	// recording success first would turn a lost commit into a lie.
+	err := tx.CommitAt(ts)
+	if err != nil && !errors.Is(err, core.ErrTxDone) {
+		s.mu.Lock()
+		e.deciding = false
+		e.failed = true
+		s.mu.Unlock()
+		return errMsg(err)
 	}
+	s.mu.Lock()
+	s.rememberLocked(id, txOutcome{status: outcomeCommitted, ts: ts})
+	delete(s.txs, id)
+	s.mu.Unlock()
 	return message{typ: msgOK}
 }
 

@@ -52,6 +52,19 @@ const (
 	KindPrepared
 	KindAbort
 	KindDecision
+	// KindOwner registers a transaction-identifier prefix as owned by the
+	// log's writer.  Client decision ledgers use it: each Dial salts its
+	// transaction identifiers with a fresh random prefix, and the durable
+	// ledger must remember every prefix it ever coordinated under, or a
+	// restarted client could not tell its own crashed incarnation's
+	// prepared branches (safe to presume abort) from another client's
+	// (not its call to make).  Tx carries the prefix.
+	KindOwner
+	// KindDischarge retires a decision record: every participant has
+	// durably applied the commit, so recovery will never need it again.
+	// A discharged decision is dropped by Summarize and by log
+	// compaction, which is what keeps a long-lived ledger bounded.
+	KindDischarge
 )
 
 // String implements fmt.Stringer.
@@ -65,6 +78,10 @@ func (k Kind) String() string {
 		return "abort"
 	case KindDecision:
 		return "decision"
+	case KindOwner:
+		return "owner"
+	case KindDischarge:
+		return "discharge"
 	}
 	return fmt.Sprintf("kind(%d)", byte(k))
 }
@@ -208,7 +225,7 @@ func decodePayload(buf []byte) (Record, error) {
 	var r Record
 	r.Kind = Kind(d.byteVal())
 	switch r.Kind {
-	case KindCommit, KindPrepared, KindAbort, KindDecision:
+	case KindCommit, KindPrepared, KindAbort, KindDecision, KindOwner, KindDischarge:
 	default:
 		return r, fmt.Errorf("wal: unknown record kind %d", byte(r.Kind))
 	}
@@ -266,15 +283,25 @@ type Summary struct {
 	Pending []Record
 	// Decisions maps transaction id to the committed decision timestamp
 	// (coordinator logs only; presumed abort means absence is an abort).
+	// Discharged decisions — retired by a later KindDischarge record —
+	// are excluded: every participant durably applied them, so recovery
+	// has no use for them.
 	Decisions map[string]int64
+	// Owners lists the transaction-identifier prefixes registered by
+	// KindOwner records, in first-appearance order, deduplicated.
+	Owners []string
 	// Aborts counts abort records (resolved prepared branches).
 	Aborts int
+	// Discharged counts decisions retired by discharge records — the
+	// garbage a compaction pass would reclaim.
+	Discharged int
 }
 
 // Summarize folds a record stream read from one log directory.
 func Summarize(recs []Record) Summary {
 	s := Summary{Decisions: make(map[string]int64)}
 	committed := make(map[string]bool)
+	owners := make(map[string]bool)
 	pending := make(map[string]int) // tx -> index into s.Pending, -1 when resolved
 	for _, r := range recs {
 		switch r.Kind {
@@ -305,6 +332,16 @@ func Summarize(recs []Record) Summary {
 			}
 		case KindDecision:
 			s.Decisions[r.Tx] = r.TS
+		case KindOwner:
+			if !owners[r.Tx] {
+				owners[r.Tx] = true
+				s.Owners = append(s.Owners, r.Tx)
+			}
+		case KindDischarge:
+			if _, ok := s.Decisions[r.Tx]; ok {
+				delete(s.Decisions, r.Tx)
+				s.Discharged++
+			}
 		}
 	}
 	// Compact tombstoned pending entries.

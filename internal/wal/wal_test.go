@@ -400,3 +400,52 @@ func TestParticipantsRoundTrip(t *testing.T) {
 		t.Fatalf("prepared record Participants = %d, want 0", got[1].Participants)
 	}
 }
+
+func TestOwnerAndDischargeRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []Record{
+		{Kind: KindOwner, Tx: "aaaa-"},
+		{Kind: KindDecision, Tx: "Taaaa-1", TS: 100},
+		{Kind: KindDecision, Tx: "Taaaa-2", TS: 200},
+		{Kind: KindDischarge, Tx: "Taaaa-1"},
+		{Kind: KindOwner, Tx: "aaaa-"}, // duplicate registration
+		{Kind: KindOwner, Tx: "bbbb-"},
+	}
+	for _, r := range seq {
+		if err := l.AppendSync(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(got) != len(seq) {
+		t.Fatalf("reopen returned %d records, want %d", len(got), len(seq))
+	}
+	for i, r := range seq {
+		if got[i].Kind != r.Kind || got[i].Tx != r.Tx || got[i].TS != r.TS {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], r)
+		}
+	}
+
+	s := Summarize(got)
+	if len(s.Owners) != 2 || s.Owners[0] != "aaaa-" || s.Owners[1] != "bbbb-" {
+		t.Fatalf("Owners = %v, want [aaaa- bbbb-] deduped in first-appearance order", s.Owners)
+	}
+	if len(s.Decisions) != 1 || s.Decisions["Taaaa-2"] != 200 {
+		t.Fatalf("Decisions = %v, want only Taaaa-2@200 (Taaaa-1 discharged)", s.Decisions)
+	}
+	if s.Discharged != 1 {
+		t.Fatalf("Discharged = %d, want 1", s.Discharged)
+	}
+}

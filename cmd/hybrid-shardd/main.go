@@ -143,11 +143,17 @@ func main() {
 
 // statsPayload is the /stats response schema.
 type statsPayload struct {
-	Shard   int                `json:"shard"`
-	Shards  int                `json:"shards"`
-	State   string             `json:"state"`
-	Stats   core.StatsSnapshot `json:"stats"`
-	Objects []objectPayload    `json:"objects"`
+	Shard  int    `json:"shard"`
+	Shards int    `json:"shards"`
+	State  string `json:"state"`
+	// Recovering mirrors State == "recovering" as a typed flag, and
+	// PendingBranches counts the prepared-but-undecided 2PC branches still
+	// awaiting their coordinators' decisions; harnesses poll these to know
+	// when a restarted shard has fully settled.
+	Recovering      bool               `json:"recovering"`
+	PendingBranches int                `json:"pending_branches"`
+	Stats           core.StatsSnapshot `json:"stats"`
+	Objects         []objectPayload    `json:"objects"`
 }
 
 type objectPayload struct {
@@ -167,10 +173,12 @@ func startStats(addr string, srv *netproto.Server, shard, shards int) *http.Serv
 			state = "recovering"
 		}
 		p := statsPayload{
-			Shard:  shard,
-			Shards: shards,
-			State:  state,
-			Stats:  srv.System().Stats(),
+			Shard:           shard,
+			Shards:          shards,
+			State:           state,
+			Recovering:      srv.Recovering(),
+			PendingBranches: srv.PendingBranches(),
+			Stats:           srv.System().Stats(),
 		}
 		for _, o := range srv.System().Objects() {
 			p.Objects = append(p.Objects, objectPayload{

@@ -1,0 +1,218 @@
+package hybridcc
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"hybridcc/internal/core"
+	"hybridcc/internal/netproto"
+	"hybridcc/internal/tstamp"
+)
+
+// startNetShardsHandles is startNetShards returning the server handles
+// too, so a test can kill an individual shard mid-run.
+func startNetShardsHandles(t *testing.T, n int) ([]string, []*netproto.Server) {
+	t.Helper()
+	addrs := make([]string, n)
+	srvs := make([]*netproto.Server, n)
+	for i := 0; i < n; i++ {
+		sys := core.NewSystem(core.Options{
+			Clock:              tstamp.NewNodeClock(i, n+1),
+			ExternalTimestamps: true,
+			LockWait:           time.Second,
+			DeadlockDetection:  true,
+		})
+		srv, err := netproto.NewServer(sys, i, n, netproto.ServerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = srv.Serve(ln) }()
+		t.Cleanup(func() { srv.Shutdown(time.Second) })
+		addrs[i] = ln.Addr().String()
+		srvs[i] = srv
+	}
+	return addrs, srvs
+}
+
+// The graceful-degradation contract, end to end through the public API:
+// once one shard's breaker opens, (a) a cross-shard transaction touching
+// the dead shard fails fast with ErrShardDown — no dial-timeout stall —
+// (b) single-shard transactions and reads on healthy shards keep
+// committing, and (c) a cluster-wide snapshot covers the healthy shards
+// and reports the dead one in a typed partial-result error.
+func TestBreakerGracefulDegradation(t *testing.T) {
+	addrs, srvs := startNetShardsHandles(t, 2)
+
+	var ledger *transferLedger
+	c, err := Dial(addrs, func(c *Cluster) error {
+		var err error
+		ledger, err = newTransferLedger(c, 2)
+		return err
+	},
+		// A probe schedule far beyond the test keeps the breaker open once
+		// tripped, so each phase below observes a stable open state.
+		WithShardBreaker(3, BackoffPolicy{Base: 30 * time.Second, Cap: 30 * time.Second}),
+		WithCommitTimeout(2*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Warm up both shards, then kill shard 1.
+	if err := ledger.transfer(c, 0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	srvs[1].Shutdown(time.Second)
+
+	// Trip shard 1's breaker: a deadline-bounded transaction retries
+	// against the dead shard, and every attempt is a consecutive transport
+	// failure.  Loopback dials to a closed port are refused immediately,
+	// so three failures land well inside the deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	err = c.AtomicallyCtx(ctx, func(tx *DTx) error {
+		return ledger.out[1].Inc(tx, 1)
+	})
+	cancel()
+	if err == nil {
+		t.Fatal("transaction against a dead shard committed")
+	}
+
+	// (a) Cross-shard transaction touching the dead shard: ErrShardDown,
+	// typed with the shard index, in well under 10ms.
+	start := time.Now()
+	err = c.Atomically(func(tx *DTx) error {
+		if err := ledger.out[0].Inc(tx, 1); err != nil {
+			return err
+		}
+		return ledger.in[1].Inc(tx, 1)
+	})
+	elapsed := time.Since(start)
+	var down *ShardDownError
+	if !errors.As(err, &down) {
+		t.Fatalf("cross-shard tx on dead shard = %v, want *ShardDownError", err)
+	}
+	if down.Shard != 1 || down.Since.IsZero() {
+		t.Fatalf("ShardDownError = %+v, want shard 1 with a trip time", down)
+	}
+	if elapsed > 10*time.Millisecond {
+		t.Fatalf("open-breaker cross-shard tx took %v, want < 10ms", elapsed)
+	}
+	if errors.Is(err, ErrShardUnavailable) {
+		t.Fatal("ErrShardDown must not match ErrShardUnavailable")
+	}
+
+	// (b) The healthy shard is unaffected: single-shard commits and reads
+	// proceed while shard 1's breaker is open.
+	for i := 0; i < 3; i++ {
+		if err := ledger.transfer(c, 0, 0, 2); err != nil {
+			t.Fatalf("healthy-shard transfer %d while breaker open: %v", i, err)
+		}
+	}
+
+	// (c) A cluster-wide snapshot degrades instead of failing: reads on
+	// shard 0 are served at the snapshot timestamp, Missing names shard 1,
+	// and Commit reports the typed partial-result error.
+	var healthyOut int64
+	snapErr := c.Snapshot(func(r *DReadTx) error {
+		missing := r.Missing()
+		if len(missing) != 1 || missing[0] != 1 {
+			t.Fatalf("snapshot Missing() = %v, want [1]", missing)
+		}
+		v, err := ledger.out[0].ReadAt(r)
+		if err != nil {
+			return err
+		}
+		healthyOut = v
+		return nil
+	})
+	var partial *PartialSnapshotError
+	if !errors.As(snapErr, &partial) {
+		t.Fatalf("partial snapshot commit = %v, want *PartialSnapshotError", snapErr)
+	}
+	if len(partial.Missing) != 1 || partial.Missing[0] != 1 {
+		t.Fatalf("PartialSnapshotError.Missing = %v, want [1]", partial.Missing)
+	}
+	if !errors.Is(snapErr, ErrShardDown) {
+		t.Fatalf("partial snapshot cause = %v, want to unwrap to ErrShardDown", partial.Cause)
+	}
+	// 5 from warm-up plus 3×2 healthy transfers.
+	if healthyOut != 11 {
+		t.Fatalf("healthy-shard snapshot read = %d, want 11", healthyOut)
+	}
+
+	// A read inside the snapshot that does touch the missing shard fails
+	// with the sticky branch error rather than stalling.
+	rerr := c.Snapshot(func(r *DReadTx) error {
+		_, err := ledger.out[1].ReadAt(r)
+		return err
+	})
+	if !errors.Is(rerr, ErrShardDown) {
+		t.Fatalf("read on missing shard = %v, want ErrShardDown", rerr)
+	}
+}
+
+// Without a context deadline, Atomically fails a known-open breaker fast
+// instead of burning its attempt budget; with one, it keeps retrying
+// until the deadline so a recovering shard can be waited out.
+func TestAtomicallyShardDownDeadlineBounding(t *testing.T) {
+	addrs, srvs := startNetShardsHandles(t, 2)
+
+	var ctr *Counter
+	c, err := Dial(addrs, func(c *Cluster) error {
+		var err error
+		ctr, err = counterOn(c, 1, "dl")
+		return err
+	},
+		WithShardBreaker(2, BackoffPolicy{Base: 30 * time.Second, Cap: 30 * time.Second}),
+		WithCommitTimeout(time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Atomically(func(tx *DTx) error { return ctr.Inc(tx, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	srvs[1].Shutdown(time.Second)
+
+	// Trip the breaker (threshold 2) under a deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	_ = c.AtomicallyCtx(ctx, func(tx *DTx) error { return ctr.Inc(tx, 1) })
+	cancel()
+
+	// No deadline: immediate ErrShardDown, not 16 paced retries.
+	start := time.Now()
+	err = c.Atomically(func(tx *DTx) error { return ctr.Inc(tx, 1) })
+	if !errors.Is(err, ErrShardDown) {
+		t.Fatalf("no-deadline tx = %v, want ErrShardDown", err)
+	}
+	if el := time.Since(start); el > 10*time.Millisecond {
+		t.Fatalf("no-deadline fail-fast took %v, want < 10ms", el)
+	}
+
+	// Deadline: the loop retries until the deadline (uncounted attempts)
+	// and surfaces the deadline with the last failure attached.
+	ctx, cancel = context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	err = c.AtomicallyCtx(ctx, func(tx *DTx) error { return ctr.Inc(tx, 1) })
+	el := time.Since(start)
+	if err == nil {
+		t.Fatal("deadline-bounded tx against dead shard committed")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline-bounded tx = %v, want context.DeadlineExceeded", err)
+	}
+	if el < 100*time.Millisecond {
+		t.Fatalf("deadline-bounded tx returned after %v, want to retry until ~150ms", el)
+	}
+}

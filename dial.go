@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"hybridcc/internal/backoff"
 	"hybridcc/internal/cluster"
 	"hybridcc/internal/histories"
 	"hybridcc/internal/netproto"
@@ -20,6 +21,48 @@ import (
 // aborted on every shard (or will resolve by presumed abort), so a fresh
 // attempt is always safe.
 var ErrShardUnavailable = netproto.ErrUnavailable
+
+// ErrShardDown reports a shard whose per-connection circuit breaker is
+// open: enough consecutive transport failures accumulated that the client
+// stopped dialing and now fails requests to that shard immediately,
+// probing for recovery on a jittered exponential schedule.  Unlike
+// ErrShardUnavailable it does NOT mean "try again right now" — the shard
+// was already down moments ago.  Atomically retries it only under a
+// context deadline; without one it returns at once.  errors.As against
+// *ShardDownError recovers which shard and since when.
+var ErrShardDown = netproto.ErrShardDown
+
+// ShardDownError is the typed form of ErrShardDown: the shard index and
+// the time its breaker opened.
+type ShardDownError = netproto.ShardDownError
+
+// PartialSnapshotError reports a cluster-wide snapshot that covered only
+// part of the cluster because some shards' read branches could not be
+// opened (shard down, breaker open).  Reads on the healthy shards were
+// still consistent at the snapshot timestamp; Missing names the shards
+// that were not observed.  Returned by DReadTx.Commit (and so by
+// Snapshot/SnapshotCtx) on a dialed cluster with unreachable shards.
+type PartialSnapshotError = cluster.PartialSnapshotError
+
+// BackoffPolicy is a jittered exponential backoff schedule: delays start
+// at Base, double per attempt up to Cap, and each is equal-jittered into
+// [d/2, d].  The zero value means the default schedule (100ms → 2s).
+type BackoffPolicy = backoff.Policy
+
+// WithShardBreaker tunes Dial's per-shard circuit breakers.  threshold is
+// the number of CONSECUTIVE transport failures that opens a breaker
+// (0 keeps the default of 3; negative disables the breakers entirely);
+// probe is the jittered exponential schedule for half-open recovery
+// probes (zero keeps the default of 100ms doubling to 2s).  While a
+// breaker is open, requests touching that shard fail fast with
+// ErrShardDown instead of stalling on dial timeouts; other shards are
+// unaffected.
+func WithShardBreaker(threshold int, probe BackoffPolicy) Option {
+	return func(c *config) {
+		c.breakerThreshold = threshold
+		c.breakerBackoff = probe
+	}
+}
 
 // WithDialDecisionLog makes a dialed cluster's commit-decision ledger
 // durable in dir: every cross-shard commit decision is fsynced there
@@ -290,9 +333,11 @@ func Dial(addrs []string, setup func(*Cluster) error, opts ...Option) (*Cluster,
 	conns := make([]cluster.RemoteConn, len(addrs))
 	for i, addr := range addrs {
 		sc, err := netproto.DialShard(addr, i, len(addrs), netproto.ClientOptions{
-			Timeout:     timeout,
-			DecisionFor: ledger.lookup,
-			Owns:        ledger.owns,
+			Timeout:          timeout,
+			DecisionFor:      ledger.lookup,
+			Owns:             ledger.owns,
+			BreakerThreshold: c.breakerThreshold,
+			BreakerBackoff:   c.breakerBackoff,
 		})
 		if err != nil {
 			for _, prev := range conns[:i] {

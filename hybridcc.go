@@ -44,10 +44,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand/v2"
 	"strings"
 	"time"
 
+	"hybridcc/internal/backoff"
 	"hybridcc/internal/core"
 	"hybridcc/internal/histories"
 	"hybridcc/internal/verify"
@@ -138,6 +138,9 @@ type config struct {
 	// dialDecisionDir, meaningful to Dial only: a durable home for the
 	// client's commit-decision ledger (WithDialDecisionLog).
 	dialDecisionDir string
+	// Breaker knobs, meaningful to Dial only (WithShardBreaker).
+	breakerThreshold int
+	breakerBackoff   backoff.Policy
 }
 
 // WithLockWait bounds how long an operation waits on a lock conflict (or a
@@ -329,36 +332,45 @@ func (s *System) AtomicallyCtx(ctx context.Context, fn func(tx *Tx) error) error
 // clusters — commits the atomic-commitment protocol aborted, plus, on
 // dialed clusters, shards unreachable mid-attempt (the transaction
 // aborted there or resolves by presumed abort, so a retry is safe).
+// ErrShardDown (a known-open circuit breaker) is retryable only under a
+// context deadline; atomicallyLoop fails it fast otherwise.
 func retryable(err error) bool {
 	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrDeadlock) ||
-		errors.Is(err, ErrCommitAborted) || errors.Is(err, ErrShardUnavailable)
+		errors.Is(err, ErrCommitAborted) || errors.Is(err, ErrShardUnavailable) ||
+		errors.Is(err, ErrShardDown)
 }
 
-// atomicallyLoop drives attempt with the shared retry policy: retryable
-// failures are re-run (fresh transaction, jittered exponential backoff) up
-// to a bounded number of attempts, and cancellation cuts the backoff
-// short.  System.AtomicallyCtx and Cluster.AtomicallyCtx differ only in
-// what one attempt is.
+// atomicallyLoop drives attempt with the shared retry policy.  Contention
+// failures (timeouts, deadlocks, protocol aborts) are re-run — fresh
+// transaction, jittered exponential backoff — up to a bounded number of
+// attempts.  Shard unavailability is paced on a slower schedule and
+// bounded differently: under a context deadline the loop retries until
+// the deadline (the attempt cap does not apply — a recovering shard is
+// worth waiting out, and the caller said how long); without one, a
+// known-open breaker (ErrShardDown) returns immediately — retrying
+// against a breaker that fails fast would burn all attempts in
+// microseconds and help nobody — while a bare ErrShardUnavailable keeps
+// the bounded attempts.  Cancellation cuts any backoff short.
+// System.AtomicallyCtx and Cluster.AtomicallyCtx differ only in what one
+// attempt is.
 func atomicallyLoop(ctx context.Context, attempt func() error) error {
 	const maxAttempts = 16
+	// Contention pauses start tiny — most conflicts clear in microseconds
+	// — and grow to a few milliseconds; backoff's equal jitter breaks the
+	// lockstep re-collisions a bare victim-retries policy livelocks on.
+	contention := backoff.Policy{Base: 100 * time.Microsecond, Cap: 6400 * time.Microsecond}
+	// A gone shard won't return in microseconds: pace those retries in
+	// milliseconds, capped well below typical deadlines.
+	unavailPol := backoff.Policy{Base: 5 * time.Millisecond, Cap: 250 * time.Millisecond}
+	_, hasDeadline := ctx.Deadline()
 	var first, last error
-	for i := 0; i < maxAttempts; i++ {
-		if i > 0 {
-			shift := i
-			if shift > 6 {
-				shift = 6
-			}
-			window := 100 * time.Microsecond << shift
-			// rand/v2's top-level generator is contention-free, unlike the
-			// globally locked math/rand source: concurrent retry storms —
-			// exactly when backoff runs — don't serialize on a rand mutex.
-			pause := time.Duration(rand.Int64N(int64(window))) + 50*time.Microsecond
-			if !sleepCtx(ctx, pause) {
-				return ctx.Err()
-			}
-		}
+	counted, waits := 0, 0
+	for {
 		if err := ctx.Err(); err != nil {
-			return err
+			if last == nil {
+				return err
+			}
+			return fmt.Errorf("hybridcc: transaction retries cut short: %w (last failure: %v)", err, last)
 		}
 		err := attempt()
 		if err == nil {
@@ -371,6 +383,26 @@ func atomicallyLoop(ctx context.Context, attempt func() error) error {
 			first = err
 		}
 		last = err
+
+		down := errors.Is(err, ErrShardDown)
+		gone := down || errors.Is(err, ErrShardUnavailable)
+		if down && !hasDeadline {
+			return err
+		}
+		pol := contention
+		if gone {
+			pol = unavailPol
+		}
+		if !(gone && hasDeadline) {
+			counted++
+			if counted >= maxAttempts {
+				break
+			}
+		}
+		waits++
+		if !backoff.Sleep(ctx, pol.Delay(waits-1)) {
+			return fmt.Errorf("hybridcc: transaction retries cut short: %w (last failure: %v)", ctx.Err(), last)
+		}
 	}
 	// The first failure names the object the retry storm started on —
 	// usually the contended one — which the last failure alone can hide.
@@ -380,23 +412,6 @@ func atomicallyLoop(ctx context.Context, attempt func() error) error {
 	}
 	return fmt.Errorf("hybridcc: transaction retries exhausted after %d attempts (first failure: %v): %w",
 		maxAttempts, first, last)
-}
-
-// sleepCtx sleeps for d unless ctx is cancelled first; it reports whether
-// the full pause elapsed.
-func sleepCtx(ctx context.Context, d time.Duration) bool {
-	if ctx.Done() == nil {
-		time.Sleep(d)
-		return true
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return false
-	case <-t.C:
-		return true
-	}
 }
 
 // Stats returns system-wide counters.

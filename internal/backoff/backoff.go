@@ -1,0 +1,115 @@
+// Package backoff provides a small, shared retry-pause policy: capped
+// exponential growth with equal jitter, plus context- and channel-aware
+// sleeps. It exists so the decision-redelivery loop in netproto, the
+// circuit-breaker probe schedule, and the client retry loop in the root
+// package all pace themselves the same way instead of each hand-rolling a
+// doubling loop.
+package backoff
+
+import (
+	"context"
+	"math/rand/v2"
+	"time"
+)
+
+// Policy describes a capped exponential backoff schedule. The zero value is
+// usable and equals Default().
+type Policy struct {
+	// Base is the uncapped delay for attempt 0. Zero means 100ms.
+	Base time.Duration
+	// Cap bounds the raw (pre-jitter) delay. Zero means 2s.
+	Cap time.Duration
+}
+
+// Default returns the policy used when fields are left zero: 100ms base
+// doubling to a 2s cap — the same envelope the old hand-rolled redelivery
+// loop used.
+func Default() Policy {
+	return Policy{Base: 100 * time.Millisecond, Cap: 2 * time.Second}
+}
+
+func (p Policy) norm() Policy {
+	d := Default()
+	if p.Base <= 0 {
+		p.Base = d.Base
+	}
+	if p.Cap <= 0 {
+		p.Cap = d.Cap
+	}
+	if p.Cap < p.Base {
+		p.Cap = p.Base
+	}
+	return p
+}
+
+// Raw returns the un-jittered delay for the given attempt (attempt 0 =
+// Base, doubling up to Cap). Negative attempts are treated as 0.
+func (p Policy) Raw(attempt int) time.Duration {
+	p = p.norm()
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := p.Base
+	for i := 0; i < attempt; i++ {
+		if d >= p.Cap/2 {
+			return p.Cap
+		}
+		d *= 2
+	}
+	if d > p.Cap {
+		d = p.Cap
+	}
+	return d
+}
+
+// Delay returns the jittered delay for the given attempt using equal
+// jitter: half the raw delay is kept, the other half is uniformly random.
+// This keeps a floor under the pause (so retry storms still back off) while
+// decorrelating concurrent retriers.
+func (p Policy) Delay(attempt int) time.Duration {
+	d := p.Raw(attempt)
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + rand.N(half)
+}
+
+// Sleep pauses for d or until ctx is done, reporting true if the full pause
+// elapsed and false if the context ended first.
+func Sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Wait pauses for d or until done is closed, reporting true if the full
+// pause elapsed. It is the channel-flavoured twin of Sleep for callers that
+// carry a quit channel instead of a context (e.g. background redelivery
+// goroutines).
+func Wait(done <-chan struct{}, d time.Duration) bool {
+	if d <= 0 {
+		select {
+		case <-done:
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-done:
+		return false
+	}
+}

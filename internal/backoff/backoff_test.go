@@ -1,0 +1,89 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRawDoublesToCap(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: 2 * time.Second}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second,
+		2 * time.Second,
+	}
+	for i, w := range want {
+		if got := p.Raw(i); got != w {
+			t.Fatalf("Raw(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := p.Raw(-3); got != 100*time.Millisecond {
+		t.Fatalf("Raw(-3) = %v, want Base", got)
+	}
+	if got := p.Raw(200); got != 2*time.Second {
+		t.Fatalf("Raw(200) = %v, want Cap (no overflow)", got)
+	}
+}
+
+func TestZeroPolicyMatchesDefault(t *testing.T) {
+	var p Policy
+	d := Default()
+	for i := 0; i < 8; i++ {
+		if p.Raw(i) != d.Raw(i) {
+			t.Fatalf("zero policy Raw(%d) = %v, default = %v", i, p.Raw(i), d.Raw(i))
+		}
+	}
+}
+
+func TestDelayEqualJitterBounds(t *testing.T) {
+	p := Policy{Base: 8 * time.Millisecond, Cap: time.Second}
+	for attempt := 0; attempt < 6; attempt++ {
+		raw := p.Raw(attempt)
+		for trial := 0; trial < 200; trial++ {
+			d := p.Delay(attempt)
+			if d < raw/2 || d > raw {
+				t.Fatalf("Delay(%d) = %v outside [%v, %v]", attempt, d, raw/2, raw)
+			}
+		}
+	}
+}
+
+func TestDelayTinyDuration(t *testing.T) {
+	p := Policy{Base: 1, Cap: 1}
+	if d := p.Delay(0); d != 1 {
+		t.Fatalf("Delay on 1ns raw = %v, want 1ns", d)
+	}
+}
+
+func TestSleepHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if Sleep(ctx, time.Minute) {
+		t.Fatal("Sleep returned true with cancelled context")
+	}
+	if !Sleep(context.Background(), time.Millisecond) {
+		t.Fatal("Sleep returned false with live context")
+	}
+	if Sleep(ctx, 0) {
+		t.Fatal("Sleep(0) should report the dead context")
+	}
+}
+
+func TestWaitHonoursDone(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	if Wait(done, time.Minute) {
+		t.Fatal("Wait returned true with closed done channel")
+	}
+	if Wait(done, 0) {
+		t.Fatal("Wait(0) should report the closed channel")
+	}
+	if !Wait(make(chan struct{}), time.Millisecond) {
+		t.Fatal("Wait returned false with open channel")
+	}
+}

@@ -1,0 +1,340 @@
+// Package chaos runs seeded, scripted fault schedules — partitions,
+// crashes, restarts, message reordering — against a cluster while a
+// transfer workload is in flight, and checks the cluster's atomicity
+// obligations after every schedule: the recorded history verifies hybrid
+// atomic and the exact-balance invariant holds (every acknowledged
+// transfer is applied on both legs, sum(out) == sum(in) == acked).
+//
+// A schedule is deterministic: Generate derives it from a seed, and Run
+// replays it step by step against any Env — the in-process FaultEnv
+// (faults injected into the commit protocol's transport seam) or a
+// harness around real shard processes (faults injected by killing
+// processes and partitioning TCP proxies).  An Env that cannot express a
+// fault class reports ErrUnsupported and the step is skipped, so one
+// schedule runs against both backends.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrUnsupported reports a fault class the Env cannot express (an
+// in-process cluster cannot be kill -9ed; a real process's protocol
+// messages cannot be reordered from outside).  Run skips the step and
+// counts it in the Report.
+var ErrUnsupported = errors.New("chaos: fault class unsupported by this environment")
+
+// Op is one schedule step's kind.
+type Op int
+
+// Schedule operations.
+const (
+	// OpTransfers runs (sequential mode) or paces out (worker mode) N
+	// cross-shard transfers.
+	OpTransfers Op = iota
+	// OpPartition cuts the shard off: protocol messages to it are lost
+	// (fault transport) or its connections are severed and refused (TCP
+	// proxy) until OpHeal.
+	OpPartition
+	// OpHeal reconnects a partitioned shard.
+	OpHeal
+	// OpCrash kills the shard process (kill -9); unsupported in-process.
+	OpCrash
+	// OpRestart restarts a crashed shard on the same state and address.
+	OpRestart
+	// OpReorder arms a reordering fault on the shard: the next commit
+	// decision to it is captured and delivered only after N further
+	// messages — decision delivery slides behind later traffic.
+	OpReorder
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpTransfers:
+		return "transfers"
+	case OpPartition:
+		return "partition"
+	case OpHeal:
+		return "heal"
+	case OpCrash:
+		return "crash"
+	case OpRestart:
+		return "restart"
+	case OpReorder:
+		return "reorder"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Step is one schedule entry: an operation, the shard it targets (ignored
+// by OpTransfers), and its count — transfers to run, or the reorder
+// release distance.
+type Step struct {
+	Op    Op
+	Shard int
+	N     int
+}
+
+// String renders the step compactly ("partition(1)", "transfers×12").
+func (s Step) String() string {
+	switch s.Op {
+	case OpTransfers:
+		return fmt.Sprintf("transfers×%d", s.N)
+	case OpReorder:
+		return fmt.Sprintf("reorder(%d,k=%d)", s.Shard, s.N)
+	default:
+		return fmt.Sprintf("%s(%d)", s.Op, s.Shard)
+	}
+}
+
+// Schedule is a deterministic chaos script: replaying the same schedule
+// against the same Env yields the same fault interleaving (up to
+// scheduler nondeterminism in the workload itself).
+type Schedule struct {
+	Seed   uint64
+	Shards int
+	Steps  []Step
+}
+
+// String lists the steps.
+func (s Schedule) String() string {
+	out := fmt.Sprintf("seed=%d shards=%d:", s.Seed, s.Shards)
+	for _, st := range s.Steps {
+		out += " " + st.String()
+	}
+	return out
+}
+
+// Generate derives a well-formed schedule from the seed: transfer batches
+// interleaved with fault events, at most one shard disturbed at a time
+// (so the workload always has healthy shards to make progress on), every
+// partition eventually healed and every crash eventually restarted, and a
+// final fault-free transfer batch so recovery itself is exercised under
+// load.  steps counts the fault/transfer events before the closing batch.
+func Generate(seed uint64, shards, steps int) Schedule {
+	rng := rand.New(rand.NewPCG(seed, 0x5eed))
+	sched := Schedule{Seed: seed, Shards: shards}
+	disturbed, kind := -1, OpHeal // kind: matching recovery op
+	for i := 0; i < steps; i++ {
+		sched.Steps = append(sched.Steps, Step{Op: OpTransfers, N: 4 + rng.IntN(12)})
+		if disturbed >= 0 {
+			// Heal/restart with probability 2/3; otherwise let the fault
+			// span another transfer batch.
+			if rng.IntN(3) < 2 {
+				sched.Steps = append(sched.Steps, Step{Op: kind, Shard: disturbed})
+				disturbed = -1
+			}
+			continue
+		}
+		shard := rng.IntN(shards)
+		switch rng.IntN(4) {
+		case 0:
+			sched.Steps = append(sched.Steps, Step{Op: OpPartition, Shard: shard})
+			disturbed, kind = shard, OpHeal
+		case 1:
+			sched.Steps = append(sched.Steps, Step{Op: OpCrash, Shard: shard})
+			disturbed, kind = shard, OpRestart
+		case 2:
+			sched.Steps = append(sched.Steps, Step{Op: OpReorder, Shard: shard, N: 1 + rng.IntN(3)})
+		default:
+			// Fault-free span.
+		}
+	}
+	if disturbed >= 0 {
+		sched.Steps = append(sched.Steps, Step{Op: kind, Shard: disturbed})
+	}
+	sched.Steps = append(sched.Steps, Step{Op: OpTransfers, N: 8 + rng.IntN(8)})
+	return sched
+}
+
+// Env is a cluster a schedule can be run against.  Transfer must be safe
+// to call concurrently (worker mode); the fault operations are called
+// from the schedule runner only.  An Env reports ErrUnsupported from
+// fault classes it cannot express.
+type Env interface {
+	// Shards reports the shard count; schedules target shards below it.
+	Shards() int
+	// Transfer moves amount from shard `from`'s out-counter to shard
+	// `to`'s in-counter in one atomic (cross-shard when from != to)
+	// transaction.  An error means the transfer did not commit — the
+	// cluster aborted it cleanly — and is expected chaos, not failure.
+	Transfer(from, to int, amount int64) error
+	// Partition cuts the shard off until Heal.
+	Partition(shard int) error
+	// Heal reconnects a partitioned shard.
+	Heal(shard int) error
+	// Crash kills the shard; Restart revives it on the same state.
+	Crash(shard int) error
+	Restart(shard int) error
+	// Reorder arms one reordering fault: the next commit decision to the
+	// shard is delivered only after k further messages.
+	Reorder(shard, k int) error
+	// Settle blocks until the cluster has recovered from the schedule's
+	// faults — restarts finished, pending branches resolved — so Check
+	// compares settled state.
+	Settle() error
+	// Check verifies the invariants: every acknowledged transfer applied
+	// on both legs (sum(out) == sum(in) == acked) and, where the Env
+	// records histories, the history verifies hybrid atomic.
+	Check() error
+}
+
+// Options tunes Run.
+type Options struct {
+	// Workers > 0 runs transfers from that many background goroutines for
+	// the whole schedule; OpTransfers steps become pacing barriers that
+	// wait for N more transfer attempts to complete, so faults land while
+	// transactions are genuinely in flight.  Zero runs each OpTransfers
+	// batch inline, single-threaded.
+	Workers int
+	// Amount is the per-transfer amount (default 1).
+	Amount int64
+}
+
+// Report summarizes one schedule run.
+type Report struct {
+	// Steps executed and steps skipped as ErrUnsupported.
+	Steps, Skipped int
+	// Transfer attempts, and how they split into acknowledged commits and
+	// clean aborts.
+	Attempts, Acked, Failed int64
+}
+
+// String summarizes the report.
+func (r Report) String() string {
+	return fmt.Sprintf("steps=%d skipped=%d transfers: attempts=%d acked=%d failed=%d",
+		r.Steps, r.Skipped, r.Attempts, r.Acked, r.Failed)
+}
+
+// counters aggregates transfer outcomes across workers.
+type counters struct {
+	attempts, acked, failed atomic.Int64
+}
+
+// transferOnce runs one random cross-shard transfer and records it.
+func transferOnce(env Env, rng *rand.Rand, amount int64, n *counters) {
+	shards := env.Shards()
+	from := rng.IntN(shards)
+	to := from
+	if shards > 1 {
+		to = (from + 1 + rng.IntN(shards-1)) % shards
+	}
+	err := env.Transfer(from, to, amount)
+	n.attempts.Add(1)
+	if err == nil {
+		n.acked.Add(1)
+	} else {
+		n.failed.Add(1)
+	}
+}
+
+// Run replays the schedule against env, then settles and checks the
+// invariants.  The returned Report describes the run even when the error
+// is non-nil.  Transfer failures are expected under faults and never an
+// error; only Settle or Check failing is.
+func Run(env Env, sched Schedule, opts Options) (Report, error) {
+	if opts.Amount <= 0 {
+		opts.Amount = 1
+	}
+	var rep Report
+	var n counters
+
+	var stop chan struct{}
+	var wg sync.WaitGroup
+	if opts.Workers > 0 {
+		stop = make(chan struct{})
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			rng := rand.New(rand.NewPCG(sched.Seed, 0xbeef+uint64(w)))
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					transferOnce(env, rng, opts.Amount, &n)
+					// Pace the traffic: the barriers need only a few hundred
+					// attempts per schedule, and an unthrottled loop would
+					// record a history so large the post-run verification
+					// dominates the schedule by orders of magnitude.
+					time.Sleep(time.Millisecond)
+				}
+			}()
+		}
+	}
+	seqRNG := rand.New(rand.NewPCG(sched.Seed, 0x7af1c))
+
+	apply := func(st Step) error {
+		switch st.Op {
+		case OpTransfers:
+			if opts.Workers > 0 {
+				// Pacing barrier: wait for N more attempts to complete.
+				// Attempts (not acks) advance even while every cross-shard
+				// pair touches a partitioned shard, so the barrier cannot
+				// wedge.
+				target := n.attempts.Load() + int64(st.N)
+				for n.attempts.Load() < target {
+					time.Sleep(time.Millisecond)
+				}
+				return nil
+			}
+			for i := 0; i < st.N; i++ {
+				transferOnce(env, seqRNG, opts.Amount, &n)
+			}
+			return nil
+		case OpPartition:
+			return env.Partition(st.Shard)
+		case OpHeal:
+			return env.Heal(st.Shard)
+		case OpCrash:
+			return env.Crash(st.Shard)
+		case OpRestart:
+			return env.Restart(st.Shard)
+		case OpReorder:
+			return env.Reorder(st.Shard, st.N)
+		}
+		return fmt.Errorf("chaos: unknown op %v", st.Op)
+	}
+
+	var runErr error
+	for _, st := range sched.Steps {
+		err := apply(st)
+		switch {
+		case err == nil:
+			rep.Steps++
+		case errors.Is(err, ErrUnsupported):
+			rep.Skipped++
+		default:
+			runErr = fmt.Errorf("chaos: step %s: %w", st, err)
+		}
+		if runErr != nil {
+			break
+		}
+	}
+
+	if stop != nil {
+		close(stop)
+		wg.Wait()
+	}
+	rep.Attempts = n.attempts.Load()
+	rep.Acked = n.acked.Load()
+	rep.Failed = n.failed.Load()
+	if runErr != nil {
+		return rep, runErr
+	}
+	if err := env.Settle(); err != nil {
+		return rep, fmt.Errorf("chaos: settle: %w", err)
+	}
+	if err := env.Check(); err != nil {
+		return rep, fmt.Errorf("chaos: check: %w", err)
+	}
+	return rep, nil
+}

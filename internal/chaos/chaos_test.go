@@ -1,0 +1,228 @@
+package chaos
+
+import (
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// Generate is deterministic and well-formed: same seed, same schedule;
+// every partition healed, every crash restarted, at most one shard
+// disturbed at a time, and a closing fault-free transfer batch.
+func TestGenerateDeterministicWellFormed(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 0xfeedface} {
+		a := Generate(seed, 4, 12)
+		b := Generate(seed, 4, 12)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two generations differ:\n%s\n%s", seed, a, b)
+		}
+		disturbed := -1
+		for _, st := range a.Steps {
+			switch st.Op {
+			case OpPartition, OpCrash:
+				if disturbed >= 0 {
+					t.Fatalf("seed %d: %s while shard %d still disturbed", seed, st, disturbed)
+				}
+				disturbed = st.Shard
+			case OpHeal, OpRestart:
+				if st.Shard != disturbed {
+					t.Fatalf("seed %d: %s heals shard %d, disturbed is %d", seed, st, st.Shard, disturbed)
+				}
+				disturbed = -1
+			case OpTransfers:
+				if st.N <= 0 {
+					t.Fatalf("seed %d: empty transfer batch", seed)
+				}
+			}
+			if st.Op != OpTransfers && (st.Shard < 0 || st.Shard >= a.Shards) {
+				t.Fatalf("seed %d: step %s targets shard outside [0,%d)", seed, st, a.Shards)
+			}
+		}
+		if disturbed >= 0 {
+			t.Fatalf("seed %d: schedule ends with shard %d still disturbed", seed, disturbed)
+		}
+		if last := a.Steps[len(a.Steps)-1]; last.Op != OpTransfers {
+			t.Fatalf("seed %d: schedule does not end with a transfer batch: %s", seed, last)
+		}
+	}
+}
+
+// Two generated seeds run to completion against the in-process fault
+// environment, sequentially: the balance stays exact and the history
+// verifies hybrid atomic despite partitions and reordered decisions.
+func TestFaultEnvSeededSchedules(t *testing.T) {
+	for _, seed := range []uint64{7, 1988} {
+		env, err := NewFaultEnv(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := Generate(seed, 3, 10)
+		rep, err := Run(env, sched, Options{})
+		t.Logf("seed %d: %s", seed, rep)
+		if err != nil {
+			t.Fatalf("seed %d: %v\nschedule: %s\nreport: %s", seed, err, sched, rep)
+		}
+		if rep.Acked == 0 {
+			t.Fatalf("seed %d: no transfer ever committed: %s", seed, rep)
+		}
+		if rep.Skipped == 0 {
+			// Crash steps must have been skipped unless this seed's
+			// schedule happens to contain none.
+			for _, st := range sched.Steps {
+				if st.Op == OpCrash {
+					t.Fatalf("seed %d: schedule has a crash but nothing was skipped", seed)
+				}
+			}
+		}
+		_ = env.Close()
+	}
+}
+
+// The worker mode keeps transfers in flight across fault transitions:
+// partitions land mid-transaction, and the invariants still hold.
+func TestFaultEnvBackgroundTraffic(t *testing.T) {
+	env, err := NewFaultEnv(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	sched := Generate(11, 3, 8)
+	rep, err := Run(env, sched, Options{Workers: 4})
+	t.Logf("seed 11 (workers=4): %s", rep)
+	if err != nil {
+		t.Fatalf("%v\nschedule: %s\nreport: %s", err, sched, rep)
+	}
+	if rep.Acked == 0 {
+		t.Fatalf("no transfer ever committed: %s", rep)
+	}
+}
+
+// A partition mid-schedule visibly drops protocol messages and aborts
+// cross-shard transfers touching the cut shard, while transfers between
+// healthy shards keep committing — then healing restores everything.
+func TestFaultEnvPartitionDegrades(t *testing.T) {
+	env, err := NewFaultEnv(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+
+	if err := env.Transfer(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Partition(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Transfer(0, 1, 5); err == nil {
+		t.Fatal("transfer through a partition committed")
+	}
+	if err := env.Transfer(0, 2, 5); err != nil {
+		t.Fatalf("healthy-shard transfer during partition: %v", err)
+	}
+	if env.Controller(1).PartitionDropped() == 0 {
+		t.Fatal("partition dropped no messages")
+	}
+	if err := env.Heal(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Transfer(0, 1, 5); err != nil {
+		t.Fatalf("transfer after heal: %v", err)
+	}
+	if err := env.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.Acked(); got != 15 {
+		t.Fatalf("acked = %d, want 15", got)
+	}
+}
+
+// The proxy forwards bytes both ways, refuses fast while partitioned
+// (severing active connections), and forwards again after healing.
+func TestProxyPartitionHeal(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// A 1-byte echo server.
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 1)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+					if _, err := c.Write(buf); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	echo := func(c net.Conn) error {
+		if err := c.SetDeadline(time.Now().Add(2 * time.Second)); err != nil {
+			return err
+		}
+		if _, err := c.Write([]byte{'x'}); err != nil {
+			return err
+		}
+		buf := make([]byte, 1)
+		_, err := c.Read(buf)
+		return err
+	}
+
+	c1, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if err := echo(c1); err != nil {
+		t.Fatalf("echo through proxy: %v", err)
+	}
+
+	p.SetPartitioned(true)
+	// The active connection is severed...
+	if err := echo(c1); err == nil {
+		t.Fatal("echo succeeded across a partition on an existing connection")
+	}
+	// ...and new ones are refused fast (accept-then-close), not timed out.
+	start := time.Now()
+	c2, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		err = echo(c2)
+		_ = c2.Close()
+	}
+	if err == nil {
+		t.Fatal("echo succeeded across a partition on a fresh connection")
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("partitioned connect+echo took %v, want fast refusal", el)
+	}
+
+	p.SetPartitioned(false)
+	c3, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if err := echo(c3); err != nil {
+		t.Fatalf("echo after heal: %v", err)
+	}
+}

@@ -1,0 +1,114 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// Proxy is a TCP pass-through in front of one shard server, giving a
+// real-process chaos harness a partition lever: while partitioned it
+// severs every active connection and refuses new ones (accepted and
+// closed immediately, so clients see a fast reset rather than a dial
+// timeout), and once healed it forwards again.  The shard process itself
+// never notices — exactly a network cut.
+type Proxy struct {
+	ln     net.Listener
+	target string
+
+	mu          sync.Mutex
+	partitioned bool
+	closed      bool
+	conns       map[net.Conn]struct{}
+}
+
+// NewProxy listens on a fresh loopback port and forwards to target.
+func NewProxy(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, conns: make(map[net.Conn]struct{})}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients should dial instead of the shard's.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetPartitioned toggles the cut.  Turning it on severs every in-flight
+// connection, so transactions mid-protocol observe the partition rather
+// than quietly finishing over established sockets.
+func (p *Proxy) SetPartitioned(on bool) {
+	p.mu.Lock()
+	p.partitioned = on
+	var victims []net.Conn
+	if on {
+		for c := range p.conns {
+			victims = append(victims, c)
+		}
+	}
+	p.mu.Unlock()
+	for _, c := range victims {
+		_ = c.Close()
+	}
+}
+
+// Close stops the proxy and severs everything.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	var victims []net.Conn
+	for c := range p.conns {
+		victims = append(victims, c)
+	}
+	p.mu.Unlock()
+	for _, c := range victims {
+		_ = c.Close()
+	}
+	return p.ln.Close()
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		down, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		refused := p.partitioned || p.closed
+		p.mu.Unlock()
+		if refused {
+			_ = down.Close()
+			continue
+		}
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			_ = down.Close()
+			continue
+		}
+		p.track(down, up)
+		go p.pipe(down, up)
+		go p.pipe(up, down)
+	}
+}
+
+func (p *Proxy) track(cs ...net.Conn) {
+	p.mu.Lock()
+	for _, c := range cs {
+		p.conns[c] = struct{}{}
+	}
+	p.mu.Unlock()
+}
+
+// pipe copies src to dst until either side dies, then severs both — a
+// half-dead proxied connection would otherwise hang the client's reads.
+func (p *Proxy) pipe(dst, src net.Conn) {
+	_, _ = io.Copy(dst, src)
+	_ = dst.Close()
+	_ = src.Close()
+	p.mu.Lock()
+	delete(p.conns, dst)
+	delete(p.conns, src)
+	p.mu.Unlock()
+}

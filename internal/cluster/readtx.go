@@ -35,10 +35,36 @@ type DReadTx struct {
 	id       histories.TxID
 	ts       histories.Timestamp
 	branches []*core.ReadTx // one per shard, indexed like c.shards
+	missing  []int          // shards whose branch failed to open/activate
+	merr     error          // first branch failure, the partial error's cause
 
 	mu   sync.Mutex
 	done bool
 }
+
+// PartialSnapshotError reports a cluster-wide snapshot that covers only
+// part of the cluster: the named shards' read branches could not be
+// opened (shard down, breaker open, RPC failure).  Reads on healthy
+// shards inside the snapshot still returned consistent data at the
+// snapshot timestamp; reads on missing shards failed with the underlying
+// cause.  Callers that can tolerate partial coverage may errors.As for
+// this type and use what they read; callers that cannot must treat the
+// snapshot as failed.
+type PartialSnapshotError struct {
+	// Missing lists the unreachable shard indices, ascending.
+	Missing []int
+	// Cause is the first underlying branch failure.
+	Cause error
+}
+
+// Error implements error.
+func (e *PartialSnapshotError) Error() string {
+	return fmt.Sprintf("cluster: snapshot missing shards %v: %v", e.Missing, e.Cause)
+}
+
+// Unwrap exposes the first underlying branch failure, so errors.Is sees
+// through to (for example) a shard-down condition.
+func (e *PartialSnapshotError) Unwrap() error { return e.Cause }
 
 // finish marks the snapshot completed; it reports false when it already
 // was.
@@ -87,8 +113,26 @@ func (c *Cluster) BeginReadOnlyCtx(ctx context.Context) *DReadTx {
 	for _, br := range t.branches {
 		br.ActivateAt(t.ts)
 	}
+	// Branches that failed to open or activate (possible only on dialed
+	// shards) leave the snapshot partial: reads through them fail fast
+	// with the sticky error, and Commit reports the typed partial-result
+	// error naming these shards.  A failed branch contributed bound 0 to
+	// the election above, which only under-constrains the max — harmless.
+	for i, br := range t.branches {
+		if err := br.BranchErr(); err != nil {
+			t.missing = append(t.missing, i)
+			if t.merr == nil {
+				t.merr = err
+			}
+		}
+	}
 	return t
 }
+
+// Missing lists the shards (ascending) whose branch could not be opened
+// or activated; the snapshot observes every other shard consistently at
+// its timestamp.  Empty for a complete snapshot.
+func (t *DReadTx) Missing() []int { return append([]int(nil), t.missing...) }
 
 // ID returns the snapshot's cluster-wide identifier (with the "R" prefix
 // verification uses to apply the generalized read-only rules).
@@ -108,7 +152,9 @@ func (t *DReadTx) Branch(o *core.Object) (*core.ReadTx, error) {
 }
 
 // Commit finishes the snapshot on every shard, releasing the compaction
-// pins and emitting its commit events.
+// pins and emitting its commit events.  A snapshot that could not cover
+// every shard commits what it observed and returns a
+// *PartialSnapshotError naming the missing shards.
 func (t *DReadTx) Commit() error {
 	if !t.finish() {
 		return core.ErrTxDone
@@ -120,6 +166,9 @@ func (t *DReadTx) Commit() error {
 		}
 	}
 	t.c.stats.committed.Add(1)
+	if len(t.missing) > 0 {
+		return &PartialSnapshotError{Missing: t.Missing(), Cause: t.merr}
+	}
 	return first
 }
 

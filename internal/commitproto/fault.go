@@ -46,7 +46,18 @@ const (
 	// happens after the sender has moved on, reordering decision delivery
 	// against subsequent traffic.
 	Hold
+	// Reorder captures the message like Hold, but releases it
+	// automatically once k further messages (of any class) have been
+	// delivered through this transport: message N arrives after message
+	// N+k.  Script it with ScriptReorder, which supplies k.  The sender
+	// sees the site as unreachable now, exactly as with Hold.
+	Reorder
 )
+
+type reorderEntry struct {
+	deliver func()
+	left    int
+}
 
 // FaultTransport wraps another Transport with deterministic, scripted
 // fault injection: per message class, a FIFO script of actions is
@@ -55,13 +66,24 @@ const (
 // interleavings reproduce exactly.  It composes with any Transport —
 // Direct, Server, or a network shard client — making the 2PC crash
 // suites runnable unchanged over each.
+//
+// A FaultTransport may also act as a pure fault controller with a nil
+// inner transport: Wrap derives per-message-sink views that share the
+// controller's script, partition, and reorder state.  That is how a
+// cluster applies one persistent fault plan per shard even though its
+// Options.WrapTransport hook builds a fresh transport for every commit
+// round.
 type FaultTransport struct {
 	inner Transport
 
 	mu          sync.Mutex
 	script      [numClasses][]FaultAction
+	reorderK    [numClasses][]int
 	held        []func()
+	pending     []reorderEntry
 	partitioned bool
+	partLeft    int
+	partDropped int
 	delay       time.Duration
 	delivered   [numClasses]int
 }
@@ -69,15 +91,46 @@ type FaultTransport struct {
 var _ Transport = (*FaultTransport)(nil)
 
 // NewFaultTransport wraps inner with an empty script (all messages pass
-// through) and a default Delay duration of 10ms.
+// through) and a default Delay duration of 10ms.  A nil inner is allowed
+// when the value is used only as a shared controller via Wrap.
 func NewFaultTransport(inner Transport) *FaultTransport {
 	return &FaultTransport{inner: inner, delay: 10 * time.Millisecond}
 }
 
-// Script appends actions to the class's FIFO script.
+// Wrap returns a Transport that delivers to inner while consuming this
+// transport's scripts and honouring its partition/reorder state.  All
+// views derived from one FaultTransport share that single state, so a
+// script entry is consumed by whichever view sees the next message of
+// its class — the behaviour a per-shard fault plan needs when each
+// commit round builds its own transport instance.
+func (f *FaultTransport) Wrap(inner Transport) Transport {
+	return &faultView{ctl: f, inner: inner}
+}
+
+// Script appends actions to the class's FIFO script.  Reorder actions
+// must be added with ScriptReorder instead so they carry a release
+// distance; a bare Reorder appended here behaves like Hold.
 func (f *FaultTransport) Script(class MsgClass, actions ...FaultAction) {
 	f.mu.Lock()
-	f.script[class] = append(f.script[class], actions...)
+	for _, a := range actions {
+		f.script[class] = append(f.script[class], a)
+		if a == Reorder {
+			f.reorderK[class] = append(f.reorderK[class], 0)
+		}
+	}
+	f.mu.Unlock()
+}
+
+// ScriptReorder appends a Reorder action for the class: the next message
+// of that class is captured and delivered only after k further messages
+// (of any class) have been delivered.  k < 1 is treated as 1.
+func (f *FaultTransport) ScriptReorder(class MsgClass, k int) {
+	if k < 1 {
+		k = 1
+	}
+	f.mu.Lock()
+	f.script[class] = append(f.script[class], Reorder)
+	f.reorderK[class] = append(f.reorderK[class], k)
 	f.mu.Unlock()
 }
 
@@ -89,15 +142,45 @@ func (f *FaultTransport) SetDelay(d time.Duration) {
 }
 
 // SetPartitioned toggles a full partition: while set, every message of
-// every class is dropped before delivery (scripts are not consumed).
+// every class is dropped before delivery (scripts are not consumed) and
+// the sender sees the site as unreachable — bidirectional loss, since
+// neither the request nor any reply crosses the cut.
 func (f *FaultTransport) SetPartitioned(p bool) {
 	f.mu.Lock()
 	f.partitioned = p
 	f.mu.Unlock()
 }
 
+// PartitionNext arms a scripted partition span: the next n messages of
+// any class are dropped as by SetPartitioned(true), after which the
+// partition heals itself.  A span is consumed before per-class scripts,
+// so it models a cut in the network rather than a targeted fault.
+func (f *FaultTransport) PartitionNext(n int) {
+	f.mu.Lock()
+	if n > f.partLeft {
+		f.partLeft = n
+	}
+	f.mu.Unlock()
+}
+
+// Partitioned reports whether a partition (toggle or unexpired span) is
+// currently in force.
+func (f *FaultTransport) Partitioned() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.partitioned || f.partLeft > 0
+}
+
+// PartitionDropped reports how many messages a partition has swallowed.
+func (f *FaultTransport) PartitionDropped() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.partDropped
+}
+
 // ReleaseHeld delivers every held message in capture order and returns
-// how many were released.
+// how many were released.  Messages captured by Reorder are not
+// released here; they release themselves by message count.
 func (f *FaultTransport) ReleaseHeld() int {
 	f.mu.Lock()
 	held := f.held
@@ -105,6 +188,7 @@ func (f *FaultTransport) ReleaseHeld() int {
 	f.mu.Unlock()
 	for _, deliver := range held {
 		deliver()
+		f.drainDue()
 	}
 	return len(held)
 }
@@ -116,6 +200,14 @@ func (f *FaultTransport) HeldCount() int {
 	return len(f.held)
 }
 
+// ReorderPending reports how many captured messages still await their
+// release count.
+func (f *FaultTransport) ReorderPending() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pending)
+}
+
 // Delivered reports how many messages of class actually reached the inner
 // transport (dup deliveries count twice, held ones on release).
 func (f *FaultTransport) Delivered(class MsgClass) int {
@@ -124,24 +216,41 @@ func (f *FaultTransport) Delivered(class MsgClass) int {
 	return f.delivered[class]
 }
 
-// next consumes the class's next scripted action, honouring partition.
-func (f *FaultTransport) next(class MsgClass) (FaultAction, time.Duration, bool) {
+// next consumes the class's next scripted action, honouring partition
+// state.  For Reorder actions it also pops the release distance.
+func (f *FaultTransport) next(class MsgClass) (action FaultAction, delay time.Duration, k int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.partitioned {
-		return DropRequest, 0, true
+	if f.partitioned || f.partLeft > 0 {
+		if f.partLeft > 0 {
+			f.partLeft--
+		}
+		f.partDropped++
+		return DropRequest, 0, 0
 	}
 	s := f.script[class]
 	if len(s) == 0 {
-		return PassThrough, f.delay, false
+		return PassThrough, f.delay, 0
 	}
 	f.script[class] = s[1:]
-	return s[0], f.delay, false
+	if s[0] == Reorder {
+		k = f.reorderK[class][0]
+		f.reorderK[class] = f.reorderK[class][1:]
+		if k < 1 {
+			// Script() appended a bare Reorder; degrade to Hold semantics.
+			return Hold, f.delay, 0
+		}
+	}
+	return s[0], f.delay, k
 }
 
+// countDelivery records one delivery and advances reorder countdowns.
 func (f *FaultTransport) countDelivery(class MsgClass) {
 	f.mu.Lock()
 	f.delivered[class]++
+	for i := range f.pending {
+		f.pending[i].left--
+	}
 	f.mu.Unlock()
 }
 
@@ -151,88 +260,154 @@ func (f *FaultTransport) hold(deliver func()) {
 	f.mu.Unlock()
 }
 
+func (f *FaultTransport) holdUntil(deliver func(), k int) {
+	f.mu.Lock()
+	f.pending = append(f.pending, reorderEntry{deliver: deliver, left: k})
+	f.mu.Unlock()
+}
+
+// drainDue delivers every reorder-captured message whose countdown has
+// expired.  Released deliveries count as deliveries themselves, so one
+// release can cascade into the next; the loop runs until quiescent.
+func (f *FaultTransport) drainDue() {
+	for {
+		f.mu.Lock()
+		var due []func()
+		rest := f.pending[:0]
+		for _, e := range f.pending {
+			if e.left <= 0 {
+				due = append(due, e.deliver)
+			} else {
+				rest = append(rest, e)
+			}
+		}
+		f.pending = rest
+		f.mu.Unlock()
+		if len(due) == 0 {
+			return
+		}
+		for _, d := range due {
+			d()
+		}
+	}
+}
+
+// dispatch applies the class's next scripted action around deliver,
+// which must perform the actual inner delivery (and count it).  The
+// return value reports whether the sender observes the delivery; when
+// false the sender must see the site as unreachable.
+func (f *FaultTransport) dispatch(class MsgClass, deliver func()) bool {
+	action, delay, k := f.next(class)
+	visible := false
+	switch action {
+	case DropRequest:
+	case DropReply:
+		deliver()
+	case Delay:
+		time.Sleep(delay)
+		deliver()
+		visible = true
+	case Dup:
+		deliver()
+		deliver()
+		visible = true
+	case Hold:
+		f.hold(deliver)
+	case Reorder:
+		f.holdUntil(deliver, k)
+	default:
+		deliver()
+		visible = true
+	}
+	f.drainDue()
+	return visible
+}
+
+// prepareVia runs one Prepare through the fault machinery, delivering to
+// inner.  Shared by FaultTransport itself and Wrap views.
+func (f *FaultTransport) prepareVia(inner Transport, ctx context.Context, tx histories.TxID, timeout time.Duration) (histories.Timestamp, bool, bool) {
+	var ts histories.Timestamp
+	var ok, reached bool
+	deliver := func() {
+		f.countDelivery(ClassPrepare)
+		ts, ok, reached = inner.Prepare(ctx, tx, timeout)
+	}
+	if !f.dispatch(ClassPrepare, deliver) {
+		return 0, false, false
+	}
+	return ts, ok, reached
+}
+
+// commitVia runs one Commit decision through the fault machinery.
+func (f *FaultTransport) commitVia(inner Transport, ctx context.Context, tx histories.TxID, ts histories.Timestamp, timeout time.Duration) bool {
+	var acked bool
+	deliver := func() {
+		f.countDelivery(ClassCommit)
+		acked = inner.Commit(ctx, tx, ts, timeout)
+	}
+	if !f.dispatch(ClassCommit, deliver) {
+		return false
+	}
+	return acked
+}
+
+// abortVia runs one Abort decision through the fault machinery.
+func (f *FaultTransport) abortVia(inner Transport, ctx context.Context, tx histories.TxID, timeout time.Duration) bool {
+	var acked bool
+	deliver := func() {
+		f.countDelivery(ClassAbort)
+		acked = inner.Abort(ctx, tx, timeout)
+	}
+	if !f.dispatch(ClassAbort, deliver) {
+		return false
+	}
+	return acked
+}
+
 // Name implements Transport.
-func (f *FaultTransport) Name() string { return f.inner.Name() + "+faults" }
+func (f *FaultTransport) Name() string {
+	if f.inner == nil {
+		return "faults"
+	}
+	return f.inner.Name() + "+faults"
+}
 
 // Prepare implements Transport, applying the next scripted prepare fault.
 func (f *FaultTransport) Prepare(ctx context.Context, tx histories.TxID, timeout time.Duration) (histories.Timestamp, bool, bool) {
-	action, delay, _ := f.next(ClassPrepare)
-	deliver := func() (histories.Timestamp, bool, bool) {
-		f.countDelivery(ClassPrepare)
-		return f.inner.Prepare(ctx, tx, timeout)
-	}
-	switch action {
-	case DropRequest:
-		return 0, false, false
-	case DropReply:
-		deliver()
-		return 0, false, false
-	case Delay:
-		time.Sleep(delay)
-		return deliver()
-	case Dup:
-		deliver()
-		return deliver()
-	case Hold:
-		f.hold(func() { deliver() })
-		return 0, false, false
-	default:
-		return deliver()
-	}
+	return f.prepareVia(f.inner, ctx, tx, timeout)
 }
 
 // Commit implements Transport, applying the next scripted commit-decision
 // fault.
 func (f *FaultTransport) Commit(ctx context.Context, tx histories.TxID, ts histories.Timestamp, timeout time.Duration) bool {
-	action, delay, _ := f.next(ClassCommit)
-	deliver := func() bool {
-		f.countDelivery(ClassCommit)
-		return f.inner.Commit(ctx, tx, ts, timeout)
-	}
-	switch action {
-	case DropRequest:
-		return false
-	case DropReply:
-		deliver()
-		return false
-	case Delay:
-		time.Sleep(delay)
-		return deliver()
-	case Dup:
-		deliver()
-		return deliver()
-	case Hold:
-		f.hold(func() { deliver() })
-		return false
-	default:
-		return deliver()
-	}
+	return f.commitVia(f.inner, ctx, tx, ts, timeout)
 }
 
 // Abort implements Transport, applying the next scripted abort-decision
 // fault.
 func (f *FaultTransport) Abort(ctx context.Context, tx histories.TxID, timeout time.Duration) bool {
-	action, delay, _ := f.next(ClassAbort)
-	deliver := func() bool {
-		f.countDelivery(ClassAbort)
-		return f.inner.Abort(ctx, tx, timeout)
-	}
-	switch action {
-	case DropRequest:
-		return false
-	case DropReply:
-		deliver()
-		return false
-	case Delay:
-		time.Sleep(delay)
-		return deliver()
-	case Dup:
-		deliver()
-		return deliver()
-	case Hold:
-		f.hold(func() { deliver() })
-		return false
-	default:
-		return deliver()
-	}
+	return f.abortVia(f.inner, ctx, tx, timeout)
+}
+
+// faultView is a Transport bound to one inner message sink but sharing a
+// controller's fault state; see FaultTransport.Wrap.
+type faultView struct {
+	ctl   *FaultTransport
+	inner Transport
+}
+
+var _ Transport = (*faultView)(nil)
+
+func (v *faultView) Name() string { return v.inner.Name() + "+faults" }
+
+func (v *faultView) Prepare(ctx context.Context, tx histories.TxID, timeout time.Duration) (histories.Timestamp, bool, bool) {
+	return v.ctl.prepareVia(v.inner, ctx, tx, timeout)
+}
+
+func (v *faultView) Commit(ctx context.Context, tx histories.TxID, ts histories.Timestamp, timeout time.Duration) bool {
+	return v.ctl.commitVia(v.inner, ctx, tx, ts, timeout)
+}
+
+func (v *faultView) Abort(ctx context.Context, tx histories.TxID, timeout time.Duration) bool {
+	return v.ctl.abortVia(v.inner, ctx, tx, timeout)
 }

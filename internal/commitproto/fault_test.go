@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
+
+	"hybridcc/internal/histories"
 )
 
 // faultPair wires two yes-voting fake participants behind fault
@@ -168,6 +171,251 @@ func TestFaultTransparentVotes(t *testing.T) {
 	}
 	if a.abortedCount() != 1 {
 		t.Fatalf("yes-voter aborted %d times, want 1", a.abortedCount())
+	}
+}
+
+// Reorder coverage at every 2PC message-class pair, run with both inner
+// transports (goroutine/channel Server and in-process Direct) under the
+// fault wrapper.  Reorder is Hold with an automatic release: message N is
+// delivered only after k further messages have crossed the same link, so
+// each subtest pins one late-message hazard of the state machine.
+func TestFaultReorderMatrix(t *testing.T) {
+	for _, kind := range transportKinds {
+		t.Run(kind.name, func(t *testing.T) {
+			// A prepare request reordered past a later round's decide:
+			// round T1 aborts (site unreachable), and T1's prepare finally
+			// arrives after T2 has fully committed.  The stale prepare
+			// must land as a no-op vote into the void.
+			t.Run("prepare-after-decide", func(t *testing.T) {
+				a, b := newFake(10, true), newFake(25, true)
+				ta, stopA := kind.make("A", a)
+				tb, stopB := kind.make("B", b)
+				defer stopA()
+				defer stopB()
+				fa, fb := NewFaultTransport(ta), NewFaultTransport(tb)
+				// Deliveries through fa after capture: T1 abort (1),
+				// T2 prepare (2), T2 commit (3) — release after the decide.
+				fa.ScriptReorder(ClassPrepare, 3)
+
+				if dec, _, _ := coordinator().RunTransports(context.Background(), "T1", []Transport{fa, fb}); dec != Aborted {
+					t.Fatalf("T1 = %v, want aborted (prepare captured)", dec)
+				}
+				if got := len(a.prepared); got != 0 {
+					t.Fatalf("captured prepare delivered early (%d prepares)", got)
+				}
+				if fa.ReorderPending() != 1 {
+					t.Fatalf("pending = %d, want 1", fa.ReorderPending())
+				}
+				dec, ts2, err := coordinator().RunTransports(context.Background(), "T2", []Transport{fa, fb})
+				if err != nil || dec != Committed {
+					t.Fatalf("T2: %v %v", dec, err)
+				}
+				if fa.ReorderPending() != 0 {
+					t.Fatalf("pending = %d after release point, want 0", fa.ReorderPending())
+				}
+				a.mu.Lock()
+				order := append([]histories.TxID(nil), a.prepared...)
+				a.mu.Unlock()
+				if len(order) != 2 || order[0] != "T2" || order[1] != "T1" {
+					t.Fatalf("prepare order = %v, want [T2 T1] (T1 after T2's decide)", order)
+				}
+				if got, ok := a.committedTS("T2"); !ok || got != ts2 {
+					t.Fatalf("T2 committed at %d/%v, want %d", got, ok, ts2)
+				}
+				if _, ok := a.committedTS("T1"); ok {
+					t.Fatal("aborted T1 committed via stale prepare")
+				}
+			})
+
+			// A commit decision reordered past the next round's prepare:
+			// T1's decide is captured, T2 starts, and the decide lands
+			// mid-T2 — the classic decision-after-later-traffic delivery.
+			// The late decide must still commit T1 at its own timestamp.
+			t.Run("decide-after-prepare", func(t *testing.T) {
+				a, b := newFake(10, true), newFake(25, true)
+				ta, stopA := kind.make("A", a)
+				tb, stopB := kind.make("B", b)
+				defer stopA()
+				defer stopB()
+				fa, fb := NewFaultTransport(ta), NewFaultTransport(tb)
+				fa.ScriptReorder(ClassCommit, 1) // release after T2's prepare
+
+				dec, ts1, err := coordinator().RunTransports(context.Background(), "T1", []Transport{fa, fb})
+				if err != nil || dec != Committed {
+					t.Fatalf("T1: %v %v (decision precedes delivery)", dec, err)
+				}
+				if _, ok := a.committedTS("T1"); ok {
+					t.Fatal("captured decide delivered early")
+				}
+				dec, ts2, err := coordinator().RunTransports(context.Background(), "T2", []Transport{fa, fb})
+				if err != nil || dec != Committed {
+					t.Fatalf("T2: %v %v", dec, err)
+				}
+				if got, ok := a.committedTS("T1"); !ok || got != ts1 {
+					t.Fatalf("late T1 decide committed at %d/%v, want %d", got, ok, ts1)
+				}
+				if got, ok := a.committedTS("T2"); !ok || got != ts2 {
+					t.Fatalf("T2 committed at %d/%v, want %d", got, ok, ts2)
+				}
+			})
+
+			// An abort decision reordered past the next round's decide: the
+			// prepared-but-unreachable site learns its abort only after
+			// unrelated traffic commits.  Until then it holds locks; the
+			// late abort must still release exactly once.
+			t.Run("abort-after-decide", func(t *testing.T) {
+				a, b := newFake(10, true), newFake(25, true)
+				ta, stopA := kind.make("A", a)
+				tb, stopB := kind.make("B", b)
+				defer stopA()
+				defer stopB()
+				fa, fb := NewFaultTransport(ta), NewFaultTransport(tb)
+				fa.Script(ClassPrepare, DropReply) // a prepares, looks unreachable
+				fa.ScriptReorder(ClassAbort, 2)    // release after T2 prepare+decide
+
+				if dec, _, _ := coordinator().RunTransports(context.Background(), "T1", []Transport{fa, fb}); dec != Aborted {
+					t.Fatalf("T1 = %v, want aborted", dec)
+				}
+				if a.abortedCount() != 0 {
+					t.Fatal("captured abort delivered early")
+				}
+				dec, ts2, err := coordinator().RunTransports(context.Background(), "T2", []Transport{fa, fb})
+				if err != nil || dec != Committed {
+					t.Fatalf("T2: %v %v", dec, err)
+				}
+				if a.abortedCount() != 1 {
+					t.Fatalf("late abort count = %d, want 1", a.abortedCount())
+				}
+				if got, ok := a.committedTS("T2"); !ok || got != ts2 {
+					t.Fatalf("T2 committed at %d/%v, want %d", got, ok, ts2)
+				}
+			})
+
+			// Dup-decide-after-forget: T1's decide is captured, the
+			// coordinator redelivers it (the captured copy is now a
+			// duplicate), the participant applies and forgets T1 — then the
+			// reordered original arrives.  The duplicate must be absorbed
+			// idempotently at the same timestamp.
+			t.Run("dup-decide-after-forget", func(t *testing.T) {
+				a, b := newFake(10, true), newFake(25, true)
+				ta, stopA := kind.make("A", a)
+				tb, stopB := kind.make("B", b)
+				defer stopA()
+				defer stopB()
+				fa, fb := NewFaultTransport(ta), NewFaultTransport(tb)
+				fa.ScriptReorder(ClassCommit, 2) // release after redelivery + T2 prepare
+
+				dec, ts1, err := coordinator().RunTransports(context.Background(), "T1", []Transport{fa, fb})
+				if err != nil || dec != Committed {
+					t.Fatalf("T1: %v %v", dec, err)
+				}
+				// Redelivery path: the coordinator resends the unacked
+				// decision; this copy passes through and is applied.
+				if !fa.Commit(context.Background(), "T1", ts1, 500*time.Millisecond) {
+					t.Fatal("redelivered decide not acked")
+				}
+				if got, ok := a.committedTS("T1"); !ok || got != ts1 {
+					t.Fatalf("redelivered decide committed at %d/%v, want %d", got, ok, ts1)
+				}
+				// Later traffic releases the reordered original — a
+				// duplicate decide for a forgotten transaction.
+				dec, _, err = coordinator().RunTransports(context.Background(), "T2", []Transport{fa, fb})
+				if err != nil || dec != Committed {
+					t.Fatalf("T2: %v %v", dec, err)
+				}
+				if fa.ReorderPending() != 0 {
+					t.Fatalf("pending = %d, want 0", fa.ReorderPending())
+				}
+				if got := fa.Delivered(ClassCommit); got != 3 {
+					t.Fatalf("delivered %d decides, want 3 (redelivery, T2, late dup)", got)
+				}
+				if got, ok := a.committedTS("T1"); !ok || got != ts1 {
+					t.Fatalf("dup decide moved T1 to %d/%v, want %d", got, ok, ts1)
+				}
+			})
+		})
+	}
+}
+
+// A scripted partition span drops the next n messages of any class and
+// then heals itself, modelling a cut of bounded width rather than a
+// toggled outage.
+func TestFaultPartitionSpan(t *testing.T) {
+	a, _, fa, fb := faultPair()
+	fa.PartitionNext(3)
+	if !fa.Partitioned() {
+		t.Fatal("armed span not reported as partitioned")
+	}
+
+	// Round 1 consumes prepare + abort (2 messages) on the cut link;
+	// round 2's prepare consumes the third, after which its abort crosses.
+	if dec, _, _ := coordinator().RunTransports(context.Background(), "T1", []Transport{fa, fb}); dec != Aborted {
+		t.Fatal("T1 should abort across the cut")
+	}
+	if dec, _, _ := coordinator().RunTransports(context.Background(), "T2", []Transport{fa, fb}); dec != Aborted {
+		t.Fatal("T2 should abort (span still covers its prepare)")
+	}
+	if got := fa.PartitionDropped(); got != 3 {
+		t.Fatalf("span dropped %d messages, want 3", got)
+	}
+	if fa.Partitioned() {
+		t.Fatal("span did not heal after n messages")
+	}
+	if a.abortedCount() != 1 {
+		t.Fatalf("post-span abort count = %d, want 1 (T2's abort crossed)", a.abortedCount())
+	}
+
+	// Healed: the next round commits normally.
+	dec, ts, err := coordinator().RunTransports(context.Background(), "T3", []Transport{fa, fb})
+	if err != nil || dec != Committed {
+		t.Fatalf("post-heal round: %v %v", dec, err)
+	}
+	if got, ok := a.committedTS("T3"); !ok || got != ts {
+		t.Fatalf("T3 committed at %d/%v, want %d", got, ok, ts)
+	}
+}
+
+// Wrap derives per-round transports that share one controller's script
+// and partition state — the shape a cluster needs when every commit round
+// builds fresh transports but the fault plan is per shard.
+func TestFaultWrapSharesState(t *testing.T) {
+	a, b := newFake(10, true), newFake(25, true)
+	ctl := NewFaultTransport(nil)
+	ctl.Script(ClassPrepare, DropRequest)
+
+	round := func(tx histories.TxID) (Decision, histories.Timestamp, error) {
+		// Fresh views each round, as Options.WrapTransport produces.
+		va := ctl.Wrap(NewDirect("A", a))
+		vb := NewDirect("B", b)
+		return coordinator().RunTransports(context.Background(), tx, []Transport{va, vb})
+	}
+
+	if dec, _, _ := round("T1"); dec != Aborted {
+		t.Fatal("T1 should abort: the shared script drops its prepare")
+	}
+	if len(a.prepared) != 0 {
+		t.Fatal("dropped prepare reached the participant")
+	}
+	dec, ts, err := round("T2")
+	if err != nil || dec != Committed {
+		t.Fatalf("T2 through a fresh view: %v %v (script exhausted by T1's view)", dec, err)
+	}
+	if got, ok := a.committedTS("T2"); !ok || got != ts {
+		t.Fatalf("T2 committed at %d/%v, want %d", got, ok, ts)
+	}
+
+	// Partition state is shared the same way, and Delivered aggregates
+	// across views.
+	ctl.SetPartitioned(true)
+	if dec, _, _ := round("T3"); dec != Aborted {
+		t.Fatal("T3 should abort across the shared partition")
+	}
+	ctl.SetPartitioned(false)
+	if dec, _, err := round("T4"); err != nil || dec != Committed {
+		t.Fatalf("T4 after heal: %v %v", dec, err)
+	}
+	if got := ctl.Delivered(ClassCommit); got != 2 {
+		t.Fatalf("controller counted %d decides across views, want 2", got)
 	}
 }
 

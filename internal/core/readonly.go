@@ -220,6 +220,12 @@ func (t *ReadTx) ActivateAt(ts histories.Timestamp) {
 	t.sys.clock.Observe(ts)
 }
 
+// BranchErr reports the sticky error of a remote branch whose open or
+// activation RPC failed: reads through the branch fail fast with it.  It
+// is nil for healthy and local branches.  A cluster-wide snapshot uses it
+// to name the shards its snapshot is missing.
+func (t *ReadTx) BranchErr() error { return t.rerr }
+
 // Context returns the context the reader was started with.
 func (t *ReadTx) Context() context.Context { return t.ctx }
 

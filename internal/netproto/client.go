@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"hybridcc/internal/backoff"
 	"hybridcc/internal/commitproto"
 	"hybridcc/internal/core"
 	"hybridcc/internal/histories"
@@ -43,6 +44,7 @@ type ShardClient struct {
 	shard  int
 	shards int
 	opts   ClientOptions
+	bk     *breaker
 
 	mu     sync.Mutex
 	idle   []*rpcConn
@@ -74,6 +76,15 @@ type ClientOptions struct {
 	// blocks rather than guesses).  Nil means this client is the cluster's
 	// sole coordinator and resolves every branch.
 	Owns func(tx histories.TxID) bool
+	// BreakerThreshold is the number of consecutive transport failures
+	// that opens the per-shard circuit breaker; while open, requests fail
+	// fast with ErrShardDown instead of burning a dial timeout each.
+	// Zero means the default of 3; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerBackoff paces half-open probes of an open breaker with
+	// jittered exponential delays.  The zero value means backoff.Default()
+	// (100ms doubling to a 2s cap).
+	BreakerBackoff backoff.Policy
 }
 
 // rpcConn is one pooled connection with its buffers.  A connection is
@@ -99,6 +110,7 @@ func DialShard(addr string, shard, shards int, opts ClientOptions) (*ShardClient
 		shard:  shard,
 		shards: shards,
 		opts:   opts,
+		bk:     newBreaker(shard, opts.BreakerThreshold, opts.BreakerBackoff),
 		pinned: make(map[histories.TxID]*rpcConn),
 		parts:  make(map[histories.TxID]int),
 		quit:   make(chan struct{}),
@@ -120,6 +132,10 @@ func (c *ShardClient) Transport() commitproto.Transport { return shardTransport{
 
 // Addr returns the dialed address.
 func (c *ShardClient) Addr() string { return c.addr }
+
+// Down reports whether this shard's circuit breaker is open (the shard is
+// considered down) and, if so, since when.
+func (c *ShardClient) Down() (bool, time.Time) { return c.bk.down() }
 
 // Close severs the pool and stops background redelivery.
 func (c *ShardClient) Close() error {
@@ -143,16 +159,20 @@ func (c *ShardClient) Close() error {
 	return nil
 }
 
-// dial opens and handshakes a fresh connection.
+// dial opens and handshakes a fresh connection.  Transport-level failures
+// (refused dial, broken handshake) feed the circuit breaker; a completed
+// handshake resets it.
 func (c *ShardClient) dial() (*rpcConn, error) {
 	nc, err := net.DialTimeout("tcp", c.addr, c.opts.Timeout)
 	if err != nil {
+		c.bk.failure()
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnavailable, c.addr, err)
 	}
 	rc := &rpcConn{nc: nc, r: bufio.NewReaderSize(nc, 32<<10), w: bufio.NewWriterSize(nc, 32<<10)}
 	resp, err := rc.roundTrip(&message{typ: msgHello, n: protoVersion}, c.opts.Timeout)
 	if err != nil {
 		_ = nc.Close()
+		c.bk.failure()
 		return nil, fmt.Errorf("%w: %s: handshake: %v", ErrUnavailable, c.addr, err)
 	}
 	if resp.typ != msgHelloResp || resp.n != protoVersion {
@@ -172,9 +192,13 @@ func (c *ShardClient) dial() (*rpcConn, error) {
 	if resp.flag == stateRecovering {
 		if err := c.resolvePending(rc); err != nil {
 			_ = nc.Close()
+			if errors.Is(err, ErrUnavailable) {
+				c.bk.failure()
+			}
 			return nil, err
 		}
 	}
+	c.bk.success()
 	return rc, nil
 }
 
@@ -268,7 +292,11 @@ func (c *ShardClient) timeoutFor(ctx context.Context) time.Duration {
 }
 
 // connFor returns tx's pinned connection, pinning a pooled or fresh one
-// on first use.
+// on first use.  Acquiring a new connection is gated by the circuit
+// breaker — an open breaker fails fast with ErrShardDown — but a
+// transaction that already holds a pinned connection keeps using it, so
+// in-flight work finishes (or fails on its own merits) rather than being
+// cut off by other transactions' failures.
 func (c *ShardClient) connFor(tx histories.TxID) (*rpcConn, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -278,6 +306,15 @@ func (c *ShardClient) connFor(tx histories.TxID) (*rpcConn, error) {
 	if rc, ok := c.pinned[tx]; ok {
 		c.mu.Unlock()
 		return rc, nil
+	}
+	c.mu.Unlock()
+	if err := c.bk.allow(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: client closed", ErrUnavailable)
 	}
 	var rc *rpcConn
 	if n := len(c.idle); n > 0 {
@@ -303,8 +340,12 @@ func (c *ShardClient) connFor(tx histories.TxID) (*rpcConn, error) {
 	return rc, nil
 }
 
-// anyConn checks out an unpinned connection for a one-shot RPC.
+// anyConn checks out an unpinned connection for a one-shot RPC, gated by
+// the circuit breaker like connFor.
 func (c *ShardClient) anyConn() (*rpcConn, error) {
+	if err := c.bk.allow(); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -362,6 +403,7 @@ func (c *ShardClient) txRPC(ctx context.Context, tx histories.TxID, req *message
 		return message{}, err
 	}
 	resp, err := rc.roundTrip(req, c.timeoutFor(ctx))
+	c.bk.observe(err == nil)
 	if err != nil {
 		c.unpin(tx, true)
 		return message{}, fmt.Errorf("%w: %s: %v", ErrUnavailable, c.addr, err)
@@ -376,6 +418,7 @@ func (c *ShardClient) oneShot(ctx context.Context, req *message) (message, error
 		return message{}, err
 	}
 	resp, err := rc.roundTrip(req, c.timeoutFor(ctx))
+	c.bk.observe(err == nil)
 	if err != nil {
 		_ = rc.nc.Close()
 		return message{}, fmt.Errorf("%w: %s: %v", ErrUnavailable, c.addr, err)
@@ -434,6 +477,7 @@ func (c *ShardClient) Commit(ctx context.Context, tx histories.TxID) (histories.
 		return 0, err
 	}
 	resp, rtErr := rc.roundTrip(&message{typ: msgCommit, tx: string(tx)}, c.timeoutFor(ctx))
+	c.bk.observe(rtErr == nil)
 	if rtErr != nil {
 		c.unpin(tx, true)
 		return c.probeCommit(tx)
@@ -591,6 +635,7 @@ func (tr shardTransport) Prepare(ctx context.Context, tx histories.TxID, timeout
 		t = timeout
 	}
 	resp, err := rc.roundTrip(&message{typ: msgPrepare, tx: string(tx), n: uint64(n)}, t)
+	c.bk.observe(err == nil)
 	if err != nil {
 		c.unpin(tx, true)
 		return 0, false, false
@@ -643,6 +688,7 @@ func (c *ShardClient) deliverDecision(tx histories.TxID, req *message, timeout t
 			return false
 		}
 		resp, err := rc.roundTrip(req, t)
+		c.bk.observe(err == nil)
 		if err != nil {
 			_ = rc.nc.Close()
 			return false
@@ -651,6 +697,7 @@ func (c *ShardClient) deliverDecision(tx histories.TxID, req *message, timeout t
 		return resp.typ != msgErr
 	}
 	resp, err := rc.roundTrip(req, t)
+	c.bk.observe(err == nil)
 	if err != nil {
 		c.unpin(tx, true)
 		return false
@@ -674,16 +721,15 @@ func (c *ShardClient) redeliver(req *message) {
 	c.mu.Unlock()
 	go func() {
 		defer c.wg.Done()
-		backoff := 100 * time.Millisecond
-		for {
-			select {
-			case <-c.quit:
+		pol := backoff.Default()
+		for attempt := 0; ; attempt++ {
+			if !backoff.Wait(c.quit, pol.Delay(attempt)) {
 				return
-			case <-time.After(backoff):
 			}
 			rc, err := c.anyConn()
 			if err == nil {
 				resp, rtErr := rc.roundTrip(req, c.opts.Timeout)
+				c.bk.observe(rtErr == nil)
 				if rtErr == nil {
 					c.release(rc)
 					if resp.typ != msgErr || errors.Is(errOf(resp.flag, resp.a), core.ErrTxDone) {
@@ -692,9 +738,6 @@ func (c *ShardClient) redeliver(req *message) {
 				} else {
 					_ = rc.nc.Close()
 				}
-			}
-			if backoff < 2*time.Second {
-				backoff *= 2
 			}
 		}
 	}()

@@ -147,6 +147,19 @@ func (s *Server) Recovering() bool {
 	return s.recovering
 }
 
+// PendingBranches reports how many recovered prepared branches still
+// await a decision from their coordinator.  It is nonzero only while
+// Recovering; operators and the chaos runner use it to assert drain
+// progress.
+func (s *Server) PendingBranches() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.recovering {
+		return 0
+	}
+	return len(s.pending)
+}
+
 // System returns the served shard.
 func (s *Server) System() *core.System { return s.sys }
 

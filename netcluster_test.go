@@ -288,21 +288,23 @@ func freePort(t *testing.T) string {
 }
 
 // spawnShardd starts a shardd process on addr over dir and waits until it
-// accepts connections.
-func spawnShardd(t *testing.T, bin, addr, dir string, shard, shards int) *sharddProc {
+// accepts connections.  extra appends further shardd flags (e.g. -stats).
+func spawnShardd(t *testing.T, bin, addr, dir string, shard, shards int, extra ...string) *sharddProc {
 	t.Helper()
 	logf, err := os.OpenFile(filepath.Join(dir, "shardd.log"),
 		os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmd := exec.Command(bin,
+	args := []string{
 		"-addr", addr,
 		"-shard", fmt.Sprint(shard),
 		"-shards", fmt.Sprint(shards),
 		"-dir", dir,
 		"-grace", "1s",
-	)
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
 	cmd.Stdout, cmd.Stderr = logf, logf
 	if err := cmd.Start(); err != nil {
 		_ = logf.Close()

@@ -137,6 +137,23 @@ func (e *netChaosEnv) Restart(shard int) error {
 
 func (e *netChaosEnv) Reorder(int, int) error { return chaos.ErrUnsupported }
 
+// Checkpoint asks the shard process to checkpoint now, over its stats
+// listener.  The shard captures committed state, publishes the checkpoint,
+// and truncates covered WAL segments — all while schedule traffic is in
+// flight.
+func (e *netChaosEnv) Checkpoint(shard int) error {
+	cl := http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Post(fmt.Sprintf("http://%s/checkpoint", e.stats[shard]), "text/plain", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("checkpoint shard %d: HTTP %d", shard, resp.StatusCode)
+	}
+	return nil
+}
+
 // sharddStats is the slice of the /stats payload Settle reads.
 type sharddStats struct {
 	Recovering      bool `json:"recovering"`
@@ -214,8 +231,10 @@ func (e *netChaosEnv) Check() error {
 // TestRealProcessChaosSchedule drives the acceptance chaos schedule
 // against three real hybrid-shardd processes with background traffic in
 // flight: the coordinator is partitioned from one shard mid-2PC, the
-// partition heals, another shard is kill -9ed and restarted over its
-// durable state — and afterwards the cluster settles with the recorded
+// partition heals, another shard checkpoints under live traffic and is
+// then kill -9ed and restarted over its durable state (recovery seeds
+// from the checkpoint and replays only the tail) — and afterwards the
+// cluster settles with the recorded
 // history verifying hybrid atomic and every acknowledged transfer
 // applied on both legs.
 func TestRealProcessChaosSchedule(t *testing.T) {
@@ -232,7 +251,8 @@ func TestRealProcessChaosSchedule(t *testing.T) {
 			{Op: chaos.OpTransfers, N: 10},
 			{Op: chaos.OpHeal, Shard: 1},
 			{Op: chaos.OpTransfers, N: 20},
-			{Op: chaos.OpCrash, Shard: 2},
+			{Op: chaos.OpCheckpoint, Shard: 2}, // checkpoint under live traffic...
+			{Op: chaos.OpCrash, Shard: 2},      // ...then kill -9 the same shard
 			{Op: chaos.OpTransfers, N: 10},
 			{Op: chaos.OpRestart, Shard: 2},
 			{Op: chaos.OpTransfers, N: 20},

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"hybridcc/internal/cluster"
+	"hybridcc/internal/histories"
 )
 
 // Cluster is a sharded System: objects are partitioned across independent
@@ -25,6 +26,10 @@ type Cluster struct {
 	inner    *cluster.Cluster
 	recorder *Recorder
 	reg      *registry
+	// bases holds the per-object states recovery seeded from per-shard
+	// checkpoints (nil when every shard recovered from replay alone):
+	// Verify replays the recorded global history from these.
+	bases histories.StateMap
 }
 
 // DTx is a distributed transaction on a Cluster: one branch per touched
@@ -158,7 +163,7 @@ func (c *Cluster) SetScheme(name string, scheme Scheme) error {
 // and one timestamp at objects on different shards, the check proves
 // global atomicity — a torn 2PC would fail it — not merely per-shard
 // atomicity.
-func (c *Cluster) Verify() error { return verifyRecorded(c.recorder, c.reg) }
+func (c *Cluster) Verify() error { return verifyRecorded(c.recorder, c.reg, c.bases) }
 
 // NewCustom registers an object on the shard that owns name, behaving as
 // System.NewCustom in every other respect.  Names are unique

@@ -1,0 +1,181 @@
+// hybrid-recoverbench measures what checkpoints buy: recovery time and
+// on-disk bytes for a log of N commits, with and without a checkpoint
+// cutting all but a fixed tail.  It produced the checkpoint table in
+// EXPERIMENTS.md.
+//
+// For each -commits value it populates a fresh directory (fsync off — the
+// probe measures recovery, not append throughput), times a full-replay
+// reopen, takes a checkpoint, appends -tail more commits, and times the
+// reopen again: the second recovery loads the checkpoint image and
+// replays only the tail, and the directory holds only the checkpoint
+// plus the tail segments.  Every reopen asserts the exact committed
+// balance before its time is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	hybridcc "hybridcc"
+)
+
+func dirBytes(dir string) (int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			return 0, err
+		}
+		n += info.Size()
+	}
+	return n, nil
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+type sysHandle struct {
+	s    *hybridcc.System
+	accs []*hybridcc.Account
+}
+
+func open(dir string, accounts int, segment int64) (*sysHandle, error) {
+	h := &sysHandle{accs: make([]*hybridcc.Account, accounts)}
+	s, err := hybridcc.Open(dir, func(s *hybridcc.System) error {
+		for i := range h.accs {
+			var err error
+			h.accs[i], err = s.NewAccount(fmt.Sprintf("acc%03d", i))
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}, hybridcc.WithFsync(false), hybridcc.WithSegmentSize(segment))
+	if err != nil {
+		return nil, err
+	}
+	h.s = s
+	return h, nil
+}
+
+func (h *sysHandle) credit(n int) error {
+	for i := 0; i < n; i++ {
+		a := h.accs[i%len(h.accs)]
+		if err := h.s.Atomically(func(tx *hybridcc.Tx) error { return a.Credit(tx, 1) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *sysHandle) balance() int64 {
+	var total int64
+	for _, a := range h.accs {
+		total += a.CommittedBalance()
+	}
+	return total
+}
+
+func run(commits, tail, accounts int, segment int64) error {
+	dir, err := os.MkdirTemp("", "recoverbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	h, err := open(dir, accounts, segment)
+	if err != nil {
+		return err
+	}
+	if err := h.credit(commits); err != nil {
+		return err
+	}
+	if err := h.s.Close(); err != nil {
+		return err
+	}
+	logBytes, err := dirBytes(dir)
+	if err != nil {
+		return err
+	}
+
+	// Full replay, then a checkpoint over everything recovered.
+	t0 := time.Now()
+	h, err = open(dir, accounts, segment)
+	if err != nil {
+		return err
+	}
+	fullReplay := time.Since(t0)
+	if got := h.balance(); got != int64(commits) {
+		return fmt.Errorf("full replay recovered balance %d, want %d", got, commits)
+	}
+	if err := h.s.Checkpoint(); err != nil {
+		return err
+	}
+	if err := h.credit(tail); err != nil {
+		return err
+	}
+	if err := h.s.Close(); err != nil {
+		return err
+	}
+	ckptBytes, err := dirBytes(dir)
+	if err != nil {
+		return err
+	}
+
+	// Checkpoint-seeded recovery: image plus tail replay only.
+	t1 := time.Now()
+	h, err = open(dir, accounts, segment)
+	if err != nil {
+		return err
+	}
+	ckptReplay := time.Since(t1)
+	if got := h.balance(); got != int64(commits+tail) {
+		return fmt.Errorf("checkpoint recovery recovered balance %d, want %d", got, commits+tail)
+	}
+	if err := h.s.Close(); err != nil {
+		return err
+	}
+
+	fmt.Printf("| %d | %d | %s | %.1f | %s | %.1f |\n",
+		commits, tail,
+		fmtBytes(logBytes), fullReplay.Seconds()*1000,
+		fmtBytes(ckptBytes), ckptReplay.Seconds()*1000)
+	return nil
+}
+
+func main() {
+	commitsFlag := flag.String("commits", "10000,100000,500000", "comma-separated log sizes to probe (commits)")
+	tail := flag.Int("tail", 1000, "commits appended after the checkpoint (the replayed tail)")
+	accounts := flag.Int("accounts", 64, "account objects spreading the traffic")
+	segment := flag.Int64("segment", 1<<20, "segment size in bytes (smaller = finer truncation)")
+	flag.Parse()
+
+	fmt.Println("| commits | tail | log (no ckpt) | recovery ms (no ckpt) | dir (ckpt) | recovery ms (ckpt) |")
+	fmt.Println("|---:|---:|---:|---:|---:|---:|")
+	for _, f := range strings.Split(*commitsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybrid-recoverbench: -commits %q: %v\n", f, err)
+			os.Exit(1)
+		}
+		if err := run(n, *tail, *accounts, *segment); err != nil {
+			fmt.Fprintf(os.Stderr, "hybrid-recoverbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"hybridcc/internal/core"
 	"hybridcc/internal/netproto"
 	"hybridcc/internal/tstamp"
+	"hybridcc/internal/wal"
 )
 
 func main() {
@@ -52,6 +53,16 @@ func main() {
 		lockWait = flag.Duration("lockwait", 0, "per-call lock wait bound (0: default)")
 		group    = flag.Bool("group", false, "batch fast-path commits through the group-commit pipeline")
 		grace    = flag.Duration("grace", 5*time.Second, "shutdown drain period")
+		ckptB    = flag.Int64("checkpoint-bytes", 0, "checkpoint when this many bytes were logged since the last one (0: off)")
+		ckptI    = flag.Duration("checkpoint-interval", 0, "checkpoint when this long has passed since the last one (0: off)")
+		// -ckpt-crash kills the process (exit 137, as kill -9 would) the
+		// moment a checkpoint attempt reaches the named stage — the chaos
+		// harness's lever for exercising every crash window of the publish
+		// protocol.  Stages: create, write, sync (crash before the rename),
+		// rename (crash before publishing), retire (crash after publishing,
+		// before retiring old checkpoints), truncate (crash before segment
+		// unlink).
+		ckptCrash = flag.String("ckpt-crash", "", "kill -9 the process when a checkpoint reaches this stage (testing only)")
 	)
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("shardd[%d]: ", *shard))
@@ -63,6 +74,15 @@ func main() {
 	if *shard < 0 || *shards < 1 || *shard >= *shards {
 		log.Fatalf("bad shard coordinates: -shard %d -shards %d", *shard, *shards)
 	}
+	if stage := *ckptCrash; stage != "" {
+		wal.CheckpointFailpoint = func(st string) error {
+			if st == stage {
+				log.Printf("ckpt-crash: dying at checkpoint stage %q", st)
+				os.Exit(137)
+			}
+			return nil
+		}
+	}
 
 	sys, err := core.OpenSystem(core.Options{
 		LockWait:           *lockWait,
@@ -71,9 +91,11 @@ func main() {
 		DeadlockDetection:  true,
 		GroupCommit:        *group,
 		Durability: &core.Durability{
-			Dir:         filepath.Join(*dir, "wal"),
-			Sync:        *fsync,
-			SegmentSize: *segment,
+			Dir:                filepath.Join(*dir, "wal"),
+			Sync:               *fsync,
+			SegmentSize:        *segment,
+			CheckpointBytes:    *ckptB,
+			CheckpointInterval: *ckptI,
 		},
 	})
 	if err != nil {
@@ -150,10 +172,11 @@ type statsPayload struct {
 	// PendingBranches counts the prepared-but-undecided 2PC branches still
 	// awaiting their coordinators' decisions; harnesses poll these to know
 	// when a restarted shard has fully settled.
-	Recovering      bool               `json:"recovering"`
-	PendingBranches int                `json:"pending_branches"`
-	Stats           core.StatsSnapshot `json:"stats"`
-	Objects         []objectPayload    `json:"objects"`
+	Recovering      bool                 `json:"recovering"`
+	PendingBranches int                  `json:"pending_branches"`
+	Stats           core.StatsSnapshot   `json:"stats"`
+	Checkpoint      core.CheckpointStats `json:"checkpoint"`
+	Objects         []objectPayload      `json:"objects"`
 }
 
 type objectPayload struct {
@@ -179,6 +202,7 @@ func startStats(addr string, srv *netproto.Server, shard, shards int) *http.Serv
 			Recovering:      srv.Recovering(),
 			PendingBranches: srv.PendingBranches(),
 			Stats:           srv.System().Stats(),
+			Checkpoint:      srv.System().CheckpointStats(),
 		}
 		for _, o := range srv.System().Objects() {
 			p.Objects = append(p.Objects, objectPayload{
@@ -198,6 +222,17 @@ func startStats(addr string, srv *netproto.Server, shard, shards int) *http.Serv
 			return
 		}
 		fmt.Fprintln(w, "serving")
+	})
+	mux.HandleFunc("/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := srv.System().Checkpoint(); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		fmt.Fprintln(w, "checkpointed")
 	})
 	s := &http.Server{Addr: addr, Handler: mux}
 	go func() {

@@ -4,7 +4,6 @@ import (
 	crand "crypto/rand"
 	"encoding/hex"
 	"fmt"
-	"os"
 	"strings"
 	"sync"
 	"time"
@@ -144,19 +143,8 @@ func openDecisionLedger(dir, prefix string) (*decisionLedger, error) {
 }
 
 // compactLedgerDir rewrites the ledger directory to exactly the live
-// records, crash-safely: the live set is written and fsynced into a
-// sibling directory, then swapped in with two renames.  A crash anywhere
-// leaves either the original or the complete copy for
-// recoverLedgerCompaction to settle — never a mix.
+// records via the crash-safe wal.CompactDir two-rename swap.
 func compactLedgerDir(dir string, owners []string, decisions map[string]int64) error {
-	compact, old := dir+".compact", dir+".old"
-	if err := os.RemoveAll(compact); err != nil {
-		return err
-	}
-	cl, _, err := wal.Open(compact, wal.Options{Sync: true})
-	if err != nil {
-		return err
-	}
 	recs := make([]wal.Record, 0, len(owners)+len(decisions))
 	for _, p := range owners {
 		recs = append(recs, wal.Record{Kind: wal.KindOwner, Tx: p})
@@ -164,50 +152,11 @@ func compactLedgerDir(dir string, owners []string, decisions map[string]int64) e
 	for tx, ts := range decisions {
 		recs = append(recs, wal.Record{Kind: wal.KindDecision, Tx: tx, TS: ts})
 	}
-	if len(recs) > 0 {
-		if err := cl.AppendBatchSync(recs); err != nil {
-			_ = cl.Close()
-			return err
-		}
-	}
-	if err := cl.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(dir, old); err != nil {
-		return err
-	}
-	if err := os.Rename(compact, dir); err != nil {
-		return err
-	}
-	return os.RemoveAll(old)
+	return wal.CompactDir(dir, recs, wal.Options{Sync: true})
 }
 
-// recoverLedgerCompaction settles a compaction a crash interrupted.  The
-// swap's invariant: dir+".compact" is complete iff dir is absent (the
-// first rename runs only after the copy is fsynced and closed).
-func recoverLedgerCompaction(dir string) error {
-	compact, old := dir+".compact", dir+".old"
-	if _, err := os.Stat(compact); err == nil {
-		if _, derr := os.Stat(dir); derr == nil {
-			// Crashed before the swap: the original is intact and the copy
-			// may be partial — scrap the copy.
-			if err := os.RemoveAll(compact); err != nil {
-				return err
-			}
-		} else if os.IsNotExist(derr) {
-			// Crashed between the renames: the copy is complete — promote it.
-			if err := os.Rename(compact, dir); err != nil {
-				return err
-			}
-		} else {
-			return derr
-		}
-	} else if !os.IsNotExist(err) {
-		return err
-	}
-	// A leftover ".old" is always superseded, whichever window crashed.
-	return os.RemoveAll(old)
-}
+// recoverLedgerCompaction settles a compaction a crash interrupted.
+func recoverLedgerCompaction(dir string) error { return wal.RecoverCompaction(dir) }
 
 // record is the coordinator's decision hook: remember (and persist, when
 // durable) before any shard learns the decision.

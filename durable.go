@@ -1,8 +1,11 @@
 package hybridcc
 
 import (
+	"time"
+
 	"hybridcc/internal/cluster"
 	"hybridcc/internal/core"
+	"hybridcc/internal/histories"
 )
 
 // This file is the durable face of the library: Open and OpenCluster give
@@ -35,13 +38,38 @@ func WithSegmentSize(bytes int64) Option {
 	return func(c *config) { c.segmentSize = bytes }
 }
 
+// WithCheckpointBytes starts a background checkpointer that takes a
+// checkpoint whenever at least n bytes have been appended to the log since
+// the last one (Open/OpenCluster only; per shard on a cluster).  A
+// checkpoint captures every object's committed state and the surviving
+// prepared-undecided branches, then truncates the log segments it covers —
+// bounding both recovery replay time and disk usage.  Zero (the default)
+// disables the bytes trigger; Checkpoint remains available manually.
+func WithCheckpointBytes(n int64) Option {
+	return func(c *config) { c.checkpointBytes = n }
+}
+
+// WithCheckpointInterval starts a background checkpointer that takes a
+// checkpoint whenever d has elapsed since the last one (Open/OpenCluster
+// only; per shard on a cluster).  Combines with WithCheckpointBytes:
+// whichever trigger fires first wins.  Zero disables the interval trigger.
+func WithCheckpointInterval(d time.Duration) Option {
+	return func(c *config) { c.checkpointInterval = d }
+}
+
 // durabilityOf builds the core durability config from the option set.
 func (c *config) durabilityOf(dir string) *core.Durability {
 	sync := true
 	if c.fsyncSet {
 		sync = c.fsync
 	}
-	return &core.Durability{Dir: dir, Sync: sync, SegmentSize: c.segmentSize}
+	return &core.Durability{
+		Dir:                dir,
+		Sync:               sync,
+		SegmentSize:        c.segmentSize,
+		CheckpointBytes:    c.checkpointBytes,
+		CheckpointInterval: c.checkpointInterval,
+	}
 }
 
 // Open is NewSystem with a durable write-ahead commit log in dir: every
@@ -92,6 +120,9 @@ func Open(dir string, setup func(*System) error, opts ...Option) (*System, error
 		_ = inner.Close()
 		return nil, err
 	}
+	if bases := inner.RecoveredBases(); len(bases) > 0 {
+		s.bases = histories.StateMap(bases)
+	}
 	return s, nil
 }
 
@@ -100,6 +131,24 @@ func Open(dir string, setup func(*System) error, opts ...Option) (*System, error
 // after every transaction has completed; commits issued after Close fail
 // rather than silently losing durability.
 func (s *System) Close() error { return s.inner.Close() }
+
+// CheckpointStats reports checkpoint counters: successful and failed
+// attempts, the latest checkpoint's cut timestamp and age, bytes appended
+// since it, and the cumulative log bytes and segments truncation reclaimed.
+type CheckpointStats = core.CheckpointStats
+
+// Checkpoint takes a checkpoint now — committed object states plus
+// surviving prepared-undecided branches, published atomically — and
+// truncates the log segments it covers.  Errors on a volatile System.
+// Checkpointing overlaps running transactions: it reads lock-free committed
+// snapshots and never touches the lock manager; a write failure (a full
+// disk, say) poisons only the attempt and the engine keeps running
+// log-only.
+func (s *System) Checkpoint() error { return s.inner.Checkpoint() }
+
+// CheckpointStats returns the checkpoint counters (zero on a volatile
+// System).
+func (s *System) CheckpointStats() CheckpointStats { return s.inner.CheckpointStats() }
 
 // OpenCluster is NewCluster with durable per-shard commit logs under
 // dir/shard<i> and a coordinator decision log under dir/coord.  The setup
@@ -145,9 +194,21 @@ func OpenCluster(dir string, shards int, setup func(*Cluster) error, opts ...Opt
 		_ = inner.Close()
 		return nil, err
 	}
+	if bases := inner.RecoveredBases(); len(bases) > 0 {
+		cl.bases = histories.StateMap(bases)
+	}
 	return cl, nil
 }
 
 // Close closes every shard's commit log and the coordinator decision log
 // (no-op on a volatile Cluster).
 func (c *Cluster) Close() error { return c.inner.Close() }
+
+// Checkpoint takes a checkpoint on every shard and truncates each shard
+// log's covered segments.  Errors on a volatile Cluster; a failing shard
+// does not stop the others.
+func (c *Cluster) Checkpoint() error { return c.inner.Checkpoint() }
+
+// CheckpointStats sums the shards' checkpoint counters (LastAge reports
+// the shard with the oldest last checkpoint).
+func (c *Cluster) CheckpointStats() CheckpointStats { return c.inner.CheckpointStats() }

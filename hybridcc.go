@@ -135,6 +135,10 @@ type config struct {
 	fsync       bool
 	fsyncSet    bool
 	segmentSize int64
+	// Checkpoint triggers, meaningful to Open/OpenCluster only: zero
+	// disables the corresponding background trigger.
+	checkpointBytes    int64
+	checkpointInterval time.Duration
 	// dialDecisionDir, meaningful to Dial only: a durable home for the
 	// client's commit-decision ledger (WithDialDecisionLog).
 	dialDecisionDir string
@@ -226,6 +230,10 @@ type System struct {
 	inner    *core.System
 	recorder *Recorder
 	reg      *registry
+	// bases holds the per-object states recovery seeded from a checkpoint
+	// (nil on volatile systems and checkpoint-free recoveries): Verify
+	// replays the recorded history from these rather than from Init.
+	bases histories.StateMap
 }
 
 // NewSystem creates a System.
@@ -429,19 +437,21 @@ func (s *System) SetScheme(name string, scheme Scheme) error {
 // through this System.  Read-only transactions are verified under the
 // generalized (start-timestamped) rules.
 func (s *System) Verify() error {
-	return verifyRecorded(s.recorder, s.reg)
+	return verifyRecorded(s.recorder, s.reg, s.bases)
 }
 
 // verifyRecorded checks a recorder's history against a registry's
 // specifications — shared by System.Verify and Cluster.Verify (where the
 // recorder holds the interleaved history of every shard, so the check
-// proves global atomicity).
-func verifyRecorded(rec *Recorder, reg *registry) error {
+// proves global atomicity).  bases carries the checkpoint-seeded starting
+// states of a recovered system (nil when recovery started from empty
+// objects): the recorded history replays from those.
+func verifyRecorded(rec *Recorder, reg *registry, bases histories.StateMap) error {
 	if rec == nil {
 		return errors.New("hybridcc: no recorder attached; construct with WithRecorder")
 	}
 	isReadOnly := func(id histories.TxID) bool { return strings.HasPrefix(string(id), "R") }
-	return verify.CheckGeneralizedHybridAtomic(rec.History(), reg.snapshot(), isReadOnly)
+	return verify.CheckGeneralizedHybridAtomicFrom(rec.History(), reg.snapshot(), bases, isReadOnly)
 }
 
 // objectConfig accumulates object-creation options, carrying the first

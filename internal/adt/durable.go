@@ -1,0 +1,269 @@
+package adt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"hybridcc/internal/spec"
+)
+
+// This file implements spec.DurableSpec for every built-in type, so
+// checkpoints store each object's committed state as a compact blob
+// instead of the operation history that produced it.  Encodings are
+// deterministic — map-backed states sort their keys — because a
+// checkpoint must not depend on iteration order, and minimal: a varint
+// for numeric states, uvarint-length-prefixed strings for collections.
+
+var (
+	_ spec.DurableSpec = Account{}
+	_ spec.DurableSpec = Counter{}
+	_ spec.DurableSpec = Queue{}
+	_ spec.DurableSpec = Semiqueue{}
+	_ spec.DurableSpec = Set{}
+	_ spec.DurableSpec = Directory{}
+	_ spec.DurableSpec = File{}
+)
+
+func appendStateStr(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// stateDecoder walks an encoded state blob, latching the first error.
+type stateDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *stateDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *stateDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("adt: truncated state varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *stateDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("adt: truncated state uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *stateDecoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail("adt: state string length %d exceeds blob", n)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// done verifies the blob was consumed exactly.
+func (d *stateDecoder) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("adt: %d trailing bytes in state blob", len(d.buf)-d.off)
+	}
+	return nil
+}
+
+// count reads a collection length and sanity-bounds it against the blob.
+func (d *stateDecoder) count() int {
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.buf)) {
+		d.fail("adt: state count %d exceeds blob", n)
+	}
+	return int(n)
+}
+
+// encodeStrings renders a string slice in the given order.
+func encodeStrings(items []string) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(items)))
+	for _, it := range items {
+		buf = appendStateStr(buf, it)
+	}
+	return buf
+}
+
+func decodeStrings(data []byte) ([]string, error) {
+	d := &stateDecoder{buf: data}
+	n := d.count()
+	var items []string
+	for i := 0; i < n && d.err == nil; i++ {
+		items = append(items, d.str())
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+// EncodeState implements spec.DurableSpec.
+func (Account) EncodeState(s spec.State) ([]byte, error) {
+	return binary.AppendVarint(nil, s.(accountState).bal), nil
+}
+
+// DecodeState implements spec.DurableSpec.
+func (Account) DecodeState(data []byte) (spec.State, error) {
+	d := &stateDecoder{buf: data}
+	bal := d.varint()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	if bal < 0 {
+		return nil, fmt.Errorf("adt: negative account balance %d", bal)
+	}
+	return accountState{bal: bal}, nil
+}
+
+// EncodeState implements spec.DurableSpec.
+func (Counter) EncodeState(s spec.State) ([]byte, error) {
+	return binary.AppendVarint(nil, s.(counterState).n), nil
+}
+
+// DecodeState implements spec.DurableSpec.
+func (Counter) DecodeState(data []byte) (spec.State, error) {
+	d := &stateDecoder{buf: data}
+	n := d.varint()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return counterState{n: n}, nil
+}
+
+// EncodeState implements spec.DurableSpec.
+func (Queue) EncodeState(s spec.State) ([]byte, error) {
+	return encodeStrings(s.(queueState).items), nil
+}
+
+// DecodeState implements spec.DurableSpec.
+func (Queue) DecodeState(data []byte) (spec.State, error) {
+	items, err := decodeStrings(data)
+	if err != nil {
+		return nil, err
+	}
+	return queueState{items: items}, nil
+}
+
+// EncodeState implements spec.DurableSpec.
+func (Semiqueue) EncodeState(s spec.State) ([]byte, error) {
+	return encodeStrings(s.(semiqueueState).items), nil
+}
+
+// DecodeState implements spec.DurableSpec.
+func (Semiqueue) DecodeState(data []byte) (spec.State, error) {
+	items, err := decodeStrings(data)
+	if err != nil {
+		return nil, err
+	}
+	if !sort.StringsAreSorted(items) {
+		return nil, fmt.Errorf("adt: semiqueue state blob not sorted")
+	}
+	return semiqueueState{items: items}, nil
+}
+
+// EncodeState implements spec.DurableSpec.
+func (Set) EncodeState(s spec.State) ([]byte, error) {
+	st := s.(setState)
+	members := make([]string, 0, len(st.members))
+	for m := range st.members {
+		members = append(members, m)
+	}
+	sort.Strings(members)
+	return encodeStrings(members), nil
+}
+
+// DecodeState implements spec.DurableSpec.
+func (Set) DecodeState(data []byte) (spec.State, error) {
+	items, err := decodeStrings(data)
+	if err != nil {
+		return nil, err
+	}
+	members := make(map[string]bool, len(items))
+	for _, m := range items {
+		members[m] = true
+	}
+	if len(members) != len(items) {
+		return nil, fmt.Errorf("adt: duplicate member in set state blob")
+	}
+	return setState{members: members}, nil
+}
+
+// EncodeState implements spec.DurableSpec.
+func (Directory) EncodeState(s spec.State) ([]byte, error) {
+	st := s.(dirState)
+	keys := make([]string, 0, len(st.bind))
+	for k := range st.bind {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf := binary.AppendUvarint(nil, uint64(len(keys)))
+	for _, k := range keys {
+		buf = appendStateStr(buf, k)
+		buf = appendStateStr(buf, st.bind[k])
+	}
+	return buf, nil
+}
+
+// DecodeState implements spec.DurableSpec.
+func (Directory) DecodeState(data []byte) (spec.State, error) {
+	d := &stateDecoder{buf: data}
+	n := d.count()
+	bind := make(map[string]string, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		k := d.str()
+		v := d.str()
+		if d.err == nil {
+			if _, dup := bind[k]; dup {
+				return nil, fmt.Errorf("adt: duplicate key %q in directory state blob", k)
+			}
+			bind[k] = v
+		}
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return dirState{bind: bind}, nil
+}
+
+// EncodeState implements spec.DurableSpec.
+func (File) EncodeState(s spec.State) ([]byte, error) {
+	return appendStateStr(nil, s.(fileState).val), nil
+}
+
+// DecodeState implements spec.DurableSpec.
+func (File) DecodeState(data []byte) (spec.State, error) {
+	d := &stateDecoder{buf: data}
+	val := d.str()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return fileState{val: val}, nil
+}

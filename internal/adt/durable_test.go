@@ -1,0 +1,79 @@
+package adt
+
+import (
+	"testing"
+
+	"hybridcc/internal/spec"
+)
+
+// TestDurableStateRoundTrip drives each built-in to a non-trivial state,
+// round-trips it through EncodeState/DecodeState, and requires the result
+// Equal — plus a determinism check (two encodings of one state match) for
+// the map-backed types whose iteration order would otherwise leak in.
+func TestDurableStateRoundTrip(t *testing.T) {
+	cases := []struct {
+		spec spec.DurableSpec
+		ops  []spec.Op
+	}{
+		{NewAccount(), []spec.Op{Credit(100), Debit(30), Post(2)}},
+		{NewCounter(), []spec.Op{Inc(5), Inc(7)}},
+		{NewQueue(), []spec.Op{Enq(3), Enq(1), Enq(2), Deq(3)}},
+		{NewSemiqueue(), []spec.Op{Ins(9), Ins(2), Ins(9), Rem(2)}},
+		{NewSet(), []spec.Op{SetInsert(4, true), SetInsert(8, true), SetRemove(4, true), SetInsert(15, true)}},
+		{NewDirectory(), []spec.Op{DirBind("a", 1, true), DirBind("b", 2, true), DirUnbind("a", true)}},
+		{NewFile(), []spec.Op{FileWrite(42)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec.Name(), func(t *testing.T) {
+			st, ok := spec.Replay(tc.spec, tc.ops)
+			if !ok {
+				t.Fatal("setup ops illegal")
+			}
+			for _, s := range []spec.State{tc.spec.Init(), st} {
+				blob, err := tc.spec.EncodeState(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				blob2, err := tc.spec.EncodeState(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(blob) != string(blob2) {
+					t.Fatalf("non-deterministic encoding: %x vs %x", blob, blob2)
+				}
+				got, err := tc.spec.DecodeState(blob)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !tc.spec.Equal(got, s) {
+					t.Fatalf("round trip lost state: got %+v, want %+v", got, s)
+				}
+			}
+		})
+	}
+}
+
+// TestDurableStateDecodeRejectsGarbage: blobs cross a crash, so decoding
+// must fail cleanly on bytes encoding cannot have produced.
+func TestDurableStateDecodeRejectsGarbage(t *testing.T) {
+	specs := []spec.DurableSpec{
+		NewAccount(), NewCounter(), NewQueue(), NewSemiqueue(), NewSet(), NewDirectory(), NewFile(),
+	}
+	for _, sp := range specs {
+		// A truncated varint: continuation bit set with nothing behind it.
+		if _, err := sp.DecodeState([]byte{0xff}); err == nil {
+			t.Errorf("%s: decoded garbage without error", sp.Name())
+		}
+	}
+	if _, err := NewAccount().DecodeState(nil); err == nil {
+		t.Error("Account: decoded empty blob (no balance) without error")
+	}
+	// Trailing bytes past a valid prefix must be rejected too.
+	blob, err := NewCounter().EncodeState(counterState{n: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCounter().DecodeState(append(blob, 0x00)); err == nil {
+		t.Error("Counter: accepted trailing bytes")
+	}
+}

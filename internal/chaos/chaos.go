@@ -51,6 +51,11 @@ const (
 	// decision to it is captured and delivered only after N further
 	// messages — decision delivery slides behind later traffic.
 	OpReorder
+	// OpCheckpoint takes a checkpoint on the shard while traffic is in
+	// flight: committed object state is captured, published atomically, and
+	// the covered log segments truncated.  Unsupported on volatile
+	// environments (nothing durable to checkpoint).
+	OpCheckpoint
 )
 
 // String names the operation.
@@ -68,6 +73,8 @@ func (o Op) String() string {
 		return "restart"
 	case OpReorder:
 		return "reorder"
+	case OpCheckpoint:
+		return "checkpoint"
 	}
 	return fmt.Sprintf("op(%d)", int(o))
 }
@@ -112,7 +119,7 @@ func (s Schedule) String() string {
 }
 
 // Generate derives a well-formed schedule from the seed: transfer batches
-// interleaved with fault events, at most one shard disturbed at a time
+// interleaved with fault and checkpoint events, at most one shard disturbed at a time
 // (so the workload always has healthy shards to make progress on), every
 // partition eventually healed and every crash eventually restarted, and a
 // final fault-free transfer batch so recovery itself is exercised under
@@ -133,7 +140,7 @@ func Generate(seed uint64, shards, steps int) Schedule {
 			continue
 		}
 		shard := rng.IntN(shards)
-		switch rng.IntN(4) {
+		switch rng.IntN(5) {
 		case 0:
 			sched.Steps = append(sched.Steps, Step{Op: OpPartition, Shard: shard})
 			disturbed, kind = shard, OpHeal
@@ -142,6 +149,11 @@ func Generate(seed uint64, shards, steps int) Schedule {
 			disturbed, kind = shard, OpRestart
 		case 2:
 			sched.Steps = append(sched.Steps, Step{Op: OpReorder, Shard: shard, N: 1 + rng.IntN(3)})
+		case 3:
+			// Not a fault: a checkpoint must be safe under live traffic, so
+			// schedules take them mid-flight without marking the shard
+			// disturbed.
+			sched.Steps = append(sched.Steps, Step{Op: OpCheckpoint, Shard: shard})
 		default:
 			// Fault-free span.
 		}
@@ -175,6 +187,10 @@ type Env interface {
 	// Reorder arms one reordering fault: the next commit decision to the
 	// shard is delivered only after k further messages.
 	Reorder(shard, k int) error
+	// Checkpoint takes a checkpoint on the shard mid-schedule — committed
+	// state captured and covered log segments truncated while transfers
+	// are in flight.  Volatile environments report ErrUnsupported.
+	Checkpoint(shard int) error
 	// Settle blocks until the cluster has recovered from the schedule's
 	// faults — restarts finished, pending branches resolved — so Check
 	// compares settled state.
@@ -300,6 +316,8 @@ func Run(env Env, sched Schedule, opts Options) (Report, error) {
 			return env.Restart(st.Shard)
 		case OpReorder:
 			return env.Reorder(st.Shard, st.N)
+		case OpCheckpoint:
+			return env.Checkpoint(st.Shard)
 		}
 		return fmt.Errorf("chaos: unknown op %v", st.Op)
 	}

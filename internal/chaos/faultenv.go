@@ -28,23 +28,43 @@ import (
 // sum(out) == sum(in) == acked detects both a torn transfer (legs
 // disagree) and a lost acknowledged one (acked disagrees).
 type FaultEnv struct {
-	c    *cluster.Cluster
-	rec  *verify.Recorder
-	ctls []*commitproto.FaultTransport
-	out  []*core.Object
-	in   []*core.Object
+	c       *cluster.Cluster
+	rec     *verify.Recorder
+	ctls    []*commitproto.FaultTransport
+	out     []*core.Object
+	in      []*core.Object
+	durable bool
+	// bases holds checkpoint-recovered base states (durable reopen only):
+	// the recorder then sees only the post-checkpoint tail as its serial
+	// prefix, so Check must verify the history from these states, not from
+	// the specs' initial ones.
+	bases histories.StateMap
 
 	acked atomic.Int64
 }
 
 var _ Env = (*FaultEnv)(nil)
 
-// NewFaultEnv builds a cluster of the given shard count wired for fault
-// injection and registers the workload counters.
+// NewFaultEnv builds a volatile cluster of the given shard count wired for
+// fault injection and registers the workload counters.  Checkpoint steps
+// report ErrUnsupported; NewDurableFaultEnv supports them.
 func NewFaultEnv(shards int) (*FaultEnv, error) {
+	return newFaultEnv(shards, nil)
+}
+
+// NewDurableFaultEnv is NewFaultEnv with per-shard write-ahead commit logs
+// under dir, so schedules can take checkpoints mid-flight and the
+// environment can be reopened over the same directory to exercise bounded
+// recovery.
+func NewDurableFaultEnv(shards int, dir string) (*FaultEnv, error) {
+	return newFaultEnv(shards, &core.Durability{Dir: dir, Sync: true, SegmentSize: 1})
+}
+
+func newFaultEnv(shards int, d *core.Durability) (*FaultEnv, error) {
 	e := &FaultEnv{
-		rec:  verify.NewRecorder(),
-		ctls: make([]*commitproto.FaultTransport, shards),
+		rec:     verify.NewRecorder(),
+		ctls:    make([]*commitproto.FaultTransport, shards),
+		durable: d != nil,
 	}
 	for i := range e.ctls {
 		e.ctls[i] = commitproto.NewFaultTransport(nil)
@@ -59,6 +79,7 @@ func NewFaultEnv(shards int) (*FaultEnv, error) {
 		// shortens the schedule, never changes its outcome.
 		CommitTimeout: 250 * time.Millisecond,
 		Sink:          e.rec,
+		Durability:    d,
 		WrapTransport: func(shard int, tr commitproto.Transport) commitproto.Transport {
 			return e.ctls[shard].Wrap(tr)
 		},
@@ -72,6 +93,13 @@ func NewFaultEnv(shards int) (*FaultEnv, error) {
 			adt.NewCounter(), baseline.ConflictFor("hybrid", "Counter")))
 		e.in = append(e.in, c.Shard(i).NewObject(fmt.Sprintf("in%d", i),
 			adt.NewCounter(), baseline.ConflictFor("hybrid", "Counter")))
+	}
+	if err := c.FinishRecovery(); err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	if bases := c.RecoveredBases(); len(bases) > 0 {
+		e.bases = histories.StateMap(bases)
 	}
 	return e, nil
 }
@@ -131,6 +159,19 @@ func (e *FaultEnv) Reorder(shard, k int) error {
 	return nil
 }
 
+// Checkpoint implements Env: the shard captures its committed state and
+// truncates covered log segments, concurrently with in-flight transfers.
+// Unsupported on a volatile environment.
+func (e *FaultEnv) Checkpoint(shard int) error {
+	if !e.durable {
+		return ErrUnsupported
+	}
+	return e.c.Shard(shard).Checkpoint()
+}
+
+// CheckpointStats sums the shards' checkpoint counters.
+func (e *FaultEnv) CheckpointStats() core.CheckpointStats { return e.c.CheckpointStats() }
+
 // Settle implements Env.  In-process, a reached commit decision is
 // re-applied to every branch before Commit returns (the recovery rule:
 // a participant that voted applies the decision when it learns it), so
@@ -154,7 +195,7 @@ func (e *FaultEnv) Check() error {
 		specs[e.in[i].Name()] = adt.NewCounter()
 	}
 	isReadOnly := func(id histories.TxID) bool { return strings.HasPrefix(string(id), "R") }
-	return verify.CheckGeneralizedHybridAtomic(e.rec.History(), specs, isReadOnly)
+	return verify.CheckGeneralizedHybridAtomicFrom(e.rec.History(), specs, e.bases, isReadOnly)
 }
 
 // Controller exposes shard i's fault controller, for tests asserting on

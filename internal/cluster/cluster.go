@@ -120,8 +120,12 @@ type Cluster struct {
 	// decisionLog is the coordinator's commit-decision log, nil on a
 	// volatile cluster; decisions holds the recovered decision records
 	// (tx id → timestamp) FinishRecovery resolves prepared branches from.
+	// logSynced records whether the shard logs fsync each commit — the
+	// missing-leg accounting in FinishRecovery is allowed a stronger
+	// truncation argument when they do.
 	decisionLog *wal.Log
 	decisions   map[string]int64
+	logSynced   bool
 }
 
 // New creates a cluster of opts.Shards independent shards.
@@ -162,9 +166,11 @@ func New(opts Options) (*Cluster, error) {
 		}
 		if d := opts.Durability; d != nil {
 			sysOpts.Durability = &core.Durability{
-				Dir:         filepath.Join(d.Dir, c.names[i]),
-				Sync:        d.Sync,
-				SegmentSize: d.SegmentSize,
+				Dir:                filepath.Join(d.Dir, c.names[i]),
+				Sync:               d.Sync,
+				SegmentSize:        d.SegmentSize,
+				CheckpointBytes:    d.CheckpointBytes,
+				CheckpointInterval: d.CheckpointInterval,
 			}
 		}
 		sys, err := core.OpenSystem(sysOpts)
@@ -178,6 +184,7 @@ func New(opts Options) (*Cluster, error) {
 	c.coordClock = tstamp.NewNodeClock(opts.Shards, opts.Shards+1)
 	c.coord = commitproto.NewCoordinator(c.coordClock, opts.CommitTimeout)
 	if d := opts.Durability; d != nil {
+		c.logSynced = d.Sync
 		if err := c.openDurability(d); err != nil {
 			c.closeOpened()
 			return nil, err

@@ -9,6 +9,7 @@ import (
 
 	"hybridcc/internal/core"
 	"hybridcc/internal/histories"
+	"hybridcc/internal/spec"
 	"hybridcc/internal/wal"
 )
 
@@ -52,16 +53,49 @@ func checkShardLayout(dir string, shards int) error {
 	return nil
 }
 
+// coordCompactThreshold is the number of dead (discharged or duplicate)
+// records the coordinator decision log tolerates before open rewrites it;
+// below this, compaction costs more than the space it reclaims.
+const coordCompactThreshold = 256
+
 // openDurability opens the coordinator decision log and wires the
 // decision-before-delivery hook; per-shard logs were already opened by
 // core.OpenSystem.  Called by New when Options.Durability is set.
+//
+// The decision log is bounded in two steps: FinishRecovery appends
+// discharge records for decisions recovery can never need again (every
+// participant durably holds the commit — see dischargeDecisions), and the
+// next open compacts the directory down to the live decisions when the
+// dead records dominate, with the same crash-safe two-rename swap the dial
+// ledger uses.
 func (c *Cluster) openDurability(d *core.Durability) error {
-	dl, recs, err := wal.Open(filepath.Join(d.Dir, coordDirName), wal.Options{Sync: d.Sync, SegmentSize: d.SegmentSize})
+	coordDir := filepath.Join(d.Dir, coordDirName)
+	if err := wal.RecoverCompaction(coordDir); err != nil {
+		return err
+	}
+	opts := wal.Options{Sync: d.Sync, SegmentSize: d.SegmentSize}
+	dl, recs, err := wal.Open(coordDir, opts)
 	if err != nil {
 		return err
 	}
+	sum := wal.Summarize(recs)
+	if dead := len(recs) - len(sum.Decisions); dead > coordCompactThreshold && dead > len(sum.Decisions) {
+		if err := dl.Close(); err != nil {
+			return err
+		}
+		live := make([]wal.Record, 0, len(sum.Decisions))
+		for tx, ts := range sum.Decisions {
+			live = append(live, wal.Record{Kind: wal.KindDecision, Tx: tx, TS: ts})
+		}
+		if err := wal.CompactDir(coordDir, live, wal.Options{Sync: true}); err != nil {
+			return fmt.Errorf("cluster: decision log compaction: %w", err)
+		}
+		if dl, _, err = wal.Open(coordDir, opts); err != nil {
+			return err
+		}
+	}
 	c.decisionLog = dl
-	c.decisions = wal.Summarize(recs).Decisions
+	c.decisions = sum.Decisions
 	// The coordinator clock must stay ahead of every decision it ever
 	// issued, or a post-recovery round could remint a timestamp.
 	for _, ts := range c.decisions {
@@ -107,14 +141,35 @@ func (c *Cluster) FinishRecovery() error {
 		if err := sys.AbandonPending(); err != nil {
 			return err
 		}
+		if err := sys.SeedCheckpointObjects(); err != nil {
+			return err
+		}
+	}
+
+	// Per-shard checkpoint frontiers: shard i's checkpoint durably covers
+	// every transaction with a timestamp below covered[i] at the objects it
+	// owns, so such transactions need no commit record there; folded[i] is
+	// the shard's maximum fold horizon (zero without a checkpoint), the
+	// looser bound the fsynced-log accounting below is entitled to.  The
+	// cut timestamps keep the coordinator clock ahead of folded
+	// transactions a shard clock alone might no longer witness.
+	covered := make([]histories.Timestamp, len(c.shards))
+	folded := make([]histories.Timestamp, len(c.shards))
+	for i, sys := range c.shards {
+		cut, cov, fold := sys.RecoveredCheckpointFrontier()
+		covered[i], folded[i] = cov, fold
+		c.coordClock.Observe(cut)
 	}
 
 	merged := make(map[histories.TxID]int)
-	legs := make(map[histories.TxID]int)
+	legsOn := make(map[histories.TxID]map[int]bool)
 	var txs []core.RecoveredTx
-	for _, sys := range c.shards {
+	for si, sys := range c.shards {
 		for _, tx := range sys.RecoveredCommitted() {
-			legs[tx.ID]++
+			if legsOn[tx.ID] == nil {
+				legsOn[tx.ID] = make(map[int]bool)
+			}
+			legsOn[tx.ID][si] = true
 			if i, ok := merged[tx.ID]; ok {
 				if txs[i].TS != tx.TS {
 					return fmt.Errorf("cluster: recovered %s committed at timestamp %d on one shard and %d on another — logs inconsistent", tx.ID, txs[i].TS, tx.TS)
@@ -137,11 +192,16 @@ func (c *Cluster) FinishRecovery() error {
 	// transaction promises Participants legs, so fewer merged legs means a
 	// shard log lost its commit record — possible only with fsync off,
 	// where each log loses an independent buffered tail.  Replaying the
-	// subset would tear the transaction; refuse instead.
+	// subset would tear the transaction; refuse instead.  A leg absent
+	// because the owning shard's checkpoint folded it is accounted, not
+	// missing: the transaction's effects are durable in that shard's
+	// checkpoint images.
 	for _, i := range merged {
-		if n := txs[i].Participants; n > 0 && legs[txs[i].ID] < n {
-			return fmt.Errorf("cluster: recovered %s on %d of its %d shards — a cross-shard leg is missing (a log opened with fsync off lost its buffered tail); the directory cannot be recovered atomically", txs[i].ID, legs[txs[i].ID], n)
+		n := txs[i].Participants
+		if n <= 0 || c.accountedLegs(txs[i], legsOn[txs[i].ID], covered, folded) >= n {
+			continue
 		}
+		return fmt.Errorf("cluster: recovered %s on %d of its %d shards — a cross-shard leg is missing (a log opened with fsync off lost its buffered tail); the directory cannot be recovered atomically", txs[i].ID, len(legsOn[txs[i].ID]), n)
 	}
 	if err := core.Replay(txs); err != nil {
 		return err
@@ -156,7 +216,96 @@ func (c *Cluster) FinishRecovery() error {
 	if maxSeq > c.txSeq.Load() {
 		c.txSeq.Store(maxSeq)
 	}
+
+	c.dischargeDecisions(covered, folded, legsOn, txs, merged)
+	for _, sys := range c.shards {
+		sys.MarkRecoveryDone()
+	}
 	return nil
+}
+
+// accountedLegs counts the shards where tx's commit is durable: shards
+// whose log held a commit record, plus shards holding no record whose
+// checkpoint provably holds the transaction's effects in its images.  Two
+// coverage arguments apply to a missing leg:
+//
+//   - covered[si] > tx.TS: the transaction sits below every object's fold
+//     horizon on that shard, so whichever objects the lost leg touched,
+//     the images include it.  Sound even with fsync off (a checkpoint
+//     snapshots committed in-memory state, so it preserves commits whose
+//     unsynced records died with a crash).
+//
+//   - fsynced logs + a checkpoint + tx.TS < folded[si]: with fsync on,
+//     every acknowledged record is durable, so a participating shard
+//     always recovers its leg — as a commit record, a checkpoint
+//     unforgotten entry, or a prepared branch the decision log resolves —
+//     UNLESS truncation removed the records; and truncation removes only
+//     what the checkpoint covers, which for a vanished commit leg means
+//     folded into the images (an unforgotten leg would still surface as
+//     recovered).  Folded entries sit strictly below their own object's
+//     horizon, hence below the shard's maximum horizon folded[si], so the
+//     timestamp bound costs nothing and guards the invariant.  The
+//     per-object horizons can straddle tx.TS (one object folded past it,
+//     another not), which is why the min-horizon bound alone is too
+//     conservative here.
+func (c *Cluster) accountedLegs(tx core.RecoveredTx, on map[int]bool, covered, folded []histories.Timestamp) int {
+	n := len(on)
+	for si := range c.shards {
+		if on[si] {
+			continue
+		}
+		if covered[si] > tx.TS || (c.logSynced && folded[si] > tx.TS) {
+			n++
+		}
+	}
+	return n
+}
+
+// dischargeDecisions retires decision records recovery can never need
+// again: the transaction's commit is durable on every shard that might
+// hold a leg.  A recovered transaction discharges when its accounted legs
+// reach its participant count; a decision whose transaction appears on no
+// shard at all discharges when every shard's checkpoint frontier has
+// passed it (its legs were folded everywhere).  Resolution records
+// re-logged without a participant count keep their decisions — a later
+// recovery, once checkpoints fold them, discharges by the frontier rule.
+// Discharges are appended in one batch with one sync; a failure is
+// ignored: they are an optimization, and recovery is already complete.
+func (c *Cluster) dischargeDecisions(covered, folded []histories.Timestamp, legsOn map[histories.TxID]map[int]bool, txs []core.RecoveredTx, merged map[histories.TxID]int) {
+	var retired []string
+	for id, ts := range c.decisions {
+		txid := histories.TxID(id)
+		if i, ok := merged[txid]; ok {
+			if n := txs[i].Participants; n > 0 && c.accountedLegs(txs[i], legsOn[txid], covered, folded) >= n {
+				retired = append(retired, id)
+			}
+			continue
+		}
+		all := true
+		for si := range c.shards {
+			if covered[si] <= histories.Timestamp(ts) {
+				all = false
+				break
+			}
+		}
+		if all {
+			retired = append(retired, id)
+		}
+	}
+	if len(retired) == 0 {
+		return
+	}
+	for _, id := range retired {
+		if err := c.decisionLog.Append(wal.Record{Kind: wal.KindDischarge, Tx: id}); err != nil {
+			return
+		}
+	}
+	if err := c.decisionLog.Sync(); err != nil {
+		return
+	}
+	for _, id := range retired {
+		delete(c.decisions, id)
+	}
 }
 
 // Close closes every shard's commit log and the coordinator decision log.
@@ -196,4 +345,59 @@ func (c *Cluster) CrashLogs() {
 	if c.decisionLog != nil {
 		c.decisionLog.Crash()
 	}
+}
+
+// Checkpoint takes a checkpoint on every shard, sequentially, and returns
+// the first error (later shards are still attempted — each shard's
+// checkpoint is independent, and a full disk on one should not stop the
+// others from reclaiming their logs).  Errors on a volatile cluster.
+func (c *Cluster) Checkpoint() error {
+	if c.decisionLog == nil {
+		return fmt.Errorf("cluster: Checkpoint without durability")
+	}
+	var first error
+	for i, sys := range c.shards {
+		if err := sys.Checkpoint(); err != nil && first == nil {
+			first = fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+// CheckpointStats sums the shards' checkpoint counters; LastCutTS and
+// LastAge report the worst shard (oldest last checkpoint), since the
+// cluster's recovery bound is its slowest shard's.
+func (c *Cluster) CheckpointStats() core.CheckpointStats {
+	var out core.CheckpointStats
+	for i, sys := range c.shards {
+		st := sys.CheckpointStats()
+		out.Checkpoints += st.Checkpoints
+		out.Failures += st.Failures
+		out.BytesSince += st.BytesSince
+		out.BytesReclaimed += st.BytesReclaimed
+		out.SegmentsRemoved += st.SegmentsRemoved
+		if i == 0 || st.LastAge > out.LastAge {
+			out.LastAge = st.LastAge
+		}
+		if st.LastCutTS > out.LastCutTS {
+			out.LastCutTS = st.LastCutTS
+		}
+	}
+	return out
+}
+
+// RecoveredBases merges every shard's checkpoint-seeded base states
+// (object names are unique cluster-wide, so the union is disjoint); nil
+// when no shard recovered from a checkpoint.
+func (c *Cluster) RecoveredBases() map[histories.ObjID]spec.State {
+	var out map[histories.ObjID]spec.State
+	for _, sys := range c.shards {
+		for name, st := range sys.RecoveredBases() {
+			if out == nil {
+				out = make(map[histories.ObjID]spec.State)
+			}
+			out[name] = st
+		}
+	}
+	return out
 }

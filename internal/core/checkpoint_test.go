@@ -1,0 +1,350 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"hybridcc/internal/adt"
+	"hybridcc/internal/depend"
+	"hybridcc/internal/spec"
+	"hybridcc/internal/wal"
+)
+
+// segFiles counts the wal-*.seg files in dir.
+func segFiles(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg") {
+			n++
+		}
+	}
+	return n
+}
+
+func openCheckpointable(t *testing.T, dir string) *System {
+	t.Helper()
+	s, err := OpenSystem(Options{
+		LockWait: 250 * time.Millisecond,
+		// One record per segment: every commit seals a truncatable segment,
+		// so the reclaim assertions see real unlinks.
+		Durability: &Durability{Dir: dir, Sync: true, SegmentSize: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCheckpointBoundedReplay: after a checkpoint at N commits, a restart
+// replays only the post-checkpoint tail — the replayed count is independent
+// of N — and the log directory shrinks when the checkpoint lands.
+func TestCheckpointBoundedReplay(t *testing.T) {
+	for _, n := range []int{8, 40} {
+		dir := t.TempDir()
+		s := openCheckpointable(t, dir)
+		if err := s.FinishRecovery(); err != nil {
+			t.Fatal(err)
+		}
+		acc := accountOn(s)
+		for i := 0; i < n; i++ {
+			credit(t, s, acc, 10)
+		}
+		before := segFiles(t, dir)
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		after := segFiles(t, dir)
+		if after >= before {
+			t.Fatalf("n=%d: %d segments before checkpoint, %d after — nothing reclaimed", n, before, after)
+		}
+		st := s.CheckpointStats()
+		if st.Checkpoints != 1 || st.SegmentsRemoved == 0 || st.BytesReclaimed == 0 {
+			t.Fatalf("n=%d: stats = %+v", n, st)
+		}
+		for i := 0; i < 3; i++ {
+			credit(t, s, acc, 1)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		s2 := openCheckpointable(t, dir)
+		acc2 := accountOn(s2)
+		if got := len(s2.RecoveredCommitted()); got != 3 {
+			t.Fatalf("n=%d: restart replays %d transactions, want 3 (independent of pre-checkpoint count)", n, got)
+		}
+		if err := s2.FinishRecovery(); err != nil {
+			t.Fatal(err)
+		}
+		if got := adt.AccountBalance(acc2.CommittedState()); got != int64(n*10+3) {
+			t.Fatalf("n=%d: recovered balance = %d, want %d", n, got, n*10+3)
+		}
+		if bases := s2.RecoveredBases(); bases == nil || bases["acc"] == nil {
+			t.Fatalf("n=%d: no recovered base state for acc", n)
+		} else if got := adt.AccountBalance(bases["acc"]); got != int64(n*10) {
+			t.Fatalf("n=%d: base state balance = %d, want %d", n, got, n*10)
+		}
+		// A post-recovery commit works and the next incarnation agrees.
+		credit(t, s2, acc2, 6)
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s3 := openCheckpointable(t, dir)
+		acc3 := accountOn(s3)
+		if err := s3.FinishRecovery(); err != nil {
+			t.Fatal(err)
+		}
+		if got := adt.AccountBalance(acc3.CommittedState()); got != int64(n*10+9) {
+			t.Fatalf("n=%d: third incarnation balance = %d, want %d", n, got, n*10+9)
+		}
+		s3.Close()
+	}
+}
+
+// opaqueSpec hides a specification's durable-state capability, forcing the
+// checkpointer onto the committed-operations fallback image.
+type opaqueSpec struct{ spec.Spec }
+
+// TestCheckpointFallbackImage: a spec without DurableState still
+// checkpoints — the image is the compacted committed-operations sequence —
+// and a second-generation checkpoint stays complete even after the first
+// one's truncation removed the early records.
+func TestCheckpointFallbackImage(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*System, *Object) {
+		s := openCheckpointable(t, dir)
+		o := s.NewObject("acc", opaqueSpec{adt.NewAccount()}, depend.SymmetricClosure(depend.AccountDependency()))
+		return s, o
+	}
+	s, acc := open()
+	if err := s.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		credit(t, s, acc, 10)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := wal.LoadCheckpoint(dir)
+	if err != nil || ck == nil {
+		t.Fatalf("LoadCheckpoint = %v, %v", ck, err)
+	}
+	if len(ck.Objects) != 1 || ck.Objects[0].HasState || len(ck.Objects[0].ImageOps) != 5 {
+		t.Fatalf("fallback image = %+v", ck.Objects[0])
+	}
+	// Second generation: the first checkpoint's records are gone from the
+	// log, so the new image must inherit them from the old image.
+	for i := 0; i < 4; i++ {
+		credit(t, s, acc, 1)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := wal.LoadCheckpoint(dir)
+	if err != nil || ck2 == nil {
+		t.Fatalf("LoadCheckpoint = %v, %v", ck2, err)
+	}
+	if len(ck2.Objects[0].ImageOps) != 9 {
+		t.Fatalf("second-generation image has %d entries, want 9", len(ck2.Objects[0].ImageOps))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, acc2 := open()
+	if err := s2.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	if got := adt.AccountBalance(acc2.CommittedState()); got != 54 {
+		t.Fatalf("recovered balance = %d, want 54", got)
+	}
+	s2.Close()
+}
+
+// TestCheckpointFailureDegradesToLogOnly: an injected write failure (disk
+// full, say) poisons only the checkpoint attempt — commits keep working,
+// the counters record the failure, and a later attempt succeeds.
+func TestCheckpointFailureDegradesToLogOnly(t *testing.T) {
+	dir := t.TempDir()
+	s := openCheckpointable(t, dir)
+	if err := s.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	acc := accountOn(s)
+	for i := 0; i < 5; i++ {
+		credit(t, s, acc, 10)
+	}
+	for _, stage := range []string{"create", "write", "sync", "rename"} {
+		wal.CheckpointFailpoint = func(st string) error {
+			if st == stage {
+				return errors.New("no space left on device")
+			}
+			return nil
+		}
+		if err := s.Checkpoint(); err == nil {
+			t.Fatalf("stage %s: injected failure not reported", stage)
+		}
+	}
+	wal.CheckpointFailpoint = nil
+	st := s.CheckpointStats()
+	if st.Failures != 4 || st.Checkpoints != 0 {
+		t.Fatalf("stats after failures = %+v", st)
+	}
+	if ck, err := wal.LoadCheckpoint(dir); err != nil || ck != nil {
+		t.Fatalf("failed attempts published a checkpoint: %v, %v", ck, err)
+	}
+	// The engine runs log-only: commits still land and are durable.
+	credit(t, s, acc, 5)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after failures: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openCheckpointable(t, dir)
+	acc2 := accountOn(s2)
+	if err := s2.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	if got := adt.AccountBalance(acc2.CommittedState()); got != 55 {
+		t.Fatalf("recovered balance = %d, want 55", got)
+	}
+	s2.Close()
+}
+
+// TestCheckpointCarriesPendingBranch: a prepared-but-undecided branch's
+// record may live in a truncated segment — the checkpoint carries the
+// branch, and the next recovery still resolves it from the coordinator's
+// decision.
+func TestCheckpointCarriesPendingBranch(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *System {
+		s, err := OpenSystem(Options{
+			LockWait:           250 * time.Millisecond,
+			ExternalTimestamps: true,
+			Durability:         &Durability{Dir: dir, Sync: true, SegmentSize: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s := open()
+	if err := s.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	acc := accountOn(s)
+	tx := s.BeginBranch(nil, "X1")
+	if _, err := acc.Call(tx, adt.CreditInv(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.CommitAt(10); err != nil {
+		t.Fatal(err)
+	}
+	br := s.BeginBranch(nil, "X2")
+	if _, err := acc.Call(br, adt.CreditInv(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := wal.LoadCheckpoint(dir)
+	if err != nil || ck == nil {
+		t.Fatalf("LoadCheckpoint = %v, %v", ck, err)
+	}
+	if len(ck.Pending) != 1 || ck.Pending[0].Tx != "X2" {
+		t.Fatalf("checkpoint pending = %+v, want [X2]", ck.Pending)
+	}
+	s.CrashLog() // dies prepared, decision never arrived
+
+	s2 := open()
+	acc2 := accountOn(s2)
+	pend := s2.RecoveredPending()
+	if len(pend) != 1 || pend[0].ID != "X2" {
+		t.Fatalf("pending after restart = %+v, want [X2]", pend)
+	}
+	if err := s2.ResolvePending("X2", 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	if got := adt.AccountBalance(acc2.CommittedState()); got != 105 {
+		t.Fatalf("recovered balance = %d, want 105", got)
+	}
+	s2.Close()
+}
+
+// TestBackgroundCheckpointer: a configured bytes trigger takes checkpoints
+// on its own once recovery finishes, truncating as it goes.
+func TestBackgroundCheckpointer(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSystem(Options{
+		LockWait:   250 * time.Millisecond,
+		Durability: &Durability{Dir: dir, Sync: true, SegmentSize: 1, CheckpointBytes: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	acc := accountOn(s)
+	for i := 0; i < 5; i++ {
+		credit(t, s, acc, 10)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.CheckpointStats().Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background checkpointer never ran: %+v", s.CheckpointStats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openCheckpointable(t, dir)
+	acc2 := accountOn(s2)
+	if err := s2.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	if got := adt.AccountBalance(acc2.CommittedState()); got != 50 {
+		t.Fatalf("recovered balance = %d, want 50", got)
+	}
+	s2.Close()
+}
+
+// TestCheckpointGates: checkpoints are refused before recovery finishes and
+// on volatile systems — both errors, never panics or partial state.
+func TestCheckpointGates(t *testing.T) {
+	dir := t.TempDir()
+	s := openCheckpointable(t, dir)
+	if err := s.Checkpoint(); err == nil || !strings.Contains(err.Error(), "recovery") {
+		t.Fatalf("Checkpoint before recovery: %v", err)
+	}
+	if err := s.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	v := NewSystem(Options{})
+	if err := v.Checkpoint(); err == nil || !strings.Contains(err.Error(), "durability") {
+		t.Fatalf("Checkpoint on volatile system: %v", err)
+	}
+	v.Close()
+}

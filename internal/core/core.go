@@ -163,6 +163,12 @@ type System struct {
 	objects map[histories.ObjID]*Object
 	// recovered carries log state between OpenSystem and FinishRecovery.
 	recovered *recoveredState
+	// ckpt is the checkpointer (trigger loop lifecycle and counters);
+	// recoveryDone flips when FinishRecovery (or a cluster's composed
+	// recovery) completes — checkpoints are refused before that, and the
+	// background checkpointer starts at the flip.
+	ckpt         checkpointState
+	recoveryDone atomic.Bool
 
 	// The hot-path free lists.  txPool recycles Tx structs (with their
 	// touched maps and scratch buffers) through BeginPooled/Recycle;

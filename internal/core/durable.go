@@ -2,9 +2,12 @@ package core
 
 import (
 	"fmt"
+	"iter"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"hybridcc/internal/histories"
 	"hybridcc/internal/spec"
@@ -30,16 +33,26 @@ type Durability struct {
 	Sync bool
 	// SegmentSize overrides the log rotation threshold (testing knob).
 	SegmentSize int64
+	// CheckpointBytes, when positive, makes the background checkpointer
+	// take a checkpoint once that many record bytes have been appended
+	// since the last one; CheckpointInterval, when positive, takes one at
+	// that age.  Either (or both) starts the checkpointer when recovery
+	// finishes; with both zero checkpointing is manual (System.Checkpoint).
+	CheckpointBytes    int64
+	CheckpointInterval time.Duration
 }
 
 // recoveredState carries what OpenSystem read from the log until recovery
 // finishes: committed records awaiting replay, prepared-but-undecided
-// branches awaiting resolution, and the names replay found no registered
-// object for.
+// branches awaiting resolution, the checkpoint the directory held (nil for
+// a bare log), the base states its images decoded to, and the names replay
+// found no registered object for.
 type recoveredState struct {
 	committed []wal.Record
 	pending   []wal.Record
 	maxSeq    uint64
+	ckpt      *wal.Checkpoint
+	bases     map[histories.ObjID]spec.State
 	unclaimed map[histories.ObjID]bool
 }
 
@@ -67,18 +80,33 @@ func OpenSystem(opts Options) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The newest valid checkpoint bounds the replay: its images carry
+		// everything below each object's fold frontier, so only the
+		// surviving tail (and the checkpoint's own unforgotten entries)
+		// replays.  A torn or CRC-bad checkpoint loads as an older one or
+		// as nil — never an error that replay-from-zero could have served.
+		ck, err := wal.LoadCheckpoint(d.Dir)
+		if err != nil {
+			_ = l.Close()
+			return nil, err
+		}
 		s.log = l
-		sum := wal.Summarize(recs)
-		st := &recoveredState{committed: sum.Committed, pending: sum.Pending}
-		for _, r := range sum.Committed {
+		st := mergeRecovered(ck, recs)
+		for _, r := range st.committed {
 			s.clock.Observe(histories.Timestamp(r.TS))
 			if n, ok := txSeqOf(r.Tx); ok && n > st.maxSeq {
 				st.maxSeq = n
 			}
 		}
-		for _, r := range sum.Pending {
+		for _, r := range st.pending {
 			if n, ok := txSeqOf(r.Tx); ok && n > st.maxSeq {
 				st.maxSeq = n
+			}
+		}
+		if ck != nil {
+			s.clock.Observe(histories.Timestamp(ck.CutTS))
+			if ck.MaxSeq > st.maxSeq {
+				st.maxSeq = ck.MaxSeq
 			}
 		}
 		// Never mint an identifier a recovered transaction already used: a
@@ -94,6 +122,76 @@ func OpenSystem(opts Options) (*System, error) {
 		s.adapt.start()
 	}
 	return s, nil
+}
+
+// mergeRecovered reconstructs the recovery state from the newest checkpoint
+// and the surviving log records.  Pending branches are summarized over the
+// checkpoint's carried pending set followed by the log, so resolutions in
+// the tail retire carried branches.  The committed set merges, per
+// transaction, the checkpoint's unforgotten legs with the log's commit
+// records — dropping every leg the checkpoint image already contains
+// (timestamp below the object's fold frontier, or the transaction present
+// in its unforgotten set), so nothing replays twice.  A transaction whose
+// every leg folded into the images vanishes from replay entirely: restart
+// cost is bounded by activity since the checkpoint, not by history.
+func mergeRecovered(ck *wal.Checkpoint, recs []wal.Record) *recoveredState {
+	if ck == nil {
+		sum := wal.Summarize(recs)
+		return &recoveredState{committed: sum.Committed, pending: sum.Pending}
+	}
+	combined := make([]wal.Record, 0, len(ck.Pending)+len(recs))
+	combined = append(combined, ck.Pending...)
+	combined = append(combined, recs...)
+	sum := wal.Summarize(combined)
+
+	type objIdx struct {
+		folded int64
+		txs    map[string]bool
+	}
+	idx := make(map[string]*objIdx, len(ck.Objects))
+	merged := make(map[string]*wal.Record)
+	var order []string
+	addLeg := func(tx string, ts int64, participants int, obj string, ops []wal.Op) {
+		r := merged[tx]
+		if r == nil {
+			r = &wal.Record{Kind: wal.KindCommit, Tx: tx, TS: ts}
+			merged[tx] = r
+			order = append(order, tx)
+		}
+		if participants > r.Participants {
+			r.Participants = participants
+		}
+		for i := range r.Objs {
+			if r.Objs[i].Obj == obj {
+				return // leg already carried by the checkpoint
+			}
+		}
+		r.Objs = append(r.Objs, wal.ObjOps{Obj: obj, Ops: ops})
+	}
+	for _, o := range ck.Objects {
+		oi := &objIdx{folded: o.Folded, txs: make(map[string]bool, len(o.Unforgotten))}
+		for _, e := range o.Unforgotten {
+			oi.txs[e.Tx] = true
+			addLeg(e.Tx, e.TS, e.Participants, o.Name, e.Ops)
+		}
+		idx[o.Name] = oi
+	}
+	for _, r := range sum.Committed {
+		for _, oo := range r.Objs {
+			if oi := idx[oo.Obj]; oi != nil {
+				if r.TS < oi.folded || oi.txs[r.Tx] {
+					continue // already inside the image / unforgotten set
+				}
+			}
+			addLeg(r.Tx, r.TS, r.Participants, oo.Obj, oo.Ops)
+		}
+	}
+	st := &recoveredState{pending: sum.Pending, ckpt: ck}
+	st.committed = make([]wal.Record, 0, len(order))
+	for _, tx := range order {
+		st.committed = append(st.committed, *merged[tx])
+	}
+	return st
 }
 
 // txSeqOf parses the numeric suffix of a runtime-minted identifier
@@ -117,6 +215,7 @@ func (s *System) Close() error {
 	if s.adapt != nil {
 		s.adapt.stop()
 	}
+	s.stopCheckpointer()
 	if s.log == nil {
 		return nil
 	}
@@ -185,6 +284,29 @@ func (s *System) RecoveredCommitted() []RecoveredTx {
 		out = append(out, s.recoveredTxOf(r))
 	}
 	return out
+}
+
+// RecoveredCommittedSeq is the streaming counterpart of RecoveredCommitted:
+// it yields the committed transactions in timestamp order, converting each
+// record lazily so replay holds one transaction's materialized form at a
+// time instead of the whole log's.
+func (s *System) RecoveredCommittedSeq() iter.Seq[RecoveredTx] {
+	return func(yield func(RecoveredTx) bool) {
+		if s.recovered == nil {
+			return
+		}
+		recs := s.recovered.committed
+		order := make([]int, len(recs))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool { return recs[order[i]].TS < recs[order[j]].TS })
+		for _, i := range order {
+			if !yield(s.recoveredTxOf(recs[i])) {
+				return
+			}
+		}
+	}
 }
 
 // RecoveredPending returns prepared-but-undecided branches read from the
@@ -283,14 +405,125 @@ func (s *System) AbandonPendingTx(id histories.TxID) error {
 }
 
 // FinishRecovery completes a standalone System's recovery: presumed-abort
-// every undecided prepared branch, then replay the committed transactions.
-// Call it after registering every object the log references; a Cluster
-// composes the pieces itself (decision-record resolution between them).
+// every undecided prepared branch, seed every checkpointed object from its
+// durable image, then stream-replay the committed transactions on top.
+// Call it after registering every object the log (or checkpoint)
+// references; a Cluster composes the pieces itself (decision-record
+// resolution between them).  Completion flips the recovery-done flag,
+// which starts the background checkpointer when one is configured.
 func (s *System) FinishRecovery() error {
 	if err := s.AbandonPending(); err != nil {
 		return err
 	}
-	return Replay(s.RecoveredCommitted())
+	if err := s.SeedCheckpointObjects(); err != nil {
+		return err
+	}
+	if err := ReplayStream(s.RecoveredCommittedSeq()); err != nil {
+		return err
+	}
+	s.MarkRecoveryDone()
+	return nil
+}
+
+// SeedCheckpointObjects installs each checkpointed object's durable image:
+// the committed version and fold frontier come from the checkpoint, the
+// committed tail starts empty — the checkpoint's unforgotten entries
+// replay through the normal recovery path on top, exactly like surviving
+// commit records.  Checkpointed objects no one registered are remembered
+// as unclaimed (late registration panics), except objects the checkpoint
+// proves never committed anything — skipping those loses nothing.
+func (s *System) SeedCheckpointObjects() error {
+	if s.recovered == nil || s.recovered.ckpt == nil {
+		return nil
+	}
+	ck := s.recovered.ckpt
+	for _, co := range ck.Objects {
+		o := s.objectByName(histories.ObjID(co.Name))
+		if o == nil {
+			if co.Clock == 0 && len(co.Unforgotten) == 0 {
+				continue // never saw a commit: its image is the initial state
+			}
+			s.markUnclaimed(histories.ObjID(co.Name))
+			continue
+		}
+		var base spec.State
+		if co.HasState {
+			ds, ok := o.sp.(spec.DurableSpec)
+			if !ok {
+				return fmt.Errorf("hybridcc: checkpoint %s holds a state image for %s but specification %s has no durable-state support", ck.Name, co.Name, o.sp.Name())
+			}
+			st, err := ds.DecodeState(co.State)
+			if err != nil {
+				return fmt.Errorf("hybridcc: checkpoint %s: decoding state of %s: %w", ck.Name, co.Name, err)
+			}
+			base = st
+		} else {
+			st := o.sp.Init()
+			for _, e := range co.ImageOps {
+				next, ok := spec.StepFrom(o.sp, st, specOps(e.Ops)...)
+				if !ok {
+					return fmt.Errorf("hybridcc: checkpoint %s: image replay of %s at %s is illegal — checkpoint corrupt or specification changed", ck.Name, e.Tx, co.Name)
+				}
+				st = next
+			}
+			base = st
+		}
+		o.seedCheckpoint(base, histories.Timestamp(co.Folded), histories.Timestamp(co.Clock))
+		if s.recovered.bases == nil {
+			s.recovered.bases = make(map[histories.ObjID]spec.State)
+		}
+		s.recovered.bases[histories.ObjID(co.Name)] = base
+	}
+	return nil
+}
+
+// RecoveredBases returns the per-object base states recovery seeded from
+// the checkpoint images (nil when recovery had no checkpoint).  Offline
+// verification replays each object from its base instead of the initial
+// state: the transactions folded into an image are exactly the ones whose
+// events predate the recorder, so the recorded history is only legal from
+// the image's state on.
+func (s *System) RecoveredBases() map[histories.ObjID]spec.State {
+	if s.recovered == nil {
+		return nil
+	}
+	return s.recovered.bases
+}
+
+// RecoveredCheckpointFrontier describes what the recovery checkpoint (if
+// any) durably covers: cut is its cut timestamp; coveredBelow is the
+// frontier below which every committed transaction's effects at every
+// checkpointed object are inside the images — the minimum fold horizon
+// across the checkpoint's objects; foldedBelow is the maximum fold
+// horizon — the bound above which no entry can have been folded into any
+// image.  All are zero without a checkpoint (or with an empty one, which
+// covers nothing).
+//
+// A cluster uses the frontiers to account for commit-record legs a shard's
+// checkpoint folded away: a cross-shard transaction with a timestamp below
+// coveredBelow needs no commit record here whatever objects its leg
+// touched, and with fsynced logs a leg that left no trace at all must have
+// been truncated-because-folded, which puts it below foldedBelow.
+func (s *System) RecoveredCheckpointFrontier() (cut, coveredBelow, foldedBelow histories.Timestamp) {
+	if s.recovered == nil || s.recovered.ckpt == nil {
+		return 0, 0, 0
+	}
+	ck := s.recovered.ckpt
+	if len(ck.Objects) == 0 {
+		return histories.Timestamp(ck.CutTS), 0, 0
+	}
+	covered := histories.Timestamp(ck.Objects[0].Folded)
+	folded := covered
+	for _, co := range ck.Objects[1:] {
+		f := histories.Timestamp(co.Folded)
+		if f < covered {
+			covered = f
+		}
+		if f > folded {
+			folded = f
+		}
+	}
+	return histories.Timestamp(ck.CutTS), covered, folded
 }
 
 // Replay applies recovered committed transactions — possibly spanning
@@ -310,6 +543,14 @@ func (s *System) FinishRecovery() error {
 // transactions; it takes object mutexes only to publish seeded snapshots.
 func Replay(txs []RecoveredTx) error {
 	sort.Slice(txs, func(i, j int) bool { return txs[i].TS < txs[j].TS })
+	return ReplayStream(slices.Values(txs))
+}
+
+// ReplayStream is Replay over an iterator: transactions must arrive in
+// nondecreasing timestamp order (RecoveredCommittedSeq yields them so) and
+// each is validated, applied, and released before the next materializes,
+// so replay memory is bounded by one transaction rather than the log.
+func ReplayStream(txs iter.Seq[RecoveredTx]) error {
 	states := make(map[*Object]spec.State)
 	type leg struct {
 		o    *Object
@@ -317,7 +558,13 @@ func Replay(txs []RecoveredTx) error {
 		next spec.State
 	}
 	var legs []leg
-	for _, tx := range txs {
+	started := false
+	var last histories.Timestamp
+	for tx := range txs {
+		if started && tx.TS < last {
+			return fmt.Errorf("hybridcc: recovery replay stream out of timestamp order (%d after %d)", tx.TS, last)
+		}
+		started, last = true, tx.TS
 		legs = legs[:0]
 		for _, ro := range tx.Ops {
 			o := ro.Sys.objectByName(ro.Obj)
@@ -395,6 +642,28 @@ func (o *Object) seedRecovered(id histories.TxID, ts histories.Timestamp, ops []
 	}
 	o.events++
 	o.stats.commits.Add(1)
+	o.publishTailLocked()
+	o.mu.Unlock()
+}
+
+// seedCheckpoint installs a checkpoint image as the object's committed
+// version: the fold frontier and commit clock advance to the checkpoint's
+// (never backwards), and the committed tail starts empty — the entries
+// above the frontier replay on top through seedRecovered.
+func (o *Object) seedCheckpoint(state spec.State, folded, clock histories.Timestamp) {
+	o.mu.Lock()
+	o.version = state
+	o.unforgotten = nil
+	o.commitGen++
+	o.tailState = state
+	o.tailGen = o.commitGen
+	if folded > o.folded {
+		o.folded = folded
+	}
+	if clock > o.clock {
+		o.clock = clock
+	}
+	o.events++
 	o.publishTailLocked()
 	o.mu.Unlock()
 }

@@ -95,6 +95,12 @@ type Object struct {
 	active map[*Tx]*txLock
 	// clock is the largest commit timestamp this object has seen.
 	clock histories.Timestamp
+	// folded is the fold frontier: every committed transaction with
+	// timestamp strictly below it has been folded into version, and no
+	// future commit can land below it (monotone — see forgetLocked).  The
+	// checkpointer uses it to decide which WAL commit records the version
+	// image covers.
+	folded histories.Timestamp
 
 	// commitGen counts commits merged at this object.  Caches derived
 	// from the committed tail (version + unforgotten) are valid exactly
@@ -295,6 +301,13 @@ type tailSnapshot struct {
 	unforgotten []committedEntry
 	tail        spec.State
 	clock       histories.Timestamp
+	// folded mirrors Object.folded at publication: version is exactly the
+	// effect of every committed transaction with timestamp < folded, and
+	// every unforgotten entry has timestamp ≥ folded.  A stale snapshot's
+	// folded is only ever lower than the live one — conservative for the
+	// checkpointer (it covers fewer records, never a record that is not in
+	// the image).
+	folded histories.Timestamp
 }
 
 // stateAt reconstructs the committed state as of ts from the snapshot:
@@ -333,6 +346,7 @@ func (o *Object) publishTailLocked() {
 		unforgotten: o.unforgotten,
 		tail:        o.committedTailLocked(),
 		clock:       o.clock,
+		folded:      o.folded,
 	})
 }
 
@@ -1036,7 +1050,37 @@ func (o *Object) forgetLocked() int {
 		o.unforgotten = append([]committedEntry(nil), o.unforgotten[n:]...)
 		o.stats.folds.Add(int64(n))
 	}
+	// Advance the fold frontier even when nothing folded: every entry with
+	// timestamp < min(horizon, clock+1) is in version (there are none left
+	// below the horizon), and no future commit lands there — an active
+	// transaction commits above its bound ≥ horizon, and a transaction yet
+	// to execute here will record bound = clock at grant, committing at
+	// clock+1 or later.  Capping at clock+1 keeps the frontier finite when
+	// the object is quiescent (horizon = +∞).
+	f := horizon
+	if c := o.clock + 1; c < f {
+		f = c
+	}
+	if f > o.folded {
+		o.folded = f
+	}
 	return n
+}
+
+// fold advances the fold frontier outside the commit path and republishes
+// the tail snapshot.  The checkpointer calls it before snapshotting: a
+// freshly recovered or quiescent object has folded nothing since its last
+// commit (folding normally rides the commit path), so without this pass
+// the first checkpoint after a restart would cover almost no records.
+// No-op under DisableCompaction.
+func (o *Object) fold() {
+	if o.sys.opts.DisableCompaction {
+		return
+	}
+	o.mu.Lock()
+	o.forgetLocked()
+	o.publishTailLocked()
+	o.mu.Unlock()
 }
 
 // CommittedState returns the state all committed transactions produce in

@@ -84,10 +84,24 @@ func FilterObj(seq []ObjOp, obj ObjID) []spec.Op {
 // SpecMap assigns a serial specification to every object.
 type SpecMap map[ObjID]spec.Spec
 
+// StateMap assigns a starting state to some objects.  Objects absent from
+// the map start from their specification's initial state.  A recovered
+// system replays a history whose prefix was compacted into a checkpoint, so
+// acceptability there means "legal from the checkpointed base", not "legal
+// from Init".
+type StateMap map[ObjID]spec.State
+
 // Acceptable reports whether the serial failure-free history h is
 // acceptable: OpSeq(H|X) belongs to the serial specification of X for every
 // object X (Section 3.2).
 func Acceptable(h History, specs SpecMap) (bool, error) {
+	return AcceptableFrom(h, specs, nil)
+}
+
+// AcceptableFrom is Acceptable with per-object starting states: OpSeq(H|X)
+// must be steppable from bases[X] (or Init(X) when absent) for every object
+// X.  With a nil or empty bases it coincides with Acceptable.
+func AcceptableFrom(h History, specs SpecMap, bases StateMap) (bool, error) {
 	seq, err := OpSeq(h)
 	if err != nil {
 		return false, err
@@ -97,7 +111,11 @@ func Acceptable(h History, specs SpecMap) (bool, error) {
 		if !ok {
 			return false, fmt.Errorf("histories: no specification for object %q", x)
 		}
-		if !spec.Legal(sp, FilterObj(seq, x)) {
+		base, ok := bases[x]
+		if !ok {
+			base = sp.Init()
+		}
+		if _, ok := spec.StepFrom(sp, base, FilterObj(seq, x)...); !ok {
 			return false, nil
 		}
 	}
@@ -107,11 +125,16 @@ func Acceptable(h History, specs SpecMap) (bool, error) {
 // SerializableIn reports whether the failure-free history h is serializable
 // in the order given: Serial(H, T) is acceptable.
 func SerializableIn(h History, order []TxID, specs SpecMap) (bool, error) {
+	return SerializableInFrom(h, order, specs, nil)
+}
+
+// SerializableInFrom is SerializableIn with per-object starting states.
+func SerializableInFrom(h History, order []TxID, specs SpecMap, bases StateMap) (bool, error) {
 	s, err := Serial(h, order)
 	if err != nil {
 		return false, err
 	}
-	return Acceptable(s, specs)
+	return AcceptableFrom(s, specs, bases)
 }
 
 // Serializable reports whether some total order serializes the
@@ -139,8 +162,15 @@ func Serializable(h History, specs SpecMap) (bool, error) {
 // HybridAtomic reports whether permanent(h) is serializable in timestamp
 // order (Section 3.3).
 func HybridAtomic(h History, specs SpecMap) (bool, error) {
+	return HybridAtomicFrom(h, specs, nil)
+}
+
+// HybridAtomicFrom is HybridAtomic with per-object starting states: the
+// condition a post-recovery history must satisfy, where each object's base
+// is the state the checkpoint restored rather than Init.
+func HybridAtomicFrom(h History, specs SpecMap, bases StateMap) (bool, error) {
 	perm := Permanent(h)
-	return SerializableIn(perm, TimestampOrder(perm), specs)
+	return SerializableInFrom(perm, TimestampOrder(perm), specs, bases)
 }
 
 // OnlineHybridAtomicAt reports whether h is online hybrid atomic at x

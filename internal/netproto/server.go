@@ -121,7 +121,7 @@ func NewServer(sys *core.System, shard, shards int, opts ServerOptions) (*Server
 		reads:    make(map[histories.TxID]*readEntry),
 		outcomes: make(map[histories.TxID]txOutcome),
 	}
-	for _, tx := range sys.RecoveredCommitted() {
+	for tx := range sys.RecoveredCommittedSeq() {
 		s.rememberLocked(tx.ID, txOutcome{status: outcomeCommitted, ts: tx.TS})
 	}
 	pend := sys.RecoveredPending()

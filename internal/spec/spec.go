@@ -94,6 +94,25 @@ type Spec interface {
 	Equal(a, b State) bool
 }
 
+// DurableSpec is the optional durability capability on a Spec: a spec
+// that can render its states as byte images lets the checkpointer store a
+// committed state directly instead of the committed-operations sequence
+// that produced it, so recovery seeds the object without replaying
+// history.  Encoding must be deterministic (equal states encode equal
+// bytes) and DecodeState must invert EncodeState for every state
+// reachable by Replay.  Specs without this capability still checkpoint —
+// the engine falls back to a compacted committed-operations image.
+type DurableSpec interface {
+	Spec
+
+	// EncodeState renders a reachable state as a deterministic byte image.
+	EncodeState(s State) ([]byte, error)
+
+	// DecodeState inverts EncodeState.  It must fail (not panic) on bytes
+	// EncodeState cannot have produced — checkpoint blobs cross a crash.
+	DecodeState(data []byte) (State, error)
+}
+
 // Replay runs h from the initial state of sp.  It returns the final state
 // and true if every operation is legal, or the state reached before the
 // first illegal operation and false otherwise.

@@ -142,10 +142,18 @@ func CheckHybridAtomic(h histories.History, specs histories.SpecMap) error {
 // waived for them; serializability in timestamp order is still required of
 // everything, readers included.
 func CheckGeneralizedHybridAtomic(h histories.History, specs histories.SpecMap, isReadOnly func(histories.TxID) bool) error {
+	return CheckGeneralizedHybridAtomicFrom(h, specs, nil, isReadOnly)
+}
+
+// CheckGeneralizedHybridAtomicFrom is CheckGeneralizedHybridAtomic with
+// per-object starting states: after a recovery that seeded objects from a
+// checkpoint, the recorded history replays from those bases rather than
+// from each specification's initial state.
+func CheckGeneralizedHybridAtomicFrom(h histories.History, specs histories.SpecMap, bases histories.StateMap, isReadOnly func(histories.TxID) bool) error {
 	if err := histories.WellFormedReadOnly(h, isReadOnly); err != nil {
 		return fmt.Errorf("verify: ill-formed history: %w", err)
 	}
-	ok, err := histories.HybridAtomic(h, specs)
+	ok, err := histories.HybridAtomicFrom(h, specs, bases)
 	if err != nil {
 		return fmt.Errorf("verify: %w", err)
 	}

@@ -1,0 +1,63 @@
+package wal
+
+import "os"
+
+// CompactDir rewrites a log directory to exactly recs, crash-safely: the
+// records are written and fsynced into a sibling directory dir+".compact",
+// then swapped in with two renames (dir → dir+".old", copy → dir).  A crash
+// anywhere leaves either the original or the complete copy for
+// RecoverCompaction to settle — never a mix.  The caller must have closed
+// any Log open on dir first and reopen afterwards.
+func CompactDir(dir string, recs []Record, opts Options) error {
+	compact, old := dir+".compact", dir+".old"
+	if err := os.RemoveAll(compact); err != nil {
+		return err
+	}
+	cl, _, err := Open(compact, opts)
+	if err != nil {
+		return err
+	}
+	if len(recs) > 0 {
+		if err := cl.AppendBatchSync(recs); err != nil {
+			_ = cl.Close()
+			return err
+		}
+	}
+	if err := cl.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(dir, old); err != nil {
+		return err
+	}
+	if err := os.Rename(compact, dir); err != nil {
+		return err
+	}
+	return os.RemoveAll(old)
+}
+
+// RecoverCompaction settles a CompactDir a crash interrupted, before dir is
+// opened.  The swap's invariant: dir+".compact" is complete iff dir is
+// absent (the first rename runs only after the copy is fsynced and closed).
+func RecoverCompaction(dir string) error {
+	compact, old := dir+".compact", dir+".old"
+	if _, err := os.Stat(compact); err == nil {
+		if _, derr := os.Stat(dir); derr == nil {
+			// Crashed before the swap: the original is intact and the copy
+			// may be partial — scrap the copy.
+			if err := os.RemoveAll(compact); err != nil {
+				return err
+			}
+		} else if os.IsNotExist(derr) {
+			// Crashed between the renames: the copy is complete — promote it.
+			if err := os.Rename(compact, dir); err != nil {
+				return err
+			}
+		} else {
+			return derr
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	// A leftover ".old" is always superseded, whichever window crashed.
+	return os.RemoveAll(old)
+}

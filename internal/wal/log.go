@@ -57,6 +57,10 @@ type Stats struct {
 	Appends  int64
 	Fsyncs   int64
 	Segments int
+	// Bytes counts record bytes appended over the log's lifetime (monotone
+	// — truncation does not rewind it).  The checkpoint trigger's
+	// bytes-since-last-checkpoint measure subtracts two readings of it.
+	Bytes int64
 }
 
 // Log is a segmented append-only record log.  It is safe for concurrent
@@ -93,6 +97,7 @@ type Log struct {
 
 	appends atomic.Int64
 	fsyncs  atomic.Int64
+	bytes   atomic.Int64
 }
 
 // segmentName formats the segment file name for index i.
@@ -119,6 +124,12 @@ func Open(dir string, opts Options) (*Log, []Record, error) {
 	}
 	lock, err := lockDir(dir)
 	if err != nil {
+		return nil, nil, err
+	}
+	// Settle any checkpoint publication a crash interrupted (stale .tmp,
+	// superseded older checkpoints) before reading the directory.
+	if err := SettleCheckpoints(dir); err != nil {
+		unlockDir(lock)
 		return nil, nil, err
 	}
 	l, recs, err := openDir(dir, opts)
@@ -246,6 +257,7 @@ func (l *Log) appendLocked(r Record) error {
 		return l.poisonLocked(err)
 	}
 	l.appends.Add(1)
+	l.bytes.Add(int64(frameHeaderSize + len(payload)))
 	l.segSize += int64(frameHeaderSize + len(payload))
 	if l.segSize >= l.opts.SegmentSize {
 		return l.rotateLocked()
@@ -327,6 +339,50 @@ func (l *Log) rotateLocked() error {
 	return nil
 }
 
+// Rotate seals the current segment (flush + fsync + close) and opens the
+// next, returning the new current segment index: every segment with a
+// smaller index is sealed — fully on disk and never written again.  An
+// already-empty current segment is left in place (rotating it would churn
+// out zero-byte files), so Rotate is idempotent between appends.  The
+// checkpointer calls this to fix the sealed/live boundary before reading
+// the directory.
+func (l *Log) Rotate() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, l.closedErrLocked()
+	}
+	if l.segSize == 0 {
+		return l.segIndex, nil
+	}
+	if err := l.rotateLocked(); err != nil {
+		return 0, err
+	}
+	return l.segIndex, nil
+}
+
+// Flush drains the in-process append buffer to the OS without fsyncing.
+// The checkpointer uses it so a directory read observes every record
+// appended before the flush; durability still comes from Sync/rotation.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return l.closedErrLocked()
+	}
+	if err := l.w.Flush(); err != nil {
+		return l.poisonLocked(err)
+	}
+	return nil
+}
+
+// SegmentIndex returns the current (live) segment's index.
+func (l *Log) SegmentIndex() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segIndex
+}
+
 // Close flushes, fsyncs, and closes the log.  Closing twice is a no-op.
 func (l *Log) Close() error {
 	l.mu.Lock()
@@ -378,7 +434,7 @@ func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	n := l.segCount
 	l.mu.Unlock()
-	return Stats{Appends: l.appends.Load(), Fsyncs: l.fsyncs.Load(), Segments: n}
+	return Stats{Appends: l.appends.Load(), Fsyncs: l.fsyncs.Load(), Segments: n, Bytes: l.bytes.Load()}
 }
 
 // Dir returns the log directory.

@@ -467,10 +467,14 @@ func TestShardProcessKill9Recovery(t *testing.T) {
 
 	// The ledger balances across the crash: a consistent snapshot of all
 	// four shards sees matched out/in totals.
+	// Time-bounded, not attempt-bounded: the victim's breaker can stay
+	// open past its restart until a probe lands, and its backoff can hold
+	// the next probe off for seconds.
 	var out, in int64
-	for attempt := 0; ; attempt++ {
+	snapshotBy := time.Now().Add(15 * time.Second)
+	for {
 		out, in, err = ledger.snapshotBalance(c)
-		if err == nil || !retryable(err) || attempt > 10 {
+		if err == nil || !retryable(err) || time.Now().After(snapshotBy) {
 			break
 		}
 		time.Sleep(100 * time.Millisecond)

@@ -97,8 +97,10 @@ func (s *System) Checkpoint() error {
 
 // checkpointLocked takes one checkpoint.  The cut protocol:
 //
-//  1. Rotate the log: everything a checkpoint may cover is sealed, and
-//     truncation only ever considers indices below the live segment.
+//  1. Rotate the log and capture the returned live segment index:
+//     everything a checkpoint may cover is sealed below it, and step 5
+//     passes it to truncation as the bound — a segment sealed later (by
+//     appends racing the checkpoint) is never considered.
 //  2. Snapshot every object's committed tail (lock-free loads of the
 //     published snapshots — never the lock manager).
 //  3. Flush the append buffer and read the directory.  Every record a
@@ -119,7 +121,11 @@ func (s *System) checkpointLocked() error {
 	if err != nil {
 		return err
 	}
-	if _, err := s.log.Rotate(); err != nil {
+	// The live segment index at the cut bounds truncation below: segments
+	// sealed by concurrent appends after this point may hold prepared
+	// records of branches the Pending set computed in step 3 never saw.
+	live, err := s.log.Rotate()
+	if err != nil {
 		return err
 	}
 	objs := s.objectsSnapshot(nil)
@@ -222,7 +228,7 @@ func (s *System) checkpointLocked() error {
 	if _, err := wal.WriteCheckpoint(dir, ck); err != nil {
 		return err
 	}
-	reclaimed, removed, terr := s.log.TruncateCovered(ck)
+	reclaimed, removed, terr := s.log.TruncateCovered(ck, live)
 	s.ckpt.checkpoints.Add(1)
 	s.ckpt.lastCutTS.Store(ck.CutTS)
 	s.ckpt.lastUnixNano.Store(time.Now().UnixNano())

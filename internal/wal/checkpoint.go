@@ -658,13 +658,18 @@ func CoveredSegments(dir string, below int, ck *Checkpoint) ([]SegmentInfo, erro
 	return covered, nil
 }
 
-// TruncateCovered unlinks every sealed segment ck covers, returning the
-// bytes reclaimed and the number of segments removed.  Call it only after
-// WriteCheckpoint returned for ck: until the checkpoint is published,
-// those segments are the only copy of their records.
-func (l *Log) TruncateCovered(ck *Checkpoint) (reclaimed int64, removed int, err error) {
+// TruncateCovered unlinks every sealed segment with index below the given
+// bound that ck covers, returning the bytes reclaimed and the number of
+// segments removed.  Call it only after WriteCheckpoint returned for ck:
+// until the checkpoint is published, those segments are the only copy of
+// their records.  The bound must be the live segment index captured when
+// ck's coverage was computed (the index Rotate returned at the cut) — not
+// the current live index: segments sealed after the cut can hold prepared
+// records of branches ck's Pending set never saw, and unlinking them would
+// delete the only copy of an undecided branch.
+func (l *Log) TruncateCovered(ck *Checkpoint, below int) (reclaimed int64, removed int, err error) {
 	l.mu.Lock()
-	dir, below := l.dir, l.segIndex
+	dir := l.dir
 	l.mu.Unlock()
 	covered, err := CoveredSegments(dir, below, ck)
 	if err != nil {

@@ -336,7 +336,7 @@ func TestCoverageAndTruncation(t *testing.T) {
 	}
 
 	before := l.Stats().Segments
-	reclaimed, removed, err := l.TruncateCovered(ck)
+	reclaimed, removed, err := l.TruncateCovered(ck, l.SegmentIndex())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,6 +370,47 @@ func TestCoverageAndTruncation(t *testing.T) {
 	defer l2.Close()
 	if len(recs) != 2 {
 		t.Fatalf("reopen replayed %d records, want 2", len(recs))
+	}
+}
+
+// TestTruncationBoundExcludesLaterSegments: truncation honors the bound
+// captured at the checkpoint cut, not the live index at truncation time.
+// A prepared record sealed after the cut belongs to a branch the
+// checkpoint's Pending set never saw — unlinking its segment would delete
+// the only copy of an undecided branch.
+func TestTruncationBoundExcludesLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: true, SegmentSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.AppendSync(commitRec("T1", 3)); err != nil {
+		t.Fatal(err)
+	}
+	bound, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An append racing the checkpoint seals a prepared record into a
+	// segment at or above the captured bound.
+	prep := Record{Kind: KindPrepared, Tx: "T9", Objs: []ObjOps{{Obj: "acct", Ops: []Op{{Name: "Debit", Arg: "1", Res: "Ok"}}}}}
+	if err := l.AppendSync(prep); err != nil {
+		t.Fatal(err)
+	}
+	ck := &Checkpoint{
+		CutTS:   42,
+		Objects: []CheckpointObject{{Name: "acct", Folded: 40, Clock: 42, HasState: true, State: []byte("s")}},
+	}
+	if _, removed, err := l.TruncateCovered(ck, bound); err != nil || removed != 1 {
+		t.Fatalf("removed %d segments, err %v; want exactly the folded commit's", removed, err)
+	}
+	recs, err := ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Tx != "T9" || recs[0].Kind != KindPrepared {
+		t.Fatalf("surviving records %+v, want the post-cut prepared T9", recs)
 	}
 }
 

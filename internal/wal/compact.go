@@ -1,6 +1,9 @@
 package wal
 
-import "os"
+import (
+	"os"
+	"path/filepath"
+)
 
 // CompactDir rewrites a log directory to exactly recs, crash-safely: the
 // records are written and fsynced into a sibling directory dir+".compact",
@@ -26,13 +29,26 @@ func CompactDir(dir string, recs []Record, opts Options) error {
 	if err := cl.Close(); err != nil {
 		return err
 	}
+	parent := filepath.Dir(dir)
 	if err := os.Rename(dir, old); err != nil {
+		return err
+	}
+	if err := syncDir(parent); err != nil {
 		return err
 	}
 	if err := os.Rename(compact, dir); err != nil {
 		return err
 	}
-	return os.RemoveAll(old)
+	// The promoting rename must be durable before the old copy's entries
+	// are unlinked, or power loss could surface the unlinks without the
+	// rename and leave neither the original nor the complete copy.
+	if err := syncDir(parent); err != nil {
+		return err
+	}
+	if err := os.RemoveAll(old); err != nil {
+		return err
+	}
+	return syncDir(parent)
 }
 
 // RecoverCompaction settles a CompactDir a crash interrupted, before dir is
@@ -48,8 +64,13 @@ func RecoverCompaction(dir string) error {
 				return err
 			}
 		} else if os.IsNotExist(derr) {
-			// Crashed between the renames: the copy is complete — promote it.
+			// Crashed between the renames: the copy is complete — promote it
+			// and make the promotion durable before the superseded ".old"
+			// entries are unlinked below.
 			if err := os.Rename(compact, dir); err != nil {
+				return err
+			}
+			if err := syncDir(filepath.Dir(dir)); err != nil {
 				return err
 			}
 		} else {
